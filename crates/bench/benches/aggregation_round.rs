@@ -1,0 +1,56 @@
+//! Criterion benchmarks of complete training rounds: the two-layer system
+//! against the one-layer SAC baseline, plus the X-layer tree — the
+//! compute-side counterpart of the paper's communication argument.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2pfl::experiment::{build_system, SweepSpec};
+use p2pfl::multilayer::MultilayerTree;
+use p2pfl::system::SystemKind;
+use p2pfl_ml::data::Partition;
+use p2pfl_secagg::{ShareScheme, WeightVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training_round_n10");
+    group.sample_size(10);
+    let spec = SweepSpec { n_total: 10, rounds: 1, ..SweepSpec::default() };
+    group.bench_function("two_layer_n3", |b| {
+        let (mut sys, test) = build_system(&spec, SystemKind::TwoLayer, 3, 1.0, Partition::Iid);
+        let mut round = 0usize;
+        b.iter(|| {
+            round += 1;
+            black_box(sys.run_round(round, &test))
+        });
+    });
+    group.bench_function("original_sac", |b| {
+        let (mut sys, test) = build_system(&spec, SystemKind::OriginalSac, 10, 1.0, Partition::Iid);
+        let mut round = 0usize;
+        b.iter(|| {
+            round += 1;
+            black_box(sys.run_round(round, &test))
+        });
+    });
+    group.finish();
+}
+
+fn bench_multilayer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multilayer_aggregate");
+    group.sample_size(10);
+    for layers in [1usize, 2, 3] {
+        let tree = MultilayerTree::build(3, layers);
+        let mut rng = StdRng::seed_from_u64(1);
+        let models: Vec<WeightVector> = (0..tree.total_peers())
+            .map(|_| WeightVector::random(5_000, 1.0, &mut rng))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(layers), &layers, |b, _| {
+            let mut r = StdRng::seed_from_u64(2);
+            b.iter(|| black_box(tree.aggregate(&models, ShareScheme::Masked, &mut r)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round, bench_multilayer);
+criterion_main!(benches);

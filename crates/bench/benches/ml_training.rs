@@ -1,0 +1,49 @@
+//! Criterion benchmarks for the ML substrate: the matrix product that
+//! dominates training, the im2col convolution, and a full train step of
+//! the paper's Fig. 5 CNN.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2pfl_ml::models::{paper_cnn, small_cnn};
+use p2pfl_ml::optim::Adam;
+use p2pfl_ml::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for n in [64usize, 128, 256] {
+        let a = Tensor::from_vec(&[n, n], (0..n * n).map(|i| (i % 7) as f32).collect());
+        let b = Tensor::from_vec(&[n, n], (0..n * n).map(|i| (i % 5) as f32).collect());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cnn_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cnn_train_step");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(1);
+
+    let mut small = small_cnn(&mut rng, 0);
+    let x = Tensor::zeros(&[8, 1, 32, 32]);
+    let labels = [0usize, 1, 2, 3, 4, 5, 6, 7];
+    let mut opt = Adam::new(1e-3);
+    group.bench_function("small_cnn_batch8", |b| {
+        b.iter(|| black_box(small.train_batch(&x, &labels, &mut opt)));
+    });
+
+    let mut paper = paper_cnn(&mut rng, 0);
+    let xc = Tensor::zeros(&[2, 3, 32, 32]);
+    let lc = [0usize, 1];
+    let mut optc = Adam::paper_default();
+    group.bench_function("paper_cnn_batch2", |b| {
+        b.iter(|| black_box(paper.train_batch(&xc, &lc, &mut optc)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_cnn_steps);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benchmarks of the Raft substrate: simulator throughput for a
+//! full leader election and for crash recovery of the two-layer backend.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2pfl_hierraft::experiments::subgroup_leader_crash_trial;
+use p2pfl_raft::{NullStateMachine, RaftActor, RaftConfig, RaftMsg};
+use p2pfl_simnet::{NodeId, Sim, SimDuration, SimTime};
+use std::hint::black_box;
+
+fn elect_once(cluster_size: u32, seed: u64) -> u64 {
+    let mut sim: Sim<RaftMsg<u64>> = Sim::new(seed);
+    let ids: Vec<NodeId> = (0..cluster_size).map(NodeId).collect();
+    for &id in &ids {
+        let cfg = RaftConfig::paper(id, ids.clone(), SimDuration::from_millis(100), seed + id.0 as u64);
+        sim.add_node(RaftActor::new(cfg, NullStateMachine));
+    }
+    sim.run_until(SimTime::from_secs(2));
+    sim.metrics().total().msgs
+}
+
+fn bench_election(c: &mut Criterion) {
+    let mut group = c.benchmark_group("raft_election_2s_sim");
+    for n in [3u32, 5, 9, 25] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(elect_once(n, seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_two_layer_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_layer_crash_trial");
+    group.sample_size(10);
+    group.bench_function("t100_full_trial", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(subgroup_leader_crash_trial(100, seed))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_election, bench_two_layer_recovery);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion benchmarks of the end-to-end SAC protocols: original Alg. 2,
+//! leader-collect, fault-tolerant Alg. 4 (with and without dropouts), and
+//! the exact fixed-point variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2pfl_secagg::{
+    fault_tolerant_secure_average, fixed, secure_average, secure_average_with_leader, DropPhase,
+    Dropout, ShareScheme, WeightVector,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const DIM: usize = 20_000;
+
+fn models(n: usize) -> Vec<WeightVector> {
+    let mut rng = StdRng::seed_from_u64(7);
+    (0..n).map(|_| WeightVector::random(DIM, 1.0, &mut rng)).collect()
+}
+
+fn bench_sac_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sac_variants_n5");
+    let ms = models(5);
+    group.bench_function("alg2_broadcast", |b| {
+        let mut r = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(secure_average(&ms, ShareScheme::Masked, &mut r)));
+    });
+    group.bench_function("leader_collect", |b| {
+        let mut r = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(secure_average_with_leader(&ms, 0, ShareScheme::Masked, &mut r)));
+    });
+    group.bench_function("alg4_k3_clean", |b| {
+        let mut r = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            black_box(
+                fault_tolerant_secure_average(&ms, 3, 0, &[], ShareScheme::Masked, &mut r)
+                    .unwrap(),
+            )
+        });
+    });
+    group.bench_function("alg4_k3_one_dropout", |b| {
+        let mut r = StdRng::seed_from_u64(4);
+        let drops = [Dropout { peer: 4, phase: DropPhase::AfterShare }];
+        b.iter(|| {
+            black_box(
+                fault_tolerant_secure_average(&ms, 3, 0, &drops, ShareScheme::Masked, &mut r)
+                    .unwrap(),
+            )
+        });
+    });
+    group.bench_function("fixed_point_exact", |b| {
+        let mut r = StdRng::seed_from_u64(5);
+        b.iter(|| black_box(fixed::secure_average_exact(&ms, &mut r)));
+    });
+    group.finish();
+}
+
+fn bench_sac_peer_scaling(c: &mut Criterion) {
+    // The quadratic blowup of Alg. 2 that motivates the whole paper.
+    let mut group = c.benchmark_group("alg2_vs_peers");
+    group.sample_size(10);
+    for n in [5usize, 10, 20, 30] {
+        let ms = models(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ms, |b, ms| {
+            let mut r = StdRng::seed_from_u64(6);
+            b.iter(|| black_box(secure_average(ms, ShareScheme::Masked, &mut r)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sac_variants, bench_sac_peer_scaling);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks for the share primitives (Alg. 1 and the
+//! fixed-point extension): throughput of splitting a Fig. 5-sized model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use p2pfl_secagg::{divide_masked, divide_scaled, fixed, WeightVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_divide(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let dims = [10_000usize, 100_000];
+    let mut group = c.benchmark_group("divide");
+    for dim in dims {
+        let w = WeightVector::random(dim, 1.0, &mut rng);
+        group.throughput(Throughput::Elements(dim as u64));
+        group.bench_with_input(BenchmarkId::new("scaled_n5", dim), &w, |b, w| {
+            let mut r = StdRng::seed_from_u64(2);
+            b.iter(|| black_box(divide_scaled(w, 5, &mut r)));
+        });
+        group.bench_with_input(BenchmarkId::new("masked_n5", dim), &w, |b, w| {
+            let mut r = StdRng::seed_from_u64(3);
+            b.iter(|| black_box(divide_masked(w, 5, &mut r)));
+        });
+        group.bench_with_input(BenchmarkId::new("ring_n5", dim), &w, |b, w| {
+            let mut r = StdRng::seed_from_u64(4);
+            b.iter(|| black_box(fixed::divide_ring(w, 5, &mut r)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_share_count_scaling(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let w = WeightVector::random(50_000, 1.0, &mut rng);
+    let mut group = c.benchmark_group("divide_vs_n");
+    for n in [3usize, 5, 10, 30] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut r = StdRng::seed_from_u64(6);
+            b.iter(|| black_box(divide_masked(&w, n, &mut r)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_divide, bench_share_count_scaling);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Fig. 11 — time to detect the crashed subgroup leader, elect a new one,
+//! *and* have the new leader join the FedAvg layer.
+//!
+//! Paper claim to reproduce (shape): the join adds a roughly constant
+//! overhead on top of Fig. 10's election time (paper: +122.98 / +125.8 /
+//! +144.70 / +166.09 ms across the four timeout ranges), dominated by the
+//! join polling interval and a few round trips.
+//!
+//! Run: `cargo run -rp p2pfl-bench --bin fig11_join -- --trials 1000`.
+
+use p2pfl_bench::{banner, print_csv, Args};
+use p2pfl_hierraft::experiments::{subgroup_leader_crash_trial, Stats};
+
+fn main() {
+    let args = Args::parse();
+    let trials = args.get_u64("trials", 200);
+    let seed0 = args.get_u64("seed", 0);
+
+    banner(
+        "Fig. 11: subgroup leader crash -> election + FedAvg-layer join",
+        "paper: join adds +122.98/+125.8/+144.70/+166.09 ms over Fig. 10",
+    );
+    let mut rows = Vec::new();
+    let mut summary = Vec::new();
+    for t in [50u64, 100, 150, 200] {
+        let mut elect = Vec::new();
+        let mut join = Vec::new();
+        for s in 0..trials {
+            if let Some(r) = subgroup_leader_crash_trial(t, seed0 + s) {
+                elect.push(r.elect_ms);
+                join.push(r.join_ms);
+                rows.push(format!("{t}-{},{},{:.2}", 2 * t, s, r.join_ms));
+            }
+        }
+        let e = Stats::of(&elect).expect("all trials failed");
+        let j = Stats::of(&join).expect("all trials failed");
+        summary.push(format!(
+            "#   T={t}..{}ms: join mean {:.2}ms (elect {:.2} + delta {:.2})  min {:.2}  max {:.2}  (n={})",
+            2 * t,
+            j.mean,
+            e.mean,
+            j.mean - e.mean,
+            j.min,
+            j.max,
+            j.count
+        ));
+    }
+    print_csv("timeout_range_ms,trial,join_ms", rows);
+    println!("\n# summary:");
+    for s in summary {
+        println!("{s}");
+    }
+}

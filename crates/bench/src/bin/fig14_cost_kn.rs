@@ -1,0 +1,77 @@
+//! Fig. 14 — total communication cost per aggregation under various
+//! k-out-of-n settings versus the total peer count N, Fig. 5 CNN weights.
+//!
+//! Paper claims to reproduce exactly (closed-form Eq. 5): the two-layer
+//! system is 14.75× more efficient at (n,k,N) = (3,3,30), **10.36×** at
+//! (3,2,30) — the abstract's headline — 4.29× at (5,3,30), and 23.80× at
+//! (3,3,50) where the baseline costs 196.13 Gb and ours 8.24 Gb.
+//!
+//! Run: `cargo run -rp p2pfl-bench --bin fig14_cost_kn`.
+
+use p2pfl::cost::{
+    even_groups, gigabits, sac_baseline_units, two_layer_ft_units_eq5, two_layer_ft_units_exact,
+    ModelSize,
+};
+use p2pfl_bench::{banner, print_csv, Args};
+use p2pfl_secagg::pairwise::pairwise_round_units;
+
+fn units_for(n: usize, k: usize, n_total: usize) -> f64 {
+    if n_total.is_multiple_of(n) {
+        two_layer_ft_units_eq5(n, k, n_total)
+    } else {
+        // The paper does not specify its accounting for N not divisible by
+        // n; we use exact uneven groups (documented in EXPERIMENTS.md).
+        two_layer_ft_units_exact(&even_groups(n_total, n_total.div_ceil(n)), k)
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let model = ModelSize { params: args.get_u64("params", ModelSize::PAPER_CNN.params) };
+
+    banner(
+        "Fig. 14: communication cost under k-out-of-n settings vs N",
+        "paper ratios at N=30: 14.75x (3-3), 10.36x (3-2), 4.29x (5-3); 23.80x at (3-3, N=50)",
+    );
+    let settings: [(usize, usize); 4] = [(3, 3), (3, 2), (5, 5), (5, 3)];
+    let mut rows = Vec::new();
+    for n_total in [10usize, 20, 30, 40, 50] {
+        let baseline = sac_baseline_units(n_total);
+        rows.push(format!(
+            "baseline n=N,{n_total},{:.3},1.00",
+            gigabits(baseline * model.bits())
+        ));
+        for (n, k) in settings {
+            let units = units_for(n, k, n_total);
+            rows.push(format!(
+                "{k}-{n},{n_total},{:.3},{:.2}",
+                gigabits(units * model.bits()),
+                baseline / units
+            ));
+        }
+        // Context row: the server-based pairwise-mask design (related work
+        // ref 8) is O(N) per round but reintroduces the central server and
+        // its single point of failure — the problem the paper removes.
+        let pw = pairwise_round_units(n_total);
+        rows.push(format!(
+            "bonawitz-server,{n_total},{:.3},{:.2}",
+            gigabits(pw * model.bits()),
+            baseline / pw
+        ));
+    }
+    print_csv("setting,peers,cost_gigabits,improvement_over_sac", rows);
+
+    println!("\n# headline checks (paper -> this build):");
+    for (n, k, nt, paper) in [(3, 3, 30, 14.75), (3, 2, 30, 10.36), (5, 3, 30, 4.29), (3, 3, 20, 8.84)] {
+        let ratio = sac_baseline_units(nt) / units_for(n, k, nt);
+        println!("#   (n={n}, k={k}, N={nt}): paper {paper}x -> {ratio:.2}x");
+    }
+    let b50 = sac_baseline_units(50) * model.bits();
+    let ours50 = units_for(3, 3, 50) * model.bits();
+    println!(
+        "#   N=50 baseline {:.2} Gb (paper 196.13), ours (3-3) {:.2} Gb (paper 8.24), ratio {:.2}x (paper 23.80)",
+        gigabits(b50),
+        gigabits(ours50),
+        b50 / ours50
+    );
+}

@@ -1,0 +1,286 @@
+//! Experiment harnesses for the accuracy/loss figures (Figs. 6–9).
+//!
+//! The paper trains the Fig. 5 CNN on CIFAR-10 for 1000 rounds; our
+//! offline stand-in (see DESIGN.md) trains an MLP on synthetic
+//! class-prototype features, which preserves the findings under test:
+//! two-layer SAC tracks the one-layer baseline, accuracy orders
+//! IID > Non-IID(5%) > Non-IID(0%), and dropping slow subgroups (p = 0.5)
+//! costs only a small accuracy delta. The CNN path is available by
+//! swapping the model builder.
+
+use crate::system::{RoundRecord, SystemKind, TwoLayerConfig, TwoLayerSystem};
+use p2pfl_fed::{Client, LocalTrainConfig};
+use p2pfl_ml::data::{
+    features_like, mnist_like, partition_dataset, train_test_split, Dataset, Partition,
+};
+use p2pfl_ml::models::{mlp, small_cnn};
+use p2pfl_secagg::ShareScheme;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parameters shared by the sweep harnesses.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Total number of peers `N`.
+    pub n_total: usize,
+    /// Training rounds (paper: 1000; default here is smaller for CI).
+    pub rounds: usize,
+    /// Training samples per peer.
+    pub samples_per_peer: usize,
+    /// Feature dimension of the synthetic dataset.
+    pub feature_dim: usize,
+    /// Hidden width of the MLP.
+    pub hidden: usize,
+    /// Local learning rate.
+    pub lr: f32,
+    /// Local epochs and batch size per round.
+    pub train: LocalTrainConfig,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        SweepSpec {
+            n_total: 10,
+            rounds: 150,
+            samples_per_peer: 60,
+            feature_dim: 32,
+            hidden: 24,
+            lr: 3e-3,
+            train: LocalTrainConfig { epochs: 1, batch_size: 50 },
+            seed: 42,
+        }
+    }
+}
+
+/// One labeled curve of a figure.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Curve label, e.g. `"n=3 IID"`.
+    pub label: String,
+    /// Per-round records.
+    pub records: Vec<RoundRecord>,
+}
+
+/// Builds a ready-to-run system for the given topology and partition.
+pub fn build_system(
+    spec: &SweepSpec,
+    kind: SystemKind,
+    subgroup_size: usize,
+    fraction: f64,
+    partition: Partition,
+) -> (TwoLayerSystem, Dataset) {
+    let total_train = spec.n_total * spec.samples_per_peer;
+    let (train, test) = train_test_split(
+        &features_like(spec.feature_dim, total_train + 500, spec.seed),
+        total_train,
+    );
+    let parts = partition_dataset(&train, spec.n_total, partition, spec.seed + 1);
+    let mut rng = StdRng::seed_from_u64(spec.seed + 2);
+    let dims = [spec.feature_dim, spec.hidden, 10];
+    let clients: Vec<Client> = parts
+        .into_iter()
+        .enumerate()
+        .map(|(i, d)| {
+            Client::new(i, mlp(&dims, &mut rng), d, spec.lr, spec.seed + 10 + i as u64)
+        })
+        .collect();
+    let eval = mlp(&dims, &mut rng);
+    let cfg = TwoLayerConfig {
+        kind,
+        subgroup_size,
+        threshold: None,
+        scheme: ShareScheme::Masked,
+        fraction,
+        train: spec.train,
+        seed: spec.seed + 3,
+        dp: None,
+        fed_layer_sac: false,
+    };
+    (TwoLayerSystem::new(clients, eval, cfg), test)
+}
+
+/// Figs. 6–7: two-layer SAC with `n ∈ subgroup_sizes` versus the original
+/// one-layer SAC baseline (`n = N`), for each data distribution.
+pub fn accuracy_sweep(
+    spec: &SweepSpec,
+    subgroup_sizes: &[usize],
+    partitions: &[Partition],
+) -> Vec<Series> {
+    // Every (n, partition) configuration is an independent training run;
+    // fan them out over scoped threads. Each run seeds its own RNGs, so
+    // the output is identical to the sequential order.
+    let mut configs = Vec::new();
+    for &partition in partitions {
+        for &n in subgroup_sizes {
+            configs.push((n, partition));
+        }
+    }
+    let mut out: Vec<Option<Series>> = (0..configs.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for ((n, partition), slot) in configs.iter().copied().zip(out.iter_mut()) {
+            scope.spawn(move |_| {
+                let kind = if n >= spec.n_total {
+                    SystemKind::OriginalSac
+                } else {
+                    SystemKind::TwoLayer
+                };
+                let (mut sys, test) =
+                    build_system(spec, kind, n.min(spec.n_total), 1.0, partition);
+                let records = sys.run(spec.rounds, &test);
+                let label = if kind == SystemKind::OriginalSac {
+                    format!("baseline(n=N) {}", partition.label())
+                } else {
+                    format!("n={n} {}", partition.label())
+                };
+                *slot = Some(Series { label, records });
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    out.into_iter().map(|s| s.expect("series computed")).collect()
+}
+
+/// Figs. 8–9: two-layer SAC with a fraction `p` of subgroups contributing
+/// each round (`N = 20, n = 5` in the paper).
+pub fn fraction_sweep(
+    spec: &SweepSpec,
+    subgroup_size: usize,
+    fractions: &[f64],
+    partitions: &[Partition],
+) -> Vec<Series> {
+    let mut configs = Vec::new();
+    for &partition in partitions {
+        for &p in fractions {
+            configs.push((p, partition));
+        }
+    }
+    let mut out: Vec<Option<Series>> = (0..configs.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for ((p, partition), slot) in configs.iter().copied().zip(out.iter_mut()) {
+            scope.spawn(move |_| {
+                let (mut sys, test) =
+                    build_system(spec, SystemKind::TwoLayer, subgroup_size, p, partition);
+                let records = sys.run(spec.rounds, &test);
+                *slot = Some(Series { label: format!("p={p} {}", partition.label()), records });
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    out.into_iter().map(|s| s.expect("series computed")).collect()
+}
+
+/// The convolutional variant of the sweep: `small_cnn` on MNIST-shaped
+/// synthetic images, exercising the full image pipeline (im2col conv,
+/// pooling, dropout) through the secure aggregation stack. Orders of
+/// magnitude slower per round than the MLP path, so use tens of rounds:
+/// the `fig06_cnn` binary defaults to 10.
+pub fn cnn_probe(
+    n_total: usize,
+    subgroup_size: usize,
+    partition: Partition,
+    rounds: usize,
+    samples_per_peer: usize,
+    seed: u64,
+) -> Series {
+    let total_train = n_total * samples_per_peer;
+    let (train, test) = train_test_split(&mnist_like(total_train + 200, seed), total_train);
+    let parts = partition_dataset(&train, n_total, partition, seed + 1);
+    let mut rng = StdRng::seed_from_u64(seed + 2);
+    let clients: Vec<Client> = parts
+        .into_iter()
+        .enumerate()
+        .map(|(i, d)| {
+            Client::new(i, small_cnn(&mut rng, seed + 100 + i as u64), d, 1e-3, seed + 10 + i as u64)
+        })
+        .collect();
+    let eval = small_cnn(&mut rng, seed + 99);
+    let cfg = TwoLayerConfig {
+        kind: SystemKind::TwoLayer,
+        subgroup_size,
+        threshold: None,
+        scheme: ShareScheme::Masked,
+        fraction: 1.0,
+        train: LocalTrainConfig { epochs: 1, batch_size: 16 },
+        seed: seed + 3,
+        dp: None,
+        fed_layer_sac: false,
+    };
+    let mut sys = TwoLayerSystem::new(clients, eval, cfg);
+    let records = sys.run(rounds, &test);
+    Series { label: format!("cnn n={subgroup_size} {}", partition.label()), records }
+}
+
+/// Final-accuracy summary of a series, smoothed over the last quarter of
+/// the rounds (the paper reports smoothed end-of-training accuracy).
+pub fn final_accuracy(s: &Series) -> f64 {
+    let n = s.records.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let tail = &s.records[n - (n / 4).max(1)..];
+    tail.iter().map(|r| r.test_accuracy).sum::<f64>() / tail.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_spec() -> SweepSpec {
+        SweepSpec { rounds: 25, n_total: 6, samples_per_peer: 50, ..SweepSpec::default() }
+    }
+
+    #[test]
+    fn sweep_produces_expected_series() {
+        let spec = quick_spec();
+        let series = accuracy_sweep(&spec, &[3, 6], &[Partition::Iid]);
+        assert_eq!(series.len(), 2);
+        assert!(series[0].label.starts_with("n=3"));
+        assert!(series[1].label.starts_with("baseline"));
+        assert_eq!(series[0].records.len(), 25);
+    }
+
+    #[test]
+    fn two_layer_accuracy_close_to_baseline() {
+        let spec = quick_spec();
+        let series = accuracy_sweep(&spec, &[3, 6], &[Partition::Iid]);
+        let a_two = final_accuracy(&series[0]);
+        let a_base = final_accuracy(&series[1]);
+        assert!(
+            (a_two - a_base).abs() < 0.1,
+            "two-layer {a_two:.3} vs baseline {a_base:.3}"
+        );
+    }
+
+    #[test]
+    fn iid_beats_fully_skewed() {
+        let spec = quick_spec();
+        let series = accuracy_sweep(&spec, &[3], &[Partition::Iid, Partition::NON_IID_0]);
+        let iid = final_accuracy(&series[0]);
+        let skew = final_accuracy(&series[1]);
+        assert!(iid >= skew - 0.02, "IID {iid:.3} vs Non-IID(0%) {skew:.3}");
+    }
+
+    #[test]
+    fn cnn_probe_learns_through_secure_aggregation() {
+        // Small on purpose: unoptimized conv is slow under `cargo test`.
+        let series = cnn_probe(4, 2, Partition::Iid, 4, 30, 7);
+        assert_eq!(series.records.len(), 4);
+        let first = series.records.first().unwrap().test_accuracy;
+        let last = series.records.last().unwrap().test_accuracy;
+        assert!(
+            last > first,
+            "CNN accuracy {first:.3} -> {last:.3} through two-layer SAC"
+        );
+    }
+
+    #[test]
+    fn fraction_sweep_runs_and_half_uses_half() {
+        let spec = SweepSpec { rounds: 5, n_total: 12, ..quick_spec() };
+        let series = fraction_sweep(&spec, 3, &[0.5, 1.0], &[Partition::Iid]);
+        assert_eq!(series.len(), 2);
+        assert!(series[0].records.iter().all(|r| r.groups_used == 2));
+        assert!(series[1].records.iter().all(|r| r.groups_used == 4));
+    }
+}

@@ -1,0 +1,379 @@
+//! The integrated system: two-layer Raft (on the discrete-event simulator)
+//! electing the aggregation leaders, with federated training and
+//! fault-tolerant SAC running over the elected topology.
+//!
+//! Each round advances the simulated network — elections, joins, crash
+//! recovery all happen on the virtual clock — then runs one Alg. 3
+//! aggregation using whatever leaders Raft currently reports, exactly as
+//! the paper's system does: a subgroup without a leader (or whose leader
+//! has not rejoined the FedAvg layer yet) is a "slow subgroup" and is
+//! skipped for that round, and crashed peers appear as SAC dropouts.
+
+use crate::system::RoundRecord;
+use p2pfl_fed::{fedavg, Client, LocalTrainConfig};
+use p2pfl_hierraft::{Deployment, DeploymentSpec, HierActor};
+use p2pfl_ml::data::Dataset;
+use p2pfl_ml::metrics::evaluate;
+use p2pfl_ml::Sequential;
+use p2pfl_secagg::{
+    fault_tolerant_secure_average, DropPhase, Dropout, ShareScheme, TransferLog, WeightVector,
+    WIRE_BYTES_PER_PARAM,
+};
+use p2pfl_simnet::{NodeId, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration of a [`ResilientSession`].
+#[derive(Debug, Clone)]
+pub struct ResilientConfig {
+    /// The two-layer Raft deployment parameters.
+    pub deployment: DeploymentSpec,
+    /// SAC reconstruction threshold `k`.
+    pub threshold: usize,
+    /// Share construction scheme.
+    pub scheme: ShareScheme,
+    /// Local training hyperparameters.
+    pub train: LocalTrainConfig,
+    /// Virtual time the network runs between aggregation rounds (enough
+    /// for heartbeats, elections, and joins to settle).
+    pub round_settle: SimDuration,
+    /// RNG seed for share randomness.
+    pub seed: u64,
+}
+
+impl ResilientConfig {
+    /// A small default: 3 subgroups × 3 peers, k = 2, T = 100 ms.
+    pub fn small(seed: u64) -> Self {
+        let mut deployment = DeploymentSpec::paper(100, seed);
+        deployment.num_subgroups = 3;
+        deployment.subgroup_size = 3;
+        ResilientConfig {
+            deployment,
+            threshold: 2,
+            scheme: ShareScheme::Masked,
+            train: LocalTrainConfig { epochs: 1, batch_size: 32 },
+            round_settle: SimDuration::from_millis(600),
+            seed,
+        }
+    }
+}
+
+/// Per-round outcome of the integrated system.
+#[derive(Debug, Clone)]
+pub struct ResilientRound {
+    /// The usual training metrics.
+    pub record: RoundRecord,
+    /// The subgroup leaders Raft reported this round (`None` = leaderless,
+    /// i.e. a slow subgroup that was skipped).
+    pub leaders: Vec<Option<NodeId>>,
+    /// The FedAvg-layer leader this round.
+    pub fed_leader: Option<NodeId>,
+}
+
+/// The integrated Raft-backed training session.
+pub struct ResilientSession {
+    /// The two-layer Raft deployment (publicly drivable for fault
+    /// injection beyond the helpers below).
+    pub dep: Deployment,
+    clients: Vec<Client>,
+    eval_model: Sequential,
+    global: Vec<f64>,
+    cfg: ResilientConfig,
+    rng: StdRng,
+    /// Cumulative communication ledger for the aggregation traffic. Raft
+    /// control traffic is accounted separately in `dep.sim.metrics()`.
+    pub log: TransferLog,
+}
+
+impl ResilientSession {
+    /// Builds the deployment and waits for the initial stable state.
+    /// `clients.len()` must equal the deployment's total peer count;
+    /// client `i` runs on simulated peer `NodeId(i)`.
+    pub fn new(cfg: ResilientConfig, clients: Vec<Client>, eval_model: Sequential) -> Self {
+        assert_eq!(
+            clients.len(),
+            cfg.deployment.total_peers(),
+            "one client per simulated peer"
+        );
+        let mut dep = Deployment::build(cfg.deployment.clone());
+        let stable = dep.wait_stable(SimTime::from_secs(30));
+        assert!(stable, "deployment failed to stabilize");
+        let global = eval_model.params_flat();
+        let mut s = ResilientSession {
+            dep,
+            clients,
+            eval_model,
+            global,
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0x7e51),
+            cfg,
+            log: TransferLog::new(),
+        };
+        s.push_global();
+        s
+    }
+
+    /// The current global parameters.
+    pub fn global(&self) -> &[f64] {
+        &self.global
+    }
+
+    /// Crashes peer `id` (takes effect immediately on the virtual clock).
+    pub fn crash(&mut self, id: NodeId) {
+        let at = self.dep.sim.now() + SimDuration::from_millis(1);
+        self.dep.sim.schedule_crash(id, at);
+        self.dep.sim.run_for(SimDuration::from_millis(2));
+    }
+
+    /// Restarts peer `id`.
+    pub fn restart(&mut self, id: NodeId) {
+        let at = self.dep.sim.now() + SimDuration::from_millis(1);
+        self.dep.sim.schedule_restart(id, at);
+        self.dep.sim.run_for(SimDuration::from_millis(2));
+    }
+
+    fn push_global(&mut self) {
+        for (i, c) in self.clients.iter_mut().enumerate() {
+            if !self.dep.sim.is_crashed(NodeId(i as u32)) {
+                c.set_params(&self.global);
+            }
+        }
+    }
+
+    fn model_bytes(&self) -> u64 {
+        self.global.len() as u64 * WIRE_BYTES_PER_PARAM
+    }
+
+    /// Runs one round: settle the network, train, aggregate with the
+    /// Raft-elected leaders, evaluate on `test`.
+    pub fn run_round(&mut self, round: usize, test: &Dataset) -> ResilientRound {
+        // 1. Let the network settle (elections, joins, heartbeats).
+        self.dep.sim.run_for(self.cfg.round_settle);
+        let bytes_before = self.log.bytes();
+
+        // 2. Local updates on live peers.
+        let mut train_loss = 0.0f64;
+        let mut trained = 0usize;
+        for (i, c) in self.clients.iter_mut().enumerate() {
+            if !self.dep.sim.is_crashed(NodeId(i as u32)) {
+                let (loss, _) = c.local_update(self.cfg.train);
+                train_loss += loss;
+                trained += 1;
+            }
+        }
+        if trained > 0 {
+            train_loss /= trained as f64;
+        }
+
+        // 3. Subgroup aggregation, gated by the live Raft state.
+        let fed_leader = self.dep.fed_leader();
+        let num_groups = self.dep.subgroups.len();
+        let mut leaders = Vec::with_capacity(num_groups);
+        let mut group_avgs = Vec::new();
+        let mut group_counts = Vec::new();
+        for g in 0..num_groups {
+            let leader = self.dep.sub_leader_of(g).filter(|&l| {
+                self.dep.sim.actor::<HierActor>(l).is_fed_member()
+            });
+            leaders.push(leader);
+            let Some(leader) = leader else { continue }; // slow subgroup
+            let members = self.dep.subgroups[g].clone();
+            let leader_pos = members.iter().position(|&m| m == leader).unwrap();
+            // Crashed members never shared this round.
+            let dropouts: Vec<Dropout> = members
+                .iter()
+                .enumerate()
+                .filter(|(_, &m)| self.dep.sim.is_crashed(m))
+                .map(|(pos, _)| Dropout { peer: pos, phase: DropPhase::BeforeShare })
+                .collect();
+            let alive = members.len() - dropouts.len();
+            if alive == 0 {
+                leaders[g] = None;
+                continue;
+            }
+            let k = self.cfg.threshold.min(alive).max(1);
+            let models: Vec<WeightVector> = members
+                .iter()
+                .map(|&m| WeightVector::new(self.clients[m.index()].params()))
+                .collect();
+            match fault_tolerant_secure_average(
+                &models,
+                k,
+                leader_pos,
+                &dropouts,
+                self.cfg.scheme,
+                &mut self.rng,
+            ) {
+                Ok(out) => {
+                    self.log.absorb(&out.log);
+                    let count: usize = out
+                        .contributors
+                        .iter()
+                        .map(|&pos| self.clients[members[pos].index()].num_samples())
+                        .sum();
+                    group_avgs.push(out.average.into_inner());
+                    group_counts.push(count);
+                }
+                Err(_) => {
+                    leaders[g] = None;
+                }
+            }
+        }
+        let groups_used = group_avgs.len();
+
+        // 4. FedAvg at the FedAvg leader; subgroup leaders upload. The
+        //    leader also commits the round number to the FedAvg-layer log,
+        //    sequencing rounds across leader changes (the log-replication
+        //    use the paper describes alongside the config replication).
+        if let Some(fl) = fed_leader {
+            if groups_used > 0 {
+                self.dep.sim.exec::<HierActor, _, _>(fl, |a, ctx| {
+                    let _ = a.propose_fed(ctx, round as u64);
+                });
+            }
+        }
+        if groups_used > 0 && fed_leader.is_some() {
+            for _ in 1..groups_used {
+                self.log.record("fedavg.upload", self.model_bytes());
+            }
+            self.global = fedavg(&group_avgs, &group_counts);
+            // 5. Broadcast back down.
+            for (g, leader) in leaders.iter().enumerate() {
+                if leader.is_some() && Some(self.dep.subgroups[g][0]) != fed_leader {
+                    self.log.record("fedavg.download", self.model_bytes());
+                }
+                let live_members = self.dep.subgroups[g]
+                    .iter()
+                    .filter(|&&m| !self.dep.sim.is_crashed(m))
+                    .count();
+                for _ in 1..live_members.max(1) {
+                    self.log.record("bcast.member", self.model_bytes());
+                }
+            }
+            self.push_global();
+        }
+
+        // 6. Evaluate.
+        self.eval_model.set_params_flat(&self.global);
+        let (test_loss, test_accuracy) = evaluate(&mut self.eval_model, test, 256);
+        ResilientRound {
+            record: RoundRecord {
+                round,
+                train_loss,
+                test_loss,
+                test_accuracy,
+                bytes: self.log.bytes() - bytes_before,
+                groups_used,
+            },
+            leaders,
+            fed_leader,
+        }
+    }
+
+    /// Runs `rounds` rounds.
+    pub fn run(&mut self, rounds: usize, test: &Dataset) -> Vec<ResilientRound> {
+        (1..=rounds).map(|r| self.run_round(r, test)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2pfl_ml::data::{features_like, partition_dataset, train_test_split, Partition};
+    use p2pfl_ml::models::mlp;
+
+    fn build(seed: u64) -> (ResilientSession, Dataset) {
+        let cfg = ResilientConfig::small(seed);
+        let n_total = cfg.deployment.total_peers();
+        let (train, test) = train_test_split(&features_like(16, n_total * 50 + 300, seed), n_total * 50);
+        let parts = partition_dataset(&train, n_total, Partition::Iid, seed + 1);
+        let mut rng = StdRng::seed_from_u64(seed + 2);
+        let clients: Vec<Client> = parts
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| Client::new(i, mlp(&[16, 24, 10], &mut rng), d, 5e-3, seed + 10 + i as u64))
+            .collect();
+        let eval = mlp(&[16, 24, 10], &mut rng);
+        (ResilientSession::new(cfg, clients, eval), test)
+    }
+
+    #[test]
+    fn healthy_session_uses_all_groups_and_learns() {
+        let (mut s, test) = build(1);
+        let rounds = s.run(12, &test);
+        assert!(rounds.iter().all(|r| r.record.groups_used == 3));
+        assert!(rounds.iter().all(|r| r.fed_leader.is_some()));
+        let first = rounds.first().unwrap().record.test_accuracy;
+        let last = rounds.last().unwrap().record.test_accuracy;
+        assert!(last > first, "accuracy {first:.3} -> {last:.3}");
+    }
+
+    #[test]
+    fn follower_crash_is_tolerated_by_ft_sac() {
+        let (mut s, test) = build(2);
+        s.run(2, &test);
+        // Crash a follower (not a subgroup leader).
+        let leader0 = s.dep.sub_leader_of(0).unwrap();
+        let victim = *s.dep.subgroups[0].iter().find(|&&m| m != leader0).unwrap();
+        s.crash(victim);
+        let r = s.run_round(3, &test);
+        assert_eq!(r.record.groups_used, 3, "k-out-of-n must absorb the loss");
+    }
+
+    #[test]
+    fn leader_crash_recovers_via_election() {
+        let (mut s, test) = build(3);
+        s.run(2, &test);
+        let victim = s.dep.sub_leader_of(1).unwrap();
+        s.crash(victim);
+        // The settle window lets Raft elect a replacement and join it to
+        // the FedAvg layer; aggregation then proceeds with all groups.
+        let r = s.run_round(3, &test);
+        assert!(r.record.groups_used >= 2);
+        let r = s.run_round(4, &test);
+        assert_eq!(r.record.groups_used, 3, "leaders: {:?}", r.leaders);
+        assert_ne!(r.leaders[1], Some(victim));
+    }
+
+    #[test]
+    fn fed_leader_crash_rebuilds_whole_backend() {
+        let (mut s, test) = build(4);
+        s.run(2, &test);
+        let victim = s.dep.fed_leader().unwrap();
+        s.crash(victim);
+        let _ = s.run_round(3, &test);
+        let r = s.run_round(4, &test);
+        assert!(r.fed_leader.is_some());
+        assert_ne!(r.fed_leader, Some(victim));
+        assert_eq!(r.record.groups_used, 3, "leaders: {:?}", r.leaders);
+    }
+
+    #[test]
+    fn round_markers_commit_to_the_fed_log() {
+        let (mut s, test) = build(6);
+        s.run(3, &test);
+        // Let the commit propagate, then check every subgroup leader's
+        // applied FedAvg-layer commands contain the round sequence.
+        s.dep.sim.run_for(SimDuration::from_millis(500));
+        for g in 0..3 {
+            let leader = s.dep.sub_leader_of(g).unwrap();
+            let a = s.dep.sim.actor::<HierActor>(leader);
+            assert_eq!(a.fed_cmds_applied, vec![1, 2, 3], "subgroup {g}");
+        }
+    }
+
+    #[test]
+    fn restarted_peer_rejoins_training() {
+        let (mut s, test) = build(5);
+        s.run(1, &test);
+        let leader0 = s.dep.sub_leader_of(0).unwrap();
+        let victim = *s.dep.subgroups[0].iter().find(|&&m| m != leader0).unwrap();
+        s.crash(victim);
+        s.run(2, &test);
+        s.restart(victim);
+        let r = s.run_round(5, &test);
+        assert_eq!(r.record.groups_used, 3);
+        // The restarted peer participates again (its model got the global
+        // push and its subgroup aggregated all members).
+        assert!(!s.dep.sim.is_crashed(victim));
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the cost model (paper Sec. VII).
+
+use p2pfl::cost::{
+    even_groups, multilayer_total_peers, multilayer_units_eq10, sac_baseline_units,
+    two_layer_ft_units_eq5, two_layer_ft_units_exact, two_layer_units_eq4,
+    two_layer_units_exact, two_layer_units_fed_sac,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// even_groups conserves peers, never differs by more than one, and
+    /// is sorted descending.
+    #[test]
+    fn even_groups_invariants(n_total in 1usize..200, m_off in 0usize..200) {
+        let m = 1 + m_off % n_total;
+        let groups = even_groups(n_total, m);
+        prop_assert_eq!(groups.len(), m);
+        prop_assert_eq!(groups.iter().sum::<usize>(), n_total);
+        let max = *groups.iter().max().unwrap();
+        let min = *groups.iter().min().unwrap();
+        prop_assert!(max - min <= 1);
+        prop_assert!(groups.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    /// Eq. 4 equals the exact formula whenever groups are equal.
+    #[test]
+    fn eq4_is_exact_special_case(m in 1usize..20, n in 1usize..20) {
+        prop_assert_eq!(two_layer_units_eq4(m, n), two_layer_units_exact(&vec![n; m]));
+    }
+
+    /// Eq. 5 with k = n collapses to Eq. 4, and redundancy (smaller k)
+    /// only ever costs more.
+    #[test]
+    fn eq5_monotone_in_redundancy(n in 2usize..12, m in 1usize..10) {
+        let n_total = n * m;
+        let mut prev = two_layer_ft_units_eq5(n, n, n_total);
+        prop_assert_eq!(prev, two_layer_units_eq4(m, n));
+        for k in (1..n).rev() {
+            let cost = two_layer_ft_units_eq5(n, k, n_total);
+            prop_assert!(cost >= prev, "k={k}: {cost} < {prev}");
+            prev = cost;
+        }
+    }
+
+    /// The exact uneven-group FT formula agrees with Eq. 5 on even groups.
+    #[test]
+    fn ft_exact_matches_eq5_for_even_groups(n in 1usize..12, m in 1usize..10, k_off in 0usize..12) {
+        let k = 1 + k_off % n;
+        prop_assert_eq!(
+            two_layer_ft_units_exact(&vec![n; m], k),
+            two_layer_ft_units_eq5(n, k, n * m)
+        );
+    }
+
+    /// The two-layer system always beats one-layer SAC once N is large
+    /// enough relative to n (the paper's scalability claim), for every
+    /// valid (n, k).
+    #[test]
+    fn two_layer_beats_baseline_at_scale(n in 3usize..8, k_off in 0usize..8, m in 4usize..20) {
+        let k = 1 + k_off % n;
+        let n_total = n * m;
+        let two = two_layer_ft_units_eq5(n, k, n_total);
+        let base = sac_baseline_units(n_total);
+        prop_assert!(two < base, "n={n} k={k} N={n_total}: {two} >= {base}");
+    }
+
+    /// Fed-layer SAC costs strictly more than plain FedAvg in the upper
+    /// layer (for m > 1) but stays below one-layer SAC at scale.
+    #[test]
+    fn fed_sac_premium_is_bounded(n in 3usize..8, m in 2usize..15) {
+        let plain = two_layer_units_eq4(m, n);
+        let strong = two_layer_units_fed_sac(m, n);
+        prop_assert!(strong > plain);
+        prop_assert_eq!(strong - plain, (m * m - m) as f64);
+        if m >= 4 {
+            prop_assert!(strong < sac_baseline_units(n * m));
+        }
+    }
+
+    /// Eq. 10 growth: multilayer cost is O(nN) — the cost per peer is
+    /// bounded by (n + 2) exactly.
+    #[test]
+    fn eq10_cost_per_peer_is_constant(n in 2usize..6, layers in 1usize..5) {
+        let n_total = multilayer_total_peers(n, layers);
+        let per_peer = multilayer_units_eq10(n, layers) / n_total as f64;
+        prop_assert!(per_peer < (n + 2) as f64);
+        prop_assert!(per_peer >= (n + 2) as f64 * (1.0 - 1.0 / n_total as f64) - 1e-9);
+    }
+}

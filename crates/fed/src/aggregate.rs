@@ -1,0 +1,65 @@
+//! FedAvg — sample-weighted model averaging (paper Sec. III-A).
+
+/// Computes the FedAvg aggregate `Σ (n_k / n) w_k` over flat parameter
+/// vectors, weighting each client's model by its sample count.
+///
+/// Panics if inputs are empty, lengths mismatch, or all counts are zero.
+pub fn fedavg(models: &[Vec<f64>], sample_counts: &[usize]) -> Vec<f64> {
+    assert!(!models.is_empty(), "fedavg over zero models");
+    assert_eq!(models.len(), sample_counts.len(), "count mismatch");
+    let dim = models[0].len();
+    assert!(models.iter().all(|m| m.len() == dim), "dimension mismatch");
+    let total: usize = sample_counts.iter().sum();
+    assert!(total > 0, "all sample counts are zero");
+    let mut out = vec![0.0f64; dim];
+    for (m, &c) in models.iter().zip(sample_counts) {
+        let w = c as f64 / total as f64;
+        for (o, &v) in out.iter_mut().zip(m) {
+            *o += w * v;
+        }
+    }
+    out
+}
+
+/// Unweighted mean of flat parameter vectors (FedAvg with equal counts).
+pub fn mean(models: &[Vec<f64>]) -> Vec<f64> {
+    let counts = vec![1usize; models.len()];
+    fedavg(models, &counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_counts_is_plain_mean() {
+        let models = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        assert_eq!(fedavg(&models, &[5, 5]), vec![2.0, 3.0]);
+        assert_eq!(mean(&models), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn weighting_follows_sample_counts() {
+        let models = vec![vec![0.0], vec![10.0]];
+        // 1:3 weighting -> 7.5
+        assert_eq!(fedavg(&models, &[1, 3]), vec![7.5]);
+    }
+
+    #[test]
+    fn single_model_is_identity() {
+        let models = vec![vec![1.5, -2.5]];
+        assert_eq!(fedavg(&models, &[42]), models[0]);
+    }
+
+    #[test]
+    fn zero_count_model_is_ignored() {
+        let models = vec![vec![100.0], vec![2.0]];
+        assert_eq!(fedavg(&models, &[0, 1]), vec![2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "all sample counts are zero")]
+    fn all_zero_counts_panics() {
+        fedavg(&[vec![1.0]], &[0]);
+    }
+}

@@ -1,0 +1,17 @@
+//! # p2pfl-fed — federated averaging substrate
+//!
+//! Classic FedAvg (paper Sec. III-A): sample-weighted model averaging
+//! ([`fedavg`]), a [`Client`] abstraction holding a private dataset and an
+//! Adam optimizer, and a centralized [`FedAvgSession`] round loop that the
+//! two-layer system composes and benchmarks against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aggregate;
+mod client;
+mod round;
+
+pub use aggregate::{fedavg, mean};
+pub use client::{Client, LocalTrainConfig};
+pub use round::{FedAvgSession, RoundRecord};

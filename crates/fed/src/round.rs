@@ -1,0 +1,192 @@
+//! Centralized FedAvg round loop — the classic server-based FL baseline and
+//! the building block the two-layer system composes.
+
+use crate::aggregate::fedavg;
+use crate::client::{Client, LocalTrainConfig};
+use p2pfl_ml::data::Dataset;
+use p2pfl_ml::metrics::evaluate;
+use p2pfl_ml::Sequential;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-round record of the global model's quality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundRecord {
+    /// Round number (1-based).
+    pub round: usize,
+    /// Mean training loss reported by the participating clients.
+    pub train_loss: f64,
+    /// Test loss of the aggregated global model.
+    pub test_loss: f64,
+    /// Test accuracy of the aggregated global model.
+    pub test_accuracy: f64,
+}
+
+/// A FedAvg training session over a set of clients.
+pub struct FedAvgSession {
+    clients: Vec<Client>,
+    global: Vec<f64>,
+    eval_model: Sequential,
+    cfg: LocalTrainConfig,
+    rng: StdRng,
+    /// Fraction of clients sampled each round (1.0 = all).
+    pub client_fraction: f64,
+}
+
+impl FedAvgSession {
+    /// Creates a session. `eval_model` is an architecture twin used to
+    /// evaluate the global parameters; its initial parameters become the
+    /// initial global model that is pushed to every client.
+    pub fn new(clients: Vec<Client>, eval_model: Sequential, cfg: LocalTrainConfig, seed: u64) -> Self {
+        assert!(!clients.is_empty(), "need at least one client");
+        let global = eval_model.params_flat();
+        let mut s = FedAvgSession {
+            clients,
+            global,
+            eval_model,
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            client_fraction: 1.0,
+        };
+        s.push_global();
+        s
+    }
+
+    /// The current global parameters.
+    pub fn global(&self) -> &[f64] {
+        &self.global
+    }
+
+    /// Number of clients.
+    pub fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    fn push_global(&mut self) {
+        for c in &mut self.clients {
+            c.set_params(&self.global);
+        }
+    }
+
+    /// Samples the participating clients for one round.
+    fn sample_round(&mut self) -> Vec<usize> {
+        let n = self.clients.len();
+        let take = ((n as f64 * self.client_fraction).round() as usize).clamp(1, n);
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = self.rng.random_range(0..=i);
+            idx.swap(i, j);
+        }
+        idx.truncate(take);
+        idx.sort_unstable();
+        idx
+    }
+
+    /// Runs one round: local updates on the sampled clients, FedAvg, global
+    /// distribution, evaluation on `test`.
+    pub fn run_round(&mut self, round: usize, test: &Dataset) -> RoundRecord {
+        let selected = self.sample_round();
+        let mut models = Vec::with_capacity(selected.len());
+        let mut counts = Vec::with_capacity(selected.len());
+        let mut train_loss = 0.0f64;
+        for &i in &selected {
+            let c = &mut self.clients[i];
+            let (loss, _) = c.local_update(self.cfg);
+            train_loss += loss;
+            models.push(c.params());
+            counts.push(c.num_samples());
+        }
+        train_loss /= selected.len() as f64;
+        self.global = fedavg(&models, &counts);
+        self.push_global();
+        self.eval_model.set_params_flat(&self.global);
+        let (test_loss, test_accuracy) = evaluate(&mut self.eval_model, test, 128);
+        RoundRecord { round, train_loss, test_loss, test_accuracy }
+    }
+
+    /// Runs `rounds` rounds, returning the per-round records.
+    pub fn run(&mut self, rounds: usize, test: &Dataset) -> Vec<RoundRecord> {
+        (1..=rounds).map(|r| self.run_round(r, test)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2pfl_ml::data::{features_like, partition_dataset, train_test_split, Partition};
+    use p2pfl_ml::models::mlp;
+
+    fn session(num_clients: usize, partition: Partition, seed: u64) -> (FedAvgSession, Dataset) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Train and test share prototypes (single draw, then split).
+        let (train, test) = train_test_split(&features_like(16, 900, seed), 600);
+        let parts = partition_dataset(&train, num_clients, partition, seed + 2);
+        let clients: Vec<Client> = parts
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let model = mlp(&[16, 24, 10], &mut rng);
+                Client::new(i, model, d, 5e-3, seed + 10 + i as u64)
+            })
+            .collect();
+        let eval = mlp(&[16, 24, 10], &mut rng);
+        let cfg = LocalTrainConfig { epochs: 1, batch_size: 32 };
+        (FedAvgSession::new(clients, eval, cfg, seed + 50), test)
+    }
+
+    #[test]
+    fn fedavg_learns_iid() {
+        let (mut s, test) = session(4, Partition::Iid, 1);
+        let records = s.run(25, &test);
+        let first = records.first().unwrap();
+        let last = records.last().unwrap();
+        assert!(
+            last.test_accuracy > first.test_accuracy + 0.15,
+            "accuracy {:.3} -> {:.3}",
+            first.test_accuracy,
+            last.test_accuracy
+        );
+        assert!(last.test_loss < first.test_loss);
+    }
+
+    #[test]
+    fn global_model_is_shared_after_round() {
+        let (mut s, test) = session(3, Partition::Iid, 2);
+        s.run_round(1, &test);
+        let g = s.global().to_vec();
+        for c in &s.clients {
+            // Clients store f32, so compare up to the quantization error.
+            let max_err = c
+                .params()
+                .iter()
+                .zip(&g)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            assert!(max_err < 1e-6, "client diverged from global by {max_err}");
+        }
+    }
+
+    #[test]
+    fn client_fraction_samples_subset() {
+        let (mut s, _) = session(10, Partition::Iid, 3);
+        s.client_fraction = 0.3;
+        let picked = s.sample_round();
+        assert_eq!(picked.len(), 3);
+        let mut sorted = picked.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3, "no duplicates");
+    }
+
+    #[test]
+    fn non_iid_converges_slower_than_iid() {
+        let rounds = 20;
+        let (mut iid, test) = session(4, Partition::Iid, 4);
+        let (mut skew, _) = session(4, Partition::NON_IID_0, 4);
+        let a_iid = iid.run(rounds, &test).last().unwrap().test_accuracy;
+        let a_skew = skew.run(rounds, &test).last().unwrap().test_accuracy;
+        assert!(
+            a_iid >= a_skew,
+            "IID {a_iid:.3} should beat Non-IID(0%) {a_skew:.3}"
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Sample-count weighting through the full FedAvg session — the `n_k / n`
+//! factor of the paper's Sec. III-A update law, verified end-to-end with
+//! uneven client datasets.
+
+use p2pfl_fed::{fedavg, Client, FedAvgSession, LocalTrainConfig};
+use p2pfl_ml::data::{features_like, train_test_split, Dataset};
+use p2pfl_ml::models::mlp;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn shard(d: &Dataset, from: usize, count: usize) -> Dataset {
+    let idx: Vec<usize> = (from..from + count).collect();
+    d.subset(&idx)
+}
+
+#[test]
+fn global_model_is_the_sample_weighted_mean_of_locals() {
+    // Three clients with 30 / 60 / 90 samples: after one round the global
+    // parameters must equal Σ (n_k / n) w_k over the *post-training*
+    // locals, not the unweighted mean.
+    let (train, test) = train_test_split(&features_like(8, 480, 1), 180);
+    let mut rng = StdRng::seed_from_u64(2);
+    let counts = [30usize, 60, 90];
+    let mut from = 0;
+    let mut clients = Vec::new();
+    for (i, &c) in counts.iter().enumerate() {
+        clients.push(Client::new(
+            i,
+            mlp(&[8, 6, 10], &mut rng),
+            shard(&train, from, c),
+            5e-3,
+            3 + i as u64,
+        ));
+        from += c;
+    }
+    let eval = mlp(&[8, 6, 10], &mut rng);
+    let cfg = LocalTrainConfig { epochs: 1, batch_size: 16 };
+    let mut session = FedAvgSession::new(clients, eval, cfg, 4);
+
+    // Reference run: replicate the exact same training with twin clients.
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut from = 0;
+    let mut twins = Vec::new();
+    for (i, &c) in counts.iter().enumerate() {
+        twins.push(Client::new(
+            i,
+            mlp(&[8, 6, 10], &mut rng),
+            shard(&train, from, c),
+            5e-3,
+            3 + i as u64,
+        ));
+        from += c;
+    }
+    let eval_twin = mlp(&[8, 6, 10], &mut rng);
+    let init = eval_twin.params_flat();
+    for t in &mut twins {
+        t.set_params(&init);
+        t.local_update(cfg);
+    }
+    let locals: Vec<Vec<f64>> = twins.iter().map(|t| t.params()).collect();
+    let expected = fedavg(&locals, &counts);
+
+    session.run_round(1, &test);
+    let max_err = session
+        .global()
+        .iter()
+        .zip(&expected)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(max_err < 1e-9, "weighted-mean mismatch: {max_err}");
+
+    // Sanity: the unweighted mean differs, so the test has teeth.
+    let unweighted = fedavg(&locals, &[1, 1, 1]);
+    let diff = expected
+        .iter()
+        .zip(&unweighted)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(diff > 1e-6, "weighting did not matter; test is vacuous");
+}
+
+#[test]
+fn session_with_uneven_shards_still_learns() {
+    let (train, test) = train_test_split(&features_like(16, 700, 5), 400);
+    let mut rng = StdRng::seed_from_u64(6);
+    let counts = [40usize, 120, 240];
+    let mut from = 0;
+    let mut clients = Vec::new();
+    for (i, &c) in counts.iter().enumerate() {
+        clients.push(Client::new(
+            i,
+            mlp(&[16, 24, 10], &mut rng),
+            shard(&train, from, c),
+            5e-3,
+            7 + i as u64,
+        ));
+        from += c;
+    }
+    let eval = mlp(&[16, 24, 10], &mut rng);
+    let mut session =
+        FedAvgSession::new(clients, eval, LocalTrainConfig { epochs: 1, batch_size: 32 }, 8);
+    let records = session.run(25, &test);
+    let first = records.first().unwrap().test_accuracy;
+    let last = records.last().unwrap().test_accuracy;
+    assert!(last > first + 0.15, "accuracy {first:.3} -> {last:.3}");
+}

@@ -1,0 +1,538 @@
+//! The two-layer peer: a subgroup Raft participant that, while leading its
+//! subgroup, also participates in the FedAvg-layer Raft.
+//!
+//! Implements the paper's Sec. V mechanics:
+//!
+//! * every peer runs its subgroup's Raft;
+//! * the subgroup leader joins the FedAvg-layer Raft, and periodically
+//!   commits the FedAvg-layer configuration into its subgroup log;
+//! * the post-leader-election callback: a newly elected subgroup leader
+//!   reads that replicated configuration and asks the FedAvg leader to
+//!   admit it (replacing its subgroup's crashed representative) via the
+//!   cluster-membership-change protocol;
+//! * a pending joiner polls for a FedAvg leader on a fixed interval (the
+//!   paper uses 100 ms) until an election over there produces one.
+//!
+//! Deviation noted for reviewers: when handling a join, the FedAvg leader
+//! proposes `RemoveServer(old)` and `AddServer(new)` back-to-back instead
+//! of waiting for the first change to commit; with a single proposer this
+//! is safe in our setting and keeps recovery latency low.
+
+use crate::config::{FedCmd, FedConfig, HierMsg, HierPeerConfig, SubCmd};
+use p2pfl_raft::{Effect, Entry, LogCmd, RaftConfig, RaftNode};
+use p2pfl_simnet::{Actor, Context, NodeId, SimDuration, SimTime, TimerId};
+
+const TIMER_SUB_ELECTION: u64 = 1;
+const TIMER_SUB_HEARTBEAT: u64 = 2;
+const TIMER_FED_ELECTION: u64 = 3;
+const TIMER_FED_HEARTBEAT: u64 = 4;
+const TIMER_CONFIG_TICK: u64 = 5;
+const TIMER_JOIN_TICK: u64 = 6;
+
+/// A peer in the two-layer Raft deployment.
+pub struct HierActor {
+    cfg: HierPeerConfig,
+    sub: RaftNode<SubCmd>,
+    fed: Option<RaftNode<FedCmd>>,
+    sub_election_timer: Option<TimerId>,
+    sub_heartbeat_timer: Option<TimerId>,
+    fed_election_timer: Option<TimerId>,
+    fed_heartbeat_timer: Option<TimerId>,
+    join_tick_timer: Option<TimerId>,
+    config_tick_armed: bool,
+    config_version: u64,
+    join_target: Option<NodeId>,
+    join_round_robin: usize,
+    /// Latest FedAvg-layer configuration this peer knows (deployment-time
+    /// founding config until a replicated update commits).
+    pub fed_config: FedConfig,
+    /// Times at which this peer won its subgroup election.
+    pub sub_leader_history: Vec<SimTime>,
+    /// Times at which this peer won the FedAvg-layer election.
+    pub fed_leader_history: Vec<SimTime>,
+    /// When this peer's join request was accepted.
+    pub join_ack_at: Option<SimTime>,
+    /// When this peer's FedAvg-layer Raft instance became active.
+    pub fed_active_at: Option<SimTime>,
+    /// FedAvg-layer commands applied, in order.
+    pub fed_cmds_applied: Vec<FedCmd>,
+    /// Subgroup application commands applied, in order.
+    pub sub_cmds_applied: Vec<u64>,
+}
+
+impl HierActor {
+    /// Creates the peer. Founding FedAvg-layer members activate their
+    /// FedAvg-layer Raft at startup and get a shortened first subgroup
+    /// election timeout so the genesis subgroup leaders coincide with the
+    /// founding configuration (the paper starts from such a stable state).
+    pub fn new(cfg: HierPeerConfig) -> Self {
+        let sub_cfg = RaftConfig {
+            id: cfg.id,
+            initial_cluster: cfg.subgroup.clone(),
+            election_timeout_min: cfg.t,
+            election_timeout_max: cfg.t.saturating_mul(2),
+            heartbeat_interval: cfg.heartbeat,
+            seed: cfg.seed ^ 0x5ab,
+            pre_vote: true,
+        };
+        let fed_config = FedConfig {
+            founding: cfg.founding_fed.clone(),
+            current: cfg.founding_fed.clone(),
+            version: 0,
+        };
+        HierActor {
+            sub: RaftNode::new(sub_cfg),
+            fed: None,
+            sub_election_timer: None,
+            sub_heartbeat_timer: None,
+            fed_election_timer: None,
+            fed_heartbeat_timer: None,
+            join_tick_timer: None,
+            config_tick_armed: false,
+            config_version: 0,
+            join_target: None,
+            join_round_robin: 0,
+            fed_config,
+            sub_leader_history: Vec::new(),
+            fed_leader_history: Vec::new(),
+            join_ack_at: None,
+            fed_active_at: None,
+            fed_cmds_applied: Vec::new(),
+            sub_cmds_applied: Vec::new(),
+            cfg,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors used by experiments, tests, and the aggregation system
+    // ------------------------------------------------------------------
+
+    /// This peer's id.
+    pub fn id(&self) -> NodeId {
+        self.cfg.id
+    }
+
+    /// Whether this peer currently leads its subgroup.
+    pub fn is_sub_leader(&self) -> bool {
+        self.sub.is_leader()
+    }
+
+    /// Whether this peer currently leads the FedAvg layer.
+    pub fn is_fed_leader(&self) -> bool {
+        self.fed.as_ref().is_some_and(|f| f.is_leader())
+    }
+
+    /// Whether this peer's FedAvg-layer Raft instance is active.
+    pub fn is_fed_member(&self) -> bool {
+        self.fed.is_some()
+    }
+
+    /// The subgroup Raft state.
+    pub fn sub_raft(&self) -> &RaftNode<SubCmd> {
+        &self.sub
+    }
+
+    /// The FedAvg-layer Raft state, if active.
+    pub fn fed_raft(&self) -> Option<&RaftNode<FedCmd>> {
+        self.fed.as_ref()
+    }
+
+    /// Proposes an application command on the FedAvg layer (leader only).
+    pub fn propose_fed(
+        &mut self,
+        ctx: &mut Context<'_, HierMsg>,
+        cmd: FedCmd,
+    ) -> Result<(), &'static str> {
+        let Some(fed) = self.fed.as_mut() else {
+            return Err("not a FedAvg-layer member");
+        };
+        match fed.propose(LogCmd::App(cmd)) {
+            Ok((_, eff)) => {
+                self.run_fed_effects(ctx, eff);
+                Ok(())
+            }
+            Err(_) => Err("not the FedAvg leader"),
+        }
+    }
+
+    /// Proposes an application command on the subgroup (leader only).
+    pub fn propose_sub(
+        &mut self,
+        ctx: &mut Context<'_, HierMsg>,
+        cmd: u64,
+    ) -> Result<(), &'static str> {
+        match self.sub.propose(LogCmd::App(SubCmd::App(cmd))) {
+            Ok((_, eff)) => {
+                self.run_sub_effects(ctx, eff);
+                Ok(())
+            }
+            Err(_) => Err("not the subgroup leader"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Effect plumbing
+    // ------------------------------------------------------------------
+
+    fn arm(
+        ctx: &mut Context<'_, HierMsg>,
+        slot: &mut Option<TimerId>,
+        d: SimDuration,
+        tag: u64,
+    ) {
+        if let Some(t) = slot.take() {
+            ctx.cancel_timer(t);
+        }
+        *slot = Some(ctx.set_timer(d, tag));
+    }
+
+    fn run_sub_effects(&mut self, ctx: &mut Context<'_, HierMsg>, effects: Vec<Effect<SubCmd>>) {
+        for e in effects {
+            match e {
+                Effect::Send(to, msg) => ctx.send(to, HierMsg::Sub(msg)),
+                Effect::ArmElectionTimer(d) => {
+                    Self::arm(ctx, &mut self.sub_election_timer, d, TIMER_SUB_ELECTION)
+                }
+                Effect::ArmHeartbeatTimer(d) => {
+                    Self::arm(ctx, &mut self.sub_heartbeat_timer, d, TIMER_SUB_HEARTBEAT)
+                }
+                Effect::Commit(entry) => self.apply_sub_entry(ctx, &entry),
+                Effect::BecameLeader(_) => {
+                    self.sub_leader_history.push(ctx.now());
+                    self.on_became_sub_leader(ctx);
+                }
+                // Subgroup logs are tiny (configs + round markers); this
+                // deployment never compacts them.
+                Effect::RestoreSnapshot(_) => {}
+                Effect::SteppedDown(_) | Effect::ConfigChanged(_) => {}
+            }
+        }
+    }
+
+    fn run_fed_effects(&mut self, ctx: &mut Context<'_, HierMsg>, effects: Vec<Effect<FedCmd>>) {
+        for e in effects {
+            match e {
+                Effect::Send(to, msg) => ctx.send(to, HierMsg::Fed(msg)),
+                Effect::ArmElectionTimer(d) => {
+                    Self::arm(ctx, &mut self.fed_election_timer, d, TIMER_FED_ELECTION)
+                }
+                Effect::ArmHeartbeatTimer(d) => {
+                    Self::arm(ctx, &mut self.fed_heartbeat_timer, d, TIMER_FED_HEARTBEAT)
+                }
+                Effect::Commit(entry) => {
+                    if let LogCmd::App(v) = entry.cmd {
+                        self.fed_cmds_applied.push(v);
+                    }
+                }
+                Effect::BecameLeader(_) => self.fed_leader_history.push(ctx.now()),
+                Effect::ConfigChanged(cluster) => {
+                    // A replicated membership change removed this peer from
+                    // the FedAvg layer (its subgroup elected a replacement
+                    // while it was down): retire gracefully.
+                    if !cluster.contains(&self.cfg.id) {
+                        self.fed = None;
+                        for slot in [&mut self.fed_election_timer, &mut self.fed_heartbeat_timer] {
+                            if let Some(t) = slot.take() {
+                                ctx.cancel_timer(t);
+                            }
+                        }
+                        return;
+                    }
+                }
+                Effect::RestoreSnapshot(_) => {}
+                Effect::SteppedDown(_) => {}
+            }
+        }
+    }
+
+    fn apply_sub_entry(&mut self, ctx: &mut Context<'_, HierMsg>, entry: &Entry<SubCmd>) {
+        match &entry.cmd {
+            LogCmd::App(SubCmd::FedConfig(c)) => {
+                if c.version >= self.fed_config.version {
+                    self.fed_config = c.clone();
+                }
+                // A restarted ex-representative learns through its
+                // subgroup log that the FedAvg layer moved on without it:
+                // retire the stale FedAvg-layer instance.
+                if self.fed.is_some()
+                    && !self.sub.is_leader()
+                    && !self.fed_config.current.contains(&self.cfg.id)
+                {
+                    self.fed = None;
+                    for slot in [&mut self.fed_election_timer, &mut self.fed_heartbeat_timer] {
+                        if let Some(t) = slot.take() {
+                            ctx.cancel_timer(t);
+                        }
+                    }
+                }
+            }
+            LogCmd::App(SubCmd::App(v)) => self.sub_cmds_applied.push(*v),
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Post-leader-election callback & join protocol (paper Sec. V-A1)
+    // ------------------------------------------------------------------
+
+    fn on_became_sub_leader(&mut self, ctx: &mut Context<'_, HierMsg>) {
+        if !self.config_tick_armed {
+            self.config_tick_armed = true;
+            ctx.set_timer(self.cfg.config_commit_interval, TIMER_CONFIG_TICK);
+        }
+        if self.fed.is_none() {
+            self.join_target = None;
+            self.send_join(ctx);
+            Self::arm(
+                ctx,
+                &mut self.join_tick_timer,
+                self.cfg.join_poll_interval,
+                TIMER_JOIN_TICK,
+            );
+        }
+    }
+
+    /// The FedAvg-layer member this peer would replace: the configured
+    /// representative of its own subgroup (normally the crashed previous
+    /// subgroup leader).
+    fn replaces(&self) -> Option<NodeId> {
+        self.fed_config
+            .current
+            .iter()
+            .copied()
+            .find(|m| *m != self.cfg.id && self.cfg.subgroup.contains(m))
+    }
+
+    fn send_join(&mut self, ctx: &mut Context<'_, HierMsg>) {
+        let candidates: Vec<NodeId> = self
+            .fed_config
+            .current
+            .iter()
+            .copied()
+            .filter(|&m| m != self.cfg.id)
+            .collect();
+        if candidates.is_empty() {
+            return;
+        }
+        // A leader hint is consumed by the send: if the hinted peer is
+        // itself dead (e.g. it was the crashed FedAvg leader), the next
+        // poll tick falls back to round-robin probing of the configured
+        // members instead of retrying the corpse forever.
+        let target = self.join_target.take().unwrap_or_else(|| {
+            let t = candidates[self.join_round_robin % candidates.len()];
+            self.join_round_robin += 1;
+            t
+        });
+        ctx.send(
+            target,
+            HierMsg::JoinRequest { from: self.cfg.id, replaces: self.replaces() },
+        );
+    }
+
+    fn activate_fed(&mut self, ctx: &mut Context<'_, HierMsg>) {
+        if self.fed.is_some() {
+            return;
+        }
+        let fed_cfg = RaftConfig {
+            id: self.cfg.id,
+            initial_cluster: self.fed_config.founding.clone(),
+            election_timeout_min: self.cfg.t,
+            election_timeout_max: self.cfg.t.saturating_mul(2),
+            heartbeat_interval: self.cfg.heartbeat,
+            seed: self.cfg.seed ^ 0xfed,
+            pre_vote: true,
+        };
+        let mut fed = RaftNode::new(fed_cfg);
+        let eff = fed.start();
+        self.fed = Some(fed);
+        self.fed_active_at = Some(ctx.now());
+        self.run_fed_effects(ctx, eff);
+        if let Some(t) = self.join_tick_timer.take() {
+            ctx.cancel_timer(t);
+        }
+    }
+
+    fn on_join_request(
+        &mut self,
+        ctx: &mut Context<'_, HierMsg>,
+        from: NodeId,
+        replaces: Option<NodeId>,
+    ) {
+        match self.fed.as_mut() {
+            Some(fed) if fed.is_leader() => {
+                let mut effects = Vec::new();
+                if let Some(r) = replaces {
+                    if r != from && fed.cluster().contains(&r) {
+                        if let Ok((_, eff)) = fed.propose(LogCmd::RemoveServer(r)) {
+                            effects.extend(eff);
+                        }
+                    }
+                }
+                if !fed.cluster().contains(&from) {
+                    if let Ok((_, eff)) = fed.propose(LogCmd::AddServer(from)) {
+                        effects.extend(eff);
+                    }
+                }
+                self.run_fed_effects(ctx, effects);
+                ctx.send(from, HierMsg::JoinAck { accepted: true, leader: Some(self.cfg.id) });
+            }
+            Some(fed) => {
+                let hint = fed.leader_hint().filter(|&l| l != self.cfg.id);
+                ctx.send(from, HierMsg::JoinAck { accepted: false, leader: hint });
+            }
+            None => {
+                ctx.send(from, HierMsg::JoinAck { accepted: false, leader: None });
+            }
+        }
+    }
+
+    fn on_join_ack(
+        &mut self,
+        ctx: &mut Context<'_, HierMsg>,
+        accepted: bool,
+        leader: Option<NodeId>,
+    ) {
+        if self.fed.is_some() || !self.sub.is_leader() {
+            return;
+        }
+        if accepted {
+            self.join_ack_at = Some(ctx.now());
+            self.activate_fed(ctx);
+        } else if let Some(l) = leader {
+            // Redirect immediately toward the hinted leader; the hint is
+            // one-shot (see `send_join`).
+            self.join_target = Some(l);
+            self.send_join(ctx);
+        }
+    }
+
+    fn on_config_tick(&mut self, ctx: &mut Context<'_, HierMsg>) {
+        self.config_tick_armed = false;
+        if !self.sub.is_leader() {
+            return;
+        }
+        if let Some(fed) = self.fed.as_ref() {
+            self.config_version += 1;
+            let cmd = SubCmd::FedConfig(FedConfig {
+                founding: self.fed_config.founding.clone(),
+                current: fed.cluster().to_vec(),
+                version: self.config_version,
+            });
+            if let Ok((_, eff)) = self.sub.propose(LogCmd::App(cmd)) {
+                self.run_sub_effects(ctx, eff);
+            }
+        }
+        self.config_tick_armed = true;
+        ctx.set_timer(self.cfg.config_commit_interval, TIMER_CONFIG_TICK);
+    }
+}
+
+impl Actor<HierMsg> for HierActor {
+    fn on_start(&mut self, ctx: &mut Context<'_, HierMsg>) {
+        let eff = self.sub.start();
+        self.run_sub_effects(ctx, eff);
+        if self.cfg.is_founding() {
+            // Shorten the genesis election so founding members win their
+            // subgroup's first election (see `new`).
+            let boost = SimDuration::from_nanos((self.cfg.t.as_nanos() / 20).max(1));
+            Self::arm(ctx, &mut self.sub_election_timer, boost, TIMER_SUB_ELECTION);
+            self.activate_fed(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, HierMsg>, from: NodeId, msg: HierMsg) {
+        match msg {
+            HierMsg::Sub(m) => {
+                let eff = self.sub.handle(from, m);
+                self.run_sub_effects(ctx, eff);
+            }
+            HierMsg::Fed(m) => {
+                if self.fed.is_none() {
+                    // The FedAvg leader can start replicating to us before
+                    // our JoinAck arrives; activate lazily if we are the
+                    // legitimate subgroup representative.
+                    if self.sub.is_leader() {
+                        self.activate_fed(ctx);
+                    } else {
+                        return; // stray traffic for a role we lost
+                    }
+                }
+                let eff = self.fed.as_mut().expect("just activated").handle(from, m);
+                self.run_fed_effects(ctx, eff);
+            }
+            HierMsg::JoinRequest { from: joiner, replaces } => {
+                self.on_join_request(ctx, joiner, replaces)
+            }
+            HierMsg::JoinAck { accepted, leader } => self.on_join_ack(ctx, accepted, leader),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, HierMsg>, tag: u64) {
+        match tag {
+            TIMER_SUB_ELECTION => {
+                self.sub_election_timer = None;
+                let eff = self.sub.on_election_timeout();
+                self.run_sub_effects(ctx, eff);
+            }
+            TIMER_SUB_HEARTBEAT => {
+                self.sub_heartbeat_timer = None;
+                let eff = self.sub.on_heartbeat_timeout();
+                self.run_sub_effects(ctx, eff);
+            }
+            TIMER_FED_ELECTION => {
+                self.fed_election_timer = None;
+                if let Some(fed) = self.fed.as_mut() {
+                    let eff = fed.on_election_timeout();
+                    self.run_fed_effects(ctx, eff);
+                }
+            }
+            TIMER_FED_HEARTBEAT => {
+                self.fed_heartbeat_timer = None;
+                if let Some(fed) = self.fed.as_mut() {
+                    let eff = fed.on_heartbeat_timeout();
+                    self.run_fed_effects(ctx, eff);
+                }
+            }
+            TIMER_CONFIG_TICK => self.on_config_tick(ctx),
+            TIMER_JOIN_TICK => {
+                self.join_tick_timer = None;
+                if self.fed.is_none() && self.sub.is_leader() {
+                    // Round-robin to the next candidate unless we have a
+                    // confirmed leader hint.
+                    self.send_join(ctx);
+                    Self::arm(
+                        ctx,
+                        &mut self.join_tick_timer,
+                        self.cfg.join_poll_interval,
+                        TIMER_JOIN_TICK,
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_crash(&mut self, _now: SimTime) {
+        self.sub_election_timer = None;
+        self.sub_heartbeat_timer = None;
+        self.fed_election_timer = None;
+        self.fed_heartbeat_timer = None;
+        self.join_tick_timer = None;
+        self.config_tick_armed = false;
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, HierMsg>) {
+        // Raft state is durable: if this peer held a FedAvg-layer seat, it
+        // rejoins that layer as a follower. If its subgroup elected a
+        // replacement in the meantime, the replacement's join commits a
+        // RemoveServer for this peer and the ConfigChanged handler retires
+        // it; until then its vote still counts toward FedAvg-layer quorum
+        // (matching hashicorp/raft's restart semantics).
+        if let Some(fed) = self.fed.as_mut() {
+            let eff = fed.handle_restart();
+            self.run_fed_effects(ctx, eff);
+        }
+        let eff = self.sub.handle_restart();
+        self.run_sub_effects(ctx, eff);
+    }
+}

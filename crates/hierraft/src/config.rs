@@ -1,0 +1,159 @@
+//! Types shared across the two-layer Raft: layer commands, the replicated
+//! FedAvg-layer configuration, the wrapped message enum, and per-peer
+//! configuration.
+
+use p2pfl_raft::{Command, RaftMsg};
+use p2pfl_simnet::{NodeId, Payload, SimDuration};
+
+/// The FedAvg-layer configuration that subgroup leaders periodically commit
+/// into their subgroup logs (paper Sec. V-A1: "IP addresses and IDs of
+/// peers in FedAvg layer").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FedConfig {
+    /// The founding FedAvg-layer membership. A joining node seeds its
+    /// FedAvg-layer Raft log from this set; replaying the replicated
+    /// membership-change entries then yields `current`.
+    pub founding: Vec<NodeId>,
+    /// The membership as of this commit.
+    pub current: Vec<NodeId>,
+    /// Monotone version counter.
+    pub version: u64,
+}
+
+/// Commands carried by a *subgroup* (SAC-layer) Raft log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubCmd {
+    /// The replicated FedAvg-layer configuration.
+    FedConfig(FedConfig),
+    /// An opaque application command (used by tests and the aggregation
+    /// system to sequence round numbers).
+    App(u64),
+}
+
+impl Command for SubCmd {
+    fn wire_bytes(&self) -> u64 {
+        match self {
+            SubCmd::FedConfig(c) => 16 + 8 * (c.founding.len() + c.current.len()) as u64,
+            SubCmd::App(_) => 8,
+        }
+    }
+}
+
+/// Commands carried by the *FedAvg-layer* Raft log (opaque round-control
+/// values as far as this crate is concerned).
+pub type FedCmd = u64;
+
+/// Every message a two-layer peer can receive.
+#[derive(Debug, Clone)]
+pub enum HierMsg {
+    /// Subgroup-layer Raft traffic.
+    Sub(RaftMsg<SubCmd>),
+    /// FedAvg-layer Raft traffic.
+    Fed(RaftMsg<FedCmd>),
+    /// A newly elected subgroup leader asks the FedAvg leader to admit it,
+    /// replacing its subgroup's previous (crashed) representative.
+    JoinRequest {
+        /// The joining subgroup leader.
+        from: NodeId,
+        /// The member it replaces, if the joiner knows one.
+        replaces: Option<NodeId>,
+    },
+    /// Response to a join request.
+    JoinAck {
+        /// Whether the join was accepted (sender was the FedAvg leader).
+        accepted: bool,
+        /// If rejected, the sender's best guess of the FedAvg leader —
+        /// the paper's "connect to the FedAvg leader directly or through
+        /// other FedAvg-layer followers".
+        leader: Option<NodeId>,
+    },
+}
+
+impl Payload for HierMsg {
+    fn size_bytes(&self) -> u64 {
+        match self {
+            HierMsg::Sub(m) => m.size_bytes(),
+            HierMsg::Fed(m) => m.size_bytes(),
+            HierMsg::JoinRequest { .. } => 24,
+            HierMsg::JoinAck { .. } => 16,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            HierMsg::Sub(_) => "hier.sub",
+            HierMsg::Fed(_) => "hier.fed",
+            HierMsg::JoinRequest { .. } => "hier.join_request",
+            HierMsg::JoinAck { .. } => "hier.join_ack",
+        }
+    }
+}
+
+/// Static configuration of one two-layer peer.
+#[derive(Debug, Clone)]
+pub struct HierPeerConfig {
+    /// This peer's id.
+    pub id: NodeId,
+    /// All members of this peer's subgroup (including itself).
+    pub subgroup: Vec<NodeId>,
+    /// Index of the subgroup within the deployment.
+    pub subgroup_index: usize,
+    /// The designated founding FedAvg-layer members, one per subgroup.
+    pub founding_fed: Vec<NodeId>,
+    /// Election timeout lower bound `T` (timeouts are `U(T, 2T)`).
+    pub t: SimDuration,
+    /// Leader heartbeat period.
+    pub heartbeat: SimDuration,
+    /// How often a subgroup leader re-commits the FedAvg-layer config.
+    pub config_commit_interval: SimDuration,
+    /// How often a pending joiner polls for a FedAvg leader (paper: 100 ms).
+    pub join_poll_interval: SimDuration,
+    /// Seed for timeout randomization.
+    pub seed: u64,
+}
+
+impl HierPeerConfig {
+    /// Whether this peer is a designated founding FedAvg-layer member.
+    pub fn is_founding(&self) -> bool {
+        self.founding_fed.contains(&self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subcmd_sizes() {
+        assert_eq!(SubCmd::App(1).wire_bytes(), 8);
+        let cfg = SubCmd::FedConfig(FedConfig {
+            founding: vec![NodeId(0), NodeId(5)],
+            current: vec![NodeId(0), NodeId(5)],
+            version: 1,
+        });
+        assert_eq!(cfg.wire_bytes(), 16 + 32);
+    }
+
+    #[test]
+    fn hiermsg_kinds() {
+        let j = HierMsg::JoinRequest { from: NodeId(1), replaces: None };
+        assert_eq!(j.kind(), "hier.join_request");
+        assert_eq!(j.size_bytes(), 24);
+    }
+
+    #[test]
+    fn founding_detection() {
+        let cfg = HierPeerConfig {
+            id: NodeId(0),
+            subgroup: vec![NodeId(0), NodeId(1)],
+            subgroup_index: 0,
+            founding_fed: vec![NodeId(0), NodeId(2)],
+            t: SimDuration::from_millis(100),
+            heartbeat: SimDuration::from_millis(20),
+            config_commit_interval: SimDuration::from_millis(500),
+            join_poll_interval: SimDuration::from_millis(100),
+            seed: 1,
+        };
+        assert!(cfg.is_founding());
+    }
+}

@@ -1,0 +1,185 @@
+//! Deployment builder for two-layer Raft simulations.
+
+use crate::actor::HierActor;
+use crate::config::{HierMsg, HierPeerConfig};
+use p2pfl_simnet::{Latency, LatencyConfig, NodeId, Sim, SimDuration, SimTime};
+
+/// Parameters of a two-layer deployment (paper Sec. VI-B1: m = 5 subgroups
+/// of n = 5 peers, 15 ms link delay, timeouts `U(T, 2T)`).
+#[derive(Debug, Clone)]
+pub struct DeploymentSpec {
+    /// Number of subgroups (`m`).
+    pub num_subgroups: usize,
+    /// Peers per subgroup (`n`).
+    pub subgroup_size: usize,
+    /// Election timeout lower bound `T`.
+    pub t: SimDuration,
+    /// One-way link delay.
+    pub link_delay: SimDuration,
+    /// How often subgroup leaders re-commit the FedAvg-layer config.
+    pub config_commit_interval: SimDuration,
+    /// Joiner poll interval (paper: 100 ms).
+    pub join_poll_interval: SimDuration,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl DeploymentSpec {
+    /// The paper's Fig. 10–12 topology with a given `T` and seed.
+    pub fn paper(t_ms: u64, seed: u64) -> Self {
+        DeploymentSpec {
+            num_subgroups: 5,
+            subgroup_size: 5,
+            t: SimDuration::from_millis(t_ms),
+            link_delay: SimDuration::from_millis(15),
+            config_commit_interval: SimDuration::from_millis(200),
+            join_poll_interval: SimDuration::from_millis(100),
+            seed,
+        }
+    }
+
+    /// Total peer count.
+    pub fn total_peers(&self) -> usize {
+        self.num_subgroups * self.subgroup_size
+    }
+}
+
+/// A running two-layer Raft deployment.
+pub struct Deployment {
+    /// The simulator carrying all peers.
+    pub sim: Sim<HierMsg>,
+    /// Subgroup memberships, in subgroup order.
+    pub subgroups: Vec<Vec<NodeId>>,
+    /// The designated founding FedAvg-layer members (one per subgroup).
+    pub founding: Vec<NodeId>,
+    spec: DeploymentSpec,
+}
+
+impl Deployment {
+    /// Builds and starts a deployment (nothing has run yet; drive with
+    /// [`Deployment::wait_stable`] or `sim.run_until`).
+    pub fn build(spec: DeploymentSpec) -> Self {
+        let mut sim = Sim::new(spec.seed);
+        sim.set_latency(LatencyConfig::uniform_default(Latency::Constant(spec.link_delay)));
+        let mut subgroups = Vec::new();
+        let mut next = 0u32;
+        for _ in 0..spec.num_subgroups {
+            let members: Vec<NodeId> =
+                (0..spec.subgroup_size).map(|_| { let id = NodeId(next); next += 1; id }).collect();
+            subgroups.push(members);
+        }
+        // Founding FedAvg member: the first peer of each subgroup.
+        let founding: Vec<NodeId> = subgroups.iter().map(|g| g[0]).collect();
+        for (gi, members) in subgroups.iter().enumerate() {
+            for &id in members {
+                let cfg = HierPeerConfig {
+                    id,
+                    subgroup: members.clone(),
+                    subgroup_index: gi,
+                    founding_fed: founding.clone(),
+                    t: spec.t,
+                    heartbeat: SimDuration::from_nanos((spec.t.as_nanos() / 5).max(1)),
+                    config_commit_interval: spec.config_commit_interval,
+                    join_poll_interval: spec.join_poll_interval,
+                    seed: spec.seed ^ (0x9e37 + id.0 as u64 * 0x85eb_ca6b),
+                };
+                let got = sim.add_node(HierActor::new(cfg));
+                assert_eq!(got, id);
+            }
+        }
+        Deployment { sim, subgroups, founding, spec }
+    }
+
+    /// The spec this deployment was built from.
+    pub fn spec(&self) -> &DeploymentSpec {
+        &self.spec
+    }
+
+    /// The current leader of subgroup `g`, if exactly one live peer leads.
+    pub fn sub_leader_of(&self, g: usize) -> Option<NodeId> {
+        let leaders: Vec<NodeId> = self.subgroups[g]
+            .iter()
+            .copied()
+            .filter(|&id| {
+                !self.sim.is_crashed(id) && self.sim.actor::<HierActor>(id).is_sub_leader()
+            })
+            .collect();
+        if leaders.len() == 1 {
+            Some(leaders[0])
+        } else {
+            None
+        }
+    }
+
+    /// The current FedAvg-layer leader, if exactly one live peer leads.
+    pub fn fed_leader(&self) -> Option<NodeId> {
+        let mut leaders = Vec::new();
+        for g in &self.subgroups {
+            for &id in g {
+                if !self.sim.is_crashed(id) && self.sim.actor::<HierActor>(id).is_fed_leader() {
+                    leaders.push(id);
+                }
+            }
+        }
+        if leaders.len() == 1 {
+            Some(leaders[0])
+        } else {
+            None
+        }
+    }
+
+    /// Whether the deployment is stable: every subgroup has exactly one
+    /// leader, each such leader is an active FedAvg-layer member, and the
+    /// FedAvg layer has a leader.
+    pub fn is_stable(&self) -> bool {
+        if self.fed_leader().is_none() {
+            return false;
+        }
+        (0..self.subgroups.len()).all(|g| {
+            self.sub_leader_of(g)
+                .is_some_and(|l| self.sim.actor::<HierActor>(l).is_fed_member())
+        })
+    }
+
+    /// Runs until [`Deployment::is_stable`] or `deadline`; returns success.
+    pub fn wait_stable(&mut self, deadline: SimTime) -> bool {
+        self.wait(deadline, |d| d.is_stable())
+    }
+
+    /// Runs in small steps until `pred` holds or `deadline` passes.
+    pub fn wait(&mut self, deadline: SimTime, pred: impl Fn(&Deployment) -> bool) -> bool {
+        let step = SimDuration::from_millis(5);
+        loop {
+            if pred(self) {
+                return true;
+            }
+            if self.sim.now() >= deadline {
+                return false;
+            }
+            self.sim.run_for(step);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deployment_reaches_stability() {
+        let mut d = Deployment::build(DeploymentSpec::paper(100, 1));
+        assert!(d.wait_stable(SimTime::from_secs(10)), "never stabilized");
+        // Founding members should lead their subgroups at genesis.
+        for (g, members) in d.subgroups.clone().iter().enumerate() {
+            assert_eq!(d.sub_leader_of(g), Some(members[0]), "subgroup {g}");
+        }
+        let fl = d.fed_leader().unwrap();
+        assert!(d.founding.contains(&fl));
+    }
+
+    #[test]
+    fn spec_counts() {
+        let s = DeploymentSpec::paper(50, 2);
+        assert_eq!(s.total_peers(), 25);
+    }
+}

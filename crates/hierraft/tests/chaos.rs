@@ -1,0 +1,70 @@
+//! Chaos recovery: repeated randomized crash/restart cycles must always
+//! return the two-layer backend to a stable state — every subgroup led,
+//! every leader seated in the FedAvg layer, one FedAvg leader.
+
+use p2pfl_hierraft::{Deployment, DeploymentSpec, HierActor};
+use p2pfl_simnet::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn backend_restabilizes_after_every_chaos_epoch() {
+    for seed in 0..4u64 {
+        let mut spec = DeploymentSpec::paper(100, seed);
+        spec.num_subgroups = 3;
+        spec.subgroup_size = 3;
+        let mut d = Deployment::build(spec);
+        assert!(d.wait_stable(SimTime::from_secs(10)), "seed {seed}: genesis");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc4a05);
+
+        for epoch in 0..6 {
+            // Crash one random peer per subgroup at most (keeps every
+            // subgroup at 2-of-3 quorum) — possibly a leader, possibly the
+            // FedAvg leader itself.
+            let mut victims = Vec::new();
+            for g in 0..3 {
+                if rng.random::<f64>() < 0.7 {
+                    let members = d.subgroups[g].clone();
+                    let v = members[rng.random_range(0..members.len())];
+                    victims.push(v);
+                }
+            }
+            for &v in &victims {
+                if !d.sim.is_crashed(v) {
+                    let at = d.sim.now() + SimDuration::from_millis(1);
+                    d.sim.schedule_crash(v, at);
+                }
+            }
+            // Let the failures bite, then bring everyone back.
+            d.sim.run_for(SimDuration::from_millis(
+                400 + rng.random_range(0..800),
+            ));
+            for &v in &victims {
+                if d.sim.is_crashed(v) {
+                    let at = d.sim.now() + SimDuration::from_millis(1);
+                    d.sim.schedule_restart(v, at);
+                }
+            }
+            let deadline = d.sim.now() + SimDuration::from_secs(20);
+            assert!(
+                d.wait(deadline, |d| d.is_stable()),
+                "seed {seed}, epoch {epoch}: failed to restabilize (victims {victims:?})"
+            );
+        }
+
+        // The stabilized backend is fully functional: a command commits
+        // through the FedAvg layer to every subgroup leader.
+        let fed_leader = d.fed_leader().unwrap();
+        d.sim.exec::<HierActor, _, _>(fed_leader, |a, ctx| {
+            a.propose_fed(ctx, 999).unwrap();
+        });
+        d.sim.run_for(SimDuration::from_secs(1));
+        for g in 0..3 {
+            let l = d.sub_leader_of(g).unwrap();
+            assert!(
+                d.sim.actor::<HierActor>(l).fed_cmds_applied.contains(&999),
+                "seed {seed}: subgroup {g} leader missed the post-chaos commit"
+            );
+        }
+    }
+}

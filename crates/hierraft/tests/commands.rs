@@ -1,0 +1,90 @@
+//! Application commands through both Raft layers of a live deployment:
+//! subgroup logs replicate to subgroup members, FedAvg-layer logs
+//! replicate to all subgroup leaders — the mechanism the aggregation
+//! system uses to sequence rounds.
+
+use p2pfl_hierraft::{Deployment, DeploymentSpec, HierActor};
+use p2pfl_simnet::{SimDuration, SimTime};
+
+fn small() -> DeploymentSpec {
+    let mut spec = DeploymentSpec::paper(100, 5);
+    spec.num_subgroups = 3;
+    spec.subgroup_size = 3;
+    spec
+}
+
+#[test]
+fn subgroup_commands_replicate_to_members() {
+    let mut d = Deployment::build(small());
+    assert!(d.wait_stable(SimTime::from_secs(10)));
+    let leader = d.sub_leader_of(0).unwrap();
+    for v in [11u64, 22, 33] {
+        d.sim.exec::<HierActor, _, _>(leader, |a, ctx| {
+            a.propose_sub(ctx, v).unwrap();
+        });
+    }
+    d.sim.run_for(SimDuration::from_secs(1));
+    for &m in &d.subgroups[0].clone() {
+        let a = d.sim.actor::<HierActor>(m);
+        assert_eq!(a.sub_cmds_applied, vec![11, 22, 33], "member {m}");
+    }
+    // Other subgroups never see it.
+    for &m in &d.subgroups[1].clone() {
+        assert!(d.sim.actor::<HierActor>(m).sub_cmds_applied.is_empty());
+    }
+}
+
+#[test]
+fn fed_commands_replicate_to_all_subgroup_leaders() {
+    let mut d = Deployment::build(small());
+    assert!(d.wait_stable(SimTime::from_secs(10)));
+    let fed_leader = d.fed_leader().unwrap();
+    for round in [1u64, 2, 3] {
+        d.sim.exec::<HierActor, _, _>(fed_leader, |a, ctx| {
+            a.propose_fed(ctx, round).unwrap();
+        });
+    }
+    d.sim.run_for(SimDuration::from_secs(1));
+    for g in 0..3 {
+        let leader = d.sub_leader_of(g).unwrap();
+        let a = d.sim.actor::<HierActor>(leader);
+        assert_eq!(a.fed_cmds_applied, vec![1, 2, 3], "subgroup {g} leader");
+    }
+}
+
+#[test]
+fn fed_commands_survive_fed_leader_crash() {
+    let mut d = Deployment::build(small());
+    assert!(d.wait_stable(SimTime::from_secs(10)));
+    let fed_leader = d.fed_leader().unwrap();
+    d.sim.exec::<HierActor, _, _>(fed_leader, |a, ctx| {
+        a.propose_fed(ctx, 7).unwrap();
+    });
+    d.sim.run_for(SimDuration::from_millis(300)); // commit
+    let at = d.sim.now() + SimDuration::from_millis(1);
+    d.sim.schedule_crash(fed_leader, at);
+    // Recover: new fed leader elected, crashed subgroup re-led + rejoined.
+    let deadline = d.sim.now() + SimDuration::from_secs(15);
+    assert!(d.wait(deadline, |d| {
+        d.fed_leader().is_some_and(|l| l != fed_leader)
+    }));
+    let new_leader = d.fed_leader().unwrap();
+    d.sim.exec::<HierActor, _, _>(new_leader, |a, ctx| {
+        a.propose_fed(ctx, 8).unwrap();
+    });
+    d.sim.run_for(SimDuration::from_secs(1));
+    let a = d.sim.actor::<HierActor>(new_leader);
+    assert_eq!(a.fed_cmds_applied, vec![7, 8], "committed entry must survive");
+}
+
+#[test]
+fn propose_on_non_leader_is_rejected() {
+    let mut d = Deployment::build(small());
+    assert!(d.wait_stable(SimTime::from_secs(10)));
+    let leader0 = d.sub_leader_of(0).unwrap();
+    let follower = *d.subgroups[0].iter().find(|&&m| m != leader0).unwrap();
+    let err = d.sim.exec::<HierActor, _, _>(follower, |a, ctx| a.propose_sub(ctx, 1));
+    assert!(err.is_err());
+    let err = d.sim.exec::<HierActor, _, _>(follower, |a, ctx| a.propose_fed(ctx, 1));
+    assert!(err.is_err());
+}

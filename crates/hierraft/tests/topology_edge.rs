@@ -1,0 +1,89 @@
+//! Edge topologies for the two-layer Raft: degenerate shapes a downstream
+//! user will eventually configure.
+
+use p2pfl_hierraft::{Deployment, DeploymentSpec, HierActor};
+use p2pfl_simnet::{SimDuration, SimTime};
+
+fn spec(m: usize, n: usize, seed: u64) -> DeploymentSpec {
+    let mut s = DeploymentSpec::paper(100, seed);
+    s.num_subgroups = m;
+    s.subgroup_size = n;
+    s
+}
+
+#[test]
+fn single_subgroup_deployment_stabilizes() {
+    // m = 1: the FedAvg layer is a single-member Raft (the subgroup
+    // leader), which must elect itself and stay stable.
+    let mut d = Deployment::build(spec(1, 3, 1));
+    assert!(d.wait_stable(SimTime::from_secs(10)));
+    let leader = d.sub_leader_of(0).unwrap();
+    assert_eq!(d.fed_leader(), Some(leader));
+}
+
+#[test]
+fn two_peer_subgroups_have_no_follower_tolerance() {
+    // n = 2: subgroup quorum is 2, so losing the follower stalls the
+    // subgroup (the paper's reason for requiring n >= 3).
+    let mut d = Deployment::build(spec(3, 2, 2));
+    assert!(d.wait_stable(SimTime::from_secs(10)));
+    let leader = d.sub_leader_of(0).unwrap();
+    let follower = *d.subgroups[0].iter().find(|&&p| p != leader).unwrap();
+    let at = d.sim.now() + SimDuration::from_millis(1);
+    d.sim.schedule_crash(follower, at);
+    d.sim.run_for(SimDuration::from_secs(2));
+    // The leader cannot commit (no quorum) but also must not lose its
+    // role to anyone — there is nobody left to elect.
+    let a = d.sim.actor::<HierActor>(leader);
+    assert!(a.is_sub_leader() || d.sub_leader_of(0).is_none());
+    // The rest of the system keeps running.
+    assert!(d.sub_leader_of(1).is_some());
+    assert!(d.fed_leader().is_some());
+}
+
+#[test]
+fn wide_flat_deployment_stabilizes() {
+    // Many small subgroups: m = 8, n = 3 (24 peers, FedAvg layer of 8).
+    let mut d = Deployment::build(spec(8, 3, 3));
+    assert!(d.wait_stable(SimTime::from_secs(15)));
+    for g in 0..8 {
+        let l = d.sub_leader_of(g).unwrap();
+        assert!(d.sim.actor::<HierActor>(l).is_fed_member(), "subgroup {g}");
+    }
+}
+
+#[test]
+fn config_commits_propagate_to_every_member() {
+    // After stability plus a few config-commit intervals, every live peer
+    // must know the *current* FedAvg-layer membership through its
+    // subgroup log.
+    let mut d = Deployment::build(spec(3, 3, 4));
+    assert!(d.wait_stable(SimTime::from_secs(10)));
+    d.sim.run_for(SimDuration::from_secs(2)); // several commit ticks
+    let fed_members: Vec<_> = (0..3).map(|g| d.sub_leader_of(g).unwrap()).collect();
+    for g in 0..3 {
+        for &m in &d.subgroups[g].clone() {
+            let a = d.sim.actor::<HierActor>(m);
+            for fm in &fed_members {
+                assert!(
+                    a.fed_config.current.contains(fm),
+                    "peer {m} is missing {fm} in its replicated FedAvg config"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn deployments_with_different_timeouts_all_stabilize() {
+    for (t, seed) in [(50u64, 10u64), (150, 11), (200, 12)] {
+        let mut s = DeploymentSpec::paper(t, seed);
+        s.num_subgroups = 3;
+        s.subgroup_size = 3;
+        let mut d = Deployment::build(s);
+        assert!(
+            d.wait_stable(SimTime::from_secs(20)),
+            "T={t} failed to stabilize"
+        );
+    }
+}

@@ -1,0 +1,417 @@
+//! Datasets: synthetic stand-ins for MNIST/CIFAR-10 plus the paper's three
+//! partitioning regimes (IID, Non-IID 5 %, Non-IID 0 %).
+//!
+//! No dataset files are available offline, so we generate deterministic
+//! class-prototype data: each class has a random prototype vector and
+//! samples are `prototype + σ·noise`. This preserves exactly the effects
+//! the paper measures — label-skew across peers slows FedAvg-style
+//! convergence, IID data converges fastest — while keeping full sweeps
+//! tractable on CPU (see DESIGN.md, substitutions table).
+
+use crate::init::randn;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An in-memory labeled dataset of fixed-shape samples.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Per-sample shape (without the batch dimension).
+    pub sample_shape: Vec<usize>,
+    /// Number of label classes.
+    pub num_classes: usize,
+    samples: Vec<f32>, // all samples concatenated
+    labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Builds a dataset from raw parts.
+    pub fn new(
+        sample_shape: Vec<usize>,
+        num_classes: usize,
+        samples: Vec<f32>,
+        labels: Vec<usize>,
+    ) -> Self {
+        let per: usize = sample_shape.iter().product();
+        assert_eq!(samples.len(), per * labels.len(), "sample buffer size mismatch");
+        assert!(labels.iter().all(|&l| l < num_classes), "label out of range");
+        Dataset { sample_shape, num_classes, samples, labels }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Scalars per sample.
+    pub fn sample_dim(&self) -> usize {
+        self.sample_shape.iter().product()
+    }
+
+    /// The label vector.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Assembles the samples at `indices` into a batch tensor
+    /// `[B, ...sample_shape]` plus their labels.
+    pub fn gather(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let per = self.sample_dim();
+        let mut data = Vec::with_capacity(indices.len() * per);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            data.extend_from_slice(&self.samples[i * per..(i + 1) * per]);
+            labels.push(self.labels[i]);
+        }
+        let mut shape = vec![indices.len()];
+        shape.extend_from_slice(&self.sample_shape);
+        (Tensor::from_vec(&shape, data), labels)
+    }
+
+    /// The whole dataset as one batch.
+    pub fn full_batch(&self) -> (Tensor, Vec<usize>) {
+        let idx: Vec<usize> = (0..self.len()).collect();
+        self.gather(&idx)
+    }
+
+    /// A new dataset containing only the samples at `indices`.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let per = self.sample_dim();
+        let mut samples = Vec::with_capacity(indices.len() * per);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            samples.extend_from_slice(&self.samples[i * per..(i + 1) * per]);
+            labels.push(self.labels[i]);
+        }
+        Dataset {
+            sample_shape: self.sample_shape.clone(),
+            num_classes: self.num_classes,
+            samples,
+            labels,
+        }
+    }
+
+    /// Shuffled minibatch index lists for one epoch.
+    pub fn minibatch_indices<R: Rng + ?Sized>(
+        &self,
+        batch_size: usize,
+        rng: &mut R,
+    ) -> Vec<Vec<usize>> {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        // Fisher-Yates.
+        for i in (1..idx.len()).rev() {
+            let j = rng.random_range(0..=i);
+            idx.swap(i, j);
+        }
+        idx.chunks(batch_size).map(|c| c.to_vec()).collect()
+    }
+
+    /// Per-class sample counts.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            h[l] += 1;
+        }
+        h
+    }
+}
+
+/// Deterministic class-prototype synthetic dataset: class `c` has a random
+/// prototype in `[-1, 1]^d`, and each sample is `prototype + noise·N(0,1)`.
+/// Labels cycle so classes are balanced.
+pub fn synthetic(
+    sample_shape: &[usize],
+    num_classes: usize,
+    count: usize,
+    noise: f32,
+    seed: u64,
+) -> Dataset {
+    let dim: usize = sample_shape.iter().product();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let prototypes: Vec<Vec<f32>> = (0..num_classes)
+        .map(|_| (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect())
+        .collect();
+    let mut samples = Vec::with_capacity(count * dim);
+    let mut labels = Vec::with_capacity(count);
+    for i in 0..count {
+        let c = i % num_classes;
+        labels.push(c);
+        for &p in &prototypes[c] {
+            samples.push(p + noise * randn(&mut rng));
+        }
+    }
+    Dataset::new(sample_shape.to_vec(), num_classes, samples, labels)
+}
+
+/// CIFAR-10-shaped synthetic data: `[3, 32, 32]`, 10 classes.
+pub fn cifar_like(count: usize, seed: u64) -> Dataset {
+    synthetic(&[3, 32, 32], 10, count, 0.8, seed)
+}
+
+/// MNIST-shaped synthetic data padded to 32×32: `[1, 32, 32]`, 10 classes.
+pub fn mnist_like(count: usize, seed: u64) -> Dataset {
+    synthetic(&[1, 32, 32], 10, count, 0.5, seed)
+}
+
+/// Low-dimensional feature-space stand-in used by the full accuracy sweeps:
+/// `[dim]`, 10 classes, with enough noise that convergence takes tens of
+/// rounds (so round-over-round curves are informative).
+pub fn features_like(dim: usize, count: usize, seed: u64) -> Dataset {
+    synthetic(&[dim], 10, count, 1.0, seed)
+}
+
+/// Splits a dataset into `(train, test)` with `train_count` samples in the
+/// train part. Synthetic datasets cycle labels, so a prefix split stays
+/// class-balanced. Panics if `train_count > len`.
+pub fn train_test_split(d: &Dataset, train_count: usize) -> (Dataset, Dataset) {
+    assert!(train_count <= d.len(), "train_count exceeds dataset size");
+    let train_idx: Vec<usize> = (0..train_count).collect();
+    let test_idx: Vec<usize> = (train_count..d.len()).collect();
+    (d.subset(&train_idx), d.subset(&test_idx))
+}
+
+/// The paper's three training-data distributions (Sec. VI-A1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Partition {
+    /// Identically and independently distributed across peers.
+    Iid,
+    /// Each peer draws `main_fraction` of its data from two random "main"
+    /// classes and the rest uniformly from the other classes. The paper's
+    /// "Non-IID (5%)" is `main_fraction = 0.95`; "Non-IID (0%)" is `1.0`.
+    NonIid {
+        /// Fraction of each peer's data coming from its two main classes.
+        main_fraction: f64,
+    },
+}
+
+impl Partition {
+    /// The paper's "Non-IID data (5%)" setting.
+    pub const NON_IID_5: Partition = Partition::NonIid { main_fraction: 0.95 };
+    /// The paper's "Non-IID data (0%)" setting.
+    pub const NON_IID_0: Partition = Partition::NonIid { main_fraction: 1.0 };
+
+    /// Short label used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Partition::Iid => "IID",
+            Partition::NonIid { main_fraction } => {
+                if *main_fraction >= 1.0 {
+                    "Non-IID(0%)"
+                } else {
+                    "Non-IID(5%)"
+                }
+            }
+        }
+    }
+}
+
+/// Splits `dataset` across `num_peers` peers under `partition`.
+///
+/// IID deals a global shuffle round-robin. Non-IID assigns each peer two
+/// main classes (spread evenly over the class set, tie-broken by `seed`)
+/// and fills `main_fraction` of the peer's quota from those class pools,
+/// the remainder uniformly from the others; pools recycle if exhausted so
+/// every peer receives its full quota.
+pub fn partition_dataset(
+    dataset: &Dataset,
+    num_peers: usize,
+    partition: Partition,
+    seed: u64,
+) -> Vec<Dataset> {
+    assert!(num_peers > 0, "need at least one peer");
+    let mut rng = StdRng::seed_from_u64(seed);
+    match partition {
+        Partition::Iid => {
+            let mut idx: Vec<usize> = (0..dataset.len()).collect();
+            for i in (1..idx.len()).rev() {
+                let j = rng.random_range(0..=i);
+                idx.swap(i, j);
+            }
+            let mut per_peer: Vec<Vec<usize>> = vec![Vec::new(); num_peers];
+            for (pos, &i) in idx.iter().enumerate() {
+                per_peer[pos % num_peers].push(i);
+            }
+            per_peer.iter().map(|ix| dataset.subset(ix)).collect()
+        }
+        Partition::NonIid { main_fraction } => {
+            assert!((0.0..=1.0).contains(&main_fraction), "fraction out of range");
+            let c = dataset.num_classes;
+            // Index pools per class, shuffled.
+            let mut pools: Vec<Vec<usize>> = vec![Vec::new(); c];
+            for (i, &l) in dataset.labels().iter().enumerate() {
+                pools[l].push(i);
+            }
+            for pool in &mut pools {
+                for i in (1..pool.len()).rev() {
+                    let j = rng.random_range(0..=i);
+                    pool.swap(i, j);
+                }
+            }
+            let mut cursors = vec![0usize; c];
+            let mut draw = |class: usize, rng: &mut StdRng| -> usize {
+                let pool = &pools[class];
+                assert!(!pool.is_empty(), "class {class} has no samples");
+                let at = cursors[class];
+                cursors[class] = (at + 1) % pool.len();
+                let _ = rng;
+                pool[at]
+            };
+            let quota = dataset.len() / num_peers;
+            let offset = rng.random_range(0..c);
+            (0..num_peers)
+                .map(|p| {
+                    // Two main classes, rotated so class coverage is even.
+                    let m1 = (offset + 2 * p) % c;
+                    let m2 = (offset + 2 * p + 1) % c;
+                    let main_quota = (quota as f64 * main_fraction).round() as usize;
+                    let mut indices = Vec::with_capacity(quota);
+                    for i in 0..main_quota {
+                        let cls = if i % 2 == 0 { m1 } else { m2 };
+                        indices.push(draw(cls, &mut rng));
+                    }
+                    for _ in main_quota..quota {
+                        let cls = loop {
+                            let cand = rng.random_range(0..c);
+                            if cand != m1 && cand != m2 {
+                                break cand;
+                            }
+                        };
+                        indices.push(draw(cls, &mut rng));
+                    }
+                    dataset.subset(&indices)
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_is_deterministic_and_balanced() {
+        let a = synthetic(&[8], 4, 100, 0.5, 7);
+        let b = synthetic(&[8], 4, 100, 0.5, 7);
+        assert_eq!(a.labels(), b.labels());
+        let (xa, _) = a.full_batch();
+        let (xb, _) = b.full_batch();
+        assert_eq!(xa.data(), xb.data());
+        assert_eq!(a.class_histogram(), vec![25; 4]);
+    }
+
+    #[test]
+    fn gather_shapes() {
+        let d = synthetic(&[2, 3], 2, 10, 0.1, 1);
+        let (x, y) = d.gather(&[0, 5, 9]);
+        assert_eq!(x.shape(), &[3, 2, 3]);
+        assert_eq!(y.len(), 3);
+    }
+
+    #[test]
+    fn iid_partition_splits_evenly() {
+        let d = synthetic(&[4], 10, 200, 0.1, 2);
+        let parts = partition_dataset(&d, 7, Partition::Iid, 3);
+        assert_eq!(parts.len(), 7);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 200);
+        let max = parts.iter().map(|p| p.len()).max().unwrap();
+        let min = parts.iter().map(|p| p.len()).min().unwrap();
+        assert!(max - min <= 1, "IID split uneven: {min}..{max}");
+    }
+
+    #[test]
+    fn iid_partition_covers_all_classes_per_peer() {
+        let d = synthetic(&[4], 10, 1000, 0.1, 4);
+        let parts = partition_dataset(&d, 5, Partition::Iid, 5);
+        for p in &parts {
+            assert!(p.class_histogram().iter().all(|&h| h > 0));
+        }
+    }
+
+    #[test]
+    fn non_iid_0_has_exactly_two_classes() {
+        let d = synthetic(&[4], 10, 1000, 0.1, 6);
+        let parts = partition_dataset(&d, 5, Partition::NON_IID_0, 7);
+        for p in &parts {
+            let nonzero = p.class_histogram().iter().filter(|&&h| h > 0).count();
+            assert_eq!(nonzero, 2, "histogram {:?}", p.class_histogram());
+        }
+    }
+
+    #[test]
+    fn non_iid_5_is_mostly_two_classes() {
+        let d = synthetic(&[4], 10, 2000, 0.1, 8);
+        let parts = partition_dataset(&d, 5, Partition::NON_IID_5, 9);
+        for p in &parts {
+            let h = p.class_histogram();
+            let mut sorted = h.clone();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            let main2: usize = sorted[..2].iter().sum();
+            let frac = main2 as f64 / p.len() as f64;
+            assert!((frac - 0.95).abs() < 0.03, "main fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn minibatches_cover_everything_once() {
+        let d = synthetic(&[4], 2, 103, 0.1, 10);
+        let mut rng = StdRng::seed_from_u64(11);
+        let batches = d.minibatch_indices(10, &mut rng);
+        assert_eq!(batches.len(), 11);
+        let mut seen: Vec<usize> = batches.concat();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..103).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partition_labels() {
+        assert_eq!(Partition::Iid.label(), "IID");
+        assert_eq!(Partition::NON_IID_5.label(), "Non-IID(5%)");
+        assert_eq!(Partition::NON_IID_0.label(), "Non-IID(0%)");
+    }
+
+    #[test]
+    fn prototype_signal_is_learnable() {
+        // Nearest-prototype classification on clean prototypes should beat
+        // chance by a wide margin: the classes are genuinely separable.
+        let d = synthetic(&[16], 4, 400, 0.5, 12);
+        let (x, y) = d.full_batch();
+        // Estimate class means from the data itself.
+        let mut means = vec![vec![0.0f32; 16]; 4];
+        let mut counts = vec![0usize; 4];
+        for (i, &l) in y.iter().enumerate() {
+            counts[l] += 1;
+            for (j, m) in means[l].iter_mut().enumerate() {
+                *m += x.data()[i * 16 + j];
+            }
+        }
+        for (m, &c) in means.iter_mut().zip(&counts) {
+            for v in m.iter_mut() {
+                *v /= c as f32;
+            }
+        }
+        let mut correct = 0;
+        for (i, &l) in y.iter().enumerate() {
+            let s = &x.data()[i * 16..(i + 1) * 16];
+            let best = (0..4)
+                .min_by(|&a, &b| {
+                    let da: f32 = s.iter().zip(&means[a]).map(|(v, m)| (v - m).powi(2)).sum();
+                    let db: f32 = s.iter().zip(&means[b]).map(|(v, m)| (v - m).powi(2)).sum();
+                    da.partial_cmp(&db).unwrap()
+                })
+                .unwrap();
+            if best == l {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / y.len() as f64;
+        assert!(acc > 0.8, "nearest-prototype accuracy {acc}");
+    }
+}

@@ -1,0 +1,68 @@
+//! Weight initializers.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Samples one standard-normal value via Box-Muller.
+pub fn randn<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()) as f32
+}
+
+/// He (Kaiming) normal initialization: std = sqrt(2 / fan_in). The right
+/// choice before ReLU activations, used for all conv and hidden dense
+/// layers of the Fig. 5 CNN.
+pub fn he_normal<R: Rng + ?Sized>(shape: &[usize], fan_in: usize, rng: &mut R) -> Tensor {
+    let std = (2.0 / fan_in as f32).sqrt();
+    let n: usize = shape.iter().product();
+    Tensor::from_vec(shape, (0..n).map(|_| randn(rng) * std).collect())
+}
+
+/// Xavier/Glorot uniform initialization: U(-a, a) with
+/// a = sqrt(6 / (fan_in + fan_out)). Used for the softmax output layer.
+pub fn xavier_uniform<R: Rng + ?Sized>(
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut R,
+) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    let n: usize = shape.iter().product();
+    Tensor::from_vec(shape, (0..n).map(|_| rng.random_range(-a..a)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn he_has_expected_std() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = he_normal(&[100, 100], 100, &mut rng);
+        let mean: f32 = t.data().iter().sum::<f32>() / 10_000.0;
+        let var: f32 = t.data().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / 10_000.0;
+        let expected = 2.0 / 100.0;
+        assert!((var - expected).abs() < expected * 0.1, "var {var}");
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = (6.0f32 / 20.0).sqrt();
+        let t = xavier_uniform(&[10, 10], 10, 10, &mut rng);
+        assert!(t.data().iter().all(|x| x.abs() < a));
+    }
+
+    #[test]
+    fn randn_is_roughly_standard() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs: Vec<f32> = (0..20_000).map(|_| randn(&mut rng)).collect();
+        let mean = xs.iter().sum::<f32>() / xs.len() as f32;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / xs.len() as f32;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

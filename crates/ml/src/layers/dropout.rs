@@ -1,0 +1,102 @@
+//! Inverted dropout.
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Inverted dropout: during training each unit is zeroed with probability
+/// `p` and survivors are scaled by `1/(1-p)`, so evaluation is the
+/// identity.
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    cached_mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p in [0, 1)`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability out of range");
+        Dropout { p, rng: StdRng::seed_from_u64(seed), cached_mask: None }
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            self.cached_mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask: Vec<f32> = (0..x.len())
+            .map(|_| if self.rng.random::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        let mut y = x.clone();
+        for (v, m) in y.data_mut().iter_mut().zip(&mask) {
+            *v *= m;
+        }
+        self.cached_mask = Some(mask);
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut dx = grad_out.clone();
+        if let Some(mask) = self.cached_mask.take() {
+            for (g, m) in dx.data_mut().iter_mut().zip(&mask) {
+                *g *= m;
+            }
+        }
+        dx
+    }
+
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::from_vec(&[1, 4], vec![1., 2., 3., 4.]);
+        assert_eq!(d.forward(&x, false), x);
+    }
+
+    #[test]
+    fn training_preserves_expectation() {
+        let mut d = Dropout::new(0.25, 2);
+        let x = Tensor::from_vec(&[1, 10_000], vec![1.0; 10_000]);
+        let y = d.forward(&x, true);
+        let mean: f32 = y.data().iter().sum::<f32>() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::from_vec(&[1, 8], vec![1.0; 8]);
+        let y = d.forward(&x, true);
+        let g = Tensor::from_vec(&[1, 8], vec![1.0; 8]);
+        let dx = d.backward(&g);
+        // Where forward dropped, backward must drop; where it kept (scale
+        // 2), backward scales identically.
+        assert_eq!(y.data(), dx.data());
+    }
+
+    #[test]
+    fn zero_probability_is_identity_even_training() {
+        let mut d = Dropout::new(0.0, 4);
+        let x = Tensor::from_vec(&[1, 4], vec![1., 2., 3., 4.]);
+        assert_eq!(d.forward(&x, true), x);
+    }
+}

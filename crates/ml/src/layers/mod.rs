@@ -1,0 +1,13 @@
+//! Network layers: dense, conv2d, pooling, activations, dropout.
+
+mod activation;
+mod conv;
+mod dense;
+mod dropout;
+mod pool;
+
+pub use activation::{Flatten, Relu};
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use pool::MaxPool2x2;

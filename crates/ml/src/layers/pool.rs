@@ -1,0 +1,125 @@
+//! 2×2 max pooling with stride 2 (the only pooling the Fig. 5 CNN uses).
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+
+/// 2×2/stride-2 max pooling over `[B, C, H, W]`. `H` and `W` must be even.
+pub struct MaxPool2x2 {
+    cached_argmax: Option<Vec<usize>>,
+    cached_in_shape: Option<Vec<usize>>,
+}
+
+impl MaxPool2x2 {
+    /// Creates the layer.
+    pub fn new() -> Self {
+        MaxPool2x2 { cached_argmax: None, cached_in_shape: None }
+    }
+}
+
+impl Default for MaxPool2x2 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for MaxPool2x2 {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let s = x.shape();
+        assert_eq!(s.len(), 4, "pool input must be [B, C, H, W]");
+        let (b, c, h, w) = (s[0], s[1], s[2], s[3]);
+        assert!(h % 2 == 0 && w % 2 == 0, "odd spatial dims: {h}x{w}");
+        let (oh, ow) = (h / 2, w / 2);
+        let xd = x.data();
+        let mut out = vec![0.0f32; b * c * oh * ow];
+        let mut arg = vec![0usize; b * c * oh * ow];
+        for bc in 0..b * c {
+            let base = bc * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let i00 = base + (2 * oy) * w + 2 * ox;
+                    let idxs = [i00, i00 + 1, i00 + w, i00 + w + 1];
+                    let mut best = idxs[0];
+                    for &i in &idxs[1..] {
+                        if xd[i] > xd[best] {
+                            best = i;
+                        }
+                    }
+                    let o = bc * oh * ow + oy * ow + ox;
+                    out[o] = xd[best];
+                    arg[o] = best;
+                }
+            }
+        }
+        if train {
+            self.cached_argmax = Some(arg);
+            self.cached_in_shape = Some(s.to_vec());
+        }
+        Tensor::from_vec(&[b, c, oh, ow], out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let arg = self.cached_argmax.take().expect("backward before forward");
+        let shape = self.cached_in_shape.take().expect("backward before forward");
+        let mut dx = Tensor::zeros(&shape);
+        let dd = dx.data_mut();
+        for (g, &i) in grad_out.data().iter().zip(&arg) {
+            dd[i] += g;
+        }
+        dx
+    }
+
+    fn name(&self) -> &'static str {
+        "maxpool2x2"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_maxima() {
+        let mut p = MaxPool2x2::new();
+        #[rustfmt::skip]
+        let x = Tensor::from_vec(&[1, 1, 4, 4], vec![
+            1., 2.,   5., 4.,
+            3., 0.,   6., 7.,
+            9., 8.,   0., 1.,
+            2., 4.,   3., 2.,
+        ]);
+        let y = p.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[3., 7., 9., 3.]);
+    }
+
+    #[test]
+    fn backward_routes_gradient_to_argmax() {
+        let mut p = MaxPool2x2::new();
+        #[rustfmt::skip]
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![
+            1., 9.,
+            3., 0.,
+        ]);
+        let _ = p.forward(&x, true);
+        let g = Tensor::from_vec(&[1, 1, 1, 1], vec![5.0]);
+        let dx = p.backward(&g);
+        assert_eq!(dx.data(), &[0., 5., 0., 0.]);
+    }
+
+    #[test]
+    fn ties_resolve_to_first_index() {
+        let mut p = MaxPool2x2::new();
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![7., 7., 7., 7.]);
+        let _ = p.forward(&x, true);
+        let g = Tensor::from_vec(&[1, 1, 1, 1], vec![1.0]);
+        let dx = p.backward(&g);
+        assert_eq!(dx.data(), &[1., 0., 0., 0.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd spatial dims")]
+    fn odd_input_rejected() {
+        let mut p = MaxPool2x2::new();
+        let _ = p.forward(&Tensor::zeros(&[1, 1, 3, 3]), false);
+    }
+}

@@ -1,0 +1,50 @@
+//! # p2pfl-ml — from-scratch ML substrate
+//!
+//! The reproduced paper trains a small CNN (Fig. 5, ~1.25 M parameters)
+//! with Adam on MNIST/CIFAR-10 under three data distributions. This crate
+//! provides everything needed to drive those experiments in pure Rust:
+//!
+//! * [`tensor::Tensor`] — dense row-major `f32` tensors with a
+//!   cache-friendly matrix product;
+//! * [`layers`] — dense, conv2d (im2col), 2×2 max-pool, ReLU, dropout,
+//!   flatten, each with hand-written backprop (grad-checked in tests);
+//! * [`model::Sequential`] — layer stack with flat-parameter export/import,
+//!   the bridge to the aggregation protocols;
+//! * [`models`] — the paper's Fig. 5 CNN (parameter count asserted), a
+//!   small CNN, and MLPs for tractable full sweeps;
+//! * [`optim`] — SGD and Adam (paper settings);
+//! * [`loss`] — softmax cross-entropy and accuracy;
+//! * [`data`] — deterministic synthetic MNIST/CIFAR stand-ins and the
+//!   paper's IID / Non-IID(5%) / Non-IID(0%) partitioners;
+//! * [`metrics`] — batched evaluation and the figures' moving average.
+//!
+//! ```
+//! use p2pfl_ml::{data, models, optim::Adam};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let train = data::features_like(16, 64, 7);
+//! let mut model = models::mlp(&[16, 32, 10], &mut rng);
+//! let mut opt = Adam::paper_default();
+//! let (x, y) = train.full_batch();
+//! let (loss, _acc) = model.train_batch(&x, &y, &mut opt);
+//! assert!(loss.is_finite());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod init;
+pub mod layer;
+pub mod layers;
+pub mod loss;
+pub mod metrics;
+pub mod model;
+pub mod models;
+pub mod optim;
+pub mod tensor;
+
+pub use layer::{Layer, Param};
+pub use model::Sequential;
+pub use tensor::Tensor;

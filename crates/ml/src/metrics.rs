@@ -1,0 +1,114 @@
+//! Evaluation helpers and the moving-average smoothing the paper's figures
+//! apply to accuracy/loss curves.
+
+use crate::data::Dataset;
+use crate::model::Sequential;
+
+/// Evaluates `(mean loss, accuracy)` over a dataset in batches of
+/// `batch_size` (to bound memory for image-shaped data).
+pub fn evaluate(model: &mut Sequential, data: &Dataset, batch_size: usize) -> (f64, f64) {
+    assert!(batch_size > 0, "batch size must be positive");
+    let n = data.len();
+    if n == 0 {
+        return (0.0, 0.0);
+    }
+    let mut loss_sum = 0.0f64;
+    let mut correct = 0.0f64;
+    let mut done = 0usize;
+    while done < n {
+        let end = (done + batch_size).min(n);
+        let idx: Vec<usize> = (done..end).collect();
+        let (x, y) = data.gather(&idx);
+        let (loss, acc) = model.eval_batch(&x, &y);
+        let b = (end - done) as f64;
+        loss_sum += loss as f64 * b;
+        correct += acc * b;
+        done = end;
+    }
+    (loss_sum / n as f64, correct / n as f64)
+}
+
+/// Simple trailing moving average with a fixed window, matching the
+/// smoothing used in the paper's Figs. 6–9.
+#[derive(Debug, Clone)]
+pub struct MovingAverage {
+    window: usize,
+    values: Vec<f64>,
+}
+
+impl MovingAverage {
+    /// A moving average over the last `window` observations.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        MovingAverage { window, values: Vec::new() }
+    }
+
+    /// Pushes an observation and returns the current smoothed value.
+    pub fn push(&mut self, v: f64) -> f64 {
+        self.values.push(v);
+        self.value()
+    }
+
+    /// The current smoothed value (mean of the last `window` pushes).
+    pub fn value(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let start = self.values.len().saturating_sub(self.window);
+        let tail = &self.values[start..];
+        tail.iter().sum::<f64>() / tail.len() as f64
+    }
+
+    /// Applies the same smoothing to a whole series.
+    pub fn smooth(window: usize, series: &[f64]) -> Vec<f64> {
+        let mut ma = MovingAverage::new(window);
+        series.iter().map(|&v| ma.push(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::synthetic;
+    use crate::models::mlp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn evaluate_untrained_is_chance() {
+        let d = synthetic(&[16], 4, 200, 0.5, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut m = mlp(&[16, 8, 4], &mut rng);
+        let (loss, acc) = evaluate(&mut m, &d, 32);
+        assert!(loss > 0.5, "untrained loss {loss}");
+        assert!(acc < 0.6, "untrained accuracy {acc}");
+    }
+
+    #[test]
+    fn evaluate_batches_equals_full() {
+        let d = synthetic(&[8], 3, 50, 0.5, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut m = mlp(&[8, 3], &mut rng);
+        let (l1, a1) = evaluate(&mut m, &d, 7);
+        let (l2, a2) = evaluate(&mut m, &d, 50);
+        assert!((l1 - l2).abs() < 1e-5);
+        assert!((a1 - a2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn moving_average_smooths() {
+        let mut ma = MovingAverage::new(2);
+        assert_eq!(ma.push(1.0), 1.0);
+        assert_eq!(ma.push(3.0), 2.0);
+        assert_eq!(ma.push(5.0), 4.0);
+        assert_eq!(MovingAverage::smooth(2, &[1.0, 3.0, 5.0]), vec![1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_dataset_evaluates_to_zero() {
+        let d = Dataset::new(vec![4], 2, vec![], vec![]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut m = mlp(&[4, 2], &mut rng);
+        assert_eq!(evaluate(&mut m, &d, 8), (0.0, 0.0));
+    }
+}

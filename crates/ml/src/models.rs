@@ -1,0 +1,128 @@
+//! Model builders: the paper's Fig. 5 CNN and compact models for sweeps.
+
+use crate::layers::{Conv2d, Dense, Dropout, Flatten, MaxPool2x2, Relu};
+use crate::model::Sequential;
+use rand::Rng;
+
+/// Hidden width of the first dense layer in [`paper_cnn`], chosen so the
+/// total parameter count lands at the paper's stated ~1.25 M.
+pub const PAPER_CNN_HIDDEN: usize = 288;
+
+/// Parameter count of [`paper_cnn`] (asserted by a unit test).
+pub const PAPER_CNN_PARAMS: usize = 1_248_394;
+
+/// The paper's Fig. 5 CNN for CIFAR-10-shaped inputs (`[B, 3, 32, 32]`):
+/// two blocks of (conv3×3 → ReLU → conv3×3 → ReLU → maxpool → dropout)
+/// with 32 then 64 channels, followed by dense(288)+ReLU+dropout and a
+/// dense softmax head. ~1.25 M parameters, matching the figure caption.
+pub fn paper_cnn<R: Rng + ?Sized>(rng: &mut R, dropout_seed: u64) -> Sequential {
+    Sequential::new()
+        // Block 1.
+        .push(Conv2d::new(3, 32, 3, 1, rng))
+        .push(Relu::new())
+        .push(Conv2d::new(32, 32, 3, 1, rng))
+        .push(Relu::new())
+        .push(MaxPool2x2::new())
+        .push(Dropout::new(0.25, dropout_seed))
+        // Block 2.
+        .push(Conv2d::new(32, 64, 3, 1, rng))
+        .push(Relu::new())
+        .push(Conv2d::new(64, 64, 3, 1, rng))
+        .push(Relu::new())
+        .push(MaxPool2x2::new())
+        .push(Dropout::new(0.25, dropout_seed.wrapping_add(1)))
+        // Head.
+        .push(Flatten::new())
+        .push(Dense::new_he(64 * 8 * 8, PAPER_CNN_HIDDEN, rng))
+        .push(Relu::new())
+        .push(Dropout::new(0.5, dropout_seed.wrapping_add(2)))
+        .push(Dense::new_xavier(PAPER_CNN_HIDDEN, 10, rng))
+}
+
+/// A scaled-down CNN with the same topology for MNIST-shaped inputs
+/// (`[B, 1, 28, 28]` is padded to 32×32 by the dataset loader here we
+/// expect `[B, 1, 32, 32]`).
+pub fn small_cnn<R: Rng + ?Sized>(rng: &mut R, dropout_seed: u64) -> Sequential {
+    Sequential::new()
+        .push(Conv2d::new(1, 8, 3, 1, rng))
+        .push(Relu::new())
+        .push(MaxPool2x2::new())
+        .push(Dropout::new(0.25, dropout_seed))
+        .push(Conv2d::new(8, 16, 3, 1, rng))
+        .push(Relu::new())
+        .push(MaxPool2x2::new())
+        .push(Flatten::new())
+        .push(Dense::new_he(16 * 8 * 8, 64, rng))
+        .push(Relu::new())
+        .push(Dense::new_xavier(64, 10, rng))
+}
+
+/// A multilayer perceptron over flat feature vectors: `dims` lists the
+/// layer widths from input to output, e.g. `[64, 32, 10]`. Used for the
+/// tractable full-parameter accuracy sweeps (Figs. 6–9), where the paper's
+/// findings depend on the aggregation structure, not the model family.
+pub fn mlp<R: Rng + ?Sized>(dims: &[usize], rng: &mut R) -> Sequential {
+    assert!(dims.len() >= 2, "mlp needs at least input and output dims");
+    let mut m = Sequential::new();
+    for i in 0..dims.len() - 1 {
+        let last = i == dims.len() - 2;
+        if last {
+            m = m.push(Dense::new_xavier(dims[i], dims[i + 1], rng));
+        } else {
+            m = m.push(Dense::new_he(dims[i], dims[i + 1], rng)).push(Relu::new());
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_cnn_has_1_25m_params() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = paper_cnn(&mut rng, 0);
+        // Fig. 5 caption: "relatively small with 1.25M parameters".
+        assert_eq!(m.num_params(), PAPER_CNN_PARAMS);
+        let mm = m.num_params() as f64 / 1e6;
+        assert!((mm - 1.25).abs() < 0.01, "got {mm:.3}M");
+    }
+
+    #[test]
+    fn paper_cnn_forward_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut m = paper_cnn(&mut rng, 0);
+        let x = Tensor::zeros(&[2, 3, 32, 32]);
+        let y = m.forward(&x, false);
+        assert_eq!(y.shape(), &[2, 10]);
+    }
+
+    #[test]
+    fn paper_cnn_backward_runs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut m = paper_cnn(&mut rng, 0);
+        let x = Tensor::zeros(&[1, 3, 32, 32]);
+        let mut opt = crate::optim::Adam::paper_default();
+        let (loss, _) = m.train_batch(&x, &[3], &mut opt);
+        assert!(loss.is_finite());
+    }
+
+    #[test]
+    fn small_cnn_shapes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut m = small_cnn(&mut rng, 0);
+        let x = Tensor::zeros(&[2, 1, 32, 32]);
+        assert_eq!(m.forward(&x, false).shape(), &[2, 10]);
+    }
+
+    #[test]
+    fn mlp_structure() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = mlp(&[64, 32, 10], &mut rng);
+        assert_eq!(m.num_params(), 64 * 32 + 32 + 32 * 10 + 10);
+    }
+}

@@ -1,0 +1,156 @@
+//! Optimizers: plain SGD and Adam (the paper trains with Adam, lr 1e-4).
+
+use crate::layer::Param;
+
+/// Gradient-based parameter update rule.
+pub trait Optimizer {
+    /// Applies one update step to `params` using their accumulated
+    /// gradients, then zeroes the gradients. The slice must have the same
+    /// composition on every call (per-parameter state is positional).
+    fn step(&mut self, params: &mut [&mut Param]);
+}
+
+/// Vanilla stochastic gradient descent.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// SGD with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        for p in params {
+            let lr = self.lr;
+            for (v, g) in p.value.data_mut().iter_mut().zip(p.grad.data()) {
+                *v -= lr * g;
+            }
+            p.zero_grad();
+        }
+    }
+}
+
+/// Adam (Kingma & Ba). Defaults match the paper: `lr = 1e-4`,
+/// `β1 = 0.9`, `β2 = 0.999`, `ε = 1e-8`.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Adam with the paper's hyperparameters and the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// The paper's optimizer: Adam with lr 1e-4.
+    pub fn paper_default() -> Self {
+        Self::new(1e-4)
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| vec![0.0; p.len()]).collect();
+            self.v = params.iter().map(|p| vec![0.0; p.len()]).collect();
+        }
+        assert_eq!(self.m.len(), params.len(), "parameter set changed");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in params.iter_mut().enumerate() {
+            assert_eq!(self.m[i].len(), p.len(), "parameter {i} resized");
+            let (m, v) = (&mut self.m[i], &mut self.v[i]);
+            for ((val, &g), (mi, vi)) in p
+                .value
+                .data_mut()
+                .iter_mut()
+                .zip(p.grad.data())
+                .zip(m.iter_mut().zip(v.iter_mut()))
+            {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+                let mhat = *mi / b1t;
+                let vhat = *vi / b2t;
+                *val -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+            p.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    fn quad_param(x0: f32) -> Param {
+        Param::new(Tensor::from_vec(&[1, 1], vec![x0]))
+    }
+
+    /// Minimize f(x) = x^2 ; gradient 2x.
+    fn run<O: Optimizer>(opt: &mut O, x0: f32, iters: usize) -> f32 {
+        let mut p = quad_param(x0);
+        for _ in 0..iters {
+            let x = p.value.data()[0];
+            p.grad.data_mut()[0] = 2.0 * x;
+            opt.step(&mut [&mut p]);
+        }
+        p.value.data()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let x = run(&mut Sgd::new(0.1), 5.0, 100);
+        assert!(x.abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let x = run(&mut Adam::new(0.1), 5.0, 500);
+        assert!(x.abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut p = quad_param(1.0);
+        p.grad.data_mut()[0] = 3.0;
+        Sgd::new(0.1).step(&mut [&mut p]);
+        assert_eq!(p.grad.data()[0], 0.0);
+    }
+
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        // With bias correction, the very first Adam step has magnitude ~lr.
+        let mut p = quad_param(1.0);
+        p.grad.data_mut()[0] = 0.5;
+        let mut a = Adam::new(0.01);
+        a.step(&mut [&mut p]);
+        let delta: f32 = 1.0 - p.value.data()[0];
+        assert!((delta - 0.01).abs() < 1e-4, "delta {delta}");
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter set changed")]
+    fn adam_rejects_changing_param_count() {
+        let mut a = Adam::new(0.01);
+        let mut p1 = quad_param(1.0);
+        a.step(&mut [&mut p1]);
+        let mut p2 = quad_param(1.0);
+        a.step(&mut [&mut p1, &mut p2]);
+    }
+}

@@ -1,0 +1,247 @@
+//! A minimal dense tensor for CPU training.
+//!
+//! Row-major `f32` storage with an explicit shape. Only the operations the
+//! paper's CNN/MLP need are implemented — 2-D matrix product, transpose,
+//! broadcasting bias addition, elementwise maps — all in safe Rust. The
+//! matrix product is cache-blocked over the inner dimension (ikj loop
+//! order), which is enough to train the Fig. 5 CNN on synthetic data.
+
+use std::fmt;
+
+/// A dense row-major tensor of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// An all-zero tensor of the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let n: usize = shape.iter().product();
+        Tensor { shape: shape.to_vec(), data: vec![0.0; n] }
+    }
+
+    /// Builds a tensor from raw data; `data.len()` must equal the shape
+    /// product.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(data.len(), n, "data length {} != shape product {n}", data.len());
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the raw data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the raw data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    pub fn reshaped(&self, shape: &[usize]) -> Tensor {
+        let n: usize = shape.iter().product();
+        assert_eq!(n, self.data.len(), "reshape changes element count");
+        Tensor { shape: shape.to_vec(), data: self.data.clone() }
+    }
+
+    /// Number of rows when viewed as a 2-D matrix.
+    pub fn rows(&self) -> usize {
+        assert_eq!(self.shape.len(), 2, "not a matrix");
+        self.shape[0]
+    }
+
+    /// Number of columns when viewed as a 2-D matrix.
+    pub fn cols(&self) -> usize {
+        assert_eq!(self.shape.len(), 2, "not a matrix");
+        self.shape[1]
+    }
+
+    /// Element accessor for 2-D tensors.
+    pub fn at2(&self, r: usize, c: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        self.data[r * self.shape[1] + c]
+    }
+
+    /// Mutable element accessor for 2-D tensors.
+    pub fn at2_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        &mut self.data[r * self.shape[1] + c]
+    }
+
+    /// Matrix product `self (m×k) · other (k×n) -> (m×n)`.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "lhs not a matrix");
+        assert_eq!(other.shape.len(), 2, "rhs not a matrix");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "inner dimensions differ: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        // ikj order: the inner loop runs over contiguous rows of `other`
+        // and `out`, which vectorizes well.
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor::from_vec(&[m, n], out)
+    }
+
+    /// Transpose of a 2-D tensor.
+    pub fn transposed(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "not a matrix");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor::from_vec(&[n, m], out)
+    }
+
+    /// Adds `bias` (length = last dim) to every row of a 2-D tensor.
+    pub fn add_row_broadcast(&mut self, bias: &[f32]) {
+        assert_eq!(self.shape.len(), 2, "not a matrix");
+        let n = self.shape[1];
+        assert_eq!(bias.len(), n, "bias length mismatch");
+        for row in self.data.chunks_exact_mut(n) {
+            for (x, b) in row.iter_mut().zip(bias) {
+                *x += b;
+            }
+        }
+    }
+
+    /// Elementwise in-place map.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Elementwise sum with another tensor of identical shape.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Scales every element.
+    pub fn scale(&mut self, s: f32) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Sum over rows of a 2-D tensor, yielding a vector of length `cols`.
+    pub fn sum_rows(&self) -> Vec<f32> {
+        assert_eq!(self.shape.len(), 2, "not a matrix");
+        let n = self.shape[1];
+        let mut out = vec![0.0f32; n];
+        for row in self.data.chunks_exact(n) {
+            for (o, x) in out.iter_mut().zip(row) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(&[3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(&[2, 2], vec![3., -1., 2., 5.]);
+        let i = Tensor::from_vec(&[2, 2], vec![1., 0., 0., 1.]);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.transposed().transposed(), a);
+        assert_eq!(a.transposed().data(), &[1., 4., 2., 5., 3., 6.]);
+    }
+
+    #[test]
+    fn broadcast_and_sums() {
+        let mut a = Tensor::from_vec(&[2, 2], vec![0., 0., 1., 1.]);
+        a.add_row_broadcast(&[10., 20.]);
+        assert_eq!(a.data(), &[10., 20., 11., 21.]);
+        assert_eq!(a.sum_rows(), vec![21., 41.]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = a.reshaped(&[3, 2]);
+        assert_eq!(b.shape(), &[3, 2]);
+        assert_eq!(b.data(), a.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_dimension_mismatch_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn map_scale_norm() {
+        let mut a = Tensor::from_vec(&[1, 2], vec![3., 4.]);
+        assert_eq!(a.norm(), 5.0);
+        a.map_inplace(|x| x * 2.0);
+        assert_eq!(a.data(), &[6., 8.]);
+        a.scale(0.5);
+        assert_eq!(a.data(), &[3., 4.]);
+    }
+}

@@ -1,0 +1,65 @@
+//! End-to-end training smoke tests for the convolutional path: the
+//! image-shaped pipeline the paper uses (Fig. 5), at reduced scale so CI
+//! stays fast. The full-size Fig. 5 CNN has its own (ignored) test.
+
+use p2pfl_ml::data::{mnist_like, train_test_split};
+use p2pfl_ml::metrics::evaluate;
+use p2pfl_ml::models::{paper_cnn, small_cnn};
+use p2pfl_ml::optim::Adam;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn small_cnn_learns_mnist_like() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let (train, test) = train_test_split(&mnist_like(360, 7), 240);
+    let mut model = small_cnn(&mut rng, 0);
+    let mut opt = Adam::new(1e-3);
+    let (loss_before, acc_before) = evaluate(&mut model, &test, 32);
+
+    let mut step_rng = StdRng::seed_from_u64(2);
+    for _epoch in 0..3 {
+        for idx in train.minibatch_indices(16, &mut step_rng) {
+            let (x, y) = train.gather(&idx);
+            let (loss, _) = model.train_batch(&x, &y, &mut opt);
+            assert!(loss.is_finite(), "loss diverged");
+        }
+    }
+    let (loss_after, acc_after) = evaluate(&mut model, &test, 32);
+    assert!(
+        loss_after < loss_before,
+        "loss {loss_before:.3} -> {loss_after:.3}"
+    );
+    assert!(
+        acc_after > acc_before + 0.2,
+        "accuracy {acc_before:.3} -> {acc_after:.3}"
+    );
+}
+
+#[test]
+fn small_cnn_params_flow_through_aggregation_types() {
+    // The conv path must round-trip through the flat-parameter bridge the
+    // aggregation protocols use.
+    let mut rng = StdRng::seed_from_u64(3);
+    let m1 = small_cnn(&mut rng, 0);
+    let flat = m1.params_flat();
+    let mut m2 = small_cnn(&mut rng, 1);
+    m2.set_params_flat(&flat);
+    assert_eq!(m2.params_flat(), flat);
+}
+
+/// The paper-scale model: one full train step on the 1.25 M-parameter CNN.
+/// Ignored by default (seconds of CPU); run with `cargo test -- --ignored`.
+#[test]
+#[ignore = "paper-scale CNN; run explicitly with --ignored"]
+fn paper_cnn_trains_one_step_at_full_size() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut model = paper_cnn(&mut rng, 0);
+    let data = p2pfl_ml::data::cifar_like(8, 5);
+    let (x, y) = data.full_batch();
+    let mut opt = Adam::paper_default();
+    let (l1, _) = model.train_batch(&x, &y, &mut opt);
+    let (l2, _) = model.train_batch(&x, &y, &mut opt);
+    assert!(l1.is_finite() && l2.is_finite());
+    assert!(l2 < l1, "loss should drop on the same batch: {l1} -> {l2}");
+}

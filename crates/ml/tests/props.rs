@@ -1,0 +1,111 @@
+//! Property tests for the ML substrate: loss/softmax identities, model
+//! parameter round-trips, and partitioner conservation laws.
+
+use p2pfl_ml::data::{partition_dataset, synthetic, Partition};
+use p2pfl_ml::loss::{accuracy, softmax, softmax_cross_entropy};
+use p2pfl_ml::models::mlp;
+use p2pfl_ml::tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn logits(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-20.0f32..20.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(&[rows, cols], v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Softmax rows are probability distributions, invariant to shifting
+    /// all logits of a row by a constant.
+    #[test]
+    fn softmax_is_shift_invariant_distribution(l in logits(4, 6), shift in -50.0f32..50.0) {
+        let p = softmax(&l);
+        for row in p.data().chunks_exact(6) {
+            let s: f32 = row.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-5);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+        }
+        let mut shifted = l.clone();
+        shifted.map_inplace(|x| x + shift);
+        let q = softmax(&shifted);
+        for (a, b) in p.data().iter().zip(q.data()) {
+            prop_assert!((a - b).abs() < 1e-4, "shift variance {a} vs {b}");
+        }
+    }
+
+    /// Cross-entropy is non-negative and ln(C) for uniform logits; its
+    /// gradient rows sum to ~0 (softmax minus one-hot).
+    #[test]
+    fn cross_entropy_identities(l in logits(3, 5), labels in proptest::collection::vec(0usize..5, 3)) {
+        let (loss, grad) = softmax_cross_entropy(&l, &labels);
+        prop_assert!(loss >= 0.0);
+        for row in grad.data().chunks_exact(5) {
+            let s: f32 = row.iter().sum();
+            prop_assert!(s.abs() < 1e-5, "gradient row sums to {s}");
+        }
+        prop_assert!((0.0..=1.0).contains(&accuracy(&l, &labels)));
+    }
+
+    /// Model flat-parameter export/import is a lossless round-trip, and
+    /// applying it twice is idempotent.
+    #[test]
+    fn params_round_trip(seed in any::<u64>(), dims_pick in 0usize..3) {
+        let dims: &[usize] = match dims_pick {
+            0 => &[4, 8, 3],
+            1 => &[6, 5],
+            _ => &[3, 7, 7, 2],
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = mlp(dims, &mut rng);
+        let flat = m.params_flat();
+        prop_assert_eq!(flat.len(), m.num_params());
+        let mut m2 = mlp(dims, &mut rng);
+        m2.set_params_flat(&flat);
+        prop_assert_eq!(m2.params_flat(), flat.clone());
+        m2.set_params_flat(&flat);
+        prop_assert_eq!(m2.params_flat(), flat);
+    }
+
+    /// Every partitioner conserves the dataset size (and IID conserves
+    /// the exact sample multiset).
+    #[test]
+    fn partitioners_conserve_samples(
+        count_base in 10usize..40,
+        peers in 1usize..9,
+        seed in any::<u64>(),
+        mode in 0usize..3,
+    ) {
+        let count = count_base * 10; // enough per class
+        let d = synthetic(&[4], 10, count, 0.3, seed);
+        let partition = match mode {
+            0 => Partition::Iid,
+            1 => Partition::NON_IID_5,
+            _ => Partition::NON_IID_0,
+        };
+        let parts = partition_dataset(&d, peers, partition, seed ^ 1);
+        prop_assert_eq!(parts.len(), peers);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        match partition {
+            Partition::Iid => prop_assert_eq!(total, count),
+            // Non-IID deals fixed quotas of count/peers per peer.
+            Partition::NonIid { .. } => prop_assert_eq!(total, (count / peers) * peers),
+        }
+        for p in &parts {
+            prop_assert_eq!(p.num_classes, 10);
+            prop_assert_eq!(p.sample_dim(), 4);
+        }
+    }
+
+    /// Non-IID(0%) gives each peer at most two classes, regardless of
+    /// peer count and seed.
+    #[test]
+    fn non_iid_zero_is_two_class(peers in 1usize..8, seed in any::<u64>()) {
+        let d = synthetic(&[4], 10, 800, 0.3, seed);
+        for p in partition_dataset(&d, peers, Partition::NON_IID_0, seed ^ 2) {
+            let classes = p.class_histogram().iter().filter(|&&h| h > 0).count();
+            prop_assert!(classes <= 2, "{classes} classes");
+        }
+    }
+}

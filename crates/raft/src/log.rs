@@ -1,0 +1,247 @@
+//! The replicated log.
+
+use crate::types::{Command, LogCmd, LogIndex, Term};
+
+/// One log entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry<C> {
+    /// Term in which the entry was created.
+    pub term: Term,
+    /// 1-based position in the log.
+    pub index: LogIndex,
+    /// The replicated command.
+    pub cmd: LogCmd<C>,
+}
+
+impl<C: Command> Entry<C> {
+    /// Serialized size: 16 bytes of header plus the command payload.
+    pub fn wire_bytes(&self) -> u64 {
+        16 + match &self.cmd {
+            LogCmd::Noop => 0,
+            LogCmd::App(c) => c.wire_bytes(),
+            LogCmd::AddServer(_) | LogCmd::RemoveServer(_) => 8,
+        }
+    }
+}
+
+/// An in-memory log with 1-based indexing (index 0 is the empty prefix),
+/// supporting prefix compaction: a snapshot at `snapshot_index` replaces
+/// every entry up to and including that index.
+#[derive(Debug, Clone, Default)]
+pub struct RaftLog<C> {
+    entries: Vec<Entry<C>>,
+    snapshot_index: LogIndex,
+    snapshot_term: Term,
+}
+
+impl<C: Command> RaftLog<C> {
+    /// An empty log.
+    pub fn new() -> Self {
+        RaftLog { entries: Vec::new(), snapshot_index: 0, snapshot_term: 0 }
+    }
+
+    /// A log that starts from an installed snapshot.
+    pub fn from_snapshot(snapshot_index: LogIndex, snapshot_term: Term) -> Self {
+        RaftLog { entries: Vec::new(), snapshot_index, snapshot_term }
+    }
+
+    /// Index covered by the compacted prefix (0 = nothing compacted).
+    pub fn snapshot_index(&self) -> LogIndex {
+        self.snapshot_index
+    }
+
+    /// Term of the last compacted entry.
+    pub fn snapshot_term(&self) -> Term {
+        self.snapshot_term
+    }
+
+    /// Number of entries currently held in memory.
+    pub fn live_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn slot(&self, index: LogIndex) -> Option<usize> {
+        if index <= self.snapshot_index {
+            None
+        } else {
+            Some((index - self.snapshot_index) as usize - 1)
+        }
+    }
+
+    /// Index of the last entry (the snapshot index when empty).
+    pub fn last_index(&self) -> LogIndex {
+        self.snapshot_index + self.entries.len() as LogIndex
+    }
+
+    /// Term of the last entry (the snapshot term when empty).
+    pub fn last_term(&self) -> Term {
+        self.entries.last().map_or(self.snapshot_term, |e| e.term)
+    }
+
+    /// Term of the entry at `index`; `Some(0)` for index 0, the snapshot
+    /// term at the snapshot boundary, `None` past the end *or inside the
+    /// compacted prefix* (whose terms are gone).
+    pub fn term_at(&self, index: LogIndex) -> Option<Term> {
+        if index == 0 {
+            return if self.snapshot_index == 0 { Some(0) } else { None };
+        }
+        if index == self.snapshot_index {
+            return Some(self.snapshot_term);
+        }
+        self.slot(index).and_then(|s| self.entries.get(s).map(|e| e.term))
+    }
+
+    /// The entry at `index`, if present (compacted entries are gone).
+    pub fn get(&self, index: LogIndex) -> Option<&Entry<C>> {
+        if index == 0 {
+            None
+        } else {
+            self.slot(index).and_then(|s| self.entries.get(s))
+        }
+    }
+
+    /// Appends a new entry created by the leader in `term`, returning its
+    /// index.
+    pub fn append(&mut self, term: Term, cmd: LogCmd<C>) -> LogIndex {
+        let index = self.last_index() + 1;
+        self.entries.push(Entry { term, index, cmd });
+        index
+    }
+
+    /// Appends an entry shipped by a leader, asserting index continuity.
+    pub fn append_entry(&mut self, entry: Entry<C>) {
+        assert_eq!(entry.index, self.last_index() + 1, "log gap");
+        self.entries.push(entry);
+    }
+
+    /// Drops every entry with `index >= from` (conflict resolution).
+    /// Panics when asked to truncate into the compacted prefix — committed
+    /// (hence snapshotted) entries can never conflict.
+    pub fn truncate_from(&mut self, from: LogIndex) {
+        assert!(from >= 1, "cannot truncate index 0");
+        assert!(from > self.snapshot_index, "cannot truncate the compacted prefix");
+        self.entries.truncate((from - self.snapshot_index) as usize - 1);
+    }
+
+    /// All entries with `index >= from`, cloned for shipping. Panics if
+    /// `from` lies inside the compacted prefix (callers must check
+    /// [`RaftLog::is_compacted`] and ship a snapshot instead).
+    pub fn entries_from(&self, from: LogIndex) -> Vec<Entry<C>> {
+        if from == 0 || from > self.last_index() {
+            return Vec::new();
+        }
+        assert!(
+            !self.is_compacted(from),
+            "entries_from({from}) reaches into the compacted prefix"
+        );
+        self.entries[(from - self.snapshot_index) as usize - 1..].to_vec()
+    }
+
+    /// Whether `index` falls inside the compacted prefix (its entry is no
+    /// longer available).
+    pub fn is_compacted(&self, index: LogIndex) -> bool {
+        index <= self.snapshot_index && self.snapshot_index > 0 && index >= 1
+    }
+
+    /// Compacts the prefix up to and including `upto`, which must be a
+    /// live index (callers compact only committed entries). Returns the
+    /// number of entries dropped.
+    pub fn compact(&mut self, upto: LogIndex) -> usize {
+        assert!(upto <= self.last_index(), "cannot compact beyond the log");
+        if upto <= self.snapshot_index {
+            return 0;
+        }
+        let term = self.term_at(upto).expect("live index");
+        let drop = (upto - self.snapshot_index) as usize;
+        self.entries.drain(..drop);
+        self.snapshot_index = upto;
+        self.snapshot_term = term;
+        drop
+    }
+
+    /// Raft's election restriction (paper Sec. III-C3): whether a candidate
+    /// whose log ends at `(last_term, last_index)` is at least as up-to-date
+    /// as this log.
+    pub fn candidate_is_up_to_date(&self, last_term: Term, last_index: LogIndex) -> bool {
+        (last_term, last_index) >= (self.last_term(), self.last_index())
+    }
+
+    /// Iterates all entries in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Entry<C>> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_with(terms: &[Term]) -> RaftLog<u64> {
+        let mut l = RaftLog::new();
+        for (i, &t) in terms.iter().enumerate() {
+            l.append(t, LogCmd::App(i as u64));
+        }
+        l
+    }
+
+    #[test]
+    fn empty_log_boundaries() {
+        let l: RaftLog<u64> = RaftLog::new();
+        assert_eq!(l.last_index(), 0);
+        assert_eq!(l.last_term(), 0);
+        assert_eq!(l.term_at(0), Some(0));
+        assert_eq!(l.term_at(1), None);
+        assert!(l.get(0).is_none());
+    }
+
+    #[test]
+    fn append_and_lookup() {
+        let l = log_with(&[1, 1, 2]);
+        assert_eq!(l.last_index(), 3);
+        assert_eq!(l.last_term(), 2);
+        assert_eq!(l.term_at(2), Some(1));
+        assert_eq!(l.get(3).unwrap().cmd, LogCmd::App(2));
+    }
+
+    #[test]
+    fn truncate_resolves_conflicts() {
+        let mut l = log_with(&[1, 1, 2, 2]);
+        l.truncate_from(3);
+        assert_eq!(l.last_index(), 2);
+        assert_eq!(l.last_term(), 1);
+    }
+
+    #[test]
+    fn entries_from_clones_suffix() {
+        let l = log_with(&[1, 2, 3]);
+        let tail = l.entries_from(2);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].index, 2);
+        assert!(l.entries_from(4).is_empty());
+    }
+
+    #[test]
+    fn up_to_date_compares_term_then_index() {
+        let l = log_with(&[1, 2]);
+        assert!(l.candidate_is_up_to_date(2, 2)); // equal
+        assert!(l.candidate_is_up_to_date(3, 1)); // higher term wins
+        assert!(l.candidate_is_up_to_date(2, 5)); // same term, longer log
+        assert!(!l.candidate_is_up_to_date(1, 10)); // lower term loses
+        assert!(!l.candidate_is_up_to_date(2, 1)); // same term, shorter
+    }
+
+    #[test]
+    #[should_panic(expected = "log gap")]
+    fn append_entry_rejects_gaps() {
+        let mut l: RaftLog<u64> = RaftLog::new();
+        l.append_entry(Entry { term: 1, index: 5, cmd: LogCmd::Noop });
+    }
+
+    #[test]
+    fn wire_bytes_by_kind() {
+        let e = Entry { term: 1, index: 1, cmd: LogCmd::App(9u64) };
+        assert_eq!(e.wire_bytes(), 24);
+        let n: Entry<u64> = Entry { term: 1, index: 1, cmd: LogCmd::Noop };
+        assert_eq!(n.wire_bytes(), 16);
+    }
+}

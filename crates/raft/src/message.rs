@@ -1,0 +1,153 @@
+//! Raft RPCs as simulator payloads.
+
+use crate::log::Entry;
+use crate::types::{Command, LogIndex, Term};
+use p2pfl_simnet::{NodeId, Payload};
+
+/// The Raft RPCs and their responses (paper Sec. III-C), plus the
+/// Pre-Vote probe (Raft dissertation §9.6) that prevents a rejoining
+/// peer with a stale log from disrupting a healthy cluster by inflating
+/// terms.
+#[derive(Debug, Clone)]
+pub enum RaftMsg<C> {
+    /// A would-be candidate probes whether an election could succeed,
+    /// without incrementing any term.
+    PreVote {
+        /// The term the prober *would* campaign at (`current + 1`).
+        term: Term,
+        /// The probing node.
+        candidate: NodeId,
+        /// Index of the prober's last log entry.
+        last_log_index: LogIndex,
+        /// Term of the prober's last log entry.
+        last_log_term: Term,
+    },
+    /// Pre-vote response; grants change no voter state.
+    PreVoteResp {
+        /// The proposed campaign term being answered.
+        term: Term,
+        /// Whether a real vote would plausibly be granted.
+        granted: bool,
+    },
+    /// Candidate solicits a vote.
+    RequestVote {
+        /// Candidate's term.
+        term: Term,
+        /// The candidate asking for the vote.
+        candidate: NodeId,
+        /// Index of the candidate's last log entry.
+        last_log_index: LogIndex,
+        /// Term of the candidate's last log entry.
+        last_log_term: Term,
+    },
+    /// Vote response.
+    RequestVoteResp {
+        /// Voter's current term.
+        term: Term,
+        /// Whether the vote was granted.
+        granted: bool,
+    },
+    /// Leader replicates entries / sends heartbeats.
+    AppendEntries {
+        /// Leader's term.
+        term: Term,
+        /// The leader's id (so followers learn who leads).
+        leader: NodeId,
+        /// Index of the entry immediately preceding the new ones.
+        prev_log_index: LogIndex,
+        /// Term of that entry.
+        prev_log_term: Term,
+        /// New entries (empty for heartbeats).
+        entries: Vec<Entry<C>>,
+        /// Leader's commit index.
+        leader_commit: LogIndex,
+    },
+    /// Leader ships its compacted state to a follower whose next entry
+    /// has been compacted away (Raft log compaction, dissertation ch. 5).
+    InstallSnapshot {
+        /// Leader's term.
+        term: Term,
+        /// The leader's id.
+        leader: NodeId,
+        /// Index of the last entry covered by the snapshot.
+        last_index: LogIndex,
+        /// Term of that entry.
+        last_term: Term,
+        /// Cluster membership as of the snapshot.
+        cluster: Vec<NodeId>,
+        /// Opaque state-machine snapshot.
+        data: Vec<u8>,
+    },
+    /// AppendEntries response.
+    AppendEntriesResp {
+        /// Follower's current term.
+        term: Term,
+        /// Whether the consistency check passed and entries were stored.
+        success: bool,
+        /// Highest log index known replicated on the follower (valid when
+        /// `success`); on failure, a hint for where to retry from.
+        match_index: LogIndex,
+    },
+}
+
+impl<C: Command + Send + 'static> Payload for RaftMsg<C> {
+    fn size_bytes(&self) -> u64 {
+        match self {
+            RaftMsg::PreVote { .. } => 32,
+            RaftMsg::PreVoteResp { .. } => 16,
+            RaftMsg::RequestVote { .. } => 32,
+            RaftMsg::RequestVoteResp { .. } => 16,
+            RaftMsg::AppendEntries { entries, .. } => {
+                40 + entries.iter().map(|e| e.wire_bytes()).sum::<u64>()
+            }
+            RaftMsg::InstallSnapshot { cluster, data, .. } => {
+                40 + 8 * cluster.len() as u64 + data.len() as u64
+            }
+            RaftMsg::AppendEntriesResp { .. } => 24,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            RaftMsg::PreVote { .. } => "raft.pre_vote",
+            RaftMsg::PreVoteResp { .. } => "raft.pre_vote_resp",
+            RaftMsg::RequestVote { .. } => "raft.request_vote",
+            RaftMsg::RequestVoteResp { .. } => "raft.request_vote_resp",
+            RaftMsg::AppendEntries { entries, .. } if entries.is_empty() => "raft.heartbeat",
+            RaftMsg::AppendEntries { .. } => "raft.append_entries",
+            RaftMsg::InstallSnapshot { .. } => "raft.install_snapshot",
+            RaftMsg::AppendEntriesResp { .. } => "raft.append_entries_resp",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::LogCmd;
+
+    #[test]
+    fn sizes_and_kinds() {
+        let hb: RaftMsg<u64> = RaftMsg::AppendEntries {
+            term: 1,
+            leader: NodeId(0),
+            prev_log_index: 0,
+            prev_log_term: 0,
+            entries: vec![],
+            leader_commit: 0,
+        };
+        assert_eq!(hb.kind(), "raft.heartbeat");
+        assert_eq!(hb.size_bytes(), 40);
+
+        let ae: RaftMsg<u64> = RaftMsg::AppendEntries {
+            term: 1,
+            leader: NodeId(0),
+            prev_log_index: 0,
+            prev_log_term: 0,
+            entries: vec![Entry { term: 1, index: 1, cmd: LogCmd::App(1) }],
+            leader_commit: 0,
+        };
+        assert_eq!(ae.kind(), "raft.append_entries");
+        assert_eq!(ae.size_bytes(), 40 + 24);
+    }
+}

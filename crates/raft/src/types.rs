@@ -1,0 +1,80 @@
+//! Core Raft identifiers and roles.
+
+use std::fmt;
+
+/// A Raft term — the logical clock of the protocol (paper Sec. III-C).
+pub type Term = u64;
+
+/// 1-based index into the replicated log; 0 means "before the first entry".
+pub type LogIndex = u64;
+
+/// The three server states of Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Passive replica responding to leaders and candidates.
+    Follower,
+    /// Election in progress, gathering votes.
+    Candidate,
+    /// Handles client requests and drives replication.
+    Leader,
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Role::Follower => "follower",
+            Role::Candidate => "candidate",
+            Role::Leader => "leader",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Commands the replicated log can carry: an application command or a
+/// single-server membership change (Raft's cluster membership change
+/// protocol, used when a new subgroup leader joins the FedAvg layer).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogCmd<C> {
+    /// No-op committed by a fresh leader to finalize prior-term entries.
+    Noop,
+    /// An application command.
+    App(C),
+    /// Adds a server to the cluster configuration.
+    AddServer(p2pfl_simnet::NodeId),
+    /// Removes a server from the cluster configuration.
+    RemoveServer(p2pfl_simnet::NodeId),
+}
+
+/// Commands must report their wire size so Raft traffic enters the
+/// communication ledger faithfully.
+pub trait Command: Clone + Send + 'static {
+    /// Serialized size of the command in bytes.
+    fn wire_bytes(&self) -> u64 {
+        8
+    }
+}
+
+impl Command for u64 {}
+impl Command for () {
+    fn wire_bytes(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_display() {
+        assert_eq!(Role::Leader.to_string(), "leader");
+        assert_eq!(Role::Follower.to_string(), "follower");
+        assert_eq!(Role::Candidate.to_string(), "candidate");
+    }
+
+    #[test]
+    fn default_command_sizes() {
+        assert_eq!(7u64.wire_bytes(), 8);
+        assert_eq!(().wire_bytes(), 0);
+    }
+}

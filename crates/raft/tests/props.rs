@@ -1,0 +1,88 @@
+//! Property tests for the Raft log and protocol invariants.
+
+use p2pfl_raft::{Entry, LogCmd, RaftLog};
+use proptest::prelude::*;
+
+fn arbitrary_log() -> impl Strategy<Value = RaftLog<u64>> {
+    // Terms are non-decreasing along any real Raft log.
+    proptest::collection::vec(0u64..4, 0..30).prop_map(|increments| {
+        let mut log = RaftLog::new();
+        let mut term = 1u64;
+        for (i, inc) in increments.into_iter().enumerate() {
+            term += inc;
+            log.append(term, LogCmd::App(i as u64));
+        }
+        log
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Terms along a log are non-decreasing and `term_at` is consistent
+    /// with iteration.
+    #[test]
+    fn log_terms_non_decreasing(log in arbitrary_log()) {
+        let mut prev = 0u64;
+        for e in log.iter() {
+            prop_assert!(e.term >= prev);
+            prop_assert_eq!(log.term_at(e.index), Some(e.term));
+            prev = e.term;
+        }
+        prop_assert_eq!(log.term_at(0), Some(0));
+        prop_assert_eq!(log.term_at(log.last_index() + 1), None);
+    }
+
+    /// Truncation keeps exactly the prefix.
+    #[test]
+    fn truncate_keeps_prefix(log in arbitrary_log(), cut_off in 1u64..40) {
+        let mut l = log.clone();
+        let cut = cut_off.min(l.last_index() + 1).max(1);
+        l.truncate_from(cut);
+        prop_assert_eq!(l.last_index(), cut - 1);
+        for e in l.iter() {
+            prop_assert_eq!(Some(e), log.get(e.index));
+        }
+    }
+
+    /// `entries_from` + `append_entry` round-trips a suffix onto another
+    /// log sharing the prefix (the AppendEntries shipping path).
+    #[test]
+    fn shipping_suffix_reconstructs_log(log in arbitrary_log(), from_off in 1u64..40) {
+        let from = from_off.min(log.last_index() + 1).max(1);
+        let mut receiver = RaftLog::new();
+        for e in log.iter().take(from as usize - 1) {
+            receiver.append_entry(e.clone());
+        }
+        for e in log.entries_from(from) {
+            receiver.append_entry(e);
+        }
+        prop_assert_eq!(receiver.last_index(), log.last_index());
+        prop_assert_eq!(receiver.last_term(), log.last_term());
+        for e in log.iter() {
+            prop_assert_eq!(receiver.get(e.index), Some(e));
+        }
+    }
+
+    /// The election restriction is a total preorder: for any two logs,
+    /// at least one is "up-to-date" relative to the other, and a log is
+    /// always up-to-date with itself.
+    #[test]
+    fn up_to_date_is_total(a in arbitrary_log(), b in arbitrary_log()) {
+        let a_ok = b.candidate_is_up_to_date(a.last_term(), a.last_index());
+        let b_ok = a.candidate_is_up_to_date(b.last_term(), b.last_index());
+        prop_assert!(a_ok || b_ok, "neither log up-to-date wrt the other");
+        prop_assert!(a.candidate_is_up_to_date(a.last_term(), a.last_index()));
+    }
+
+    /// Entry wire sizes are positive and additive over a batch.
+    #[test]
+    fn entry_sizes_additive(log in arbitrary_log()) {
+        let total: u64 = log.iter().map(Entry::wire_bytes).sum();
+        let shipped: u64 = log.entries_from(1).iter().map(Entry::wire_bytes).sum();
+        prop_assert_eq!(total, shipped);
+        for e in log.iter() {
+            prop_assert!(e.wire_bytes() >= 16);
+        }
+    }
+}

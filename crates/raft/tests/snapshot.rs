@@ -1,0 +1,181 @@
+//! Log compaction and InstallSnapshot: long-running deployments must keep
+//! memory bounded, and a follower that slept through the compaction
+//! window must still catch up — via the snapshot, not the (discarded)
+//! entries.
+
+use p2pfl_raft::{Entry, LogCmd, RaftActor, RaftConfig, RaftLog, RaftMsg, StateMachine};
+use p2pfl_simnet::{NodeId, Sim, SimDuration, SimTime};
+
+// ----------------------------------------------------------------------
+// Log-level
+// ----------------------------------------------------------------------
+
+fn log_with(n: u64) -> RaftLog<u64> {
+    let mut l = RaftLog::new();
+    for i in 0..n {
+        l.append(1 + i / 4, LogCmd::App(i));
+    }
+    l
+}
+
+#[test]
+fn compaction_preserves_the_visible_suffix() {
+    let mut l = log_with(10);
+    assert_eq!(l.compact(6), 6);
+    assert_eq!(l.snapshot_index(), 6);
+    assert_eq!(l.last_index(), 10);
+    assert_eq!(l.live_entries(), 4);
+    // The suffix is intact and indexable by its original indices.
+    for i in 7..=10u64 {
+        assert_eq!(l.get(i).unwrap().index, i);
+    }
+    // The prefix is gone.
+    assert!(l.get(6).is_none());
+    assert!(l.is_compacted(3));
+    // The boundary term is retained for the consistency check.
+    assert_eq!(l.term_at(6), Some(l.snapshot_term()));
+    // Appending continues from the true end.
+    let idx = l.append(9, LogCmd::Noop);
+    assert_eq!(idx, 11);
+}
+
+#[test]
+fn repeated_compaction_is_idempotent_and_monotone() {
+    let mut l = log_with(8);
+    assert_eq!(l.compact(5), 5);
+    assert_eq!(l.compact(5), 0, "same point: nothing more to drop");
+    assert_eq!(l.compact(3), 0, "cannot go backwards");
+    assert_eq!(l.compact(8), 3);
+    assert_eq!(l.live_entries(), 0);
+    assert_eq!(l.last_index(), 8);
+}
+
+#[test]
+#[should_panic(expected = "compacted prefix")]
+fn truncating_into_the_snapshot_panics() {
+    let mut l = log_with(6);
+    l.compact(4);
+    l.truncate_from(3);
+}
+
+#[test]
+#[should_panic(expected = "compacted prefix")]
+fn shipping_compacted_entries_panics() {
+    let mut l = log_with(6);
+    l.compact(4);
+    let _ = l.entries_from(2);
+}
+
+// ----------------------------------------------------------------------
+// Cluster-level: snapshot catch-up through the simulator
+// ----------------------------------------------------------------------
+
+/// A state machine whose state is the sum of applied commands; snapshots
+/// serialize that sum.
+struct Summer {
+    sum: u64,
+    restored: bool,
+}
+
+impl StateMachine<u64> for Summer {
+    fn apply(&mut self, entry: &Entry<u64>) {
+        if let LogCmd::App(v) = &entry.cmd {
+            self.sum += v;
+        }
+    }
+    fn snapshot(&self) -> Vec<u8> {
+        self.sum.to_le_bytes().to_vec()
+    }
+    fn restore(&mut self, data: &[u8]) {
+        self.sum = u64::from_le_bytes(data.try_into().expect("8-byte snapshot"));
+        self.restored = true;
+    }
+}
+
+type Node = RaftActor<u64, Summer>;
+
+#[test]
+fn lagging_follower_catches_up_via_install_snapshot() {
+    let mut sim: Sim<RaftMsg<u64>> = Sim::new(7);
+    let ids: Vec<NodeId> = (0..3).map(NodeId).collect();
+    for &id in &ids {
+        let cfg = RaftConfig::paper(id, ids.clone(), SimDuration::from_millis(100), id.0 as u64);
+        sim.add_node(RaftActor::new(cfg, Summer { sum: 0, restored: false }));
+    }
+    sim.run_until(SimTime::from_secs(2));
+    let leader = *ids.iter().find(|&&id| sim.actor::<Node>(id).is_leader()).unwrap();
+    let victim = *ids.iter().find(|&&id| id != leader).unwrap();
+
+    // The victim sleeps through a burst of commits...
+    let at = sim.now() + SimDuration::from_millis(1);
+    sim.schedule_crash(victim, at);
+    sim.run_for(SimDuration::from_millis(100));
+    let mut expect_sum = 0u64;
+    for v in 1..=20u64 {
+        expect_sum += v;
+        sim.exec::<Node, _, _>(leader, |a, ctx| {
+            a.propose(ctx, v).unwrap();
+        });
+        sim.run_for(SimDuration::from_millis(40));
+    }
+    // ... and the leader compacts them away.
+    let dropped = sim.exec::<Node, _, _>(leader, |a, _| a.compact_log());
+    assert!(dropped >= 20, "compaction dropped {dropped} entries");
+    assert!(sim.actor::<Node>(leader).raft().log().live_entries() < 3);
+
+    // The victim returns: the entries it needs no longer exist, so the
+    // leader must ship the snapshot.
+    let at = sim.now() + SimDuration::from_millis(1);
+    sim.schedule_restart(victim, at);
+    sim.run_for(SimDuration::from_secs(3));
+    let v = sim.actor::<Node>(victim);
+    assert!(v.sm.restored, "snapshot must have been installed");
+    assert_eq!(v.sm.sum, expect_sum, "state machine caught up");
+    assert_eq!(
+        v.raft().log().snapshot_index(),
+        sim.actor::<Node>(leader).raft().log().snapshot_index()
+    );
+
+    // Replication continues normally past the snapshot.
+    sim.exec::<Node, _, _>(leader, |a, ctx| {
+        a.propose(ctx, 1000).unwrap();
+    });
+    sim.run_for(SimDuration::from_secs(1));
+    assert_eq!(sim.actor::<Node>(victim).sm.sum, expect_sum + 1000);
+}
+
+#[test]
+fn compaction_keeps_memory_bounded_over_many_rounds() {
+    let mut sim: Sim<RaftMsg<u64>> = Sim::new(9);
+    let ids: Vec<NodeId> = (0..3).map(NodeId).collect();
+    for &id in &ids {
+        let cfg = RaftConfig::paper(id, ids.clone(), SimDuration::from_millis(100), id.0 as u64);
+        sim.add_node(RaftActor::new(cfg, Summer { sum: 0, restored: false }));
+    }
+    sim.run_until(SimTime::from_secs(2));
+    let leader = *ids.iter().find(|&&id| sim.actor::<Node>(id).is_leader()).unwrap();
+    // Periodic commit + compact on every node, as a long-lived deployment
+    // would run it.
+    for burst in 0..10u64 {
+        for v in 0..10u64 {
+            sim.exec::<Node, _, _>(leader, |a, ctx| {
+                a.propose(ctx, burst * 10 + v).unwrap();
+            });
+            sim.run_for(SimDuration::from_millis(30));
+        }
+        for &id in &ids {
+            sim.exec::<Node, _, _>(id, |a, _| a.compact_log());
+        }
+    }
+    // Let the tail of the last burst replicate and apply everywhere.
+    sim.run_for(SimDuration::from_secs(1));
+    for &id in &ids {
+        let live = sim.actor::<Node>(id).raft().log().live_entries();
+        assert!(live <= 15, "node {id} holds {live} live entries after compaction");
+    }
+    // And all state machines agree.
+    let expect: u64 = (0..100u64).sum();
+    for &id in &ids {
+        assert_eq!(sim.actor::<Node>(id).sm.sum, expect, "node {id}");
+    }
+}

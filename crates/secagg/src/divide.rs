@@ -1,0 +1,169 @@
+//! Algorithm 1 — splitting a secret weight vector into `N` additive shares.
+//!
+//! Two share constructions are provided:
+//!
+//! * [`divide_scaled`] is the paper's Alg. 1 verbatim: draw `N` random
+//!   numbers, normalize them into convex weights `prn_i`, and emit shares
+//!   `par_w_i = prn_i · w`. Shares sum to `w` exactly (up to float error).
+//!   Note that a *single* scaled share reveals the direction of `w`; the
+//!   paper uses this construction anyway, so we keep it for fidelity and
+//!   document the leak.
+//! * [`divide_masked`] is standard additive masking: the first `N-1` shares
+//!   are i.i.d. uniform noise in `[-mask_bound, mask_bound]` and the last is
+//!   `w - Σ noise`. Any `N-1` shares are jointly independent of `w` (up to
+//!   the finite mask range), which is the textbook security argument for
+//!   additive secret sharing over bounded reals.
+//!
+//! Both satisfy the reconstruction invariant `Σ_i par_w_i = w` that every
+//! SAC variant relies on.
+
+use crate::weights::WeightVector;
+use rand::Rng;
+
+/// How shares are constructed by [`divide`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShareScheme {
+    /// The paper's Alg. 1: random convex scaling of the whole vector.
+    Scaled,
+    /// Standard additive masking (default; see module docs).
+    #[default]
+    Masked,
+}
+
+/// Magnitude of the uniform masks used by [`divide_masked`]. Large enough to
+/// swamp typical neural-network weights, small enough that `f64`
+/// accumulation error stays ~1e-9 of a weight.
+pub const DEFAULT_MASK_BOUND: f64 = 1e3;
+
+/// Paper Alg. 1: splits `w` into `n` shares `prn_i · w` where the `prn_i`
+/// are normalized positive random numbers summing to 1.
+///
+/// Panics if `n == 0`.
+pub fn divide_scaled<R: Rng + ?Sized>(w: &WeightVector, n: usize, rng: &mut R) -> Vec<WeightVector> {
+    assert!(n > 0, "cannot split into zero shares");
+    // Draw strictly positive random numbers so the normalizer can't be 0.
+    let rn: Vec<f64> = (0..n).map(|_| rng.random_range(0.05..1.0)).collect();
+    let total: f64 = rn.iter().sum();
+    rn.iter().map(|&r| w.scaled(r / total)).collect()
+}
+
+/// Standard additive masking: `n-1` uniform noise shares plus a correction
+/// share, summing exactly to `w`.
+///
+/// Panics if `n == 0`.
+pub fn divide_masked<R: Rng + ?Sized>(w: &WeightVector, n: usize, rng: &mut R) -> Vec<WeightVector> {
+    divide_masked_with_bound(w, n, DEFAULT_MASK_BOUND, rng)
+}
+
+/// [`divide_masked`] with an explicit mask magnitude.
+pub fn divide_masked_with_bound<R: Rng + ?Sized>(
+    w: &WeightVector,
+    n: usize,
+    mask_bound: f64,
+    rng: &mut R,
+) -> Vec<WeightVector> {
+    assert!(n > 0, "cannot split into zero shares");
+    let dim = w.dim();
+    let mut shares: Vec<WeightVector> = Vec::with_capacity(n);
+    let mut residual = w.clone();
+    for _ in 0..n - 1 {
+        let noise = WeightVector::random(dim, mask_bound, rng);
+        residual.sub_assign(&noise);
+        shares.push(noise);
+    }
+    shares.push(residual);
+    shares
+}
+
+/// Splits `w` into `n` shares using `scheme`.
+pub fn divide<R: Rng + ?Sized>(
+    w: &WeightVector,
+    n: usize,
+    scheme: ShareScheme,
+    rng: &mut R,
+) -> Vec<WeightVector> {
+    match scheme {
+        ShareScheme::Scaled => divide_scaled(w, n, rng),
+        ShareScheme::Masked => divide_masked(w, n, rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn reconstructs(shares: &[WeightVector], w: &WeightVector, tol: f64) {
+        let sum = WeightVector::sum(shares.iter());
+        assert!(
+            sum.linf_distance(w) < tol,
+            "reconstruction error {} over tol {tol}",
+            sum.linf_distance(w)
+        );
+    }
+
+    #[test]
+    fn scaled_shares_sum_to_secret() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = WeightVector::random(100, 1.0, &mut rng);
+        for n in 1..=12 {
+            let shares = divide_scaled(&w, n, &mut rng);
+            assert_eq!(shares.len(), n);
+            reconstructs(&shares, &w, 1e-12);
+        }
+    }
+
+    #[test]
+    fn masked_shares_sum_to_secret() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = WeightVector::random(100, 1.0, &mut rng);
+        for n in 1..=12 {
+            let shares = divide_masked(&w, n, &mut rng);
+            assert_eq!(shares.len(), n);
+            reconstructs(&shares, &w, 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_share_is_the_secret() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = WeightVector::new(vec![1.0, -2.0, 3.0]);
+        assert_eq!(divide_scaled(&w, 1, &mut rng)[0], w);
+        assert_eq!(divide_masked(&w, 1, &mut rng)[0], w);
+    }
+
+    #[test]
+    fn masked_share_is_statistically_unrelated() {
+        // A masked share of a zero vector and of a unit vector should look
+        // the same at the resolution of the mask: its magnitude is dominated
+        // by the mask bound, not the secret.
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = WeightVector::new(vec![0.5; 1000]);
+        let shares = divide_masked(&w, 5, &mut rng);
+        // Non-final shares are pure noise with std ~ bound/sqrt(3).
+        let rms = (shares[0].iter().map(|x| x * x).sum::<f64>() / 1000.0).sqrt();
+        assert!(rms > DEFAULT_MASK_BOUND * 0.4, "rms {rms} too small for noise");
+    }
+
+    #[test]
+    fn scaled_share_leaks_direction() {
+        // Documented limitation of the paper's Alg. 1: each share is a
+        // positive multiple of w.
+        let mut rng = StdRng::seed_from_u64(5);
+        let w = WeightVector::new(vec![3.0, -1.0]);
+        for share in divide_scaled(&w, 4, &mut rng) {
+            let ratio = share[0] / w[0];
+            assert!(ratio > 0.0);
+            assert!((share[1] / w[1] - ratio).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dispatcher_routes() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let w = WeightVector::random(10, 1.0, &mut rng);
+        reconstructs(&divide(&w, 4, ShareScheme::Scaled, &mut rng), &w, 1e-12);
+        reconstructs(&divide(&w, 4, ShareScheme::Masked, &mut rng), &w, 1e-9);
+    }
+}

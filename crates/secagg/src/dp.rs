@@ -1,0 +1,151 @@
+//! Differential-privacy noising — the extension the paper's Sec. IV-D
+//! points to for stronger guarantees on the aggregated model.
+//!
+//! Implements the Gaussian mechanism: each peer perturbs its model with
+//! `N(0, σ²)` noise before it enters the aggregation, giving (ε, δ)-DP
+//! per round with `σ = sensitivity · sqrt(2 ln(1.25/δ)) / ε` (the classic
+//! analytic bound, valid for ε ≤ 1). Because the noise is added *before*
+//! secret sharing, the DP guarantee holds even against the aggregation
+//! leader; averaging `n` peers attenuates the noise by `1/n`.
+
+use crate::weights::WeightVector;
+use rand::Rng;
+
+/// Parameters of the Gaussian mechanism.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianDp {
+    /// Privacy budget per round.
+    pub epsilon: f64,
+    /// Failure probability.
+    pub delta: f64,
+    /// L2 sensitivity of one peer's contribution (commonly enforced by
+    /// clipping the update to this norm).
+    pub sensitivity: f64,
+}
+
+impl GaussianDp {
+    /// The noise standard deviation required by the analytic Gaussian
+    /// mechanism. Panics unless `0 < epsilon <= 1` and `0 < delta < 1`.
+    pub fn sigma(&self) -> f64 {
+        assert!(
+            self.epsilon > 0.0 && self.epsilon <= 1.0,
+            "classic bound needs 0 < epsilon <= 1"
+        );
+        assert!(self.delta > 0.0 && self.delta < 1.0, "delta out of range");
+        assert!(self.sensitivity > 0.0, "sensitivity must be positive");
+        self.sensitivity * (2.0 * (1.25 / self.delta).ln()).sqrt() / self.epsilon
+    }
+}
+
+/// Clips `w` to L2 norm at most `bound` (projection onto the ball),
+/// returning the scaling factor applied (1.0 when already inside).
+pub fn clip_l2(w: &mut WeightVector, bound: f64) -> f64 {
+    assert!(bound > 0.0, "clip bound must be positive");
+    let norm = w.l2_norm();
+    if norm <= bound || norm == 0.0 {
+        return 1.0;
+    }
+    let scale = bound / norm;
+    w.scale(scale);
+    scale
+}
+
+/// Adds i.i.d. `N(0, sigma²)` noise to every coordinate.
+pub fn add_gaussian_noise<R: Rng + ?Sized>(w: &mut WeightVector, sigma: f64, rng: &mut R) {
+    assert!(sigma >= 0.0, "sigma must be non-negative");
+    if sigma == 0.0 {
+        return;
+    }
+    let noisy: Vec<f64> = w
+        .iter()
+        .map(|&x| {
+            let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+            let u2: f64 = rng.random();
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            x + sigma * z
+        })
+        .collect();
+    *w = WeightVector::new(noisy);
+}
+
+/// Convenience: clip to `dp.sensitivity` and add mechanism noise.
+pub fn privatize<R: Rng + ?Sized>(w: &mut WeightVector, dp: GaussianDp, rng: &mut R) {
+    clip_l2(w, dp.sensitivity);
+    add_gaussian_noise(w, dp.sigma(), rng);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sigma_matches_closed_form() {
+        let dp = GaussianDp { epsilon: 1.0, delta: 1e-5, sensitivity: 1.0 };
+        let expected = (2.0f64 * (1.25f64 / 1e-5).ln()).sqrt();
+        assert!((dp.sigma() - expected).abs() < 1e-12);
+        // Tighter epsilon => more noise.
+        let tight = GaussianDp { epsilon: 0.5, ..dp };
+        assert!(tight.sigma() > dp.sigma());
+    }
+
+    #[test]
+    fn clip_projects_onto_ball() {
+        let mut w = WeightVector::new(vec![3.0, 4.0]); // norm 5
+        let s = clip_l2(&mut w, 1.0);
+        assert!((w.l2_norm() - 1.0).abs() < 1e-12);
+        assert!((s - 0.2).abs() < 1e-12);
+        // Inside the ball: untouched.
+        let mut small = WeightVector::new(vec![0.1, 0.1]);
+        assert_eq!(clip_l2(&mut small, 1.0), 1.0);
+        assert_eq!(small.as_slice(), &[0.1, 0.1]);
+    }
+
+    #[test]
+    fn noise_has_requested_scale() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dim = 50_000;
+        let mut w = WeightVector::zeros(dim);
+        add_gaussian_noise(&mut w, 2.0, &mut rng);
+        let var = w.iter().map(|x| x * x).sum::<f64>() / dim as f64;
+        assert!((var - 4.0).abs() < 0.1, "empirical variance {var}");
+    }
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut w = WeightVector::new(vec![1.0, -2.0]);
+        add_gaussian_noise(&mut w, 0.0, &mut rng);
+        assert_eq!(w.as_slice(), &[1.0, -2.0]);
+    }
+
+    #[test]
+    fn averaging_attenuates_noise() {
+        // The utility argument: per-peer noise shrinks by 1/n in the mean.
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 16usize;
+        let dim = 10_000;
+        let sigma = 1.0;
+        let noisy: Vec<WeightVector> = (0..n)
+            .map(|_| {
+                let mut w = WeightVector::zeros(dim);
+                add_gaussian_noise(&mut w, sigma, &mut rng);
+                w
+            })
+            .collect();
+        let mean = WeightVector::mean(noisy.iter());
+        let var = mean.iter().map(|x| x * x).sum::<f64>() / dim as f64;
+        let expected = sigma * sigma / n as f64;
+        assert!(
+            (var - expected).abs() < expected * 0.3,
+            "variance {var}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_large_epsilon() {
+        let _ = GaussianDp { epsilon: 2.0, delta: 1e-5, sensitivity: 1.0 }.sigma();
+    }
+}

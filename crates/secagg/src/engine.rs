@@ -1,0 +1,616 @@
+//! Message-driven fault-tolerant SAC engine over `p2pfl-simnet`.
+//!
+//! [`crate::ftsac`] executes Alg. 4 synchronously; this module runs the same
+//! protocol as real message exchange between simulator actors, with crash
+//! detection by timeout and subtotal recovery from replica holders — the
+//! form the paper actually deploys inside each subgroup.
+//!
+//! Protocol (one aggregation round, leader-driven):
+//!
+//! 1. every peer divides its model into `n` partitions and sends each other
+//!    peer its consecutive `n-k+1`-partition block (`ShareBlock`);
+//! 2. when the leader has blocks from everyone — or its share deadline
+//!    expires — it freezes the contributor set and broadcasts `ComputeOver`;
+//! 3. every live peer computes the subtotals of its block over that set and
+//!    the *primary owner* of each index sends it to the leader (`Subtotal`);
+//! 4. after a collection deadline the leader requests missing subtotals
+//!    from alternate replica holders (`SubtotalRequest`), which respond with
+//!    the recovered `Subtotal`;
+//! 5. with all `n` subtotals the leader averages and completes.
+//!
+//! The `ComputeOver` control broadcast has no counterpart in the paper's
+//! pseudo-code (which assumes a synchronous view of who contributed); it is
+//! required for consistency once peers can crash mid-protocol, and is
+//! counted in its own ledger phase as a small control message.
+
+use crate::divide::{divide, ShareScheme};
+use crate::replicated::{assigned_partitions, holders};
+use crate::weights::WeightVector;
+use p2pfl_simnet::{Actor, Context, NodeId, Payload, SimDuration};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Messages exchanged by the SAC engine.
+#[derive(Debug, Clone)]
+pub enum SacMsg {
+    /// Leader tells followers to begin round `round` (the trigger the
+    /// FedAvg layer sends down in the full system).
+    Begin {
+        /// Round number.
+        round: u64,
+    },
+    /// A contributor's block of `(partition index, partition)` pairs.
+    ShareBlock {
+        /// Round number.
+        round: u64,
+        /// Sender's position within the subgroup.
+        from_pos: usize,
+        /// The consecutive partitions assigned to the receiver.
+        parts: Vec<(usize, WeightVector)>,
+    },
+    /// Leader freezes the contributor set.
+    ComputeOver {
+        /// Round number.
+        round: u64,
+        /// Positions whose models are included this round.
+        contributors: Vec<usize>,
+    },
+    /// A computed subtotal for one partition index.
+    Subtotal {
+        /// Round number.
+        round: u64,
+        /// Partition index.
+        idx: usize,
+        /// The subtotal vector.
+        value: WeightVector,
+    },
+    /// Leader asks a replica holder for a missing subtotal.
+    SubtotalRequest {
+        /// Round number.
+        round: u64,
+        /// Partition index to recover.
+        idx: usize,
+    },
+}
+
+impl Payload for SacMsg {
+    fn size_bytes(&self) -> u64 {
+        match self {
+            SacMsg::Begin { .. } => 16,
+            SacMsg::ShareBlock { parts, .. } => {
+                parts.iter().map(|(_, v)| v.wire_bytes()).sum::<u64>() + 8
+            }
+            SacMsg::ComputeOver { contributors, .. } => 16 + contributors.len() as u64,
+            SacMsg::Subtotal { value, .. } => value.wire_bytes() + 8,
+            SacMsg::SubtotalRequest { .. } => 16,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            SacMsg::Begin { .. } => "sac.begin",
+            SacMsg::ShareBlock { .. } => "sac.share",
+            SacMsg::ComputeOver { .. } => "sac.ctrl",
+            SacMsg::Subtotal { .. } => "sac.subtotal",
+            SacMsg::SubtotalRequest { .. } => "sac.request",
+        }
+    }
+}
+
+/// Where the engine is in the round.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SacPhase {
+    /// Waiting for `Begin` (followers) or `start_round` (leader).
+    Idle,
+    /// Shares sent; collecting blocks.
+    Sharing,
+    /// Contributor set frozen; collecting subtotals (leader only).
+    Collecting,
+    /// Round finished; `result` holds the average (leader only).
+    Done,
+    /// Round failed.
+    Failed(String),
+}
+
+const TIMER_SHARE_DEADLINE: u64 = 1;
+const TIMER_COLLECT_DEADLINE: u64 = 2;
+
+/// Static configuration of one SAC engine participant.
+#[derive(Debug, Clone)]
+pub struct SacConfig {
+    /// All subgroup members, in position order (position = index here).
+    pub group: Vec<NodeId>,
+    /// This peer's position within `group`.
+    pub position: usize,
+    /// The leader's position within `group`.
+    pub leader_pos: usize,
+    /// Reconstruction threshold `k` (`1..=n`).
+    pub k: usize,
+    /// Share construction scheme.
+    pub scheme: ShareScheme,
+    /// Leader grace period for the share phase.
+    pub share_deadline: SimDuration,
+    /// Leader grace period for subtotal collection before recovery kicks in.
+    pub collect_deadline: SimDuration,
+    /// RNG seed for share randomness.
+    pub seed: u64,
+}
+
+impl SacConfig {
+    fn n(&self) -> usize {
+        self.group.len()
+    }
+    fn is_leader(&self) -> bool {
+        self.position == self.leader_pos
+    }
+}
+
+/// A subgroup member executing fault-tolerant SAC over the simulator.
+pub struct SacPeerActor {
+    cfg: SacConfig,
+    model: WeightVector,
+    rng: StdRng,
+    /// Current round number.
+    pub round: u64,
+    /// Protocol phase.
+    pub phase: SacPhase,
+    /// The leader's computed average once `phase == Done`.
+    pub result: Option<WeightVector>,
+    /// Contributor positions of the completed round (leader only).
+    pub contributors: Vec<usize>,
+    /// Recoveries performed in the completed round (leader only).
+    pub recoveries: usize,
+    // blocks[from_pos][idx] = partition
+    blocks: BTreeMap<usize, BTreeMap<usize, WeightVector>>,
+    frozen: Option<BTreeSet<usize>>,
+    subtotals: BTreeMap<usize, WeightVector>,
+    requested: BTreeSet<usize>,
+    sent_primary: bool,
+    pending_requests: Vec<(usize, NodeId)>,
+}
+
+impl SacPeerActor {
+    /// Creates an idle engine participant holding `model`.
+    pub fn new(cfg: SacConfig, model: WeightVector) -> Self {
+        assert!(cfg.position < cfg.n(), "position out of range");
+        assert!(cfg.leader_pos < cfg.n(), "leader position out of range");
+        assert!(cfg.k >= 1 && cfg.k <= cfg.n(), "invalid threshold");
+        let rng = StdRng::seed_from_u64(cfg.seed ^ (cfg.position as u64) << 32);
+        SacPeerActor {
+            cfg,
+            model,
+            rng,
+            round: 0,
+            phase: SacPhase::Idle,
+            result: None,
+            contributors: Vec::new(),
+            recoveries: 0,
+            blocks: BTreeMap::new(),
+            frozen: None,
+            subtotals: BTreeMap::new(),
+            requested: BTreeSet::new(),
+            sent_primary: false,
+            pending_requests: Vec::new(),
+        }
+    }
+
+    /// Replaces the local model (between rounds).
+    pub fn set_model(&mut self, model: WeightVector) {
+        self.model = model;
+    }
+
+    /// Leader entry point: begins round `round`, instructing followers and
+    /// distributing this peer's own shares.
+    pub fn start_round(&mut self, ctx: &mut Context<'_, SacMsg>, round: u64) {
+        assert!(self.cfg.is_leader(), "only the leader starts rounds");
+        self.reset_for(round);
+        let group = self.cfg.group.clone();
+        let me = self.cfg.group[self.cfg.position];
+        for &peer in &group {
+            if peer != me {
+                ctx.send(peer, SacMsg::Begin { round });
+            }
+        }
+        self.distribute_shares(ctx);
+        ctx.set_timer(self.cfg.share_deadline, TIMER_SHARE_DEADLINE);
+        self.phase = SacPhase::Sharing;
+    }
+
+    fn reset_for(&mut self, round: u64) {
+        self.round = round;
+        self.phase = SacPhase::Idle;
+        self.result = None;
+        self.contributors.clear();
+        self.recoveries = 0;
+        self.blocks.clear();
+        self.frozen = None;
+        self.subtotals.clear();
+        self.requested.clear();
+        self.sent_primary = false;
+        self.pending_requests.clear();
+    }
+
+    fn distribute_shares(&mut self, ctx: &mut Context<'_, SacMsg>) {
+        let n = self.cfg.n();
+        let parts = divide(&self.model, n, self.cfg.scheme, &mut self.rng);
+        for (j, &peer) in self.cfg.group.clone().iter().enumerate() {
+            let block: Vec<(usize, WeightVector)> = assigned_partitions(n, self.cfg.k, j)
+                .into_iter()
+                .map(|p| (p, parts[p].clone()))
+                .collect();
+            if j == self.cfg.position {
+                // Keep our own block locally.
+                let mine = self.blocks.entry(self.cfg.position).or_default();
+                for (p, v) in block {
+                    mine.insert(p, v);
+                }
+            } else {
+                ctx.send(
+                    peer,
+                    SacMsg::ShareBlock {
+                        round: self.round,
+                        from_pos: self.cfg.position,
+                        parts: block,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Positions whose blocks this peer has fully received.
+    fn received_from(&self) -> BTreeSet<usize> {
+        self.blocks.keys().copied().collect()
+    }
+
+    fn freeze_and_request_subtotals(&mut self, ctx: &mut Context<'_, SacMsg>) {
+        let contributors = self.received_from();
+        if contributors.is_empty() {
+            self.phase = SacPhase::Failed("no contributors".into());
+            return;
+        }
+        self.frozen = Some(contributors.clone());
+        let msg = SacMsg::ComputeOver {
+            round: self.round,
+            contributors: contributors.iter().copied().collect(),
+        };
+        let me = self.cfg.group[self.cfg.position];
+        for &peer in &self.cfg.group.clone() {
+            if peer != me {
+                ctx.send(peer, msg.clone());
+            }
+        }
+        // Compute our own block's subtotals immediately.
+        self.compute_own_subtotals();
+        self.phase = SacPhase::Collecting;
+        ctx.set_timer(self.cfg.collect_deadline, TIMER_COLLECT_DEADLINE);
+        self.maybe_finish();
+    }
+
+    /// Subtotal for partition `p` over the frozen contributor set; `None`
+    /// if some contributor's partition is missing locally.
+    fn subtotal_over_frozen(&self, p: usize) -> Option<WeightVector> {
+        let frozen = self.frozen.as_ref()?;
+        let mut acc = WeightVector::zeros(self.model.dim());
+        for &c in frozen {
+            acc.add_assign(self.blocks.get(&c)?.get(&p)?);
+        }
+        Some(acc)
+    }
+
+    fn compute_own_subtotals(&mut self) {
+        let n = self.cfg.n();
+        for p in assigned_partitions(n, self.cfg.k, self.cfg.position) {
+            if let Some(s) = self.subtotal_over_frozen(p) {
+                self.subtotals.insert(p, s);
+            }
+        }
+    }
+
+    fn maybe_finish(&mut self) {
+        if self.phase != SacPhase::Collecting {
+            return;
+        }
+        let n = self.cfg.n();
+        if self.subtotals.len() < n {
+            return;
+        }
+        let Some(frozen) = self.frozen.as_ref() else {
+            return;
+        };
+        let mut avg = WeightVector::zeros(self.model.dim());
+        for p in 0..n {
+            avg.add_assign(&self.subtotals[&p]);
+        }
+        avg.scale(1.0 / frozen.len() as f64);
+        self.contributors = frozen.iter().copied().collect();
+        self.result = Some(avg);
+        self.phase = SacPhase::Done;
+    }
+
+    /// Follower-side progress: once the contributor set is frozen, send
+    /// the primary subtotal as soon as it becomes computable (share blocks
+    /// can arrive *after* `ComputeOver` on slow links), and answer any
+    /// recovery requests that were waiting on missing partitions.
+    fn follower_progress(&mut self, ctx: &mut Context<'_, SacMsg>) {
+        if self.frozen.is_none() {
+            return;
+        }
+        self.compute_own_subtotals();
+        if !self.cfg.is_leader() && !self.sent_primary {
+            let leader_block =
+                assigned_partitions(self.cfg.n(), self.cfg.k, self.cfg.leader_pos);
+            if !leader_block.contains(&self.cfg.position) {
+                if let Some(s) = self.subtotals.get(&self.cfg.position).cloned() {
+                    self.sent_primary = true;
+                    ctx.send(
+                        self.cfg.group[self.cfg.leader_pos],
+                        SacMsg::Subtotal {
+                            round: self.round,
+                            idx: self.cfg.position,
+                            value: s,
+                        },
+                    );
+                }
+            }
+        }
+        let pending = std::mem::take(&mut self.pending_requests);
+        for (idx, from) in pending {
+            if let Some(s) = self.subtotal_over_frozen(idx) {
+                ctx.send(from, SacMsg::Subtotal { round: self.round, idx, value: s });
+            } else {
+                self.pending_requests.push((idx, from));
+            }
+        }
+    }
+
+    fn request_missing(&mut self, ctx: &mut Context<'_, SacMsg>) {
+        let n = self.cfg.n();
+        let missing: Vec<usize> = (0..n).filter(|p| !self.subtotals.contains_key(p)).collect();
+        if missing.is_empty() {
+            return;
+        }
+        for p in missing {
+            if self.requested.contains(&p) {
+                // Second deadline with the request still unanswered: the
+                // whole replica neighborhood is gone.
+                self.phase = SacPhase::Failed(format!("partition {p} unrecoverable"));
+                return;
+            }
+            self.requested.insert(p);
+            // Ask every alternate holder; first response wins, duplicates
+            // are idempotent inserts.
+            for h in holders(n, self.cfg.k, p) {
+                if h != self.cfg.position && h != p {
+                    let peer = self.cfg.group[h];
+                    ctx.send(peer, SacMsg::SubtotalRequest { round: self.round, idx: p });
+                }
+            }
+            self.recoveries += 1;
+        }
+        ctx.set_timer(self.cfg.collect_deadline, TIMER_COLLECT_DEADLINE);
+    }
+}
+
+impl Actor<SacMsg> for SacPeerActor {
+    fn on_message(&mut self, ctx: &mut Context<'_, SacMsg>, from: NodeId, msg: SacMsg) {
+        match msg {
+            SacMsg::Begin { round } => {
+                if self.cfg.is_leader() {
+                    return; // only followers react to Begin
+                }
+                self.reset_for(round);
+                self.distribute_shares(ctx);
+                self.phase = SacPhase::Sharing;
+            }
+            SacMsg::ShareBlock { round, from_pos, parts } => {
+                if round != self.round {
+                    return;
+                }
+                let entry = self.blocks.entry(from_pos).or_default();
+                for (p, v) in parts {
+                    entry.insert(p, v);
+                }
+                if self.cfg.is_leader() {
+                    if self.phase == SacPhase::Sharing
+                        && self.received_from().len() == self.cfg.n()
+                    {
+                        self.freeze_and_request_subtotals(ctx);
+                    }
+                } else {
+                    self.follower_progress(ctx);
+                }
+            }
+            SacMsg::ComputeOver { round, contributors } => {
+                if round != self.round || self.cfg.is_leader() {
+                    return;
+                }
+                let _ = from; // leader is the sender of ComputeOver
+                self.frozen = Some(contributors.into_iter().collect());
+                // Primary-owner rule (paper lines 14-16): the k-1 peers
+                // whose index the leader does not hold send their subtotal
+                // — as soon as it is computable (blocks may still be in
+                // flight on slow links).
+                self.follower_progress(ctx);
+            }
+            SacMsg::Subtotal { round, idx, value } => {
+                if round != self.round || !self.cfg.is_leader() {
+                    return;
+                }
+                self.subtotals.entry(idx).or_insert(value);
+                self.maybe_finish();
+            }
+            SacMsg::SubtotalRequest { round, idx } => {
+                if round != self.round {
+                    return;
+                }
+                if let Some(s) = self.subtotal_over_frozen(idx) {
+                    ctx.send(from, SacMsg::Subtotal { round: self.round, idx, value: s });
+                } else {
+                    // Can't serve yet (missing partitions); answer when the
+                    // missing blocks arrive.
+                    self.pending_requests.push((idx, from));
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, SacMsg>, tag: u64) {
+        match tag {
+            TIMER_SHARE_DEADLINE if self.cfg.is_leader() && self.phase == SacPhase::Sharing => {
+                self.freeze_and_request_subtotals(ctx);
+            }
+            TIMER_COLLECT_DEADLINE
+                if self.cfg.is_leader() && self.phase == SacPhase::Collecting =>
+            {
+                self.request_missing(ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2pfl_simnet::{Sim, SimTime};
+
+    fn build(
+        n: usize,
+        k: usize,
+        dim: usize,
+        seed: u64,
+    ) -> (Sim<SacMsg>, Vec<NodeId>, Vec<WeightVector>) {
+        let mut sim = Sim::new(seed);
+        let ids: Vec<NodeId> = (0..n).map(|i| NodeId(i as u32)).collect();
+        let mut rng = StdRng::seed_from_u64(seed + 999);
+        let models: Vec<WeightVector> = (0..n)
+            .map(|_| WeightVector::random(dim, 1.0, &mut rng))
+            .collect();
+        for i in 0..n {
+            let cfg = SacConfig {
+                group: ids.clone(),
+                position: i,
+                leader_pos: 0,
+                k,
+                scheme: ShareScheme::Masked,
+                share_deadline: SimDuration::from_millis(100),
+                collect_deadline: SimDuration::from_millis(100),
+                seed: seed + i as u64,
+            };
+            let actual = sim.add_node(SacPeerActor::new(cfg, models[i].clone()));
+            assert_eq!(actual, ids[i]);
+        }
+        (sim, ids, models)
+    }
+
+    fn start(sim: &mut Sim<SacMsg>, leader: NodeId, round: u64) {
+        sim.run_until_quiet(100); // flush on_start events
+        sim.exec::<SacPeerActor, _, _>(leader, |a, ctx| a.start_round(ctx, round));
+    }
+
+    fn plain_mean(models: &[WeightVector], idx: &[usize]) -> WeightVector {
+        WeightVector::mean(idx.iter().map(|&i| &models[i]))
+    }
+
+    #[test]
+    fn happy_path_completes_with_plain_mean() {
+        let (mut sim, ids, models) = build(5, 3, 16, 42);
+        start(&mut sim, ids[0], 1);
+        sim.run_until(SimTime::from_secs(2));
+        let leader = sim.actor::<SacPeerActor>(ids[0]);
+        assert_eq!(leader.phase, SacPhase::Done);
+        assert_eq!(leader.contributors, vec![0, 1, 2, 3, 4]);
+        assert_eq!(leader.recoveries, 0);
+        let avg = leader.result.as_ref().unwrap();
+        assert!(avg.linf_distance(&plain_mean(&models, &[0, 1, 2, 3, 4])) < 1e-9);
+    }
+
+    #[test]
+    fn after_share_crash_is_recovered() {
+        let (mut sim, ids, models) = build(5, 3, 8, 7);
+        start(&mut sim, ids[0], 1);
+        // Shares settle within ~2 link delays (30ms); crash peer 4 after.
+        sim.schedule_crash(ids[4], SimTime::from_millis(40));
+        sim.run_until(SimTime::from_secs(2));
+        let leader = sim.actor::<SacPeerActor>(ids[0]);
+        assert_eq!(leader.phase, SacPhase::Done, "phase: {:?}", leader.phase);
+        // Crashed peer shared before dying, so it still contributes.
+        assert_eq!(leader.contributors, vec![0, 1, 2, 3, 4]);
+        assert!(leader.recoveries >= 1);
+        let avg = leader.result.as_ref().unwrap();
+        assert!(avg.linf_distance(&plain_mean(&models, &[0, 1, 2, 3, 4])) < 1e-9);
+    }
+
+    #[test]
+    fn before_share_crash_is_excluded() {
+        let (mut sim, ids, models) = build(5, 3, 8, 11);
+        // Peer 3 dies before the round even starts.
+        sim.run_until_quiet(100);
+        sim.schedule_crash(ids[3], sim.now() + SimDuration::from_millis(1));
+        sim.run_until_quiet(100);
+        sim.exec::<SacPeerActor, _, _>(ids[0], |a, ctx| a.start_round(ctx, 1));
+        sim.run_until(SimTime::from_secs(2));
+        let leader = sim.actor::<SacPeerActor>(ids[0]);
+        assert_eq!(leader.phase, SacPhase::Done, "phase: {:?}", leader.phase);
+        assert_eq!(leader.contributors, vec![0, 1, 2, 4]);
+        let avg = leader.result.as_ref().unwrap();
+        assert!(avg.linf_distance(&plain_mean(&models, &[0, 1, 2, 4])) < 1e-9);
+    }
+
+    #[test]
+    fn unrecoverable_when_all_holders_die() {
+        // k = n means no replication: one post-share crash is fatal.
+        let (mut sim, ids, _) = build(4, 4, 4, 13);
+        start(&mut sim, ids[0], 1);
+        sim.schedule_crash(ids[2], SimTime::from_millis(40));
+        sim.run_until(SimTime::from_secs(3));
+        let leader = sim.actor::<SacPeerActor>(ids[0]);
+        assert!(
+            matches!(leader.phase, SacPhase::Failed(_)),
+            "phase: {:?}",
+            leader.phase
+        );
+    }
+
+    #[test]
+    fn begin_aimed_at_leader_is_ignored() {
+        let (mut sim, ids, _) = build(3, 2, 4, 42);
+        sim.inject(ids[1], ids[0], SacMsg::Begin { round: 5 }, SimDuration::from_millis(1));
+        sim.run_until(SimTime::from_millis(50));
+        assert_eq!(sim.actor::<SacPeerActor>(ids[0]).phase, SacPhase::Idle);
+    }
+
+    #[test]
+    fn stale_round_messages_are_ignored() {
+        let (mut sim, ids, _) = build(3, 2, 4, 21);
+        start(&mut sim, ids[0], 3);
+        // A stray share from an old round must not pollute round 3.
+        sim.inject(
+            ids[1],
+            ids[0],
+            SacMsg::Subtotal { round: 2, idx: 0, value: WeightVector::zeros(4) },
+            SimDuration::from_millis(1),
+        );
+        sim.run_until(SimTime::from_secs(2));
+        let leader = sim.actor::<SacPeerActor>(ids[0]);
+        assert_eq!(leader.phase, SacPhase::Done);
+        assert_eq!(leader.round, 3);
+    }
+
+    #[test]
+    fn share_traffic_dominates_ledger() {
+        let (mut sim, ids, models) = build(5, 3, 64, 33);
+        let wire = models[0].wire_bytes();
+        start(&mut sim, ids[0], 1);
+        sim.run_until(SimTime::from_secs(2));
+        let m = sim.metrics();
+        // Share phase: n(n-1) block messages of (n-k+1)|w| each (+8B header).
+        let share = m.kind("sac.share");
+        assert_eq!(share.msgs, 20);
+        assert_eq!(share.bytes, 20 * (3 * wire + 8));
+        // Subtotal phase: primary owners outside the leader's block.
+        let sub = m.kind("sac.subtotal");
+        assert_eq!(sub.msgs, 2); // k-1 = 2
+    }
+}

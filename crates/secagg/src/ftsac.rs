@@ -1,0 +1,384 @@
+//! Paper Alg. 4 — fault-tolerant SAC with `k`-out-of-`n` replicated shares,
+//! synchronous reference implementation with an explicit dropout schedule.
+//!
+//! Compared to Alg. 2, every peer sends each other peer a *block* of
+//! `n-k+1` consecutive partitions (see [`crate::replicated`]), so up to
+//! `n-k` peers may crash without aborting the aggregation:
+//!
+//! * a peer that crashes **before sharing** simply does not contribute; the
+//!   average is taken over the surviving contributors (the two-layer system
+//!   treats this like a smaller subgroup);
+//! * a peer that crashes **after sharing** still contributes its model —
+//!   its subtotals are recovered from alternate holders of the replicated
+//!   partitions (paper Fig. 3 walks the 2-out-of-3 case).
+//!
+//! The share-exchange cost is `c(c-1 + (n-c))(n-k+1)|w|` where `c` is the
+//! number of contributors (equal to `n(n-1)(n-k+1)|w|` when nobody drops),
+//! and the subtotal collection costs `(k-1)|w|` plus `|w|` per recovery.
+
+use crate::divide::{divide, ShareScheme};
+use crate::ledger::TransferLog;
+use crate::replicated::{assigned_partitions, holders};
+use crate::weights::WeightVector;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// When during the round a peer drops out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropPhase {
+    /// Crashed before distributing any share: contributes nothing.
+    BeforeShare,
+    /// Crashed after distributing shares but before sending subtotals: its
+    /// model is included and its subtotals are recovered from replicas.
+    AfterShare,
+}
+
+/// One scheduled dropout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dropout {
+    /// Index of the peer that drops (must be `< n`).
+    pub peer: usize,
+    /// When it drops.
+    pub phase: DropPhase,
+}
+
+/// Why a fault-tolerant SAC round could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FtSacError {
+    /// `k` was outside `1..=n`.
+    InvalidThreshold {
+        /// Number of peers.
+        n: usize,
+        /// Offending threshold.
+        k: usize,
+    },
+    /// The designated leader was in the dropout schedule. (In the full
+    /// system a Raft election replaces the leader and the round restarts;
+    /// the synchronous primitive just reports it.)
+    LeaderCrashed,
+    /// Some partition lost every replica holder, so the secret sum cannot
+    /// be reconstructed. With at most `n-k` dropouts this cannot happen.
+    TooManyDropouts {
+        /// A partition index with no live holder.
+        partition: usize,
+    },
+    /// Every peer dropped before sharing; there is nothing to average.
+    NoContributors,
+}
+
+impl std::fmt::Display for FtSacError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FtSacError::InvalidThreshold { n, k } => {
+                write!(f, "threshold k={k} invalid for n={n} peers")
+            }
+            FtSacError::LeaderCrashed => write!(f, "aggregation leader crashed mid-round"),
+            FtSacError::TooManyDropouts { partition } => {
+                write!(f, "partition {partition} lost all replica holders")
+            }
+            FtSacError::NoContributors => write!(f, "no peer contributed a model"),
+        }
+    }
+}
+
+impl std::error::Error for FtSacError {}
+
+/// Result of one fault-tolerant SAC round.
+#[derive(Debug, Clone)]
+pub struct FtSacOutcome {
+    /// Average over the contributing peers' models (leader-side value).
+    pub average: WeightVector,
+    /// Indices of peers whose models entered the average.
+    pub contributors: Vec<usize>,
+    /// Number of subtotals served by alternate holders.
+    pub recoveries: usize,
+    /// Every logical transfer performed.
+    pub log: TransferLog,
+}
+
+/// Phase label for block share exchange.
+pub const PHASE_SHARE: &str = "ftsac.share";
+/// Phase label for routine subtotal collection at the leader.
+pub const PHASE_SUBTOTAL: &str = "ftsac.subtotal";
+/// Phase label for recovery requests (small control messages).
+pub const PHASE_REQUEST: &str = "ftsac.request";
+/// Phase label for recovered subtotals served by alternate holders.
+pub const PHASE_RECOVERY: &str = "ftsac.recovery";
+
+/// Size charged for a recovery request control message.
+pub const REQUEST_BYTES: u64 = 16;
+
+/// Runs one round of `k`-out-of-`n` fault-tolerant SAC (paper Alg. 4) led by
+/// `leader`, with the given dropout schedule.
+pub fn fault_tolerant_secure_average<R: Rng + ?Sized>(
+    models: &[WeightVector],
+    k: usize,
+    leader: usize,
+    dropouts: &[Dropout],
+    scheme: ShareScheme,
+    rng: &mut R,
+) -> Result<FtSacOutcome, FtSacError> {
+    let n = models.len();
+    if k == 0 || k > n {
+        return Err(FtSacError::InvalidThreshold { n, k });
+    }
+    assert!(leader < n, "leader index out of range");
+    let dim = models[0].dim();
+    assert!(
+        models.iter().all(|m| m.dim() == dim),
+        "all models must share a dimension"
+    );
+    let wire = models[0].wire_bytes();
+
+    let mut phase_of: HashMap<usize, DropPhase> = HashMap::new();
+    for d in dropouts {
+        assert!(d.peer < n, "dropout peer index out of range");
+        phase_of.insert(d.peer, d.phase);
+    }
+    if phase_of.contains_key(&leader) {
+        return Err(FtSacError::LeaderCrashed);
+    }
+
+    let alive: Vec<bool> = (0..n).map(|i| !phase_of.contains_key(&i)).collect();
+    let contributors: Vec<usize> = (0..n)
+        .filter(|i| phase_of.get(i) != Some(&DropPhase::BeforeShare))
+        .collect();
+    if contributors.is_empty() {
+        return Err(FtSacError::NoContributors);
+    }
+
+    let mut log = TransferLog::new();
+
+    // Phase 1 (lines 2-10): each contributor divides its model into n
+    // partitions and sends peer j the consecutive block assigned to j.
+    // Block size is n-k+1 partitions of |w| bytes each.
+    let block = (n - k + 1) as u64;
+    let mut shares: HashMap<usize, Vec<WeightVector>> = HashMap::new();
+    for &i in &contributors {
+        shares.insert(i, divide(&models[i], n, scheme, rng));
+        for j in 0..n {
+            if j != i {
+                // The sender cannot know the receiver is about to crash; the
+                // bandwidth is spent either way.
+                log.record(PHASE_SHARE, block * wire);
+            }
+        }
+    }
+
+    // Phase 2 (lines 11-13): every live peer computes the subtotals for the
+    // partition indices it holds.
+    let subtotal = |p: usize| -> WeightVector {
+        let mut s = WeightVector::zeros(dim);
+        for &i in &contributors {
+            s.add_assign(&shares[&i][p]);
+        }
+        s
+    };
+
+    // Phase 3 (lines 14-19): the leader gathers all n subtotals. It already
+    // holds its own block; the primary owner p sends ps_p for the rest, and
+    // alternate holders cover crashed owners.
+    let leader_block = assigned_partitions(n, k, leader);
+    let mut collected: HashMap<usize, WeightVector> = HashMap::new();
+    let mut recoveries = 0usize;
+    for p in 0..n {
+        if leader_block.contains(&p) {
+            collected.insert(p, subtotal(p));
+            continue;
+        }
+        if alive[p] {
+            log.record(PHASE_SUBTOTAL, wire);
+            collected.insert(p, subtotal(p));
+            continue;
+        }
+        // Owner crashed: ask the other replica holders (line 18).
+        let alt = holders(n, k, p).into_iter().find(|&h| h != p && alive[h]);
+        match alt {
+            Some(_h) => {
+                log.record(PHASE_REQUEST, REQUEST_BYTES);
+                log.record(PHASE_RECOVERY, wire);
+                recoveries += 1;
+                collected.insert(p, subtotal(p));
+            }
+            None => return Err(FtSacError::TooManyDropouts { partition: p }),
+        }
+    }
+
+    // Phase 4 (line 20): average over contributors.
+    let mut average = WeightVector::zeros(dim);
+    for p in 0..n {
+        average.add_assign(&collected[&p]);
+    }
+    average.scale(1.0 / contributors.len() as f64);
+
+    Ok(FtSacOutcome {
+        average,
+        contributors,
+        recoveries,
+        log,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn models(n: usize, dim: usize, seed: u64) -> Vec<WeightVector> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| WeightVector::random(dim, 1.0, &mut rng)).collect()
+    }
+
+    fn mean_of(ms: &[WeightVector], idx: &[usize]) -> WeightVector {
+        WeightVector::mean(idx.iter().map(|&i| &ms[i]))
+    }
+
+    #[test]
+    fn no_dropouts_matches_plain_mean() {
+        let ms = models(5, 20, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let out =
+            fault_tolerant_secure_average(&ms, 3, 0, &[], ShareScheme::Masked, &mut rng).unwrap();
+        assert_eq!(out.contributors, vec![0, 1, 2, 3, 4]);
+        assert_eq!(out.recoveries, 0);
+        let plain = mean_of(&ms, &[0, 1, 2, 3, 4]);
+        assert!(out.average.linf_distance(&plain) < 1e-9);
+    }
+
+    #[test]
+    fn share_phase_cost_matches_paper_formula() {
+        // Paper Sec. VII-B: n(n-1)(n-k+1)|w| for shares, (k-1)|w| subtotals.
+        let (n, k) = (5usize, 3usize);
+        let ms = models(n, 10, 3);
+        let wire = ms[0].wire_bytes();
+        let mut rng = StdRng::seed_from_u64(4);
+        let out =
+            fault_tolerant_secure_average(&ms, k, 0, &[], ShareScheme::Masked, &mut rng).unwrap();
+        assert_eq!(
+            out.log.phase(PHASE_SHARE).1,
+            (n * (n - 1) * (n - k + 1)) as u64 * wire
+        );
+        assert_eq!(out.log.phase(PHASE_SUBTOTAL).1, (k - 1) as u64 * wire);
+        assert_eq!(out.log.phase(PHASE_RECOVERY), (0, 0));
+    }
+
+    #[test]
+    fn after_share_dropout_still_contributes_fig3() {
+        // The paper's 2-out-of-3 walkthrough: Alice drops after sharing, the
+        // remaining peers still reconstruct the 3-peer average.
+        let ms = models(3, 16, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let out = fault_tolerant_secure_average(
+            &ms,
+            2,
+            1,
+            &[Dropout { peer: 0, phase: DropPhase::AfterShare }],
+            ShareScheme::Masked,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(out.contributors, vec![0, 1, 2]);
+        let plain = mean_of(&ms, &[0, 1, 2]);
+        assert!(out.average.linf_distance(&plain) < 1e-9);
+    }
+
+    #[test]
+    fn before_share_dropout_is_excluded() {
+        let ms = models(4, 16, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let out = fault_tolerant_secure_average(
+            &ms,
+            3,
+            1,
+            &[Dropout { peer: 3, phase: DropPhase::BeforeShare }],
+            ShareScheme::Masked,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(out.contributors, vec![0, 1, 2]);
+        let plain = mean_of(&ms, &[0, 1, 2]);
+        assert!(out.average.linf_distance(&plain) < 1e-9);
+    }
+
+    #[test]
+    fn recovery_is_counted() {
+        let ms = models(5, 8, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        // Peer 4's subtotal is outside leader 0's block {0,1,2}; crash it.
+        let out = fault_tolerant_secure_average(
+            &ms,
+            3,
+            0,
+            &[Dropout { peer: 4, phase: DropPhase::AfterShare }],
+            ShareScheme::Masked,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(out.recoveries, 1);
+        assert_eq!(out.log.phase(PHASE_RECOVERY).0, 1);
+        assert_eq!(out.log.phase(PHASE_REQUEST).0, 1);
+    }
+
+    #[test]
+    fn tolerates_up_to_n_minus_k_dropouts() {
+        let (n, k) = (5usize, 2usize);
+        let ms = models(n, 8, 11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let dropouts: Vec<Dropout> = (1..=n - k)
+            .map(|p| Dropout { peer: p, phase: DropPhase::AfterShare })
+            .collect();
+        let out =
+            fault_tolerant_secure_average(&ms, k, 0, &dropouts, ShareScheme::Masked, &mut rng)
+                .unwrap();
+        let plain = mean_of(&ms, &[0, 1, 2, 3, 4]);
+        assert!(out.average.linf_distance(&plain) < 1e-9);
+    }
+
+    #[test]
+    fn leader_crash_is_reported() {
+        let ms = models(3, 4, 13);
+        let mut rng = StdRng::seed_from_u64(14);
+        let err = fault_tolerant_secure_average(
+            &ms,
+            2,
+            0,
+            &[Dropout { peer: 0, phase: DropPhase::AfterShare }],
+            ShareScheme::Masked,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert_eq!(err, FtSacError::LeaderCrashed);
+    }
+
+    #[test]
+    fn invalid_threshold_is_reported() {
+        let ms = models(3, 4, 15);
+        let mut rng = StdRng::seed_from_u64(16);
+        for k in [0usize, 4] {
+            let err =
+                fault_tolerant_secure_average(&ms, k, 0, &[], ShareScheme::Masked, &mut rng)
+                    .unwrap_err();
+            assert!(matches!(err, FtSacError::InvalidThreshold { .. }));
+        }
+    }
+
+    #[test]
+    fn n_out_of_n_with_a_dropout_fails_like_alg2() {
+        // With k = n there is no replication: one AfterShare crash outside
+        // the leader's block cannot be recovered — exactly the weakness of
+        // the original SAC that Alg. 4 fixes.
+        let ms = models(4, 4, 17);
+        let mut rng = StdRng::seed_from_u64(18);
+        let err = fault_tolerant_secure_average(
+            &ms,
+            4,
+            0,
+            &[Dropout { peer: 2, phase: DropPhase::AfterShare }],
+            ShareScheme::Masked,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FtSacError::TooManyDropouts { .. }));
+    }
+}

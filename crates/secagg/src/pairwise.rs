@@ -1,0 +1,213 @@
+//! Pairwise-mask secure aggregation — the Bonawitz et al. (ACM CCS'17)
+//! baseline the paper's related work compares against (Sec. II-B, reference 8).
+//!
+//! Every ordered pair of peers `(i, j)` agrees on a seed (in the real
+//! protocol via Diffie–Hellman; here seeds are dealt by the test harness,
+//! which preserves the aggregation math and cost structure). Peer `i`
+//! submits `w_i + Σ_{j>i} PRG(s_ij) − Σ_{j<i} PRG(s_ji)`; summing all
+//! submissions cancels every mask. A dropout is repaired by revealing the
+//! dead peer's pairwise seeds so the server can subtract its orphaned
+//! masks (the paper notes the recovery overhead this creates).
+//!
+//! Communication per round: `N` masked models to the server plus the
+//! `O(N²)` seed agreement (amortizable across rounds) — contrast with the
+//! paper's two-layer system in `p2pfl::cost`.
+
+use crate::weights::WeightVector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Derives the shared mask vector for the ordered pair `(low, high)`.
+fn mask(seed: u64, dim: usize) -> WeightVector {
+    let mut rng = StdRng::seed_from_u64(seed);
+    WeightVector::new((0..dim).map(|_| rng.random_range(-1e3..1e3)).collect())
+}
+
+/// The pairwise seeds of one aggregation group: `seed(i, j)` for `i < j`.
+#[derive(Debug, Clone)]
+pub struct PairwiseSeeds {
+    n: usize,
+    seeds: HashMap<(usize, usize), u64>,
+}
+
+impl PairwiseSeeds {
+    /// Deals fresh random pairwise seeds for `n` peers.
+    pub fn deal<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        let mut seeds = HashMap::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                seeds.insert((i, j), rng.random());
+            }
+        }
+        PairwiseSeeds { n, seeds }
+    }
+
+    /// The seed shared by `i` and `j` (order-insensitive).
+    pub fn seed(&self, i: usize, j: usize) -> u64 {
+        assert!(i != j, "no self seed");
+        let key = (i.min(j), i.max(j));
+        self.seeds[&key]
+    }
+
+    /// Number of peers.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+/// Peer `i`'s masked submission.
+pub fn masked_update(
+    seeds: &PairwiseSeeds,
+    i: usize,
+    w: &WeightVector,
+) -> WeightVector {
+    let n = seeds.n();
+    assert!(i < n, "peer index out of range");
+    let dim = w.dim();
+    let mut out = w.clone();
+    for j in 0..n {
+        if j == i {
+            continue;
+        }
+        let m = mask(seeds.seed(i, j), dim);
+        if i < j {
+            out.add_assign(&m);
+        } else {
+            out.sub_assign(&m);
+        }
+    }
+    out
+}
+
+/// Server-side aggregation: sums the submissions of `alive` peers and
+/// repairs the masks orphaned by `dropped` peers using their revealed
+/// seeds. Returns the average over the *alive* contributors.
+///
+/// Panics if a dropped peer also appears in `alive`.
+pub fn aggregate(
+    seeds: &PairwiseSeeds,
+    submissions: &[(usize, WeightVector)],
+    dropped: &[usize],
+) -> WeightVector {
+    assert!(!submissions.is_empty(), "no submissions");
+    let dim = submissions[0].1.dim();
+    let alive: Vec<usize> = submissions.iter().map(|(i, _)| *i).collect();
+    for d in dropped {
+        assert!(!alive.contains(d), "dropped peer cannot also submit");
+    }
+    let mut sum = WeightVector::zeros(dim);
+    for (_, s) in submissions {
+        sum.add_assign(s);
+    }
+    // Masks between two alive peers cancel; masks between an alive peer
+    // and a dropped peer are orphaned and must be subtracted using the
+    // revealed seed (the Bonawitz recovery step).
+    for &a in &alive {
+        for &d in dropped {
+            let m = mask(seeds.seed(a, d), dim);
+            if a < d {
+                sum.sub_assign(&m);
+            } else {
+                sum.add_assign(&m);
+            }
+        }
+    }
+    sum.scale(1.0 / alive.len() as f64);
+    sum
+}
+
+/// Per-round communication in model units for the pairwise baseline:
+/// `N` uploads + 1 broadcast model back to each peer (`N`), ignoring the
+/// (amortized) seed agreement.
+pub fn pairwise_round_units(n: usize) -> f64 {
+    (2 * n) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn models(n: usize, dim: usize, seed: u64) -> Vec<WeightVector> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| WeightVector::random(dim, 1.0, &mut rng)).collect()
+    }
+
+    #[test]
+    fn masks_cancel_with_everyone_alive() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 6;
+        let ms = models(n, 32, 2);
+        let seeds = PairwiseSeeds::deal(n, &mut rng);
+        let subs: Vec<(usize, WeightVector)> =
+            (0..n).map(|i| (i, masked_update(&seeds, i, &ms[i]))).collect();
+        let got = aggregate(&seeds, &subs, &[]);
+        let plain = WeightVector::mean(ms.iter());
+        assert!(got.linf_distance(&plain) < 1e-8, "err {}", got.linf_distance(&plain));
+    }
+
+    #[test]
+    fn single_submission_is_fully_masked() {
+        // The server learns nothing from one masked update: it differs
+        // from the raw model by mask-magnitude noise.
+        let mut rng = StdRng::seed_from_u64(3);
+        let ms = models(4, 256, 4);
+        let seeds = PairwiseSeeds::deal(4, &mut rng);
+        let sub = masked_update(&seeds, 0, &ms[0]);
+        let rms = (sub.iter().zip(ms[0].iter()).map(|(a, b)| (a - b).powi(2)).sum::<f64>()
+            / 256.0)
+            .sqrt();
+        assert!(rms > 100.0, "masking too weak: rms {rms}");
+    }
+
+    #[test]
+    fn dropout_recovery_subtracts_orphaned_masks() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 5;
+        let ms = models(n, 16, 6);
+        let seeds = PairwiseSeeds::deal(n, &mut rng);
+        // Peer 2 drops after the others computed their masked updates.
+        let subs: Vec<(usize, WeightVector)> = (0..n)
+            .filter(|&i| i != 2)
+            .map(|i| (i, masked_update(&seeds, i, &ms[i])))
+            .collect();
+        let got = aggregate(&seeds, &subs, &[2]);
+        let plain = WeightVector::mean(
+            (0..n).filter(|&i| i != 2).map(|i| &ms[i]),
+        );
+        assert!(got.linf_distance(&plain) < 1e-8, "err {}", got.linf_distance(&plain));
+    }
+
+    #[test]
+    fn two_dropouts_recover_too() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 6;
+        let ms = models(n, 8, 8);
+        let seeds = PairwiseSeeds::deal(n, &mut rng);
+        let dropped = [1usize, 4];
+        let subs: Vec<(usize, WeightVector)> = (0..n)
+            .filter(|i| !dropped.contains(i))
+            .map(|i| (i, masked_update(&seeds, i, &ms[i])))
+            .collect();
+        let got = aggregate(&seeds, &subs, &dropped);
+        let plain =
+            WeightVector::mean((0..n).filter(|i| !dropped.contains(i)).map(|i| &ms[i]));
+        assert!(got.linf_distance(&plain) < 1e-8);
+    }
+
+    #[test]
+    fn round_units_are_linear() {
+        assert_eq!(pairwise_round_units(30), 60.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropped peer cannot also submit")]
+    fn inconsistent_dropout_rejected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let ms = models(3, 4, 10);
+        let seeds = PairwiseSeeds::deal(3, &mut rng);
+        let subs: Vec<(usize, WeightVector)> =
+            (0..3).map(|i| (i, masked_update(&seeds, i, &ms[i]))).collect();
+        let _ = aggregate(&seeds, &subs, &[1]);
+    }
+}

@@ -1,0 +1,206 @@
+//! Paper Alg. 2 — Secure Average Computation (n-out-of-n), synchronous
+//! reference implementation.
+//!
+//! Every peer splits its model into `N` additive shares, exchanges them on a
+//! complete graph, computes a subtotal over the shares it holds, and
+//! exchanges subtotals so everyone can reconstruct the average. The
+//! communication cost is `2N(N-1)|w|` for the full-broadcast variant and
+//! `(N²-1)|w|` for the leader-collect variant used inside the two-layer
+//! system's subgroups (followers send subtotals only to the leader).
+//!
+//! These synchronous functions execute the exact message flow logically —
+//! including the floating-point error the share arithmetic introduces — and
+//! account every transfer in a [`TransferLog`] so the closed-form cost
+//! formulas can be verified against them.
+
+use crate::divide::{divide, ShareScheme};
+use crate::ledger::TransferLog;
+use crate::weights::WeightVector;
+use rand::Rng;
+
+/// Result of one SAC round.
+#[derive(Debug, Clone)]
+pub struct SacOutcome {
+    /// The securely computed average, identical on all peers.
+    pub average: WeightVector,
+    /// Every logical transfer the protocol performed.
+    pub log: TransferLog,
+}
+
+/// Phase label for share-exchange transfers.
+pub const PHASE_SHARE: &str = "sac.share";
+/// Phase label for subtotal-exchange transfers.
+pub const PHASE_SUBTOTAL: &str = "sac.subtotal";
+
+/// Runs one round of n-out-of-n SAC with full subtotal broadcast
+/// (paper Alg. 2). All peers are assumed alive; for dropout tolerance see
+/// [`crate::ftsac::fault_tolerant_secure_average`].
+///
+/// Panics if `models` is empty or dimensions mismatch.
+pub fn secure_average<R: Rng + ?Sized>(
+    models: &[WeightVector],
+    scheme: ShareScheme,
+    rng: &mut R,
+) -> SacOutcome {
+    run(models, scheme, SubtotalExchange::Broadcast, rng)
+}
+
+/// Runs one round of n-out-of-n SAC where followers send their subtotal only
+/// to `leader` (the form used inside a two-layer subgroup). Only the leader
+/// learns the average; cost is `(N²-1)|w|`.
+///
+/// Panics if `models` is empty, dimensions mismatch, or `leader` is out of
+/// range.
+pub fn secure_average_with_leader<R: Rng + ?Sized>(
+    models: &[WeightVector],
+    leader: usize,
+    scheme: ShareScheme,
+    rng: &mut R,
+) -> SacOutcome {
+    assert!(leader < models.len(), "leader index out of range");
+    run(models, scheme, SubtotalExchange::ToLeader(leader), rng)
+}
+
+enum SubtotalExchange {
+    Broadcast,
+    ToLeader(usize),
+}
+
+fn run<R: Rng + ?Sized>(
+    models: &[WeightVector],
+    scheme: ShareScheme,
+    exchange: SubtotalExchange,
+    rng: &mut R,
+) -> SacOutcome {
+    let n = models.len();
+    assert!(n > 0, "SAC requires at least one peer");
+    let dim = models[0].dim();
+    assert!(
+        models.iter().all(|m| m.dim() == dim),
+        "all models must share a dimension"
+    );
+    let wire = models[0].wire_bytes();
+    let mut log = TransferLog::new();
+
+    // Phase 1: each peer i divides its model and sends partition j to peer j.
+    // shares[i][j] = par_wt_{i,j}.
+    let shares: Vec<Vec<WeightVector>> =
+        models.iter().map(|m| divide(m, n, scheme, rng)).collect();
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                log.record(PHASE_SHARE, wire);
+            }
+        }
+    }
+
+    // Phase 2: peer j computes the subtotal over everything it received.
+    let subtotals: Vec<WeightVector> = (0..n)
+        .map(|j| {
+            let mut s = WeightVector::zeros(dim);
+            for row in &shares {
+                s.add_assign(&row[j]);
+            }
+            s
+        })
+        .collect();
+
+    // Phase 3: exchange subtotals.
+    match exchange {
+        SubtotalExchange::Broadcast => {
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j {
+                        log.record(PHASE_SUBTOTAL, wire);
+                    }
+                }
+            }
+        }
+        SubtotalExchange::ToLeader(leader) => {
+            for j in 0..n {
+                if j != leader {
+                    log.record(PHASE_SUBTOTAL, wire);
+                }
+            }
+        }
+    }
+
+    // Phase 4: average of subtotals equals the average of the models.
+    let mut average = WeightVector::sum(subtotals.iter());
+    average.scale(1.0 / n as f64);
+    SacOutcome { average, log }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn models(n: usize, dim: usize, seed: u64) -> Vec<WeightVector> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| WeightVector::random(dim, 1.0, &mut rng)).collect()
+    }
+
+    #[test]
+    fn sac_average_equals_plain_mean() {
+        let ms = models(7, 50, 1);
+        let plain = WeightVector::mean(ms.iter());
+        let mut rng = StdRng::seed_from_u64(2);
+        for scheme in [ShareScheme::Scaled, ShareScheme::Masked] {
+            let out = secure_average(&ms, scheme, &mut rng);
+            assert!(
+                out.average.linf_distance(&plain) < 1e-9,
+                "scheme {scheme:?} error {}",
+                out.average.linf_distance(&plain)
+            );
+        }
+    }
+
+    #[test]
+    fn broadcast_cost_is_2n_nminus1_w() {
+        // Paper Sec. III-B: total cost 2N(N-1)|w|.
+        let ms = models(5, 10, 3);
+        let wire = ms[0].wire_bytes();
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = secure_average(&ms, ShareScheme::Masked, &mut rng);
+        assert_eq!(out.log.bytes(), 2 * 5 * 4 * wire);
+        assert_eq!(out.log.messages(), 2 * 5 * 4);
+        assert_eq!(out.log.phase(PHASE_SHARE), (20, 20 * wire));
+        assert_eq!(out.log.phase(PHASE_SUBTOTAL), (20, 20 * wire));
+    }
+
+    #[test]
+    fn leader_collect_cost_is_nsq_minus_1_w() {
+        // Paper Sec. VII-A: a subgroup of n peers costs (n^2 - 1)|w|.
+        for n in 1..=8usize {
+            let ms = models(n, 6, 5);
+            let wire = ms[0].wire_bytes();
+            let mut rng = StdRng::seed_from_u64(6);
+            let out = secure_average_with_leader(&ms, 0, ShareScheme::Masked, &mut rng);
+            assert_eq!(
+                out.log.bytes(),
+                ((n * n - 1) as u64) * wire,
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_peer_sac_is_identity() {
+        let ms = models(1, 8, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let out = secure_average(&ms, ShareScheme::Masked, &mut rng);
+        assert!(out.average.linf_distance(&ms[0]) < 1e-12);
+        assert_eq!(out.log.bytes(), 0, "nothing to exchange");
+    }
+
+    #[test]
+    fn leader_choice_does_not_change_average() {
+        let ms = models(4, 12, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let a = secure_average_with_leader(&ms, 0, ShareScheme::Masked, &mut rng);
+        let b = secure_average_with_leader(&ms, 3, ShareScheme::Masked, &mut rng);
+        assert!(a.average.linf_distance(&b.average) < 1e-9);
+    }
+}

@@ -1,0 +1,229 @@
+//! Flat weight vectors — the unit of aggregation.
+//!
+//! Every protocol in this workspace treats a model as an opaque flat vector
+//! of parameters. Arithmetic is done in `f64` for accumulation accuracy, but
+//! the *wire format* is 32-bit floats (matching the paper's PyTorch models),
+//! so communication cost is `4 * len` bytes per transmitted vector.
+
+use rand::Rng;
+use std::ops::{Deref, Index};
+
+/// Bytes per parameter on the wire (f32, as in the paper's PyTorch models).
+pub const WIRE_BYTES_PER_PARAM: u64 = 4;
+
+/// A flat vector of model parameters.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WeightVector(Vec<f64>);
+
+impl WeightVector {
+    /// Wraps an existing parameter vector.
+    pub fn new(data: Vec<f64>) -> Self {
+        WeightVector(data)
+    }
+
+    /// An all-zero vector of dimension `dim`.
+    pub fn zeros(dim: usize) -> Self {
+        WeightVector(vec![0.0; dim])
+    }
+
+    /// A vector with i.i.d. uniform entries in `[-bound, bound]`.
+    pub fn random<R: Rng + ?Sized>(dim: usize, bound: f64, rng: &mut R) -> Self {
+        WeightVector((0..dim).map(|_| rng.random_range(-bound..=bound)).collect())
+    }
+
+    /// Number of parameters.
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the vector has no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Serialized size in bytes under the f32 wire format.
+    pub fn wire_bytes(&self) -> u64 {
+        self.0.len() as u64 * WIRE_BYTES_PER_PARAM
+    }
+
+    /// Borrow the raw parameters.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Consumes the vector, returning the raw parameters.
+    pub fn into_inner(self) -> Vec<f64> {
+        self.0
+    }
+
+    /// `self += other`, elementwise. Panics on dimension mismatch.
+    pub fn add_assign(&mut self, other: &WeightVector) {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a += b;
+        }
+    }
+
+    /// `self -= other`, elementwise. Panics on dimension mismatch.
+    pub fn sub_assign(&mut self, other: &WeightVector) {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a -= b;
+        }
+    }
+
+    /// `self *= s`, elementwise.
+    pub fn scale(&mut self, s: f64) {
+        for a in &mut self.0 {
+            *a *= s;
+        }
+    }
+
+    /// Returns `self * s` without mutating.
+    pub fn scaled(&self, s: f64) -> WeightVector {
+        let mut out = self.clone();
+        out.scale(s);
+        out
+    }
+
+    /// Sums a non-empty iterator of vectors. Panics if empty or mismatched.
+    pub fn sum<'a, I: IntoIterator<Item = &'a WeightVector>>(iter: I) -> WeightVector {
+        let mut it = iter.into_iter();
+        let first = it.next().expect("summing zero vectors");
+        let mut acc = first.clone();
+        for v in it {
+            acc.add_assign(v);
+        }
+        acc
+    }
+
+    /// Arithmetic mean of a non-empty iterator of vectors.
+    pub fn mean<'a, I: IntoIterator<Item = &'a WeightVector>>(iter: I) -> WeightVector {
+        let vs: Vec<&WeightVector> = iter.into_iter().collect();
+        let n = vs.len();
+        let mut acc = WeightVector::sum(vs);
+        acc.scale(1.0 / n as f64);
+        acc
+    }
+
+    /// Weighted mean `Σ w_i v_i / Σ w_i` — the FedAvg update law.
+    /// Panics if `weights` and the vector count differ or all weights are 0.
+    pub fn weighted_mean(vectors: &[WeightVector], weights: &[f64]) -> WeightVector {
+        assert_eq!(vectors.len(), weights.len(), "weight count mismatch");
+        assert!(!vectors.is_empty(), "weighted mean of zero vectors");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights sum to zero");
+        let mut acc = WeightVector::zeros(vectors[0].dim());
+        for (v, &w) in vectors.iter().zip(weights) {
+            let mut t = v.clone();
+            t.scale(w / total);
+            acc.add_assign(&t);
+        }
+        acc
+    }
+
+    /// Maximum absolute elementwise difference to `other`.
+    pub fn linf_distance(&self, other: &WeightVector) -> f64 {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        self.0
+            .iter()
+            .zip(&other.0)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Euclidean norm.
+    pub fn l2_norm(&self) -> f64 {
+        self.0.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// True when every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.0.iter().all(|x| x.is_finite())
+    }
+}
+
+impl Deref for WeightVector {
+    type Target = [f64];
+    fn deref(&self) -> &[f64] {
+        &self.0
+    }
+}
+
+impl Index<usize> for WeightVector {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.0[i]
+    }
+}
+
+impl From<Vec<f64>> for WeightVector {
+    fn from(v: Vec<f64>) -> Self {
+        WeightVector(v)
+    }
+}
+
+impl FromIterator<f64> for WeightVector {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        WeightVector(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn arithmetic() {
+        let mut a = WeightVector::new(vec![1.0, 2.0]);
+        let b = WeightVector::new(vec![0.5, -1.0]);
+        a.add_assign(&b);
+        assert_eq!(a.as_slice(), &[1.5, 1.0]);
+        a.sub_assign(&b);
+        assert_eq!(a.as_slice(), &[1.0, 2.0]);
+        a.scale(2.0);
+        assert_eq!(a.as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn mean_and_weighted_mean() {
+        let vs = vec![
+            WeightVector::new(vec![1.0, 0.0]),
+            WeightVector::new(vec![3.0, 2.0]),
+        ];
+        assert_eq!(WeightVector::mean(vs.iter()).as_slice(), &[2.0, 1.0]);
+        // Weighted: 3:1 toward the second vector.
+        let wm = WeightVector::weighted_mean(&vs, &[1.0, 3.0]);
+        assert_eq!(wm.as_slice(), &[2.5, 1.5]);
+    }
+
+    #[test]
+    fn wire_bytes_is_four_per_param() {
+        assert_eq!(WeightVector::zeros(1_248_394).wire_bytes(), 4 * 1_248_394);
+    }
+
+    #[test]
+    fn distances() {
+        let a = WeightVector::new(vec![0.0, 3.0]);
+        let b = WeightVector::new(vec![4.0, 0.0]);
+        assert_eq!(a.linf_distance(&b), 4.0);
+        assert_eq!(b.l2_norm(), 4.0);
+    }
+
+    #[test]
+    fn random_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = WeightVector::random(1000, 0.25, &mut rng);
+        assert!(v.iter().all(|x| x.abs() <= 0.25));
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_dims_panic() {
+        let mut a = WeightVector::zeros(2);
+        a.add_assign(&WeightVector::zeros(3));
+    }
+}

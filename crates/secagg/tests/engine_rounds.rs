@@ -1,0 +1,138 @@
+//! Multi-round use of the message-driven SAC engine: the same actors run
+//! consecutive aggregation rounds with fresh models, as the two-layer
+//! system does every training round.
+
+use p2pfl_secagg::{SacConfig, SacMsg, SacPeerActor, SacPhase, ShareScheme, WeightVector};
+use p2pfl_simnet::{NodeId, Sim, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build(n: usize, k: usize, seed: u64) -> (Sim<SacMsg>, Vec<NodeId>) {
+    let mut sim = Sim::new(seed);
+    let ids: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+    for i in 0..n {
+        let cfg = SacConfig {
+            group: ids.clone(),
+            position: i,
+            leader_pos: 0,
+            k,
+            scheme: ShareScheme::Masked,
+            share_deadline: SimDuration::from_millis(100),
+            collect_deadline: SimDuration::from_millis(100),
+            seed: seed + i as u64,
+        };
+        sim.add_node(SacPeerActor::new(cfg, WeightVector::zeros(8)));
+    }
+    sim.run_until_quiet(100);
+    (sim, ids)
+}
+
+#[test]
+fn three_consecutive_rounds_with_fresh_models() {
+    let (mut sim, ids) = build(4, 3, 1);
+    let mut rng = StdRng::seed_from_u64(99);
+    for round in 1..=3u64 {
+        // Fresh models on every peer (what local training produces).
+        let models: Vec<WeightVector> =
+            (0..4).map(|_| WeightVector::random(8, 1.0, &mut rng)).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            let m = models[i].clone();
+            sim.exec::<SacPeerActor, _, _>(id, move |a, _| a.set_model(m));
+        }
+        sim.exec::<SacPeerActor, _, _>(ids[0], |a, ctx| a.start_round(ctx, round));
+        let deadline = sim.now() + SimDuration::from_secs(2);
+        sim.run_until(deadline);
+        let leader = sim.actor::<SacPeerActor>(ids[0]);
+        assert_eq!(leader.phase, SacPhase::Done, "round {round}: {:?}", leader.phase);
+        assert_eq!(leader.round, round);
+        let expect = WeightVector::mean(models.iter());
+        let got = leader.result.as_ref().unwrap();
+        assert!(
+            got.linf_distance(&expect) < 1e-9,
+            "round {round}: error {}",
+            got.linf_distance(&expect)
+        );
+    }
+}
+
+#[test]
+fn crash_in_round_two_recovers_and_round_three_excludes_the_dead() {
+    let (mut sim, ids) = build(5, 3, 2);
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // Round 1: all healthy.
+    let m1: Vec<WeightVector> = (0..5).map(|_| WeightVector::random(8, 1.0, &mut rng)).collect();
+    for (i, &id) in ids.iter().enumerate() {
+        let m = m1[i].clone();
+        sim.exec::<SacPeerActor, _, _>(id, move |a, _| a.set_model(m));
+    }
+    sim.exec::<SacPeerActor, _, _>(ids[0], |a, ctx| a.start_round(ctx, 1));
+    let deadline = sim.now() + SimDuration::from_secs(1);
+    sim.run_until(deadline);
+    assert_eq!(sim.actor::<SacPeerActor>(ids[0]).contributors, vec![0, 1, 2, 3, 4]);
+
+    // Round 2: peer 4 dies right after the shares settle.
+    sim.exec::<SacPeerActor, _, _>(ids[0], |a, ctx| a.start_round(ctx, 2));
+    let crash_at = sim.now() + SimDuration::from_millis(40);
+    sim.schedule_crash(ids[4], crash_at);
+    let deadline = sim.now() + SimDuration::from_secs(2);
+    sim.run_until(deadline);
+    {
+        let leader = sim.actor::<SacPeerActor>(ids[0]);
+        assert_eq!(leader.phase, SacPhase::Done, "round 2: {:?}", leader.phase);
+        assert_eq!(leader.contributors, vec![0, 1, 2, 3, 4], "shared before dying");
+        assert!(leader.recoveries >= 1, "its subtotal needed recovery");
+    }
+
+    // Round 3: the dead peer contributes nothing; the average covers the
+    // four survivors only.
+    sim.exec::<SacPeerActor, _, _>(ids[0], |a, ctx| a.start_round(ctx, 3));
+    let deadline = sim.now() + SimTime::from_secs(3).saturating_since(SimTime::ZERO);
+    sim.run_until(deadline);
+    let leader = sim.actor::<SacPeerActor>(ids[0]);
+    assert_eq!(leader.phase, SacPhase::Done, "round 3: {:?}", leader.phase);
+    assert_eq!(leader.contributors, vec![0, 1, 2, 3]);
+}
+
+#[test]
+fn slow_links_reorder_compute_over_before_blocks() {
+    // Regression guard: with a bandwidth model, big share blocks can land
+    // *after* the leader's ComputeOver broadcast. Followers must send
+    // their primary subtotal (and answer recovery requests) as soon as the
+    // missing blocks arrive, not stall until a recovery deadline.
+    use p2pfl_simnet::{Latency, LatencyConfig};
+    let mut sim: Sim<SacMsg> = Sim::new(3);
+    let net = LatencyConfig::uniform_default(Latency::Constant(SimDuration::from_millis(15)))
+        .with_bandwidth(12_500_000); // 100 Mbps
+    sim.set_latency(net);
+    let ids: Vec<NodeId> = (0..3).map(NodeId).collect();
+    for i in 0..3 {
+        let cfg = SacConfig {
+            group: ids.clone(),
+            position: i,
+            leader_pos: 0,
+            k: 2,
+            scheme: ShareScheme::Masked,
+            share_deadline: SimDuration::from_secs(120),
+            collect_deadline: SimDuration::from_secs(120),
+            seed: 30 + i as u64,
+        };
+        // 1 MB share blocks: 80 ms of serialization each, so ComputeOver
+        // (tiny) overtakes the block traffic.
+        sim.add_node(SacPeerActor::new(cfg, WeightVector::zeros(125_000)));
+    }
+    sim.run_until_quiet(100);
+    let t0 = sim.now();
+    sim.exec::<SacPeerActor, _, _>(ids[0], |a, ctx| a.start_round(ctx, 1));
+    loop {
+        if sim.actor::<SacPeerActor>(ids[0]).phase == SacPhase::Done {
+            break;
+        }
+        assert!(
+            sim.now().saturating_since(t0) < SimDuration::from_secs(1),
+            "round did not finish within 1s of virtual time"
+        );
+        sim.run_for(SimDuration::from_millis(10));
+    }
+    assert!(sim.actor::<SacPeerActor>(ids[0]).result.is_some());
+}

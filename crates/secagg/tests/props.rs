@@ -1,0 +1,137 @@
+//! Property-based tests for the secret-sharing invariants.
+
+use p2pfl_secagg::replicated::{assigned_partitions, can_reconstruct, holders};
+use p2pfl_secagg::{
+    divide_masked, divide_scaled, fault_tolerant_secure_average, fixed, secure_average,
+    secure_average_with_leader, DropPhase, Dropout, ShareScheme, WeightVector,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn weight_vec(dim: usize) -> impl Strategy<Value = WeightVector> {
+    proptest::collection::vec(-10.0f64..10.0, dim).prop_map(WeightVector::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Alg. 1 invariant: shares always sum back to the secret.
+    #[test]
+    fn shares_reconstruct(
+        w in weight_vec(32),
+        n in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scaled = divide_scaled(&w, n, &mut rng);
+        let masked = divide_masked(&w, n, &mut rng);
+        prop_assert!(WeightVector::sum(scaled.iter()).linf_distance(&w) < 1e-9);
+        prop_assert!(WeightVector::sum(masked.iter()).linf_distance(&w) < 1e-8);
+    }
+
+    /// Alg. 2 invariant: SAC equals the plain mean regardless of scheme,
+    /// peer count, or who leads.
+    #[test]
+    fn sac_equals_plain_mean(
+        models in proptest::collection::vec(weight_vec(16), 1..8),
+        seed in any::<u64>(),
+        lead_pick in any::<prop::sample::Index>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plain = WeightVector::mean(models.iter());
+        for scheme in [ShareScheme::Scaled, ShareScheme::Masked] {
+            let full = secure_average(&models, scheme, &mut rng);
+            prop_assert!(full.average.linf_distance(&plain) < 1e-7);
+        }
+        let leader = lead_pick.index(models.len());
+        let led = secure_average_with_leader(&models, leader, ShareScheme::Masked, &mut rng);
+        prop_assert!(led.average.linf_distance(&plain) < 1e-7);
+    }
+
+    /// Alg. 4 invariant: any dropout set of size <= n-k (excluding the
+    /// leader) still yields the mean over contributors.
+    #[test]
+    fn ftsac_survives_dropouts(
+        n in 2usize..8,
+        k_off in 0usize..6,
+        drop_seed in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let k = (1 + k_off % n).max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let models: Vec<WeightVector> =
+            (0..n).map(|_| WeightVector::random(8, 1.0, &mut rng)).collect();
+        // Build a dropout set of size <= n-k from non-leader peers.
+        let mut drop_rng = StdRng::seed_from_u64(drop_seed);
+        let max_drops = (n - k).min(n - 1);
+        let mut peers: Vec<usize> = (1..n).collect();
+        let mut dropouts = Vec::new();
+        for _ in 0..max_drops {
+            if peers.is_empty() { break; }
+            let i = (drop_rng.next_u64() as usize) % peers.len();
+            let peer = peers.swap_remove(i);
+            let phase = if drop_rng.next_u64() % 2 == 0 {
+                DropPhase::BeforeShare
+            } else {
+                DropPhase::AfterShare
+            };
+            dropouts.push(Dropout { peer, phase });
+        }
+        let out = fault_tolerant_secure_average(
+            &models, k, 0, &dropouts, ShareScheme::Masked, &mut rng,
+        ).unwrap();
+        let plain = WeightVector::mean(out.contributors.iter().map(|&i| &models[i]));
+        prop_assert!(out.average.linf_distance(&plain) < 1e-7);
+        // Contributors are exactly the peers that did not drop BeforeShare.
+        for d in &dropouts {
+            match d.phase {
+                DropPhase::BeforeShare =>
+                    prop_assert!(!out.contributors.contains(&d.peer)),
+                DropPhase::AfterShare =>
+                    prop_assert!(out.contributors.contains(&d.peer)),
+            }
+        }
+    }
+
+    /// Replication invariant: assignment and holders are inverse relations
+    /// and any <= n-k crash set keeps every partition reconstructible.
+    #[test]
+    fn replication_covers_crashes(
+        n in 1usize..12,
+        k_off in 0usize..12,
+        crash_bits in any::<u16>(),
+    ) {
+        let k = 1 + k_off % n;
+        // Keep at most n-k crashes.
+        let mut alive = vec![true; n];
+        let mut budget = n - k;
+        for (i, a) in alive.iter_mut().enumerate() {
+            if budget > 0 && crash_bits & (1 << i) != 0 {
+                *a = false;
+                budget -= 1;
+            }
+        }
+        prop_assert!(can_reconstruct(n, k, &alive));
+        for p in 0..n {
+            for h in holders(n, k, p) {
+                prop_assert!(assigned_partitions(n, k, h).contains(&p));
+            }
+        }
+    }
+
+    /// Fixed-point ring sharing reconstructs exactly (quantization only).
+    #[test]
+    fn ring_sharing_is_exact(
+        w in weight_vec(16),
+        n in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shares = fixed::divide_ring(&w, n, &mut rng);
+        let sum = fixed::reconstruct_sum(&[shares]);
+        prop_assert!(sum.linf_distance(&w) < 1e-7);
+    }
+}
+
+use rand::RngCore;

@@ -1,0 +1,248 @@
+//! Link latency models.
+//!
+//! The paper's testbed injects a constant 15 ms one-way delay with
+//! `tc netem`. We support that plus uniform and (truncated) normal jitter,
+//! and per-link overrides so asymmetric topologies can be modeled.
+
+use crate::node::NodeId;
+use crate::time::SimDuration;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// A one-way link latency distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Latency {
+    /// Every message takes exactly this long.
+    Constant(SimDuration),
+    /// Uniformly distributed in `[min, max]`.
+    Uniform {
+        /// Lower bound (inclusive).
+        min: SimDuration,
+        /// Upper bound (inclusive).
+        max: SimDuration,
+    },
+    /// Normally distributed with the given mean and standard deviation,
+    /// truncated below at `floor` so latency never goes negative or
+    /// unrealistically small.
+    Normal {
+        /// Mean of the distribution.
+        mean: SimDuration,
+        /// Standard deviation.
+        std_dev: SimDuration,
+        /// Minimum latency after truncation.
+        floor: SimDuration,
+    },
+}
+
+impl Latency {
+    /// The paper's `tc netem` setting: a constant 15 ms one-way delay.
+    pub const fn paper_default() -> Latency {
+        Latency::Constant(SimDuration::from_millis(15))
+    }
+
+    /// Draws a latency sample using `rng`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        match *self {
+            Latency::Constant(d) => d,
+            Latency::Uniform { min, max } => {
+                debug_assert!(min <= max, "uniform latency bounds inverted");
+                if min == max {
+                    min
+                } else {
+                    SimDuration::from_nanos(rng.random_range(min.as_nanos()..=max.as_nanos()))
+                }
+            }
+            Latency::Normal {
+                mean,
+                std_dev,
+                floor,
+            } => {
+                // Box-Muller transform; we only need one of the pair.
+                let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+                let u2: f64 = rng.random();
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                let ns = mean.as_nanos() as f64 + z * std_dev.as_nanos() as f64;
+                SimDuration::from_nanos((ns.max(0.0)) as u64).max(floor)
+            }
+        }
+    }
+}
+
+/// Network-wide latency configuration: a default distribution plus optional
+/// per-directed-link overrides, and an optional shared bandwidth model
+/// that adds a serialization delay proportional to message size (so a
+/// 5 MB model transfer takes realistically longer than a 32-byte RPC).
+#[derive(Debug, Clone)]
+pub struct LatencyConfig {
+    default: Latency,
+    overrides: HashMap<(NodeId, NodeId), Latency>,
+    bandwidth_bytes_per_sec: Option<u64>,
+}
+
+impl LatencyConfig {
+    /// A configuration where every link follows `default`.
+    pub fn uniform_default(default: Latency) -> Self {
+        LatencyConfig {
+            default,
+            overrides: HashMap::new(),
+            bandwidth_bytes_per_sec: None,
+        }
+    }
+
+    /// Adds a per-link bandwidth: every message's delivery is delayed by
+    /// an additional `bytes / bandwidth` on top of the propagation
+    /// latency. `None` (the default) models infinitely fast links, which
+    /// matches the paper's `tc netem`-only setup.
+    pub fn with_bandwidth(mut self, bytes_per_sec: u64) -> Self {
+        assert!(bytes_per_sec > 0, "bandwidth must be positive");
+        self.bandwidth_bytes_per_sec = Some(bytes_per_sec);
+        self
+    }
+
+    /// The serialization delay for a message of `bytes` bytes.
+    pub fn transmission_delay(&self, bytes: u64) -> SimDuration {
+        match self.bandwidth_bytes_per_sec {
+            None => SimDuration::ZERO,
+            Some(bw) => {
+                let ns = (bytes as u128 * 1_000_000_000u128) / bw as u128;
+                SimDuration::from_nanos(ns.min(u64::MAX as u128) as u64)
+            }
+        }
+    }
+
+    /// Samples the full delivery delay for a `bytes`-byte message on
+    /// `src -> dst`: propagation plus serialization.
+    pub fn sample_for<R: Rng + ?Sized>(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        rng: &mut R,
+    ) -> SimDuration {
+        self.link(src, dst).sample(rng) + self.transmission_delay(bytes)
+    }
+
+    /// The paper setting: constant 15 ms everywhere.
+    pub fn paper_default() -> Self {
+        Self::uniform_default(Latency::paper_default())
+    }
+
+    /// Overrides the latency of the directed link `src -> dst`.
+    pub fn set_link(&mut self, src: NodeId, dst: NodeId, latency: Latency) {
+        self.overrides.insert((src, dst), latency);
+    }
+
+    /// The model in effect for the directed link `src -> dst`.
+    pub fn link(&self, src: NodeId, dst: NodeId) -> Latency {
+        self.overrides
+            .get(&(src, dst))
+            .copied()
+            .unwrap_or(self.default)
+    }
+
+    /// Samples a delivery delay for `src -> dst`.
+    pub fn sample<R: Rng + ?Sized>(&self, src: NodeId, dst: NodeId, rng: &mut R) -> SimDuration {
+        self.link(src, dst).sample(rng)
+    }
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let l = Latency::Constant(SimDuration::from_millis(15));
+        for _ in 0..10 {
+            assert_eq!(l.sample(&mut rng), SimDuration::from_millis(15));
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let min = SimDuration::from_millis(5);
+        let max = SimDuration::from_millis(10);
+        let l = Latency::Uniform { min, max };
+        for _ in 0..1000 {
+            let s = l.sample(&mut rng);
+            assert!(s >= min && s <= max, "sample {s} out of bounds");
+        }
+    }
+
+    #[test]
+    fn uniform_degenerate_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = SimDuration::from_millis(7);
+        let l = Latency::Uniform { min: d, max: d };
+        assert_eq!(l.sample(&mut rng), d);
+    }
+
+    #[test]
+    fn normal_respects_floor() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let l = Latency::Normal {
+            mean: SimDuration::from_millis(1),
+            std_dev: SimDuration::from_millis(5),
+            floor: SimDuration::from_micros(100),
+        };
+        for _ in 0..1000 {
+            assert!(l.sample(&mut rng) >= SimDuration::from_micros(100));
+        }
+    }
+
+    #[test]
+    fn normal_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let l = Latency::Normal {
+            mean: SimDuration::from_millis(20),
+            std_dev: SimDuration::from_millis(2),
+            floor: SimDuration::ZERO,
+        };
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| l.sample(&mut rng).as_millis_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 20.0).abs() < 0.2, "empirical mean {mean}");
+    }
+
+    #[test]
+    fn bandwidth_adds_serialization_delay() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let cfg = LatencyConfig::uniform_default(Latency::Constant(SimDuration::from_millis(15)))
+            .with_bandwidth(1_000_000); // 1 MB/s
+        let a = NodeId(0);
+        let b = NodeId(1);
+        // 500 kB at 1 MB/s = 500 ms on top of the 15 ms propagation.
+        let d = cfg.sample_for(a, b, 500_000, &mut rng);
+        assert_eq!(d, SimDuration::from_millis(515));
+        // Tiny control message: essentially just propagation.
+        let d = cfg.sample_for(a, b, 16, &mut rng);
+        assert_eq!(d.as_nanos(), SimDuration::from_millis(15).as_nanos() + 16_000);
+        // Without bandwidth, size is free.
+        let free = LatencyConfig::paper_default();
+        assert_eq!(free.sample_for(a, b, 500_000, &mut rng), SimDuration::from_millis(15));
+    }
+
+    #[test]
+    fn overrides_take_precedence() {
+        let mut cfg = LatencyConfig::paper_default();
+        let a = NodeId(0);
+        let b = NodeId(1);
+        cfg.set_link(a, b, Latency::Constant(SimDuration::from_millis(1)));
+        assert_eq!(
+            cfg.link(a, b),
+            Latency::Constant(SimDuration::from_millis(1))
+        );
+        // Reverse direction still uses the default.
+        assert_eq!(cfg.link(b, a), Latency::paper_default());
+    }
+}

@@ -1,0 +1,36 @@
+//! Node identity.
+
+use std::fmt;
+
+/// Identifier of a simulated node (peer). Dense indices assigned by the
+/// simulator in creation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The dense index behind this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a pending timer, unique over the lifetime of one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(format!("{}", NodeId(3)), "n3");
+        assert_eq!(NodeId(7).index(), 7);
+    }
+}

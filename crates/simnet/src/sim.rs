@@ -1,0 +1,711 @@
+//! The discrete-event simulator core.
+//!
+//! A [`Sim`] owns a set of [`Actor`]s (one per [`NodeId`]), a virtual clock,
+//! and a priority queue of pending events (message deliveries, timers,
+//! crashes, restarts). Actors interact with the world exclusively through
+//! [`Context`], which samples link latencies, arms timers, and accounts
+//! communication cost. Identical seeds produce identical executions.
+
+use crate::latency::LatencyConfig;
+use crate::metrics::Metrics;
+use crate::node::{NodeId, TimerId};
+use crate::payload::Payload;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{DropReason, Trace, TraceKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// A simulated node's behavior.
+///
+/// Implementations must also be `Any` so tests and experiments can downcast
+/// back to the concrete type via [`Sim::actor`] to inspect final state.
+pub trait Actor<M: Payload>: Any {
+    /// Called once when the node is started (at the virtual time it was
+    /// added) and never again, even across crash/restart cycles.
+    fn on_start(&mut self, _ctx: &mut Context<'_, M>) {}
+
+    /// Called for every message delivered to this node.
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, from: NodeId, msg: M);
+
+    /// Called when a timer previously armed via [`Context::set_timer`]
+    /// fires. `tag` is the application tag supplied when arming.
+    fn on_timer(&mut self, _ctx: &mut Context<'_, M>, _tag: u64) {}
+
+    /// Called when the fault plan crashes this node. The actor keeps its
+    /// in-memory state (it models the process image plus any persistent
+    /// storage); implementations decide what survives in [`Actor::on_restart`].
+    fn on_crash(&mut self, _now: SimTime) {}
+
+    /// Called when the fault plan restarts this node. All timers armed
+    /// before the crash have been discarded.
+    fn on_restart(&mut self, _ctx: &mut Context<'_, M>) {}
+}
+
+enum EventKind<M> {
+    Start(NodeId),
+    Deliver { src: NodeId, dst: NodeId, msg: M },
+    Timer { node: NodeId, id: TimerId, tag: u64, epoch: u64 },
+    Crash(NodeId),
+    Restart(NodeId),
+}
+
+struct Event<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    // Reversed so the BinaryHeap (a max-heap) pops the earliest event;
+    // ties broken by insertion order for determinism.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct SimInner<M> {
+    now: SimTime,
+    queue: BinaryHeap<Event<M>>,
+    seq: u64,
+    next_timer: u64,
+    cancelled: HashSet<TimerId>,
+    crashed: Vec<bool>,
+    epoch: Vec<u64>,
+    partitions: HashSet<(NodeId, NodeId)>,
+    loss_probability: f64,
+    latency: LatencyConfig,
+    metrics: Metrics,
+    trace: Trace,
+    rng: StdRng,
+    node_rngs: Vec<StdRng>,
+    // Earliest time each node's egress link is free again (store-and-
+    // forward: serialization occupies the sender's NIC when a bandwidth
+    // model is configured).
+    tx_free: Vec<SimTime>,
+    halted: bool,
+}
+
+impl<M: Payload> SimInner<M> {
+    fn push(&mut self, at: SimTime, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Event { at, seq, kind });
+    }
+}
+
+/// Handle through which an actor interacts with the simulated world.
+pub struct Context<'a, M: Payload> {
+    node: NodeId,
+    inner: &'a mut SimInner<M>,
+}
+
+impl<'a, M: Payload> Context<'a, M> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.now
+    }
+
+    /// The id of the node this context belongs to.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Sends `msg` to `to`. Latency is sampled from the link model; the
+    /// bytes are charged to the communication ledger immediately.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        let src = self.node;
+        if src == to {
+            // Loopback delivery is free and instantaneous in the cost model,
+            // matching the paper's accounting (a peer "sending to itself"
+            // keeps the share locally).
+            let at = self.inner.now;
+            self.inner.push(at, EventKind::Deliver { src, dst: to, msg });
+            return;
+        }
+        let bytes = msg.size_bytes();
+        let kind = msg.kind();
+        self.inner.metrics.record_send(src, to, kind, bytes);
+        self.inner
+            .trace
+            .record(self.inner.now, TraceKind::Send { src, dst: to, kind, bytes });
+        if self.inner.loss_probability > 0.0
+            && self.inner.rng.random::<f64>() < self.inner.loss_probability
+        {
+            self.inner.metrics.record_drop(bytes);
+            self.inner.trace.record(
+                self.inner.now,
+                TraceKind::Drop { src, dst: to, reason: DropReason::Lossy },
+            );
+            return;
+        }
+        // Store-and-forward: serialization occupies the sender's egress
+        // link, so concurrent sends from one node queue behind each other;
+        // propagation then overlaps freely.
+        let tx = self.inner.latency.transmission_delay(bytes);
+        let depart = if tx == SimDuration::ZERO {
+            self.inner.now
+        } else {
+            let free = self.inner.tx_free[src.index()];
+            let start = if free > self.inner.now { free } else { self.inner.now };
+            let depart = start + tx;
+            self.inner.tx_free[src.index()] = depart;
+            depart
+        };
+        let prop = self.inner.latency.sample(src, to, &mut self.inner.rng);
+        let at = depart + prop;
+        self.inner.push(at, EventKind::Deliver { src, dst: to, msg });
+    }
+
+    /// Sends `msg` to every node in `peers` except this node.
+    pub fn broadcast<I: IntoIterator<Item = NodeId>>(&mut self, peers: I, msg: M)
+    where
+        M: Clone,
+    {
+        for p in peers {
+            if p != self.node {
+                self.send(p, msg.clone());
+            }
+        }
+    }
+
+    /// Arms a one-shot timer firing after `delay`, carrying `tag` back to
+    /// [`Actor::on_timer`]. Returns an id usable with
+    /// [`Context::cancel_timer`].
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
+        let id = TimerId(self.inner.next_timer);
+        self.inner.next_timer += 1;
+        let node = self.node;
+        let epoch = self.inner.epoch[node.index()];
+        let at = self.inner.now + delay;
+        self.inner.push(at, EventKind::Timer { node, id, tag, epoch });
+        id
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired timer is a
+    /// harmless no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.inner.cancelled.insert(id);
+    }
+
+    /// This node's private deterministic RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner.node_rngs[self.node.index()]
+    }
+
+    /// Stops the simulation after the current event completes.
+    pub fn halt(&mut self) {
+        self.inner.halted = true;
+    }
+}
+
+/// The discrete-event simulator. Generic over the application message type.
+pub struct Sim<M: Payload> {
+    inner: SimInner<M>,
+    actors: Vec<Option<Box<dyn Actor<M>>>>,
+    seed: u64,
+}
+
+impl<M: Payload> Sim<M> {
+    /// Creates a simulator with the paper-default latency (constant 15 ms)
+    /// and the given seed. Identical seeds give identical executions.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            inner: SimInner {
+                now: SimTime::ZERO,
+                queue: BinaryHeap::new(),
+                seq: 0,
+                next_timer: 0,
+                cancelled: HashSet::new(),
+                crashed: Vec::new(),
+                epoch: Vec::new(),
+                partitions: HashSet::new(),
+                loss_probability: 0.0,
+                latency: LatencyConfig::paper_default(),
+                metrics: Metrics::new(),
+                trace: Trace::new(),
+                rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+                node_rngs: Vec::new(),
+                tx_free: Vec::new(),
+                halted: false,
+            },
+            actors: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Replaces the network latency configuration.
+    pub fn set_latency(&mut self, cfg: LatencyConfig) {
+        self.inner.latency = cfg;
+    }
+
+    /// Sets an i.i.d. per-message loss probability in `[0, 1]`.
+    pub fn set_loss_probability(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "loss probability out of range");
+        self.inner.loss_probability = p;
+    }
+
+    /// Enables trace collection.
+    pub fn enable_trace(&mut self) {
+        self.inner.trace.set_enabled(true);
+    }
+
+    /// Adds a node running `actor`; its `on_start` runs at the current
+    /// virtual time. Ids are dense and assigned in creation order.
+    pub fn add_node<A: Actor<M>>(&mut self, actor: A) -> NodeId {
+        let id = NodeId(self.actors.len() as u32);
+        self.actors.push(Some(Box::new(actor)));
+        self.inner.crashed.push(false);
+        self.inner.epoch.push(0);
+        self.inner.tx_free.push(SimTime::ZERO);
+        let node_seed = self
+            .seed
+            .wrapping_mul(0x100_0000_01b3)
+            .wrapping_add(id.0 as u64 + 1);
+        self.inner.node_rngs.push(StdRng::seed_from_u64(node_seed));
+        let now = self.inner.now;
+        self.inner.push(now, EventKind::Start(id));
+        id
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Whether `node` is currently crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.inner.crashed[node.index()]
+    }
+
+    /// Schedules a crash of `node` at virtual time `at`.
+    pub fn schedule_crash(&mut self, node: NodeId, at: SimTime) {
+        assert!(at >= self.inner.now, "cannot schedule in the past");
+        self.inner.push(at, EventKind::Crash(node));
+    }
+
+    /// Schedules a restart of `node` at virtual time `at`.
+    pub fn schedule_restart(&mut self, node: NodeId, at: SimTime) {
+        assert!(at >= self.inner.now, "cannot schedule in the past");
+        self.inner.push(at, EventKind::Restart(node));
+    }
+
+    /// Blocks the directed link `src -> dst` from now on. Messages already
+    /// in flight are dropped at their delivery time.
+    pub fn partition(&mut self, src: NodeId, dst: NodeId) {
+        self.inner.partitions.insert((src, dst));
+    }
+
+    /// Blocks both directions between `a` and `b`.
+    pub fn partition_pair(&mut self, a: NodeId, b: NodeId) {
+        self.partition(a, b);
+        self.partition(b, a);
+    }
+
+    /// Restores the directed link `src -> dst`.
+    pub fn heal(&mut self, src: NodeId, dst: NodeId) {
+        self.inner.partitions.remove(&(src, dst));
+    }
+
+    /// Injects a message from outside the simulation (e.g. an operator
+    /// request), delivered to `dst` after `delay`, attributed to `src`.
+    /// Injected messages do not enter the cost ledger.
+    pub fn inject(&mut self, src: NodeId, dst: NodeId, msg: M, delay: SimDuration) {
+        let at = self.inner.now + delay;
+        self.inner.push(at, EventKind::Deliver { src, dst, msg });
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.now
+    }
+
+    /// Read access to the communication ledger.
+    pub fn metrics(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
+    /// Write access to the communication ledger (e.g. to reset between
+    /// rounds).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.inner.metrics
+    }
+
+    /// The collected trace.
+    pub fn trace(&self) -> &Trace {
+        &self.inner.trace
+    }
+
+    /// Mutable access to the trace (to clear between phases).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.inner.trace
+    }
+
+    /// Immutable access to a node's actor, downcast to its concrete type.
+    /// Panics if the type does not match.
+    pub fn actor<A: Actor<M>>(&self, node: NodeId) -> &A {
+        let a = self.actors[node.index()]
+            .as_ref()
+            .expect("actor is currently being executed");
+        (a.as_ref() as &dyn Any)
+            .downcast_ref::<A>()
+            .expect("actor type mismatch")
+    }
+
+    /// Mutable access to a node's actor, downcast to its concrete type.
+    pub fn actor_mut<A: Actor<M>>(&mut self, node: NodeId) -> &mut A {
+        let a = self.actors[node.index()]
+            .as_mut()
+            .expect("actor is currently being executed");
+        (a.as_mut() as &mut dyn Any)
+            .downcast_mut::<A>()
+            .expect("actor type mismatch")
+    }
+
+    /// Executes `f` against `node`'s actor with a live [`Context`] at the
+    /// current virtual time — the hook through which external drivers (test
+    /// harnesses, round orchestrators) invoke actor entry points that need
+    /// to send messages or arm timers. Panics if the node is crashed or the
+    /// concrete type does not match.
+    pub fn exec<A, F, R>(&mut self, node: NodeId, f: F) -> R
+    where
+        A: Actor<M>,
+        F: FnOnce(&mut A, &mut Context<'_, M>) -> R,
+    {
+        assert!(
+            !self.inner.crashed[node.index()],
+            "exec on crashed node {node}"
+        );
+        let mut actor = self.actors[node.index()]
+            .take()
+            .expect("re-entrant actor execution");
+        let concrete = (actor.as_mut() as &mut dyn Any)
+            .downcast_mut::<A>()
+            .expect("actor type mismatch");
+        let mut ctx = Context { node, inner: &mut self.inner };
+        let r = f(concrete, &mut ctx);
+        self.actors[node.index()] = Some(actor);
+        r
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty or
+    /// the simulation was halted.
+    pub fn step(&mut self) -> bool {
+        if self.inner.halted {
+            return false;
+        }
+        let Some(ev) = self.inner.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.inner.now, "time went backwards");
+        self.inner.now = ev.at;
+        match ev.kind {
+            EventKind::Start(node) => {
+                self.with_actor(node, |actor, ctx| actor.on_start(ctx));
+            }
+            EventKind::Deliver { src, dst, msg } => {
+                if self.inner.crashed[dst.index()] {
+                    self.inner.metrics.record_drop(msg.size_bytes());
+                    self.inner.trace.record(
+                        ev.at,
+                        TraceKind::Drop { src, dst, reason: DropReason::DestinationCrashed },
+                    );
+                } else if self.inner.partitions.contains(&(src, dst)) {
+                    self.inner.metrics.record_drop(msg.size_bytes());
+                    self.inner.trace.record(
+                        ev.at,
+                        TraceKind::Drop { src, dst, reason: DropReason::Partitioned },
+                    );
+                } else {
+                    self.inner
+                        .trace
+                        .record(ev.at, TraceKind::Deliver { src, dst, kind: msg.kind() });
+                    self.with_actor(dst, |actor, ctx| actor.on_message(ctx, src, msg));
+                }
+            }
+            EventKind::Timer { node, id, tag, epoch } => {
+                if self.inner.cancelled.remove(&id) {
+                    // cancelled; nothing to do
+                } else if self.inner.crashed[node.index()]
+                    || self.inner.epoch[node.index()] != epoch
+                {
+                    // timer belonged to a previous incarnation of the node
+                } else {
+                    self.inner.trace.record(ev.at, TraceKind::TimerFired { node, tag });
+                    self.with_actor(node, |actor, ctx| actor.on_timer(ctx, tag));
+                }
+            }
+            EventKind::Crash(node) => {
+                if !self.inner.crashed[node.index()] {
+                    self.inner.crashed[node.index()] = true;
+                    self.inner.epoch[node.index()] += 1;
+                    self.inner.trace.record(ev.at, TraceKind::Crash { node });
+                    let now = self.inner.now;
+                    if let Some(actor) = self.actors[node.index()].as_mut() {
+                        actor.on_crash(now);
+                    }
+                }
+            }
+            EventKind::Restart(node) => {
+                if self.inner.crashed[node.index()] {
+                    self.inner.crashed[node.index()] = false;
+                    self.inner.trace.record(ev.at, TraceKind::Restart { node });
+                    self.with_actor(node, |actor, ctx| actor.on_restart(ctx));
+                }
+            }
+        }
+        true
+    }
+
+    fn with_actor<F>(&mut self, node: NodeId, f: F)
+    where
+        F: FnOnce(&mut dyn Actor<M>, &mut Context<'_, M>),
+    {
+        // Temporarily detach the actor so it can mutate itself while the
+        // context mutably borrows the rest of the simulator.
+        let mut actor = self.actors[node.index()]
+            .take()
+            .expect("re-entrant actor execution");
+        let mut ctx = Context { node, inner: &mut self.inner };
+        f(actor.as_mut(), &mut ctx);
+        self.actors[node.index()] = Some(actor);
+    }
+
+    /// Runs until the virtual clock reaches `deadline`, the queue drains, or
+    /// an actor halts the simulation. Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut n = 0;
+        loop {
+            match self.inner.queue.peek() {
+                Some(ev) if ev.at <= deadline && !self.inner.halted => {
+                    self.step();
+                    n += 1;
+                }
+                _ => break,
+            }
+        }
+        if self.inner.now < deadline {
+            self.inner.now = deadline;
+        }
+        n
+    }
+
+    /// Runs for `d` more virtual time.
+    pub fn run_for(&mut self, d: SimDuration) -> u64 {
+        let deadline = self.inner.now + d;
+        self.run_until(deadline)
+    }
+
+    /// Runs until the event queue is empty, the simulation halts, or
+    /// `max_events` events have been processed. Returns events processed.
+    pub fn run_until_quiet(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events && self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Whether an actor has called [`Context::halt`].
+    pub fn is_halted(&self) -> bool {
+        self.inner.halted
+    }
+
+    /// Clears the halt flag so the simulation can be resumed.
+    pub fn clear_halt(&mut self) {
+        self.inner.halted = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::Blob;
+
+    /// Echoes every blob back to the sender and counts deliveries.
+    struct Echo {
+        received: u64,
+        echo: bool,
+    }
+
+    impl Actor<Blob> for Echo {
+        fn on_message(&mut self, ctx: &mut Context<'_, Blob>, from: NodeId, msg: Blob) {
+            self.received += 1;
+            if self.echo {
+                ctx.send(from, Blob { size: msg.size, tag: msg.tag + 1 });
+            }
+        }
+    }
+
+    /// Sends one blob to a peer on start.
+    struct Pinger {
+        peer: NodeId,
+        replies: u64,
+        reply_at: Option<SimTime>,
+    }
+
+    impl Actor<Blob> for Pinger {
+        fn on_start(&mut self, ctx: &mut Context<'_, Blob>) {
+            ctx.send(self.peer, Blob::of_size(100));
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, Blob>, _from: NodeId, _msg: Blob) {
+            self.replies += 1;
+            self.reply_at = Some(ctx.now());
+        }
+    }
+
+    #[test]
+    fn ping_pong_round_trip_takes_two_link_delays() {
+        let mut sim = Sim::new(42);
+        let echo = sim.add_node(Echo { received: 0, echo: true });
+        let pinger = sim.add_node(Pinger { peer: echo, replies: 0, reply_at: None });
+        sim.run_until_quiet(1000);
+        let p = sim.actor::<Pinger>(pinger);
+        assert_eq!(p.replies, 1);
+        // 15ms out + 15ms back with the paper-default constant latency.
+        assert_eq!(p.reply_at, Some(SimTime::from_millis(30)));
+        assert_eq!(sim.metrics().total().msgs, 2);
+        assert_eq!(sim.metrics().total().bytes, 200);
+    }
+
+    #[test]
+    fn crash_drops_deliveries_and_restart_resumes() {
+        let mut sim = Sim::new(1);
+        let echo = sim.add_node(Echo { received: 0, echo: false });
+        let pinger = sim.add_node(Pinger { peer: echo, replies: 0, reply_at: None });
+        let _ = pinger;
+        sim.schedule_crash(echo, SimTime::from_millis(5));
+        sim.run_until_quiet(1000);
+        assert_eq!(sim.actor::<Echo>(echo).received, 0, "in-flight msg dropped");
+        assert_eq!(sim.metrics().dropped().msgs, 1);
+
+        // A later injection after restart is delivered. The clock has
+        // advanced past the drop, so restart relative to `now`.
+        let restart_at = sim.now() + SimDuration::from_millis(10);
+        sim.schedule_restart(echo, restart_at);
+        sim.inject(NodeId(1), echo, Blob::of_size(1), SimDuration::from_millis(20));
+        sim.run_until_quiet(1000);
+        assert_eq!(sim.actor::<Echo>(echo).received, 1);
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancel_works() {
+        struct TimerBox {
+            fired: Vec<u64>,
+            cancel_second: bool,
+        }
+        impl Actor<Blob> for TimerBox {
+            fn on_start(&mut self, ctx: &mut Context<'_, Blob>) {
+                ctx.set_timer(SimDuration::from_millis(3), 3);
+                let t2 = ctx.set_timer(SimDuration::from_millis(2), 2);
+                ctx.set_timer(SimDuration::from_millis(1), 1);
+                if self.cancel_second {
+                    ctx.cancel_timer(t2);
+                }
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Blob>, _: NodeId, _: Blob) {}
+            fn on_timer(&mut self, _ctx: &mut Context<'_, Blob>, tag: u64) {
+                self.fired.push(tag);
+            }
+        }
+        let mut sim = Sim::new(7);
+        let n = sim.add_node(TimerBox { fired: vec![], cancel_second: true });
+        sim.run_until_quiet(100);
+        assert_eq!(sim.actor::<TimerBox>(n).fired, vec![1, 3]);
+    }
+
+    #[test]
+    fn crash_discards_pending_timers_across_restart() {
+        struct T {
+            fired: u64,
+        }
+        impl Actor<Blob> for T {
+            fn on_start(&mut self, ctx: &mut Context<'_, Blob>) {
+                ctx.set_timer(SimDuration::from_millis(10), 0);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Blob>, _: NodeId, _: Blob) {}
+            fn on_timer(&mut self, _: &mut Context<'_, Blob>, _: u64) {
+                self.fired += 1;
+            }
+        }
+        let mut sim = Sim::new(9);
+        let n = sim.add_node(T { fired: 0 });
+        sim.schedule_crash(n, SimTime::from_millis(1));
+        sim.schedule_restart(n, SimTime::from_millis(2));
+        sim.run_until_quiet(100);
+        assert_eq!(
+            sim.actor::<T>(n).fired,
+            0,
+            "pre-crash timer must not fire after restart"
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        fn run(seed: u64) -> (u64, u64) {
+            let mut sim = Sim::new(seed);
+            sim.set_latency(LatencyConfig::uniform_default(crate::latency::Latency::Uniform {
+                min: SimDuration::from_millis(1),
+                max: SimDuration::from_millis(30),
+            }));
+            let echo = sim.add_node(Echo { received: 0, echo: true });
+            for _ in 0..5 {
+                sim.add_node(Pinger { peer: echo, replies: 0, reply_at: None });
+            }
+            sim.run_until_quiet(10_000);
+            (sim.now().as_nanos(), sim.metrics().total().bytes)
+        }
+        assert_eq!(run(123), run(123));
+        assert_ne!(run(123).0, run(124).0, "different seeds should differ");
+    }
+
+    #[test]
+    fn partition_blocks_until_healed() {
+        let mut sim = Sim::new(3);
+        let echo = sim.add_node(Echo { received: 0, echo: false });
+        let pinger = sim.add_node(Pinger { peer: echo, replies: 0, reply_at: None });
+        sim.partition(pinger, echo);
+        sim.run_until_quiet(100);
+        assert_eq!(sim.actor::<Echo>(echo).received, 0);
+        sim.heal(pinger, echo);
+        sim.inject(pinger, echo, Blob::of_size(1), SimDuration::from_millis(1));
+        sim.run_until_quiet(100);
+        assert_eq!(sim.actor::<Echo>(echo).received, 1);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut sim: Sim<Blob> = Sim::new(5);
+        sim.run_until(SimTime::from_millis(500));
+        assert_eq!(sim.now(), SimTime::from_millis(500));
+    }
+
+    #[test]
+    fn loss_probability_one_drops_everything() {
+        let mut sim = Sim::new(11);
+        sim.set_loss_probability(1.0);
+        let echo = sim.add_node(Echo { received: 0, echo: false });
+        let _p = sim.add_node(Pinger { peer: echo, replies: 0, reply_at: None });
+        sim.run_until_quiet(100);
+        assert_eq!(sim.actor::<Echo>(echo).received, 0);
+        assert_eq!(sim.metrics().dropped().msgs, 1);
+        // The send is still charged: bandwidth was spent.
+        assert_eq!(sim.metrics().total().msgs, 1);
+    }
+}

@@ -1,0 +1,173 @@
+//! Optional event tracing for debugging simulations.
+//!
+//! Disabled by default; when enabled, the simulator appends one
+//! [`TraceEvent`] per interesting occurrence. Tests assert on traces, and
+//! the crash-drill example pretty-prints them.
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+use std::fmt;
+
+/// One recorded simulator occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A message was handed to the network.
+    Send {
+        /// Sender.
+        src: NodeId,
+        /// Destination.
+        dst: NodeId,
+        /// Message kind label.
+        kind: &'static str,
+        /// Payload size.
+        bytes: u64,
+    },
+    /// A message reached its destination actor.
+    Deliver {
+        /// Sender.
+        src: NodeId,
+        /// Destination.
+        dst: NodeId,
+        /// Message kind label.
+        kind: &'static str,
+    },
+    /// A message was discarded before delivery.
+    Drop {
+        /// Sender.
+        src: NodeId,
+        /// Destination.
+        dst: NodeId,
+        /// Why it was dropped.
+        reason: DropReason,
+    },
+    /// A timer fired at its owner.
+    TimerFired {
+        /// Timer owner.
+        node: NodeId,
+        /// Application tag supplied when the timer was armed.
+        tag: u64,
+    },
+    /// A node crashed.
+    Crash {
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// A node restarted.
+    Restart {
+        /// The restarted node.
+        node: NodeId,
+    },
+}
+
+/// Why a message failed to be delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Destination was crashed at delivery time.
+    DestinationCrashed,
+    /// The directed link was partitioned at delivery time.
+    Partitioned,
+    /// Random loss injected by the fault plan.
+    Lossy,
+}
+
+/// A timestamped trace entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] ", self.at)?;
+        match &self.kind {
+            TraceKind::Send {
+                src,
+                dst,
+                kind,
+                bytes,
+            } => write!(f, "send  {src} -> {dst} {kind} ({bytes}B)"),
+            TraceKind::Deliver { src, dst, kind } => {
+                write!(f, "deliv {src} -> {dst} {kind}")
+            }
+            TraceKind::Drop { src, dst, reason } => {
+                write!(f, "drop  {src} -> {dst} ({reason:?})")
+            }
+            TraceKind::TimerFired { node, tag } => write!(f, "timer {node} tag={tag}"),
+            TraceKind::Crash { node } => write!(f, "CRASH {node}"),
+            TraceKind::Restart { node } => write!(f, "START {node}"),
+        }
+    }
+}
+
+/// Collects trace events when enabled.
+#[derive(Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates a disabled trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables or disables collection. Disabling does not clear history.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Whether collection is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event if enabled.
+    pub fn record(&mut self, at: SimTime, kind: TraceKind) {
+        if self.enabled {
+            self.events.push(TraceEvent { at, kind });
+        }
+    }
+
+    /// Everything recorded so far.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Clears the history.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_only_when_enabled() {
+        let mut t = Trace::new();
+        t.record(SimTime::ZERO, TraceKind::Crash { node: NodeId(0) });
+        assert!(t.events().is_empty());
+        t.set_enabled(true);
+        t.record(SimTime::ZERO, TraceKind::Crash { node: NodeId(0) });
+        assert_eq!(t.events().len(), 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = TraceEvent {
+            at: SimTime::from_millis(1),
+            kind: TraceKind::Send {
+                src: NodeId(0),
+                dst: NodeId(1),
+                kind: "x",
+                bytes: 9,
+            },
+        };
+        assert_eq!(format!("{e}"), "[1.000ms] send  n0 -> n1 x (9B)");
+    }
+}

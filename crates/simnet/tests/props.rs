@@ -1,0 +1,112 @@
+//! Property tests for the simulator's core guarantees: time never goes
+//! backwards, latencies respect their bounds, determinism holds, and the
+//! cost ledger balances.
+
+use p2pfl_simnet::{
+    Actor, Blob, Context, Latency, LatencyConfig, NodeId, Sim, SimDuration, SimTime,
+};
+use proptest::prelude::*;
+
+/// Records every delivery timestamp and echoes a configurable number of
+/// times so traffic patterns vary.
+struct Chatter {
+    peers: Vec<NodeId>,
+    sends_on_start: usize,
+    deliveries: Vec<SimTime>,
+}
+
+impl Actor<Blob> for Chatter {
+    fn on_start(&mut self, ctx: &mut Context<'_, Blob>) {
+        for i in 0..self.sends_on_start {
+            let to = self.peers[i % self.peers.len()];
+            ctx.send(to, Blob { size: 10 + i as u64, tag: i as u64 });
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_, Blob>, from: NodeId, msg: Blob) {
+        self.deliveries.push(ctx.now());
+        if msg.tag > 0 && msg.tag < 4 {
+            ctx.send(from, Blob { size: msg.size, tag: msg.tag - 1 });
+        }
+    }
+}
+
+fn run_sim(seed: u64, nodes: usize, sends: usize, min_ms: u64, spread_ms: u64) -> Sim<Blob> {
+    let mut sim = Sim::new(seed);
+    sim.set_latency(LatencyConfig::uniform_default(Latency::Uniform {
+        min: SimDuration::from_millis(min_ms),
+        max: SimDuration::from_millis(min_ms + spread_ms),
+    }));
+    let ids: Vec<NodeId> = (0..nodes as u32).map(NodeId).collect();
+    for i in 0..nodes {
+        // Exclude self: loopback delivery is instantaneous by design and
+        // would trivially violate the latency lower bound checked below.
+        let peers: Vec<NodeId> = ids.iter().copied().filter(|p| p.index() != i).collect();
+        sim.add_node(Chatter { peers, sends_on_start: sends, deliveries: vec![] });
+    }
+    sim.run_until_quiet(100_000);
+    sim
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Virtual time is monotone at every actor, and no delivery happens
+    /// before the minimum link latency.
+    #[test]
+    fn deliveries_monotone_and_bounded(
+        seed in any::<u64>(),
+        nodes in 2usize..6,
+        sends in 1usize..6,
+        min_ms in 1u64..20,
+        spread_ms in 0u64..20,
+    ) {
+        let sim = run_sim(seed, nodes, sends, min_ms, spread_ms);
+        for i in 0..nodes {
+            let a = sim.actor::<Chatter>(NodeId(i as u32));
+            let mut prev = SimTime::ZERO;
+            for &t in &a.deliveries {
+                prop_assert!(t >= prev, "time went backwards");
+                prev = t;
+            }
+            for &t in &a.deliveries {
+                prop_assert!(t >= SimTime::from_millis(min_ms));
+            }
+        }
+    }
+
+    /// Identical seeds give identical executions; the ledger's per-kind
+    /// totals always sum to the grand total.
+    #[test]
+    fn determinism_and_ledger_balance(
+        seed in any::<u64>(),
+        nodes in 2usize..5,
+        sends in 1usize..5,
+    ) {
+        let a = run_sim(seed, nodes, sends, 5, 10);
+        let b = run_sim(seed, nodes, sends, 5, 10);
+        prop_assert_eq!(a.now(), b.now());
+        prop_assert_eq!(a.metrics().total().msgs, b.metrics().total().msgs);
+        prop_assert_eq!(a.metrics().total().bytes, b.metrics().total().bytes);
+        let kind_bytes: u64 = a.metrics().kinds().iter().map(|(_, c)| c.bytes).sum();
+        prop_assert_eq!(kind_bytes, a.metrics().total().bytes);
+        // Per-node sends also balance against the total.
+        let sent: u64 = (0..nodes)
+            .map(|i| a.metrics().sent_by(NodeId(i as u32)).bytes)
+            .sum();
+        prop_assert_eq!(sent, a.metrics().total().bytes);
+    }
+
+    /// A crashed destination drops everything addressed to it, and the
+    /// drops are accounted.
+    #[test]
+    fn crashes_account_drops(seed in any::<u64>(), sends in 1usize..8) {
+        let mut sim = Sim::new(seed);
+        let ids = [NodeId(0), NodeId(1)];
+        sim.add_node(Chatter { peers: vec![ids[1]], sends_on_start: sends, deliveries: vec![] });
+        sim.add_node(Chatter { peers: vec![ids[0]], sends_on_start: 0, deliveries: vec![] });
+        sim.schedule_crash(ids[1], SimTime::from_nanos(1));
+        sim.run_until_quiet(10_000);
+        prop_assert_eq!(sim.metrics().dropped().msgs, sends as u64);
+        prop_assert!(sim.actor::<Chatter>(ids[1]).deliveries.is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! Crash drill: the full Raft-backed system under fire.
+//!
+//! ```text
+//! cargo run --release --example crash_drill
+//! ```
+//!
+//! Runs the integrated system — two-layer Raft on the discrete-event
+//! network simulator electing every aggregation leader — and then kills,
+//! in order: a follower, a subgroup leader, and finally the FedAvg leader
+//! itself. Training continues throughout; the transcript shows which
+//! leaders each round used and how the backend healed.
+
+use p2pfl::runner::{ResilientConfig, ResilientSession};
+use p2pfl_fed::Client;
+use p2pfl_ml::data::{features_like, partition_dataset, train_test_split, Partition};
+use p2pfl_ml::models::mlp;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let cfg = ResilientConfig::small(42);
+    let n_total = cfg.deployment.total_peers();
+
+    let (train, test) = train_test_split(&features_like(16, n_total * 60 + 300, 1), n_total * 60);
+    let shards = partition_dataset(&train, n_total, Partition::Iid, 2);
+    let mut rng = StdRng::seed_from_u64(3);
+    let clients: Vec<Client> = shards
+        .into_iter()
+        .enumerate()
+        .map(|(i, d)| Client::new(i, mlp(&[16, 24, 10], &mut rng), d, 5e-3, 4 + i as u64))
+        .collect();
+    let eval = mlp(&[16, 24, 10], &mut rng);
+
+    println!("building 3x3 deployment, waiting for Raft to stabilize...");
+    let mut session = ResilientSession::new(cfg, clients, eval);
+    println!("stable. FedAvg leader: {:?}\n", session.dep.fed_leader());
+
+    let print = |tag: &str, r: &p2pfl::runner::ResilientRound| {
+        println!(
+            "round {:>2} [{tag:<22}] acc {:.3}  groups {}/3  leaders {:?}  fed {:?}",
+            r.record.round, r.record.test_accuracy, r.record.groups_used, r.leaders, r.fed_leader
+        );
+    };
+
+    for r in 1..=3 {
+        let rec = session.run_round(r, &test);
+        print("healthy", &rec);
+    }
+
+    // Drill 1: kill a follower. k-out-of-n SAC absorbs it silently.
+    let leader0 = session.dep.sub_leader_of(0).unwrap();
+    let follower = *session.dep.subgroups[0].iter().find(|&&m| m != leader0).unwrap();
+    println!("\n>>> crashing follower {follower}");
+    session.crash(follower);
+    for r in 4..=5 {
+        let rec = session.run_round(r, &test);
+        print("follower down", &rec);
+    }
+
+    // Drill 2: kill a subgroup leader. Raft elects a replacement, which
+    // joins the FedAvg layer via membership change.
+    let victim = session.dep.sub_leader_of(1).unwrap();
+    println!("\n>>> crashing subgroup-1 leader {victim}");
+    session.crash(victim);
+    for r in 6..=8 {
+        let rec = session.run_round(r, &test);
+        print("sub leader down", &rec);
+    }
+
+    // Drill 3: kill the FedAvg leader (a double role). Both layers elect.
+    let fed = session.dep.fed_leader().unwrap();
+    println!("\n>>> crashing FedAvg leader {fed}");
+    session.crash(fed);
+    for r in 9..=12 {
+        let rec = session.run_round(r, &test);
+        print("fed leader down", &rec);
+    }
+
+    // Recovery: restart everyone who died.
+    println!("\n>>> restarting {follower}, {victim}, {fed}");
+    session.restart(follower);
+    session.restart(victim);
+    session.restart(fed);
+    for r in 13..=15 {
+        let rec = session.run_round(r, &test);
+        print("all restarted", &rec);
+    }
+
+    println!("\naggregation traffic: {} bytes", session.log.bytes());
+    let raft = session.dep.sim.metrics().total();
+    println!("raft control traffic: {} msgs, {} bytes", raft.msgs, raft.bytes);
+}

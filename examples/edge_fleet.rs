@@ -1,0 +1,78 @@
+//! An edge-device fleet with stragglers and deep hierarchy — exercising
+//! the fraction-p timeout policy (Figs. 8–9) and the X-layer
+//! generalization (Sec. VII-C).
+//!
+//! ```text
+//! cargo run --release --example edge_fleet
+//! ```
+//!
+//! Twenty battery-powered devices train in subgroups of five. Half the
+//! subgroups are "slow" each round — the FedAvg leader times them out
+//! rather than stalling (p = 0.5) — and the run shows the accuracy cost
+//! of that policy. The second part scales the same fleet shape to a
+//! 3-layer aggregation tree and compares measured bytes against the
+//! paper's Eq. 10.
+
+use p2pfl::cost::{gigabits, multilayer_units_eq10, sac_baseline_units, ModelSize};
+use p2pfl::experiment::{final_accuracy, fraction_sweep, Series, SweepSpec};
+use p2pfl::multilayer::MultilayerTree;
+use p2pfl_ml::data::Partition;
+use p2pfl_secagg::{ShareScheme, WeightVector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("== part 1: stragglers (N = 20, n = 5, p = 0.5 vs 1.0) ==\n");
+    let spec = SweepSpec { n_total: 20, rounds: 60, seed: 7, ..SweepSpec::default() };
+    let series: Vec<Series> =
+        fraction_sweep(&spec, 5, &[0.5, 1.0], &[Partition::Iid, Partition::NON_IID_5]);
+    for pair in series.chunks(2) {
+        let half = &pair[0];
+        let full = &pair[1];
+        let (a_half, a_full) = (final_accuracy(half), final_accuracy(full));
+        let dist = full.label.split_whitespace().last().unwrap();
+        println!(
+            "{dist:<14} p=1.0: {a_full:.3}   p=0.5: {a_half:.3}   gap {:+.3}",
+            a_full - a_half
+        );
+        let b_half: u64 = half.records.iter().map(|r| r.bytes).sum();
+        let b_full: u64 = full.records.iter().map(|r| r.bytes).sum();
+        println!(
+            "{:<14} bytes: p=1.0 {b_full}, p=0.5 {b_half} ({:.0}% saved waiting on stragglers)",
+            "",
+            100.0 * (1.0 - b_half as f64 / b_full as f64)
+        );
+    }
+    println!("\npaper: average p=0.5 vs p=1 accuracy gap is 2.18% — timing out");
+    println!("slow subgroups is safe, and rounds never stall on a straggler.\n");
+
+    println!("== part 2: deep hierarchy (X-layer aggregation, Sec. VII-C) ==\n");
+    let mut rng = StdRng::seed_from_u64(11);
+    let model = ModelSize { params: 20_000 };
+    println!("degree n = 3 tree, SAC at every layer:");
+    println!("layers  peers  measured_bytes  eq10_bytes  vs one-layer SAC");
+    for layers in 1..=4usize {
+        let tree = MultilayerTree::build(3, layers);
+        let peers = tree.total_peers();
+        let models: Vec<WeightVector> = (0..peers)
+            .map(|_| WeightVector::random(model.params as usize, 0.5, &mut rng))
+            .collect();
+        let (avg, log) = tree.aggregate(&models, ShareScheme::Masked, &mut rng);
+        assert!(avg.is_finite());
+        let eq10 = multilayer_units_eq10(3, layers) * model.bytes() as f64;
+        let sac = sac_baseline_units(peers) * model.bytes() as f64;
+        println!(
+            "{layers:>6}  {peers:>5}  {:>14}  {:>10.0}  {:>8.2}x cheaper",
+            log.bytes(),
+            eq10,
+            sac / log.bytes() as f64
+        );
+    }
+    println!(
+        "\ncommunication stays O(nN) at any depth; at the Fig. 5 CNN size a\n\
+         4-layer, 45-peer fleet would move {:.1} Gb per round instead of the\n\
+         one-layer SAC's {:.1} Gb.",
+        gigabits(multilayer_units_eq10(3, 4) * ModelSize::PAPER_CNN.bits()),
+        gigabits(sac_baseline_units(MultilayerTree::build(3, 4).total_peers()) * ModelSize::PAPER_CNN.bits()),
+    );
+}

@@ -1,0 +1,69 @@
+//! Quickstart: train a shared model across 9 peers with the two-layer
+//! secure aggregation system, end to end, in under a minute.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Nine peers are split into three subgroups of three. Every round each
+//! peer trains on its private shard; subgroups combine their members'
+//! models with fault-tolerant Secure Average Computation (2-out-of-3
+//! additive secret sharing, so no peer ever reveals its raw model); the
+//! FedAvg leader merges the subgroup aggregates weighted by sample count
+//! and broadcasts the new global model.
+
+use p2pfl::system::{SystemKind, TwoLayerConfig, TwoLayerSystem};
+use p2pfl_fed::{Client, LocalTrainConfig};
+use p2pfl_ml::data::{features_like, partition_dataset, train_test_split, Partition};
+use p2pfl_ml::models::mlp;
+use p2pfl_secagg::ShareScheme;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    const PEERS: usize = 9;
+    const ROUNDS: usize = 40;
+
+    // 1. Data: a synthetic 10-class problem, split IID across the peers.
+    let (train, test) = train_test_split(&features_like(32, PEERS * 80 + 400, 7), PEERS * 80);
+    let shards = partition_dataset(&train, PEERS, Partition::Iid, 8);
+
+    // 2. Peers: each holds a private shard and an MLP.
+    let mut rng = StdRng::seed_from_u64(9);
+    let clients: Vec<Client> = shards
+        .into_iter()
+        .enumerate()
+        .map(|(i, shard)| Client::new(i, mlp(&[32, 24, 10], &mut rng), shard, 3e-3, 10 + i as u64))
+        .collect();
+
+    // 3. The two-layer system: subgroups of 3 with 2-out-of-3 secret
+    //    sharing (any single peer may drop out of a round).
+    let cfg = TwoLayerConfig {
+        kind: SystemKind::TwoLayer,
+        subgroup_size: 3,
+        threshold: Some(2),
+        scheme: ShareScheme::Masked,
+        fraction: 1.0,
+        train: LocalTrainConfig { epochs: 1, batch_size: 32 },
+        seed: 11,
+        dp: None,
+        fed_layer_sac: false,
+    };
+    let eval = mlp(&[32, 24, 10], &mut rng);
+    let mut system = TwoLayerSystem::new(clients, eval, cfg);
+
+    println!("round  test_acc  test_loss  bytes/round");
+    for record in system.run(ROUNDS, &test) {
+        if record.round % 5 == 0 || record.round == 1 {
+            println!(
+                "{:>5}  {:>8.3}  {:>9.4}  {:>10}",
+                record.round, record.test_accuracy, record.test_loss, record.bytes
+            );
+        }
+    }
+    println!("\ntotal communication: {} bytes over {ROUNDS} rounds", system.log.bytes());
+    println!("per-phase breakdown:");
+    for (phase, (msgs, bytes)) in system.log.phases() {
+        println!("  {phase:<16} {msgs:>6} msgs  {bytes:>12} bytes");
+    }
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the p2pfl workspace.
+//!
+//! This crate exists to host the runnable examples under `examples/` and the
+//! cross-crate integration tests under `tests/`. Downstream users should
+//! depend on the individual crates (`p2pfl`, `p2pfl-raft`, ...) directly.
+
+pub use p2pfl;
+pub use p2pfl_fed as fed;
+pub use p2pfl_hierraft as hierraft;
+pub use p2pfl_ml as ml;
+pub use p2pfl_raft as raft;
+pub use p2pfl_secagg as secagg;
+pub use p2pfl_simnet as simnet;

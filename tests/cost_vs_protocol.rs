@@ -1,0 +1,156 @@
+//! The paper's closed-form cost model (Eqs. 4, 5, 10) against the byte
+//! ledgers of the *executed* protocols — the formulas must describe the
+//! code, not just the paper.
+
+use p2pfl::cost::{
+    even_groups, sac_baseline_units, two_layer_ft_units_eq5, two_layer_units_eq4,
+    two_layer_units_exact,
+};
+use p2pfl::multilayer::MultilayerTree;
+use p2pfl::system::{SystemKind, TwoLayerConfig, TwoLayerSystem};
+use p2pfl_fed::{Client, LocalTrainConfig};
+use p2pfl_ml::data::{features_like, partition_dataset, train_test_split, Partition};
+use p2pfl_ml::models::mlp;
+use p2pfl_secagg::{
+    fault_tolerant_secure_average, secure_average, ShareScheme, WeightVector,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const DIM: usize = 16;
+
+fn wire(dim: usize) -> u64 {
+    dim as u64 * 4
+}
+
+#[test]
+fn alg2_ledger_matches_2n_nminus1() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for n in 1..12usize {
+        let models: Vec<WeightVector> =
+            (0..n).map(|_| WeightVector::random(DIM, 1.0, &mut rng)).collect();
+        let out = secure_average(&models, ShareScheme::Masked, &mut rng);
+        assert_eq!(
+            out.log.bytes(),
+            sac_baseline_units(n) as u64 * wire(DIM),
+            "n={n}"
+        );
+    }
+}
+
+#[test]
+fn alg4_ledger_matches_eq5_sac_terms() {
+    // Eq. 5's per-subgroup terms: shares n(n-1)(n-k+1)|w| + subtotals
+    // (k-1)|w| when nobody drops.
+    let mut rng = StdRng::seed_from_u64(2);
+    for n in 2..9usize {
+        for k in 1..=n {
+            let models: Vec<WeightVector> =
+                (0..n).map(|_| WeightVector::random(DIM, 1.0, &mut rng)).collect();
+            let out =
+                fault_tolerant_secure_average(&models, k, 0, &[], ShareScheme::Masked, &mut rng)
+                    .unwrap();
+            let expected = (n * (n - 1) * (n - k + 1) + (k - 1)) as u64 * wire(DIM);
+            assert_eq!(out.log.bytes(), expected, "n={n} k={k}");
+        }
+    }
+}
+
+fn system_for(
+    n_total: usize,
+    kind: SystemKind,
+    subgroup: usize,
+    threshold: Option<usize>,
+    seed: u64,
+) -> (TwoLayerSystem, p2pfl_ml::data::Dataset, u64) {
+    let (train, test) = train_test_split(&features_like(DIM, n_total * 30 + 100, seed), n_total * 30);
+    let parts = partition_dataset(&train, n_total, Partition::Iid, seed + 1);
+    let mut rng = StdRng::seed_from_u64(seed + 2);
+    let clients: Vec<Client> = parts
+        .into_iter()
+        .enumerate()
+        .map(|(i, d)| Client::new(i, mlp(&[DIM, 8, 10], &mut rng), d, 1e-2, seed + 3 + i as u64))
+        .collect();
+    let eval = mlp(&[DIM, 8, 10], &mut rng);
+    let model_bytes = eval.num_params() as u64 * 4;
+    let cfg = TwoLayerConfig {
+        kind,
+        subgroup_size: subgroup,
+        threshold,
+        scheme: ShareScheme::Masked,
+        fraction: 1.0,
+        train: LocalTrainConfig { epochs: 1, batch_size: 16 },
+        seed: seed + 50,
+        dp: None,
+        fed_layer_sac: false,
+    };
+    (TwoLayerSystem::new(clients, eval, cfg), test, model_bytes)
+}
+
+#[test]
+fn full_round_matches_eq4_for_divisible_n() {
+    for (n_total, n) in [(6usize, 3usize), (12, 3), (10, 5), (8, 4)] {
+        let (mut sys, test, w) = system_for(n_total, SystemKind::TwoLayer, n, None, 7);
+        let rec = sys.run_round(1, &test);
+        let m = n_total / n;
+        assert_eq!(
+            rec.bytes,
+            two_layer_units_eq4(m, n) as u64 * w,
+            "N={n_total} n={n}"
+        );
+    }
+}
+
+#[test]
+fn full_round_matches_exact_formula_for_uneven_groups() {
+    // N = 10, n = 3 -> groups 4, 3, 3 (the paper's Fig. 6 arrangement).
+    let (mut sys, test, w) = system_for(10, SystemKind::TwoLayer, 3, None, 8);
+    let rec = sys.run_round(1, &test);
+    let expected = two_layer_units_exact(&even_groups(10, 3)) as u64 * w;
+    assert_eq!(rec.bytes, expected);
+}
+
+#[test]
+fn ft_round_matches_eq5() {
+    for (n, k, n_total) in [(3usize, 2usize, 6usize), (3, 3, 9), (5, 3, 10)] {
+        let (mut sys, test, w) = system_for(n_total, SystemKind::TwoLayer, n, Some(k), 9);
+        let rec = sys.run_round(1, &test);
+        assert_eq!(
+            rec.bytes,
+            two_layer_ft_units_eq5(n, k, n_total) as u64 * w,
+            "n={n} k={k} N={n_total}"
+        );
+    }
+}
+
+#[test]
+fn headline_ratio_10_36x_holds_in_executed_system() {
+    // The abstract's claim: N = 30, (n,k) = (3,2) reduces communication
+    // 10.36x vs the one-layer SAC — measured on real rounds, not formulas.
+    let (mut two, test, _) = system_for(30, SystemKind::TwoLayer, 3, Some(2), 10);
+    let rec2 = two.run_round(1, &test);
+    let (mut base, test_b, w) = system_for(30, SystemKind::OriginalSac, 30, None, 10);
+    let rec1 = base.run_round(1, &test_b);
+    // The baseline runner charges an extra (N-1)|w| global distribution
+    // that Alg. 2 strictly doesn't need; remove it for the paper's ratio.
+    let baseline_bytes = rec1.bytes - (29 * w);
+    let ratio = baseline_bytes as f64 / rec2.bytes as f64;
+    assert!(
+        (ratio - 10.36).abs() < 0.05,
+        "measured ratio {ratio:.2}, paper 10.36"
+    );
+}
+
+#[test]
+fn multilayer_ledger_matches_eq10_at_scale() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let tree = MultilayerTree::build(3, 4); // 45 peers
+    let models: Vec<WeightVector> = (0..tree.total_peers())
+        .map(|_| WeightVector::random(DIM, 1.0, &mut rng))
+        .collect();
+    let (avg, log) = tree.aggregate(&models, ShareScheme::Masked, &mut rng);
+    let plain = WeightVector::mean(models.iter());
+    assert!(avg.linf_distance(&plain) < 1e-6);
+    let expected = p2pfl::cost::multilayer_units_eq10(3, 4) as u64 * wire(DIM);
+    assert_eq!(log.bytes(), expected);
+}
