@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The full local CI gate: formatting, lints (warnings are errors), a
+# release build, and the complete test suite. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "ci: all green"

@@ -15,7 +15,11 @@ use std::hint::black_box;
 fn bench_round(c: &mut Criterion) {
     let mut group = c.benchmark_group("training_round_n10");
     group.sample_size(10);
-    let spec = SweepSpec { n_total: 10, rounds: 1, ..SweepSpec::default() };
+    let spec = SweepSpec {
+        n_total: 10,
+        rounds: 1,
+        ..SweepSpec::default()
+    };
     group.bench_function("two_layer_n3", |b| {
         let (mut sys, test) = build_system(&spec, SystemKind::TwoLayer, 3, 1.0, Partition::Iid);
         let mut round = 0usize;

@@ -11,7 +11,12 @@ fn elect_once(cluster_size: u32, seed: u64) -> u64 {
     let mut sim: Sim<RaftMsg<u64>> = Sim::new(seed);
     let ids: Vec<NodeId> = (0..cluster_size).map(NodeId).collect();
     for &id in &ids {
-        let cfg = RaftConfig::paper(id, ids.clone(), SimDuration::from_millis(100), seed + id.0 as u64);
+        let cfg = RaftConfig::paper(
+            id,
+            ids.clone(),
+            SimDuration::from_millis(100),
+            seed + id.0 as u64,
+        );
         sim.add_node(RaftActor::new(cfg, NullStateMachine));
     }
     sim.run_until(SimTime::from_secs(2));

@@ -15,7 +15,9 @@ const DIM: usize = 20_000;
 
 fn models(n: usize) -> Vec<WeightVector> {
     let mut rng = StdRng::seed_from_u64(7);
-    (0..n).map(|_| WeightVector::random(DIM, 1.0, &mut rng)).collect()
+    (0..n)
+        .map(|_| WeightVector::random(DIM, 1.0, &mut rng))
+        .collect()
 }
 
 fn bench_sac_variants(c: &mut Criterion) {
@@ -27,20 +29,29 @@ fn bench_sac_variants(c: &mut Criterion) {
     });
     group.bench_function("leader_collect", |b| {
         let mut r = StdRng::seed_from_u64(2);
-        b.iter(|| black_box(secure_average_with_leader(&ms, 0, ShareScheme::Masked, &mut r)));
+        b.iter(|| {
+            black_box(secure_average_with_leader(
+                &ms,
+                0,
+                ShareScheme::Masked,
+                &mut r,
+            ))
+        });
     });
     group.bench_function("alg4_k3_clean", |b| {
         let mut r = StdRng::seed_from_u64(3);
         b.iter(|| {
             black_box(
-                fault_tolerant_secure_average(&ms, 3, 0, &[], ShareScheme::Masked, &mut r)
-                    .unwrap(),
+                fault_tolerant_secure_average(&ms, 3, 0, &[], ShareScheme::Masked, &mut r).unwrap(),
             )
         });
     });
     group.bench_function("alg4_k3_one_dropout", |b| {
         let mut r = StdRng::seed_from_u64(4);
-        let drops = [Dropout { peer: 4, phase: DropPhase::AfterShare }];
+        let drops = [Dropout {
+            peer: 4,
+            phase: DropPhase::AfterShare,
+        }];
         b.iter(|| {
             black_box(
                 fault_tolerant_secure_average(&ms, 3, 0, &drops, ShareScheme::Masked, &mut r)

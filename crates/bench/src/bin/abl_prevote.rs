@@ -16,13 +16,20 @@ fn run_scenario(pre_vote: bool, seed: u64) -> (u64, u64, bool) {
     let mut sim: Sim<RaftMsg<u64>> = Sim::new(seed);
     let ids: Vec<NodeId> = (0..3).map(NodeId).collect();
     for &id in &ids {
-        let mut cfg =
-            RaftConfig::paper(id, ids.clone(), SimDuration::from_millis(100), seed + id.0 as u64);
+        let mut cfg = RaftConfig::paper(
+            id,
+            ids.clone(),
+            SimDuration::from_millis(100),
+            seed + id.0 as u64,
+        );
         cfg.pre_vote = pre_vote;
         sim.add_node(RaftActor::new(cfg, NullStateMachine));
     }
     sim.run_until(SimTime::from_secs(2));
-    let leader = *ids.iter().find(|&&id| sim.actor::<Node>(id).is_leader()).unwrap();
+    let leader = *ids
+        .iter()
+        .find(|&&id| sim.actor::<Node>(id).is_leader())
+        .unwrap();
     let term0 = sim.actor::<Node>(leader).raft().term();
 
     let victim = *ids.iter().find(|&&id| id != leader).unwrap();
@@ -35,7 +42,10 @@ fn run_scenario(pre_vote: bool, seed: u64) -> (u64, u64, bool) {
         });
         sim.run_for(SimDuration::from_millis(50));
     }
-    let other = *ids.iter().find(|&&id| id != leader && id != victim).unwrap();
+    let other = *ids
+        .iter()
+        .find(|&&id| id != leader && id != victim)
+        .unwrap();
     sim.partition_pair(victim, leader);
     let at = sim.now() + SimDuration::from_millis(1);
     sim.schedule_restart(victim, at);
@@ -78,7 +88,10 @@ fn main() {
             100.0 * leaderful as f64 / seeds as f64
         ));
     }
-    print_csv("mode,mean_term_inflation,mean_leader_stepdowns,runs_ending_with_leader", rows);
+    print_csv(
+        "mode,mean_term_inflation,mean_leader_stepdowns,runs_ending_with_leader",
+        rows,
+    );
     println!("\n# pre-vote keeps the healthy cluster's term flat and its leader seated;");
     println!("# vanilla Raft lets the zombie inflate terms and dethrone the leader.");
 }

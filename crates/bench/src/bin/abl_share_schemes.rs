@@ -32,35 +32,58 @@ fn main() {
     let shares = divide_scaled(&w, n, &mut rng);
     let dt = t.elapsed().as_secs_f64() * 1e3;
     let err = WeightVector::sum(shares.iter()).linf_distance(&w);
-    rows.push(format!("scaled(Alg.1),{dim},{n},{err:.3e},{},{dt:.1},direction", 4 * dim));
+    rows.push(format!(
+        "scaled(Alg.1),{dim},{n},{err:.3e},{},{dt:.1},direction",
+        4 * dim
+    ));
 
     // Masked additive shares.
     let t = Instant::now();
     let shares = divide_masked(&w, n, &mut rng);
     let dt = t.elapsed().as_secs_f64() * 1e3;
     let err = WeightVector::sum(shares.iter()).linf_distance(&w);
-    rows.push(format!("masked,{dim},{n},{err:.3e},{},{dt:.1},none(bounded)", 4 * dim));
+    rows.push(format!(
+        "masked,{dim},{n},{err:.3e},{},{dt:.1},none(bounded)",
+        4 * dim
+    ));
 
     // Fixed-point ring shares.
     let t = Instant::now();
     let shares = fixed::divide_ring(&w, n, &mut rng);
     let dt = t.elapsed().as_secs_f64() * 1e3;
     let err = fixed::reconstruct_sum(&[shares]).linf_distance(&w);
-    rows.push(format!("ring(Q32.24),{dim},{n},{err:.3e},{},{dt:.1},none(exact)", 8 * dim));
+    rows.push(format!(
+        "ring(Q32.24),{dim},{n},{err:.3e},{},{dt:.1},none(exact)",
+        8 * dim
+    ));
 
-    print_csv("scheme,dim,shares,reconstruction_linf_error,bytes_per_share,split_ms,leak", rows);
+    print_csv(
+        "scheme,dim,shares,reconstruction_linf_error,bytes_per_share,split_ms,leak",
+        rows,
+    );
 
     // End-to-end SAC error accumulation over many peers.
     println!("\n# end-to-end SAC average error vs plain mean (dim 10k):");
-    let models: Vec<WeightVector> =
-        (0..30).map(|_| WeightVector::random(10_000, 0.5, &mut rng)).collect();
+    let models: Vec<WeightVector> = (0..30)
+        .map(|_| WeightVector::random(10_000, 0.5, &mut rng))
+        .collect();
     let plain = WeightVector::mean(models.iter());
-    for (label, scheme) in [("scaled", ShareScheme::Scaled), ("masked", ShareScheme::Masked)] {
+    for (label, scheme) in [
+        ("scaled", ShareScheme::Scaled),
+        ("masked", ShareScheme::Masked),
+    ] {
         let out = secure_average(&models, scheme, &mut rng);
-        println!("#   {label:<8} N=30: {:.3e}", out.average.linf_distance(&plain));
+        println!(
+            "#   {label:<8} N=30: {:.3e}",
+            out.average.linf_distance(&plain)
+        );
     }
     let exact = fixed::secure_average_exact(&models, &mut rng);
-    println!("#   {:<8} N=30: {:.3e}", "ring", exact.linf_distance(&plain));
+    println!(
+        "#   {:<8} N=30: {:.3e}",
+        "ring",
+        exact.linf_distance(&plain)
+    );
     println!("# masked shares pay ~1e-10 float error for real secrecy; the ring");
     println!("# scheme is exact and information-theoretically hiding at 2x wire size.");
 }

@@ -25,7 +25,12 @@ fn main() {
         "Fig. 6: test accuracy, two-layer SAC vs original SAC (N = 10)",
         "two-layer matches baseline accuracy; IID > Non-IID(5%) > Non-IID(0%)",
     );
-    let spec = SweepSpec { n_total: 10, rounds, seed, ..SweepSpec::default() };
+    let spec = SweepSpec {
+        n_total: 10,
+        rounds,
+        seed,
+        ..SweepSpec::default()
+    };
     let partitions = [Partition::Iid, Partition::NON_IID_5, Partition::NON_IID_0];
     let series = accuracy_sweep(&spec, &[3, 5, 10], &partitions);
 
@@ -33,7 +38,10 @@ fn main() {
     for s in &series {
         let smooth = MovingAverage::smooth(
             window,
-            &s.records.iter().map(|r| r.test_accuracy).collect::<Vec<_>>(),
+            &s.records
+                .iter()
+                .map(|r| r.test_accuracy)
+                .collect::<Vec<_>>(),
         );
         for (r, acc) in s.records.iter().zip(&smooth) {
             rows.push(format!("{},{},{:.4}", s.label, r.round, acc));

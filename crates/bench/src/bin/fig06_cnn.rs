@@ -25,7 +25,10 @@ fn main() {
         for n in [3usize, n_total] {
             let series = cnn_probe(n_total, n, partition, rounds, 60, seed);
             for r in &series.records {
-                rows.push(format!("{},{},{:.4},{:.4}", series.label, r.round, r.test_accuracy, r.test_loss));
+                rows.push(format!(
+                    "{},{},{:.4},{:.4}",
+                    series.label, r.round, r.test_accuracy, r.test_loss
+                ));
             }
         }
     }

@@ -21,7 +21,12 @@ fn main() {
         "Fig. 7: training loss, two-layer SAC vs original SAC (N = 10)",
         "two-layer loss curves coincide with the one-layer SAC baseline",
     );
-    let spec = SweepSpec { n_total: 10, rounds, seed, ..SweepSpec::default() };
+    let spec = SweepSpec {
+        n_total: 10,
+        rounds,
+        seed,
+        ..SweepSpec::default()
+    };
     let partitions = [Partition::Iid, Partition::NON_IID_5, Partition::NON_IID_0];
     let series = accuracy_sweep(&spec, &[3, 5, 10], &partitions);
 

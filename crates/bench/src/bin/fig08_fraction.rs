@@ -22,7 +22,12 @@ fn main() {
         "Fig. 8: test accuracy vs subgroup fraction p (N = 20, n = 5)",
         "p = 0.5 costs ~2% accuracy vs p = 1 (paper: average gap 2.18%)",
     );
-    let spec = SweepSpec { n_total: 20, rounds, seed, ..SweepSpec::default() };
+    let spec = SweepSpec {
+        n_total: 20,
+        rounds,
+        seed,
+        ..SweepSpec::default()
+    };
     let partitions = [Partition::Iid, Partition::NON_IID_5, Partition::NON_IID_0];
     let series = fraction_sweep(&spec, 5, &[0.5, 1.0], &partitions);
 
@@ -30,7 +35,10 @@ fn main() {
     for s in &series {
         let smooth = MovingAverage::smooth(
             window,
-            &s.records.iter().map(|r| r.test_accuracy).collect::<Vec<_>>(),
+            &s.records
+                .iter()
+                .map(|r| r.test_accuracy)
+                .collect::<Vec<_>>(),
         );
         for (r, acc) in s.records.iter().zip(&smooth) {
             rows.push(format!("{},{},{:.4}", s.label, r.round, acc));
@@ -51,5 +59,8 @@ fn main() {
         );
     }
     let mean_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
-    println!("#   mean gap over distributions: {:.2}% (paper: 2.18%)", mean_gap * 100.0);
+    println!(
+        "#   mean gap over distributions: {:.2}% (paper: 2.18%)",
+        mean_gap * 100.0
+    );
 }

@@ -21,7 +21,12 @@ fn main() {
         "Fig. 9: training loss vs subgroup fraction p (N = 20, n = 5)",
         "p = 0.5 loss tracks p = 1 under all three data distributions",
     );
-    let spec = SweepSpec { n_total: 20, rounds, seed, ..SweepSpec::default() };
+    let spec = SweepSpec {
+        n_total: 20,
+        rounds,
+        seed,
+        ..SweepSpec::default()
+    };
     let partitions = [Partition::Iid, Partition::NON_IID_5, Partition::NON_IID_0];
     let series = fraction_sweep(&spec, 5, &[0.5, 1.0], &partitions);
 

@@ -55,7 +55,10 @@ fn main() {
             rb.count
         ));
     }
-    print_csv("timeout_range_ms,trial,fed_elect_ms,sub_elect_ms,rebuild_ms", rows);
+    print_csv(
+        "timeout_range_ms,trial,fed_elect_ms,sub_elect_ms,rebuild_ms",
+        rows,
+    );
     println!("\n# summary:");
     for s in summary {
         println!("{s}");

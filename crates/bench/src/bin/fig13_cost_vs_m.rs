@@ -17,7 +17,9 @@ use p2pfl_bench::{banner, print_csv, Args};
 fn main() {
     let args = Args::parse();
     let n_total = args.get_usize("peers", 30);
-    let model = ModelSize { params: args.get_u64("params", ModelSize::PAPER_CNN.params) };
+    let model = ModelSize {
+        params: args.get_u64("params", ModelSize::PAPER_CNN.params),
+    };
 
     banner(
         "Fig. 13: communication cost per aggregation vs m (N = 30)",
@@ -42,7 +44,10 @@ fn main() {
             baseline_bits / bits,
         ));
     }
-    print_csv("m,cost_gigabits,improvement_over_sac,min_subgroup_size", rows);
+    print_csv(
+        "m,cost_gigabits,improvement_over_sac,min_subgroup_size",
+        rows,
+    );
 
     let g6 = gigabits(two_layer_units_exact(&even_groups(n_total, 6)) * model.bits());
     println!("\n# m = 6 cost: {g6:.2} Gb (paper: 7.12 Gb)");

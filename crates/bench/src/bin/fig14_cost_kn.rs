@@ -27,7 +27,9 @@ fn units_for(n: usize, k: usize, n_total: usize) -> f64 {
 
 fn main() {
     let args = Args::parse();
-    let model = ModelSize { params: args.get_u64("params", ModelSize::PAPER_CNN.params) };
+    let model = ModelSize {
+        params: args.get_u64("params", ModelSize::PAPER_CNN.params),
+    };
 
     banner(
         "Fig. 14: communication cost under k-out-of-n settings vs N",
@@ -62,7 +64,12 @@ fn main() {
     print_csv("setting,peers,cost_gigabits,improvement_over_sac", rows);
 
     println!("\n# headline checks (paper -> this build):");
-    for (n, k, nt, paper) in [(3, 3, 30, 14.75), (3, 2, 30, 10.36), (5, 3, 30, 4.29), (3, 3, 20, 8.84)] {
+    for (n, k, nt, paper) in [
+        (3, 3, 30, 14.75),
+        (3, 2, 30, 10.36),
+        (5, 3, 30, 4.29),
+        (3, 3, 20, 8.84),
+    ] {
         let ratio = sac_baseline_units(nt) / units_for(n, k, nt);
         println!("#   (n={n}, k={k}, N={nt}): paper {paper}x -> {ratio:.2}x");
     }

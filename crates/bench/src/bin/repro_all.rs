@@ -12,9 +12,7 @@ use p2pfl::cost::{
 };
 use p2pfl::experiment::{accuracy_sweep, final_accuracy, fraction_sweep, SweepSpec};
 use p2pfl_bench::Args;
-use p2pfl_hierraft::experiments::{
-    fedavg_leader_crash_trial, subgroup_leader_crash_trial, Stats,
-};
+use p2pfl_hierraft::experiments::{fedavg_leader_crash_trial, subgroup_leader_crash_trial, Stats};
 use p2pfl_ml::data::Partition;
 use p2pfl_ml::models::{paper_cnn, PAPER_CNN_PARAMS};
 use rand::rngs::StdRng;
@@ -47,7 +45,12 @@ fn main() {
 
     // ------------------------------------------------------------------
     println!("[2/7] Figs. 6-7: two-layer vs baseline accuracy ({rounds} rounds) ...");
-    let spec = SweepSpec { n_total: 10, rounds, seed: 42, ..SweepSpec::default() };
+    let spec = SweepSpec {
+        n_total: 10,
+        rounds,
+        seed: 42,
+        ..SweepSpec::default()
+    };
     let series = accuracy_sweep(&spec, &[3, 10], &[Partition::Iid, Partition::NON_IID_0]);
     let gap = (final_accuracy(&series[0]) - final_accuracy(&series[1])).abs();
     verdicts.push(Verdict {
@@ -67,7 +70,12 @@ fn main() {
 
     // ------------------------------------------------------------------
     println!("[3/7] Figs. 8-9: fraction p = 0.5 ({rounds} rounds) ...");
-    let spec = SweepSpec { n_total: 20, rounds, seed: 42, ..SweepSpec::default() };
+    let spec = SweepSpec {
+        n_total: 20,
+        rounds,
+        seed: 42,
+        ..SweepSpec::default()
+    };
     let fr = fraction_sweep(&spec, 5, &[0.5, 1.0], &[Partition::Iid]);
     let gap = final_accuracy(&fr[1]) - final_accuracy(&fr[0]);
     verdicts.push(Verdict {
@@ -141,8 +149,11 @@ fn main() {
 
     // ------------------------------------------------------------------
     println!("[7/7] Fig. 14: k-n improvement ratios (closed form) ...");
-    for (n, k, nt, expect) in [(3usize, 3usize, 30usize, 14.75), (3, 2, 30, 10.36), (5, 3, 30, 4.29)]
-    {
+    for (n, k, nt, expect) in [
+        (3usize, 3usize, 30usize, 14.75),
+        (3, 2, 30, 10.36),
+        (5, 3, 30, 4.29),
+    ] {
         let ratio = sac_baseline_units(nt) / two_layer_ft_units_eq5(n, k, nt);
         verdicts.push(Verdict {
             item: match (n, k) {
@@ -157,7 +168,10 @@ fn main() {
     }
 
     // ------------------------------------------------------------------
-    println!("\n{:<32} {:<26} {:<28} verdict", "claim", "paper", "measured");
+    println!(
+        "\n{:<32} {:<26} {:<28} verdict",
+        "claim", "paper", "measured"
+    );
     println!("{}", "-".repeat(98));
     let mut failures = 0;
     for v in &verdicts {

@@ -32,7 +32,9 @@ fn main() {
     let mem_kb = read("/proc/meminfo")
         .and_then(|s| {
             s.lines().find(|l| l.starts_with("MemTotal")).and_then(|l| {
-                l.split_whitespace().nth(1).and_then(|v| v.parse::<u64>().ok())
+                l.split_whitespace()
+                    .nth(1)
+                    .and_then(|v| v.parse::<u64>().ok())
             })
         })
         .unwrap_or(0);
@@ -40,5 +42,8 @@ fn main() {
     println!("host cpu:    {cpu}");
     println!("host memory: {:.1} GiB", mem_kb as f64 / 1024.0 / 1024.0);
     println!("host kernel: {}", os.trim());
-    println!("rustc:       {}", option_env!("RUSTC_VERSION").unwrap_or("(cargo default)"));
+    println!(
+        "rustc:       {}",
+        option_env!("RUSTC_VERSION").unwrap_or("(cargo default)")
+    );
 }

@@ -47,7 +47,11 @@ fn main() {
     let mut d = Deployment::build(DeploymentSpec::paper(100, seed));
     assert!(d.wait_stable(SimTime::from_secs(10)));
     let leader0 = d.sub_leader_of(0).unwrap();
-    let followers: Vec<_> = d.subgroups[0].iter().copied().filter(|&p| p != leader0).collect();
+    let followers: Vec<_> = d.subgroups[0]
+        .iter()
+        .copied()
+        .filter(|&p| p != leader0)
+        .collect();
     for &f in followers.iter().take(2) {
         let at = d.sim.now() + SimDuration::from_millis(1);
         d.sim.schedule_crash(f, at);
@@ -67,7 +71,11 @@ fn main() {
     }
     d.sim.run_for(SimDuration::from_secs(3));
     let dead_group_leaderless = d.sub_leader_of(1).is_none()
-        || d.subgroups[1].iter().filter(|&&p| !d.sim.is_crashed(p)).count() < 3;
+        || d.subgroups[1]
+            .iter()
+            .filter(|&&p| !d.sim.is_crashed(p))
+            .count()
+            < 3;
     let others_fine = d.sub_leader_of(2).is_some() && d.fed_leader().is_some();
     println!("#   3 crashes in one subgroup -> that group below quorum: {dead_group_leaderless}, rest operational: {others_fine}");
     assert!(others_fine);
@@ -84,6 +92,8 @@ fn main() {
     }
     d.sim.run_for(SimDuration::from_secs(5));
     let fed_down = d.fed_leader().is_none();
-    println!("#   3 simultaneous FedAvg-member crashes (majority) -> FedAvg layer down: {fed_down}");
+    println!(
+        "#   3 simultaneous FedAvg-member crashes (majority) -> FedAvg layer down: {fed_down}"
+    );
     println!("#   (matches Sec. VII-D: the system cannot operate if floor((m-1)/2)+1 subgroup leaders crash at once)");
 }

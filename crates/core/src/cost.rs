@@ -144,7 +144,11 @@ pub struct CostRow {
 /// Builds a comparison row against the one-layer SAC baseline at `n_total`.
 pub fn row(units: f64, n_total: usize, model: ModelSize) -> CostRow {
     let baseline = sac_baseline_units(n_total);
-    CostRow { units, bits: units * model.bits(), improvement: baseline / units }
+    CostRow {
+        units,
+        bits: units * model.bits(),
+        improvement: baseline / units,
+    }
 }
 
 #[cfg(test)]
@@ -180,7 +184,11 @@ mod tests {
         let groups = even_groups(30, 6);
         let units = two_layer_units_exact(&groups);
         let bits = units * ModelSize::PAPER_CNN.bits();
-        assert!((gigabits(bits) - 7.12).abs() < 0.01, "got {}", gigabits(bits));
+        assert!(
+            (gigabits(bits) - 7.12).abs() < 0.01,
+            "got {}",
+            gigabits(bits)
+        );
         let baseline_bits = sac_baseline_units(30) * ModelSize::PAPER_CNN.bits();
         let ratio = baseline_bits / bits;
         assert!((ratio - 9.78).abs() < 0.05, "ratio {ratio}");

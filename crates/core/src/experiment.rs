@@ -48,7 +48,10 @@ impl Default for SweepSpec {
             feature_dim: 32,
             hidden: 24,
             lr: 3e-3,
-            train: LocalTrainConfig { epochs: 1, batch_size: 50 },
+            train: LocalTrainConfig {
+                epochs: 1,
+                batch_size: 50,
+            },
             seed: 42,
         }
     }
@@ -83,7 +86,13 @@ pub fn build_system(
         .into_iter()
         .enumerate()
         .map(|(i, d)| {
-            Client::new(i, mlp(&dims, &mut rng), d, spec.lr, spec.seed + 10 + i as u64)
+            Client::new(
+                i,
+                mlp(&dims, &mut rng),
+                d,
+                spec.lr,
+                spec.seed + 10 + i as u64,
+            )
         })
         .collect();
     let eval = mlp(&dims, &mut rng);
@@ -118,16 +127,15 @@ pub fn accuracy_sweep(
         }
     }
     let mut out: Vec<Option<Series>> = (0..configs.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for ((n, partition), slot) in configs.iter().copied().zip(out.iter_mut()) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let kind = if n >= spec.n_total {
                     SystemKind::OriginalSac
                 } else {
                     SystemKind::TwoLayer
                 };
-                let (mut sys, test) =
-                    build_system(spec, kind, n.min(spec.n_total), 1.0, partition);
+                let (mut sys, test) = build_system(spec, kind, n.min(spec.n_total), 1.0, partition);
                 let records = sys.run(spec.rounds, &test);
                 let label = if kind == SystemKind::OriginalSac {
                     format!("baseline(n=N) {}", partition.label())
@@ -137,9 +145,10 @@ pub fn accuracy_sweep(
                 *slot = Some(Series { label, records });
             });
         }
-    })
-    .expect("sweep worker panicked");
-    out.into_iter().map(|s| s.expect("series computed")).collect()
+    });
+    out.into_iter()
+        .map(|s| s.expect("series computed"))
+        .collect()
 }
 
 /// Figs. 8–9: two-layer SAC with a fraction `p` of subgroups contributing
@@ -157,18 +166,22 @@ pub fn fraction_sweep(
         }
     }
     let mut out: Vec<Option<Series>> = (0..configs.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for ((p, partition), slot) in configs.iter().copied().zip(out.iter_mut()) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let (mut sys, test) =
                     build_system(spec, SystemKind::TwoLayer, subgroup_size, p, partition);
                 let records = sys.run(spec.rounds, &test);
-                *slot = Some(Series { label: format!("p={p} {}", partition.label()), records });
+                *slot = Some(Series {
+                    label: format!("p={p} {}", partition.label()),
+                    records,
+                });
             });
         }
-    })
-    .expect("sweep worker panicked");
-    out.into_iter().map(|s| s.expect("series computed")).collect()
+    });
+    out.into_iter()
+        .map(|s| s.expect("series computed"))
+        .collect()
 }
 
 /// The convolutional variant of the sweep: `small_cnn` on MNIST-shaped
@@ -192,7 +205,13 @@ pub fn cnn_probe(
         .into_iter()
         .enumerate()
         .map(|(i, d)| {
-            Client::new(i, small_cnn(&mut rng, seed + 100 + i as u64), d, 1e-3, seed + 10 + i as u64)
+            Client::new(
+                i,
+                small_cnn(&mut rng, seed + 100 + i as u64),
+                d,
+                1e-3,
+                seed + 10 + i as u64,
+            )
         })
         .collect();
     let eval = small_cnn(&mut rng, seed + 99);
@@ -202,14 +221,20 @@ pub fn cnn_probe(
         threshold: None,
         scheme: ShareScheme::Masked,
         fraction: 1.0,
-        train: LocalTrainConfig { epochs: 1, batch_size: 16 },
+        train: LocalTrainConfig {
+            epochs: 1,
+            batch_size: 16,
+        },
         seed: seed + 3,
         dp: None,
         fed_layer_sac: false,
     };
     let mut sys = TwoLayerSystem::new(clients, eval, cfg);
     let records = sys.run(rounds, &test);
-    Series { label: format!("cnn n={subgroup_size} {}", partition.label()), records }
+    Series {
+        label: format!("cnn n={subgroup_size} {}", partition.label()),
+        records,
+    }
 }
 
 /// Final-accuracy summary of a series, smoothed over the last quarter of
@@ -228,7 +253,12 @@ mod tests {
     use super::*;
 
     fn quick_spec() -> SweepSpec {
-        SweepSpec { rounds: 25, n_total: 6, samples_per_peer: 50, ..SweepSpec::default() }
+        SweepSpec {
+            rounds: 25,
+            n_total: 6,
+            samples_per_peer: 50,
+            ..SweepSpec::default()
+        }
     }
 
     #[test]
@@ -265,19 +295,33 @@ mod tests {
     #[test]
     fn cnn_probe_learns_through_secure_aggregation() {
         // Small on purpose: unoptimized conv is slow under `cargo test`.
-        let series = cnn_probe(4, 2, Partition::Iid, 4, 30, 7);
-        assert_eq!(series.records.len(), 4);
-        let first = series.records.first().unwrap().test_accuracy;
-        let last = series.records.last().unwrap().test_accuracy;
+        // Single-round accuracy on a 200-sample test set is noisy, so
+        // compare two-round averages at both ends of the run.
+        let series = cnn_probe(4, 2, Partition::Iid, 8, 40, 7);
+        assert_eq!(series.records.len(), 8);
+        let head: f64 = series.records[..2]
+            .iter()
+            .map(|r| r.test_accuracy)
+            .sum::<f64>()
+            / 2.0;
+        let tail: f64 = series.records[6..]
+            .iter()
+            .map(|r| r.test_accuracy)
+            .sum::<f64>()
+            / 2.0;
         assert!(
-            last > first,
-            "CNN accuracy {first:.3} -> {last:.3} through two-layer SAC"
+            tail > head,
+            "CNN accuracy {head:.3} -> {tail:.3} through two-layer SAC"
         );
     }
 
     #[test]
     fn fraction_sweep_runs_and_half_uses_half() {
-        let spec = SweepSpec { rounds: 5, n_total: 12, ..quick_spec() };
+        let spec = SweepSpec {
+            rounds: 5,
+            n_total: 12,
+            ..quick_spec()
+        };
         let series = fraction_sweep(&spec, 3, &[0.5, 1.0], &[Partition::Iid]);
         assert_eq!(series.len(), 2);
         assert!(series[0].records.iter().all(|r| r.groups_used == 2));

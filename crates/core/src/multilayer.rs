@@ -33,7 +33,13 @@ impl MultilayerTree {
         let mut groups: Vec<Vec<(usize, Vec<usize>)>> = Vec::with_capacity(layers);
         // Layer 1: one subgroup of the first n peers; its leader is peer 0.
         let mut next_id = 0usize;
-        let top: Vec<usize> = (0..n).map(|_| { let id = next_id; next_id += 1; id }).collect();
+        let top: Vec<usize> = (0..n)
+            .map(|_| {
+                let id = next_id;
+                next_id += 1;
+                id
+            })
+            .collect();
         groups.push(vec![(usize::MAX, top.clone())]);
         let mut frontier = top;
         for _ in 1..layers {
@@ -52,7 +58,12 @@ impl MultilayerTree {
             frontier = new_frontier;
         }
         assert_eq!(next_id, total, "tree construction mismatch");
-        MultilayerTree { n, layers, groups, total }
+        MultilayerTree {
+            n,
+            layers,
+            groups,
+            total,
+        }
     }
 
     /// Total number of peers (Eq. 6).

@@ -51,7 +51,10 @@ impl ResilientConfig {
             deployment,
             threshold: 2,
             scheme: ShareScheme::Masked,
-            train: LocalTrainConfig { epochs: 1, batch_size: 32 },
+            train: LocalTrainConfig {
+                epochs: 1,
+                batch_size: 32,
+            },
             round_settle: SimDuration::from_millis(600),
             seed,
         }
@@ -171,9 +174,10 @@ impl ResilientSession {
         let mut group_avgs = Vec::new();
         let mut group_counts = Vec::new();
         for g in 0..num_groups {
-            let leader = self.dep.sub_leader_of(g).filter(|&l| {
-                self.dep.sim.actor::<HierActor>(l).is_fed_member()
-            });
+            let leader = self
+                .dep
+                .sub_leader_of(g)
+                .filter(|&l| self.dep.sim.actor::<HierActor>(l).is_fed_member());
             leaders.push(leader);
             let Some(leader) = leader else { continue }; // slow subgroup
             let members = self.dep.subgroups[g].clone();
@@ -183,7 +187,10 @@ impl ResilientSession {
                 .iter()
                 .enumerate()
                 .filter(|(_, &m)| self.dep.sim.is_crashed(m))
-                .map(|(pos, _)| Dropout { peer: pos, phase: DropPhase::BeforeShare })
+                .map(|(pos, _)| Dropout {
+                    peer: pos,
+                    phase: DropPhase::BeforeShare,
+                })
                 .collect();
             let alive = members.len() - dropouts.len();
             if alive == 0 {
@@ -284,13 +291,22 @@ mod tests {
     fn build(seed: u64) -> (ResilientSession, Dataset) {
         let cfg = ResilientConfig::small(seed);
         let n_total = cfg.deployment.total_peers();
-        let (train, test) = train_test_split(&features_like(16, n_total * 50 + 300, seed), n_total * 50);
+        let (train, test) =
+            train_test_split(&features_like(16, n_total * 50 + 300, seed), n_total * 50);
         let parts = partition_dataset(&train, n_total, Partition::Iid, seed + 1);
         let mut rng = StdRng::seed_from_u64(seed + 2);
         let clients: Vec<Client> = parts
             .into_iter()
             .enumerate()
-            .map(|(i, d)| Client::new(i, mlp(&[16, 24, 10], &mut rng), d, 5e-3, seed + 10 + i as u64))
+            .map(|(i, d)| {
+                Client::new(
+                    i,
+                    mlp(&[16, 24, 10], &mut rng),
+                    d,
+                    5e-3,
+                    seed + 10 + i as u64,
+                )
+            })
             .collect();
         let eval = mlp(&[16, 24, 10], &mut rng);
         (ResilientSession::new(cfg, clients, eval), test)

@@ -99,22 +99,23 @@ pub struct RoundRecord {
 /// client, spread over up to 8 scoped threads) and returns the per-client
 /// training losses in client order.
 fn parallel_local_updates(clients: &mut [Client], cfg: LocalTrainConfig) -> Vec<f64> {
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(8);
+    let threads = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(8);
     if threads <= 1 || clients.len() <= 1 {
         return clients.iter_mut().map(|c| c.local_update(cfg).0).collect();
     }
     let chunk = clients.len().div_ceil(threads);
     let mut losses = vec![0.0f64; clients.len()];
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (cs, ls) in clients.chunks_mut(chunk).zip(losses.chunks_mut(chunk)) {
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (c, l) in cs.iter_mut().zip(ls.iter_mut()) {
                     *l = c.local_update(cfg).0;
                 }
             });
         }
-    })
-    .expect("training worker panicked");
+    });
     losses
 }
 
@@ -262,8 +263,7 @@ impl TwoLayerSystem {
                     .zip(&group_counts)
                     .map(|(a, &c)| WeightVector::new(a.clone()).scaled(c as f64))
                     .collect();
-                let out =
-                    secure_average_with_leader(&inputs, 0, self.cfg.scheme, &mut self.rng);
+                let out = secure_average_with_leader(&inputs, 0, self.cfg.scheme, &mut self.rng);
                 self.log.absorb(&out.log);
                 let mut global = out.average;
                 global.scale(groups_used as f64 / total as f64);
@@ -316,7 +316,10 @@ impl TwoLayerSystem {
                 members
                     .iter()
                     .position(|&p| p == d.peer)
-                    .map(|pos| Dropout { peer: pos, phase: d.phase })
+                    .map(|pos| Dropout {
+                        peer: pos,
+                        phase: d.phase,
+                    })
             })
             .collect();
         let models: Vec<WeightVector> = members
@@ -361,7 +364,8 @@ impl TwoLayerSystem {
                 let k = k.min(members.len());
                 // Leader: lowest-index member that is not dropping out. In
                 // the full system Raft makes this choice (crate::runner).
-                let leader = (0..members.len()).find(|pos| !local.iter().any(|d| d.peer == *pos))?;
+                let leader =
+                    (0..members.len()).find(|pos| !local.iter().any(|d| d.peer == *pos))?;
                 match fault_tolerant_secure_average(
                     &models,
                     k,
@@ -407,12 +411,21 @@ mod tests {
         seed: u64,
     ) -> (TwoLayerSystem, Dataset) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let (train, test) = train_test_split(&features_like(16, 60 * n_total + 300, seed), 60 * n_total);
+        let (train, test) =
+            train_test_split(&features_like(16, 60 * n_total + 300, seed), 60 * n_total);
         let parts = partition_dataset(&train, n_total, partition, seed + 1);
         let clients: Vec<Client> = parts
             .into_iter()
             .enumerate()
-            .map(|(i, d)| Client::new(i, mlp(&[16, 24, 10], &mut rng), d, 5e-3, seed + 2 + i as u64))
+            .map(|(i, d)| {
+                Client::new(
+                    i,
+                    mlp(&[16, 24, 10], &mut rng),
+                    d,
+                    5e-3,
+                    seed + 2 + i as u64,
+                )
+            })
             .collect();
         let eval = mlp(&[16, 24, 10], &mut rng);
         (TwoLayerSystem::new(clients, eval, cfg), test)
@@ -421,7 +434,10 @@ mod tests {
     fn base_cfg(n: usize) -> TwoLayerConfig {
         TwoLayerConfig {
             subgroup_size: n,
-            train: LocalTrainConfig { epochs: 1, batch_size: 32 },
+            train: LocalTrainConfig {
+                epochs: 1,
+                batch_size: 32,
+            },
             ..TwoLayerConfig::default()
         }
     }
@@ -515,7 +531,11 @@ mod tests {
         use p2pfl_secagg::dp::GaussianDp;
         let mut cfg = base_cfg(3);
         let (mut clean, test) = build(6, cfg.clone(), Partition::Iid, 11);
-        cfg.dp = Some(GaussianDp { epsilon: 1.0, delta: 1e-5, sensitivity: 5.0 });
+        cfg.dp = Some(GaussianDp {
+            epsilon: 1.0,
+            delta: 1e-5,
+            sensitivity: 5.0,
+        });
         let (mut noisy, _) = build(6, cfg, Partition::Iid, 11);
         let rc = clean.run_round(1, &test);
         let rn = noisy.run_round(1, &test);

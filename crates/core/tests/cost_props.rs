@@ -2,8 +2,8 @@
 
 use p2pfl::cost::{
     even_groups, multilayer_total_peers, multilayer_units_eq10, sac_baseline_units,
-    two_layer_ft_units_eq5, two_layer_ft_units_exact, two_layer_units_eq4,
-    two_layer_units_exact, two_layer_units_fed_sac,
+    two_layer_ft_units_eq5, two_layer_ft_units_exact, two_layer_units_eq4, two_layer_units_exact,
+    two_layer_units_fed_sac,
 };
 use proptest::prelude::*;
 

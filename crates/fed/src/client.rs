@@ -19,7 +19,10 @@ pub struct LocalTrainConfig {
 
 impl Default for LocalTrainConfig {
     fn default() -> Self {
-        LocalTrainConfig { epochs: 1, batch_size: 50 }
+        LocalTrainConfig {
+            epochs: 1,
+            batch_size: 50,
+        }
     }
 }
 
@@ -117,7 +120,10 @@ mod tests {
         let (mut c, test) = make_client(1);
         let (before, _) = c.evaluate_on(&test, 64);
         for _ in 0..30 {
-            c.local_update(LocalTrainConfig { epochs: 1, batch_size: 32 });
+            c.local_update(LocalTrainConfig {
+                epochs: 1,
+                batch_size: 32,
+            });
         }
         let (after, acc) = c.evaluate_on(&test, 64);
         assert!(after < before, "loss {before} -> {after}");

@@ -37,7 +37,12 @@ impl FedAvgSession {
     /// Creates a session. `eval_model` is an architecture twin used to
     /// evaluate the global parameters; its initial parameters become the
     /// initial global model that is pushed to every client.
-    pub fn new(clients: Vec<Client>, eval_model: Sequential, cfg: LocalTrainConfig, seed: u64) -> Self {
+    pub fn new(
+        clients: Vec<Client>,
+        eval_model: Sequential,
+        cfg: LocalTrainConfig,
+        seed: u64,
+    ) -> Self {
         assert!(!clients.is_empty(), "need at least one client");
         let global = eval_model.params_flat();
         let mut s = FedAvgSession {
@@ -101,7 +106,12 @@ impl FedAvgSession {
         self.push_global();
         self.eval_model.set_params_flat(&self.global);
         let (test_loss, test_accuracy) = evaluate(&mut self.eval_model, test, 128);
-        RoundRecord { round, train_loss, test_loss, test_accuracy }
+        RoundRecord {
+            round,
+            train_loss,
+            test_loss,
+            test_accuracy,
+        }
     }
 
     /// Runs `rounds` rounds, returning the per-round records.
@@ -130,7 +140,10 @@ mod tests {
             })
             .collect();
         let eval = mlp(&[16, 24, 10], &mut rng);
-        let cfg = LocalTrainConfig { epochs: 1, batch_size: 32 };
+        let cfg = LocalTrainConfig {
+            epochs: 1,
+            batch_size: 32,
+        };
         (FedAvgSession::new(clients, eval, cfg, seed + 50), test)
     }
 

@@ -34,7 +34,10 @@ fn global_model_is_the_sample_weighted_mean_of_locals() {
         from += c;
     }
     let eval = mlp(&[8, 6, 10], &mut rng);
-    let cfg = LocalTrainConfig { epochs: 1, batch_size: 16 };
+    let cfg = LocalTrainConfig {
+        epochs: 1,
+        batch_size: 16,
+    };
     let mut session = FedAvgSession::new(clients, eval, cfg, 4);
 
     // Reference run: replicate the exact same training with twin clients.
@@ -97,8 +100,15 @@ fn session_with_uneven_shards_still_learns() {
         from += c;
     }
     let eval = mlp(&[16, 24, 10], &mut rng);
-    let mut session =
-        FedAvgSession::new(clients, eval, LocalTrainConfig { epochs: 1, batch_size: 32 }, 8);
+    let mut session = FedAvgSession::new(
+        clients,
+        eval,
+        LocalTrainConfig {
+            epochs: 1,
+            batch_size: 32,
+        },
+        8,
+    );
     let records = session.run(25, &test);
     let first = records.first().unwrap().test_accuracy;
     let last = records.last().unwrap().test_accuracy;

@@ -20,7 +20,7 @@
 
 use crate::config::{FedCmd, FedConfig, HierMsg, HierPeerConfig, SubCmd};
 use p2pfl_raft::{Effect, Entry, LogCmd, RaftConfig, RaftNode};
-use p2pfl_simnet::{Actor, Context, NodeId, SimDuration, SimTime, TimerId};
+use p2pfl_simnet::{Actor, NodeId, SimDuration, SimTime, TimerId, Transport};
 
 const TIMER_SUB_ELECTION: u64 = 1;
 const TIMER_SUB_HEARTBEAT: u64 = 2;
@@ -140,7 +140,7 @@ impl HierActor {
     /// Proposes an application command on the FedAvg layer (leader only).
     pub fn propose_fed(
         &mut self,
-        ctx: &mut Context<'_, HierMsg>,
+        ctx: &mut dyn Transport<HierMsg>,
         cmd: FedCmd,
     ) -> Result<(), &'static str> {
         let Some(fed) = self.fed.as_mut() else {
@@ -158,7 +158,7 @@ impl HierActor {
     /// Proposes an application command on the subgroup (leader only).
     pub fn propose_sub(
         &mut self,
-        ctx: &mut Context<'_, HierMsg>,
+        ctx: &mut dyn Transport<HierMsg>,
         cmd: u64,
     ) -> Result<(), &'static str> {
         match self.sub.propose(LogCmd::App(SubCmd::App(cmd))) {
@@ -174,19 +174,14 @@ impl HierActor {
     // Effect plumbing
     // ------------------------------------------------------------------
 
-    fn arm(
-        ctx: &mut Context<'_, HierMsg>,
-        slot: &mut Option<TimerId>,
-        d: SimDuration,
-        tag: u64,
-    ) {
+    fn arm(ctx: &mut dyn Transport<HierMsg>, slot: &mut Option<TimerId>, d: SimDuration, tag: u64) {
         if let Some(t) = slot.take() {
             ctx.cancel_timer(t);
         }
         *slot = Some(ctx.set_timer(d, tag));
     }
 
-    fn run_sub_effects(&mut self, ctx: &mut Context<'_, HierMsg>, effects: Vec<Effect<SubCmd>>) {
+    fn run_sub_effects(&mut self, ctx: &mut dyn Transport<HierMsg>, effects: Vec<Effect<SubCmd>>) {
         for e in effects {
             match e {
                 Effect::Send(to, msg) => ctx.send(to, HierMsg::Sub(msg)),
@@ -209,7 +204,8 @@ impl HierActor {
         }
     }
 
-    fn run_fed_effects(&mut self, ctx: &mut Context<'_, HierMsg>, effects: Vec<Effect<FedCmd>>) {
+    fn run_fed_effects(&mut self, ctx: &mut dyn Transport<HierMsg>, effects: Vec<Effect<FedCmd>>) {
+        let mut retire = false;
         for e in effects {
             match e {
                 Effect::Send(to, msg) => ctx.send(to, HierMsg::Fed(msg)),
@@ -228,24 +224,28 @@ impl HierActor {
                 Effect::ConfigChanged(cluster) => {
                     // A replicated membership change removed this peer from
                     // the FedAvg layer (its subgroup elected a replacement
-                    // while it was down): retire gracefully.
+                    // while it was down): retire gracefully — but only after
+                    // the rest of the batch, so the removal entry's own
+                    // broadcast still reaches the remaining members.
                     if !cluster.contains(&self.cfg.id) {
-                        self.fed = None;
-                        for slot in [&mut self.fed_election_timer, &mut self.fed_heartbeat_timer] {
-                            if let Some(t) = slot.take() {
-                                ctx.cancel_timer(t);
-                            }
-                        }
-                        return;
+                        retire = true;
                     }
                 }
                 Effect::RestoreSnapshot(_) => {}
                 Effect::SteppedDown(_) => {}
             }
         }
+        if retire {
+            self.fed = None;
+            for slot in [&mut self.fed_election_timer, &mut self.fed_heartbeat_timer] {
+                if let Some(t) = slot.take() {
+                    ctx.cancel_timer(t);
+                }
+            }
+        }
     }
 
-    fn apply_sub_entry(&mut self, ctx: &mut Context<'_, HierMsg>, entry: &Entry<SubCmd>) {
+    fn apply_sub_entry(&mut self, ctx: &mut dyn Transport<HierMsg>, entry: &Entry<SubCmd>) {
         match &entry.cmd {
             LogCmd::App(SubCmd::FedConfig(c)) => {
                 if c.version >= self.fed_config.version {
@@ -275,7 +275,7 @@ impl HierActor {
     // Post-leader-election callback & join protocol (paper Sec. V-A1)
     // ------------------------------------------------------------------
 
-    fn on_became_sub_leader(&mut self, ctx: &mut Context<'_, HierMsg>) {
+    fn on_became_sub_leader(&mut self, ctx: &mut dyn Transport<HierMsg>) {
         if !self.config_tick_armed {
             self.config_tick_armed = true;
             ctx.set_timer(self.cfg.config_commit_interval, TIMER_CONFIG_TICK);
@@ -303,14 +303,22 @@ impl HierActor {
             .find(|m| *m != self.cfg.id && self.cfg.subgroup.contains(m))
     }
 
-    fn send_join(&mut self, ctx: &mut Context<'_, HierMsg>) {
-        let candidates: Vec<NodeId> = self
+    fn send_join(&mut self, ctx: &mut dyn Transport<HierMsg>) {
+        // Poll the configured FedAvg members, but also this peer's own
+        // subgroup: the replicated fed config can be arbitrarily stale
+        // (e.g. still the founding set after several failovers), while the
+        // previous representative of this very subgroup — who can redirect
+        // to the live FedAvg leader — is always a subgroup peer.
+        let mut candidates: Vec<NodeId> = self
             .fed_config
             .current
             .iter()
+            .chain(self.cfg.subgroup.iter())
             .copied()
             .filter(|&m| m != self.cfg.id)
             .collect();
+        candidates.sort_by_key(|m| m.0);
+        candidates.dedup();
         if candidates.is_empty() {
             return;
         }
@@ -325,11 +333,14 @@ impl HierActor {
         });
         ctx.send(
             target,
-            HierMsg::JoinRequest { from: self.cfg.id, replaces: self.replaces() },
+            HierMsg::JoinRequest {
+                from: self.cfg.id,
+                replaces: self.replaces(),
+            },
         );
     }
 
-    fn activate_fed(&mut self, ctx: &mut Context<'_, HierMsg>) {
+    fn activate_fed(&mut self, ctx: &mut dyn Transport<HierMsg>) {
         if self.fed.is_some() {
             return;
         }
@@ -354,7 +365,7 @@ impl HierActor {
 
     fn on_join_request(
         &mut self,
-        ctx: &mut Context<'_, HierMsg>,
+        ctx: &mut dyn Transport<HierMsg>,
         from: NodeId,
         replaces: Option<NodeId>,
     ) {
@@ -374,21 +385,39 @@ impl HierActor {
                     }
                 }
                 self.run_fed_effects(ctx, effects);
-                ctx.send(from, HierMsg::JoinAck { accepted: true, leader: Some(self.cfg.id) });
+                ctx.send(
+                    from,
+                    HierMsg::JoinAck {
+                        accepted: true,
+                        leader: Some(self.cfg.id),
+                    },
+                );
             }
             Some(fed) => {
                 let hint = fed.leader_hint().filter(|&l| l != self.cfg.id);
-                ctx.send(from, HierMsg::JoinAck { accepted: false, leader: hint });
+                ctx.send(
+                    from,
+                    HierMsg::JoinAck {
+                        accepted: false,
+                        leader: hint,
+                    },
+                );
             }
             None => {
-                ctx.send(from, HierMsg::JoinAck { accepted: false, leader: None });
+                ctx.send(
+                    from,
+                    HierMsg::JoinAck {
+                        accepted: false,
+                        leader: None,
+                    },
+                );
             }
         }
     }
 
     fn on_join_ack(
         &mut self,
-        ctx: &mut Context<'_, HierMsg>,
+        ctx: &mut dyn Transport<HierMsg>,
         accepted: bool,
         leader: Option<NodeId>,
     ) {
@@ -406,13 +435,17 @@ impl HierActor {
         }
     }
 
-    fn on_config_tick(&mut self, ctx: &mut Context<'_, HierMsg>) {
+    fn on_config_tick(&mut self, ctx: &mut dyn Transport<HierMsg>) {
         self.config_tick_armed = false;
         if !self.sub.is_leader() {
             return;
         }
         if let Some(fed) = self.fed.as_ref() {
-            self.config_version += 1;
+            // A replacement leader's counter restarts at zero while its
+            // followers already hold the previous leader's higher-versioned
+            // configs; always advance past everything seen so the commit is
+            // not rejected as stale.
+            self.config_version = self.config_version.max(self.fed_config.version) + 1;
             let cmd = SubCmd::FedConfig(FedConfig {
                 founding: self.fed_config.founding.clone(),
                 current: fed.cluster().to_vec(),
@@ -428,7 +461,7 @@ impl HierActor {
 }
 
 impl Actor<HierMsg> for HierActor {
-    fn on_start(&mut self, ctx: &mut Context<'_, HierMsg>) {
+    fn on_start(&mut self, ctx: &mut dyn Transport<HierMsg>) {
         let eff = self.sub.start();
         self.run_sub_effects(ctx, eff);
         if self.cfg.is_founding() {
@@ -440,7 +473,7 @@ impl Actor<HierMsg> for HierActor {
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_, HierMsg>, from: NodeId, msg: HierMsg) {
+    fn on_message(&mut self, ctx: &mut dyn Transport<HierMsg>, from: NodeId, msg: HierMsg) {
         match msg {
             HierMsg::Sub(m) => {
                 let eff = self.sub.handle(from, m);
@@ -460,14 +493,15 @@ impl Actor<HierMsg> for HierActor {
                 let eff = self.fed.as_mut().expect("just activated").handle(from, m);
                 self.run_fed_effects(ctx, eff);
             }
-            HierMsg::JoinRequest { from: joiner, replaces } => {
-                self.on_join_request(ctx, joiner, replaces)
-            }
+            HierMsg::JoinRequest {
+                from: joiner,
+                replaces,
+            } => self.on_join_request(ctx, joiner, replaces),
             HierMsg::JoinAck { accepted, leader } => self.on_join_ack(ctx, accepted, leader),
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_, HierMsg>, tag: u64) {
+    fn on_timer(&mut self, ctx: &mut dyn Transport<HierMsg>, tag: u64) {
         match tag {
             TIMER_SUB_ELECTION => {
                 self.sub_election_timer = None;
@@ -521,7 +555,7 @@ impl Actor<HierMsg> for HierActor {
         self.config_tick_armed = false;
     }
 
-    fn on_restart(&mut self, ctx: &mut Context<'_, HierMsg>) {
+    fn on_restart(&mut self, ctx: &mut dyn Transport<HierMsg>) {
         // Raft state is durable: if this peer held a FedAvg-layer seat, it
         // rejoins that layer as a follower. If its subgroup elected a
         // replacement in the meantime, the replacement's join commits a

@@ -8,7 +8,7 @@ use p2pfl_simnet::{NodeId, Payload, SimDuration};
 /// The FedAvg-layer configuration that subgroup leaders periodically commit
 /// into their subgroup logs (paper Sec. V-A1: "IP addresses and IDs of
 /// peers in FedAvg layer").
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct FedConfig {
     /// The founding FedAvg-layer membership. A joining node seeds its
     /// FedAvg-layer Raft log from this set; replaying the replicated
@@ -21,7 +21,7 @@ pub struct FedConfig {
 }
 
 /// Commands carried by a *subgroup* (SAC-layer) Raft log.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum SubCmd {
     /// The replicated FedAvg-layer configuration.
     FedConfig(FedConfig),
@@ -44,7 +44,7 @@ impl Command for SubCmd {
 pub type FedCmd = u64;
 
 /// Every message a two-layer peer can receive.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum HierMsg {
     /// Subgroup-layer Raft traffic.
     Sub(RaftMsg<SubCmd>),
@@ -136,7 +136,10 @@ mod tests {
 
     #[test]
     fn hiermsg_kinds() {
-        let j = HierMsg::JoinRequest { from: NodeId(1), replaces: None };
+        let j = HierMsg::JoinRequest {
+            from: NodeId(1),
+            replaces: None,
+        };
         assert_eq!(j.kind(), "hier.join_request");
         assert_eq!(j.size_bytes(), 24);
     }

@@ -49,8 +49,8 @@ pub fn subgroup_leader_crash_trial(t_ms: u64, seed: u64) -> Option<SubgroupRecov
     let mut d = stabilize(t_ms, seed)?;
     let fed_leader = d.fed_leader()?;
     // Pick the first subgroup whose leader is not the FedAvg leader.
-    let group = (0..d.subgroups.len())
-        .find(|&g| d.sub_leader_of(g).is_some_and(|l| l != fed_leader))?;
+    let group =
+        (0..d.subgroups.len()).find(|&g| d.sub_leader_of(g).is_some_and(|l| l != fed_leader))?;
     let victim = d.sub_leader_of(group)?;
 
     let t0 = d.sim.now() + SimDuration::from_millis(1);

@@ -60,12 +60,19 @@ impl Deployment {
     /// [`Deployment::wait_stable`] or `sim.run_until`).
     pub fn build(spec: DeploymentSpec) -> Self {
         let mut sim = Sim::new(spec.seed);
-        sim.set_latency(LatencyConfig::uniform_default(Latency::Constant(spec.link_delay)));
+        sim.set_latency(LatencyConfig::uniform_default(Latency::Constant(
+            spec.link_delay,
+        )));
         let mut subgroups = Vec::new();
         let mut next = 0u32;
         for _ in 0..spec.num_subgroups {
-            let members: Vec<NodeId> =
-                (0..spec.subgroup_size).map(|_| { let id = NodeId(next); next += 1; id }).collect();
+            let members: Vec<NodeId> = (0..spec.subgroup_size)
+                .map(|_| {
+                    let id = NodeId(next);
+                    next += 1;
+                    id
+                })
+                .collect();
             subgroups.push(members);
         }
         // Founding FedAvg member: the first peer of each subgroup.
@@ -87,7 +94,12 @@ impl Deployment {
                 assert_eq!(got, id);
             }
         }
-        Deployment { sim, subgroups, founding, spec }
+        Deployment {
+            sim,
+            subgroups,
+            founding,
+            spec,
+        }
     }
 
     /// The spec this deployment was built from.

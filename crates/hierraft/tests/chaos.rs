@@ -14,7 +14,10 @@ fn backend_restabilizes_after_every_chaos_epoch() {
         spec.num_subgroups = 3;
         spec.subgroup_size = 3;
         let mut d = Deployment::build(spec);
-        assert!(d.wait_stable(SimTime::from_secs(10)), "seed {seed}: genesis");
+        assert!(
+            d.wait_stable(SimTime::from_secs(10)),
+            "seed {seed}: genesis"
+        );
         let mut rng = StdRng::seed_from_u64(seed ^ 0xc4a05);
 
         for epoch in 0..6 {
@@ -36,9 +39,8 @@ fn backend_restabilizes_after_every_chaos_epoch() {
                 }
             }
             // Let the failures bite, then bring everyone back.
-            d.sim.run_for(SimDuration::from_millis(
-                400 + rng.random_range(0..800),
-            ));
+            d.sim
+                .run_for(SimDuration::from_millis(400 + rng.random_range(0u64..800)));
             for &v in &victims {
                 if d.sim.is_crashed(v) {
                     let at = d.sim.now() + SimDuration::from_millis(1);

@@ -74,7 +74,11 @@ fn fed_commands_survive_fed_leader_crash() {
     });
     d.sim.run_for(SimDuration::from_secs(1));
     let a = d.sim.actor::<HierActor>(new_leader);
-    assert_eq!(a.fed_cmds_applied, vec![7, 8], "committed entry must survive");
+    assert_eq!(
+        a.fed_cmds_applied,
+        vec![7, 8],
+        "committed entry must survive"
+    );
 }
 
 #[test]
@@ -83,8 +87,12 @@ fn propose_on_non_leader_is_rejected() {
     assert!(d.wait_stable(SimTime::from_secs(10)));
     let leader0 = d.sub_leader_of(0).unwrap();
     let follower = *d.subgroups[0].iter().find(|&&m| m != leader0).unwrap();
-    let err = d.sim.exec::<HierActor, _, _>(follower, |a, ctx| a.propose_sub(ctx, 1));
+    let err = d
+        .sim
+        .exec::<HierActor, _, _>(follower, |a, ctx| a.propose_sub(ctx, 1));
     assert!(err.is_err());
-    let err = d.sim.exec::<HierActor, _, _>(follower, |a, ctx| a.propose_fed(ctx, 1));
+    let err = d
+        .sim
+        .exec::<HierActor, _, _>(follower, |a, ctx| a.propose_fed(ctx, 1));
     assert!(err.is_err());
 }

@@ -33,9 +33,21 @@ impl Dataset {
         labels: Vec<usize>,
     ) -> Self {
         let per: usize = sample_shape.iter().product();
-        assert_eq!(samples.len(), per * labels.len(), "sample buffer size mismatch");
-        assert!(labels.iter().all(|&l| l < num_classes), "label out of range");
-        Dataset { sample_shape, num_classes, samples, labels }
+        assert_eq!(
+            samples.len(),
+            per * labels.len(),
+            "sample buffer size mismatch"
+        );
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range"
+        );
+        Dataset {
+            sample_shape,
+            num_classes,
+            samples,
+            labels,
+        }
     }
 
     /// Number of samples.
@@ -192,7 +204,9 @@ pub enum Partition {
 
 impl Partition {
     /// The paper's "Non-IID data (5%)" setting.
-    pub const NON_IID_5: Partition = Partition::NonIid { main_fraction: 0.95 };
+    pub const NON_IID_5: Partition = Partition::NonIid {
+        main_fraction: 0.95,
+    };
     /// The paper's "Non-IID data (0%)" setting.
     pub const NON_IID_0: Partition = Partition::NonIid { main_fraction: 1.0 };
 
@@ -240,7 +254,10 @@ pub fn partition_dataset(
             per_peer.iter().map(|ix| dataset.subset(ix)).collect()
         }
         Partition::NonIid { main_fraction } => {
-            assert!((0.0..=1.0).contains(&main_fraction), "fraction out of range");
+            assert!(
+                (0.0..=1.0).contains(&main_fraction),
+                "fraction out of range"
+            );
             let c = dataset.num_classes;
             // Index pools per class, shuffled.
             let mut pools: Vec<Vec<usize>> = vec![Vec::new(); c];

@@ -82,12 +82,7 @@ impl Conv2d {
                 }
             }
         }
-        (
-            Tensor::from_vec(&[b * oh * ow, cols_w], cols),
-            b,
-            oh,
-            ow,
-        )
+        (Tensor::from_vec(&[b * oh * ow, cols_w], cols), b, oh, ow)
     }
 
     fn col2im(&self, dcols: &Tensor, b: usize, h: usize, w: usize) -> Tensor {
@@ -126,7 +121,10 @@ impl Conv2d {
 
     fn cached_input_hw(&self) -> (usize, usize) {
         let (_, oh, ow) = self.cached_dims.expect("backward before forward");
-        (oh + self.k - 1 - 2 * self.pad, ow + self.k - 1 - 2 * self.pad)
+        (
+            oh + self.k - 1 - 2 * self.pad,
+            ow + self.k - 1 - 2 * self.pad,
+        )
     }
 }
 

@@ -25,7 +25,12 @@ impl Dense {
     /// Xavier-initialized dense layer (for the softmax output).
     pub fn new_xavier<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
         Dense {
-            weight: Param::new(init::xavier_uniform(&[in_dim, out_dim], in_dim, out_dim, rng)),
+            weight: Param::new(init::xavier_uniform(
+                &[in_dim, out_dim],
+                in_dim,
+                out_dim,
+                rng,
+            )),
             bias: Param::new(Tensor::zeros(&[1, out_dim])),
             cached_input: None,
         }

@@ -18,7 +18,11 @@ impl Dropout {
     /// Creates a dropout layer with drop probability `p in [0, 1)`.
     pub fn new(p: f32, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&p), "drop probability out of range");
-        Dropout { p, rng: StdRng::seed_from_u64(seed), cached_mask: None }
+        Dropout {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            cached_mask: None,
+        }
     }
 
     /// The drop probability.
@@ -36,7 +40,13 @@ impl Layer for Dropout {
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
         let mask: Vec<f32> = (0..x.len())
-            .map(|_| if self.rng.random::<f32>() < keep { scale } else { 0.0 })
+            .map(|_| {
+                if self.rng.random::<f32>() < keep {
+                    scale
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let mut y = x.clone();
         for (v, m) in y.data_mut().iter_mut().zip(&mask) {

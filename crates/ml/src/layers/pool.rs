@@ -12,7 +12,10 @@ pub struct MaxPool2x2 {
 impl MaxPool2x2 {
     /// Creates the layer.
     pub fn new() -> Self {
-        MaxPool2x2 { cached_argmax: None, cached_in_shape: None }
+        MaxPool2x2 {
+            cached_argmax: None,
+            cached_in_shape: None,
+        }
     }
 }
 
@@ -59,7 +62,10 @@ impl Layer for MaxPool2x2 {
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let arg = self.cached_argmax.take().expect("backward before forward");
-        let shape = self.cached_in_shape.take().expect("backward before forward");
+        let shape = self
+            .cached_in_shape
+            .take()
+            .expect("backward before forward");
         let mut dx = Tensor::zeros(&shape);
         let dd = dx.data_mut();
         for (g, &i) in grad_out.data().iter().zip(&arg) {

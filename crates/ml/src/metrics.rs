@@ -40,7 +40,10 @@ impl MovingAverage {
     /// A moving average over the last `window` observations.
     pub fn new(window: usize) -> Self {
         assert!(window > 0, "window must be positive");
-        MovingAverage { window, values: Vec::new() }
+        MovingAverage {
+            window,
+            values: Vec::new(),
+        }
     }
 
     /// Pushes an observation and returns the current smoothed value.
@@ -101,7 +104,10 @@ mod tests {
         assert_eq!(ma.push(1.0), 1.0);
         assert_eq!(ma.push(3.0), 2.0);
         assert_eq!(ma.push(5.0), 4.0);
-        assert_eq!(MovingAverage::smooth(2, &[1.0, 3.0, 5.0]), vec![1.0, 2.0, 4.0]);
+        assert_eq!(
+            MovingAverage::smooth(2, &[1.0, 3.0, 5.0]),
+            vec![1.0, 2.0, 4.0]
+        );
     }
 
     #[test]

@@ -55,7 +55,10 @@ impl Sequential {
 
     /// Mutable access to all trainable parameters, in layer order.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// Total scalar parameter count.
@@ -100,7 +103,12 @@ impl Sequential {
     /// (or an aggregate of such vectors). Panics on length mismatch.
     pub fn set_params_flat(&mut self, flat: &[f64]) {
         let expected = self.num_params();
-        assert_eq!(flat.len(), expected, "expected {expected} params, got {}", flat.len());
+        assert_eq!(
+            flat.len(),
+            expected,
+            "expected {expected} params, got {}",
+            flat.len()
+        );
         let mut off = 0;
         for p in self.params_mut() {
             let n = p.len();

@@ -69,7 +69,9 @@ pub fn mlp<R: Rng + ?Sized>(dims: &[usize], rng: &mut R) -> Sequential {
         if last {
             m = m.push(Dense::new_xavier(dims[i], dims[i + 1], rng));
         } else {
-            m = m.push(Dense::new_he(dims[i], dims[i + 1], rng)).push(Relu::new());
+            m = m
+                .push(Dense::new_he(dims[i], dims[i + 1], rng))
+                .push(Relu::new());
         }
     }
     m

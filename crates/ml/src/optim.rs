@@ -53,7 +53,15 @@ pub struct Adam {
 impl Adam {
     /// Adam with the paper's hyperparameters and the given learning rate.
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// The paper's optimizer: Adam with lr 1e-4.

@@ -19,15 +19,26 @@ impl Tensor {
     /// An all-zero tensor of the given shape.
     pub fn zeros(shape: &[usize]) -> Self {
         let n: usize = shape.iter().product();
-        Tensor { shape: shape.to_vec(), data: vec![0.0; n] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; n],
+        }
     }
 
     /// Builds a tensor from raw data; `data.len()` must equal the shape
     /// product.
     pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
         let n: usize = shape.iter().product();
-        assert_eq!(data.len(), n, "data length {} != shape product {n}", data.len());
-        Tensor { shape: shape.to_vec(), data }
+        assert_eq!(
+            data.len(),
+            n,
+            "data length {} != shape product {n}",
+            data.len()
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// The shape.
@@ -59,7 +70,10 @@ impl Tensor {
     pub fn reshaped(&self, shape: &[usize]) -> Tensor {
         let n: usize = shape.iter().product();
         assert_eq!(n, self.data.len(), "reshape changes element count");
-        Tensor { shape: shape.to_vec(), data: self.data.clone() }
+        Tensor {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        }
     }
 
     /// Number of rows when viewed as a 2-D matrix.

@@ -1,0 +1,59 @@
+//! # p2pfl-net — real socket transport for the p2pfl actors
+//!
+//! `p2pfl-simnet` executes the workspace's protocol actors (Raft, the
+//! two-layer hierarchy, the SAC engine) under deterministic virtual time.
+//! This crate runs the *same* actors over real TCP sockets and wall-clock
+//! timers, closing the gap between the simulated evaluation and the
+//! deployment the paper describes (virtual peers on one machine talking
+//! TCP).
+//!
+//! Three layers, bottom to top:
+//!
+//! * [`codec`] — a compact binary serializer/deserializer for the
+//!   workspace serde data model, plus `u32`-length-delimited framing with
+//!   a [`codec::MAX_FRAME`] guard.
+//! * [`hub`] — a threaded TCP endpoint: a listener with per-connection
+//!   reader threads, one writer thread per peer with reconnect-and-retry
+//!   (capped exponential backoff), connection hellos attributing traffic
+//!   to [`p2pfl_simnet::NodeId`]s, byte/frame/reconnect counters, and
+//!   test hooks for severing connections.
+//! * [`runtime`] — [`PeerRuntime`] hosts one
+//!   [`Actor`](p2pfl_simnet::Actor) on an event-loop thread behind the
+//!   [`Transport`](p2pfl_simnet::Transport) trait: wall-clock timers,
+//!   loopback delivery, and codec-framed sends through the hub.
+//!
+//! ```no_run
+//! use p2pfl_net::PeerRuntime;
+//! use p2pfl_simnet::{Actor, NodeId, Payload, Transport};
+//!
+//! #[derive(serde::Serialize, serde::Deserialize, Clone)]
+//! struct Ping(u64);
+//! impl Payload for Ping {
+//!     fn size_bytes(&self) -> u64 {
+//!         8
+//!     }
+//! }
+//!
+//! struct Counter(u64);
+//! impl Actor<Ping> for Counter {
+//!     fn on_message(&mut self, _t: &mut dyn Transport<Ping>, _from: NodeId, _m: Ping) {
+//!         self.0 += 1;
+//!     }
+//! }
+//!
+//! let a = PeerRuntime::start(NodeId(0), "127.0.0.1:0", &[], Counter(0)).unwrap();
+//! let b = PeerRuntime::start(NodeId(1), "127.0.0.1:0", &[(NodeId(0), a.local_addr())],
+//!     Counter(0)).unwrap();
+//! b.with(|_, ctx| ctx.send(NodeId(0), Ping(1)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod hub;
+pub mod runtime;
+
+pub use codec::{from_bytes, to_bytes, CodecError, FrameBuffer, MAX_FRAME};
+pub use hub::{Hub, NetEvent, NetStats};
+pub use runtime::{PeerRuntime, WireMsg};

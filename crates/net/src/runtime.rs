@@ -1,0 +1,417 @@
+//! [`PeerRuntime`]: hosts a simnet [`Actor`] on the real network.
+//!
+//! The runtime runs the actor on a dedicated event-loop thread and hands it
+//! a [`Transport`] implementation backed by wall-clock time and the TCP
+//! [`Hub`] — the *same* actor state machines that run deterministically
+//! under `p2pfl-simnet` run here unchanged. `now()` reports elapsed time
+//! since the runtime started as a [`SimTime`], preserving the only clock
+//! property the actors rely on: monotonicity.
+//!
+//! Single-threaded actor discipline: all callbacks (`on_start`,
+//! `on_message`, `on_timer`, and closures submitted through
+//! [`PeerRuntime::with`]) execute on the event-loop thread, so actors need
+//! no internal synchronization — exactly as in the simulator.
+
+use crate::codec;
+use crate::hub::{Hub, NetEvent, NetStats};
+use p2pfl_simnet::{Actor, NodeId, Payload, SimDuration, SimTime, TimerId, Transport};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Messages a runtime can host: simulator payloads that also encode to the
+/// binary wire format.
+pub trait WireMsg: Payload + Serialize + Deserialize {}
+impl<M: Payload + Serialize + Deserialize> WireMsg for M {}
+
+/// A closure run on the event-loop thread with the actor and live transport.
+type Invocation<M, A> = Box<dyn FnOnce(&mut A, &mut dyn Transport<M>) + Send>;
+
+enum LoopEvent<M, A> {
+    Net(NetEvent),
+    Invoke(Invocation<M, A>),
+    Stop,
+}
+
+struct Timers {
+    heap: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
+    cancelled: HashSet<u64>,
+    next_id: u64,
+}
+
+/// The [`Transport`] the event loop hands to actor callbacks.
+struct RealCtx<'a, M> {
+    id: NodeId,
+    start: Instant,
+    hub: &'a Hub,
+    timers: &'a mut Timers,
+    loopback: &'a mut VecDeque<M>,
+}
+
+fn elapsed(start: Instant) -> SimTime {
+    SimTime::from_nanos(start.elapsed().as_nanos() as u64)
+}
+
+impl<M: WireMsg> Transport<M> for RealCtx<'_, M> {
+    fn now(&self) -> SimTime {
+        elapsed(self.start)
+    }
+
+    fn node_id(&self) -> NodeId {
+        self.id
+    }
+
+    fn send(&mut self, to: NodeId, msg: M) {
+        if to == self.id {
+            // Local delivery, dispatched after the current callback returns
+            // (same semantics as the simulator's instantaneous loopback).
+            self.loopback.push_back(msg);
+        } else {
+            self.hub.send(to, codec::to_bytes(&msg));
+        }
+    }
+
+    fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
+        let id = self.timers.next_id;
+        self.timers.next_id += 1;
+        let deadline = self.now() + delay;
+        self.timers.heap.push(Reverse((deadline, id, tag)));
+        TimerId(id)
+    }
+
+    fn cancel_timer(&mut self, id: TimerId) {
+        self.timers.cancelled.insert(id.0);
+    }
+}
+
+/// Handle to an actor running on the real network.
+///
+/// Dropping the runtime stops it; prefer [`PeerRuntime::stop`] to get the
+/// actor back for final inspection.
+pub struct PeerRuntime<M, A> {
+    id: NodeId,
+    hub: Arc<Hub>,
+    ctl: Sender<LoopEvent<M, A>>,
+    thread: Option<JoinHandle<A>>,
+    decode_errors: Arc<AtomicU64>,
+}
+
+impl<M, A> PeerRuntime<M, A>
+where
+    M: WireMsg,
+    A: Actor<M> + Send + 'static,
+{
+    /// Binds a listener on `bind_addr` (port 0 for OS-assigned), registers
+    /// `peers`, and starts the event loop. The actor's `on_start` runs on
+    /// the loop thread before any network event is processed.
+    pub fn start(
+        id: NodeId,
+        bind_addr: &str,
+        peers: &[(NodeId, SocketAddr)],
+        actor: A,
+    ) -> io::Result<Self> {
+        let (tx, rx) = mpsc::channel::<LoopEvent<M, A>>();
+        let hub = {
+            let tx = tx.clone();
+            Arc::new(Hub::new(id, bind_addr, move |ev| {
+                let _ = tx.send(LoopEvent::Net(ev));
+            })?)
+        };
+        for &(peer, addr) in peers {
+            hub.add_peer(peer, addr);
+        }
+        let decode_errors = Arc::new(AtomicU64::new(0));
+        let thread = {
+            let hub = hub.clone();
+            let decode_errors = decode_errors.clone();
+            std::thread::spawn(move || event_loop(id, hub, rx, actor, decode_errors))
+        };
+        Ok(PeerRuntime {
+            id,
+            hub,
+            ctl: tx,
+            thread: Some(thread),
+            decode_errors,
+        })
+    }
+
+    /// This runtime's node id.
+    pub fn node_id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The address this runtime's listener bound.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.hub.local_addr()
+    }
+
+    /// Registers a peer, or re-points an existing one to a new address
+    /// (crash-rejoin at a fresh port).
+    pub fn add_peer(&self, peer: NodeId, addr: SocketAddr) {
+        self.hub.add_peer(peer, addr);
+    }
+
+    /// Severs all TCP connections; writers recover via backoff. Test hook.
+    pub fn kill_connections(&self) {
+        self.hub.kill_connections();
+    }
+
+    /// Transport counters.
+    pub fn stats(&self) -> NetStats {
+        self.hub.stats()
+    }
+
+    /// Frames that arrived but failed to decode as `M` (dropped).
+    pub fn decode_errors(&self) -> u64 {
+        self.decode_errors.load(Ordering::Relaxed)
+    }
+
+    /// Runs `f` against the actor *on the event-loop thread* and returns
+    /// its result. The closure receives the live transport, so it can send
+    /// messages and arm timers exactly like an actor callback (e.g. a SAC
+    /// leader's `start_round`).
+    ///
+    /// # Panics
+    /// Panics if the event loop has stopped.
+    pub fn with<R, F>(&self, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut A, &mut dyn Transport<M>) -> R + Send + 'static,
+    {
+        let (tx, rx) = mpsc::channel();
+        let call = Box::new(move |a: &mut A, t: &mut dyn Transport<M>| {
+            let _ = tx.send(f(a, t));
+        });
+        self.ctl
+            .send(LoopEvent::Invoke(call))
+            .expect("event loop alive");
+        rx.recv().expect("event loop alive")
+    }
+
+    /// Stops the event loop and the transport, returning the actor.
+    pub fn stop(mut self) -> A {
+        let _ = self.ctl.send(LoopEvent::Stop);
+        let actor = self
+            .thread
+            .take()
+            .expect("not yet stopped")
+            .join()
+            .expect("event loop panicked");
+        self.hub.shutdown();
+        actor
+    }
+}
+
+impl<M, A> Drop for PeerRuntime<M, A> {
+    fn drop(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            let _ = self.ctl.send(LoopEvent::Stop);
+            let _ = thread.join();
+            self.hub.shutdown();
+        }
+    }
+}
+
+fn event_loop<M: WireMsg, A: Actor<M>>(
+    id: NodeId,
+    hub: Arc<Hub>,
+    rx: mpsc::Receiver<LoopEvent<M, A>>,
+    mut actor: A,
+    decode_errors: Arc<AtomicU64>,
+) -> A {
+    let start = Instant::now();
+    let mut timers = Timers {
+        heap: BinaryHeap::new(),
+        cancelled: HashSet::new(),
+        next_id: 1,
+    };
+    let mut loopback: VecDeque<M> = VecDeque::new();
+
+    // Dispatches one actor callback with a fresh context, then drains any
+    // loopback messages it produced (which may in turn produce more).
+    macro_rules! dispatch {
+        (|$ctx:ident| $call:expr) => {{
+            {
+                let mut $ctx = RealCtx {
+                    id,
+                    start,
+                    hub: &hub,
+                    timers: &mut timers,
+                    loopback: &mut loopback,
+                };
+                #[allow(clippy::redundant_closure_call)]
+                $call;
+            }
+            while let Some(m) = loopback.pop_front() {
+                let mut $ctx = RealCtx {
+                    id,
+                    start,
+                    hub: &hub,
+                    timers: &mut timers,
+                    loopback: &mut loopback,
+                };
+                actor.on_message(&mut $ctx, id, m);
+            }
+        }};
+    }
+
+    dispatch!(|ctx| actor.on_start(&mut ctx));
+
+    loop {
+        // Fire every due timer before blocking again.
+        let now = elapsed(start);
+        while let Some(Reverse((deadline, tid, tag))) = timers.heap.peek().copied() {
+            if deadline > now {
+                break;
+            }
+            timers.heap.pop();
+            if timers.cancelled.remove(&tid) {
+                continue;
+            }
+            dispatch!(|ctx| actor.on_timer(&mut ctx, tag));
+        }
+
+        let timeout = match timers.heap.peek() {
+            Some(Reverse((deadline, _, _))) => {
+                let now = elapsed(start);
+                Duration::from_nanos(deadline.as_nanos().saturating_sub(now.as_nanos()))
+                    .min(Duration::from_millis(100))
+            }
+            None => Duration::from_millis(100),
+        };
+
+        match rx.recv_timeout(timeout) {
+            Ok(LoopEvent::Net(NetEvent::Frame { from, payload })) => {
+                match codec::from_bytes::<M>(&payload) {
+                    Ok(msg) => dispatch!(|ctx| actor.on_message(&mut ctx, from, msg)),
+                    Err(_) => {
+                        decode_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Ok(LoopEvent::Invoke(f)) => dispatch!(|ctx| f(&mut actor, &mut ctx)),
+            Ok(LoopEvent::Stop) | Err(RecvTimeoutError::Disconnected) => break,
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+    }
+    actor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    // `Blob` has no serde derives (it never crosses a real wire in the
+    // main crates), so the tests use their own serializable payload.
+    #[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq, Eq)]
+    struct WireBlob {
+        size: u64,
+        tag: u64,
+    }
+
+    impl Payload for WireBlob {
+        fn size_bytes(&self) -> u64 {
+            self.size
+        }
+    }
+
+    /// Echoes every message back with tag+1 until tag 3, counts deliveries,
+    /// and proves timers + loopback work.
+    #[derive(Default)]
+    struct Echo {
+        seen: u64,
+        timer_fired: bool,
+        loopback_seen: bool,
+    }
+
+    impl Actor<WireBlob> for Echo {
+        fn on_start(&mut self, ctx: &mut dyn Transport<WireBlob>) {
+            ctx.set_timer(SimDuration::from_millis(5), 42);
+            ctx.send(ctx.node_id(), WireBlob { size: 1, tag: 999 });
+        }
+        fn on_message(&mut self, ctx: &mut dyn Transport<WireBlob>, from: NodeId, msg: WireBlob) {
+            if msg.tag == 999 {
+                self.loopback_seen = true;
+                return;
+            }
+            self.seen += 1;
+            if msg.tag < 3 {
+                ctx.send(
+                    from,
+                    WireBlob {
+                        size: msg.size,
+                        tag: msg.tag + 1,
+                    },
+                );
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut dyn Transport<WireBlob>, tag: u64) {
+            if tag == 42 {
+                self.timer_fired = true;
+            }
+        }
+    }
+
+    fn echo() -> Echo {
+        Echo::default()
+    }
+
+    #[test]
+    fn ping_pong_timers_and_loopback() {
+        let a = PeerRuntime::start(NodeId(0), "127.0.0.1:0", &[], echo()).unwrap();
+        let b = PeerRuntime::start(
+            NodeId(1),
+            "127.0.0.1:0",
+            &[(NodeId(0), a.local_addr())],
+            echo(),
+        )
+        .unwrap();
+        a.add_peer(NodeId(1), b.local_addr());
+
+        // Kick off a 0->1 ping; tags escalate 0..=3 across the two peers.
+        a.with(|_, ctx| ctx.send(NodeId(1), WireBlob { size: 8, tag: 0 }));
+
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let (sa, sb) = (a.with(|e, _| e.seen), b.with(|e, _| e.seen));
+            if sa + sb >= 4 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "ping-pong stalled: {sa}+{sb}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        std::thread::sleep(Duration::from_millis(20));
+        let ea = a.stop();
+        let eb = b.stop();
+        assert!(ea.timer_fired && eb.timer_fired, "timers did not fire");
+        assert!(ea.loopback_seen && eb.loopback_seen, "loopback skipped");
+        assert_eq!(ea.seen + eb.seen, 4);
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        struct T {
+            fired: bool,
+        }
+        impl Actor<WireBlob> for T {
+            fn on_start(&mut self, ctx: &mut dyn Transport<WireBlob>) {
+                let id = ctx.set_timer(SimDuration::from_millis(30), 1);
+                ctx.cancel_timer(id);
+            }
+            fn on_message(&mut self, _: &mut dyn Transport<WireBlob>, _: NodeId, _: WireBlob) {}
+            fn on_timer(&mut self, _: &mut dyn Transport<WireBlob>, _: u64) {
+                self.fired = true;
+            }
+        }
+        let rt = PeerRuntime::start(NodeId(0), "127.0.0.1:0", &[], T { fired: false }).unwrap();
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(!rt.stop().fired);
+    }
+}

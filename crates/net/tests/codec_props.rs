@@ -1,0 +1,256 @@
+//! Property tests: every workspace wire message type round-trips through
+//! the binary codec bit-for-bit, including the degenerate shapes the
+//! protocols actually produce (zero-length share vectors, empty entry
+//! batches) and large share blocks.
+
+use p2pfl_hierraft::{FedConfig, HierMsg, SubCmd};
+use p2pfl_net::codec::{from_bytes, to_bytes};
+use p2pfl_raft::{Entry, LogCmd, RaftMsg};
+use p2pfl_secagg::{SacMsg, WeightVector};
+use p2pfl_simnet::NodeId;
+use proptest::prelude::*;
+
+fn arb_node() -> impl Strategy<Value = NodeId> {
+    (0u32..64).prop_map(NodeId)
+}
+
+fn arb_weights(max_dim: usize) -> impl Strategy<Value = WeightVector> {
+    prop::collection::vec(any::<f64>(), 0..=max_dim).prop_map(WeightVector::new)
+}
+
+fn arb_logcmd() -> impl Strategy<Value = LogCmd<u64>> {
+    prop_oneof![
+        Just(LogCmd::Noop),
+        any::<u64>().prop_map(LogCmd::App),
+        arb_node().prop_map(LogCmd::AddServer),
+        arb_node().prop_map(LogCmd::RemoveServer),
+    ]
+}
+
+fn arb_entry() -> impl Strategy<Value = Entry<u64>> {
+    (any::<u64>(), any::<u64>(), arb_logcmd()).prop_map(|(term, index, cmd)| Entry {
+        term,
+        index,
+        cmd,
+    })
+}
+
+fn arb_raftmsg() -> impl Strategy<Value = RaftMsg<u64>> {
+    prop_oneof![
+        (any::<u64>(), arb_node(), any::<u64>(), any::<u64>()).prop_map(
+            |(term, candidate, last_log_index, last_log_term)| RaftMsg::PreVote {
+                term,
+                candidate,
+                last_log_index,
+                last_log_term,
+            }
+        ),
+        (any::<u64>(), any::<bool>())
+            .prop_map(|(term, granted)| RaftMsg::PreVoteResp { term, granted }),
+        (any::<u64>(), arb_node(), any::<u64>(), any::<u64>()).prop_map(
+            |(term, candidate, last_log_index, last_log_term)| RaftMsg::RequestVote {
+                term,
+                candidate,
+                last_log_index,
+                last_log_term,
+            }
+        ),
+        (any::<u64>(), any::<bool>())
+            .prop_map(|(term, granted)| RaftMsg::RequestVoteResp { term, granted }),
+        (
+            any::<u64>(),
+            arb_node(),
+            any::<u64>(),
+            any::<u64>(),
+            prop::collection::vec(arb_entry(), 0..5),
+            any::<u64>(),
+        )
+            .prop_map(
+                |(term, leader, prev_log_index, prev_log_term, entries, leader_commit)| {
+                    RaftMsg::AppendEntries {
+                        term,
+                        leader,
+                        prev_log_index,
+                        prev_log_term,
+                        entries,
+                        leader_commit,
+                    }
+                }
+            ),
+        (
+            any::<u64>(),
+            arb_node(),
+            any::<u64>(),
+            any::<u64>(),
+            prop::collection::vec(arb_node(), 0..6),
+            prop::collection::vec(any::<u8>(), 0..64),
+        )
+            .prop_map(|(term, leader, last_index, last_term, cluster, data)| {
+                RaftMsg::InstallSnapshot {
+                    term,
+                    leader,
+                    last_index,
+                    last_term,
+                    cluster,
+                    data,
+                }
+            }),
+        (any::<u64>(), any::<bool>(), any::<u64>()).prop_map(|(term, success, match_index)| {
+            RaftMsg::AppendEntriesResp {
+                term,
+                success,
+                match_index,
+            }
+        }),
+    ]
+}
+
+fn arb_fedconfig() -> impl Strategy<Value = FedConfig> {
+    (
+        prop::collection::vec(arb_node(), 0..5),
+        prop::collection::vec(arb_node(), 0..5),
+        any::<u64>(),
+    )
+        .prop_map(|(founding, current, version)| FedConfig {
+            founding,
+            current,
+            version,
+        })
+}
+
+fn arb_subcmd() -> impl Strategy<Value = SubCmd> {
+    prop_oneof![
+        arb_fedconfig().prop_map(SubCmd::FedConfig),
+        any::<u64>().prop_map(SubCmd::App),
+    ]
+}
+
+fn arb_sub_entry() -> impl Strategy<Value = Entry<SubCmd>> {
+    let cmd = prop_oneof![
+        Just(LogCmd::Noop),
+        arb_subcmd().prop_map(LogCmd::App),
+        arb_node().prop_map(LogCmd::AddServer),
+        arb_node().prop_map(LogCmd::RemoveServer),
+    ];
+    (any::<u64>(), any::<u64>(), cmd).prop_map(|(term, index, cmd)| Entry { term, index, cmd })
+}
+
+fn arb_hiermsg() -> impl Strategy<Value = HierMsg> {
+    prop_oneof![
+        // Subgroup-layer traffic carrying replicated fed configs.
+        (
+            any::<u64>(),
+            arb_node(),
+            any::<u64>(),
+            prop::collection::vec(arb_sub_entry(), 0..4),
+            any::<u64>(),
+        )
+            .prop_map(|(term, leader, prev, entries, commit)| {
+                HierMsg::Sub(RaftMsg::AppendEntries {
+                    term,
+                    leader,
+                    prev_log_index: prev,
+                    prev_log_term: term,
+                    entries,
+                    leader_commit: commit,
+                })
+            }),
+        arb_raftmsg().prop_map(HierMsg::Fed),
+        (arb_node(), prop::option::of(arb_node()))
+            .prop_map(|(from, replaces)| HierMsg::JoinRequest { from, replaces }),
+        (any::<bool>(), prop::option::of(arb_node()))
+            .prop_map(|(accepted, leader)| HierMsg::JoinAck { accepted, leader }),
+    ]
+}
+
+fn arb_sacmsg(max_dim: usize) -> impl Strategy<Value = SacMsg> {
+    prop_oneof![
+        any::<u64>().prop_map(|round| SacMsg::Begin { round }),
+        (
+            any::<u64>(),
+            0usize..8,
+            prop::collection::vec((0usize..8, arb_weights(max_dim)), 0..4),
+        )
+            .prop_map(|(round, from_pos, parts)| SacMsg::ShareBlock {
+                round,
+                from_pos,
+                parts
+            }),
+        (any::<u64>(), prop::collection::vec(0usize..8, 0..8)).prop_map(|(round, contributors)| {
+            SacMsg::ComputeOver {
+                round,
+                contributors,
+            }
+        }),
+        (any::<u64>(), 0usize..8, arb_weights(max_dim))
+            .prop_map(|(round, idx, value)| SacMsg::Subtotal { round, idx, value }),
+        (any::<u64>(), 0usize..8).prop_map(|(round, idx)| SacMsg::SubtotalRequest { round, idx }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn raft_messages_round_trip(msg in arb_raftmsg()) {
+        let bytes = to_bytes(&msg);
+        prop_assert_eq!(from_bytes::<RaftMsg<u64>>(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn hier_messages_round_trip(msg in arb_hiermsg()) {
+        let bytes = to_bytes(&msg);
+        prop_assert_eq!(from_bytes::<HierMsg>(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn sac_messages_round_trip(msg in arb_sacmsg(32)) {
+        let bytes = to_bytes(&msg);
+        prop_assert_eq!(from_bytes::<SacMsg>(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn weight_vectors_round_trip_bitwise(v in arb_weights(256)) {
+        // NaNs must survive too: compare bit patterns, not float equality.
+        let bits: Vec<u64> = v.as_slice().iter().map(|x| x.to_bits()).collect();
+        let back = from_bytes::<WeightVector>(&to_bytes(&v)).unwrap();
+        let back_bits: Vec<u64> = back.as_slice().iter().map(|x| x.to_bits()).collect();
+        prop_assert_eq!(bits, back_bits);
+    }
+
+    #[test]
+    fn truncation_never_panics(msg in arb_sacmsg(8), cut in 0usize..64) {
+        let bytes = to_bytes(&msg);
+        let cut = cut.min(bytes.len());
+        // Any prefix must either fail cleanly or (full length) succeed.
+        let _ = from_bytes::<SacMsg>(&bytes[..cut]);
+    }
+}
+
+#[test]
+fn zero_length_share_vectors_round_trip() {
+    let msg = SacMsg::ShareBlock {
+        round: 1,
+        from_pos: 0,
+        parts: vec![(0, WeightVector::new(vec![])), (3, WeightVector::zeros(0))],
+    };
+    let back = from_bytes::<SacMsg>(&to_bytes(&msg)).unwrap();
+    assert_eq!(back, msg);
+}
+
+#[test]
+fn max_size_share_vector_round_trips() {
+    // A CNN-scale subtotal: ~420k parameters, the largest message the
+    // workspace's experiments actually ship.
+    let dim = 420_000;
+    let value = WeightVector::new((0..dim).map(|i| (i as f64).sin()).collect());
+    let msg = SacMsg::Subtotal {
+        round: 7,
+        idx: 2,
+        value,
+    };
+    let bytes = to_bytes(&msg);
+    assert!(bytes.len() < p2pfl_net::MAX_FRAME);
+    let back = from_bytes::<SacMsg>(&bytes).unwrap();
+    assert_eq!(back, msg);
+}

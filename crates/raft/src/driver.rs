@@ -6,11 +6,11 @@
 //! survive a crash (they are persistent state in Raft), volatile leadership
 //! is lost, and the node rejoins as a follower.
 
-use crate::node::{Effect, NotLeader, RaftConfig, RaftNode};
-use crate::message::RaftMsg;
-use crate::types::{Command, LogCmd, LogIndex, Role, Term};
 use crate::log::Entry;
-use p2pfl_simnet::{Actor, Context, NodeId, SimTime, TimerId};
+use crate::message::RaftMsg;
+use crate::node::{Effect, NotLeader, RaftConfig, RaftNode};
+use crate::types::{Command, LogCmd, LogIndex, Role, Term};
+use p2pfl_simnet::{Actor, NodeId, SimTime, TimerId, Transport};
 
 /// Application state machine fed by committed entries.
 pub trait StateMachine<C>: 'static {
@@ -97,7 +97,7 @@ impl<C: Command, SM: StateMachine<C>> RaftActor<C, SM> {
     /// Proposes an application command on this node (leader only).
     pub fn propose(
         &mut self,
-        ctx: &mut Context<'_, RaftMsg<C>>,
+        ctx: &mut dyn Transport<RaftMsg<C>>,
         cmd: C,
     ) -> Result<LogIndex, NotLeader> {
         let (idx, eff) = self.node.propose(LogCmd::App(cmd))?;
@@ -116,7 +116,7 @@ impl<C: Command, SM: StateMachine<C>> RaftActor<C, SM> {
     /// Proposes a membership change on this node (leader only).
     pub fn propose_config(
         &mut self,
-        ctx: &mut Context<'_, RaftMsg<C>>,
+        ctx: &mut dyn Transport<RaftMsg<C>>,
         cmd: LogCmd<C>,
     ) -> Result<LogIndex, NotLeader> {
         assert!(
@@ -128,7 +128,7 @@ impl<C: Command, SM: StateMachine<C>> RaftActor<C, SM> {
         Ok(idx)
     }
 
-    fn run_effects(&mut self, ctx: &mut Context<'_, RaftMsg<C>>, effects: Vec<Effect<C>>) {
+    fn run_effects(&mut self, ctx: &mut dyn Transport<RaftMsg<C>>, effects: Vec<Effect<C>>) {
         for e in effects {
             match e {
                 Effect::Send(to, msg) => ctx.send(to, msg),
@@ -146,7 +146,10 @@ impl<C: Command, SM: StateMachine<C>> RaftActor<C, SM> {
                 }
                 Effect::Commit(entry) => self.sm.apply(&entry),
                 Effect::BecameLeader(term) => {
-                    self.leadership_history.push(LeadershipEvent { at: ctx.now(), term });
+                    self.leadership_history.push(LeadershipEvent {
+                        at: ctx.now(),
+                        term,
+                    });
                     self.sm.on_became_leader(term);
                 }
                 Effect::SteppedDown(term) => {
@@ -161,17 +164,17 @@ impl<C: Command, SM: StateMachine<C>> RaftActor<C, SM> {
 }
 
 impl<C: Command, SM: StateMachine<C>> Actor<RaftMsg<C>> for RaftActor<C, SM> {
-    fn on_start(&mut self, ctx: &mut Context<'_, RaftMsg<C>>) {
+    fn on_start(&mut self, ctx: &mut dyn Transport<RaftMsg<C>>) {
         let eff = self.node.start();
         self.run_effects(ctx, eff);
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_, RaftMsg<C>>, from: NodeId, msg: RaftMsg<C>) {
+    fn on_message(&mut self, ctx: &mut dyn Transport<RaftMsg<C>>, from: NodeId, msg: RaftMsg<C>) {
         let eff = self.node.handle(from, msg);
         self.run_effects(ctx, eff);
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_, RaftMsg<C>>, tag: u64) {
+    fn on_timer(&mut self, ctx: &mut dyn Transport<RaftMsg<C>>, tag: u64) {
         let eff = match tag {
             TIMER_ELECTION => {
                 self.election_timer = None;
@@ -193,7 +196,7 @@ impl<C: Command, SM: StateMachine<C>> Actor<RaftMsg<C>> for RaftActor<C, SM> {
         self.heartbeat_timer = None;
     }
 
-    fn on_restart(&mut self, ctx: &mut Context<'_, RaftMsg<C>>) {
+    fn on_restart(&mut self, ctx: &mut dyn Transport<RaftMsg<C>>) {
         // Rejoin as a follower: leadership is volatile.
         let eff = self.node.handle_restart();
         self.run_effects(ctx, eff);
@@ -241,8 +244,7 @@ mod tests {
         ids.iter()
             .copied()
             .filter(|&id| {
-                !sim.is_crashed(id)
-                    && sim.actor::<RaftActor<u64, Recorder>>(id).is_leader()
+                !sim.is_crashed(id) && sim.actor::<RaftActor<u64, Recorder>>(id).is_leader()
             })
             .collect()
     }
@@ -267,16 +269,13 @@ mod tests {
         sim.run_until(SimTime::from_secs(2));
         let leader = leaders(&sim, &ids)[0];
         for v in [10u64, 20, 30] {
-            sim.exec::<RaftActor<u64, Recorder>, _, _>(leader, |a, ctx| {
-                a.propose(ctx, v).unwrap()
-            });
+            sim.exec::<RaftActor<u64, Recorder>, _, _>(leader, |a, ctx| a.propose(ctx, v).unwrap());
         }
         sim.run_for(SimDuration::from_secs(1));
         let expect: Vec<u64> = vec![10, 20, 30];
         for &id in &ids {
             let a = sim.actor::<RaftActor<u64, Recorder>>(id);
-            let applied: Vec<u64> =
-                a.sm.applied.iter().filter_map(|(_, v)| *v).collect();
+            let applied: Vec<u64> = a.sm.applied.iter().filter_map(|(_, v)| *v).collect();
             assert_eq!(applied, expect, "node {id}");
         }
     }
@@ -286,9 +285,7 @@ mod tests {
         let (mut sim, ids) = build_cluster(5, 100, 3);
         sim.run_until(SimTime::from_secs(2));
         let old = leaders(&sim, &ids)[0];
-        sim.exec::<RaftActor<u64, Recorder>, _, _>(old, |a, ctx| {
-            a.propose(ctx, 777).unwrap()
-        });
+        sim.exec::<RaftActor<u64, Recorder>, _, _>(old, |a, ctx| a.propose(ctx, 777).unwrap());
         sim.run_for(SimDuration::from_millis(500));
         let crash_at = sim.now() + SimDuration::from_millis(1);
         sim.schedule_crash(old, crash_at);
@@ -310,9 +307,7 @@ mod tests {
         let t = sim.now();
         sim.schedule_crash(victim, t + SimDuration::from_millis(1));
         sim.run_for(SimDuration::from_millis(100));
-        sim.exec::<RaftActor<u64, Recorder>, _, _>(leader, |a, ctx| {
-            a.propose(ctx, 42).unwrap()
-        });
+        sim.exec::<RaftActor<u64, Recorder>, _, _>(leader, |a, ctx| a.propose(ctx, 42).unwrap());
         sim.run_for(SimDuration::from_millis(500));
         let t = sim.now();
         sim.schedule_restart(victim, t + SimDuration::from_millis(1));
@@ -345,7 +340,11 @@ mod tests {
         });
         sim.run_for(SimDuration::from_secs(1));
         let a = sim.actor::<RaftActor<u64, Recorder>>(leader);
-        assert_eq!(a.raft().commit_index(), before, "isolated leader must not commit");
+        assert_eq!(
+            a.raft().commit_index(),
+            before,
+            "isolated leader must not commit"
+        );
         // Meanwhile the majority side elected a new leader.
         let others: Vec<NodeId> = ids.iter().copied().filter(|&i| i != leader).collect();
         let new_leaders = leaders(&sim, &others);

@@ -3,7 +3,7 @@
 use crate::types::{Command, LogCmd, LogIndex, Term};
 
 /// One log entry.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Entry<C> {
     /// Term in which the entry was created.
     pub term: Term,
@@ -37,12 +37,20 @@ pub struct RaftLog<C> {
 impl<C: Command> RaftLog<C> {
     /// An empty log.
     pub fn new() -> Self {
-        RaftLog { entries: Vec::new(), snapshot_index: 0, snapshot_term: 0 }
+        RaftLog {
+            entries: Vec::new(),
+            snapshot_index: 0,
+            snapshot_term: 0,
+        }
     }
 
     /// A log that starts from an installed snapshot.
     pub fn from_snapshot(snapshot_index: LogIndex, snapshot_term: Term) -> Self {
-        RaftLog { entries: Vec::new(), snapshot_index, snapshot_term }
+        RaftLog {
+            entries: Vec::new(),
+            snapshot_index,
+            snapshot_term,
+        }
     }
 
     /// Index covered by the compacted prefix (0 = nothing compacted).
@@ -83,12 +91,17 @@ impl<C: Command> RaftLog<C> {
     /// compacted prefix* (whose terms are gone).
     pub fn term_at(&self, index: LogIndex) -> Option<Term> {
         if index == 0 {
-            return if self.snapshot_index == 0 { Some(0) } else { None };
+            return if self.snapshot_index == 0 {
+                Some(0)
+            } else {
+                None
+            };
         }
         if index == self.snapshot_index {
             return Some(self.snapshot_term);
         }
-        self.slot(index).and_then(|s| self.entries.get(s).map(|e| e.term))
+        self.slot(index)
+            .and_then(|s| self.entries.get(s).map(|e| e.term))
     }
 
     /// The entry at `index`, if present (compacted entries are gone).
@@ -119,8 +132,12 @@ impl<C: Command> RaftLog<C> {
     /// (hence snapshotted) entries can never conflict.
     pub fn truncate_from(&mut self, from: LogIndex) {
         assert!(from >= 1, "cannot truncate index 0");
-        assert!(from > self.snapshot_index, "cannot truncate the compacted prefix");
-        self.entries.truncate((from - self.snapshot_index) as usize - 1);
+        assert!(
+            from > self.snapshot_index,
+            "cannot truncate the compacted prefix"
+        );
+        self.entries
+            .truncate((from - self.snapshot_index) as usize - 1);
     }
 
     /// All entries with `index >= from`, cloned for shipping. Panics if
@@ -234,14 +251,26 @@ mod tests {
     #[should_panic(expected = "log gap")]
     fn append_entry_rejects_gaps() {
         let mut l: RaftLog<u64> = RaftLog::new();
-        l.append_entry(Entry { term: 1, index: 5, cmd: LogCmd::Noop });
+        l.append_entry(Entry {
+            term: 1,
+            index: 5,
+            cmd: LogCmd::Noop,
+        });
     }
 
     #[test]
     fn wire_bytes_by_kind() {
-        let e = Entry { term: 1, index: 1, cmd: LogCmd::App(9u64) };
+        let e = Entry {
+            term: 1,
+            index: 1,
+            cmd: LogCmd::App(9u64),
+        };
         assert_eq!(e.wire_bytes(), 24);
-        let n: Entry<u64> = Entry { term: 1, index: 1, cmd: LogCmd::Noop };
+        let n: Entry<u64> = Entry {
+            term: 1,
+            index: 1,
+            cmd: LogCmd::Noop,
+        };
         assert_eq!(n.wire_bytes(), 16);
     }
 }

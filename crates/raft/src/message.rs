@@ -8,7 +8,7 @@ use p2pfl_simnet::{NodeId, Payload};
 /// Pre-Vote probe (Raft dissertation §9.6) that prevents a rejoining
 /// peer with a stale log from disrupting a healthy cluster by inflating
 /// terms.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum RaftMsg<C> {
     /// A would-be candidate probes whether an election could succeed,
     /// without incrementing any term.
@@ -144,7 +144,11 @@ mod tests {
             leader: NodeId(0),
             prev_log_index: 0,
             prev_log_term: 0,
-            entries: vec![Entry { term: 1, index: 1, cmd: LogCmd::App(1) }],
+            entries: vec![Entry {
+                term: 1,
+                index: 1,
+                cmd: LogCmd::App(1),
+            }],
             leader_commit: 0,
         };
         assert_eq!(ae.kind(), "raft.append_entries");

@@ -268,7 +268,9 @@ impl<C: Command> RaftNode<C> {
     /// log index and the replication effects.
     pub fn propose(&mut self, cmd: LogCmd<C>) -> Result<(LogIndex, Vec<Effect<C>>), NotLeader> {
         if self.role != Role::Leader {
-            return Err(NotLeader { leader_hint: self.leader_hint });
+            return Err(NotLeader {
+                leader_hint: self.leader_hint,
+            });
         }
         let index = self.log.append(self.current_term, cmd);
         let mut eff = Vec::new();
@@ -284,13 +286,19 @@ impl<C: Command> RaftNode<C> {
     /// Handles an incoming RPC from `from`.
     pub fn handle(&mut self, from: NodeId, msg: RaftMsg<C>) -> Vec<Effect<C>> {
         match msg {
-            RaftMsg::PreVote { term, candidate, last_log_index, last_log_term } => {
-                self.on_pre_vote(from, term, candidate, last_log_index, last_log_term)
-            }
+            RaftMsg::PreVote {
+                term,
+                candidate,
+                last_log_index,
+                last_log_term,
+            } => self.on_pre_vote(from, term, candidate, last_log_index, last_log_term),
             RaftMsg::PreVoteResp { term, granted } => self.on_pre_vote_resp(from, term, granted),
-            RaftMsg::RequestVote { term, candidate, last_log_index, last_log_term } => {
-                self.on_request_vote(from, term, candidate, last_log_index, last_log_term)
-            }
+            RaftMsg::RequestVote {
+                term,
+                candidate,
+                last_log_index,
+                last_log_term,
+            } => self.on_request_vote(from, term, candidate, last_log_index, last_log_term),
             RaftMsg::RequestVoteResp { term, granted } => {
                 self.on_request_vote_resp(from, term, granted)
             }
@@ -309,12 +317,19 @@ impl<C: Command> RaftNode<C> {
                 entries,
                 leader_commit,
             ),
-            RaftMsg::InstallSnapshot { term, leader, last_index, last_term, cluster, data } => {
-                self.on_install_snapshot(term, leader, last_index, last_term, cluster, data)
-            }
-            RaftMsg::AppendEntriesResp { term, success, match_index } => {
-                self.on_append_entries_resp(from, term, success, match_index)
-            }
+            RaftMsg::InstallSnapshot {
+                term,
+                leader,
+                last_index,
+                last_term,
+                cluster,
+                data,
+            } => self.on_install_snapshot(term, leader, last_index, last_term, cluster, data),
+            RaftMsg::AppendEntriesResp {
+                term,
+                success,
+                match_index,
+            } => self.on_append_entries_resp(from, term, success, match_index),
         }
     }
 
@@ -325,7 +340,11 @@ impl<C: Command> RaftNode<C> {
     fn sample_timeout(&mut self) -> SimDuration {
         let lo = self.cfg.election_timeout_min.as_nanos();
         let hi = self.cfg.election_timeout_max.as_nanos();
-        SimDuration::from_nanos(if lo == hi { lo } else { self.rng.random_range(lo..=hi) })
+        SimDuration::from_nanos(if lo == hi {
+            lo
+        } else {
+            self.rng.random_range(lo..=hi)
+        })
     }
 
     fn start_pre_vote(&mut self) -> Vec<Effect<C>> {
@@ -362,7 +381,9 @@ impl<C: Command> RaftNode<C> {
         // Grant iff the prober's proposed term is not behind ours and its
         // log is at least as up-to-date; granting changes no local state.
         let granted = term >= self.current_term
-            && self.log.candidate_is_up_to_date(last_log_term, last_log_index);
+            && self
+                .log
+                .candidate_is_up_to_date(last_log_term, last_log_index);
         vec![Effect::Send(from, RaftMsg::PreVoteResp { term, granted })]
     }
 
@@ -460,7 +481,9 @@ impl<C: Command> RaftNode<C> {
         if term > self.current_term {
             eff.extend(self.step_down(term));
         }
-        let up_to_date = self.log.candidate_is_up_to_date(last_log_term, last_log_index);
+        let up_to_date = self
+            .log
+            .candidate_is_up_to_date(last_log_term, last_log_index);
         let grant = term == self.current_term
             && up_to_date
             && (self.voted_for.is_none() || self.voted_for == Some(candidate));
@@ -472,7 +495,10 @@ impl<C: Command> RaftNode<C> {
         }
         eff.push(Effect::Send(
             from,
-            RaftMsg::RequestVoteResp { term: self.current_term, granted: grant },
+            RaftMsg::RequestVoteResp {
+                term: self.current_term,
+                granted: grant,
+            },
         ));
         eff
     }
@@ -500,8 +526,10 @@ impl<C: Command> RaftNode<C> {
         let next = self.next_index.get(&peer).copied().unwrap_or(1);
         if self.log.is_compacted(next) {
             // The entries this follower needs are gone: ship the snapshot.
-            let (last_index, last_term, cluster, data) =
-                self.snapshot.clone().expect("compacted log implies a snapshot");
+            let (last_index, last_term, cluster, data) = self
+                .snapshot
+                .clone()
+                .expect("compacted log implies a snapshot");
             return RaftMsg::InstallSnapshot {
                 term: self.current_term,
                 leader: self.cfg.id,
@@ -579,8 +607,12 @@ impl<C: Command> RaftNode<C> {
     }
 
     fn broadcast_append_entries(&mut self) -> Vec<Effect<C>> {
-        let peers: Vec<NodeId> =
-            self.cluster.iter().copied().filter(|&p| p != self.cfg.id).collect();
+        let peers: Vec<NodeId> = self
+            .cluster
+            .iter()
+            .copied()
+            .filter(|&p| p != self.cfg.id)
+            .collect();
         peers
             .into_iter()
             .map(|p| Effect::Send(p, self.append_entries_for(p)))
@@ -658,7 +690,11 @@ impl<C: Command> RaftNode<C> {
         }
         eff.push(Effect::Send(
             leader,
-            RaftMsg::AppendEntriesResp { term: self.current_term, success: true, match_index },
+            RaftMsg::AppendEntriesResp {
+                term: self.current_term,
+                success: true,
+                match_index,
+            },
         ));
         eff
     }
@@ -706,8 +742,7 @@ impl<C: Command> RaftNode<C> {
             if self.log.term_at(n) == Some(self.current_term) {
                 let mut count = 1; // self
                 for &peer in &self.cluster {
-                    if peer != self.cfg.id
-                        && self.match_index.get(&peer).copied().unwrap_or(0) >= n
+                    if peer != self.cfg.id && self.match_index.get(&peer).copied().unwrap_or(0) >= n
                     {
                         count += 1;
                     }
@@ -799,7 +834,10 @@ mod tests {
     }
 
     fn sends<C: Command>(effects: &[Effect<C>]) -> usize {
-        effects.iter().filter(|e| matches!(e, Effect::Send(..))).count()
+        effects
+            .iter()
+            .filter(|e| matches!(e, Effect::Send(..)))
+            .count()
     }
 
     /// Drives the two-phase (pre-vote, then vote) election of `node` with
@@ -807,10 +845,26 @@ mod tests {
     fn elect(node: &mut RaftNode<u64>, granter: NodeId) {
         node.on_election_timeout();
         let proposed = node.term() + 1;
-        node.handle(granter, RaftMsg::PreVoteResp { term: proposed, granted: true });
-        assert_eq!(node.role(), Role::Candidate, "pre-vote majority must campaign");
+        node.handle(
+            granter,
+            RaftMsg::PreVoteResp {
+                term: proposed,
+                granted: true,
+            },
+        );
+        assert_eq!(
+            node.role(),
+            Role::Candidate,
+            "pre-vote majority must campaign"
+        );
         let term = node.term();
-        node.handle(granter, RaftMsg::RequestVoteResp { term, granted: true });
+        node.handle(
+            granter,
+            RaftMsg::RequestVoteResp {
+                term,
+                granted: true,
+            },
+        );
         assert!(node.is_leader());
     }
 
@@ -833,12 +887,24 @@ mod tests {
         assert_eq!(a.term(), 0, "pre-vote must not bump the term");
         assert_eq!(sends(&eff), 2, "pre-vote probes to both peers");
         // Phase 2: one pre-vote grant = majority -> real candidacy.
-        let eff = a.handle(n(1), RaftMsg::PreVoteResp { term: 1, granted: true });
+        let eff = a.handle(
+            n(1),
+            RaftMsg::PreVoteResp {
+                term: 1,
+                granted: true,
+            },
+        );
         assert_eq!(a.role(), Role::Candidate);
         assert_eq!(a.term(), 1);
         assert_eq!(sends(&eff), 2, "vote requests to both peers");
         // Phase 3: one real grant = 2 of 3 votes -> leader.
-        let eff = a.handle(n(1), RaftMsg::RequestVoteResp { term: 1, granted: true });
+        let eff = a.handle(
+            n(1),
+            RaftMsg::RequestVoteResp {
+                term: 1,
+                granted: true,
+            },
+        );
         assert!(a.is_leader());
         assert!(eff.iter().any(|e| matches!(e, Effect::BecameLeader(1))));
     }
@@ -850,7 +916,12 @@ mod tests {
         voter.current_term = 1;
         let eff = voter.handle(
             n(0),
-            RaftMsg::PreVote { term: 2, candidate: n(0), last_log_index: 0, last_log_term: 0 },
+            RaftMsg::PreVote {
+                term: 2,
+                candidate: n(0),
+                last_log_index: 0,
+                last_log_term: 0,
+            },
         );
         assert!(eff.iter().any(|e| matches!(
             e,
@@ -866,7 +937,12 @@ mod tests {
         let mut voter: RaftNode<u64> = RaftNode::new(cfg(2, &[0, 1, 2]));
         let eff = voter.handle(
             n(0),
-            RaftMsg::PreVote { term: 1, candidate: n(0), last_log_index: 0, last_log_term: 0 },
+            RaftMsg::PreVote {
+                term: 1,
+                candidate: n(0),
+                last_log_index: 0,
+                last_log_term: 0,
+            },
         );
         assert!(eff.iter().any(|e| matches!(
             e,
@@ -883,10 +959,18 @@ mod tests {
         voter.current_term = 1;
         let eff = voter.handle(
             n(0),
-            RaftMsg::RequestVote { term: 2, candidate: n(0), last_log_index: 0, last_log_term: 0 },
+            RaftMsg::RequestVote {
+                term: 2,
+                candidate: n(0),
+                last_log_index: 0,
+                last_log_term: 0,
+            },
         );
         let granted = eff.iter().any(|e| {
-            matches!(e, Effect::Send(_, RaftMsg::RequestVoteResp { granted: true, .. }))
+            matches!(
+                e,
+                Effect::Send(_, RaftMsg::RequestVoteResp { granted: true, .. })
+            )
         });
         assert!(!granted, "stale candidate must not win the vote");
     }
@@ -896,7 +980,12 @@ mod tests {
         let mut voter: RaftNode<u64> = RaftNode::new(cfg(2, &[0, 1, 2]));
         let e1 = voter.handle(
             n(0),
-            RaftMsg::RequestVote { term: 1, candidate: n(0), last_log_index: 0, last_log_term: 0 },
+            RaftMsg::RequestVote {
+                term: 1,
+                candidate: n(0),
+                last_log_index: 0,
+                last_log_term: 0,
+            },
         );
         assert!(e1.iter().any(|e| matches!(
             e,
@@ -904,7 +993,12 @@ mod tests {
         )));
         let e2 = voter.handle(
             n(1),
-            RaftMsg::RequestVote { term: 1, candidate: n(1), last_log_index: 0, last_log_term: 0 },
+            RaftMsg::RequestVote {
+                term: 1,
+                candidate: n(1),
+                last_log_index: 0,
+                last_log_term: 0,
+            },
         );
         assert!(e2.iter().any(|e| matches!(
             e,
@@ -947,13 +1041,24 @@ mod tests {
                 leader: n(0),
                 prev_log_index: 1,
                 prev_log_term: 1,
-                entries: vec![Entry { term: 2, index: 2, cmd: LogCmd::App(99) }],
+                entries: vec![Entry {
+                    term: 2,
+                    index: 2,
+                    cmd: LogCmd::App(99),
+                }],
                 leader_commit: 0,
             },
         );
         assert!(eff.iter().any(|e| matches!(
             e,
-            Effect::Send(_, RaftMsg::AppendEntriesResp { success: true, match_index: 2, .. })
+            Effect::Send(
+                _,
+                RaftMsg::AppendEntriesResp {
+                    success: true,
+                    match_index: 2,
+                    ..
+                }
+            )
         )));
         // Conflicting entry replaced.
         assert_eq!(f.log.get(2).unwrap().cmd, LogCmd::App(99));
@@ -970,7 +1075,11 @@ mod tests {
         assert_eq!(leader.commit_index(), 0, "nothing acked yet");
         let eff = leader.handle(
             n(1),
-            RaftMsg::AppendEntriesResp { term: 1, success: true, match_index: 2 },
+            RaftMsg::AppendEntriesResp {
+                term: 1,
+                success: true,
+                match_index: 2,
+            },
         );
         assert_eq!(leader.commit_index(), 2);
         let commits: Vec<_> = eff
@@ -1027,7 +1136,9 @@ mod tests {
         elect(&mut leader, n(1));
         let (_, eff) = leader.propose(LogCmd::AddServer(n(3))).unwrap();
         assert!(leader.cluster().contains(&n(3)));
-        assert!(eff.iter().any(|e| matches!(e, Effect::ConfigChanged(c) if c.contains(&n(3)))));
+        assert!(eff
+            .iter()
+            .any(|e| matches!(e, Effect::ConfigChanged(c) if c.contains(&n(3)))));
         // Replication now reaches the new server too.
         assert!(eff
             .iter()
@@ -1045,8 +1156,16 @@ mod tests {
                 prev_log_index: 0,
                 prev_log_term: 0,
                 entries: vec![
-                    Entry { term: 1, index: 1, cmd: LogCmd::Noop },
-                    Entry { term: 1, index: 2, cmd: LogCmd::AddServer(n(7)) },
+                    Entry {
+                        term: 1,
+                        index: 1,
+                        cmd: LogCmd::Noop,
+                    },
+                    Entry {
+                        term: 1,
+                        index: 2,
+                        cmd: LogCmd::AddServer(n(7)),
+                    },
                 ],
                 leader_commit: 0,
             },
@@ -1080,12 +1199,24 @@ mod tests {
     fn candidate_restarts_election_on_timeout() {
         let mut c: RaftNode<u64> = RaftNode::new(cfg(0, &[0, 1, 2]));
         c.on_election_timeout();
-        c.handle(n(1), RaftMsg::PreVoteResp { term: 1, granted: true });
+        c.handle(
+            n(1),
+            RaftMsg::PreVoteResp {
+                term: 1,
+                granted: true,
+            },
+        );
         assert_eq!(c.term(), 1);
         assert_eq!(c.role(), Role::Candidate);
         // Split vote: the next timeout re-probes, then campaigns again.
         c.on_election_timeout();
-        c.handle(n(2), RaftMsg::PreVoteResp { term: 2, granted: true });
+        c.handle(
+            n(2),
+            RaftMsg::PreVoteResp {
+                term: 2,
+                granted: true,
+            },
+        );
         assert_eq!(c.term(), 2);
         assert_eq!(c.role(), Role::Candidate);
     }
@@ -1095,7 +1226,13 @@ mod tests {
         let mut c: RaftNode<u64> = RaftNode::new(cfg(0, &[0, 1, 2]));
         c.on_election_timeout();
         // A response for a long-gone probe term must not trigger anything.
-        c.handle(n(1), RaftMsg::PreVoteResp { term: 99, granted: true });
+        c.handle(
+            n(1),
+            RaftMsg::PreVoteResp {
+                term: 99,
+                granted: true,
+            },
+        );
         assert_eq!(c.role(), Role::Follower);
         assert_eq!(c.term(), 0);
     }

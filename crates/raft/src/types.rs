@@ -33,7 +33,7 @@ impl fmt::Display for Role {
 /// Commands the replicated log can carry: an application command or a
 /// single-server membership change (Raft's cluster membership change
 /// protocol, used when a new subgroup leader joins the FedAvg layer).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum LogCmd<C> {
     /// No-op committed by a fresh leader to finalize prior-term entries.
     Noop,

@@ -15,7 +15,12 @@ fn run_scenario(pre_vote: bool, seed: u64) -> (u64, u64) {
     let mut sim: Sim<RaftMsg<u64>> = Sim::new(seed);
     let ids: Vec<NodeId> = (0..3).map(NodeId).collect();
     for &id in &ids {
-        let mut cfg = RaftConfig::paper(id, ids.clone(), SimDuration::from_millis(100), seed + id.0 as u64);
+        let mut cfg = RaftConfig::paper(
+            id,
+            ids.clone(),
+            SimDuration::from_millis(100),
+            seed + id.0 as u64,
+        );
         cfg.pre_vote = pre_vote;
         sim.add_node(RaftActor::new(cfg, NullStateMachine));
     }
@@ -41,7 +46,10 @@ fn run_scenario(pre_vote: bool, seed: u64) -> (u64, u64) {
     // restart, but let it reach the other follower (whose vote it will
     // solicit). This models the flaky-link rejoin that plagues real
     // clusters.
-    let other = *ids.iter().find(|&&id| id != leader && id != victim).unwrap();
+    let other = *ids
+        .iter()
+        .find(|&&id| id != leader && id != victim)
+        .unwrap();
     sim.partition_pair(victim, leader);
     let at = sim.now() + SimDuration::from_millis(1);
     sim.schedule_restart(victim, at);
@@ -60,7 +68,10 @@ fn pre_vote_prevents_term_inflation_by_stale_rejoiner() {
             inflation, 0,
             "seed {seed}: pre-vote must block the stale campaigner entirely"
         );
-        assert_eq!(step_downs, 0, "seed {seed}: the healthy leader must never step down");
+        assert_eq!(
+            step_downs, 0,
+            "seed {seed}: the healthy leader must never step down"
+        );
     }
 }
 

@@ -100,10 +100,19 @@ fn lagging_follower_catches_up_via_install_snapshot() {
     let ids: Vec<NodeId> = (0..3).map(NodeId).collect();
     for &id in &ids {
         let cfg = RaftConfig::paper(id, ids.clone(), SimDuration::from_millis(100), id.0 as u64);
-        sim.add_node(RaftActor::new(cfg, Summer { sum: 0, restored: false }));
+        sim.add_node(RaftActor::new(
+            cfg,
+            Summer {
+                sum: 0,
+                restored: false,
+            },
+        ));
     }
     sim.run_until(SimTime::from_secs(2));
-    let leader = *ids.iter().find(|&&id| sim.actor::<Node>(id).is_leader()).unwrap();
+    let leader = *ids
+        .iter()
+        .find(|&&id| sim.actor::<Node>(id).is_leader())
+        .unwrap();
     let victim = *ids.iter().find(|&&id| id != leader).unwrap();
 
     // The victim sleeps through a burst of commits...
@@ -122,6 +131,11 @@ fn lagging_follower_catches_up_via_install_snapshot() {
     let dropped = sim.exec::<Node, _, _>(leader, |a, _| a.compact_log());
     assert!(dropped >= 20, "compaction dropped {dropped} entries");
     assert!(sim.actor::<Node>(leader).raft().log().live_entries() < 3);
+
+    // Let the in-flight pre-compaction AppendEntries drain while the victim
+    // is still down: a heartbeat carrying the burst entries could otherwise
+    // race the restart and catch the victim up without the snapshot.
+    sim.run_for(SimDuration::from_millis(500));
 
     // The victim returns: the entries it needs no longer exist, so the
     // leader must ship the snapshot.
@@ -150,10 +164,19 @@ fn compaction_keeps_memory_bounded_over_many_rounds() {
     let ids: Vec<NodeId> = (0..3).map(NodeId).collect();
     for &id in &ids {
         let cfg = RaftConfig::paper(id, ids.clone(), SimDuration::from_millis(100), id.0 as u64);
-        sim.add_node(RaftActor::new(cfg, Summer { sum: 0, restored: false }));
+        sim.add_node(RaftActor::new(
+            cfg,
+            Summer {
+                sum: 0,
+                restored: false,
+            },
+        ));
     }
     sim.run_until(SimTime::from_secs(2));
-    let leader = *ids.iter().find(|&&id| sim.actor::<Node>(id).is_leader()).unwrap();
+    let leader = *ids
+        .iter()
+        .find(|&&id| sim.actor::<Node>(id).is_leader())
+        .unwrap();
     // Periodic commit + compact on every node, as a long-lived deployment
     // would run it.
     for burst in 0..10u64 {
@@ -171,7 +194,10 @@ fn compaction_keeps_memory_bounded_over_many_rounds() {
     sim.run_for(SimDuration::from_secs(1));
     for &id in &ids {
         let live = sim.actor::<Node>(id).raft().log().live_entries();
-        assert!(live <= 15, "node {id} holds {live} live entries after compaction");
+        assert!(
+            live <= 15,
+            "node {id} holds {live} live entries after compaction"
+        );
     }
     // And all state machines agree.
     let expect: u64 = (0..100u64).sum();

@@ -21,7 +21,7 @@ use crate::weights::WeightVector;
 use rand::Rng;
 
 /// How shares are constructed by [`divide`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum ShareScheme {
     /// The paper's Alg. 1: random convex scaling of the whole vector.
     Scaled,
@@ -39,7 +39,11 @@ pub const DEFAULT_MASK_BOUND: f64 = 1e3;
 /// are normalized positive random numbers summing to 1.
 ///
 /// Panics if `n == 0`.
-pub fn divide_scaled<R: Rng + ?Sized>(w: &WeightVector, n: usize, rng: &mut R) -> Vec<WeightVector> {
+pub fn divide_scaled<R: Rng + ?Sized>(
+    w: &WeightVector,
+    n: usize,
+    rng: &mut R,
+) -> Vec<WeightVector> {
     assert!(n > 0, "cannot split into zero shares");
     // Draw strictly positive random numbers so the normalizer can't be 0.
     let rn: Vec<f64> = (0..n).map(|_| rng.random_range(0.05..1.0)).collect();
@@ -51,7 +55,11 @@ pub fn divide_scaled<R: Rng + ?Sized>(w: &WeightVector, n: usize, rng: &mut R) -
 /// share, summing exactly to `w`.
 ///
 /// Panics if `n == 0`.
-pub fn divide_masked<R: Rng + ?Sized>(w: &WeightVector, n: usize, rng: &mut R) -> Vec<WeightVector> {
+pub fn divide_masked<R: Rng + ?Sized>(
+    w: &WeightVector,
+    n: usize,
+    rng: &mut R,
+) -> Vec<WeightVector> {
     divide_masked_with_bound(w, n, DEFAULT_MASK_BOUND, rng)
 }
 
@@ -143,7 +151,10 @@ mod tests {
         let shares = divide_masked(&w, 5, &mut rng);
         // Non-final shares are pure noise with std ~ bound/sqrt(3).
         let rms = (shares[0].iter().map(|x| x * x).sum::<f64>() / 1000.0).sqrt();
-        assert!(rms > DEFAULT_MASK_BOUND * 0.4, "rms {rms} too small for noise");
+        assert!(
+            rms > DEFAULT_MASK_BOUND * 0.4,
+            "rms {rms} too small for noise"
+        );
     }
 
     #[test]

@@ -82,7 +82,11 @@ mod tests {
 
     #[test]
     fn sigma_matches_closed_form() {
-        let dp = GaussianDp { epsilon: 1.0, delta: 1e-5, sensitivity: 1.0 };
+        let dp = GaussianDp {
+            epsilon: 1.0,
+            delta: 1e-5,
+            sensitivity: 1.0,
+        };
         let expected = (2.0f64 * (1.25f64 / 1e-5).ln()).sqrt();
         assert!((dp.sigma() - expected).abs() < 1e-12);
         // Tighter epsilon => more noise.
@@ -146,6 +150,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "epsilon")]
     fn rejects_large_epsilon() {
-        let _ = GaussianDp { epsilon: 2.0, delta: 1e-5, sensitivity: 1.0 }.sigma();
+        let _ = GaussianDp {
+            epsilon: 2.0,
+            delta: 1e-5,
+            sensitivity: 1.0,
+        }
+        .sigma();
     }
 }

@@ -26,13 +26,13 @@
 use crate::divide::{divide, ShareScheme};
 use crate::replicated::{assigned_partitions, holders};
 use crate::weights::WeightVector;
-use p2pfl_simnet::{Actor, Context, NodeId, Payload, SimDuration};
+use p2pfl_simnet::{Actor, NodeId, Payload, SimDuration, Transport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Messages exchanged by the SAC engine.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum SacMsg {
     /// Leader tells followers to begin round `round` (the trigger the
     /// FedAvg layer sends down in the full system).
@@ -202,7 +202,7 @@ impl SacPeerActor {
 
     /// Leader entry point: begins round `round`, instructing followers and
     /// distributing this peer's own shares.
-    pub fn start_round(&mut self, ctx: &mut Context<'_, SacMsg>, round: u64) {
+    pub fn start_round(&mut self, ctx: &mut dyn Transport<SacMsg>, round: u64) {
         assert!(self.cfg.is_leader(), "only the leader starts rounds");
         self.reset_for(round);
         let group = self.cfg.group.clone();
@@ -231,7 +231,7 @@ impl SacPeerActor {
         self.pending_requests.clear();
     }
 
-    fn distribute_shares(&mut self, ctx: &mut Context<'_, SacMsg>) {
+    fn distribute_shares(&mut self, ctx: &mut dyn Transport<SacMsg>) {
         let n = self.cfg.n();
         let parts = divide(&self.model, n, self.cfg.scheme, &mut self.rng);
         for (j, &peer) in self.cfg.group.clone().iter().enumerate() {
@@ -263,7 +263,7 @@ impl SacPeerActor {
         self.blocks.keys().copied().collect()
     }
 
-    fn freeze_and_request_subtotals(&mut self, ctx: &mut Context<'_, SacMsg>) {
+    fn freeze_and_request_subtotals(&mut self, ctx: &mut dyn Transport<SacMsg>) {
         let contributors = self.received_from();
         if contributors.is_empty() {
             self.phase = SacPhase::Failed("no contributors".into());
@@ -332,14 +332,13 @@ impl SacPeerActor {
     /// the primary subtotal as soon as it becomes computable (share blocks
     /// can arrive *after* `ComputeOver` on slow links), and answer any
     /// recovery requests that were waiting on missing partitions.
-    fn follower_progress(&mut self, ctx: &mut Context<'_, SacMsg>) {
+    fn follower_progress(&mut self, ctx: &mut dyn Transport<SacMsg>) {
         if self.frozen.is_none() {
             return;
         }
         self.compute_own_subtotals();
         if !self.cfg.is_leader() && !self.sent_primary {
-            let leader_block =
-                assigned_partitions(self.cfg.n(), self.cfg.k, self.cfg.leader_pos);
+            let leader_block = assigned_partitions(self.cfg.n(), self.cfg.k, self.cfg.leader_pos);
             if !leader_block.contains(&self.cfg.position) {
                 if let Some(s) = self.subtotals.get(&self.cfg.position).cloned() {
                     self.sent_primary = true;
@@ -357,14 +356,21 @@ impl SacPeerActor {
         let pending = std::mem::take(&mut self.pending_requests);
         for (idx, from) in pending {
             if let Some(s) = self.subtotal_over_frozen(idx) {
-                ctx.send(from, SacMsg::Subtotal { round: self.round, idx, value: s });
+                ctx.send(
+                    from,
+                    SacMsg::Subtotal {
+                        round: self.round,
+                        idx,
+                        value: s,
+                    },
+                );
             } else {
                 self.pending_requests.push((idx, from));
             }
         }
     }
 
-    fn request_missing(&mut self, ctx: &mut Context<'_, SacMsg>) {
+    fn request_missing(&mut self, ctx: &mut dyn Transport<SacMsg>) {
         let n = self.cfg.n();
         let missing: Vec<usize> = (0..n).filter(|p| !self.subtotals.contains_key(p)).collect();
         if missing.is_empty() {
@@ -383,7 +389,13 @@ impl SacPeerActor {
             for h in holders(n, self.cfg.k, p) {
                 if h != self.cfg.position && h != p {
                     let peer = self.cfg.group[h];
-                    ctx.send(peer, SacMsg::SubtotalRequest { round: self.round, idx: p });
+                    ctx.send(
+                        peer,
+                        SacMsg::SubtotalRequest {
+                            round: self.round,
+                            idx: p,
+                        },
+                    );
                 }
             }
             self.recoveries += 1;
@@ -393,7 +405,7 @@ impl SacPeerActor {
 }
 
 impl Actor<SacMsg> for SacPeerActor {
-    fn on_message(&mut self, ctx: &mut Context<'_, SacMsg>, from: NodeId, msg: SacMsg) {
+    fn on_message(&mut self, ctx: &mut dyn Transport<SacMsg>, from: NodeId, msg: SacMsg) {
         match msg {
             SacMsg::Begin { round } => {
                 if self.cfg.is_leader() {
@@ -403,7 +415,11 @@ impl Actor<SacMsg> for SacPeerActor {
                 self.distribute_shares(ctx);
                 self.phase = SacPhase::Sharing;
             }
-            SacMsg::ShareBlock { round, from_pos, parts } => {
+            SacMsg::ShareBlock {
+                round,
+                from_pos,
+                parts,
+            } => {
                 if round != self.round {
                     return;
                 }
@@ -412,8 +428,7 @@ impl Actor<SacMsg> for SacPeerActor {
                     entry.insert(p, v);
                 }
                 if self.cfg.is_leader() {
-                    if self.phase == SacPhase::Sharing
-                        && self.received_from().len() == self.cfg.n()
+                    if self.phase == SacPhase::Sharing && self.received_from().len() == self.cfg.n()
                     {
                         self.freeze_and_request_subtotals(ctx);
                     }
@@ -421,7 +436,10 @@ impl Actor<SacMsg> for SacPeerActor {
                     self.follower_progress(ctx);
                 }
             }
-            SacMsg::ComputeOver { round, contributors } => {
+            SacMsg::ComputeOver {
+                round,
+                contributors,
+            } => {
                 if round != self.round || self.cfg.is_leader() {
                     return;
                 }
@@ -445,7 +463,14 @@ impl Actor<SacMsg> for SacPeerActor {
                     return;
                 }
                 if let Some(s) = self.subtotal_over_frozen(idx) {
-                    ctx.send(from, SacMsg::Subtotal { round: self.round, idx, value: s });
+                    ctx.send(
+                        from,
+                        SacMsg::Subtotal {
+                            round: self.round,
+                            idx,
+                            value: s,
+                        },
+                    );
                 } else {
                     // Can't serve yet (missing partitions); answer when the
                     // missing blocks arrive.
@@ -455,7 +480,7 @@ impl Actor<SacMsg> for SacPeerActor {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_, SacMsg>, tag: u64) {
+    fn on_timer(&mut self, ctx: &mut dyn Transport<SacMsg>, tag: u64) {
         match tag {
             TIMER_SHARE_DEADLINE if self.cfg.is_leader() && self.phase == SacPhase::Sharing => {
                 self.freeze_and_request_subtotals(ctx);
@@ -576,7 +601,12 @@ mod tests {
     #[test]
     fn begin_aimed_at_leader_is_ignored() {
         let (mut sim, ids, _) = build(3, 2, 4, 42);
-        sim.inject(ids[1], ids[0], SacMsg::Begin { round: 5 }, SimDuration::from_millis(1));
+        sim.inject(
+            ids[1],
+            ids[0],
+            SacMsg::Begin { round: 5 },
+            SimDuration::from_millis(1),
+        );
         sim.run_until(SimTime::from_millis(50));
         assert_eq!(sim.actor::<SacPeerActor>(ids[0]).phase, SacPhase::Idle);
     }
@@ -589,7 +619,11 @@ mod tests {
         sim.inject(
             ids[1],
             ids[0],
-            SacMsg::Subtotal { round: 2, idx: 0, value: WeightVector::zeros(4) },
+            SacMsg::Subtotal {
+                round: 2,
+                idx: 0,
+                value: WeightVector::zeros(4),
+            },
             SimDuration::from_millis(1),
         );
         sim.run_until(SimTime::from_secs(2));

@@ -103,10 +103,7 @@ pub fn reconstruct_sum(shares_per_peer: &[Vec<RingShare>]) -> WeightVector {
 }
 
 /// Exact SAC over the ring: returns the average of `models`.
-pub fn secure_average_exact<R: Rng + ?Sized>(
-    models: &[WeightVector],
-    rng: &mut R,
-) -> WeightVector {
+pub fn secure_average_exact<R: Rng + ?Sized>(models: &[WeightVector], rng: &mut R) -> WeightVector {
     let n = models.len();
     assert!(n > 0, "SAC requires at least one peer");
     let all: Vec<Vec<RingShare>> = models.iter().map(|m| divide_ring(m, n, rng)).collect();

@@ -227,7 +227,9 @@ mod tests {
 
     fn models(n: usize, dim: usize, seed: u64) -> Vec<WeightVector> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| WeightVector::random(dim, 1.0, &mut rng)).collect()
+        (0..n)
+            .map(|_| WeightVector::random(dim, 1.0, &mut rng))
+            .collect()
     }
 
     fn mean_of(ms: &[WeightVector], idx: &[usize]) -> WeightVector {
@@ -273,7 +275,10 @@ mod tests {
             &ms,
             2,
             1,
-            &[Dropout { peer: 0, phase: DropPhase::AfterShare }],
+            &[Dropout {
+                peer: 0,
+                phase: DropPhase::AfterShare,
+            }],
             ShareScheme::Masked,
             &mut rng,
         )
@@ -291,7 +296,10 @@ mod tests {
             &ms,
             3,
             1,
-            &[Dropout { peer: 3, phase: DropPhase::BeforeShare }],
+            &[Dropout {
+                peer: 3,
+                phase: DropPhase::BeforeShare,
+            }],
             ShareScheme::Masked,
             &mut rng,
         )
@@ -310,7 +318,10 @@ mod tests {
             &ms,
             3,
             0,
-            &[Dropout { peer: 4, phase: DropPhase::AfterShare }],
+            &[Dropout {
+                peer: 4,
+                phase: DropPhase::AfterShare,
+            }],
             ShareScheme::Masked,
             &mut rng,
         )
@@ -326,7 +337,10 @@ mod tests {
         let ms = models(n, 8, 11);
         let mut rng = StdRng::seed_from_u64(12);
         let dropouts: Vec<Dropout> = (1..=n - k)
-            .map(|p| Dropout { peer: p, phase: DropPhase::AfterShare })
+            .map(|p| Dropout {
+                peer: p,
+                phase: DropPhase::AfterShare,
+            })
             .collect();
         let out =
             fault_tolerant_secure_average(&ms, k, 0, &dropouts, ShareScheme::Masked, &mut rng)
@@ -343,7 +357,10 @@ mod tests {
             &ms,
             2,
             0,
-            &[Dropout { peer: 0, phase: DropPhase::AfterShare }],
+            &[Dropout {
+                peer: 0,
+                phase: DropPhase::AfterShare,
+            }],
             ShareScheme::Masked,
             &mut rng,
         )
@@ -356,9 +373,8 @@ mod tests {
         let ms = models(3, 4, 15);
         let mut rng = StdRng::seed_from_u64(16);
         for k in [0usize, 4] {
-            let err =
-                fault_tolerant_secure_average(&ms, k, 0, &[], ShareScheme::Masked, &mut rng)
-                    .unwrap_err();
+            let err = fault_tolerant_secure_average(&ms, k, 0, &[], ShareScheme::Masked, &mut rng)
+                .unwrap_err();
             assert!(matches!(err, FtSacError::InvalidThreshold { .. }));
         }
     }
@@ -374,7 +390,10 @@ mod tests {
             &ms,
             4,
             0,
-            &[Dropout { peer: 2, phase: DropPhase::AfterShare }],
+            &[Dropout {
+                peer: 2,
+                phase: DropPhase::AfterShare,
+            }],
             ShareScheme::Masked,
             &mut rng,
         )

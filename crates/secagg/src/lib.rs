@@ -51,8 +51,7 @@ mod sac;
 mod weights;
 
 pub use divide::{
-    divide, divide_masked, divide_masked_with_bound, divide_scaled, ShareScheme,
-    DEFAULT_MASK_BOUND,
+    divide, divide_masked, divide_masked_with_bound, divide_scaled, ShareScheme, DEFAULT_MASK_BOUND,
 };
 pub use engine::{SacConfig, SacMsg, SacPeerActor, SacPhase};
 pub use ftsac::{

@@ -57,11 +57,7 @@ impl PairwiseSeeds {
 }
 
 /// Peer `i`'s masked submission.
-pub fn masked_update(
-    seeds: &PairwiseSeeds,
-    i: usize,
-    w: &WeightVector,
-) -> WeightVector {
+pub fn masked_update(seeds: &PairwiseSeeds, i: usize, w: &WeightVector) -> WeightVector {
     let n = seeds.n();
     assert!(i < n, "peer index out of range");
     let dim = w.dim();
@@ -130,7 +126,9 @@ mod tests {
 
     fn models(n: usize, dim: usize, seed: u64) -> Vec<WeightVector> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| WeightVector::random(dim, 1.0, &mut rng)).collect()
+        (0..n)
+            .map(|_| WeightVector::random(dim, 1.0, &mut rng))
+            .collect()
     }
 
     #[test]
@@ -139,11 +137,16 @@ mod tests {
         let n = 6;
         let ms = models(n, 32, 2);
         let seeds = PairwiseSeeds::deal(n, &mut rng);
-        let subs: Vec<(usize, WeightVector)> =
-            (0..n).map(|i| (i, masked_update(&seeds, i, &ms[i]))).collect();
+        let subs: Vec<(usize, WeightVector)> = (0..n)
+            .map(|i| (i, masked_update(&seeds, i, &ms[i])))
+            .collect();
         let got = aggregate(&seeds, &subs, &[]);
         let plain = WeightVector::mean(ms.iter());
-        assert!(got.linf_distance(&plain) < 1e-8, "err {}", got.linf_distance(&plain));
+        assert!(
+            got.linf_distance(&plain) < 1e-8,
+            "err {}",
+            got.linf_distance(&plain)
+        );
     }
 
     #[test]
@@ -154,7 +157,11 @@ mod tests {
         let ms = models(4, 256, 4);
         let seeds = PairwiseSeeds::deal(4, &mut rng);
         let sub = masked_update(&seeds, 0, &ms[0]);
-        let rms = (sub.iter().zip(ms[0].iter()).map(|(a, b)| (a - b).powi(2)).sum::<f64>()
+        let rms = (sub
+            .iter()
+            .zip(ms[0].iter())
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f64>()
             / 256.0)
             .sqrt();
         assert!(rms > 100.0, "masking too weak: rms {rms}");
@@ -172,10 +179,12 @@ mod tests {
             .map(|i| (i, masked_update(&seeds, i, &ms[i])))
             .collect();
         let got = aggregate(&seeds, &subs, &[2]);
-        let plain = WeightVector::mean(
-            (0..n).filter(|&i| i != 2).map(|i| &ms[i]),
+        let plain = WeightVector::mean((0..n).filter(|&i| i != 2).map(|i| &ms[i]));
+        assert!(
+            got.linf_distance(&plain) < 1e-8,
+            "err {}",
+            got.linf_distance(&plain)
         );
-        assert!(got.linf_distance(&plain) < 1e-8, "err {}", got.linf_distance(&plain));
     }
 
     #[test]
@@ -190,8 +199,7 @@ mod tests {
             .map(|i| (i, masked_update(&seeds, i, &ms[i])))
             .collect();
         let got = aggregate(&seeds, &subs, &dropped);
-        let plain =
-            WeightVector::mean((0..n).filter(|i| !dropped.contains(i)).map(|i| &ms[i]));
+        let plain = WeightVector::mean((0..n).filter(|i| !dropped.contains(i)).map(|i| &ms[i]));
         assert!(got.linf_distance(&plain) < 1e-8);
     }
 
@@ -206,8 +214,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let ms = models(3, 4, 10);
         let seeds = PairwiseSeeds::deal(3, &mut rng);
-        let subs: Vec<(usize, WeightVector)> =
-            (0..3).map(|i| (i, masked_update(&seeds, i, &ms[i]))).collect();
+        let subs: Vec<(usize, WeightVector)> = (0..3)
+            .map(|i| (i, masked_update(&seeds, i, &ms[i])))
+            .collect();
         let _ = aggregate(&seeds, &subs, &[1]);
     }
 }

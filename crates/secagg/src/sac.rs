@@ -84,8 +84,7 @@ fn run<R: Rng + ?Sized>(
 
     // Phase 1: each peer i divides its model and sends partition j to peer j.
     // shares[i][j] = par_wt_{i,j}.
-    let shares: Vec<Vec<WeightVector>> =
-        models.iter().map(|m| divide(m, n, scheme, rng)).collect();
+    let shares: Vec<Vec<WeightVector>> = models.iter().map(|m| divide(m, n, scheme, rng)).collect();
     for i in 0..n {
         for j in 0..n {
             if i != j {
@@ -139,7 +138,9 @@ mod tests {
 
     fn models(n: usize, dim: usize, seed: u64) -> Vec<WeightVector> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| WeightVector::random(dim, 1.0, &mut rng)).collect()
+        (0..n)
+            .map(|_| WeightVector::random(dim, 1.0, &mut rng))
+            .collect()
     }
 
     #[test]
@@ -178,11 +179,7 @@ mod tests {
             let wire = ms[0].wire_bytes();
             let mut rng = StdRng::seed_from_u64(6);
             let out = secure_average_with_leader(&ms, 0, ShareScheme::Masked, &mut rng);
-            assert_eq!(
-                out.log.bytes(),
-                ((n * n - 1) as u64) * wire,
-                "n={n}"
-            );
+            assert_eq!(out.log.bytes(), ((n * n - 1) as u64) * wire, "n={n}");
         }
     }
 

@@ -12,7 +12,7 @@ use std::ops::{Deref, Index};
 pub const WIRE_BYTES_PER_PARAM: u64 = 4;
 
 /// A flat vector of model parameters.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct WeightVector(Vec<f64>);
 
 impl WeightVector {
@@ -141,6 +141,21 @@ impl WeightVector {
     pub fn is_finite(&self) -> bool {
         self.0.iter().all(|x| x.is_finite())
     }
+
+    /// FNV-1a hash over the exact bit patterns of the entries. Two vectors
+    /// digest equally iff they are bit-for-bit identical, which is how the
+    /// real-network examples prove parity with a simulator run of the same
+    /// aggregation.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for x in &self.0 {
+            for b in x.to_bits().to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
 }
 
 impl Deref for WeightVector {
@@ -210,6 +225,21 @@ mod tests {
         let b = WeightVector::new(vec![4.0, 0.0]);
         assert_eq!(a.linf_distance(&b), 4.0);
         assert_eq!(b.l2_norm(), 4.0);
+    }
+
+    #[test]
+    fn digest_distinguishes_bit_changes() {
+        let a = WeightVector::new(vec![1.0, 2.0, 3.0]);
+        let b = WeightVector::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(a.digest(), b.digest());
+        // One ulp — the smallest possible bitwise change.
+        let c = WeightVector::new(vec![1.0, 2.0, f64::from_bits(3.0f64.to_bits() + 1)]);
+        assert_ne!(a.digest(), c.digest());
+        // -0.0 == 0.0 numerically but differs bitwise; digest must see it.
+        assert_ne!(
+            WeightVector::new(vec![0.0]).digest(),
+            WeightVector::new(vec![-0.0]).digest()
+        );
     }
 
     #[test]

@@ -33,8 +33,9 @@ fn three_consecutive_rounds_with_fresh_models() {
     let mut rng = StdRng::seed_from_u64(99);
     for round in 1..=3u64 {
         // Fresh models on every peer (what local training produces).
-        let models: Vec<WeightVector> =
-            (0..4).map(|_| WeightVector::random(8, 1.0, &mut rng)).collect();
+        let models: Vec<WeightVector> = (0..4)
+            .map(|_| WeightVector::random(8, 1.0, &mut rng))
+            .collect();
         for (i, &id) in ids.iter().enumerate() {
             let m = models[i].clone();
             sim.exec::<SacPeerActor, _, _>(id, move |a, _| a.set_model(m));
@@ -43,7 +44,12 @@ fn three_consecutive_rounds_with_fresh_models() {
         let deadline = sim.now() + SimDuration::from_secs(2);
         sim.run_until(deadline);
         let leader = sim.actor::<SacPeerActor>(ids[0]);
-        assert_eq!(leader.phase, SacPhase::Done, "round {round}: {:?}", leader.phase);
+        assert_eq!(
+            leader.phase,
+            SacPhase::Done,
+            "round {round}: {:?}",
+            leader.phase
+        );
         assert_eq!(leader.round, round);
         let expect = WeightVector::mean(models.iter());
         let got = leader.result.as_ref().unwrap();
@@ -61,7 +67,9 @@ fn crash_in_round_two_recovers_and_round_three_excludes_the_dead() {
     let mut rng = StdRng::seed_from_u64(7);
 
     // Round 1: all healthy.
-    let m1: Vec<WeightVector> = (0..5).map(|_| WeightVector::random(8, 1.0, &mut rng)).collect();
+    let m1: Vec<WeightVector> = (0..5)
+        .map(|_| WeightVector::random(8, 1.0, &mut rng))
+        .collect();
     for (i, &id) in ids.iter().enumerate() {
         let m = m1[i].clone();
         sim.exec::<SacPeerActor, _, _>(id, move |a, _| a.set_model(m));
@@ -69,7 +77,10 @@ fn crash_in_round_two_recovers_and_round_three_excludes_the_dead() {
     sim.exec::<SacPeerActor, _, _>(ids[0], |a, ctx| a.start_round(ctx, 1));
     let deadline = sim.now() + SimDuration::from_secs(1);
     sim.run_until(deadline);
-    assert_eq!(sim.actor::<SacPeerActor>(ids[0]).contributors, vec![0, 1, 2, 3, 4]);
+    assert_eq!(
+        sim.actor::<SacPeerActor>(ids[0]).contributors,
+        vec![0, 1, 2, 3, 4]
+    );
 
     // Round 2: peer 4 dies right after the shares settle.
     sim.exec::<SacPeerActor, _, _>(ids[0], |a, ctx| a.start_round(ctx, 2));
@@ -80,7 +91,11 @@ fn crash_in_round_two_recovers_and_round_three_excludes_the_dead() {
     {
         let leader = sim.actor::<SacPeerActor>(ids[0]);
         assert_eq!(leader.phase, SacPhase::Done, "round 2: {:?}", leader.phase);
-        assert_eq!(leader.contributors, vec![0, 1, 2, 3, 4], "shared before dying");
+        assert_eq!(
+            leader.contributors,
+            vec![0, 1, 2, 3, 4],
+            "shared before dying"
+        );
         assert!(leader.recoveries >= 1, "its subtotal needed recovery");
     }
 

@@ -1,0 +1,315 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! the small slice of the rand 0.9 API it actually uses: [`RngCore`],
+//! [`SeedableRng::seed_from_u64`], the [`Rng`] extension trait with
+//! `random()` / `random_range()`, and a deterministic [`rngs::StdRng`].
+//!
+//! `StdRng` here is xoshiro256++ seeded through SplitMix64 — not the ChaCha12
+//! generator the real crate uses. Streams are therefore *different* from
+//! upstream rand, but every generator in the workspace is seeded explicitly,
+//! so determinism within the workspace (simulation replay, share
+//! reconstruction, test expectations) is fully preserved.
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed (expanded via SplitMix64).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from an rng ("standard" distribution).
+pub trait StandardSample: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_uint {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(i8, i16, i32, i64, isize);
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Maps a raw 64-bit draw onto `[0, span)` without modulo bias
+/// (fixed-point multiply; bias is < 2^-64 per draw, irrelevant here).
+fn bounded(raw: u64, span: u64) -> u64 {
+    ((raw as u128 * span as u128) >> 64) as u64
+}
+
+/// Ranges that `Rng::random_range` accepts.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range. Panics on empty ranges.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! range_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(bounded(rng.next_u64(), span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in random_range");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                if span == u64::MAX || span.wrapping_add(1) == 0 {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(bounded(rng.next_u64(), span + 1) as $t)
+            }
+        }
+    )*};
+}
+range_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+macro_rules! range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let unit: $t = StandardSample::sample(rng);
+                self.start + (self.end - self.start) * unit
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in random_range");
+                // 53 (or 24) uniform bits mapped onto the closed interval.
+                let unit: $t = StandardSample::sample(rng);
+                let v = lo + (hi - lo) * unit;
+                if v > hi { hi } else { v }
+            }
+        }
+    )*};
+}
+range_float!(f32, f64);
+
+/// User-facing convenience methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    /// Samples a value from the standard (uniform) distribution.
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a half-open or inclusive range.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 64-bit generator: xoshiro256++ seeded via SplitMix64.
+    ///
+    /// Name kept from the real crate so call sites (`rand::rngs::StdRng`)
+    /// compile unchanged; the stream differs from upstream's ChaCha12.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut next = move || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = r.random();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn int_ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = r.random_range(10usize..20);
+            assert!((10..20).contains(&v));
+            let w = r.random_range(0u64..=5);
+            assert!(w <= 5);
+            let s = r.random_range(-3i64..=3);
+            assert!((-3..=3).contains(&s));
+        }
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let v = r.random_range(-0.25f64..=0.25);
+            assert!(v.abs() <= 0.25);
+            let w = r.random_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn range_mean_is_roughly_centered() {
+        let mut r = StdRng::seed_from_u64(13);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.random_range(0.0f64..1.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut r = StdRng::seed_from_u64(17);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn works_through_mut_ref_and_dyn_style_bounds() {
+        fn takes_generic<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+            rng.random_range(1u64..=6)
+        }
+        let mut r = StdRng::seed_from_u64(21);
+        let v = takes_generic(&mut r);
+        assert!((1..=6).contains(&v));
+    }
+}

@@ -1,0 +1,167 @@
+//! Deserialization half of the event-based data model.
+
+/// An event-stream deserializer mirroring [`crate::Serializer`]. The caller
+/// announces what it expects (field names, variant tables) so self-describing
+/// backends can validate while compact binary backends just consume bytes.
+pub trait Deserializer {
+    /// Backend error type.
+    type Error: std::fmt::Debug;
+
+    /// Reads a boolean.
+    fn de_bool(&mut self) -> Result<bool, Self::Error>;
+    /// Reads an unsigned integer.
+    fn de_u64(&mut self) -> Result<u64, Self::Error>;
+    /// Reads a signed integer.
+    fn de_i64(&mut self) -> Result<i64, Self::Error>;
+    /// Reads an `f32`.
+    fn de_f32(&mut self) -> Result<f32, Self::Error>;
+    /// Reads an `f64`.
+    fn de_f64(&mut self) -> Result<f64, Self::Error>;
+    /// Reads a string.
+    fn de_string(&mut self) -> Result<String, Self::Error>;
+
+    /// Starts a sequence, returning its length.
+    fn begin_seq(&mut self) -> Result<usize, Self::Error>;
+    /// Marks the start of the next sequence element.
+    fn seq_element(&mut self) -> Result<(), Self::Error>;
+    /// Ends the current sequence.
+    fn end_seq(&mut self) -> Result<(), Self::Error>;
+
+    /// Starts a struct with `len` expected fields.
+    fn begin_struct(&mut self, name: &'static str, len: usize) -> Result<(), Self::Error>;
+    /// Positions at the named field; its value follows.
+    fn field(&mut self, name: &'static str) -> Result<(), Self::Error>;
+    /// Ends the current struct.
+    fn end_struct(&mut self) -> Result<(), Self::Error>;
+
+    /// Starts an enum value, returning the variant index within `variants`.
+    fn begin_variant(
+        &mut self,
+        name: &'static str,
+        variants: &'static [&'static str],
+    ) -> Result<u32, Self::Error>;
+    /// Ends the current enum variant.
+    fn end_variant(&mut self) -> Result<(), Self::Error>;
+
+    /// Reads an `Option` discriminant: `true` means a value follows.
+    fn de_option(&mut self) -> Result<bool, Self::Error>;
+
+    /// Builds an error for data that parsed but is semantically invalid.
+    fn invalid(&mut self, msg: &'static str) -> Self::Error;
+}
+
+/// Types that can be rebuilt from any [`Deserializer`].
+pub trait Deserialize: Sized {
+    /// Reads one value from `d`.
+    fn deserialize<D: Deserializer + ?Sized>(d: &mut D) -> Result<Self, D::Error>;
+}
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize<D: Deserializer + ?Sized>(d: &mut D) -> Result<Self, D::Error> {
+                let raw = d.de_u64()?;
+                <$t>::try_from(raw).map_err(|_| d.invalid("integer out of range"))
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, usize);
+
+impl Deserialize for u64 {
+    fn deserialize<D: Deserializer + ?Sized>(d: &mut D) -> Result<Self, D::Error> {
+        d.de_u64()
+    }
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize<D: Deserializer + ?Sized>(d: &mut D) -> Result<Self, D::Error> {
+                let raw = d.de_i64()?;
+                <$t>::try_from(raw).map_err(|_| d.invalid("integer out of range"))
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, isize);
+
+impl Deserialize for i64 {
+    fn deserialize<D: Deserializer + ?Sized>(d: &mut D) -> Result<Self, D::Error> {
+        d.de_i64()
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize<D: Deserializer + ?Sized>(d: &mut D) -> Result<Self, D::Error> {
+        d.de_bool()
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize<D: Deserializer + ?Sized>(d: &mut D) -> Result<Self, D::Error> {
+        d.de_f32()
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize<D: Deserializer + ?Sized>(d: &mut D) -> Result<Self, D::Error> {
+        d.de_f64()
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize<D: Deserializer + ?Sized>(d: &mut D) -> Result<Self, D::Error> {
+        d.de_string()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize<D: Deserializer + ?Sized>(d: &mut D) -> Result<Self, D::Error> {
+        let n = d.begin_seq()?;
+        let mut out = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            d.seq_element()?;
+            out.push(T::deserialize(d)?);
+        }
+        d.end_seq()?;
+        Ok(out)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize<D: Deserializer + ?Sized>(d: &mut D) -> Result<Self, D::Error> {
+        if d.de_option()? {
+            Ok(Some(T::deserialize(d)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($($n:ident),+; $len:expr))*) => {$(
+        impl<$($n: Deserialize),+> Deserialize for ($($n,)+) {
+            // `De`, not `D`: the 4-tuple impl uses `D` as an element type.
+            fn deserialize<De: Deserializer + ?Sized>(d: &mut De) -> Result<Self, De::Error> {
+                let n = d.begin_seq()?;
+                if n != $len {
+                    return Err(d.invalid("tuple arity mismatch"));
+                }
+                let out = ($(
+                    {
+                        d.seq_element()?;
+                        <$n as Deserialize>::deserialize(d)?
+                    },
+                )+);
+                d.end_seq()?;
+                Ok(out)
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (A, B; 2)
+    (A, B, C; 3)
+    (A, B, C, D; 4)
+}

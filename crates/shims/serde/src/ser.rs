@@ -1,0 +1,165 @@
+//! Serialization half of the event-based data model.
+
+/// An event-stream serializer. Backends (binary codec, JSON writer) decide
+/// which events carry bytes; e.g. the binary codec ignores struct/field
+/// names entirely while JSON ignores variant indices.
+pub trait Serializer {
+    /// Backend error type.
+    type Error: std::fmt::Debug;
+
+    /// Writes a boolean.
+    fn ser_bool(&mut self, v: bool) -> Result<(), Self::Error>;
+    /// Writes an unsigned integer (all widths funnel through `u64`).
+    fn ser_u64(&mut self, v: u64) -> Result<(), Self::Error>;
+    /// Writes a signed integer (all widths funnel through `i64`).
+    fn ser_i64(&mut self, v: i64) -> Result<(), Self::Error>;
+    /// Writes an `f32`.
+    fn ser_f32(&mut self, v: f32) -> Result<(), Self::Error>;
+    /// Writes an `f64`.
+    fn ser_f64(&mut self, v: f64) -> Result<(), Self::Error>;
+    /// Writes a string.
+    fn ser_str(&mut self, v: &str) -> Result<(), Self::Error>;
+
+    /// Starts a sequence of `len` elements.
+    fn begin_seq(&mut self, len: usize) -> Result<(), Self::Error>;
+    /// Marks the start of the next sequence element.
+    fn seq_element(&mut self) -> Result<(), Self::Error>;
+    /// Ends the current sequence.
+    fn end_seq(&mut self) -> Result<(), Self::Error>;
+
+    /// Starts a struct with `len` fields.
+    fn begin_struct(&mut self, name: &'static str, len: usize) -> Result<(), Self::Error>;
+    /// Marks the next struct or variant field; its value follows.
+    fn field(&mut self, name: &'static str) -> Result<(), Self::Error>;
+    /// Ends the current struct.
+    fn end_struct(&mut self) -> Result<(), Self::Error>;
+
+    /// Starts enum variant `variant` (number `index`) with `len` fields.
+    fn begin_variant(
+        &mut self,
+        name: &'static str,
+        index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<(), Self::Error>;
+    /// Ends the current enum variant.
+    fn end_variant(&mut self) -> Result<(), Self::Error>;
+
+    /// Writes an absent `Option`.
+    fn ser_none(&mut self) -> Result<(), Self::Error>;
+    /// Announces a present `Option`; the value follows.
+    fn begin_some(&mut self) -> Result<(), Self::Error>;
+}
+
+/// Types that can write themselves to any [`Serializer`].
+pub trait Serialize {
+    /// Streams `self` into `s`.
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) -> Result<(), S::Error>;
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) -> Result<(), S::Error> {
+                s.ser_u64(*self as u64)
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) -> Result<(), S::Error> {
+                s.ser_i64(*self as i64)
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.ser_bool(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.ser_f32(*self)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.ser_f64(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.ser_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.ser_str(self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) -> Result<(), S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) -> Result<(), S::Error> {
+        s.begin_seq(self.len())?;
+        for item in self {
+            s.seq_element()?;
+            item.serialize(s)?;
+        }
+        s.end_seq()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) -> Result<(), S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) -> Result<(), S::Error> {
+        match self {
+            None => s.ser_none(),
+            Some(v) => {
+                s.begin_some()?;
+                v.serialize(s)
+            }
+        }
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:ident $idx:tt),+; $len:expr))*) => {$(
+        impl<$($n: Serialize),+> Serialize for ($($n,)+) {
+            fn serialize<S: Serializer + ?Sized>(&self, s: &mut S) -> Result<(), S::Error> {
+                s.begin_seq($len)?;
+                $(
+                    s.seq_element()?;
+                    self.$idx.serialize(s)?;
+                )+
+                s.end_seq()
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (A 0, B 1; 2)
+    (A 0, B 1, C 2; 3)
+    (A 0, B 1, C 2, D 3; 4)
+}

@@ -226,10 +226,16 @@ mod tests {
         assert_eq!(d, SimDuration::from_millis(515));
         // Tiny control message: essentially just propagation.
         let d = cfg.sample_for(a, b, 16, &mut rng);
-        assert_eq!(d.as_nanos(), SimDuration::from_millis(15).as_nanos() + 16_000);
+        assert_eq!(
+            d.as_nanos(),
+            SimDuration::from_millis(15).as_nanos() + 16_000
+        );
         // Without bandwidth, size is free.
         let free = LatencyConfig::paper_default();
-        assert_eq!(free.sample_for(a, b, 500_000, &mut rng), SimDuration::from_millis(15));
+        assert_eq!(
+            free.sample_for(a, b, 500_000, &mut rng),
+            SimDuration::from_millis(15)
+        );
     }
 
     #[test]

@@ -24,11 +24,11 @@
 //! ## Example
 //!
 //! ```
-//! use p2pfl_simnet::{Actor, Blob, Context, NodeId, Sim, SimDuration, SimTime};
+//! use p2pfl_simnet::{Actor, Blob, NodeId, Sim, SimDuration, SimTime, Transport};
 //!
 //! struct Counter { seen: u32 }
 //! impl Actor<Blob> for Counter {
-//!     fn on_message(&mut self, _ctx: &mut Context<'_, Blob>, _from: NodeId, _msg: Blob) {
+//!     fn on_message(&mut self, _t: &mut dyn Transport<Blob>, _from: NodeId, _msg: Blob) {
 //!         self.seen += 1;
 //!     }
 //! }
@@ -50,6 +50,7 @@ mod payload;
 mod sim;
 mod time;
 mod trace;
+mod transport;
 
 pub use latency::{Latency, LatencyConfig};
 pub use metrics::{Counter, Metrics};
@@ -58,3 +59,4 @@ pub use payload::{Blob, Payload};
 pub use sim::{Actor, Context, Sim};
 pub use time::{SimDuration, SimTime};
 pub use trace::{DropReason, Trace, TraceEvent, TraceKind};
+pub use transport::Transport;

@@ -111,8 +111,20 @@ mod tests {
         assert_eq!(m.total().msgs, 3);
         assert_eq!(m.total().bytes, 175);
         assert_eq!(m.link(NodeId(0), NodeId(1)).bytes, 100);
-        assert_eq!(m.kind("a"), Counter { msgs: 2, bytes: 150 });
-        assert_eq!(m.sent_by(NodeId(0)), Counter { msgs: 2, bytes: 150 });
+        assert_eq!(
+            m.kind("a"),
+            Counter {
+                msgs: 2,
+                bytes: 150
+            }
+        );
+        assert_eq!(
+            m.sent_by(NodeId(0)),
+            Counter {
+                msgs: 2,
+                bytes: 150
+            }
+        );
         let byte_sum: u64 = m.kinds().iter().map(|(_, c)| c.bytes).sum();
         assert_eq!(byte_sum, m.total().bytes);
     }

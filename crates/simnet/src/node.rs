@@ -4,7 +4,9 @@ use std::fmt;
 
 /// Identifier of a simulated node (peer). Dense indices assigned by the
 /// simulator in creation order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -21,7 +23,9 @@ impl fmt::Display for NodeId {
 }
 
 /// Identifier of a pending timer, unique over the lifetime of one simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct TimerId(pub u64);
 
 #[cfg(test)]

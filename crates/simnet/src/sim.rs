@@ -12,6 +12,7 @@ use crate::node::{NodeId, TimerId};
 use crate::payload::Payload;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{DropReason, Trace, TraceKind};
+use crate::transport::Transport;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::any::Any;
@@ -25,14 +26,14 @@ use std::collections::{BinaryHeap, HashSet};
 pub trait Actor<M: Payload>: Any {
     /// Called once when the node is started (at the virtual time it was
     /// added) and never again, even across crash/restart cycles.
-    fn on_start(&mut self, _ctx: &mut Context<'_, M>) {}
+    fn on_start(&mut self, _t: &mut dyn Transport<M>) {}
 
     /// Called for every message delivered to this node.
-    fn on_message(&mut self, ctx: &mut Context<'_, M>, from: NodeId, msg: M);
+    fn on_message(&mut self, t: &mut dyn Transport<M>, from: NodeId, msg: M);
 
-    /// Called when a timer previously armed via [`Context::set_timer`]
+    /// Called when a timer previously armed via [`Transport::set_timer`]
     /// fires. `tag` is the application tag supplied when arming.
-    fn on_timer(&mut self, _ctx: &mut Context<'_, M>, _tag: u64) {}
+    fn on_timer(&mut self, _t: &mut dyn Transport<M>, _tag: u64) {}
 
     /// Called when the fault plan crashes this node. The actor keeps its
     /// in-memory state (it models the process image plus any persistent
@@ -41,13 +42,22 @@ pub trait Actor<M: Payload>: Any {
 
     /// Called when the fault plan restarts this node. All timers armed
     /// before the crash have been discarded.
-    fn on_restart(&mut self, _ctx: &mut Context<'_, M>) {}
+    fn on_restart(&mut self, _t: &mut dyn Transport<M>) {}
 }
 
 enum EventKind<M> {
     Start(NodeId),
-    Deliver { src: NodeId, dst: NodeId, msg: M },
-    Timer { node: NodeId, id: TimerId, tag: u64, epoch: u64 },
+    Deliver {
+        src: NodeId,
+        dst: NodeId,
+        msg: M,
+    },
+    Timer {
+        node: NodeId,
+        id: TimerId,
+        tag: u64,
+        epoch: u64,
+    },
     Crash(NodeId),
     Restart(NodeId),
 }
@@ -136,22 +146,33 @@ impl<'a, M: Payload> Context<'a, M> {
             // matching the paper's accounting (a peer "sending to itself"
             // keeps the share locally).
             let at = self.inner.now;
-            self.inner.push(at, EventKind::Deliver { src, dst: to, msg });
+            self.inner
+                .push(at, EventKind::Deliver { src, dst: to, msg });
             return;
         }
         let bytes = msg.size_bytes();
         let kind = msg.kind();
         self.inner.metrics.record_send(src, to, kind, bytes);
-        self.inner
-            .trace
-            .record(self.inner.now, TraceKind::Send { src, dst: to, kind, bytes });
+        self.inner.trace.record(
+            self.inner.now,
+            TraceKind::Send {
+                src,
+                dst: to,
+                kind,
+                bytes,
+            },
+        );
         if self.inner.loss_probability > 0.0
             && self.inner.rng.random::<f64>() < self.inner.loss_probability
         {
             self.inner.metrics.record_drop(bytes);
             self.inner.trace.record(
                 self.inner.now,
-                TraceKind::Drop { src, dst: to, reason: DropReason::Lossy },
+                TraceKind::Drop {
+                    src,
+                    dst: to,
+                    reason: DropReason::Lossy,
+                },
             );
             return;
         }
@@ -163,14 +184,19 @@ impl<'a, M: Payload> Context<'a, M> {
             self.inner.now
         } else {
             let free = self.inner.tx_free[src.index()];
-            let start = if free > self.inner.now { free } else { self.inner.now };
+            let start = if free > self.inner.now {
+                free
+            } else {
+                self.inner.now
+            };
             let depart = start + tx;
             self.inner.tx_free[src.index()] = depart;
             depart
         };
         let prop = self.inner.latency.sample(src, to, &mut self.inner.rng);
         let at = depart + prop;
-        self.inner.push(at, EventKind::Deliver { src, dst: to, msg });
+        self.inner
+            .push(at, EventKind::Deliver { src, dst: to, msg });
     }
 
     /// Sends `msg` to every node in `peers` except this node.
@@ -194,7 +220,15 @@ impl<'a, M: Payload> Context<'a, M> {
         let node = self.node;
         let epoch = self.inner.epoch[node.index()];
         let at = self.inner.now + delay;
-        self.inner.push(at, EventKind::Timer { node, id, tag, epoch });
+        self.inner.push(
+            at,
+            EventKind::Timer {
+                node,
+                id,
+                tag,
+                epoch,
+            },
+        );
         id
     }
 
@@ -212,6 +246,28 @@ impl<'a, M: Payload> Context<'a, M> {
     /// Stops the simulation after the current event completes.
     pub fn halt(&mut self) {
         self.inner.halted = true;
+    }
+}
+
+impl<'a, M: Payload> Transport<M> for Context<'a, M> {
+    fn now(&self) -> SimTime {
+        Context::now(self)
+    }
+
+    fn node_id(&self) -> NodeId {
+        Context::node_id(self)
+    }
+
+    fn send(&mut self, to: NodeId, msg: M) {
+        Context::send(self, to, msg)
+    }
+
+    fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
+        Context::set_timer(self, delay, tag)
+    }
+
+    fn cancel_timer(&mut self, id: TimerId) {
+        Context::cancel_timer(self, id)
     }
 }
 
@@ -398,7 +454,10 @@ impl<M: Payload> Sim<M> {
         let concrete = (actor.as_mut() as &mut dyn Any)
             .downcast_mut::<A>()
             .expect("actor type mismatch");
-        let mut ctx = Context { node, inner: &mut self.inner };
+        let mut ctx = Context {
+            node,
+            inner: &mut self.inner,
+        };
         let r = f(concrete, &mut ctx);
         self.actors[node.index()] = Some(actor);
         r
@@ -424,22 +483,40 @@ impl<M: Payload> Sim<M> {
                     self.inner.metrics.record_drop(msg.size_bytes());
                     self.inner.trace.record(
                         ev.at,
-                        TraceKind::Drop { src, dst, reason: DropReason::DestinationCrashed },
+                        TraceKind::Drop {
+                            src,
+                            dst,
+                            reason: DropReason::DestinationCrashed,
+                        },
                     );
                 } else if self.inner.partitions.contains(&(src, dst)) {
                     self.inner.metrics.record_drop(msg.size_bytes());
                     self.inner.trace.record(
                         ev.at,
-                        TraceKind::Drop { src, dst, reason: DropReason::Partitioned },
+                        TraceKind::Drop {
+                            src,
+                            dst,
+                            reason: DropReason::Partitioned,
+                        },
                     );
                 } else {
-                    self.inner
-                        .trace
-                        .record(ev.at, TraceKind::Deliver { src, dst, kind: msg.kind() });
+                    self.inner.trace.record(
+                        ev.at,
+                        TraceKind::Deliver {
+                            src,
+                            dst,
+                            kind: msg.kind(),
+                        },
+                    );
                     self.with_actor(dst, |actor, ctx| actor.on_message(ctx, src, msg));
                 }
             }
-            EventKind::Timer { node, id, tag, epoch } => {
+            EventKind::Timer {
+                node,
+                id,
+                tag,
+                epoch,
+            } => {
                 if self.inner.cancelled.remove(&id) {
                     // cancelled; nothing to do
                 } else if self.inner.crashed[node.index()]
@@ -447,7 +524,9 @@ impl<M: Payload> Sim<M> {
                 {
                     // timer belonged to a previous incarnation of the node
                 } else {
-                    self.inner.trace.record(ev.at, TraceKind::TimerFired { node, tag });
+                    self.inner
+                        .trace
+                        .record(ev.at, TraceKind::TimerFired { node, tag });
                     self.with_actor(node, |actor, ctx| actor.on_timer(ctx, tag));
                 }
             }
@@ -482,7 +561,10 @@ impl<M: Payload> Sim<M> {
         let mut actor = self.actors[node.index()]
             .take()
             .expect("re-entrant actor execution");
-        let mut ctx = Context { node, inner: &mut self.inner };
+        let mut ctx = Context {
+            node,
+            inner: &mut self.inner,
+        };
         f(actor.as_mut(), &mut ctx);
         self.actors[node.index()] = Some(actor);
     }
@@ -545,10 +627,16 @@ mod tests {
     }
 
     impl Actor<Blob> for Echo {
-        fn on_message(&mut self, ctx: &mut Context<'_, Blob>, from: NodeId, msg: Blob) {
+        fn on_message(&mut self, ctx: &mut dyn Transport<Blob>, from: NodeId, msg: Blob) {
             self.received += 1;
             if self.echo {
-                ctx.send(from, Blob { size: msg.size, tag: msg.tag + 1 });
+                ctx.send(
+                    from,
+                    Blob {
+                        size: msg.size,
+                        tag: msg.tag + 1,
+                    },
+                );
             }
         }
     }
@@ -561,10 +649,10 @@ mod tests {
     }
 
     impl Actor<Blob> for Pinger {
-        fn on_start(&mut self, ctx: &mut Context<'_, Blob>) {
+        fn on_start(&mut self, ctx: &mut dyn Transport<Blob>) {
             ctx.send(self.peer, Blob::of_size(100));
         }
-        fn on_message(&mut self, ctx: &mut Context<'_, Blob>, _from: NodeId, _msg: Blob) {
+        fn on_message(&mut self, ctx: &mut dyn Transport<Blob>, _from: NodeId, _msg: Blob) {
             self.replies += 1;
             self.reply_at = Some(ctx.now());
         }
@@ -573,8 +661,15 @@ mod tests {
     #[test]
     fn ping_pong_round_trip_takes_two_link_delays() {
         let mut sim = Sim::new(42);
-        let echo = sim.add_node(Echo { received: 0, echo: true });
-        let pinger = sim.add_node(Pinger { peer: echo, replies: 0, reply_at: None });
+        let echo = sim.add_node(Echo {
+            received: 0,
+            echo: true,
+        });
+        let pinger = sim.add_node(Pinger {
+            peer: echo,
+            replies: 0,
+            reply_at: None,
+        });
         sim.run_until_quiet(1000);
         let p = sim.actor::<Pinger>(pinger);
         assert_eq!(p.replies, 1);
@@ -587,8 +682,15 @@ mod tests {
     #[test]
     fn crash_drops_deliveries_and_restart_resumes() {
         let mut sim = Sim::new(1);
-        let echo = sim.add_node(Echo { received: 0, echo: false });
-        let pinger = sim.add_node(Pinger { peer: echo, replies: 0, reply_at: None });
+        let echo = sim.add_node(Echo {
+            received: 0,
+            echo: false,
+        });
+        let pinger = sim.add_node(Pinger {
+            peer: echo,
+            replies: 0,
+            reply_at: None,
+        });
         let _ = pinger;
         sim.schedule_crash(echo, SimTime::from_millis(5));
         sim.run_until_quiet(1000);
@@ -599,7 +701,12 @@ mod tests {
         // advanced past the drop, so restart relative to `now`.
         let restart_at = sim.now() + SimDuration::from_millis(10);
         sim.schedule_restart(echo, restart_at);
-        sim.inject(NodeId(1), echo, Blob::of_size(1), SimDuration::from_millis(20));
+        sim.inject(
+            NodeId(1),
+            echo,
+            Blob::of_size(1),
+            SimDuration::from_millis(20),
+        );
         sim.run_until_quiet(1000);
         assert_eq!(sim.actor::<Echo>(echo).received, 1);
     }
@@ -611,7 +718,7 @@ mod tests {
             cancel_second: bool,
         }
         impl Actor<Blob> for TimerBox {
-            fn on_start(&mut self, ctx: &mut Context<'_, Blob>) {
+            fn on_start(&mut self, ctx: &mut dyn Transport<Blob>) {
                 ctx.set_timer(SimDuration::from_millis(3), 3);
                 let t2 = ctx.set_timer(SimDuration::from_millis(2), 2);
                 ctx.set_timer(SimDuration::from_millis(1), 1);
@@ -619,13 +726,16 @@ mod tests {
                     ctx.cancel_timer(t2);
                 }
             }
-            fn on_message(&mut self, _: &mut Context<'_, Blob>, _: NodeId, _: Blob) {}
-            fn on_timer(&mut self, _ctx: &mut Context<'_, Blob>, tag: u64) {
+            fn on_message(&mut self, _: &mut dyn Transport<Blob>, _: NodeId, _: Blob) {}
+            fn on_timer(&mut self, _ctx: &mut dyn Transport<Blob>, tag: u64) {
                 self.fired.push(tag);
             }
         }
         let mut sim = Sim::new(7);
-        let n = sim.add_node(TimerBox { fired: vec![], cancel_second: true });
+        let n = sim.add_node(TimerBox {
+            fired: vec![],
+            cancel_second: true,
+        });
         sim.run_until_quiet(100);
         assert_eq!(sim.actor::<TimerBox>(n).fired, vec![1, 3]);
     }
@@ -636,11 +746,11 @@ mod tests {
             fired: u64,
         }
         impl Actor<Blob> for T {
-            fn on_start(&mut self, ctx: &mut Context<'_, Blob>) {
+            fn on_start(&mut self, ctx: &mut dyn Transport<Blob>) {
                 ctx.set_timer(SimDuration::from_millis(10), 0);
             }
-            fn on_message(&mut self, _: &mut Context<'_, Blob>, _: NodeId, _: Blob) {}
-            fn on_timer(&mut self, _: &mut Context<'_, Blob>, _: u64) {
+            fn on_message(&mut self, _: &mut dyn Transport<Blob>, _: NodeId, _: Blob) {}
+            fn on_timer(&mut self, _: &mut dyn Transport<Blob>, _: u64) {
                 self.fired += 1;
             }
         }
@@ -660,13 +770,22 @@ mod tests {
     fn determinism_same_seed_same_outcome() {
         fn run(seed: u64) -> (u64, u64) {
             let mut sim = Sim::new(seed);
-            sim.set_latency(LatencyConfig::uniform_default(crate::latency::Latency::Uniform {
-                min: SimDuration::from_millis(1),
-                max: SimDuration::from_millis(30),
-            }));
-            let echo = sim.add_node(Echo { received: 0, echo: true });
+            sim.set_latency(LatencyConfig::uniform_default(
+                crate::latency::Latency::Uniform {
+                    min: SimDuration::from_millis(1),
+                    max: SimDuration::from_millis(30),
+                },
+            ));
+            let echo = sim.add_node(Echo {
+                received: 0,
+                echo: true,
+            });
             for _ in 0..5 {
-                sim.add_node(Pinger { peer: echo, replies: 0, reply_at: None });
+                sim.add_node(Pinger {
+                    peer: echo,
+                    replies: 0,
+                    reply_at: None,
+                });
             }
             sim.run_until_quiet(10_000);
             (sim.now().as_nanos(), sim.metrics().total().bytes)
@@ -678,8 +797,15 @@ mod tests {
     #[test]
     fn partition_blocks_until_healed() {
         let mut sim = Sim::new(3);
-        let echo = sim.add_node(Echo { received: 0, echo: false });
-        let pinger = sim.add_node(Pinger { peer: echo, replies: 0, reply_at: None });
+        let echo = sim.add_node(Echo {
+            received: 0,
+            echo: false,
+        });
+        let pinger = sim.add_node(Pinger {
+            peer: echo,
+            replies: 0,
+            reply_at: None,
+        });
         sim.partition(pinger, echo);
         sim.run_until_quiet(100);
         assert_eq!(sim.actor::<Echo>(echo).received, 0);
@@ -700,8 +826,15 @@ mod tests {
     fn loss_probability_one_drops_everything() {
         let mut sim = Sim::new(11);
         sim.set_loss_probability(1.0);
-        let echo = sim.add_node(Echo { received: 0, echo: false });
-        let _p = sim.add_node(Pinger { peer: echo, replies: 0, reply_at: None });
+        let echo = sim.add_node(Echo {
+            received: 0,
+            echo: false,
+        });
+        let _p = sim.add_node(Pinger {
+            peer: echo,
+            replies: 0,
+            reply_at: None,
+        });
         sim.run_until_quiet(100);
         assert_eq!(sim.actor::<Echo>(echo).received, 0);
         assert_eq!(sim.metrics().dropped().msgs, 1);

@@ -3,7 +3,7 @@
 //! cost ledger balances.
 
 use p2pfl_simnet::{
-    Actor, Blob, Context, Latency, LatencyConfig, NodeId, Sim, SimDuration, SimTime,
+    Actor, Blob, Latency, LatencyConfig, NodeId, Sim, SimDuration, SimTime, Transport,
 };
 use proptest::prelude::*;
 
@@ -16,16 +16,28 @@ struct Chatter {
 }
 
 impl Actor<Blob> for Chatter {
-    fn on_start(&mut self, ctx: &mut Context<'_, Blob>) {
+    fn on_start(&mut self, ctx: &mut dyn Transport<Blob>) {
         for i in 0..self.sends_on_start {
             let to = self.peers[i % self.peers.len()];
-            ctx.send(to, Blob { size: 10 + i as u64, tag: i as u64 });
+            ctx.send(
+                to,
+                Blob {
+                    size: 10 + i as u64,
+                    tag: i as u64,
+                },
+            );
         }
     }
-    fn on_message(&mut self, ctx: &mut Context<'_, Blob>, from: NodeId, msg: Blob) {
+    fn on_message(&mut self, ctx: &mut dyn Transport<Blob>, from: NodeId, msg: Blob) {
         self.deliveries.push(ctx.now());
         if msg.tag > 0 && msg.tag < 4 {
-            ctx.send(from, Blob { size: msg.size, tag: msg.tag - 1 });
+            ctx.send(
+                from,
+                Blob {
+                    size: msg.size,
+                    tag: msg.tag - 1,
+                },
+            );
         }
     }
 }
@@ -41,7 +53,11 @@ fn run_sim(seed: u64, nodes: usize, sends: usize, min_ms: u64, spread_ms: u64) -
         // Exclude self: loopback delivery is instantaneous by design and
         // would trivially violate the latency lower bound checked below.
         let peers: Vec<NodeId> = ids.iter().copied().filter(|p| p.index() != i).collect();
-        sim.add_node(Chatter { peers, sends_on_start: sends, deliveries: vec![] });
+        sim.add_node(Chatter {
+            peers,
+            sends_on_start: sends,
+            deliveries: vec![],
+        });
     }
     sim.run_until_quiet(100_000);
     sim

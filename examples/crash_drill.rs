@@ -49,7 +49,10 @@ fn main() {
 
     // Drill 1: kill a follower. k-out-of-n SAC absorbs it silently.
     let leader0 = session.dep.sub_leader_of(0).unwrap();
-    let follower = *session.dep.subgroups[0].iter().find(|&&m| m != leader0).unwrap();
+    let follower = *session.dep.subgroups[0]
+        .iter()
+        .find(|&&m| m != leader0)
+        .unwrap();
     println!("\n>>> crashing follower {follower}");
     session.crash(follower);
     for r in 4..=5 {
@@ -88,5 +91,8 @@ fn main() {
 
     println!("\naggregation traffic: {} bytes", session.log.bytes());
     let raft = session.dep.sim.metrics().total();
-    println!("raft control traffic: {} msgs, {} bytes", raft.msgs, raft.bytes);
+    println!(
+        "raft control traffic: {} msgs, {} bytes",
+        raft.msgs, raft.bytes
+    );
 }

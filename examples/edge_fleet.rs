@@ -23,9 +23,18 @@ use rand::SeedableRng;
 
 fn main() {
     println!("== part 1: stragglers (N = 20, n = 5, p = 0.5 vs 1.0) ==\n");
-    let spec = SweepSpec { n_total: 20, rounds: 60, seed: 7, ..SweepSpec::default() };
-    let series: Vec<Series> =
-        fraction_sweep(&spec, 5, &[0.5, 1.0], &[Partition::Iid, Partition::NON_IID_5]);
+    let spec = SweepSpec {
+        n_total: 20,
+        rounds: 60,
+        seed: 7,
+        ..SweepSpec::default()
+    };
+    let series: Vec<Series> = fraction_sweep(
+        &spec,
+        5,
+        &[0.5, 1.0],
+        &[Partition::Iid, Partition::NON_IID_5],
+    );
     for pair in series.chunks(2) {
         let half = &pair[0];
         let full = &pair[1];
@@ -73,6 +82,9 @@ fn main() {
          4-layer, 45-peer fleet would move {:.1} Gb per round instead of the\n\
          one-layer SAC's {:.1} Gb.",
         gigabits(multilayer_units_eq10(3, 4) * ModelSize::PAPER_CNN.bits()),
-        gigabits(sac_baseline_units(MultilayerTree::build(3, 4).total_peers()) * ModelSize::PAPER_CNN.bits()),
+        gigabits(
+            sac_baseline_units(MultilayerTree::build(3, 4).total_peers())
+                * ModelSize::PAPER_CNN.bits()
+        ),
     );
 }

@@ -40,21 +40,31 @@ fn main() {
     let cfg = TwoLayerConfig {
         kind: SystemKind::TwoLayer,
         subgroup_size: 3,
-        threshold: Some(2),            // any one peer per subgroup may drop
-        scheme: ShareScheme::Masked,   // real secrecy for the shares
+        threshold: Some(2),          // any one peer per subgroup may drop
+        scheme: ShareScheme::Masked, // real secrecy for the shares
         fraction: 1.0,
-        train: LocalTrainConfig { epochs: 1, batch_size: 32 },
+        train: LocalTrainConfig {
+            epochs: 1,
+            batch_size: 32,
+        },
         seed: 11,
         // (0.8, 1e-5)-DP per round, updates clipped to L2 <= 20.
-        dp: Some(GaussianDp { epsilon: 0.8, delta: 1e-5, sensitivity: 20.0 }),
-        fed_layer_sac: true,           // SAC among the leaders as well
+        dp: Some(GaussianDp {
+            epsilon: 0.8,
+            delta: 1e-5,
+            sensitivity: 20.0,
+        }),
+        fed_layer_sac: true, // SAC among the leaders as well
     };
     let mut system = TwoLayerSystem::new(clients, eval, cfg);
 
     println!("== hardened two-layer deployment: k-of-n + fed-layer SAC + DP ==\n");
     let records = system.run(ROUNDS, &test);
     let last = records.last().unwrap();
-    println!("rounds: {ROUNDS}   final accuracy: {:.3}   final loss: {:.3}", last.test_accuracy, last.test_loss);
+    println!(
+        "rounds: {ROUNDS}   final accuracy: {:.3}   final loss: {:.3}",
+        last.test_accuracy, last.test_loss
+    );
     println!("(DP noise costs some accuracy — that is the privacy/utility trade)");
 
     println!(
@@ -62,7 +72,10 @@ fn main() {
         two_layer_units_fed_sac(3, 3),
         two_layer_units_eq4(3, 3)
     );
-    println!("measured aggregation traffic: {} bytes over {ROUNDS} rounds", system.log.bytes());
+    println!(
+        "measured aggregation traffic: {} bytes over {ROUNDS} rounds",
+        system.log.bytes()
+    );
 
     // ------------------------------------------------------------------
     println!("\n== alternative share backends on the same 9 models ==\n");

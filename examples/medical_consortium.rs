@@ -26,8 +26,7 @@ const SITES: usize = 12;
 const ROUNDS: usize = 60;
 
 fn build(kind: SystemKind, subgroup: usize) -> (TwoLayerSystem, p2pfl_ml::data::Dataset) {
-    let (train, test) =
-        train_test_split(&features_like(32, SITES * 90 + 500, 100), SITES * 90);
+    let (train, test) = train_test_split(&features_like(32, SITES * 90 + 500, 100), SITES * 90);
     // Non-IID(5%): each site concentrates on two "specialty" classes.
     let shards = partition_dataset(&train, SITES, Partition::NON_IID_5, 101);
     let mut rng = StdRng::seed_from_u64(102);
@@ -43,7 +42,10 @@ fn build(kind: SystemKind, subgroup: usize) -> (TwoLayerSystem, p2pfl_ml::data::
         threshold: Some(subgroup.saturating_sub(1).max(1)),
         scheme: ShareScheme::Masked,
         fraction: 1.0,
-        train: LocalTrainConfig { epochs: 1, batch_size: 30 },
+        train: LocalTrainConfig {
+            epochs: 1,
+            batch_size: 30,
+        },
         seed: 104,
         dp: None,
         fed_layer_sac: false,

@@ -44,7 +44,10 @@ fn main() {
         threshold: Some(2),
         scheme: ShareScheme::Masked,
         fraction: 1.0,
-        train: LocalTrainConfig { epochs: 1, batch_size: 32 },
+        train: LocalTrainConfig {
+            epochs: 1,
+            batch_size: 32,
+        },
         seed: 11,
         dp: None,
         fed_layer_sac: false,
@@ -61,7 +64,10 @@ fn main() {
             );
         }
     }
-    println!("\ntotal communication: {} bytes over {ROUNDS} rounds", system.log.bytes());
+    println!(
+        "\ntotal communication: {} bytes over {ROUNDS} rounds",
+        system.log.bytes()
+    );
     println!("per-phase breakdown:");
     for (phase, (msgs, bytes)) in system.log.phases() {
         println!("  {phase:<16} {msgs:>6} msgs  {bytes:>12} bytes");

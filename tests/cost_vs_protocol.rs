@@ -11,9 +11,7 @@ use p2pfl::system::{SystemKind, TwoLayerConfig, TwoLayerSystem};
 use p2pfl_fed::{Client, LocalTrainConfig};
 use p2pfl_ml::data::{features_like, partition_dataset, train_test_split, Partition};
 use p2pfl_ml::models::mlp;
-use p2pfl_secagg::{
-    fault_tolerant_secure_average, secure_average, ShareScheme, WeightVector,
-};
+use p2pfl_secagg::{fault_tolerant_secure_average, secure_average, ShareScheme, WeightVector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -27,8 +25,9 @@ fn wire(dim: usize) -> u64 {
 fn alg2_ledger_matches_2n_nminus1() {
     let mut rng = StdRng::seed_from_u64(1);
     for n in 1..12usize {
-        let models: Vec<WeightVector> =
-            (0..n).map(|_| WeightVector::random(DIM, 1.0, &mut rng)).collect();
+        let models: Vec<WeightVector> = (0..n)
+            .map(|_| WeightVector::random(DIM, 1.0, &mut rng))
+            .collect();
         let out = secure_average(&models, ShareScheme::Masked, &mut rng);
         assert_eq!(
             out.log.bytes(),
@@ -45,8 +44,9 @@ fn alg4_ledger_matches_eq5_sac_terms() {
     let mut rng = StdRng::seed_from_u64(2);
     for n in 2..9usize {
         for k in 1..=n {
-            let models: Vec<WeightVector> =
-                (0..n).map(|_| WeightVector::random(DIM, 1.0, &mut rng)).collect();
+            let models: Vec<WeightVector> = (0..n)
+                .map(|_| WeightVector::random(DIM, 1.0, &mut rng))
+                .collect();
             let out =
                 fault_tolerant_secure_average(&models, k, 0, &[], ShareScheme::Masked, &mut rng)
                     .unwrap();
@@ -63,13 +63,22 @@ fn system_for(
     threshold: Option<usize>,
     seed: u64,
 ) -> (TwoLayerSystem, p2pfl_ml::data::Dataset, u64) {
-    let (train, test) = train_test_split(&features_like(DIM, n_total * 30 + 100, seed), n_total * 30);
+    let (train, test) =
+        train_test_split(&features_like(DIM, n_total * 30 + 100, seed), n_total * 30);
     let parts = partition_dataset(&train, n_total, Partition::Iid, seed + 1);
     let mut rng = StdRng::seed_from_u64(seed + 2);
     let clients: Vec<Client> = parts
         .into_iter()
         .enumerate()
-        .map(|(i, d)| Client::new(i, mlp(&[DIM, 8, 10], &mut rng), d, 1e-2, seed + 3 + i as u64))
+        .map(|(i, d)| {
+            Client::new(
+                i,
+                mlp(&[DIM, 8, 10], &mut rng),
+                d,
+                1e-2,
+                seed + 3 + i as u64,
+            )
+        })
         .collect();
     let eval = mlp(&[DIM, 8, 10], &mut rng);
     let model_bytes = eval.num_params() as u64 * 4;
@@ -79,7 +88,10 @@ fn system_for(
         threshold,
         scheme: ShareScheme::Masked,
         fraction: 1.0,
-        train: LocalTrainConfig { epochs: 1, batch_size: 16 },
+        train: LocalTrainConfig {
+            epochs: 1,
+            batch_size: 16,
+        },
         seed: seed + 50,
         dp: None,
         fed_layer_sac: false,

@@ -12,7 +12,11 @@ use rand::SeedableRng;
 
 #[test]
 fn accuracy_sweep_replays_exactly() {
-    let spec = SweepSpec { n_total: 6, rounds: 8, ..SweepSpec::default() };
+    let spec = SweepSpec {
+        n_total: 6,
+        rounds: 8,
+        ..SweepSpec::default()
+    };
     let a = accuracy_sweep(&spec, &[3], &[Partition::NON_IID_5]);
     let b = accuracy_sweep(&spec, &[3], &[Partition::NON_IID_5]);
     for (sa, sb) in a.iter().zip(&b) {
@@ -43,7 +47,13 @@ fn resilient_session_replays_exactly() {
             .into_iter()
             .enumerate()
             .map(|(i, d)| {
-                Client::new(i, mlp(&[16, 16, 10], &mut rng), d, 5e-3, seed + 10 + i as u64)
+                Client::new(
+                    i,
+                    mlp(&[16, 16, 10], &mut rng),
+                    d,
+                    5e-3,
+                    seed + 10 + i as u64,
+                )
             })
             .collect();
         let eval = mlp(&[16, 16, 10], &mut rng);

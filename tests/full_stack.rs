@@ -23,7 +23,15 @@ fn session(seed: u64) -> (ResilientSession, Dataset) {
     let clients: Vec<Client> = parts
         .into_iter()
         .enumerate()
-        .map(|(i, d)| Client::new(i, mlp(&[16, 24, 10], &mut rng), d, 5e-3, seed + 10 + i as u64))
+        .map(|(i, d)| {
+            Client::new(
+                i,
+                mlp(&[16, 24, 10], &mut rng),
+                d,
+                5e-3,
+                seed + 10 + i as u64,
+            )
+        })
         .collect();
     let eval = mlp(&[16, 24, 10], &mut rng);
     (ResilientSession::new(cfg, clients, eval), test)
@@ -68,7 +76,11 @@ fn compound_failure_sequence_recovers_fully() {
     let recs = s.run(8, &test);
     let last = recs.last().unwrap();
     assert_eq!(last.record.groups_used, 3);
-    assert!(last.record.test_accuracy > 0.15, "acc {}", last.record.test_accuracy);
+    assert!(
+        last.record.test_accuracy > 0.15,
+        "acc {}",
+        last.record.test_accuracy
+    );
 }
 
 #[test]
@@ -79,17 +91,28 @@ fn two_simultaneous_fed_member_crashes_halt_the_fed_layer() {
     // peers return.
     let (mut s, test) = session(7);
     s.run(2, &test);
-    let l1 = s.dep.sub_leader_of(1).unwrap();
-    let l2 = s.dep.sub_leader_of(2).unwrap();
-    s.crash(l1);
-    s.crash(l2);
+    // Two of the three subgroup leaders, always including the current
+    // FedAvg-layer leader so the stale-leader role cannot linger on the
+    // surviving member (which leader that is depends on election timing).
+    let fl = s.dep.fed_leader().expect("stable session has a fed leader");
+    let mut downed: Vec<NodeId> = (0..3)
+        .filter_map(|g| s.dep.sub_leader_of(g))
+        .filter(|&l| l != fl)
+        .collect();
+    downed.truncate(1);
+    downed.insert(0, fl);
+    s.crash(downed[0]);
+    s.crash(downed[1]);
     s.run_round(3, &test);
     let r = s.run_round(4, &test);
-    assert!(r.fed_leader.is_none(), "2 of 3 FedAvg members down = no quorum");
+    assert!(
+        r.fed_leader.is_none(),
+        "2 of 3 FedAvg members down = no quorum"
+    );
 
     // Once one casualty returns, the layer has 2 of 3 again and heals:
     // elections complete and the replacement leaders join.
-    s.restart(l1);
+    s.restart(downed[1]);
     s.run_round(5, &test);
     s.run_round(6, &test);
     let r = s.run_round(7, &test);
@@ -105,8 +128,9 @@ fn distributed_engine_agrees_with_synchronous_reference() {
     let n = 5usize;
     let dim = 32usize;
     let mut rng = StdRng::seed_from_u64(5);
-    let models: Vec<WeightVector> =
-        (0..n).map(|_| WeightVector::random(dim, 1.0, &mut rng)).collect();
+    let models: Vec<WeightVector> = (0..n)
+        .map(|_| WeightVector::random(dim, 1.0, &mut rng))
+        .collect();
 
     let mut sim: Sim<SacMsg> = Sim::new(9);
     let ids: Vec<NodeId> = (0..n as u32).map(NodeId).collect();

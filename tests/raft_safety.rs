@@ -28,8 +28,12 @@ fn build(n: u32, t_ms: u64, seed: u64) -> (Sim<Msg>, Vec<NodeId>) {
     let mut sim = Sim::new(seed);
     let ids: Vec<NodeId> = (0..n).map(NodeId).collect();
     for &id in &ids {
-        let cfg =
-            RaftConfig::paper(id, ids.clone(), SimDuration::from_millis(t_ms), seed + id.0 as u64);
+        let cfg = RaftConfig::paper(
+            id,
+            ids.clone(),
+            SimDuration::from_millis(t_ms),
+            seed + id.0 as u64,
+        );
         sim.add_node(RaftActor::new(cfg, Recorder { applied: vec![] }));
     }
     (sim, ids)
@@ -139,7 +143,11 @@ fn committed_entries_survive_any_single_crash() {
         // Wait for the entry to commit on the leader.
         sim.run_for(SimDuration::from_millis(300));
         assert!(
-            sim.actor::<Node>(leader).sm.applied.iter().any(|(v, _)| *v == 4242),
+            sim.actor::<Node>(leader)
+                .sm
+                .applied
+                .iter()
+                .any(|(v, _)| *v == 4242),
             "seed {seed}: entry not committed"
         );
         // Now crash the leader; the committed entry must survive on the
@@ -166,7 +174,10 @@ fn committed_entries_survive_any_single_crash() {
 fn log_matching_across_cluster_after_convergence() {
     let (mut sim, ids) = build(5, 50, 515);
     sim.run_until(SimTime::from_secs(2));
-    let leader = *ids.iter().find(|&&id| sim.actor::<Node>(id).is_leader()).unwrap();
+    let leader = *ids
+        .iter()
+        .find(|&&id| sim.actor::<Node>(id).is_leader())
+        .unwrap();
     for v in 0..20u64 {
         sim.exec::<Node, _, _>(leader, |a, ctx| {
             let _ = a.propose(ctx, v);

@@ -1,0 +1,145 @@
+//! End-to-end over real sockets: the SAC engine completes aggregation
+//! rounds on localhost TCP, survives an injected connection blackout via
+//! the transport's reconnect/backoff machinery, and produces results
+//! bit-for-bit identical to the same protocol executed under the
+//! deterministic simulator with the same seeds and models.
+
+use p2pfl_net::PeerRuntime;
+use p2pfl_secagg::{SacConfig, SacMsg, SacPeerActor, SacPhase, ShareScheme, WeightVector};
+use p2pfl_simnet::{NodeId, Sim, SimDuration};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+const N: usize = 5;
+const K: usize = 3;
+const DIM: usize = 32;
+const SEED: u64 = 0xA57;
+
+fn models() -> Vec<WeightVector> {
+    let mut rng = StdRng::seed_from_u64(SEED + 999);
+    (0..N)
+        .map(|_| WeightVector::random(DIM, 1.0, &mut rng))
+        .collect()
+}
+
+/// One peer's config. The deadlines only bound how long the leader waits
+/// for stragglers; with full participation it freezes as soon as all `n`
+/// blocks arrive, so the result does not depend on these values as long as
+/// they exceed worst-case delivery (which differs wildly between the
+/// simulator and TCP-with-reconnects — hence the parameter).
+fn config(ids: &[NodeId], position: usize, deadline: SimDuration) -> SacConfig {
+    SacConfig {
+        group: ids.to_vec(),
+        position,
+        leader_pos: 0,
+        k: K,
+        scheme: ShareScheme::Masked,
+        share_deadline: deadline,
+        collect_deadline: deadline,
+        seed: SEED + position as u64,
+    }
+}
+
+/// Runs `rounds` aggregation rounds under the simulator and returns the
+/// leader's result digest after each round.
+fn simulator_digests(rounds: u64) -> Vec<u64> {
+    let mut sim: Sim<SacMsg> = Sim::new(SEED);
+    let ids: Vec<NodeId> = (0..N).map(|i| NodeId(i as u32)).collect();
+    let models = models();
+    for (i, model) in models.iter().enumerate() {
+        let cfg = config(&ids, i, SimDuration::from_millis(500));
+        sim.add_node(SacPeerActor::new(cfg, model.clone()));
+    }
+    sim.run_until_quiet(100);
+    let mut digests = Vec::new();
+    for round in 1..=rounds {
+        sim.exec::<SacPeerActor, _, _>(ids[0], move |a, ctx| a.start_round(ctx, round));
+        sim.run_until(sim.now() + SimDuration::from_secs(5));
+        let leader = sim.actor::<SacPeerActor>(ids[0]);
+        assert_eq!(
+            leader.phase,
+            SacPhase::Done,
+            "sim round {round}: {:?}",
+            leader.phase
+        );
+        digests.push(leader.result.as_ref().unwrap().digest());
+    }
+    digests
+}
+
+fn wait_done(leader: &PeerRuntime<SacMsg, SacPeerActor>, round: u64) -> u64 {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let state = leader.with(|a, _| (a.phase.clone(), a.result.as_ref().map(|r| r.digest())));
+        match state {
+            (SacPhase::Done, Some(d)) => return d,
+            (SacPhase::Failed(e), _) => panic!("round {round} failed: {e}"),
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "round {round} stalled");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn tcp_rounds_match_simulator_bitwise_across_connection_drops() {
+    let expected = simulator_digests(2);
+
+    // Same actors, same seeds and models — but on real sockets. Generous
+    // deadlines (wall-clock here!) so reconnect backoff after the injected
+    // blackout can never shrink the contributor set.
+    let ids: Vec<NodeId> = (0..N).map(|i| NodeId(i as u32)).collect();
+    let models = models();
+    let runtimes: Vec<PeerRuntime<SacMsg, SacPeerActor>> = (0..N)
+        .map(|i| {
+            let actor = SacPeerActor::new(
+                config(&ids, i, SimDuration::from_secs(10)),
+                models[i].clone(),
+            );
+            PeerRuntime::start(ids[i], "127.0.0.1:0", &[], actor).expect("bind")
+        })
+        .collect();
+    for a in &runtimes {
+        for b in &runtimes {
+            if a.node_id() != b.node_id() {
+                a.add_peer(b.node_id(), b.local_addr());
+            }
+        }
+    }
+
+    // Round 1 on a healthy network.
+    runtimes[0].with(|a, ctx| a.start_round(ctx, 1));
+    assert_eq!(
+        wait_done(&runtimes[0], 1),
+        expected[0],
+        "round 1 diverged from simulator"
+    );
+
+    // Sever every TCP connection in the mesh, then immediately run round 2:
+    // the first sends hit dead sockets and the writers must reconnect
+    // (with backoff) before any share can flow.
+    for rt in &runtimes {
+        rt.kill_connections();
+    }
+    runtimes[0].with(|a, ctx| a.start_round(ctx, 2));
+    assert_eq!(
+        wait_done(&runtimes[0], 2),
+        expected[1],
+        "round 2 diverged from simulator"
+    );
+
+    let reconnects: u64 = runtimes.iter().map(|rt| rt.stats().reconnects).sum();
+    assert!(
+        reconnects >= 1,
+        "blackout did not exercise the reconnect path"
+    );
+    for rt in &runtimes {
+        assert_eq!(
+            rt.decode_errors(),
+            0,
+            "peer {:?} dropped frames",
+            rt.node_id()
+        );
+    }
+}
