@@ -16,4 +16,7 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> chaos soak (bounded smoke, fixed seed)"
+cargo run --release -p p2pfl-bench --bin chaos_soak -- --smoke --seed 7
+
 echo "ci: all green"

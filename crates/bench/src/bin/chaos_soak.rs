@@ -1,0 +1,396 @@
+//! Chaos soak — randomized fault plans driven through full two-layer
+//! rounds (election → SAC → FedAvg), cycling the four crash cases of the
+//! paper's Sec. V and asserting each is hit *and recovered* at least once:
+//!
+//! * C1 — subgroup follower crash (k-out-of-n SAC absorbs the dropout);
+//! * C2 — subgroup leader crash (the subgroup re-elects, the replacement
+//!   rejoins the FedAvg layer);
+//! * C3 — FedAvg leader crash (double election + rebuild);
+//! * C4 — crash + restart: the restarted peer rejoins training.
+//!
+//! Every epoch runs a lossy randomized [`FaultPlan`] (link chaos) with the
+//! case's crash/restart events spliced in, applied to the simulator-backed
+//! [`ResilientSession`]. A final TCP leg replays a plan's crash/restart
+//! schedule against real `PeerRuntime` peers with on-disk Raft storage and
+//! verifies recovery from the files alone.
+//!
+//! Run: `cargo run -rp p2pfl-bench --bin chaos_soak -- --seed 7`
+//! Smoke: `cargo run -rp p2pfl-bench --bin chaos_soak -- --smoke --seed 7`
+//! Each epoch prints its seed; replay one with `--seed <n> --epochs 1`.
+
+use p2pfl::runner::{ResilientConfig, ResilientSession};
+use p2pfl_bench::{banner, print_csv, Args};
+use p2pfl_fed::Client;
+use p2pfl_hierraft::{HierActor, HierMsg, HierPeerConfig, SubCmd};
+use p2pfl_ml::data::{features_like, partition_dataset, train_test_split, Dataset, Partition};
+use p2pfl_ml::models::mlp;
+use p2pfl_net::PeerRuntime;
+use p2pfl_raft::FileStorage;
+use p2pfl_simnet::{FaultPlan, NodeId, ProcessFault, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum CrashCase {
+    /// C1: a subgroup follower dies mid-round.
+    Follower,
+    /// C2: a subgroup leader (FedAvg member) dies.
+    SubLeader,
+    /// C3: the FedAvg-layer leader dies.
+    FedLeader,
+    /// C4: a peer dies and later restarts, rejoining training.
+    Rejoin,
+}
+
+const CASES: [CrashCase; 4] = [
+    CrashCase::Follower,
+    CrashCase::SubLeader,
+    CrashCase::FedLeader,
+    CrashCase::Rejoin,
+];
+
+impl CrashCase {
+    fn name(self) -> &'static str {
+        match self {
+            CrashCase::Follower => "C1-follower",
+            CrashCase::SubLeader => "C2-sub-leader",
+            CrashCase::FedLeader => "C3-fed-leader",
+            CrashCase::Rejoin => "C4-rejoin",
+        }
+    }
+}
+
+fn session(seed: u64) -> (ResilientSession, Dataset) {
+    let cfg = ResilientConfig::small(seed);
+    let n_total = cfg.deployment.total_peers();
+    let (train, test) =
+        train_test_split(&features_like(16, n_total * 50 + 300, seed), n_total * 50);
+    let parts = partition_dataset(&train, n_total, Partition::Iid, seed + 1);
+    let mut rng = StdRng::seed_from_u64(seed + 2);
+    let clients: Vec<Client> = parts
+        .into_iter()
+        .enumerate()
+        .map(|(i, d)| {
+            Client::new(
+                i,
+                mlp(&[16, 24, 10], &mut rng),
+                d,
+                5e-3,
+                seed + 10 + i as u64,
+            )
+        })
+        .collect();
+    let eval = mlp(&[16, 24, 10], &mut rng);
+    (ResilientSession::new(cfg, clients, eval), test)
+}
+
+/// Picks the case's victim from the live Raft state.
+fn pick_victim(s: &ResilientSession, case: CrashCase) -> NodeId {
+    match case {
+        CrashCase::Follower | CrashCase::Rejoin => {
+            let leader0 = s.dep.sub_leader_of(0).expect("subgroup 0 leaderless");
+            *s.dep.subgroups[0]
+                .iter()
+                .find(|&&m| m != leader0)
+                .expect("subgroup 0 has a follower")
+        }
+        CrashCase::SubLeader => s.dep.sub_leader_of(1).expect("subgroup 1 leaderless"),
+        CrashCase::FedLeader => s.dep.fed_leader().expect("no FedAvg leader"),
+    }
+}
+
+/// One chaos epoch: lossy link chaos + the case's crash (and restart, so
+/// the peer pool recovers for the next epoch). Returns (min groups used
+/// during chaos, recovered).
+fn run_epoch(
+    s: &mut ResilientSession,
+    test: &Dataset,
+    case: CrashCase,
+    epoch_seed: u64,
+    round0: usize,
+    chaos_rounds: usize,
+    settle_rounds: usize,
+) -> (usize, bool) {
+    let nodes: Vec<NodeId> = s.dep.subgroups.iter().flatten().copied().collect();
+    let victim = pick_victim(s, case);
+    let plan = FaultPlan::randomized(epoch_seed, &nodes, SimTime::from_secs(3), true)
+        .crash(SimTime::from_millis(300), victim)
+        .restart(SimTime::from_millis(2300), victim);
+    s.apply_fault_plan(&plan);
+
+    let mut round = round0;
+    let mut min_groups = usize::MAX;
+    for _ in 0..chaos_rounds {
+        let r = s.run_round(round, test);
+        min_groups = min_groups.min(r.record.groups_used);
+        round += 1;
+    }
+    s.clear_fault_plan();
+    let mut last = None;
+    for _ in 0..settle_rounds.max(1) {
+        last = Some(s.run_round(round, test));
+        round += 1;
+    }
+    let last = last.unwrap();
+
+    let num_groups = s.dep.subgroups.len();
+    let mut recovered = last.record.groups_used == num_groups && last.fed_leader.is_some();
+    match case {
+        CrashCase::FedLeader => {
+            // The FedAvg layer must have moved on from the dead leader
+            // during the chaos window (it restarts as a plain peer).
+            recovered &= last.fed_leader.is_some();
+        }
+        CrashCase::Rejoin => {
+            // The restarted peer itself is back in the round.
+            recovered &= !s.dep.sim.is_crashed(victim);
+        }
+        _ => {}
+    }
+    (min_groups, recovered)
+}
+
+// ---------------------------------------------------------------------
+// TCP leg: plan-scheduled crash/restart against on-disk Raft state
+// ---------------------------------------------------------------------
+
+const TCP_GROUPS: usize = 2;
+const TCP_SIZE: usize = 3;
+
+type HierRt = PeerRuntime<HierMsg, HierActor>;
+
+fn hier_cfg(
+    id: NodeId,
+    subgroups: &[Vec<NodeId>],
+    founding: &[NodeId],
+    seed: u64,
+) -> HierPeerConfig {
+    let gi = (id.0 as usize) / TCP_SIZE;
+    HierPeerConfig {
+        id,
+        subgroup: subgroups[gi].clone(),
+        subgroup_index: gi,
+        founding_fed: founding.to_vec(),
+        t: SimDuration::from_millis(300),
+        heartbeat: SimDuration::from_millis(60),
+        config_commit_interval: SimDuration::from_millis(200),
+        join_poll_interval: SimDuration::from_millis(100),
+        seed: seed ^ (0x9e37 + id.0 as u64 * 0x85eb_ca6b),
+    }
+}
+
+fn storage_actor(dir: &Path, cfg: HierPeerConfig) -> HierActor {
+    let sub: PathBuf = dir.join(format!("n{}-sub.raft", cfg.id.0));
+    let fed: PathBuf = dir.join(format!("n{}-fed.raft", cfg.id.0));
+    HierActor::with_storage(
+        cfg,
+        Box::new(FileStorage::<SubCmd>::open(sub).expect("open sub storage")),
+        Box::new(FileStorage::<u64>::open(fed).expect("open fed storage")),
+    )
+}
+
+fn wait_for(what: &str, timeout: Duration, mut pred: impl FnMut() -> bool) {
+    let deadline = Instant::now() + timeout;
+    while !pred() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn tcp_stable(rts: &HashMap<NodeId, HierRt>, subgroups: &[Vec<NodeId>]) -> bool {
+    let fed_leaders = rts
+        .values()
+        .filter(|rt| rt.with(|a, _| a.is_fed_leader()))
+        .count();
+    fed_leaders == 1
+        && subgroups.iter().all(|g| {
+            let leaders: Vec<&HierRt> = g
+                .iter()
+                .filter_map(|id| rts.get(id))
+                .filter(|rt| rt.with(|a, _| a.is_sub_leader()))
+                .collect();
+            leaders.len() == 1 && leaders[0].with(|a, _| a.is_fed_member())
+        })
+}
+
+fn commit_marker(rts: &HashMap<NodeId, HierRt>, subgroups: &[Vec<NodeId>], marker: u64) {
+    let fl = rts
+        .values()
+        .find(|rt| rt.with(|a, _| a.is_fed_leader()))
+        .expect("fed leader");
+    fl.with(move |a, ctx| a.propose_fed(ctx, marker).unwrap());
+    wait_for(
+        &format!("marker {marker} at every subgroup leader"),
+        Duration::from_secs(30),
+        || {
+            subgroups.iter().all(|g| {
+                g.iter().filter_map(|id| rts.get(id)).any(|rt| {
+                    rt.with(move |a, _| a.is_sub_leader() && a.fed_cmds_applied.contains(&marker))
+                })
+            })
+        },
+    );
+}
+
+/// The soak's TCP leg: a plan's crash/restart schedule kills a real peer
+/// and recovery comes from its on-disk Raft record alone.
+fn tcp_crash_restart_leg(seed: u64) {
+    let dir = std::env::temp_dir().join(format!("p2pfl-chaos-soak-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let subgroups: Vec<Vec<NodeId>> = (0..TCP_GROUPS)
+        .map(|g| {
+            (0..TCP_SIZE)
+                .map(|i| NodeId((g * TCP_SIZE + i) as u32))
+                .collect()
+        })
+        .collect();
+    let founding: Vec<NodeId> = subgroups.iter().map(|g| g[0]).collect();
+    let all: Vec<NodeId> = subgroups.iter().flatten().copied().collect();
+
+    let mut rts: HashMap<NodeId, HierRt> = all
+        .iter()
+        .map(|&id| {
+            let actor = storage_actor(&dir, hier_cfg(id, &subgroups, &founding, seed));
+            let rt = PeerRuntime::start(id, "127.0.0.1:0", &[], actor).expect("bind");
+            (id, rt)
+        })
+        .collect();
+    for a in &all {
+        for b in &all {
+            if a != b {
+                rts[a].add_peer(*b, rts[b].local_addr());
+            }
+        }
+    }
+    wait_for(
+        "initial TCP two-layer stability",
+        Duration::from_secs(30),
+        || tcp_stable(&rts, &subgroups),
+    );
+    commit_marker(&rts, &subgroups, 1);
+
+    let victim = founding[0];
+    let plan = FaultPlan::new(seed ^ 0xdead)
+        .crash(SimTime::from_millis(10), victim)
+        .restart(SimTime::from_millis(2000), victim);
+    let origin = Instant::now();
+    let (pre_term, pre_last) = rts[&victim].with(|a, _| {
+        let r = a.sub_raft();
+        (r.term(), r.log().last_index())
+    });
+    for ev in plan.process_events() {
+        let due = origin + Duration::from_nanos(ev.at.as_nanos());
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        match ev.fault {
+            ProcessFault::Crash => {
+                rts.remove(&ev.node).expect("victim running").kill();
+            }
+            ProcessFault::Restart => {
+                let actor = storage_actor(&dir, hier_cfg(ev.node, &subgroups, &founding, seed));
+                assert!(actor.sub_raft().term() >= pre_term, "term lost on restart");
+                assert!(
+                    actor.sub_raft().log().last_index() >= pre_last,
+                    "log entries lost on restart"
+                );
+                assert!(actor.is_fed_member(), "fed seat not restored from disk");
+                let peers: Vec<(NodeId, std::net::SocketAddr)> =
+                    rts.iter().map(|(&id, rt)| (id, rt.local_addr())).collect();
+                let rt = PeerRuntime::start(ev.node, "127.0.0.1:0", &peers, actor).expect("rebind");
+                for other in rts.values() {
+                    other.add_peer(ev.node, rt.local_addr());
+                }
+                rts.insert(ev.node, rt);
+            }
+        }
+    }
+    wait_for(
+        "post-restart TCP stability",
+        Duration::from_secs(60),
+        || tcp_stable(&rts, &subgroups),
+    );
+    commit_marker(&rts, &subgroups, 2);
+    for (_, rt) in rts.drain() {
+        drop(rt.stop());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("# tcp leg: crash/restart recovered from on-disk Raft state, marker committed");
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.get_flag("smoke");
+    let seed = args.get_u64("seed", 7);
+    let epochs = args.get_usize("epochs", if smoke { 4 } else { 8 });
+    let chaos_rounds = args.get_usize("rounds", if smoke { 2 } else { 4 });
+    let settle_rounds = args.get_usize("settle", if smoke { 2 } else { 3 });
+    let skip_tcp = args.get_flag("skip-tcp");
+
+    banner(
+        "Chaos soak: randomized fault plans over full two-layer rounds",
+        "Sec. V crash cases C1-C4 each hit and recovered; faults never wedge a round",
+    );
+    println!("# seed {seed} (replay with --seed {seed}); epochs={epochs} chaos_rounds={chaos_rounds} settle_rounds={settle_rounds}");
+
+    let (mut s, test) = session(seed);
+    s.run(2, &test); // healthy warm-up establishes both layers
+
+    let mut hit: HashMap<CrashCase, usize> = HashMap::new();
+    let mut recovered_count: HashMap<CrashCase, usize> = HashMap::new();
+    let mut rows = Vec::new();
+    let mut round = 3usize;
+    for e in 0..epochs {
+        let case = CASES[e % CASES.len()];
+        let epoch_seed = seed.wrapping_add(1 + e as u64);
+        println!("# epoch {e}: {} (epoch seed {epoch_seed})", case.name());
+        let (min_groups, recovered) = run_epoch(
+            &mut s,
+            &test,
+            case,
+            epoch_seed,
+            round,
+            chaos_rounds,
+            settle_rounds,
+        );
+        round += chaos_rounds + settle_rounds.max(1);
+        *hit.entry(case).or_default() += 1;
+        if recovered {
+            *recovered_count.entry(case).or_default() += 1;
+        }
+        rows.push(format!(
+            "{e},{},{epoch_seed},{min_groups},{recovered}",
+            case.name()
+        ));
+    }
+    print_csv(
+        "epoch,case,epoch_seed,min_groups_during_chaos,recovered",
+        rows,
+    );
+
+    println!("\n# summary:");
+    let mut failed = false;
+    for case in CASES {
+        let h = hit.get(&case).copied().unwrap_or(0);
+        let r = recovered_count.get(&case).copied().unwrap_or(0);
+        println!("#   {}: hit {h}, recovered {r}", case.name());
+        if h == 0 || r == 0 {
+            failed = true;
+        }
+    }
+    assert!(
+        !failed,
+        "a Sec. V crash case was never hit or never recovered (replay with --seed {seed})"
+    );
+
+    if skip_tcp {
+        println!("# tcp leg skipped (--skip-tcp)");
+    } else {
+        tcp_crash_restart_leg(seed);
+    }
+    println!("# chaos soak passed");
+}

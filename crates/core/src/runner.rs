@@ -19,7 +19,7 @@ use p2pfl_secagg::{
     fault_tolerant_secure_average, DropPhase, Dropout, ShareScheme, TransferLog, WeightVector,
     WIRE_BYTES_PER_PARAM,
 };
-use p2pfl_simnet::{NodeId, SimDuration, SimTime};
+use p2pfl_simnet::{FaultPlan, NodeId, SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -132,6 +132,20 @@ impl ResilientSession {
         let at = self.dep.sim.now() + SimDuration::from_millis(1);
         self.dep.sim.schedule_restart(id, at);
         self.dep.sim.run_for(SimDuration::from_millis(2));
+    }
+
+    /// Applies a declarative fault plan to the underlying network: link
+    /// faults (loss, delay, duplication, partitions, blackouts) interpose
+    /// on every subsequent send, and the plan's crash/restart entries are
+    /// scheduled on the virtual clock relative to now.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        self.dep.sim.apply_fault_plan(plan);
+    }
+
+    /// Removes the link faults of an applied plan (crash/restart events
+    /// already on the virtual clock still fire).
+    pub fn clear_fault_plan(&mut self) {
+        self.dep.sim.clear_fault_plan();
     }
 
     fn push_global(&mut self) {
@@ -375,6 +389,30 @@ mod tests {
             let a = s.dep.sim.actor::<HierActor>(leader);
             assert_eq!(a.fed_cmds_applied, vec![1, 2, 3], "subgroup {g}");
         }
+    }
+
+    #[test]
+    fn fault_plan_window_degrades_then_recovers() {
+        let (mut s, test) = build(7);
+        s.run(1, &test);
+        // A bounded window of light loss plus delay spikes: rounds may
+        // degrade while it is active, but the session must keep making
+        // progress and return to full strength once it expires.
+        let plan = FaultPlan::new(0xfa11)
+            .loss(SimTime::ZERO, SimTime::from_millis(1500), 0.05)
+            .delay(
+                SimTime::ZERO,
+                SimTime::from_millis(1500),
+                SimDuration::from_millis(10),
+                SimDuration::from_millis(10),
+            );
+        s.apply_fault_plan(&plan);
+        s.run(2, &test); // rounds 1..=2 under faults: must not wedge
+        s.clear_fault_plan();
+        let _ = s.run_round(4, &test); // settle round after the window
+        let r = s.run_round(5, &test);
+        assert_eq!(r.record.groups_used, 3, "leaders: {:?}", r.leaders);
+        assert!(r.fed_leader.is_some());
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! is safe in our setting and keeps recovery latency low.
 
 use crate::config::{FedCmd, FedConfig, HierMsg, HierPeerConfig, SubCmd};
-use p2pfl_raft::{Effect, Entry, LogCmd, RaftConfig, RaftNode};
+use p2pfl_raft::{Effect, Entry, LogCmd, RaftConfig, RaftNode, RaftStorage};
 use p2pfl_simnet::{Actor, NodeId, SimDuration, SimTime, TimerId, Transport};
 
 const TIMER_SUB_ELECTION: u64 = 1;
@@ -34,6 +34,8 @@ pub struct HierActor {
     cfg: HierPeerConfig,
     sub: RaftNode<SubCmd>,
     fed: Option<RaftNode<FedCmd>>,
+    sub_storage: Option<Box<dyn RaftStorage<SubCmd>>>,
+    fed_storage: Option<Box<dyn RaftStorage<FedCmd>>>,
     sub_election_timer: Option<TimerId>,
     sub_heartbeat_timer: Option<TimerId>,
     fed_election_timer: Option<TimerId>,
@@ -66,7 +68,25 @@ impl HierActor {
     /// election timeout so the genesis subgroup leaders coincide with the
     /// founding configuration (the paper starts from such a stable state).
     pub fn new(cfg: HierPeerConfig) -> Self {
-        let sub_cfg = RaftConfig {
+        Self::build(cfg, None, None)
+    }
+
+    /// Creates the peer with durable Raft state for both layers. On
+    /// construction each layer's storage is replayed: a non-empty subgroup
+    /// record restores term/vote/log, and a non-empty FedAvg-layer record
+    /// means this peer held a representative seat when it went down — the
+    /// restored instance is started again in [`Actor::on_start`] so its
+    /// vote keeps counting toward FedAvg-layer quorum across the restart.
+    pub fn with_storage(
+        cfg: HierPeerConfig,
+        sub_storage: Box<dyn RaftStorage<SubCmd>>,
+        fed_storage: Box<dyn RaftStorage<FedCmd>>,
+    ) -> Self {
+        Self::build(cfg, Some(sub_storage), Some(fed_storage))
+    }
+
+    fn sub_raft_config(cfg: &HierPeerConfig) -> RaftConfig {
+        RaftConfig {
             id: cfg.id,
             initial_cluster: cfg.subgroup.clone(),
             election_timeout_min: cfg.t,
@@ -74,15 +94,44 @@ impl HierActor {
             heartbeat_interval: cfg.heartbeat,
             seed: cfg.seed ^ 0x5ab,
             pre_vote: true,
+        }
+    }
+
+    fn fed_raft_config(cfg: &HierPeerConfig, founding: Vec<NodeId>) -> RaftConfig {
+        RaftConfig {
+            id: cfg.id,
+            initial_cluster: founding,
+            election_timeout_min: cfg.t,
+            election_timeout_max: cfg.t.saturating_mul(2),
+            heartbeat_interval: cfg.heartbeat,
+            seed: cfg.seed ^ 0xfed,
+            pre_vote: true,
+        }
+    }
+
+    fn build(
+        cfg: HierPeerConfig,
+        mut sub_storage: Option<Box<dyn RaftStorage<SubCmd>>>,
+        mut fed_storage: Option<Box<dyn RaftStorage<FedCmd>>>,
+    ) -> Self {
+        let sub_cfg = Self::sub_raft_config(&cfg);
+        let sub = match sub_storage.as_mut().and_then(|s| s.load()) {
+            Some(state) => RaftNode::restore(sub_cfg, state),
+            None => RaftNode::new(sub_cfg),
         };
+        let fed = fed_storage.as_mut().and_then(|s| s.load()).map(|state| {
+            RaftNode::restore(Self::fed_raft_config(&cfg, cfg.founding_fed.clone()), state)
+        });
         let fed_config = FedConfig {
             founding: cfg.founding_fed.clone(),
             current: cfg.founding_fed.clone(),
             version: 0,
         };
         HierActor {
-            sub: RaftNode::new(sub_cfg),
-            fed: None,
+            sub,
+            fed,
+            sub_storage,
+            fed_storage,
             sub_election_timer: None,
             sub_heartbeat_timer: None,
             fed_election_timer: None,
@@ -196,6 +245,11 @@ impl HierActor {
                     self.sub_leader_history.push(ctx.now());
                     self.on_became_sub_leader(ctx);
                 }
+                Effect::Persist(op) => {
+                    if let Some(st) = self.sub_storage.as_mut() {
+                        st.record(&op);
+                    }
+                }
                 // Subgroup logs are tiny (configs + round markers); this
                 // deployment never compacts them.
                 Effect::RestoreSnapshot(_) => {}
@@ -229,6 +283,11 @@ impl HierActor {
                     // broadcast still reaches the remaining members.
                     if !cluster.contains(&self.cfg.id) {
                         retire = true;
+                    }
+                }
+                Effect::Persist(op) => {
+                    if let Some(st) = self.fed_storage.as_mut() {
+                        st.record(&op);
                     }
                 }
                 Effect::RestoreSnapshot(_) => {}
@@ -344,16 +403,11 @@ impl HierActor {
         if self.fed.is_some() {
             return;
         }
-        let fed_cfg = RaftConfig {
-            id: self.cfg.id,
-            initial_cluster: self.fed_config.founding.clone(),
-            election_timeout_min: self.cfg.t,
-            election_timeout_max: self.cfg.t.saturating_mul(2),
-            heartbeat_interval: self.cfg.heartbeat,
-            seed: self.cfg.seed ^ 0xfed,
-            pre_vote: true,
+        let fed_cfg = Self::fed_raft_config(&self.cfg, self.fed_config.founding.clone());
+        let mut fed = match self.fed_storage.as_mut().and_then(|s| s.load()) {
+            Some(state) => RaftNode::restore(fed_cfg, state),
+            None => RaftNode::new(fed_cfg),
         };
-        let mut fed = RaftNode::new(fed_cfg);
         let eff = fed.start();
         self.fed = Some(fed);
         self.fed_active_at = Some(ctx.now());
@@ -464,7 +518,14 @@ impl Actor<HierMsg> for HierActor {
     fn on_start(&mut self, ctx: &mut dyn Transport<HierMsg>) {
         let eff = self.sub.start();
         self.run_sub_effects(ctx, eff);
-        if self.cfg.is_founding() {
+        if let Some(fed) = self.fed.as_mut() {
+            // Restored from durable state with a FedAvg-layer seat: rejoin
+            // that layer as a follower. No genesis boost — the cluster this
+            // peer restarts into already exists.
+            let eff = fed.start();
+            self.fed_active_at = Some(ctx.now());
+            self.run_fed_effects(ctx, eff);
+        } else if self.cfg.is_founding() {
             // Shorten the genesis election so founding members win their
             // subgroup's first election (see `new`).
             let boost = SimDuration::from_nanos((self.cfg.t.as_nanos() / 20).max(1));

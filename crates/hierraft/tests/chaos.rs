@@ -7,9 +7,19 @@ use p2pfl_simnet::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Seeds to run: `CHAOS_SEED=<n>` replays a single reported seed, the
+/// default sweep covers 0..4.
+fn chaos_seeds() -> Vec<u64> {
+    match std::env::var("CHAOS_SEED") {
+        Ok(s) => vec![s.parse().expect("CHAOS_SEED must be a u64")],
+        Err(_) => (0..4).collect(),
+    }
+}
+
 #[test]
 fn backend_restabilizes_after_every_chaos_epoch() {
-    for seed in 0..4u64 {
+    for seed in chaos_seeds() {
+        println!("chaos epoch sweep: seed {seed} (replay with CHAOS_SEED={seed})");
         let mut spec = DeploymentSpec::paper(100, seed);
         spec.num_subgroups = 3;
         spec.subgroup_size = 3;

@@ -1,0 +1,116 @@
+//! Durable two-layer Raft state: a storage-backed peer rebuilt purely from
+//! its persisted record recovers both its subgroup Raft state and (if it
+//! held one) its FedAvg-layer seat.
+
+use p2pfl_hierraft::{HierActor, HierMsg, HierPeerConfig, SubCmd};
+use p2pfl_raft::MemStorage;
+use p2pfl_simnet::{Latency, LatencyConfig, NodeId, Sim, SimDuration, SimTime};
+
+const SUBGROUPS: usize = 2;
+const SIZE: usize = 3;
+
+fn peer_cfg(id: NodeId, subgroup: Vec<NodeId>, gi: usize, founding: Vec<NodeId>) -> HierPeerConfig {
+    HierPeerConfig {
+        id,
+        subgroup,
+        subgroup_index: gi,
+        founding_fed: founding,
+        t: SimDuration::from_millis(100),
+        heartbeat: SimDuration::from_millis(20),
+        config_commit_interval: SimDuration::from_millis(200),
+        join_poll_interval: SimDuration::from_millis(100),
+        seed: 0x9e37 + id.0 as u64 * 0x85eb_ca6b,
+    }
+}
+
+#[test]
+fn storage_backed_peer_recovers_both_layers() {
+    let mut sim: Sim<HierMsg> = Sim::new(42);
+    sim.set_latency(LatencyConfig::uniform_default(Latency::Constant(
+        SimDuration::from_millis(15),
+    )));
+    let subgroups: Vec<Vec<NodeId>> = (0..SUBGROUPS)
+        .map(|g| (0..SIZE).map(|i| NodeId((g * SIZE + i) as u32)).collect())
+        .collect();
+    let founding: Vec<NodeId> = subgroups.iter().map(|g| g[0]).collect();
+
+    let sub_stores: Vec<MemStorage<SubCmd>> =
+        (0..SUBGROUPS * SIZE).map(|_| MemStorage::new()).collect();
+    let fed_stores: Vec<MemStorage<u64>> =
+        (0..SUBGROUPS * SIZE).map(|_| MemStorage::new()).collect();
+
+    for (gi, members) in subgroups.iter().enumerate() {
+        for &id in members {
+            let cfg = peer_cfg(id, members.clone(), gi, founding.clone());
+            let actor = HierActor::with_storage(
+                cfg,
+                Box::new(sub_stores[id.0 as usize].clone()),
+                Box::new(fed_stores[id.0 as usize].clone()),
+            );
+            assert_eq!(sim.add_node(actor), id);
+        }
+    }
+
+    sim.run_until(SimTime::from_secs(5));
+    let rep = founding[0];
+    {
+        let a = sim.actor::<HierActor>(rep);
+        assert!(a.is_sub_leader(), "founding member should lead subgroup 0");
+        assert!(a.is_fed_member(), "subgroup leader should hold a fed seat");
+    }
+
+    // Commit traffic on both layers so there is real state to recover.
+    sim.exec::<HierActor, _, _>(rep, |a, ctx| {
+        a.propose_sub(ctx, 7).unwrap();
+    });
+    let fed_leader = (0..SUBGROUPS * SIZE)
+        .map(|i| NodeId(i as u32))
+        .find(|&id| sim.actor::<HierActor>(id).is_fed_leader())
+        .expect("fed layer should have a leader");
+    sim.exec::<HierActor, _, _>(fed_leader, |a, ctx| {
+        a.propose_fed(ctx, 999).unwrap();
+    });
+    sim.run_for(SimDuration::from_secs(2));
+
+    let (sub_term, sub_last, fed_term, fed_last) = {
+        let a = sim.actor::<HierActor>(rep);
+        assert!(a.sub_cmds_applied.contains(&7));
+        assert!(a.fed_cmds_applied.contains(&999));
+        let fed = a.fed_raft().expect("rep holds a fed seat");
+        (
+            a.sub_raft().term(),
+            a.sub_raft().log().last_index(),
+            fed.term(),
+            fed.log().last_index(),
+        )
+    };
+    assert!(sub_last > 0 && fed_last > 0);
+
+    // Rebuild the representative purely from its storage handles — the
+    // simulated process is gone; only the persisted record survives.
+    let rebuilt = HierActor::with_storage(
+        peer_cfg(rep, subgroups[0].clone(), 0, founding.clone()),
+        Box::new(sub_stores[rep.0 as usize].clone()),
+        Box::new(fed_stores[rep.0 as usize].clone()),
+    );
+    assert_eq!(rebuilt.sub_raft().term(), sub_term);
+    assert_eq!(rebuilt.sub_raft().log().last_index(), sub_last);
+    assert!(
+        rebuilt.is_fed_member(),
+        "restored rep must rejoin the FedAvg layer"
+    );
+    let fed = rebuilt.fed_raft().unwrap();
+    assert_eq!(fed.term(), fed_term);
+    assert_eq!(fed.log().last_index(), fed_last);
+    assert!(!rebuilt.is_sub_leader(), "restarts as a follower");
+
+    // A plain follower has no fed record: it restores without a fed seat.
+    let follower = subgroups[0][1];
+    let rebuilt = HierActor::with_storage(
+        peer_cfg(follower, subgroups[0].clone(), 0, founding),
+        Box::new(sub_stores[follower.0 as usize].clone()),
+        Box::new(fed_stores[follower.0 as usize].clone()),
+    );
+    assert_eq!(rebuilt.sub_raft().term(), sub_term);
+    assert!(!rebuilt.is_fed_member());
+}

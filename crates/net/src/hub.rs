@@ -12,9 +12,10 @@
 //!
 //! * A writer that cannot connect, or whose connection dies mid-write,
 //!   retries the same frame after a capped exponential backoff
-//!   ([`BACKOFF_INITIAL`] doubling up to [`BACKOFF_MAX`]); frames sent
-//!   meanwhile queue in its channel, so nothing is dropped or reordered
-//!   sender-side.
+//!   ([`BACKOFF_INITIAL`] doubling up to [`BACKOFF_MAX`]) with
+//!   deterministic per-writer jitter, so simultaneously severed writers
+//!   de-synchronize reproducibly; frames sent meanwhile queue in its
+//!   channel, so nothing is dropped or reordered sender-side.
 //! * Every connection opens with a `hello` frame carrying a magic tag and
 //!   the sender's [`NodeId`], so readers attribute traffic without trusting
 //!   ephemeral port numbers.
@@ -77,6 +78,13 @@ pub struct NetStats {
     /// Successful connection establishments *after* a writer's first,
     /// i.e. recoveries from a dead connection.
     pub reconnects: u64,
+    /// Backoff sleeps taken by writer threads — one per failed connection
+    /// attempt or dead connection noticed, whether or not the subsequent
+    /// retry succeeds.
+    pub reconnect_attempts: u64,
+    /// Sends intentionally discarded before reaching a socket (the
+    /// runtime's fault-injection layer; see [`Hub::note_send_dropped`]).
+    pub sends_dropped: u64,
 }
 
 #[derive(Default)]
@@ -86,6 +94,8 @@ struct StatsAtomics {
     frames_received: AtomicU64,
     bytes_received: AtomicU64,
     reconnects: AtomicU64,
+    reconnect_attempts: AtomicU64,
+    sends_dropped: AtomicU64,
 }
 
 struct Shared {
@@ -238,7 +248,19 @@ impl Hub {
             frames_received: s.frames_received.load(Ordering::Relaxed),
             bytes_received: s.bytes_received.load(Ordering::Relaxed),
             reconnects: s.reconnects.load(Ordering::Relaxed),
+            reconnect_attempts: s.reconnect_attempts.load(Ordering::Relaxed),
+            sends_dropped: s.sends_dropped.load(Ordering::Relaxed),
         }
+    }
+
+    /// Records one send discarded above the socket layer. Called by the
+    /// runtime's fault-injection layer so deliberately dropped frames show
+    /// up in [`NetStats`] instead of vanishing silently.
+    pub fn note_send_dropped(&self) {
+        self.shared
+            .stats
+            .sends_dropped
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Graceful shutdown: stops accepting, severs connections, and joins
@@ -354,6 +376,7 @@ fn writer_loop(shared: Arc<Shared>, addr: Arc<Mutex<SocketAddr>>, rx: Receiver<W
     let mut conn: Option<TcpStream> = None;
     let mut ever_connected = false;
     let mut backoff = BACKOFF_INITIAL;
+    let mut attempt: u64 = 0;
     'frames: loop {
         let frame = match rx.recv() {
             Ok(WriterCmd::Frame(f)) => f,
@@ -372,7 +395,7 @@ fn writer_loop(shared: Arc<Shared>, addr: Arc<Mutex<SocketAddr>>, rx: Receiver<W
                         let _ = s.set_nodelay(true);
                         let _ = s.set_write_timeout(Some(WRITE_TIMEOUT));
                         if write_frame(&mut s, &hello_frame(shared.id)).is_err() {
-                            sleep_backoff(&shared, &mut backoff);
+                            sleep_backoff(&shared, &mut backoff, &mut attempt);
                             continue;
                         }
                         if ever_connected {
@@ -384,7 +407,7 @@ fn writer_loop(shared: Arc<Shared>, addr: Arc<Mutex<SocketAddr>>, rx: Receiver<W
                         conn = Some(s);
                     }
                     Err(_) => {
-                        sleep_backoff(&shared, &mut backoff);
+                        sleep_backoff(&shared, &mut backoff, &mut attempt);
                         continue;
                     }
                 }
@@ -399,17 +422,41 @@ fn writer_loop(shared: Arc<Shared>, addr: Arc<Mutex<SocketAddr>>, rx: Receiver<W
                 }
                 Err(_) => {
                     conn = None;
-                    sleep_backoff(&shared, &mut backoff);
+                    sleep_backoff(&shared, &mut backoff, &mut attempt);
                 }
             }
         }
     }
 }
 
-/// Sleeps the current backoff (in small slices so shutdown stays
-/// responsive), then doubles it up to [`BACKOFF_MAX`].
-fn sleep_backoff(shared: &Shared, backoff: &mut Duration) {
-    let mut left = *backoff;
+/// Deterministic jitter in `[0, base/2)` derived from the local node id
+/// and the writer's attempt counter (splitmix64 finalizer). Reconnecting
+/// writers de-synchronize without a shared RNG, and a given (node,
+/// attempt) pair always jitters the same way — reconnect schedules stay
+/// reproducible across runs.
+fn backoff_jitter(id: NodeId, attempt: u64, base: Duration) -> Duration {
+    let mut x = (id.0 as u64)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(attempt);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    let half = (base.as_nanos() as u64) / 2;
+    Duration::from_nanos(if half == 0 { 0 } else { x % half })
+}
+
+/// Records the retry, sleeps the current backoff plus deterministic jitter
+/// (in small slices so shutdown stays responsive), then doubles the
+/// backoff up to [`BACKOFF_MAX`].
+fn sleep_backoff(shared: &Shared, backoff: &mut Duration, attempt: &mut u64) {
+    *attempt += 1;
+    shared
+        .stats
+        .reconnect_attempts
+        .fetch_add(1, Ordering::Relaxed);
+    let mut left = *backoff + backoff_jitter(shared.id, *attempt, *backoff);
     while !left.is_zero() && !shared.is_shutdown() {
         let slice = left.min(Duration::from_millis(20));
         std::thread::sleep(slice);
@@ -505,8 +552,28 @@ mod tests {
             "reconnect not counted: {:?}",
             a.stats()
         );
+        assert!(
+            a.stats().reconnect_attempts >= 1,
+            "retry attempts not counted: {:?}",
+            a.stats()
+        );
         a.shutdown();
         b.shutdown();
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_and_bounded() {
+        for attempt in 0..50u64 {
+            let j1 = backoff_jitter(NodeId(3), attempt, BACKOFF_MAX);
+            let j2 = backoff_jitter(NodeId(3), attempt, BACKOFF_MAX);
+            assert_eq!(j1, j2, "jitter must be a pure function");
+            assert!(j1 < BACKOFF_MAX / 2, "jitter exceeds half the base");
+        }
+        assert!(
+            (0..50u64).any(|a| backoff_jitter(NodeId(1), a, BACKOFF_MAX)
+                != backoff_jitter(NodeId(2), a, BACKOFF_MAX)),
+            "distinct writers should de-synchronize"
+        );
     }
 
     #[test]

@@ -11,10 +11,20 @@
 //! `on_message`, `on_timer`, and closures submitted through
 //! [`PeerRuntime::with`]) execute on the event-loop thread, so actors need
 //! no internal synchronization — exactly as in the simulator.
+//!
+//! [`PeerRuntime::start_with_faults`] interposes a
+//! [`FaultPlan`](p2pfl_simnet::FaultPlan) between actor sends and the hub:
+//! the identical interpreter the simulator uses decides drops, duplicates,
+//! and delays here over wall-clock time, so one plan exercises both
+//! transports the same way. [`PeerRuntime::kill`] crash-stops a runtime
+//! (discarding the actor), modeling the process kills whose recovery the
+//! durable Raft storage is for.
 
 use crate::codec;
 use crate::hub::{Hub, NetEvent, NetStats};
-use p2pfl_simnet::{Actor, NodeId, Payload, SimDuration, SimTime, TimerId, Transport};
+use p2pfl_simnet::{
+    Actor, FaultPlan, LinkFaults, NodeId, Payload, SimDuration, SimTime, TimerId, Transport,
+};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet, VecDeque};
@@ -46,6 +56,49 @@ struct Timers {
     next_id: u64,
 }
 
+/// An encoded frame held back by a fault-plan delay; ordered by due time
+/// (then insertion order) so a min-heap releases the earliest first.
+#[derive(PartialEq, Eq)]
+struct DelayedFrame {
+    due: SimTime,
+    seq: u64,
+    to: NodeId,
+    bytes: Vec<u8>,
+}
+
+impl Ord for DelayedFrame {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+impl PartialOrd for DelayedFrame {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Fault interposition between actor sends and the TCP hub: the *same*
+/// [`LinkFaults`] interpreter the simulator consults, driven here by
+/// wall-clock time elapsed since the runtime started. Dropped sends are
+/// counted in [`NetStats::sends_dropped`]; delayed copies queue in a heap
+/// the event loop drains as their due times pass.
+struct FaultLayer {
+    faults: LinkFaults,
+    delayed: BinaryHeap<Reverse<DelayedFrame>>,
+    seq: u64,
+}
+
+impl FaultLayer {
+    fn new(plan: &FaultPlan) -> Self {
+        FaultLayer {
+            faults: LinkFaults::new(plan),
+            delayed: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+}
+
 /// The [`Transport`] the event loop hands to actor callbacks.
 struct RealCtx<'a, M> {
     id: NodeId,
@@ -53,6 +106,7 @@ struct RealCtx<'a, M> {
     hub: &'a Hub,
     timers: &'a mut Timers,
     loopback: &'a mut VecDeque<M>,
+    faults: &'a mut Option<FaultLayer>,
 }
 
 fn elapsed(start: Instant) -> SimTime {
@@ -73,8 +127,31 @@ impl<M: WireMsg> Transport<M> for RealCtx<'_, M> {
             // Local delivery, dispatched after the current callback returns
             // (same semantics as the simulator's instantaneous loopback).
             self.loopback.push_back(msg);
-        } else {
+            return;
+        }
+        let Some(fl) = self.faults.as_mut() else {
             self.hub.send(to, codec::to_bytes(&msg));
+            return;
+        };
+        let now = elapsed(self.start);
+        let v = fl.faults.on_send(now, self.id, to);
+        if v.copies == 0 {
+            self.hub.note_send_dropped();
+            return;
+        }
+        let bytes = codec::to_bytes(&msg);
+        for _ in 0..v.copies {
+            if v.extra_delay == SimDuration::ZERO {
+                self.hub.send(to, bytes.clone());
+            } else {
+                fl.seq += 1;
+                fl.delayed.push(Reverse(DelayedFrame {
+                    due: now + v.extra_delay,
+                    seq: fl.seq,
+                    to,
+                    bytes: bytes.clone(),
+                }));
+            }
         }
     }
 
@@ -117,6 +194,34 @@ where
         peers: &[(NodeId, SocketAddr)],
         actor: A,
     ) -> io::Result<Self> {
+        Self::start_inner(id, bind_addr, peers, actor, None)
+    }
+
+    /// Like [`PeerRuntime::start`], but every outgoing send passes through
+    /// `plan` first — the same declarative fault schedule the simulator
+    /// interprets, with the plan's time axis anchored at this runtime's
+    /// start. Loss and partition windows discard frames (counted in
+    /// [`NetStats::sends_dropped`]); duplication and delay windows emit
+    /// extra or held-back copies. Crash/restart entries are *not* acted on
+    /// here: process-level faults are the harness's job (see
+    /// [`FaultPlan::process_events`]).
+    pub fn start_with_faults(
+        id: NodeId,
+        bind_addr: &str,
+        peers: &[(NodeId, SocketAddr)],
+        actor: A,
+        plan: &FaultPlan,
+    ) -> io::Result<Self> {
+        Self::start_inner(id, bind_addr, peers, actor, Some(FaultLayer::new(plan)))
+    }
+
+    fn start_inner(
+        id: NodeId,
+        bind_addr: &str,
+        peers: &[(NodeId, SocketAddr)],
+        actor: A,
+        faults: Option<FaultLayer>,
+    ) -> io::Result<Self> {
         let (tx, rx) = mpsc::channel::<LoopEvent<M, A>>();
         let hub = {
             let tx = tx.clone();
@@ -131,7 +236,7 @@ where
         let thread = {
             let hub = hub.clone();
             let decode_errors = decode_errors.clone();
-            std::thread::spawn(move || event_loop(id, hub, rx, actor, decode_errors))
+            std::thread::spawn(move || event_loop(id, hub, rx, actor, decode_errors, faults))
         };
         Ok(PeerRuntime {
             id,
@@ -195,6 +300,20 @@ where
         rx.recv().expect("event loop alive")
     }
 
+    /// Crash-stops the runtime: severs every live connection first, then
+    /// tears the event loop down and *discards* the actor — simulating a
+    /// process kill where all in-memory state is lost. Only durable state
+    /// (e.g. a file-backed Raft record) survives; restart by constructing
+    /// a fresh actor from it and calling [`PeerRuntime::start`] again.
+    pub fn kill(mut self) {
+        self.hub.kill_connections();
+        let _ = self.ctl.send(LoopEvent::Stop);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        self.hub.shutdown();
+    }
+
     /// Stops the event loop and the transport, returning the actor.
     pub fn stop(mut self) -> A {
         let _ = self.ctl.send(LoopEvent::Stop);
@@ -225,6 +344,7 @@ fn event_loop<M: WireMsg, A: Actor<M>>(
     rx: mpsc::Receiver<LoopEvent<M, A>>,
     mut actor: A,
     decode_errors: Arc<AtomicU64>,
+    mut faults: Option<FaultLayer>,
 ) -> A {
     let start = Instant::now();
     let mut timers = Timers {
@@ -245,6 +365,7 @@ fn event_loop<M: WireMsg, A: Actor<M>>(
                     hub: &hub,
                     timers: &mut timers,
                     loopback: &mut loopback,
+                    faults: &mut faults,
                 };
                 #[allow(clippy::redundant_closure_call)]
                 $call;
@@ -256,6 +377,7 @@ fn event_loop<M: WireMsg, A: Actor<M>>(
                     hub: &hub,
                     timers: &mut timers,
                     loopback: &mut loopback,
+                    faults: &mut faults,
                 };
                 actor.on_message(&mut $ctx, id, m);
             }
@@ -278,8 +400,30 @@ fn event_loop<M: WireMsg, A: Actor<M>>(
             dispatch!(|ctx| actor.on_timer(&mut ctx, tag));
         }
 
-        let timeout = match timers.heap.peek() {
-            Some(Reverse((deadline, _, _))) => {
+        // Release fault-delayed frames whose due times have passed.
+        if let Some(fl) = faults.as_mut() {
+            let now = elapsed(start);
+            while fl.delayed.peek().is_some_and(|Reverse(d)| d.due <= now) {
+                let Reverse(d) = fl.delayed.pop().expect("peeked");
+                hub.send(d.to, d.bytes);
+            }
+        }
+
+        let next_deadline = {
+            let timer = timers
+                .heap
+                .peek()
+                .map(|Reverse((deadline, _, _))| *deadline);
+            let delayed = faults
+                .as_ref()
+                .and_then(|fl| fl.delayed.peek().map(|Reverse(d)| d.due));
+            match (timer, delayed) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            }
+        };
+        let timeout = match next_deadline {
+            Some(deadline) => {
                 let now = elapsed(start);
                 Duration::from_nanos(deadline.as_nanos().saturating_sub(now.as_nanos()))
                     .min(Duration::from_millis(100))
@@ -393,6 +537,79 @@ mod tests {
         assert!(ea.timer_fired && eb.timer_fired, "timers did not fire");
         assert!(ea.loopback_seen && eb.loopback_seen, "loopback skipped");
         assert_eq!(ea.seen + eb.seen, 4);
+    }
+
+    #[test]
+    fn fault_plan_duplicates_and_delays_on_real_sockets() {
+        // Sender a duplicates every frame and delays it ~30 ms; receiver b
+        // runs clean and must see exactly two copies.
+        let plan = FaultPlan::new(7)
+            .duplicate(SimTime::ZERO, SimTime::from_secs(3600), 1.0)
+            .delay(
+                SimTime::ZERO,
+                SimTime::from_secs(3600),
+                SimDuration::from_millis(30),
+                SimDuration::ZERO,
+            );
+        let b = PeerRuntime::start(NodeId(1), "127.0.0.1:0", &[], echo()).unwrap();
+        let a = PeerRuntime::start_with_faults(
+            NodeId(0),
+            "127.0.0.1:0",
+            &[(NodeId(1), b.local_addr())],
+            echo(),
+            &plan,
+        )
+        .unwrap();
+        let sent_at = Instant::now();
+        a.with(|_, ctx| ctx.send(NodeId(1), WireBlob { size: 8, tag: 3 }));
+
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while b.with(|e, _| e.seen) < 2 {
+            assert!(Instant::now() < deadline, "duplicate copy never arrived");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            sent_at.elapsed() >= Duration::from_millis(30),
+            "delay window did not hold the frames back"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(b.with(|e, _| e.seen), 2, "expected exactly two copies");
+        drop(a);
+        drop(b);
+    }
+
+    #[test]
+    fn fault_plan_loss_counts_dropped_sends() {
+        let plan = FaultPlan::new(3).loss(SimTime::ZERO, SimTime::from_secs(3600), 1.0);
+        let b = PeerRuntime::start(NodeId(1), "127.0.0.1:0", &[], echo()).unwrap();
+        let a = PeerRuntime::start_with_faults(
+            NodeId(0),
+            "127.0.0.1:0",
+            &[(NodeId(1), b.local_addr())],
+            echo(),
+            &plan,
+        )
+        .unwrap();
+        for tag in 0..5 {
+            a.with(move |_, ctx| {
+                ctx.send(
+                    NodeId(1),
+                    WireBlob {
+                        size: 8,
+                        tag: 3 + tag,
+                    },
+                )
+            });
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while a.stats().sends_dropped < 5 {
+            assert!(Instant::now() < deadline, "drops not counted");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(a.stats().frames_sent, 0, "lossy frames reached the wire");
+        assert_eq!(b.with(|e, _| e.seen), 0);
+        drop(a);
+        drop(b);
     }
 
     #[test]

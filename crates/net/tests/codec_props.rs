@@ -4,7 +4,7 @@
 //! batches) and large share blocks.
 
 use p2pfl_hierraft::{FedConfig, HierMsg, SubCmd};
-use p2pfl_net::codec::{from_bytes, to_bytes};
+use p2pfl_net::codec::{from_bytes, to_bytes, write_frame, FrameBuffer, MAX_FRAME};
 use p2pfl_raft::{Entry, LogCmd, RaftMsg};
 use p2pfl_secagg::{SacMsg, WeightVector};
 use p2pfl_simnet::NodeId;
@@ -236,6 +236,56 @@ fn zero_length_share_vectors_round_trip() {
     };
     let back = from_bytes::<SacMsg>(&to_bytes(&msg)).unwrap();
     assert_eq!(back, msg);
+}
+
+#[test]
+fn frame_buffer_reassembles_one_byte_feeds() {
+    // TCP can fragment arbitrarily — even splitting the 4-byte length
+    // prefix. Feeding the buffer a byte at a time must still yield every
+    // frame intact and in order, with no spurious frames in between.
+    let payloads: Vec<Vec<u8>> = vec![
+        to_bytes(&SacMsg::Begin { round: 1 }),
+        Vec::new(), // zero-length frame: header-only
+        to_bytes(&SacMsg::SubtotalRequest { round: 2, idx: 3 }),
+    ];
+    let mut wire = Vec::new();
+    for p in &payloads {
+        write_frame(&mut wire, p).unwrap();
+    }
+    let mut fb = FrameBuffer::new();
+    let mut got = Vec::new();
+    for (i, b) in wire.iter().enumerate() {
+        fb.extend(std::slice::from_ref(b));
+        while let Some(frame) = fb.next_frame().unwrap() {
+            got.push((i, frame));
+        }
+    }
+    let frames: Vec<Vec<u8>> = got.iter().map(|(_, f)| f.clone()).collect();
+    assert_eq!(frames, payloads);
+    // Each frame must complete exactly on its final byte, not earlier.
+    let mut boundary = 0;
+    for ((at, _), p) in got.iter().zip(&payloads) {
+        boundary += 4 + p.len();
+        assert_eq!(*at, boundary - 1, "frame surfaced before its last byte");
+    }
+}
+
+#[test]
+fn frame_buffer_rejects_oversize_length_prefix() {
+    // A length prefix one past MAX_FRAME must fail immediately — before
+    // any payload bytes arrive — since the stream cannot be resynced.
+    let mut fb = FrameBuffer::new();
+    fb.extend(&((MAX_FRAME as u32) + 1).to_le_bytes());
+    assert!(fb.next_frame().is_err(), "oversize frame not rejected");
+
+    // Exactly MAX_FRAME is still legal: the buffer waits for the payload.
+    let mut fb = FrameBuffer::new();
+    fb.extend(&(MAX_FRAME as u32).to_le_bytes());
+    assert!(matches!(fb.next_frame(), Ok(None)));
+
+    // And the writer side enforces the same cap.
+    let mut sink = Vec::new();
+    assert!(write_frame(&mut sink, &vec![0u8; MAX_FRAME + 1]).is_err());
 }
 
 #[test]

@@ -33,10 +33,12 @@ mod driver;
 mod log;
 mod message;
 mod node;
+mod storage;
 mod types;
 
 pub use driver::{LeadershipEvent, NullStateMachine, RaftActor, StateMachine};
 pub use log::{Entry, RaftLog};
 pub use message::RaftMsg;
 pub use node::{Effect, NotLeader, RaftConfig, RaftNode};
+pub use storage::{FileStorage, MemStorage, PersistOp, PersistentState, RaftStorage};
 pub use types::{Command, LogCmd, LogIndex, Role, Term};

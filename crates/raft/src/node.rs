@@ -12,6 +12,7 @@
 
 use crate::log::{Entry, RaftLog};
 use crate::message::RaftMsg;
+use crate::storage::{PersistOp, PersistentState};
 use crate::types::{Command, LogCmd, LogIndex, Role, Term};
 use p2pfl_simnet::{NodeId, SimDuration};
 use rand::rngs::StdRng;
@@ -78,6 +79,11 @@ pub enum Effect<C> {
     RestoreSnapshot(Vec<u8>),
     /// The cluster configuration changed (by an appended config entry).
     ConfigChanged(Vec<NodeId>),
+    /// Persistent state changed: the driver must record this op on stable
+    /// storage. Emitted *before* any [`Effect::Send`] that depends on it
+    /// within the same batch, so processing effects in order yields Raft's
+    /// required persist-before-reply discipline.
+    Persist(PersistOp<C>),
 }
 
 /// Error returned when proposing to a non-leader.
@@ -139,6 +145,30 @@ impl<C: Command> RaftNode<C> {
         }
     }
 
+    /// Rebuilds a node from storage-recovered persistent state, as a
+    /// follower. `commit_index`/`last_applied` restart at the snapshot
+    /// boundary (commitment is volatile in Raft); entries above it are
+    /// re-committed — and re-applied to the driver's fresh state machine —
+    /// once a leader re-establishes their commitment.
+    pub fn restore(cfg: RaftConfig, state: PersistentState<C>) -> Self {
+        let mut node = RaftNode::new(cfg);
+        node.current_term = state.term;
+        node.voted_for = state.voted_for;
+        node.log = state.log;
+        node.snapshot = state.snapshot;
+        node.commit_index = node.log.snapshot_index();
+        node.last_applied = node.log.snapshot_index();
+        node.cluster = node.compute_cluster();
+        node
+    }
+
+    fn persist_hard_state(&self) -> Effect<C> {
+        Effect::Persist(PersistOp::HardState {
+            term: self.current_term,
+            voted_for: self.voted_for,
+        })
+    }
+
     // ------------------------------------------------------------------
     // Accessors
     // ------------------------------------------------------------------
@@ -181,6 +211,11 @@ impl<C: Command> RaftNode<C> {
     /// Read access to the log.
     pub fn log(&self) -> &RaftLog<C> {
         &self.log
+    }
+
+    /// The local snapshot, if any: `(last_index, last_term, cluster, blob)`.
+    pub fn snapshot(&self) -> Option<&(LogIndex, Term, Vec<NodeId>, Vec<u8>)> {
+        self.snapshot.as_ref()
     }
 
     // ------------------------------------------------------------------
@@ -273,7 +308,8 @@ impl<C: Command> RaftNode<C> {
             });
         }
         let index = self.log.append(self.current_term, cmd);
-        let mut eff = Vec::new();
+        let appended = self.log.get(index).expect("just appended").clone();
+        let mut eff = vec![Effect::Persist(PersistOp::Append(appended))];
         if let Some(changed) = self.recompute_cluster_if_config(index) {
             eff.push(Effect::ConfigChanged(changed));
         }
@@ -407,7 +443,7 @@ impl<C: Command> RaftNode<C> {
         self.votes.clear();
         self.votes.insert(self.cfg.id);
         self.leader_hint = None;
-        let mut eff = Vec::new();
+        let mut eff = vec![self.persist_hard_state()];
         let msg: RaftMsg<C> = RaftMsg::RequestVote {
             term: self.current_term,
             candidate: self.cfg.id,
@@ -444,8 +480,12 @@ impl<C: Command> RaftNode<C> {
         }
         // Commit a no-op so prior-term entries become committable under the
         // current-term-only commit rule.
-        self.log.append(self.current_term, LogCmd::Noop);
-        let mut eff = vec![Effect::BecameLeader(self.current_term)];
+        let noop_index = self.log.append(self.current_term, LogCmd::Noop);
+        let noop = self.log.get(noop_index).expect("just appended").clone();
+        let mut eff = vec![
+            Effect::Persist(PersistOp::Append(noop)),
+            Effect::BecameLeader(self.current_term),
+        ];
         eff.extend(self.broadcast_append_entries());
         eff.push(Effect::ArmHeartbeatTimer(self.cfg.heartbeat_interval));
         eff.extend(self.try_advance_commit());
@@ -455,13 +495,14 @@ impl<C: Command> RaftNode<C> {
     fn step_down(&mut self, term: Term) -> Vec<Effect<C>> {
         let was_leader = self.role == Role::Leader;
         let old_term = self.current_term;
+        let mut eff = Vec::new();
         if term > self.current_term {
             self.current_term = term;
             self.voted_for = None;
+            eff.push(self.persist_hard_state());
         }
         self.role = Role::Follower;
         self.votes.clear();
-        let mut eff = Vec::new();
         if was_leader {
             eff.push(Effect::SteppedDown(old_term));
         }
@@ -489,6 +530,7 @@ impl<C: Command> RaftNode<C> {
             && (self.voted_for.is_none() || self.voted_for == Some(candidate));
         if grant {
             self.voted_for = Some(candidate);
+            eff.push(self.persist_hard_state());
             // Granting a vote resets the election timer (we believe an
             // election is legitimately in progress).
             eff.push(Effect::ArmElectionTimer(self.sample_timeout()));
@@ -590,6 +632,12 @@ impl<C: Command> RaftNode<C> {
         self.commit_index = last_index;
         self.last_applied = last_index;
         self.snapshot = Some((last_index, last_term, cluster.clone(), data.clone()));
+        eff.push(Effect::Persist(PersistOp::InstallSnapshot {
+            last_index,
+            last_term,
+            cluster: cluster.clone(),
+            data: data.clone(),
+        }));
         if cluster != self.cluster {
             self.cluster = cluster.clone();
             eff.push(Effect::ConfigChanged(cluster));
@@ -665,11 +713,14 @@ impl<C: Command> RaftNode<C> {
                 Some(t) if t == e.term => continue, // already have it
                 Some(_) => {
                     self.log.truncate_from(e.index);
+                    eff.push(Effect::Persist(PersistOp::TruncateFrom(e.index)));
                     config_touched = true;
                     self.log.append_entry(e.clone());
+                    eff.push(Effect::Persist(PersistOp::Append(e.clone())));
                 }
                 None => {
                     self.log.append_entry(e.clone());
+                    eff.push(Effect::Persist(PersistOp::Append(e.clone())));
                 }
             }
             if matches!(e.cmd, LogCmd::AddServer(_) | LogCmd::RemoveServer(_)) {

@@ -411,6 +411,14 @@ impl Actor<SacMsg> for SacPeerActor {
                 if self.cfg.is_leader() {
                     return; // only followers react to Begin
                 }
+                // Share distribution draws fresh randomness, so it must
+                // run exactly once per round: a duplicated Begin for the
+                // round in progress would emit a *different* share set and
+                // break mask cancellation, and a stale Begin re-delivered
+                // from an earlier round would regress the actor.
+                if round < self.round || (round == self.round && self.phase != SacPhase::Idle) {
+                    return;
+                }
                 self.reset_for(round);
                 self.distribute_shares(ctx);
                 self.phase = SacPhase::Sharing;
@@ -609,6 +617,35 @@ mod tests {
         );
         sim.run_until(SimTime::from_millis(50));
         assert_eq!(sim.actor::<SacPeerActor>(ids[0]).phase, SacPhase::Idle);
+    }
+
+    #[test]
+    fn duplicate_and_stale_begins_are_ignored() {
+        let (mut sim, ids, models) = build(5, 3, 8, 31);
+        start(&mut sim, ids[0], 2);
+        // Re-deliver the in-flight Begin to one follower and a stale
+        // round-1 Begin to another: neither may trigger a second share
+        // distribution (fresh randomness would break mask cancellation)
+        // or regress the follower's round.
+        sim.inject(
+            ids[0],
+            ids[2],
+            SacMsg::Begin { round: 2 },
+            SimDuration::from_millis(20),
+        );
+        sim.inject(
+            ids[0],
+            ids[3],
+            SacMsg::Begin { round: 1 },
+            SimDuration::from_millis(25),
+        );
+        sim.run_until(SimTime::from_secs(2));
+        let leader = sim.actor::<SacPeerActor>(ids[0]);
+        assert_eq!(leader.phase, SacPhase::Done, "phase: {:?}", leader.phase);
+        assert_eq!(leader.contributors, vec![0, 1, 2, 3, 4]);
+        let avg = leader.result.as_ref().unwrap();
+        assert!(avg.linf_distance(&plain_mean(&models, &[0, 1, 2, 3, 4])) < 1e-9);
+        assert_eq!(sim.actor::<SacPeerActor>(ids[3]).round, 2);
     }
 
     #[test]

@@ -1,0 +1,413 @@
+//! Compact binary wire format and length-delimited framing.
+//!
+//! The codec implements the workspace serde data model
+//! ([`serde::Serializer`] / [`serde::Deserializer`]) over a flat byte
+//! buffer:
+//!
+//! * integers are fixed-width little-endian (`u64`/`i64` as 8 bytes,
+//!   floats as their IEEE-754 bit patterns);
+//! * strings and sequences carry a `u32` length prefix;
+//! * struct and field names are *not* encoded — both ends agree on the
+//!   schema, which is exactly the property the derived `Deserialize`
+//!   impls guarantee;
+//! * enum variants are a `u32` index, validated against the expected
+//!   variant table on decode;
+//! * options are a one-byte presence flag.
+//!
+//! On the wire each message is one *frame*: a `u32` little-endian payload
+//! length followed by the payload, capped at [`MAX_FRAME`] so a corrupt or
+//! hostile length prefix cannot trigger an unbounded allocation.
+
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::io::{self, Read, Write};
+
+/// Hard upper bound on a frame payload (64 MiB). The largest legitimate
+/// message in this workspace is a `ShareBlock` of CNN-sized weight
+/// partitions, well under this.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the value was complete.
+    Eof,
+    /// The value decoded, but bytes were left over.
+    TrailingBytes,
+    /// An enum variant index outside the expected table.
+    InvalidVariant,
+    /// Data parsed but is semantically invalid (bad bool byte, non-UTF-8
+    /// string, out-of-range integer, ...).
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Eof => write!(f, "unexpected end of input"),
+            CodecError::TrailingBytes => write!(f, "trailing bytes after value"),
+            CodecError::InvalidVariant => write!(f, "invalid enum variant index"),
+            CodecError::Invalid(msg) => write!(f, "invalid data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Serializes `value` into a fresh byte buffer.
+pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Vec<u8> {
+    let mut ser = BinSerializer { buf: Vec::new() };
+    // The binary serializer never fails: it only appends to a Vec.
+    value
+        .serialize(&mut ser)
+        .expect("binary serialization is infallible");
+    ser.buf
+}
+
+/// Deserializes one `T` from `bytes`, requiring the value to consume the
+/// whole buffer.
+pub fn from_bytes<T: Deserialize>(bytes: &[u8]) -> Result<T, CodecError> {
+    let mut de = BinDeserializer { bytes, pos: 0 };
+    let value = T::deserialize(&mut de)?;
+    if de.pos != bytes.len() {
+        return Err(CodecError::TrailingBytes);
+    }
+    Ok(value)
+}
+
+/// Event-stream serializer writing the compact binary format.
+pub struct BinSerializer {
+    buf: Vec<u8>,
+}
+
+impl Serializer for BinSerializer {
+    type Error = CodecError;
+
+    fn ser_bool(&mut self, v: bool) -> Result<(), CodecError> {
+        self.buf.push(v as u8);
+        Ok(())
+    }
+    fn ser_u64(&mut self, v: u64) -> Result<(), CodecError> {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn ser_i64(&mut self, v: i64) -> Result<(), CodecError> {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn ser_f32(&mut self, v: f32) -> Result<(), CodecError> {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn ser_f64(&mut self, v: f64) -> Result<(), CodecError> {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn ser_str(&mut self, v: &str) -> Result<(), CodecError> {
+        self.write_len(v.len());
+        self.buf.extend_from_slice(v.as_bytes());
+        Ok(())
+    }
+
+    fn begin_seq(&mut self, len: usize) -> Result<(), CodecError> {
+        self.write_len(len);
+        Ok(())
+    }
+    fn seq_element(&mut self) -> Result<(), CodecError> {
+        Ok(())
+    }
+    fn end_seq(&mut self) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn begin_struct(&mut self, _name: &'static str, _len: usize) -> Result<(), CodecError> {
+        Ok(())
+    }
+    fn field(&mut self, _name: &'static str) -> Result<(), CodecError> {
+        Ok(())
+    }
+    fn end_struct(&mut self) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn begin_variant(
+        &mut self,
+        _name: &'static str,
+        index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<(), CodecError> {
+        self.buf.extend_from_slice(&index.to_le_bytes());
+        Ok(())
+    }
+    fn end_variant(&mut self) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn ser_none(&mut self) -> Result<(), CodecError> {
+        self.buf.push(0);
+        Ok(())
+    }
+    fn begin_some(&mut self) -> Result<(), CodecError> {
+        self.buf.push(1);
+        Ok(())
+    }
+}
+
+impl BinSerializer {
+    fn write_len(&mut self, len: usize) {
+        let len = u32::try_from(len).expect("sequence longer than u32::MAX");
+        self.buf.extend_from_slice(&len.to_le_bytes());
+    }
+}
+
+/// Event-stream deserializer reading the compact binary format.
+pub struct BinDeserializer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BinDeserializer<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::Eof)?;
+        if end > self.bytes.len() {
+            return Err(CodecError::Eof);
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn read_len(&mut self) -> Result<usize, CodecError> {
+        let raw = u32::from_le_bytes(self.take(4)?.try_into().unwrap());
+        Ok(raw as usize)
+    }
+}
+
+impl Deserializer for BinDeserializer<'_> {
+    type Error = CodecError;
+
+    fn de_bool(&mut self) -> Result<bool, CodecError> {
+        match self.take(1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Invalid("bool byte")),
+        }
+    }
+    fn de_u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn de_i64(&mut self) -> Result<i64, CodecError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn de_f32(&mut self) -> Result<f32, CodecError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn de_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn de_string(&mut self) -> Result<String, CodecError> {
+        let len = self.read_len()?;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| CodecError::Invalid("utf-8"))
+    }
+
+    fn begin_seq(&mut self) -> Result<usize, CodecError> {
+        self.read_len()
+    }
+    fn seq_element(&mut self) -> Result<(), CodecError> {
+        Ok(())
+    }
+    fn end_seq(&mut self) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn begin_struct(&mut self, _name: &'static str, _len: usize) -> Result<(), CodecError> {
+        Ok(())
+    }
+    fn field(&mut self, _name: &'static str) -> Result<(), CodecError> {
+        Ok(())
+    }
+    fn end_struct(&mut self) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn begin_variant(
+        &mut self,
+        _name: &'static str,
+        variants: &'static [&'static str],
+    ) -> Result<u32, CodecError> {
+        let index = u32::from_le_bytes(self.take(4)?.try_into().unwrap());
+        if (index as usize) < variants.len() {
+            Ok(index)
+        } else {
+            Err(CodecError::InvalidVariant)
+        }
+    }
+    fn end_variant(&mut self) -> Result<(), CodecError> {
+        Ok(())
+    }
+
+    fn de_option(&mut self) -> Result<bool, CodecError> {
+        match self.take(1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Invalid("option byte")),
+        }
+    }
+
+    fn invalid(&mut self, msg: &'static str) -> CodecError {
+        CodecError::Invalid(msg)
+    }
+}
+
+/// Writes `payload` as one length-delimited frame.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Incremental frame parser for non-blocking / timeout-driven readers.
+///
+/// [`FrameBuffer::extend`] appends raw received bytes;
+/// [`FrameBuffer::next_frame`] yields complete frames as they become
+/// available, preserving partial frames across reads so a read timeout in
+/// the middle of a frame never desynchronizes the stream.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends freshly received bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame, if one is buffered.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, CodecError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap()) as usize;
+        if len > MAX_FRAME {
+            return Err(CodecError::Invalid("frame exceeds MAX_FRAME"));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let frame = self.buf[4..4 + len].to_vec();
+        self.buf.drain(..4 + len);
+        Ok(Some(frame))
+    }
+}
+
+/// Reads one frame from a blocking reader (test helper; the hub uses
+/// [`FrameBuffer`] so it can interleave timeout checks).
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Vec<u8>> {
+    let mut header = [0u8; 4];
+    r.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME",
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(serde::Serialize, serde::Deserialize, Debug, PartialEq, Clone)]
+    enum Probe {
+        Unit,
+        Named { a: u64, b: Option<String> },
+        Tuple(Vec<f64>, bool),
+    }
+
+    #[test]
+    fn round_trips_enum_shapes() {
+        for v in [
+            Probe::Unit,
+            Probe::Named {
+                a: 7,
+                b: Some("x".into()),
+            },
+            Probe::Named { a: 0, b: None },
+            Probe::Tuple(vec![1.5, -2.25], true),
+        ] {
+            let bytes = to_bytes(&v);
+            assert_eq!(from_bytes::<Probe>(&bytes), Ok(v));
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_and_truncated() {
+        let mut bytes = to_bytes(&Probe::Unit);
+        bytes.push(0);
+        assert_eq!(from_bytes::<Probe>(&bytes), Err(CodecError::TrailingBytes));
+
+        let bytes = to_bytes(&Probe::Named { a: 1, b: None });
+        assert_eq!(
+            from_bytes::<Probe>(&bytes[..bytes.len() - 1]),
+            Err(CodecError::Eof)
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_variant() {
+        let mut bytes = to_bytes(&Probe::Unit);
+        bytes[..4].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(from_bytes::<Probe>(&bytes), Err(CodecError::InvalidVariant));
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_split_frames() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, b"world!").unwrap();
+
+        let mut fb = FrameBuffer::new();
+        let mut frames = Vec::new();
+        // Feed one byte at a time: every split point must be survivable.
+        for &b in &wire {
+            fb.extend(&[b]);
+            while let Some(f) = fb.next_frame().unwrap() {
+                frames.push(f);
+            }
+        }
+        assert_eq!(frames, vec![b"hello".to_vec(), vec![], b"world!".to_vec()]);
+    }
+
+    #[test]
+    fn frame_buffer_rejects_oversize_header() {
+        let mut fb = FrameBuffer::new();
+        fb.extend(&(u32::MAX).to_le_bytes());
+        assert!(fb.next_frame().is_err());
+    }
+
+    #[test]
+    fn blocking_read_frame_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"abc").unwrap();
+        let mut cursor = std::io::Cursor::new(wire);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"abc");
+    }
+}

@@ -16,7 +16,10 @@
 //! * Link latencies come from a [`Latency`] model (constant / uniform /
 //!   truncated normal), optionally per directed link.
 //! * Fault injection: scheduled crashes and restarts, link partitions, and
-//!   i.i.d. message loss.
+//!   i.i.d. message loss — plus declarative, seeded [`FaultPlan`] schedules
+//!   (loss, delay, duplication, reordering, partitions, blackouts,
+//!   crash/restart) interpreted identically here and by the real TCP
+//!   transport in `p2pfl-net`.
 //! * Every message is charged to a [`Metrics`] ledger (bytes and counts per
 //!   link and per protocol phase) — the basis for the paper's communication
 //!   cost figures.
@@ -43,6 +46,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
+mod fault;
 mod latency;
 mod metrics;
 mod node;
@@ -52,6 +57,10 @@ mod time;
 mod trace;
 mod transport;
 
+pub use fault::{
+    FaultAction, FaultEntry, FaultPlan, LinkDropCause, LinkFaults, LinkVerdict, ProcessEvent,
+    ProcessFault,
+};
 pub use latency::{Latency, LatencyConfig};
 pub use metrics::{Counter, Metrics};
 pub use node::{NodeId, TimerId};

@@ -6,7 +6,11 @@
 //! protocol phase, it reports a static kind label.
 
 /// Application message carried by the simulated network.
-pub trait Payload: Send + 'static {
+///
+/// `Clone` is required so the fault layer can deliver duplicate copies of a
+/// message (the [`crate::FaultAction::Duplicate`] fault); every real payload
+/// in the workspace is a cheaply cloneable enum or reference-counted blob.
+pub trait Payload: Clone + Send + 'static {
     /// Serialized size of the message in bytes, used for the communication
     /// cost ledger. Implementations should count what a real wire format
     /// would carry (weight tensors dominate in this workspace).

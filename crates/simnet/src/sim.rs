@@ -6,6 +6,7 @@
 //! [`Context`], which samples link latencies, arms timers, and accounts
 //! communication cost. Identical seeds produce identical executions.
 
+use crate::fault::{FaultAction, FaultPlan, LinkDropCause, LinkFaults};
 use crate::latency::LatencyConfig;
 use crate::metrics::Metrics;
 use crate::node::{NodeId, TimerId};
@@ -100,6 +101,7 @@ struct SimInner<M> {
     epoch: Vec<u64>,
     partitions: HashSet<(NodeId, NodeId)>,
     loss_probability: f64,
+    link_faults: Option<LinkFaults>,
     latency: LatencyConfig,
     metrics: Metrics,
     trace: Trace,
@@ -176,6 +178,32 @@ impl<'a, M: Payload> Context<'a, M> {
             );
             return;
         }
+        // The scheduled fault plan (if any) rules on this send: it may drop
+        // it, duplicate it, or hold it back. The same interpreter runs in
+        // the real transport's fault layer, so one plan means one behavior.
+        let (copies, extra_delay) = match self.inner.link_faults.as_mut() {
+            Some(lf) => {
+                let v = lf.on_send(self.inner.now, src, to);
+                if v.copies == 0 {
+                    self.inner.metrics.record_drop(bytes);
+                    let reason = match v.cause {
+                        Some(LinkDropCause::Partitioned) => DropReason::Partitioned,
+                        _ => DropReason::Lossy,
+                    };
+                    self.inner.trace.record(
+                        self.inner.now,
+                        TraceKind::Drop {
+                            src,
+                            dst: to,
+                            reason,
+                        },
+                    );
+                    return;
+                }
+                (v.copies, v.extra_delay)
+            }
+            None => (1, SimDuration::ZERO),
+        };
         // Store-and-forward: serialization occupies the sender's egress
         // link, so concurrent sends from one node queue behind each other;
         // propagation then overlaps freely.
@@ -193,10 +221,18 @@ impl<'a, M: Payload> Context<'a, M> {
             self.inner.tx_free[src.index()] = depart;
             depart
         };
-        let prop = self.inner.latency.sample(src, to, &mut self.inner.rng);
-        let at = depart + prop;
-        self.inner
-            .push(at, EventKind::Deliver { src, dst: to, msg });
+        for _ in 0..copies {
+            let prop = self.inner.latency.sample(src, to, &mut self.inner.rng);
+            let at = depart + prop + extra_delay;
+            self.inner.push(
+                at,
+                EventKind::Deliver {
+                    src,
+                    dst: to,
+                    msg: msg.clone(),
+                },
+            );
+        }
     }
 
     /// Sends `msg` to every node in `peers` except this node.
@@ -293,6 +329,7 @@ impl<M: Payload> Sim<M> {
                 epoch: Vec::new(),
                 partitions: HashSet::new(),
                 loss_probability: 0.0,
+                link_faults: None,
                 latency: LatencyConfig::paper_default(),
                 metrics: Metrics::new(),
                 trace: Trace::new(),
@@ -360,6 +397,33 @@ impl<M: Payload> Sim<M> {
     pub fn schedule_restart(&mut self, node: NodeId, at: SimTime) {
         assert!(at >= self.inner.now, "cannot schedule in the past");
         self.inner.push(at, EventKind::Restart(node));
+    }
+
+    /// Applies a declarative [`FaultPlan`]: crash/restart entries become
+    /// scheduled events (times are relative to the current virtual time)
+    /// and all link-level entries are handed to a seeded [`LinkFaults`]
+    /// interpreter consulted on every subsequent send. Applying a second
+    /// plan replaces the first.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        let base = self.inner.now;
+        for e in &plan.entries {
+            match e.action {
+                FaultAction::Crash { node } => {
+                    self.schedule_crash(node, base + e.from.saturating_since(SimTime::ZERO))
+                }
+                FaultAction::Restart { node } => {
+                    self.schedule_restart(node, base + e.from.saturating_since(SimTime::ZERO))
+                }
+                _ => {}
+            }
+        }
+        self.inner.link_faults = Some(LinkFaults::new_at(plan, base));
+    }
+
+    /// Removes a previously applied fault plan's link-level effects.
+    /// Already-scheduled crash/restart events still fire.
+    pub fn clear_fault_plan(&mut self) {
+        self.inner.link_faults = None;
     }
 
     /// Blocks the directed link `src -> dst` from now on. Messages already
@@ -820,6 +884,84 @@ mod tests {
         let mut sim: Sim<Blob> = Sim::new(5);
         sim.run_until(SimTime::from_millis(500));
         assert_eq!(sim.now(), SimTime::from_millis(500));
+    }
+
+    #[test]
+    fn fault_plan_duplicates_delays_and_crashes() {
+        use crate::fault::FaultPlan;
+        let mut sim = Sim::new(21);
+        let echo = sim.add_node(Echo {
+            received: 0,
+            echo: false,
+        });
+        let pinger = sim.add_node(Pinger {
+            peer: echo,
+            replies: 0,
+            reply_at: None,
+        });
+        let _ = pinger;
+        // Every message duplicated and held back 40 ms past the 15 ms link
+        // latency; the node crashes at 100 ms and restarts at 150 ms.
+        let plan = FaultPlan::new(77)
+            .duplicate(SimTime::ZERO, SimTime::from_secs(1), 1.0)
+            .delay(
+                SimTime::ZERO,
+                SimTime::from_secs(1),
+                SimDuration::from_millis(40),
+                SimDuration::ZERO,
+            )
+            .crash(SimTime::from_millis(100), echo)
+            .restart(SimTime::from_millis(150), echo);
+        sim.apply_fault_plan(&plan);
+        sim.run_until(SimTime::from_millis(90));
+        assert_eq!(
+            sim.actor::<Echo>(echo).received,
+            2,
+            "duplicate fault must deliver two copies"
+        );
+        assert!(!sim.is_crashed(echo));
+        sim.run_until(SimTime::from_millis(120));
+        assert!(sim.is_crashed(echo), "plan crash must fire");
+        sim.run_until(SimTime::from_millis(200));
+        assert!(!sim.is_crashed(echo), "plan restart must fire");
+    }
+
+    #[test]
+    fn fault_plan_loss_window_expires() {
+        use crate::fault::FaultPlan;
+        let mut sim = Sim::new(22);
+        let echo = sim.add_node(Echo {
+            received: 0,
+            echo: false,
+        });
+        let plan = FaultPlan::new(3).loss(SimTime::ZERO, SimTime::from_millis(50), 1.0);
+        sim.apply_fault_plan(&plan);
+        sim.inject(
+            NodeId(9),
+            echo,
+            Blob::of_size(1),
+            SimDuration::from_millis(1),
+        );
+        // Injected messages bypass Context::send; drive a real send instead.
+        let _p = sim.add_node(Pinger {
+            peer: echo,
+            replies: 0,
+            reply_at: None,
+        });
+        sim.run_until(SimTime::from_millis(60));
+        assert_eq!(sim.metrics().dropped().msgs, 1, "send inside window drops");
+        let pinger2 = sim.add_node(Pinger {
+            peer: echo,
+            replies: 0,
+            reply_at: None,
+        });
+        let _ = pinger2;
+        sim.run_until(SimTime::from_millis(200));
+        assert_eq!(
+            sim.actor::<Echo>(echo).received,
+            2,
+            "the injected message and the post-window send must arrive"
+        );
     }
 
     #[test]

@@ -1,0 +1,355 @@
+//! Acceptance: one declarative [`FaultPlan`] value is interpreted
+//! identically by the discrete-event simulator and the real TCP transport.
+//!
+//! * The same loss-free plan (delay spikes + duplication) applied to both
+//!   transports lets a full SAC round complete, with the leader's
+//!   aggregate bit-for-bit equal to the fault-free digest — the paper's
+//!   invariant that faults which do not destroy shares cannot change the
+//!   result.
+//! * The same plan applied to the two-layer Raft deployment on the
+//!   simulator still reaches a stable elected state and commits a round
+//!   marker through the FedAvg layer.
+//! * A crash/restart event pair taken from a plan's process-fault schedule
+//!   kills a real `PeerRuntime` peer mid-deployment and recovers it from
+//!   its on-disk Raft record: the rebuilt actor restores term, log, and
+//!   its FedAvg-layer seat from the files alone, and the deployment then
+//!   commits a fresh round marker.
+
+use p2pfl_hierraft::{Deployment, DeploymentSpec, HierActor, HierMsg, HierPeerConfig, SubCmd};
+use p2pfl_net::PeerRuntime;
+use p2pfl_raft::FileStorage;
+use p2pfl_secagg::{SacConfig, SacMsg, SacPeerActor, SacPhase, ShareScheme, WeightVector};
+use p2pfl_simnet::{FaultPlan, NodeId, ProcessFault, Sim, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const N: usize = 5;
+const K: usize = 3;
+const DIM: usize = 16;
+const SEED: u64 = 0xFA17;
+
+/// The one plan both transports interpret: constant delay spikes plus
+/// aggressive duplication, active for the whole test horizon. Loss-free,
+/// so every share survives and the digest invariant must hold exactly.
+fn shared_plan() -> FaultPlan {
+    FaultPlan::new(SEED)
+        .delay(
+            SimTime::ZERO,
+            SimTime::from_secs(600),
+            SimDuration::from_millis(5),
+            SimDuration::ZERO,
+        )
+        .duplicate(SimTime::ZERO, SimTime::from_secs(600), 0.5)
+}
+
+fn models() -> Vec<WeightVector> {
+    let mut rng = StdRng::seed_from_u64(SEED + 999);
+    (0..N)
+        .map(|_| WeightVector::random(DIM, 1.0, &mut rng))
+        .collect()
+}
+
+fn sac_config(ids: &[NodeId], position: usize, deadline: SimDuration) -> SacConfig {
+    SacConfig {
+        group: ids.to_vec(),
+        position,
+        leader_pos: 0,
+        k: K,
+        scheme: ShareScheme::Masked,
+        share_deadline: deadline,
+        collect_deadline: deadline,
+        seed: SEED + position as u64,
+    }
+}
+
+/// One SAC round on the simulator, optionally under a fault plan; returns
+/// the leader's result digest.
+fn sim_sac_digest(plan: Option<&FaultPlan>) -> u64 {
+    let mut sim: Sim<SacMsg> = Sim::new(SEED);
+    let ids: Vec<NodeId> = (0..N).map(|i| NodeId(i as u32)).collect();
+    for (i, model) in models().iter().enumerate() {
+        let cfg = sac_config(&ids, i, SimDuration::from_millis(500));
+        sim.add_node(SacPeerActor::new(cfg, model.clone()));
+    }
+    if let Some(p) = plan {
+        sim.apply_fault_plan(p);
+    }
+    sim.run_until_quiet(100);
+    sim.exec::<SacPeerActor, _, _>(ids[0], |a, ctx| a.start_round(ctx, 1));
+    sim.run_until(sim.now() + SimDuration::from_secs(5));
+    let leader = sim.actor::<SacPeerActor>(ids[0]);
+    assert_eq!(
+        leader.phase,
+        SacPhase::Done,
+        "sim round: {:?}",
+        leader.phase
+    );
+    leader.result.as_ref().unwrap().digest()
+}
+
+#[test]
+fn plan_preserves_sac_digest_on_simulator() {
+    let clean = sim_sac_digest(None);
+    let faulted = sim_sac_digest(Some(&shared_plan()));
+    assert_eq!(
+        faulted, clean,
+        "loss-free faults must not change the aggregate"
+    );
+}
+
+#[test]
+fn same_plan_preserves_sac_digest_on_tcp() {
+    let clean = sim_sac_digest(None);
+
+    let ids: Vec<NodeId> = (0..N).map(|i| NodeId(i as u32)).collect();
+    let models = models();
+    let plan = shared_plan();
+    let runtimes: Vec<PeerRuntime<SacMsg, SacPeerActor>> = (0..N)
+        .map(|i| {
+            let actor = SacPeerActor::new(
+                sac_config(&ids, i, SimDuration::from_secs(30)),
+                models[i].clone(),
+            );
+            PeerRuntime::start_with_faults(ids[i], "127.0.0.1:0", &[], actor, &plan).expect("bind")
+        })
+        .collect();
+    for a in &runtimes {
+        for b in &runtimes {
+            if a.node_id() != b.node_id() {
+                a.add_peer(b.node_id(), b.local_addr());
+            }
+        }
+    }
+
+    runtimes[0].with(|a, ctx| a.start_round(ctx, 1));
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let digest = loop {
+        let state =
+            runtimes[0].with(|a, _| (a.phase.clone(), a.result.as_ref().map(|r| r.digest())));
+        match state {
+            (SacPhase::Done, Some(d)) => break d,
+            (SacPhase::Failed(e), _) => panic!("tcp round failed: {e}"),
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "tcp round stalled");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(digest, clean, "tcp aggregate diverged under the fault plan");
+
+    // The duplication window must actually have fired: more frames hit the
+    // wire than a clean all-to-all round needs.
+    let dup_extra: u64 = runtimes.iter().map(|rt| rt.stats().frames_sent).sum();
+    let clean_run: u64 = (N * (N - 1)) as u64 * 2; // generous clean-round bound
+    assert!(
+        dup_extra > clean_run,
+        "duplication never fired: {dup_extra} frames"
+    );
+}
+
+#[test]
+fn plan_leaves_two_layer_backend_electable_on_simulator() {
+    let mut spec = DeploymentSpec::paper(100, SEED);
+    spec.num_subgroups = 3;
+    spec.subgroup_size = 3;
+    let mut d = Deployment::build(spec);
+    d.sim.apply_fault_plan(&shared_plan());
+    assert!(
+        d.wait_stable(SimTime::from_secs(20)),
+        "two-layer backend failed to stabilize under the plan"
+    );
+    let fl = d.fed_leader().unwrap();
+    d.sim.exec::<HierActor, _, _>(fl, |a, ctx| {
+        a.propose_fed(ctx, 77).unwrap();
+    });
+    d.sim.run_for(SimDuration::from_secs(2));
+    for g in 0..3 {
+        let l = d.sub_leader_of(g).unwrap();
+        assert!(
+            d.sim.actor::<HierActor>(l).fed_cmds_applied.contains(&77),
+            "subgroup {g} missed the round marker under faults"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// TCP crash/restart recovery from on-disk Raft state
+// ---------------------------------------------------------------------
+
+const GROUPS: usize = 2;
+const SIZE: usize = 3;
+
+fn hier_cfg(id: NodeId, subgroups: &[Vec<NodeId>], founding: &[NodeId]) -> HierPeerConfig {
+    let gi = (id.0 as usize) / SIZE;
+    HierPeerConfig {
+        id,
+        subgroup: subgroups[gi].clone(),
+        subgroup_index: gi,
+        founding_fed: founding.to_vec(),
+        t: SimDuration::from_millis(300),
+        heartbeat: SimDuration::from_millis(60),
+        config_commit_interval: SimDuration::from_millis(200),
+        join_poll_interval: SimDuration::from_millis(100),
+        seed: SEED ^ (0x9e37 + id.0 as u64 * 0x85eb_ca6b),
+    }
+}
+
+fn storage_paths(dir: &std::path::Path, id: NodeId) -> (PathBuf, PathBuf) {
+    (
+        dir.join(format!("n{}-sub.raft", id.0)),
+        dir.join(format!("n{}-fed.raft", id.0)),
+    )
+}
+
+fn storage_actor(dir: &std::path::Path, cfg: HierPeerConfig) -> HierActor {
+    let (sub, fed) = storage_paths(dir, cfg.id);
+    HierActor::with_storage(
+        cfg,
+        Box::new(FileStorage::<SubCmd>::open(sub).expect("open sub storage")),
+        Box::new(FileStorage::<u64>::open(fed).expect("open fed storage")),
+    )
+}
+
+type HierRt = PeerRuntime<HierMsg, HierActor>;
+
+fn wait_for(what: &str, timeout: Duration, mut pred: impl FnMut() -> bool) {
+    let deadline = Instant::now() + timeout;
+    while !pred() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Whether the TCP deployment is stable: per subgroup exactly one leader
+/// who holds a FedAvg-layer seat, and exactly one FedAvg leader overall.
+fn tcp_stable(rts: &HashMap<NodeId, HierRt>, subgroups: &[Vec<NodeId>]) -> bool {
+    let mut fed_leaders = 0;
+    for rt in rts.values() {
+        if rt.with(|a, _| a.is_fed_leader()) {
+            fed_leaders += 1;
+        }
+    }
+    if fed_leaders != 1 {
+        return false;
+    }
+    subgroups.iter().all(|g| {
+        let leaders: Vec<&HierRt> = g
+            .iter()
+            .filter_map(|id| rts.get(id))
+            .filter(|rt| rt.with(|a, _| a.is_sub_leader()))
+            .collect();
+        leaders.len() == 1 && leaders[0].with(|a, _| a.is_fed_member())
+    })
+}
+
+fn commit_marker(rts: &HashMap<NodeId, HierRt>, subgroups: &[Vec<NodeId>], marker: u64) {
+    let fl = rts
+        .values()
+        .find(|rt| rt.with(|a, _| a.is_fed_leader()))
+        .expect("fed leader");
+    fl.with(move |a, ctx| a.propose_fed(ctx, marker).unwrap());
+    wait_for(
+        &format!("marker {marker} at every subgroup leader"),
+        Duration::from_secs(30),
+        || {
+            subgroups.iter().all(|g| {
+                g.iter().filter_map(|id| rts.get(id)).any(|rt| {
+                    rt.with(move |a, _| a.is_sub_leader() && a.fed_cmds_applied.contains(&marker))
+                })
+            })
+        },
+    );
+}
+
+#[test]
+fn plan_crash_restart_recovers_tcp_peer_from_disk() {
+    let dir = std::env::temp_dir().join(format!("p2pfl-fault-plan-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let subgroups: Vec<Vec<NodeId>> = (0..GROUPS)
+        .map(|g| (0..SIZE).map(|i| NodeId((g * SIZE + i) as u32)).collect())
+        .collect();
+    let founding: Vec<NodeId> = subgroups.iter().map(|g| g[0]).collect();
+    let all: Vec<NodeId> = subgroups.iter().flatten().copied().collect();
+
+    let mut rts: HashMap<NodeId, HierRt> = all
+        .iter()
+        .map(|&id| {
+            let actor = storage_actor(&dir, hier_cfg(id, &subgroups, &founding));
+            let rt = PeerRuntime::start(id, "127.0.0.1:0", &[], actor).expect("bind");
+            (id, rt)
+        })
+        .collect();
+    for a in &all {
+        for b in &all {
+            if a != b {
+                rts[a].add_peer(*b, rts[b].local_addr());
+            }
+        }
+    }
+
+    wait_for(
+        "initial two-layer stability",
+        Duration::from_secs(30),
+        || tcp_stable(&rts, &subgroups),
+    );
+    commit_marker(&rts, &subgroups, 1);
+
+    // The fault plan's process schedule: kill subgroup 0's representative,
+    // bring it back 2 s later. Everything below is driven by the plan.
+    let victim = founding[0];
+    let plan = FaultPlan::new(SEED ^ 0xdead)
+        .crash(SimTime::from_millis(10), victim)
+        .restart(SimTime::from_millis(2000), victim);
+    let origin = Instant::now();
+    let (pre_term, pre_last) = rts[&victim].with(|a, _| {
+        let r = a.sub_raft();
+        (r.term(), r.log().last_index())
+    });
+    assert!(pre_last > 0, "no durable log before the crash");
+
+    for ev in plan.process_events() {
+        let due = origin + Duration::from_nanos(ev.at.as_nanos());
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        match ev.fault {
+            ProcessFault::Crash => {
+                rts.remove(&ev.node).expect("victim running").kill();
+            }
+            ProcessFault::Restart => {
+                let actor = storage_actor(&dir, hier_cfg(ev.node, &subgroups, &founding));
+                // Recovery happens *before* any network traffic: the files
+                // alone restore term, log, and the FedAvg-layer seat.
+                assert!(actor.sub_raft().term() >= pre_term, "term lost");
+                assert!(
+                    actor.sub_raft().log().last_index() >= pre_last,
+                    "log entries lost"
+                );
+                assert!(actor.is_fed_member(), "fed seat not restored from disk");
+                let peers: Vec<(NodeId, std::net::SocketAddr)> =
+                    rts.iter().map(|(&id, rt)| (id, rt.local_addr())).collect();
+                let rt = PeerRuntime::start(ev.node, "127.0.0.1:0", &peers, actor).expect("rebind");
+                for other in rts.values() {
+                    other.add_peer(ev.node, rt.local_addr());
+                }
+                rts.insert(ev.node, rt);
+            }
+        }
+    }
+
+    // The deployment absorbs the crash (subgroup 0 re-elects, the new
+    // leader replaces the victim in the FedAvg layer or the victim's
+    // restored seat resumes) and commits another round marker.
+    wait_for("post-restart stability", Duration::from_secs(60), || {
+        tcp_stable(&rts, &subgroups)
+    });
+    commit_marker(&rts, &subgroups, 2);
+
+    for (_, rt) in rts.drain() {
+        drop(rt.stop());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
