@@ -1,0 +1,145 @@
+//! Bounded-exhaustive exploration driver.
+//!
+//! ```text
+//! explore [--model raft3|sac3|hier|all] [--depth N] [--branch N]
+//!         [--states N] [--walks N] [--seed N] [--drops] [--dups] [--ci]
+//! ```
+//!
+//! Explores each selected model to its bounds, prints coverage statistics,
+//! and — on an invariant violation — writes the shrunk counterexample to
+//! `target/check/cx-<model>.json` and exits nonzero. `--ci` selects the
+//! acceptance-criteria configuration: all three models, with the `hier`
+//! model being the 2-subgroup × 3-peer topology, exhausted to the depth
+//! bound. `--walks N` adds a random-walk pass beyond the exhaustive depth.
+
+#![forbid(unsafe_code)]
+
+use p2pfl_check::models::{HierModel, Raft3Model, Sac3Model};
+use p2pfl_check::{ExploreConfig, ExploreReport, Explorer, Model};
+use std::time::Instant;
+
+struct Opts {
+    model: String,
+    cfg: ExploreConfig,
+    walks: u64,
+    seed: u64,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        model: "all".to_owned(),
+        cfg: ExploreConfig::default(),
+        walks: 0,
+        seed: 1,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut num = |what: &str| -> u64 {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{what} needs a numeric argument"))
+        };
+        match a.as_str() {
+            "--model" => opts.model = args.next().expect("--model needs an argument"),
+            "--depth" => opts.cfg.max_depth = num("--depth") as usize,
+            "--branch" => opts.cfg.max_branch = num("--branch") as usize,
+            "--states" => opts.cfg.max_states = num("--states"),
+            "--walks" => opts.walks = num("--walks"),
+            "--seed" => opts.seed = num("--seed"),
+            "--drops" => opts.cfg.enable_drops = true,
+            "--dups" => opts.cfg.enable_dups = true,
+            "--ci" => {
+                opts.model = "all".to_owned();
+                opts.cfg = ExploreConfig {
+                    max_depth: 6,
+                    max_states: 60_000,
+                    max_branch: 4,
+                    enable_drops: false,
+                    enable_dups: false,
+                    fault_choice_limit: 2,
+                };
+                opts.walks = 200;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// Explores one model; returns `false` if an invariant was violated.
+fn run_one<M: Model + Copy>(model: M, opts: &Opts) -> bool {
+    let name = model.name();
+    let ex = Explorer::new(model, opts.cfg);
+    let t0 = Instant::now();
+    let mut report = ex.explore();
+    if report.counterexample.is_none() && opts.walks > 0 {
+        let mut deep = opts.cfg;
+        deep.max_depth = opts.cfg.max_depth * 4;
+        deep.enable_drops = true;
+        deep.enable_dups = true;
+        let walk = Explorer::new(*ex.model(), deep);
+        let wr = walk.random_walk(opts.walks, opts.seed);
+        report.replays += wr.replays;
+        report.states_visited += wr.states_visited;
+        report.deepest = report.deepest.max(wr.deepest);
+        report.counterexample = wr.counterexample;
+    }
+    summarize(name, &report, t0.elapsed().as_secs_f64(), opts)
+}
+
+fn summarize(name: &str, report: &ExploreReport, secs: f64, opts: &Opts) -> bool {
+    println!(
+        "{name}: {} states visited, {} replays, deepest {}, exhausted={}, {:.2}s \
+         (depth {}, branch {})",
+        report.states_visited,
+        report.replays,
+        report.deepest,
+        report.exhausted,
+        secs,
+        opts.cfg.max_depth,
+        opts.cfg.max_branch,
+    );
+    match &report.counterexample {
+        None => true,
+        Some(cx) => {
+            let dir = std::path::Path::new("target/check");
+            let _ = std::fs::create_dir_all(dir);
+            let path = dir.join(format!("cx-{name}.json"));
+            let _ = std::fs::write(&path, cx.to_json());
+            eprintln!(
+                "{name}: VIOLATION of {} — {} ({} steps, written to {})",
+                cx.oracle,
+                cx.detail,
+                cx.steps.len(),
+                path.display()
+            );
+            for (i, s) in cx.steps.iter().enumerate() {
+                eprintln!("  step {i}: [{}] mode={} {}", s.index, s.mode, s.label);
+            }
+            false
+        }
+    }
+}
+
+fn main() {
+    let opts = parse_opts();
+    let mut ok = true;
+    let selected = |m: &str| opts.model == "all" || opts.model == m;
+    if selected("raft3") {
+        ok &= run_one(Raft3Model, &opts);
+    }
+    if selected("sac3") {
+        ok &= run_one(Sac3Model, &opts);
+    }
+    if selected("hier") {
+        ok &= run_one(HierModel, &opts);
+    }
+    if !["all", "raft3", "sac3", "hier"].contains(&opts.model.as_str()) {
+        eprintln!("unknown model '{}'", opts.model);
+        std::process::exit(2);
+    }
+    std::process::exit(if ok { 0 } else { 1 });
+}

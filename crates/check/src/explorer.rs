@@ -1,0 +1,414 @@
+//! The bounded schedule explorer: stateless-replay DFS with a visited set,
+//! an optional random-walk mode, and delta-debugging shrinking.
+//!
+//! `Sim` is not cloneable (actors are boxed trait objects), so the
+//! explorer is *replay-based*: an execution is identified by its schedule
+//! (a [`Choice`] sequence) and reconstructed from scratch on every visit —
+//! cheap at model-checking scale because the models are tiny and the
+//! simulator allocates nothing heavyweight. Determinism of the simulator
+//! makes replays exact.
+
+use crate::schedule::{Choice, Counterexample};
+use p2pfl_simnet::{Payload, PendingEvent, PendingKind, Sim, StepMode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+/// An invariant violation reported by a [`Model::check`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Name of the violated oracle (e.g. `"ElectionSafety"`).
+    pub oracle: String,
+    /// Human-readable description of what went wrong.
+    pub detail: String,
+}
+
+impl Violation {
+    /// Convenience constructor.
+    pub fn new(oracle: &str, detail: impl Into<String>) -> Self {
+        Violation {
+            oracle: oracle.to_owned(),
+            detail: detail.into(),
+        }
+    }
+}
+
+/// A small deployment under test: how to build it, canonicalize its state,
+/// and check its invariants.
+pub trait Model {
+    /// The wire message type of the deployment.
+    type Msg: Payload + serde::Serialize;
+
+    /// Stable name, recorded in counterexamples.
+    fn name(&self) -> &'static str;
+
+    /// Builds a fresh simulation. Must be deterministic: two calls must
+    /// yield identical simulations (fixed seeds).
+    fn build(&self) -> Sim<Self::Msg>;
+
+    /// Runs once after every node's `on_start` (e.g. a leader kicking off
+    /// a round). Default: nothing.
+    fn init(&self, _sim: &mut Sim<Self::Msg>) {}
+
+    /// Canonical fingerprint of all actor state, *excluding* absolute
+    /// virtual time. The explorer combines it with
+    /// [`Sim::queue_digest`] to key its visited set.
+    fn fingerprint(&self, sim: &mut Sim<Self::Msg>) -> u64;
+
+    /// Checks every invariant oracle against the current global state.
+    fn check(&self, sim: &mut Sim<Self::Msg>) -> Result<(), Violation>;
+}
+
+/// Exploration bounds and fault toggles.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreConfig {
+    /// Maximum schedule length (exploration depth) after the start prelude.
+    pub max_depth: usize,
+    /// Stop after this many distinct states.
+    pub max_states: u64,
+    /// Consider at most this many enabled events per state (in canonical
+    /// `(at, seq)` order) — the interleaving bound.
+    pub max_branch: usize,
+    /// Also branch on dropping message deliveries.
+    pub enable_drops: bool,
+    /// Also branch on duplicating message deliveries.
+    pub enable_dups: bool,
+    /// Drop/duplicate branches are only generated for the first this-many
+    /// enabled deliveries, to keep the fault fan-out bounded.
+    pub fault_choice_limit: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_depth: 6,
+            max_states: 20_000,
+            max_branch: 5,
+            enable_drops: false,
+            enable_dups: false,
+            fault_choice_limit: 2,
+        }
+    }
+}
+
+/// What an exploration did and found.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// Distinct canonical states visited.
+    pub states_visited: u64,
+    /// Schedules replayed (including revisits pruned by the visited set).
+    pub replays: u64,
+    /// Longest schedule reached.
+    pub deepest: usize,
+    /// Whether the state space was covered to the bounds (no early stop
+    /// from `max_states`).
+    pub exhausted: bool,
+    /// The shrunk counterexample, if any oracle was violated.
+    pub counterexample: Option<Counterexample>,
+}
+
+/// Drives a [`Model`] through bounded-exhaustive or random-walk schedule
+/// exploration.
+pub struct Explorer<M: Model> {
+    model: M,
+    cfg: ExploreConfig,
+}
+
+fn describe(ev: &PendingEvent) -> String {
+    match &ev.kind {
+        PendingKind::Start(n) => format!("start {n}"),
+        PendingKind::Deliver {
+            src,
+            dst,
+            kind,
+            bytes,
+        } => format!("deliver {kind} {src}->{dst} ({bytes}B)"),
+        PendingKind::Timer { node, tag } => format!("timer {node} tag={tag}"),
+        PendingKind::Crash(n) => format!("crash {n}"),
+        PendingKind::Restart(n) => format!("restart {n}"),
+    }
+}
+
+impl<M: Model> Explorer<M> {
+    /// Creates an explorer over `model` with the given bounds.
+    pub fn new(model: M, cfg: ExploreConfig) -> Self {
+        Explorer { model, cfg }
+    }
+
+    /// The model under exploration.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Builds the simulation and runs the deterministic start prelude:
+    /// every node's `on_start` (in creation order) and the model's
+    /// [`Model::init`]. Start callbacks only arm timers or enqueue local
+    /// sends here, so their relative order is immaterial.
+    fn boot(&self) -> Sim<M::Msg> {
+        let mut sim = self.model.build();
+        loop {
+            let starts: Vec<u64> = sim
+                .pending_events()
+                .into_iter()
+                .filter(|e| matches!(e.kind, PendingKind::Start(_)))
+                .map(|e| e.seq)
+                .collect();
+            if starts.is_empty() {
+                break;
+            }
+            for s in starts {
+                sim.step_chosen(s, StepMode::Deliver);
+            }
+        }
+        self.model.init(&mut sim);
+        sim
+    }
+
+    /// The enabled-event list offered at the current state: canonical
+    /// `(at, seq)` order, truncated to the interleaving bound.
+    fn enabled(&self, sim: &Sim<M::Msg>) -> Vec<PendingEvent> {
+        let mut ev = sim.pending_events();
+        ev.truncate(self.cfg.max_branch);
+        ev
+    }
+
+    /// Replays `choices` from a fresh boot, checking the oracles after the
+    /// prelude and after every step. Returns the final simulation plus, on
+    /// violation, the violation and the number of choices consumed to
+    /// reach it. Out-of-range indices are skipped, which keeps shrinking
+    /// simple and sound (a skipped step is just a shorter schedule).
+    pub fn replay(&self, choices: &[Choice]) -> (Sim<M::Msg>, Option<(Violation, usize)>) {
+        let mut sim = self.boot();
+        if let Err(v) = self.model.check(&mut sim) {
+            return (sim, Some((v, 0)));
+        }
+        for (i, c) in choices.iter().enumerate() {
+            let enabled = self.enabled(&sim);
+            let Some(ev) = enabled.get(c.index) else {
+                continue;
+            };
+            sim.step_chosen(ev.seq, c.mode);
+            if let Err(v) = self.model.check(&mut sim) {
+                return (sim, Some((v, i + 1)));
+            }
+        }
+        (sim, None)
+    }
+
+    /// Attaches human-readable labels to a schedule by replaying it.
+    fn label_schedule(&self, choices: &[Choice]) -> Vec<(Choice, String)> {
+        let mut sim = self.boot();
+        let mut out = Vec::with_capacity(choices.len());
+        for c in choices {
+            let enabled = self.enabled(&sim);
+            let label = match enabled.get(c.index) {
+                Some(ev) => {
+                    let l = describe(ev);
+                    sim.step_chosen(ev.seq, c.mode);
+                    l
+                }
+                None => "(skipped: index out of range)".to_owned(),
+            };
+            out.push((*c, label));
+        }
+        out
+    }
+
+    /// Projects a schedule's drop pattern onto a declarative
+    /// [`FaultPlan`](p2pfl_simnet::FaultPlan): each dropped delivery
+    /// becomes an asymmetric partition window on its link, from time zero
+    /// until just past the chosen delivery. The plan drops a *superset* of
+    /// the schedule's drops (a window cuts every message on the link, and
+    /// plan verdicts apply at send time, not delivery time) — it is the
+    /// coarse-grained re-execution vehicle for transports without
+    /// event-level scheduling, i.e. the real TCP runtime (see
+    /// `tests/check_replay.rs`).
+    pub fn project_fault_plan(&self, choices: &[Choice], seed: u64) -> p2pfl_simnet::FaultPlan {
+        use p2pfl_simnet::{SimDuration, SimTime};
+        let mut plan = p2pfl_simnet::FaultPlan::new(seed);
+        let mut sim = self.boot();
+        for c in choices {
+            let enabled = self.enabled(&sim);
+            let Some(ev) = enabled.get(c.index) else {
+                continue;
+            };
+            if c.mode == StepMode::Drop {
+                if let PendingKind::Deliver { src, dst, .. } = ev.kind {
+                    plan = plan.partition(
+                        SimTime::ZERO,
+                        ev.at + SimDuration::from_millis(1),
+                        vec![src],
+                        vec![dst],
+                    );
+                }
+            }
+            sim.step_chosen(ev.seq, c.mode);
+        }
+        plan
+    }
+
+    /// Delta-debugging shrink: greedily removes chunks (halving the chunk
+    /// size down to single steps) while the schedule still violates *some*
+    /// oracle, then truncates at the violation point.
+    pub fn shrink(&self, mut choices: Vec<Choice>) -> (Vec<Choice>, Violation) {
+        let violates = |cs: &[Choice]| self.replay(cs).1;
+        let (mut last, steps) = violates(&choices).expect("shrink needs a failing schedule");
+        choices.truncate(steps);
+        let mut chunk = (choices.len() / 2).max(1);
+        loop {
+            let mut i = 0;
+            while i + chunk <= choices.len() {
+                let mut cand = choices.clone();
+                cand.drain(i..i + chunk);
+                if let Some((v, steps)) = violates(&cand) {
+                    choices = cand;
+                    choices.truncate(steps);
+                    last = v;
+                    // restart this chunk size from the front
+                    i = 0;
+                } else {
+                    i += chunk;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        (choices, last)
+    }
+
+    fn counterexample(&self, failing_prefix: Vec<Choice>) -> Counterexample {
+        let (min, v) = self.shrink(failing_prefix);
+        let labeled = self.label_schedule(&min);
+        Counterexample::from_parts(self.model.name(), &v.oracle, &v.detail, labeled)
+    }
+
+    fn state_key(&self, sim: &mut Sim<M::Msg>) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.model.fingerprint(sim).hash(&mut h);
+        sim.queue_digest().hash(&mut h);
+        h.finish()
+    }
+
+    /// Bounded-exhaustive DFS over schedules, pruning states already seen
+    /// (canonical fingerprint + queue digest). Stops at the first
+    /// violation, which is shrunk into a replayable counterexample.
+    pub fn explore(&self) -> ExploreReport {
+        let mut report = ExploreReport {
+            states_visited: 0,
+            replays: 0,
+            deepest: 0,
+            exhausted: true,
+            counterexample: None,
+        };
+        let mut visited: HashSet<u64> = HashSet::new();
+        let mut stack: Vec<Vec<Choice>> = vec![Vec::new()];
+        while let Some(sched) = stack.pop() {
+            if report.states_visited >= self.cfg.max_states {
+                report.exhausted = false;
+                break;
+            }
+            report.replays += 1;
+            let (mut sim, vio) = self.replay(&sched);
+            if let Some((_, steps)) = vio {
+                let mut prefix = sched;
+                prefix.truncate(steps);
+                report.counterexample = Some(self.counterexample(prefix));
+                return report;
+            }
+            if !visited.insert(self.state_key(&mut sim)) {
+                continue;
+            }
+            report.states_visited += 1;
+            report.deepest = report.deepest.max(sched.len());
+            if sched.len() >= self.cfg.max_depth {
+                continue;
+            }
+            let enabled = self.enabled(&sim);
+            // Reverse so the stack pops lower indices (earlier events) first.
+            for i in (0..enabled.len()).rev() {
+                let is_delivery = matches!(enabled[i].kind, PendingKind::Deliver { .. });
+                if is_delivery && i < self.cfg.fault_choice_limit {
+                    if self.cfg.enable_dups {
+                        let mut s = sched.clone();
+                        s.push(Choice {
+                            index: i,
+                            mode: StepMode::Duplicate,
+                        });
+                        stack.push(s);
+                    }
+                    if self.cfg.enable_drops {
+                        let mut s = sched.clone();
+                        s.push(Choice {
+                            index: i,
+                            mode: StepMode::Drop,
+                        });
+                        stack.push(s);
+                    }
+                }
+                let mut s = sched.clone();
+                s.push(Choice {
+                    index: i,
+                    mode: StepMode::Deliver,
+                });
+                stack.push(s);
+            }
+        }
+        report
+    }
+
+    /// Random-walk mode for depths the exhaustive bound cannot reach:
+    /// `walks` independent schedules of up to `max_depth` uniformly random
+    /// choices (with drop/duplicate faults at low probability when
+    /// enabled), all driven by one seeded RNG for reproducibility.
+    pub fn random_walk(&self, walks: u64, seed: u64) -> ExploreReport {
+        let mut report = ExploreReport {
+            states_visited: 0,
+            replays: 0,
+            deepest: 0,
+            exhausted: false,
+            counterexample: None,
+        };
+        let mut visited: HashSet<u64> = HashSet::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..walks {
+            report.replays += 1;
+            let mut sim = self.boot();
+            let mut taken: Vec<Choice> = Vec::new();
+            if let Err(_v) = self.model.check(&mut sim) {
+                report.counterexample = Some(self.counterexample(taken));
+                return report;
+            }
+            for _ in 0..self.cfg.max_depth {
+                let enabled = self.enabled(&sim);
+                if enabled.is_empty() {
+                    break;
+                }
+                let i = (rng.random::<u64>() % enabled.len() as u64) as usize;
+                let mut mode = StepMode::Deliver;
+                if matches!(enabled[i].kind, PendingKind::Deliver { .. }) {
+                    let r: f64 = rng.random();
+                    if self.cfg.enable_dups && r < 0.15 {
+                        mode = StepMode::Duplicate;
+                    } else if self.cfg.enable_drops && (0.15..0.3).contains(&r) {
+                        mode = StepMode::Drop;
+                    }
+                }
+                taken.push(Choice { index: i, mode });
+                sim.step_chosen(enabled[i].seq, mode);
+                if visited.insert(self.state_key(&mut sim)) {
+                    report.states_visited += 1;
+                }
+                report.deepest = report.deepest.max(taken.len());
+                if self.model.check(&mut sim).is_err() {
+                    report.counterexample = Some(self.counterexample(taken));
+                    return report;
+                }
+            }
+        }
+        report
+    }
+}

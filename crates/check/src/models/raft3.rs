@@ -1,0 +1,79 @@
+//! A bare 3-node single-layer Raft cluster over `MemStorage`.
+//!
+//! Pre-vote is disabled here (unlike the paper configuration) so that
+//! vote-handling faults — like the `DoubleVote` mutant — are reachable
+//! within a small depth bound: with pre-vote on, a double vote needs two
+//! full pre-vote rounds to line up first.
+
+use super::{hash_raft_node, hasher};
+use crate::{oracles, Model, Violation};
+use p2pfl_raft::{MemStorage, NullStateMachine, RaftActor, RaftConfig, RaftMsg};
+use p2pfl_simnet::{NodeId, Sim, SimDuration};
+use std::hash::Hasher;
+
+type Cmd = u64;
+type Actor = RaftActor<Cmd, NullStateMachine>;
+
+const N: u32 = 3;
+const SEED: u64 = 0xc0ffee;
+
+/// See module docs.
+#[derive(Clone, Copy)]
+pub struct Raft3Model;
+
+impl Raft3Model {
+    fn ids() -> Vec<NodeId> {
+        (0..N).map(NodeId).collect()
+    }
+}
+
+impl Model for Raft3Model {
+    type Msg = RaftMsg<Cmd>;
+
+    fn name(&self) -> &'static str {
+        "raft3"
+    }
+
+    fn build(&self) -> Sim<Self::Msg> {
+        let mut sim = Sim::new(SEED);
+        let ids = Self::ids();
+        for &id in &ids {
+            let mut cfg = RaftConfig::paper(
+                id,
+                ids.clone(),
+                SimDuration::from_millis(100),
+                SEED + id.0 as u64,
+            );
+            cfg.pre_vote = false;
+            sim.add_node(Actor::with_storage(
+                cfg,
+                NullStateMachine,
+                Box::new(MemStorage::<Cmd>::new()),
+            ));
+        }
+        sim
+    }
+
+    fn fingerprint(&self, sim: &mut Sim<Self::Msg>) -> u64 {
+        let mut h = hasher();
+        for id in Self::ids() {
+            hash_raft_node(sim.actor::<Actor>(id).raft(), &mut h);
+        }
+        h.finish()
+    }
+
+    fn check(&self, sim: &mut Sim<Self::Msg>) -> Result<(), Violation> {
+        let ids = Self::ids();
+        let nodes: Vec<_> = ids
+            .iter()
+            .map(|&id| (id, sim.actor::<Actor>(id).raft()))
+            .collect();
+        oracles::election_safety("raft3", nodes.iter().map(|&(id, n)| (id, n)))?;
+        oracles::log_matching("raft3", &nodes)?;
+        for id in ids {
+            let rt = sim.actor_mut::<Actor>(id).verify_storage_roundtrip();
+            oracles::storage_roundtrip(id, rt)?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,120 @@
+//! A 3-peer, k=2 fault-tolerant SAC subgroup running one round.
+//!
+//! The leader (position 0) kicks the round off in [`Model::init`]; the
+//! explorer then owns every delivery and timer ordering. The mask
+//! cancellation oracle sees both held and in-flight share partitions, so
+//! re-randomized replicas (`BeginRerandomize`) and skewed shares
+//! (`ShareSkew`) are caught even before blocks land.
+
+use crate::oracles::{self, ShareCopy};
+use crate::{Model, Violation};
+use p2pfl_secagg::{SacConfig, SacMsg, SacPeerActor, ShareScheme, WeightVector};
+use p2pfl_simnet::{NodeId, Sim, SimDuration};
+use std::hash::{Hash, Hasher};
+
+const N: usize = 3;
+const K: usize = 2;
+const SEED: u64 = 0x5ac;
+
+/// See module docs.
+#[derive(Clone, Copy)]
+pub struct Sac3Model;
+
+impl Sac3Model {
+    fn ids() -> Vec<NodeId> {
+        (0..N as u32).map(NodeId).collect()
+    }
+
+    /// Deterministic per-peer input models.
+    fn peer_model(pos: usize) -> WeightVector {
+        let b = (pos + 1) as f64;
+        WeightVector::new(vec![b, -2.0 * b, 0.5 * b])
+    }
+}
+
+impl Model for Sac3Model {
+    type Msg = SacMsg;
+
+    fn name(&self) -> &'static str {
+        "sac3"
+    }
+
+    fn build(&self) -> Sim<Self::Msg> {
+        let mut sim = Sim::new(SEED);
+        let group = Self::ids();
+        for pos in 0..N {
+            let cfg = SacConfig {
+                group: group.clone(),
+                position: pos,
+                leader_pos: 0,
+                k: K,
+                scheme: ShareScheme::Masked,
+                share_deadline: SimDuration::from_millis(80),
+                collect_deadline: SimDuration::from_millis(80),
+                seed: SEED ^ (pos as u64 * 0x9e37_79b9),
+            };
+            sim.add_node(SacPeerActor::new(cfg, Self::peer_model(pos)));
+        }
+        sim
+    }
+
+    fn init(&self, sim: &mut Sim<Self::Msg>) {
+        sim.exec::<SacPeerActor, _, _>(NodeId(0), |a, ctx| a.start_round(ctx, 1));
+    }
+
+    fn fingerprint(&self, sim: &mut Sim<Self::Msg>) -> u64 {
+        let mut h = super::hasher();
+        for id in Self::ids() {
+            let a = sim.actor::<SacPeerActor>(id);
+            a.round.hash(&mut h);
+            format!("{:?}", a.phase).hash(&mut h);
+            a.result.as_ref().map(WeightVector::digest).hash(&mut h);
+            a.contributors.hash(&mut h);
+            a.recoveries.hash(&mut h);
+            for (j, parts) in a.held_blocks() {
+                for (p, v) in parts {
+                    (j, p, v.digest()).hash(&mut h);
+                }
+            }
+            format!("{:?}", a.frozen_set()).hash(&mut h);
+            for (p, v) in a.held_subtotals() {
+                (p, v.digest()).hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
+    fn check(&self, sim: &mut Sim<Self::Msg>) -> Result<(), Violation> {
+        let ids = Self::ids();
+        let sim = &*sim;
+        let actors: Vec<(NodeId, &SacPeerActor)> = ids
+            .iter()
+            .map(|&id| (id, sim.actor::<SacPeerActor>(id)))
+            .collect();
+        let round = actors.iter().map(|(_, a)| a.round).max().unwrap_or(0);
+        let mut copies = oracles::held_share_copies(actors.iter().copied(), round);
+        for (src, dst, msg) in sim.pending_deliveries() {
+            if let SacMsg::ShareBlock {
+                round: r,
+                from_pos,
+                parts,
+            } = msg
+            {
+                if *r != round {
+                    continue;
+                }
+                for (p, v) in parts {
+                    copies.push(ShareCopy {
+                        from_pos: *from_pos,
+                        idx: *p,
+                        value: v,
+                        site: format!("in flight {src}->{dst}"),
+                    });
+                }
+            }
+        }
+        let models: Vec<&WeightVector> = actors.iter().map(|(_, a)| a.model()).collect();
+        oracles::mask_cancellation(&copies, &models)?;
+        oracles::kofn_result(actors.iter().copied(), &models)
+    }
+}

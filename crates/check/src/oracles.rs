@@ -1,0 +1,298 @@
+//! The invariant oracle catalog.
+//!
+//! Each oracle is a pure function over inspection accessors — it never
+//! mutates protocol state — and returns the first [`Violation`] it finds.
+//! [`crate::models`] compose these per deployment; DESIGN.md's "Invariant
+//! catalog" maps each oracle to the paper claim it guards.
+
+use crate::Violation;
+use p2pfl_raft::{Command, RaftNode, Role};
+use p2pfl_secagg::replicated::assigned_partitions;
+use p2pfl_secagg::{SacPeerActor, SacPhase, WeightVector};
+use p2pfl_simnet::NodeId;
+use std::collections::BTreeMap;
+
+/// Numerical tolerance for mask-cancellation and averaging checks. The
+/// masked scheme adds and subtracts uniform masks of bounded magnitude, so
+/// float error stays well below this at checker scale.
+pub const TOL: f64 = 1e-6;
+
+/// **ElectionSafety** — at most one leader per term within one Raft layer.
+pub fn election_safety<'a, C: Command>(
+    layer: &str,
+    nodes: impl IntoIterator<Item = (NodeId, &'a RaftNode<C>)>,
+) -> Result<(), Violation> {
+    let mut leader_of_term: BTreeMap<u64, NodeId> = BTreeMap::new();
+    for (id, node) in nodes {
+        if node.role() != Role::Leader {
+            continue;
+        }
+        if let Some(prev) = leader_of_term.insert(node.term(), id) {
+            if prev != id {
+                return Err(Violation::new(
+                    "ElectionSafety",
+                    format!(
+                        "{layer}: nodes {prev} and {id} are both leader in term {}",
+                        node.term()
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// **LogMatching** — across any two logs of one layer, entries with equal
+/// `(index, term)` carry equal commands, and the committed prefixes agree
+/// wherever both logs still hold the entry (compacted indices are skipped —
+/// the snapshot already passed this check when it was taken).
+pub fn log_matching<C>(layer: &str, nodes: &[(NodeId, &RaftNode<C>)]) -> Result<(), Violation>
+where
+    C: Command + PartialEq + std::fmt::Debug,
+{
+    for (ai, (a_id, a)) in nodes.iter().enumerate() {
+        for (b_id, b) in nodes.iter().skip(ai + 1) {
+            let hi = a.log().last_index().min(b.log().last_index());
+            let lo = a
+                .log()
+                .snapshot_index()
+                .max(b.log().snapshot_index())
+                .saturating_add(1);
+            let committed = a.commit_index().min(b.commit_index());
+            for idx in lo..=hi {
+                let (Some(ea), Some(eb)) = (a.log().get(idx), b.log().get(idx)) else {
+                    continue;
+                };
+                if ea.term == eb.term && ea.cmd != eb.cmd {
+                    return Err(Violation::new(
+                        "LogMatching",
+                        format!(
+                            "{layer}: {a_id} and {b_id} disagree on command at index {idx} term {}",
+                            ea.term
+                        ),
+                    ));
+                }
+                if idx <= committed && (ea.term != eb.term || ea.cmd != eb.cmd) {
+                    return Err(Violation::new(
+                        "LogMatching",
+                        format!(
+                            "{layer}: committed entry {idx} differs between {a_id} (term {}) and {b_id} (term {})",
+                            ea.term, eb.term
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// **FedConfigReplication** — a peer's live FedAvg-layer config must be
+/// exactly what folding the committed `SubCmd::FedConfig` entries of its own
+/// subgroup log (newest version wins, ties to the later entry — the apply
+/// rule of `hierraft`) over the founding config yields (paper Sec. V-A1).
+pub fn fed_config_replication(
+    peers: &[(
+        NodeId,
+        &p2pfl_hierraft::FedConfig,
+        &RaftNode<p2pfl_hierraft::SubCmd>,
+    )],
+) -> Result<(), Violation> {
+    use p2pfl_hierraft::SubCmd;
+    use p2pfl_raft::LogCmd;
+    for (id, live, sub) in peers {
+        let mut expected: Option<&p2pfl_hierraft::FedConfig> = None;
+        for entry in sub.log().iter() {
+            if entry.index > sub.commit_index() {
+                break;
+            }
+            if let LogCmd::App(SubCmd::FedConfig(c)) = &entry.cmd {
+                if expected.is_none_or(|e| c.version >= e.version) {
+                    expected = Some(c);
+                }
+            }
+        }
+        if let Some(exp) = expected {
+            if live.version >= exp.version {
+                // The peer may be ahead of its own log (it learned a newer
+                // config before the entry committed locally); it must never
+                // be behind it, and at equal versions must match exactly.
+                if live.version == exp.version && **live != *exp {
+                    return Err(Violation::new(
+                        "FedConfigReplication",
+                        format!(
+                            "{id}: live fed config v{} differs from committed entry of the same version",
+                            live.version
+                        ),
+                    ));
+                }
+            } else {
+                return Err(Violation::new(
+                    "FedConfigReplication",
+                    format!(
+                        "{id}: live fed config v{} is behind committed v{}",
+                        live.version, exp.version
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One share partition copy seen somewhere in the system — held by a peer
+/// or still in flight.
+pub struct ShareCopy<'a> {
+    /// Contributor position `j` the partition belongs to.
+    pub from_pos: usize,
+    /// Partition index `p`.
+    pub idx: usize,
+    /// The partition value.
+    pub value: &'a WeightVector,
+    /// Where the copy was observed (for violation messages).
+    pub site: String,
+}
+
+/// Collects every share partition copy held by the given actors for
+/// `round`. The caller appends in-flight copies gathered from
+/// [`p2pfl_simnet::Sim::pending_deliveries`].
+pub fn held_share_copies<'a>(
+    actors: impl IntoIterator<Item = (NodeId, &'a SacPeerActor)>,
+    round: u64,
+) -> Vec<ShareCopy<'a>> {
+    let mut out = Vec::new();
+    for (id, a) in actors {
+        if a.round != round {
+            continue;
+        }
+        for (&j, parts) in a.held_blocks() {
+            for (&p, v) in parts {
+                out.push(ShareCopy {
+                    from_pos: j,
+                    idx: p,
+                    value: v,
+                    site: format!("held by {id}"),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// **SacMaskCancellation** — paper Sec. IV / Alg. 1–2. Two parts:
+///
+/// 1. *Replica consistency*: every copy of partition `(j, p)` in the system
+///    (held or in flight) is identical — replication must duplicate, never
+///    re-randomize.
+/// 2. *Cancellation*: whenever all `n` partitions of contributor `j`'s model
+///    are visible somewhere, they sum back to `j`'s input model — the
+///    masks cancel exactly.
+pub fn mask_cancellation(
+    copies: &[ShareCopy<'_>],
+    models: &[&WeightVector],
+) -> Result<(), Violation> {
+    let mut by_key: BTreeMap<(usize, usize), Vec<&ShareCopy<'_>>> = BTreeMap::new();
+    for c in copies {
+        by_key.entry((c.from_pos, c.idx)).or_default().push(c);
+    }
+    for ((j, p), reps) in &by_key {
+        for r in &reps[1..] {
+            if reps[0].value.linf_distance(r.value) > TOL {
+                return Err(Violation::new(
+                    "SacMaskCancellation",
+                    format!(
+                        "replica divergence for partition (j={j}, p={p}): {} vs {}",
+                        reps[0].site, r.site
+                    ),
+                ));
+            }
+        }
+    }
+    let n = models.len();
+    for (j, model) in models.iter().enumerate() {
+        let parts: Vec<&WeightVector> = (0..n)
+            .filter_map(|p| by_key.get(&(j, p)).map(|reps| reps[0].value))
+            .collect();
+        if parts.len() < n {
+            continue; // not fully visible yet — nothing to check
+        }
+        let sum = WeightVector::sum(parts);
+        if sum.linf_distance(model) > TOL {
+            return Err(Violation::new(
+                "SacMaskCancellation",
+                format!(
+                    "partitions of contributor {j} sum to distance {} from its model",
+                    sum.linf_distance(model)
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// **KofNReconstructability** — paper Alg. 4. When the leader reports
+/// `Done`, the frozen contributor set is a valid subset of positions, the
+/// leader holds all `n` partition subtotals, and the published result is
+/// the plain mean of the contributors' input models. Also sanity-checks
+/// that every contributor's assigned-partition pattern is consistent with
+/// the `(n, k)` replication scheme.
+pub fn kofn_result<'a>(
+    actors: impl IntoIterator<Item = (NodeId, &'a SacPeerActor)>,
+    models: &[&WeightVector],
+) -> Result<(), Violation> {
+    let n = models.len();
+    for (id, a) in actors {
+        let cfg = a.sac_config();
+        if cfg.position != cfg.leader_pos || a.phase != SacPhase::Done {
+            continue;
+        }
+        let Some(result) = a.result.as_ref() else {
+            return Err(Violation::new(
+                "KofNReconstructability",
+                format!("{id}: phase Done with no result"),
+            ));
+        };
+        if a.contributors.is_empty() || a.contributors.iter().any(|&c| c >= n) {
+            return Err(Violation::new(
+                "KofNReconstructability",
+                format!("{id}: bad contributor set {:?}", a.contributors),
+            ));
+        }
+        if a.held_subtotals().len() != n {
+            return Err(Violation::new(
+                "KofNReconstructability",
+                format!(
+                    "{id}: Done with {} of {n} partition subtotals",
+                    a.held_subtotals().len()
+                ),
+            ));
+        }
+        for &j in &a.contributors {
+            if assigned_partitions(n, cfg.k, j).is_empty() {
+                return Err(Violation::new(
+                    "KofNReconstructability",
+                    format!("{id}: contributor {j} has an empty partition assignment"),
+                ));
+            }
+        }
+        let expected = WeightVector::mean(a.contributors.iter().map(|&c| models[c]));
+        if result.linf_distance(&expected) > TOL {
+            return Err(Violation::new(
+                "KofNReconstructability",
+                format!(
+                    "{id}: result is distance {} from the mean of contributors {:?}",
+                    result.linf_distance(&expected),
+                    a.contributors
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// **StorageRoundTrip** — wraps a `verify_storage_roundtrip` result
+/// (restoring the node from its persist stream must yield a bisimilar
+/// node) into a [`Violation`].
+pub fn storage_roundtrip(node: NodeId, result: Result<(), String>) -> Result<(), Violation> {
+    result.map_err(|e| Violation::new("StorageRoundTrip", format!("{node}: {e}")))
+}

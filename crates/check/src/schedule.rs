@@ -1,0 +1,190 @@
+//! Replayable schedules and counterexamples.
+//!
+//! A schedule is a sequence of [`Choice`]s, each selecting one event (by
+//! index into the canonically ordered enabled-event list of
+//! [`p2pfl_simnet::Sim::pending_events`]) and a delivery mode. Indexing
+//! into the *enabled list* rather than naming raw event ids keeps
+//! schedules meaningful across replays and robust under shrinking.
+
+use crate::json_in::Json;
+use p2pfl_simnet::StepMode;
+
+/// One scheduling decision: which enabled event fires next, and how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Choice {
+    /// Index into the enabled-event list at this point of the execution.
+    pub index: usize,
+    /// Delivery mode for the chosen event.
+    pub mode: StepMode,
+}
+
+fn mode_to_u8(m: StepMode) -> u8 {
+    match m {
+        StepMode::Deliver => 0,
+        StepMode::Drop => 1,
+        StepMode::Duplicate => 2,
+    }
+}
+
+fn mode_from_u8(v: u64) -> Result<StepMode, String> {
+    match v {
+        0 => Ok(StepMode::Deliver),
+        1 => Ok(StepMode::Drop),
+        2 => Ok(StepMode::Duplicate),
+        other => Err(format!("unknown step mode {other}")),
+    }
+}
+
+/// One serialized schedule step, with a human-readable label of what the
+/// chosen event was at record time.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CxStep {
+    /// Index into the enabled-event list.
+    pub index: u64,
+    /// Delivery mode: 0 = deliver, 1 = drop, 2 = duplicate.
+    pub mode: u8,
+    /// Description of the event this choice selected (informational).
+    pub label: String,
+}
+
+/// A minimized, replayable schedule that violates an invariant — the
+/// checker's counterexample artifact, written as JSON next to the CI logs
+/// (see DESIGN.md "Invariant catalog" for how to replay one).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Counterexample {
+    /// Name of the [`crate::Model`] that produced it.
+    pub model: String,
+    /// The violated oracle.
+    pub oracle: String,
+    /// Human-readable description of the violation.
+    pub detail: String,
+    /// The shrunk schedule, applied after the model's start prelude.
+    pub steps: Vec<CxStep>,
+}
+
+impl Counterexample {
+    /// Serializes to JSON (via the workspace serde shim's JSON backend).
+    pub fn to_json(&self) -> String {
+        serde::json::to_string(self)
+    }
+
+    /// Parses a counterexample previously written by [`Self::to_json`].
+    pub fn from_json(src: &str) -> Result<Self, String> {
+        let v = Json::parse(src)?;
+        let field = |k: &str| -> Result<&Json, String> {
+            v.get(k).ok_or_else(|| format!("missing field '{k}'"))
+        };
+        let str_field = |k: &str| -> Result<String, String> {
+            field(k)?
+                .as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| format!("field '{k}' is not a string"))
+        };
+        let mut steps = Vec::new();
+        for (i, s) in field("steps")?
+            .as_arr()
+            .ok_or("field 'steps' is not an array")?
+            .iter()
+            .enumerate()
+        {
+            let num = |k: &str| -> Result<u64, String> {
+                s.get(k)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("step {i}: bad field '{k}'"))
+            };
+            let mode = num("mode")?;
+            mode_from_u8(mode)?;
+            steps.push(CxStep {
+                index: num("index")?,
+                mode: mode as u8,
+                label: s
+                    .get("label")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_owned(),
+            });
+        }
+        Ok(Counterexample {
+            model: str_field("model")?,
+            oracle: str_field("oracle")?,
+            detail: str_field("detail")?,
+            steps,
+        })
+    }
+
+    /// The schedule as replayable [`Choice`]s.
+    pub fn choices(&self) -> Vec<Choice> {
+        self.steps
+            .iter()
+            .map(|s| Choice {
+                index: s.index as usize,
+                mode: mode_from_u8(s.mode as u64).expect("validated on construction"),
+            })
+            .collect()
+    }
+
+    /// Builds the serialized form from raw choices and their labels.
+    pub fn from_parts(
+        model: &str,
+        oracle: &str,
+        detail: &str,
+        steps: Vec<(Choice, String)>,
+    ) -> Self {
+        Counterexample {
+            model: model.to_owned(),
+            oracle: oracle.to_owned(),
+            detail: detail.to_owned(),
+            steps: steps
+                .into_iter()
+                .map(|(c, label)| CxStep {
+                    index: c.index as u64,
+                    mode: mode_to_u8(c.mode),
+                    label,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counterexample_json_roundtrip() {
+        let cx = Counterexample::from_parts(
+            "sac3",
+            "SacMaskCancellation",
+            "replica divergence at (j=1, p=2)",
+            vec![
+                (
+                    Choice {
+                        index: 0,
+                        mode: StepMode::Duplicate,
+                    },
+                    "deliver sac.begin 0->1".into(),
+                ),
+                (
+                    Choice {
+                        index: 3,
+                        mode: StepMode::Deliver,
+                    },
+                    "deliver sac.begin 0->1 (dup)".into(),
+                ),
+            ],
+        );
+        let back = Counterexample::from_json(&cx.to_json()).unwrap();
+        assert_eq!(back, cx);
+        assert_eq!(back.choices().len(), 2);
+        assert_eq!(back.choices()[0].mode, StepMode::Duplicate);
+    }
+
+    #[test]
+    fn from_json_rejects_bad_modes_and_shapes() {
+        assert!(Counterexample::from_json("{}").is_err());
+        let bad_mode =
+            r#"{"model":"m","oracle":"o","detail":"d","steps":[{"index":0,"mode":9,"label":""}]}"#;
+        assert!(Counterexample::from_json(bad_mode).is_err());
+        assert!(Counterexample::from_json("not json").is_err());
+    }
+}

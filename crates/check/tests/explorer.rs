@@ -1,0 +1,144 @@
+//! Explorer acceptance: clean models stay clean under bounded-exhaustive
+//! and random-walk exploration, and schedules round-trip + replay
+//! deterministically.
+
+use p2pfl_check::models::{HierModel, Raft3Model, Sac3Model};
+use p2pfl_check::{Choice, Counterexample, ExploreConfig, Explorer, Model};
+use p2pfl_simnet::StepMode;
+
+fn quick(depth: usize, branch: usize) -> ExploreConfig {
+    ExploreConfig {
+        max_depth: depth,
+        max_states: 50_000,
+        max_branch: branch,
+        enable_drops: false,
+        enable_dups: false,
+        fault_choice_limit: 2,
+    }
+}
+
+#[test]
+fn clean_models_explore_without_violations() {
+    let raft = Explorer::new(Raft3Model, quick(5, 4)).explore();
+    assert!(raft.counterexample.is_none(), "{:?}", raft.counterexample);
+    assert!(raft.exhausted, "raft3 should exhaust its bounds");
+    assert!(
+        raft.states_visited > 50,
+        "raft3 visited {}",
+        raft.states_visited
+    );
+
+    let sac = Explorer::new(Sac3Model, quick(5, 4)).explore();
+    assert!(sac.counterexample.is_none(), "{:?}", sac.counterexample);
+    assert!(sac.exhausted);
+
+    let hier = Explorer::new(HierModel, quick(4, 4)).explore();
+    assert!(hier.counterexample.is_none(), "{:?}", hier.counterexample);
+    assert!(hier.exhausted);
+}
+
+#[test]
+fn clean_models_survive_faulty_random_walks() {
+    let mut cfg = quick(16, 6);
+    cfg.enable_drops = true;
+    cfg.enable_dups = true;
+    cfg.fault_choice_limit = 4;
+    for (name, cx) in [
+        (
+            "raft3",
+            Explorer::new(Raft3Model, cfg)
+                .random_walk(60, 11)
+                .counterexample,
+        ),
+        (
+            "sac3",
+            Explorer::new(Sac3Model, cfg)
+                .random_walk(60, 11)
+                .counterexample,
+        ),
+        (
+            "hier",
+            Explorer::new(HierModel, cfg)
+                .random_walk(40, 11)
+                .counterexample,
+        ),
+    ] {
+        assert!(cx.is_none(), "{name}: unexpected violation {cx:?}");
+    }
+}
+
+#[test]
+fn replay_is_deterministic_and_schedules_roundtrip() {
+    // A mixed schedule with an out-of-range index (must be skipped), a
+    // drop, and a duplicate.
+    let choices = vec![
+        Choice {
+            index: 1,
+            mode: StepMode::Deliver,
+        },
+        Choice {
+            index: 0,
+            mode: StepMode::Drop,
+        },
+        Choice {
+            index: 99,
+            mode: StepMode::Deliver,
+        },
+        Choice {
+            index: 0,
+            mode: StepMode::Duplicate,
+        },
+        Choice {
+            index: 2,
+            mode: StepMode::Deliver,
+        },
+    ];
+    let ex = Explorer::new(Sac3Model, quick(8, 6));
+    let (mut a, va) = ex.replay(&choices);
+    let (mut b, vb) = ex.replay(&choices);
+    assert_eq!(va.is_some(), vb.is_some());
+    assert_eq!(Sac3Model.fingerprint(&mut a), Sac3Model.fingerprint(&mut b));
+    assert_eq!(a.queue_digest(), b.queue_digest());
+
+    // The same schedule survives a JSON round trip and replays to the
+    // same state.
+    let cx = Counterexample::from_parts(
+        "sac3",
+        "none",
+        "determinism probe",
+        choices.iter().map(|&c| (c, String::new())).collect(),
+    );
+    let parsed = Counterexample::from_json(&cx.to_json()).expect("parse back");
+    assert_eq!(parsed.choices(), choices);
+    let (mut c, _) = ex.replay(&parsed.choices());
+    assert_eq!(Sac3Model.fingerprint(&mut a), Sac3Model.fingerprint(&mut c));
+}
+
+#[test]
+fn dropped_deliveries_project_onto_a_fault_plan() {
+    // After the sac3 boot prelude the leader's Begin/ShareBlock sends are
+    // already in flight, so dropping index 0 is guaranteed to hit a
+    // delivery and must appear as a projected partition window.
+    let ex = Explorer::new(Sac3Model, quick(6, 5));
+    let choices = vec![
+        Choice {
+            index: 0,
+            mode: StepMode::Drop,
+        },
+        Choice {
+            index: 0,
+            mode: StepMode::Deliver,
+        },
+        Choice {
+            index: 0,
+            mode: StepMode::Drop,
+        },
+    ];
+    let plan = ex.project_fault_plan(&choices, 42);
+    assert_eq!(
+        plan.entries.len(),
+        2,
+        "each dropped delivery projects one partition window: {plan:?}"
+    );
+    assert!(plan.can_drop_messages());
+}

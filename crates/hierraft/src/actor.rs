@@ -186,6 +186,25 @@ impl HierActor {
         self.fed.as_ref()
     }
 
+    /// StorageRoundTrip oracle hook for the invariant checker: replays both
+    /// storage handles (when present) and checks that a node restored from
+    /// them would be bisimilar to the live Raft instances — same term, vote,
+    /// log, and snapshot. Returns a description of the first divergence.
+    pub fn verify_storage_roundtrip(&mut self) -> Result<(), String> {
+        if let Some(st) = self.sub_storage.as_mut() {
+            let state = st.load().unwrap_or_default();
+            self.sub
+                .matches_persistent(&state)
+                .map_err(|e| format!("sub layer: {e}"))?;
+        }
+        if let (Some(st), Some(fed)) = (self.fed_storage.as_mut(), self.fed.as_ref()) {
+            let state = st.load().unwrap_or_default();
+            fed.matches_persistent(&state)
+                .map_err(|e| format!("fed layer: {e}"))?;
+        }
+        Ok(())
+    }
+
     /// Proposes an application command on the FedAvg layer (leader only).
     pub fn propose_fed(
         &mut self,

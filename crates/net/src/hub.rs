@@ -27,15 +27,18 @@
 //! is how a crashed peer rejoins from a fresh port.
 
 use crate::codec::{write_frame, FrameBuffer};
+use crate::registry::{Conn, Registry};
+use crate::sync::atomic::Ordering;
 use p2pfl_simnet::NodeId;
 use std::collections::HashMap;
 use std::io::{self, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+pub use crate::registry::NetStats;
 
 /// First reconnect delay.
 pub const BACKOFF_INITIAL: Duration = Duration::from_millis(10);
@@ -64,69 +67,35 @@ pub enum NetEvent {
     },
 }
 
-/// Transport counters, all cumulative since hub start.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct NetStats {
-    /// Payload frames successfully written.
-    pub frames_sent: u64,
-    /// Bytes written for payload frames (including length prefixes).
-    pub bytes_sent: u64,
-    /// Payload frames received and delivered to the sink.
-    pub frames_received: u64,
-    /// Bytes received for payload frames (including length prefixes).
-    pub bytes_received: u64,
-    /// Successful connection establishments *after* a writer's first,
-    /// i.e. recoveries from a dead connection.
-    pub reconnects: u64,
-    /// Backoff sleeps taken by writer threads — one per failed connection
-    /// attempt or dead connection noticed, whether or not the subsequent
-    /// retry succeeds.
-    pub reconnect_attempts: u64,
-    /// Sends intentionally discarded before reaching a socket (the
-    /// runtime's fault-injection layer; see [`Hub::note_send_dropped`]).
-    pub sends_dropped: u64,
-}
+impl Conn for TcpStream {
+    fn is_dead(&self) -> bool {
+        !matches!(self.take_error(), Ok(None))
+    }
 
-#[derive(Default)]
-struct StatsAtomics {
-    frames_sent: AtomicU64,
-    bytes_sent: AtomicU64,
-    frames_received: AtomicU64,
-    bytes_received: AtomicU64,
-    reconnects: AtomicU64,
-    reconnect_attempts: AtomicU64,
-    sends_dropped: AtomicU64,
+    fn sever(&self) {
+        let _ = self.shutdown(Shutdown::Both);
+    }
 }
 
 struct Shared {
     id: NodeId,
     sink: Box<dyn Fn(NetEvent) + Send + Sync>,
-    shutdown: AtomicBool,
-    stats: StatsAtomics,
-    /// Clones of every live socket, so `kill_connections` / `shutdown` can
-    /// sever them from outside their owning threads.
-    conns: Mutex<Vec<TcpStream>>,
+    /// Shutdown latch, counters, and clones of every live socket (so
+    /// `kill_connections` / `shutdown` can sever them from outside their
+    /// owning threads). See [`crate::registry`] for the loom-checked
+    /// locking protocol.
+    reg: Registry<TcpStream>,
 }
 
 impl Shared {
     fn register(&self, s: &TcpStream) {
         if let Ok(clone) = s.try_clone() {
-            let mut conns = self.conns.lock().unwrap();
-            // Prune sockets that already died so the registry stays small
-            // across many reconnect cycles.
-            conns.retain(|c| matches!(c.take_error(), Ok(None)));
-            conns.push(clone);
-        }
-    }
-
-    fn sever_all(&self) {
-        for c in self.conns.lock().unwrap().drain(..) {
-            let _ = c.shutdown(Shutdown::Both);
+            self.reg.register(clone);
         }
     }
 
     fn is_shutdown(&self) -> bool {
-        self.shutdown.load(Ordering::SeqCst)
+        self.reg.is_shutdown()
     }
 }
 
@@ -165,9 +134,7 @@ impl Hub {
         let shared = Arc::new(Shared {
             id,
             sink: Box::new(sink),
-            shutdown: AtomicBool::new(false),
-            stats: StatsAtomics::default(),
-            conns: Mutex::new(Vec::new()),
+            reg: Registry::new(),
         });
         let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept = {
@@ -236,21 +203,12 @@ impl Hub {
     /// touching the peer registry — the writers reconnect with backoff.
     /// Test hook for the recovery path.
     pub fn kill_connections(&self) {
-        self.shared.sever_all();
+        self.shared.reg.sever_all();
     }
 
     /// Snapshot of the transport counters.
     pub fn stats(&self) -> NetStats {
-        let s = &self.shared.stats;
-        NetStats {
-            frames_sent: s.frames_sent.load(Ordering::Relaxed),
-            bytes_sent: s.bytes_sent.load(Ordering::Relaxed),
-            frames_received: s.frames_received.load(Ordering::Relaxed),
-            bytes_received: s.bytes_received.load(Ordering::Relaxed),
-            reconnects: s.reconnects.load(Ordering::Relaxed),
-            reconnect_attempts: s.reconnect_attempts.load(Ordering::Relaxed),
-            sends_dropped: s.sends_dropped.load(Ordering::Relaxed),
-        }
+        self.shared.reg.stats().snapshot()
     }
 
     /// Records one send discarded above the socket layer. Called by the
@@ -258,7 +216,8 @@ impl Hub {
     /// up in [`NetStats`] instead of vanishing silently.
     pub fn note_send_dropped(&self) {
         self.shared
-            .stats
+            .reg
+            .stats()
             .sends_dropped
             .fetch_add(1, Ordering::Relaxed);
     }
@@ -266,8 +225,7 @@ impl Hub {
     /// Graceful shutdown: stops accepting, severs connections, and joins
     /// every thread. Idempotent.
     pub fn shutdown(&self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.sever_all();
+        self.shared.reg.begin_shutdown();
         let mut peers = self.peers.lock().unwrap();
         for slot in peers.values_mut() {
             let _ = slot.tx.send(WriterCmd::Shutdown);
@@ -344,7 +302,7 @@ fn reader_loop(shared: Arc<Shared>, mut stream: TcpStream) {
                         None => return,
                     },
                     Some(id) => {
-                        let s = &shared.stats;
+                        let s = shared.reg.stats();
                         s.frames_received.fetch_add(1, Ordering::Relaxed);
                         s.bytes_received
                             .fetch_add(frame.len() as u64 + 4, Ordering::Relaxed);
@@ -399,7 +357,11 @@ fn writer_loop(shared: Arc<Shared>, addr: Arc<Mutex<SocketAddr>>, rx: Receiver<W
                             continue;
                         }
                         if ever_connected {
-                            shared.stats.reconnects.fetch_add(1, Ordering::Relaxed);
+                            shared
+                                .reg
+                                .stats()
+                                .reconnects
+                                .fetch_add(1, Ordering::Relaxed);
                         }
                         ever_connected = true;
                         backoff = BACKOFF_INITIAL;
@@ -414,7 +376,7 @@ fn writer_loop(shared: Arc<Shared>, addr: Arc<Mutex<SocketAddr>>, rx: Receiver<W
             }
             match write_frame(conn.as_mut().expect("connection established"), &frame) {
                 Ok(()) => {
-                    let s = &shared.stats;
+                    let s = shared.reg.stats();
                     s.frames_sent.fetch_add(1, Ordering::Relaxed);
                     s.bytes_sent
                         .fetch_add(frame.len() as u64 + 4, Ordering::Relaxed);
@@ -453,7 +415,8 @@ fn backoff_jitter(id: NodeId, attempt: u64, base: Duration) -> Duration {
 fn sleep_backoff(shared: &Shared, backoff: &mut Duration, attempt: &mut u64) {
     *attempt += 1;
     shared
-        .stats
+        .reg
+        .stats()
         .reconnect_attempts
         .fetch_add(1, Ordering::Relaxed);
     let mut left = *backoff + backoff_jitter(shared.id, *attempt, *backoff);

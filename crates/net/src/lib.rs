@@ -52,7 +52,9 @@
 
 pub mod codec;
 pub mod hub;
+pub mod registry;
 pub mod runtime;
+mod sync;
 
 pub use codec::{from_bytes, to_bytes, CodecError, FrameBuffer, MAX_FRAME};
 pub use hub::{Hub, NetEvent, NetStats};

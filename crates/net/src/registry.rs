@@ -1,0 +1,151 @@
+//! The hub's shared mutable state — shutdown latch, transport counters,
+//! and the live-connection registry — factored out of the socket code.
+//!
+//! Every cross-thread touchpoint in [`crate::hub`] (accept loop, reader
+//! threads, writer threads, and the public `Hub` handle) goes through this
+//! one struct, built exclusively on the [`crate::sync`] primitives. That
+//! makes the lock/atomic protocol independently checkable: under
+//! `RUSTFLAGS="--cfg loom"` the primitives switch to loom and
+//! `tests/loom_hub.rs` drives [`Registry`] with a mock [`Conn`] through
+//! the racy schedules (register vs. sever, concurrent counter bumps,
+//! shutdown vs. late registration) that real sockets make untestable.
+
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::Mutex;
+
+/// Transport counters, all cumulative since hub start.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Payload frames successfully written.
+    pub frames_sent: u64,
+    /// Bytes written for payload frames (including length prefixes).
+    pub bytes_sent: u64,
+    /// Payload frames received and delivered to the sink.
+    pub frames_received: u64,
+    /// Bytes received for payload frames (including length prefixes).
+    pub bytes_received: u64,
+    /// Successful connection establishments *after* a writer's first,
+    /// i.e. recoveries from a dead connection.
+    pub reconnects: u64,
+    /// Backoff sleeps taken by writer threads — one per failed connection
+    /// attempt or dead connection noticed, whether or not the subsequent
+    /// retry succeeds.
+    pub reconnect_attempts: u64,
+    /// Sends intentionally discarded before reaching a socket (the
+    /// runtime's fault-injection layer).
+    pub sends_dropped: u64,
+}
+
+/// The atomic cells behind [`NetStats`]; incremented lock-free from every
+/// hub thread.
+#[derive(Debug, Default)]
+pub struct StatsCells {
+    /// See [`NetStats::frames_sent`].
+    pub frames_sent: AtomicU64,
+    /// See [`NetStats::bytes_sent`].
+    pub bytes_sent: AtomicU64,
+    /// See [`NetStats::frames_received`].
+    pub frames_received: AtomicU64,
+    /// See [`NetStats::bytes_received`].
+    pub bytes_received: AtomicU64,
+    /// See [`NetStats::reconnects`].
+    pub reconnects: AtomicU64,
+    /// See [`NetStats::reconnect_attempts`].
+    pub reconnect_attempts: AtomicU64,
+    /// See [`NetStats::sends_dropped`].
+    pub sends_dropped: AtomicU64,
+}
+
+impl StatsCells {
+    /// A consistent-enough snapshot of the counters (individually atomic;
+    /// cross-counter skew is acceptable for monitoring).
+    pub fn snapshot(&self) -> NetStats {
+        NetStats {
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            frames_received: self.frames_received.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            reconnect_attempts: self.reconnect_attempts.load(Ordering::Relaxed),
+            sends_dropped: self.sends_dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A severable connection handle: `TcpStream` in production, a mock cell
+/// in the loom tests.
+pub trait Conn {
+    /// Whether the connection has already died (used to prune the
+    /// registry as it grows across reconnect cycles).
+    fn is_dead(&self) -> bool;
+
+    /// Forcibly closes the connection. Must be idempotent and callable
+    /// from any thread.
+    fn sever(&self);
+}
+
+/// Shutdown latch + counters + live-connection registry shared by every
+/// hub thread.
+#[derive(Debug, Default)]
+pub struct Registry<C> {
+    shutdown: AtomicBool,
+    stats: StatsCells,
+    conns: Mutex<Vec<C>>,
+}
+
+impl<C> Registry<C> {
+    /// An empty, running registry.
+    pub fn new() -> Self {
+        Registry {
+            shutdown: AtomicBool::new(false),
+            stats: StatsCells::default(),
+            conns: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The transport counters.
+    pub fn stats(&self) -> &StatsCells {
+        &self.stats
+    }
+
+    /// Whether [`Registry::begin_shutdown`] has been called.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// How many connections are currently registered (dead ones linger
+    /// until the next [`Registry::register`] prunes them).
+    pub fn live_count(&self) -> usize {
+        self.conns.lock().unwrap().len()
+    }
+}
+
+impl<C: Conn> Registry<C> {
+    /// Adds a live connection, pruning ones that already died so the
+    /// registry stays small across many reconnect cycles.
+    ///
+    /// A registration racing [`Registry::begin_shutdown`] may land after
+    /// the sever pass; callers observing [`Registry::is_shutdown`]
+    /// afterwards must drop their handle (closing the socket) — the loom
+    /// model checks exactly this protocol.
+    pub fn register(&self, conn: C) {
+        let mut conns = self.conns.lock().unwrap();
+        conns.retain(|c| !c.is_dead());
+        conns.push(conn);
+    }
+
+    /// Severs and forgets every registered connection. The peers' writer
+    /// threads are expected to reconnect; the hub keeps running.
+    pub fn sever_all(&self) {
+        for c in self.conns.lock().unwrap().drain(..) {
+            c.sever();
+        }
+    }
+
+    /// Latches shutdown, then severs everything registered so far. Safe to
+    /// call repeatedly and concurrently.
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.sever_all();
+    }
+}

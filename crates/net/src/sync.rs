@@ -1,0 +1,21 @@
+//! Synchronization primitives, switchable between `std` and `loom`.
+//!
+//! Everything in [`crate::registry`] (the hub's shared mutable state) goes
+//! through these aliases. A normal build uses `std::sync`; building with
+//! `RUSTFLAGS="--cfg loom"` swaps in the loom model-checking primitives so
+//! `tests/loom_hub.rs` can explore interleavings over the exact code that
+//! runs in production.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::Mutex;
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::Mutex;
+
+pub(crate) mod atomic {
+    #[cfg(loom)]
+    pub(crate) use loom::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    #[cfg(not(loom))]
+    pub(crate) use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+}

@@ -5,9 +5,11 @@
 
 use p2pfl_hierraft::{FedConfig, HierMsg, SubCmd};
 use p2pfl_net::codec::{from_bytes, to_bytes, write_frame, FrameBuffer, MAX_FRAME};
-use p2pfl_raft::{Entry, LogCmd, RaftMsg};
+use p2pfl_raft::{Entry, LogCmd, PersistOp, RaftMsg};
 use p2pfl_secagg::{SacMsg, WeightVector};
-use p2pfl_simnet::NodeId;
+use p2pfl_simnet::{
+    Blob, FaultAction, FaultEntry, FaultPlan, NodeId, SimDuration, SimTime, TimerId,
+};
 use proptest::prelude::*;
 
 fn arb_node() -> impl Strategy<Value = NodeId> {
@@ -163,6 +165,85 @@ fn arb_hiermsg() -> impl Strategy<Value = HierMsg> {
     ]
 }
 
+fn arb_persistop() -> impl Strategy<Value = PersistOp<u64>> {
+    prop_oneof![
+        (any::<u64>(), prop::option::of(arb_node()))
+            .prop_map(|(term, voted_for)| PersistOp::HardState { term, voted_for }),
+        arb_entry().prop_map(PersistOp::Append),
+        any::<u64>().prop_map(PersistOp::TruncateFrom),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            prop::collection::vec(arb_node(), 0..5),
+            prop::collection::vec(any::<u8>(), 0..32),
+        )
+            .prop_map(
+                |(last_index, last_term, cluster, data)| PersistOp::Compact {
+                    last_index,
+                    last_term,
+                    cluster,
+                    data,
+                }
+            ),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            prop::collection::vec(arb_node(), 0..5),
+            prop::collection::vec(any::<u8>(), 0..32),
+        )
+            .prop_map(|(last_index, last_term, cluster, data)| {
+                PersistOp::InstallSnapshot {
+                    last_index,
+                    last_term,
+                    cluster,
+                    data,
+                }
+            }),
+    ]
+}
+
+fn arb_simtime() -> impl Strategy<Value = SimTime> {
+    (0u64..600_000).prop_map(SimTime::from_millis)
+}
+
+fn arb_fault_action() -> impl Strategy<Value = FaultAction> {
+    prop_oneof![
+        (0.0f64..=1.0).prop_map(|probability| FaultAction::Loss { probability }),
+        (0u64..5_000, 0u64..5_000).prop_map(|(extra, jitter)| FaultAction::Delay {
+            extra: SimDuration::from_millis(extra),
+            jitter: SimDuration::from_millis(jitter),
+        }),
+        (0.0f64..=1.0).prop_map(|probability| FaultAction::Duplicate { probability }),
+        (0.0f64..=1.0, 0u64..5_000).prop_map(|(probability, window)| FaultAction::Reorder {
+            probability,
+            window: SimDuration::from_millis(window),
+        }),
+        (
+            prop::collection::vec(arb_node(), 0..4),
+            prop::collection::vec(arb_node(), 0..4),
+        )
+            .prop_map(|(src, dst)| FaultAction::Partition { src, dst }),
+        arb_node().prop_map(|node| FaultAction::Blackout { node }),
+        arb_node().prop_map(|node| FaultAction::Crash { node }),
+        arb_node().prop_map(|node| FaultAction::Restart { node }),
+    ]
+}
+
+fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
+    let entry = (
+        arb_simtime(),
+        prop::option::of(arb_simtime()),
+        arb_fault_action(),
+    )
+        .prop_map(|(from, until, action)| FaultEntry {
+            from,
+            until,
+            action,
+        });
+    (any::<u64>(), prop::collection::vec(entry, 0..6))
+        .prop_map(|(seed, entries)| FaultPlan { seed, entries })
+}
+
 fn arb_sacmsg(max_dim: usize) -> impl Strategy<Value = SacMsg> {
     prop_oneof![
         any::<u64>().prop_map(|round| SacMsg::Begin { round }),
@@ -207,6 +288,31 @@ proptest! {
     fn sac_messages_round_trip(msg in arb_sacmsg(32)) {
         let bytes = to_bytes(&msg);
         prop_assert_eq!(from_bytes::<SacMsg>(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn persist_ops_round_trip(op in arb_persistop()) {
+        // The write-ahead records FileStorage appends to disk use the same
+        // codec as the wire; a lossy round-trip would corrupt recovery.
+        let bytes = to_bytes(&op);
+        prop_assert_eq!(from_bytes::<PersistOp<u64>>(&bytes).unwrap(), op);
+    }
+
+    #[test]
+    fn fault_plans_round_trip(plan in arb_fault_plan()) {
+        // FaultPlan is the cross-transport replay artifact produced by
+        // p2pfl-check and the chaos harness; every action shape must
+        // survive serialization, including FaultEntry and FaultAction.
+        let bytes = to_bytes(&plan);
+        prop_assert_eq!(from_bytes::<FaultPlan>(&bytes).unwrap(), plan);
+    }
+
+    #[test]
+    fn simnet_ids_and_blobs_round_trip(id in any::<u64>(), size in any::<u64>(), tag in any::<u64>()) {
+        let timer = TimerId(id);
+        prop_assert_eq!(from_bytes::<TimerId>(&to_bytes(&timer)).unwrap(), timer);
+        let blob = Blob { size, tag };
+        prop_assert_eq!(from_bytes::<Blob>(&to_bytes(&blob)).unwrap(), blob);
     }
 
     #[test]

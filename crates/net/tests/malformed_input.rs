@@ -1,0 +1,182 @@
+//! Negative-path hardening: truncated, oversized, and garbage input on
+//! every untrusted surface — the binary codec, the incremental
+//! [`FrameBuffer`], and a live [`PeerRuntime`] fed raw hostile frames over
+//! TCP — must produce typed errors (or counted drops), never a panic.
+
+use p2pfl_hierraft::{FedConfig, HierMsg, SubCmd};
+use p2pfl_net::codec::{from_bytes, to_bytes, write_frame, CodecError, FrameBuffer, MAX_FRAME};
+use p2pfl_net::PeerRuntime;
+use p2pfl_raft::{Entry, LogCmd, RaftMsg};
+use p2pfl_secagg::{SacMsg, WeightVector};
+use p2pfl_simnet::{Actor, NodeId, Transport};
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Valid encodings of representative wire messages, used as mutation
+/// seeds.
+fn seeds() -> Vec<Vec<u8>> {
+    let raft: RaftMsg<u64> = RaftMsg::AppendEntries {
+        term: 3,
+        leader: NodeId(1),
+        prev_log_index: 2,
+        prev_log_term: 1,
+        entries: vec![Entry {
+            term: 3,
+            index: 3,
+            cmd: LogCmd::App(77),
+        }],
+        leader_commit: 2,
+    };
+    let hier = HierMsg::Sub(RaftMsg::AppendEntries {
+        term: 1,
+        leader: NodeId(0),
+        prev_log_index: 0,
+        prev_log_term: 0,
+        entries: vec![Entry {
+            term: 1,
+            index: 1,
+            cmd: LogCmd::App(SubCmd::FedConfig(FedConfig {
+                founding: vec![NodeId(0), NodeId(3)],
+                current: vec![NodeId(0), NodeId(3)],
+                version: 1,
+            })),
+        }],
+        leader_commit: 0,
+    });
+    let sac = SacMsg::ShareBlock {
+        round: 1,
+        from_pos: 2,
+        parts: vec![(0, WeightVector::new(vec![1.0, -2.5]))],
+    };
+    vec![to_bytes(&raft), to_bytes(&hier), to_bytes(&sac)]
+}
+
+fn decode_any(seed_idx: usize, bytes: &[u8]) {
+    // Whichever type the seed was, decoding mutated bytes must return —
+    // Ok or Err — without panicking.
+    match seed_idx {
+        0 => {
+            let _ = from_bytes::<RaftMsg<u64>>(bytes);
+        }
+        1 => {
+            let _ = from_bytes::<HierMsg>(bytes);
+        }
+        _ => {
+            let _ = from_bytes::<SacMsg>(bytes);
+        }
+    }
+}
+
+#[test]
+fn codec_never_panics_on_truncated_input() {
+    for (i, seed) in seeds().iter().enumerate() {
+        for cut in 0..seed.len() {
+            decode_any(i, &seed[..cut]);
+        }
+    }
+}
+
+#[test]
+fn codec_never_panics_on_bit_flips() {
+    for (i, seed) in seeds().iter().enumerate() {
+        for pos in 0..seed.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut m = seed.clone();
+                m[pos] ^= flip;
+                decode_any(i, &m);
+            }
+        }
+    }
+}
+
+#[test]
+fn codec_rejects_hostile_length_prefixes_with_typed_error() {
+    // A sequence length prefix claiming u32::MAX elements must be refused
+    // up front, before it can size an allocation or element loop.
+    let sac = SacMsg::ShareBlock {
+        round: 1,
+        from_pos: 0,
+        parts: vec![(0, WeightVector::new(vec![1.0]))],
+    };
+    let mut bytes = to_bytes(&sac);
+    // Layout: variant index (4) + round (8) + from_pos (8) + parts len (4).
+    let len_at = 4 + 8 + 8;
+    bytes[len_at..len_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    match from_bytes::<SacMsg>(&bytes) {
+        Err(CodecError::LengthOverrun {
+            declared,
+            available,
+        }) => {
+            assert_eq!(declared, u32::MAX as usize);
+            assert!(available < declared);
+        }
+        other => panic!("expected LengthOverrun, got {other:?}"),
+    }
+}
+
+#[test]
+fn frame_buffer_handles_garbage_and_partial_frames() {
+    // Oversize header: typed error, repeatably (stream unrecoverable).
+    let mut fb = FrameBuffer::new();
+    fb.extend(&((MAX_FRAME as u32) + 1).to_le_bytes());
+    assert!(fb.next_frame().is_err());
+    assert!(fb.next_frame().is_err());
+
+    // A partial frame stays pending without error through arbitrarily
+    // fragmented feeds.
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &vec![0xAB; 1000]).unwrap();
+    let mut fb = FrameBuffer::new();
+    for chunk in wire[..wire.len() - 1].chunks(7) {
+        fb.extend(chunk);
+        assert!(matches!(fb.next_frame(), Ok(None)));
+    }
+    fb.extend(&wire[wire.len() - 1..]);
+    assert_eq!(fb.next_frame().unwrap().unwrap().len(), 1000);
+}
+
+/// An actor that records every message it survives receiving.
+struct Sink {
+    got: u64,
+}
+
+impl Actor<SacMsg> for Sink {
+    fn on_message(&mut self, _t: &mut dyn Transport<SacMsg>, _from: NodeId, _msg: SacMsg) {
+        self.got += 1;
+    }
+}
+
+#[test]
+fn runtime_survives_raw_garbage_frames_over_tcp() {
+    let rt: PeerRuntime<SacMsg, Sink> =
+        PeerRuntime::start(NodeId(0), "127.0.0.1:0", &[], Sink { got: 0 }).expect("bind");
+    let addr = rt.local_addr();
+
+    // Handshake as peer 9, then send: a garbage payload, a truncated
+    // message, and finally a valid one.
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    let mut hello = Vec::new();
+    hello.extend_from_slice(b"p2pf");
+    hello.push(1);
+    hello.extend_from_slice(&9u32.to_le_bytes());
+    write_frame(&mut conn, &hello).unwrap();
+    write_frame(&mut conn, &[0xDE, 0xAD, 0xBE, 0xEF]).unwrap();
+    let valid = to_bytes(&SacMsg::Begin { round: 1 });
+    write_frame(&mut conn, &valid[..valid.len() - 2]).unwrap();
+    write_frame(&mut conn, &valid).unwrap();
+    conn.flush().unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (errors, got) = (rt.decode_errors(), rt.with(|a, _| a.got));
+        if errors >= 2 && got >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "runtime did not absorb hostile frames: {errors} decode errors, {got} delivered"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}

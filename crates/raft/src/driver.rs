@@ -115,6 +115,20 @@ impl<C: Command, SM: StateMachine<C>> RaftActor<C, SM> {
         &self.node
     }
 
+    /// StorageRoundTrip oracle hook for the invariant checker: replays the
+    /// storage handle (when present) and checks that a node restored from
+    /// it would be bisimilar to the live one — same term, vote, log, and
+    /// snapshot. Returns a description of the first divergence.
+    pub fn verify_storage_roundtrip(&mut self) -> Result<(), String>
+    where
+        C: PartialEq + std::fmt::Debug,
+    {
+        match self.storage.as_mut() {
+            Some(st) => self.node.matches_persistent(&st.load().unwrap_or_default()),
+            None => Ok(()),
+        }
+    }
+
     /// Current role.
     pub fn role(&self) -> Role {
         self.node.role()

@@ -32,6 +32,8 @@
 mod driver;
 mod log;
 mod message;
+#[cfg(feature = "mutants")]
+pub mod mutants;
 mod node;
 mod storage;
 mod types;

@@ -1,0 +1,45 @@
+//! Deliberately broken protocol variants for the checker's mutation
+//! self-test (`p2pfl-check --features mutants`).
+//!
+//! Each mutant removes one safety-critical line of the protocol. The
+//! bounded model checker must detect every one of them — proving the
+//! invariant oracles have teeth. This module only exists under the
+//! `mutants` cargo feature; release builds carry none of these paths.
+//!
+//! Selection is a process-global atomic so one test binary can cycle
+//! through the mutants without rebuilding. Tests that use it must run
+//! single-threaded over the selection window.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// The seeded faults available in `p2pfl-raft`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Mutant {
+    /// No fault active (the default).
+    None = 0,
+    /// `on_request_vote` ignores `voted_for` and grants every up-to-date
+    /// request — a node can vote for two candidates in one term, breaking
+    /// ElectionSafety.
+    DoubleVote = 1,
+    /// `start_election` skips the hard-state persist — the term/vote bump
+    /// never reaches storage, breaking StorageRoundTrip.
+    SkipPersist = 2,
+}
+
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+/// Activates `m` process-wide (pass [`Mutant::None`] to deactivate).
+pub fn set(m: Mutant) {
+    ACTIVE.store(m as u8, Ordering::SeqCst);
+}
+
+/// Deactivates any active mutant.
+pub fn clear() {
+    set(Mutant::None);
+}
+
+/// Whether `m` is the currently active mutant.
+pub fn active(m: Mutant) -> bool {
+    ACTIVE.load(Ordering::SeqCst) == m as u8
+}

@@ -218,6 +218,65 @@ impl<C: Command> RaftNode<C> {
         self.snapshot.as_ref()
     }
 
+    /// The candidate this node voted for in the current term, if any.
+    /// Inspection accessor for the invariant checker (`p2pfl-check`).
+    pub fn voted_for(&self) -> Option<NodeId> {
+        self.voted_for
+    }
+
+    /// Checks that this node's persistent portion (term, vote, log,
+    /// snapshot) matches a [`PersistentState`] — the StorageRoundTrip
+    /// oracle: a node restored from `st` would be bisimilar to this one up
+    /// to volatile state (role, commit index, leadership). Returns a
+    /// human-readable description of the first mismatch.
+    pub fn matches_persistent(&self, st: &PersistentState<C>) -> Result<(), String>
+    where
+        C: PartialEq + std::fmt::Debug,
+    {
+        if st.term != self.current_term {
+            return Err(format!(
+                "term mismatch: storage {} vs live {}",
+                st.term, self.current_term
+            ));
+        }
+        if st.voted_for != self.voted_for {
+            return Err(format!(
+                "voted_for mismatch: storage {:?} vs live {:?}",
+                st.voted_for, self.voted_for
+            ));
+        }
+        if st.log.snapshot_index() != self.log.snapshot_index()
+            || st.log.last_index() != self.log.last_index()
+        {
+            return Err(format!(
+                "log bounds mismatch: storage ({}, {}] vs live ({}, {}]",
+                st.log.snapshot_index(),
+                st.log.last_index(),
+                self.log.snapshot_index(),
+                self.log.last_index()
+            ));
+        }
+        for i in (self.log.snapshot_index() + 1)..=self.log.last_index() {
+            let (a, b) = (st.log.get(i), self.log.get(i));
+            match (a, b) {
+                (Some(x), Some(y)) if x.term == y.term && x.cmd == y.cmd => {}
+                _ => {
+                    return Err(format!(
+                        "log entry {i} mismatch: storage {a:?} vs live {b:?}"
+                    ));
+                }
+            }
+        }
+        let live_snap = self.snapshot.as_ref();
+        let stored_snap = st.snapshot.as_ref();
+        match (stored_snap, live_snap) {
+            (None, None) => {}
+            (Some(a), Some(b)) if a == b => {}
+            _ => return Err("snapshot mismatch between storage and live node".into()),
+        }
+        Ok(())
+    }
+
     // ------------------------------------------------------------------
     // Inputs
     // ------------------------------------------------------------------
@@ -443,6 +502,13 @@ impl<C: Command> RaftNode<C> {
         self.votes.clear();
         self.votes.insert(self.cfg.id);
         self.leader_hint = None;
+        #[cfg(feature = "mutants")]
+        let mut eff = if crate::mutants::active(crate::mutants::Mutant::SkipPersist) {
+            Vec::new()
+        } else {
+            vec![self.persist_hard_state()]
+        };
+        #[cfg(not(feature = "mutants"))]
         let mut eff = vec![self.persist_hard_state()];
         let msg: RaftMsg<C> = RaftMsg::RequestVote {
             term: self.current_term,
@@ -525,9 +591,10 @@ impl<C: Command> RaftNode<C> {
         let up_to_date = self
             .log
             .candidate_is_up_to_date(last_log_term, last_log_index);
-        let grant = term == self.current_term
-            && up_to_date
-            && (self.voted_for.is_none() || self.voted_for == Some(candidate));
+        let vote_free = self.voted_for.is_none() || self.voted_for == Some(candidate);
+        #[cfg(feature = "mutants")]
+        let vote_free = vote_free || crate::mutants::active(crate::mutants::Mutant::DoubleVote);
+        let grant = term == self.current_term && up_to_date && vote_free;
         if grant {
             self.voted_for = Some(candidate);
             eff.push(self.persist_hard_state());

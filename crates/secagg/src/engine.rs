@@ -200,6 +200,36 @@ impl SacPeerActor {
         self.model = model;
     }
 
+    // ------------------------------------------------------------------
+    // Inspection accessors for the invariant checker (`p2pfl-check`)
+    // ------------------------------------------------------------------
+
+    /// This participant's static configuration.
+    pub fn sac_config(&self) -> &SacConfig {
+        &self.cfg
+    }
+
+    /// The local model being aggregated this round.
+    pub fn model(&self) -> &WeightVector {
+        &self.model
+    }
+
+    /// Every share partition held locally: `blocks[from_pos][idx]`.
+    pub fn held_blocks(&self) -> &BTreeMap<usize, BTreeMap<usize, WeightVector>> {
+        &self.blocks
+    }
+
+    /// The frozen contributor set, once decided.
+    pub fn frozen_set(&self) -> Option<&BTreeSet<usize>> {
+        self.frozen.as_ref()
+    }
+
+    /// Subtotals held locally (`idx -> value`); on the leader these are the
+    /// collected per-partition sums over the frozen set.
+    pub fn held_subtotals(&self) -> &BTreeMap<usize, WeightVector> {
+        &self.subtotals
+    }
+
     /// Leader entry point: begins round `round`, instructing followers and
     /// distributing this peer's own shares.
     pub fn start_round(&mut self, ctx: &mut dyn Transport<SacMsg>, round: u64) {
@@ -233,7 +263,14 @@ impl SacPeerActor {
 
     fn distribute_shares(&mut self, ctx: &mut dyn Transport<SacMsg>) {
         let n = self.cfg.n();
-        let parts = divide(&self.model, n, self.cfg.scheme, &mut self.rng);
+        #[allow(unused_mut)]
+        let mut parts = divide(&self.model, n, self.cfg.scheme, &mut self.rng);
+        #[cfg(feature = "mutants")]
+        if crate::mutants::active(crate::mutants::Mutant::ShareSkew) {
+            if let Some(p0) = parts.get_mut(0) {
+                p0.scale(0.5);
+            }
+        }
         for (j, &peer) in self.cfg.group.clone().iter().enumerate() {
             let block: Vec<(usize, WeightVector)> = assigned_partitions(n, self.cfg.k, j)
                 .into_iter()
@@ -416,7 +453,14 @@ impl Actor<SacMsg> for SacPeerActor {
                 // round in progress would emit a *different* share set and
                 // break mask cancellation, and a stale Begin re-delivered
                 // from an earlier round would regress the actor.
-                if round < self.round || (round == self.round && self.phase != SacPhase::Idle) {
+                #[cfg(feature = "mutants")]
+                let guard_disabled =
+                    crate::mutants::active(crate::mutants::Mutant::BeginRerandomize);
+                #[cfg(not(feature = "mutants"))]
+                let guard_disabled = false;
+                if !guard_disabled
+                    && (round < self.round || (round == self.round && self.phase != SacPhase::Idle))
+                {
                     return;
                 }
                 self.reset_for(round);

@@ -45,6 +45,8 @@ mod engine;
 pub mod fixed;
 mod ftsac;
 mod ledger;
+#[cfg(feature = "mutants")]
+pub mod mutants;
 pub mod pairwise;
 pub mod replicated;
 mod sac;

@@ -1,0 +1,41 @@
+//! Deliberately broken SAC variants for the checker's mutation self-test
+//! (`p2pfl-check --features mutants`).
+//!
+//! Each mutant reintroduces one bug class the protocol engine guards
+//! against; the bounded model checker must catch every one via its
+//! mask-cancellation oracle. The module only exists under the `mutants`
+//! cargo feature, so release builds carry none of these paths.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// The seeded faults available in `p2pfl-secagg`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Mutant {
+    /// No fault active (the default).
+    None = 0,
+    /// The `SacMsg::Begin` idempotence guard is disabled: a duplicated
+    /// `Begin` re-draws share randomness mid-round, so replicas end up
+    /// holding partitions from different draws — exactly the PR 2 bug.
+    BeginRerandomize = 1,
+    /// `distribute_shares` halves partition 0 before sending, so the
+    /// partitions of each contribution no longer sum to the input model.
+    ShareSkew = 2,
+}
+
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+/// Activates `m` process-wide (pass [`Mutant::None`] to deactivate).
+pub fn set(m: Mutant) {
+    ACTIVE.store(m as u8, Ordering::SeqCst);
+}
+
+/// Deactivates any active mutant.
+pub fn clear() {
+    set(Mutant::None);
+}
+
+/// Whether `m` is the currently active mutant.
+pub fn active(m: Mutant) -> bool {
+    ACTIVE.load(Ordering::SeqCst) == m as u8
+}

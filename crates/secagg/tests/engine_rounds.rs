@@ -28,6 +28,10 @@ fn build(n: usize, k: usize, seed: u64) -> (Sim<SacMsg>, Vec<NodeId>) {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "full simulation runs are prohibitively slow under miri"
+)]
 fn three_consecutive_rounds_with_fresh_models() {
     let (mut sim, ids) = build(4, 3, 1);
     let mut rng = StdRng::seed_from_u64(99);
@@ -62,6 +66,10 @@ fn three_consecutive_rounds_with_fresh_models() {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "full simulation runs are prohibitively slow under miri"
+)]
 fn crash_in_round_two_recovers_and_round_three_excludes_the_dead() {
     let (mut sim, ids) = build(5, 3, 2);
     let mut rng = StdRng::seed_from_u64(7);
@@ -110,6 +118,10 @@ fn crash_in_round_two_recovers_and_round_three_excludes_the_dead() {
 }
 
 #[test]
+#[cfg_attr(
+    miri,
+    ignore = "full simulation runs are prohibitively slow under miri"
+)]
 fn slow_links_reorder_compute_over_before_blocks() {
     // Regression guard: with a bandwidth model, big share blocks can land
     // *after* the leader's ComputeOver broadcast. Followers must send

@@ -18,6 +18,7 @@ proptest! {
 
     /// Alg. 1 invariant: shares always sum back to the secret.
     #[test]
+    #[cfg_attr(miri, ignore = "full simulation runs are prohibitively slow under miri")]
     fn shares_reconstruct(
         w in weight_vec(32),
         n in 1usize..10,
@@ -33,6 +34,7 @@ proptest! {
     /// Alg. 2 invariant: SAC equals the plain mean regardless of scheme,
     /// peer count, or who leads.
     #[test]
+    #[cfg_attr(miri, ignore = "full simulation runs are prohibitively slow under miri")]
     fn sac_equals_plain_mean(
         models in proptest::collection::vec(weight_vec(16), 1..8),
         seed in any::<u64>(),
@@ -52,6 +54,7 @@ proptest! {
     /// Alg. 4 invariant: any dropout set of size <= n-k (excluding the
     /// leader) still yields the mean over contributors.
     #[test]
+    #[cfg_attr(miri, ignore = "full simulation runs are prohibitively slow under miri")]
     fn ftsac_survives_dropouts(
         n in 2usize..8,
         k_off in 0usize..6,
@@ -97,6 +100,7 @@ proptest! {
     /// Replication invariant: assignment and holders are inverse relations
     /// and any <= n-k crash set keeps every partition reconstructible.
     #[test]
+    #[cfg_attr(miri, ignore = "full simulation runs are prohibitively slow under miri")]
     fn replication_covers_crashes(
         n in 1usize..12,
         k_off in 0usize..12,
@@ -122,6 +126,7 @@ proptest! {
 
     /// Fixed-point ring sharing reconstructs exactly (quantization only).
     #[test]
+    #[cfg_attr(miri, ignore = "full simulation runs are prohibitively slow under miri")]
     fn ring_sharing_is_exact(
         w in weight_vec(16),
         n in 1usize..8,

@@ -1,0 +1,205 @@
+//! Offline stand-in for the `loom` crate.
+//!
+//! Implements the subset of loom's API the workspace's concurrency tests
+//! use: [`model`], `loom::thread::{spawn, yield_now}`, and
+//! `loom::sync::{Arc, Mutex}` plus the `AtomicBool`/`AtomicU64` cells.
+//!
+//! Real loom exhaustively enumerates thread interleavings by intercepting
+//! every synchronization operation. This shim cannot do that offline;
+//! instead it is a *stress-iteration* runner: [`model`] executes the
+//! closure [`DEFAULT_ITERS`] times (override with `LOOM_MAX_ITERS`), and
+//! every wrapped primitive operation injects a randomized
+//! `std::thread::yield_now` with probability 1/4, so distinct OS-level
+//! interleavings are actually exercised rather than the same lucky one
+//! repeating. Tests written against this shim remain valid loom models:
+//! swapping in the real crate tightens coverage without code changes.
+
+use std::cell::Cell;
+
+/// Iterations [`model`] runs when `LOOM_MAX_ITERS` is unset.
+pub const DEFAULT_ITERS: usize = 64;
+
+thread_local! {
+    static YIELD_RNG: Cell<u64> = const { Cell::new(0x9e37_79b9_7f4a_7c15) };
+}
+
+/// Randomly (p = 1/4) yields the OS scheduler. Called by every wrapped
+/// primitive op to perturb interleavings across [`model`] iterations.
+fn maybe_yield() {
+    let r = YIELD_RNG.with(|c| {
+        let mut x = c.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        c.set(x);
+        x
+    });
+    if r & 3 == 0 {
+        std::thread::yield_now();
+    }
+}
+
+/// Runs `f` repeatedly, perturbing thread interleavings each iteration.
+///
+/// Real loom explores the interleaving space exhaustively; this shim
+/// stress-iterates it. Panics (assertion failures inside the model)
+/// propagate on the iteration that hit them.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let iters = std::env::var("LOOM_MAX_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_ITERS);
+    for i in 0..iters {
+        // Re-seed the per-iteration yield pattern so iterations differ.
+        YIELD_RNG.with(|c| c.set(0x9e37_79b9_7f4a_7c15 ^ (i as u64).wrapping_mul(0x85eb_ca6b)));
+        f();
+    }
+}
+
+pub mod thread {
+    //! Thread spawning with yield perturbation at spawn boundaries.
+
+    pub use std::thread::JoinHandle;
+
+    /// As `std::thread::spawn`, with a scheduling perturbation first.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        crate::maybe_yield();
+        std::thread::spawn(f)
+    }
+
+    /// Yields the OS scheduler (loom's explicit preemption point).
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+}
+
+pub mod sync {
+    //! Synchronization primitives with yield injection on every operation.
+
+    use std::sync::LockResult;
+
+    pub use std::sync::Arc;
+
+    /// `std::sync::Mutex` with a scheduling perturbation before each lock.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        /// Creates a mutex holding `value`.
+        pub fn new(value: T) -> Self {
+            Mutex(std::sync::Mutex::new(value))
+        }
+
+        /// Acquires the lock, as `std::sync::Mutex::lock`.
+        pub fn lock(&self) -> LockResult<std::sync::MutexGuard<'_, T>> {
+            crate::maybe_yield();
+            self.0.lock()
+        }
+
+        /// Consumes the mutex, returning the inner value.
+        pub fn into_inner(self) -> LockResult<T> {
+            self.0.into_inner()
+        }
+    }
+
+    pub mod atomic {
+        //! Atomic cells with yield injection on every access.
+
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! shim_atomic {
+            ($name:ident, $std:ty, $val:ty) => {
+                /// Std-backed atomic with scheduling perturbation per op.
+                #[derive(Debug, Default)]
+                pub struct $name($std);
+
+                impl $name {
+                    /// Creates the cell holding `v`.
+                    pub fn new(v: $val) -> Self {
+                        $name(<$std>::new(v))
+                    }
+
+                    /// Atomic load.
+                    pub fn load(&self, o: Ordering) -> $val {
+                        crate::maybe_yield();
+                        self.0.load(o)
+                    }
+
+                    /// Atomic store.
+                    pub fn store(&self, v: $val, o: Ordering) {
+                        crate::maybe_yield();
+                        self.0.store(v, o);
+                    }
+
+                    /// Atomic swap.
+                    pub fn swap(&self, v: $val, o: Ordering) -> $val {
+                        crate::maybe_yield();
+                        self.0.swap(v, o)
+                    }
+                }
+            };
+        }
+
+        shim_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+        shim_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        shim_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+        impl AtomicU64 {
+            /// Atomic add, returning the previous value.
+            pub fn fetch_add(&self, v: u64, o: Ordering) -> u64 {
+                crate::maybe_yield();
+                self.0.fetch_add(v, o)
+            }
+        }
+
+        impl AtomicUsize {
+            /// Atomic add, returning the previous value.
+            pub fn fetch_add(&self, v: usize, o: Ordering) -> usize {
+                crate::maybe_yield();
+                self.0.fetch_add(v, o)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::{Arc, Mutex};
+
+    #[test]
+    fn model_runs_and_counts() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = hits.clone();
+        super::model(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), super::DEFAULT_ITERS as u64);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        super::model(|| {
+            let n = Arc::new(Mutex::new(0u64));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = n.clone();
+                    super::thread::spawn(move || {
+                        *n.lock().unwrap() += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*n.lock().unwrap(), 2);
+        });
+    }
+}

@@ -38,6 +38,15 @@ pub enum CodecError {
     /// Data parsed but is semantically invalid (bad bool byte, non-UTF-8
     /// string, out-of-range integer, ...).
     Invalid(&'static str),
+    /// A length prefix claims more bytes than the input still holds — a
+    /// truncated or hostile frame, rejected before any allocation or
+    /// element loop is sized from it.
+    LengthOverrun {
+        /// The declared string/sequence length.
+        declared: usize,
+        /// The bytes actually remaining in the input.
+        available: usize,
+    },
 }
 
 impl std::fmt::Display for CodecError {
@@ -47,6 +56,13 @@ impl std::fmt::Display for CodecError {
             CodecError::TrailingBytes => write!(f, "trailing bytes after value"),
             CodecError::InvalidVariant => write!(f, "invalid enum variant index"),
             CodecError::Invalid(msg) => write!(f, "invalid data: {msg}"),
+            CodecError::LengthOverrun {
+                declared,
+                available,
+            } => write!(
+                f,
+                "length prefix declares {declared} bytes but only {available} remain"
+            ),
         }
     }
 }
@@ -178,8 +194,19 @@ impl<'a> BinDeserializer<'a> {
     }
 
     fn read_len(&mut self) -> Result<usize, CodecError> {
-        let raw = u32::from_le_bytes(self.take(4)?.try_into().unwrap());
-        Ok(raw as usize)
+        let raw = u32::from_le_bytes(self.take(4)?.try_into().unwrap()) as usize;
+        // Every string byte and sequence element costs at least one input
+        // byte, so a declared length beyond the remaining input can never
+        // complete. Rejecting it here keeps hostile prefixes from sizing
+        // allocations or element loops.
+        let available = self.bytes.len() - self.pos;
+        if raw > available {
+            return Err(CodecError::LengthOverrun {
+                declared: raw,
+                available,
+            });
+        }
+        Ok(raw)
     }
 }
 

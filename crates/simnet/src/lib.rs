@@ -65,7 +65,7 @@ pub use latency::{Latency, LatencyConfig};
 pub use metrics::{Counter, Metrics};
 pub use node::{NodeId, TimerId};
 pub use payload::{Blob, Payload};
-pub use sim::{Actor, Context, Sim};
+pub use sim::{Actor, Context, PendingEvent, PendingKind, Sim, StepMode};
 pub use time::{SimDuration, SimTime};
 pub use trace::{DropReason, Trace, TraceEvent, TraceKind};
 pub use transport::Transport;

@@ -25,7 +25,7 @@ pub trait Payload: Clone + Send + 'static {
 
 /// Blanket helper payload for tests and simple examples: a labeled blob with
 /// an explicit size.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct Blob {
     /// Declared size in bytes.
     pub size: u64,

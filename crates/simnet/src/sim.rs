@@ -69,6 +69,68 @@ struct Event<M> {
     kind: EventKind<M>,
 }
 
+/// How an externally chosen event is executed by [`Sim::step_chosen`].
+///
+/// This is the controlled-nondeterminism surface used by the bounded model
+/// checker in `p2pfl-check`: instead of the one seeded order produced by
+/// [`Sim::step`], an external scheduler enumerates [`Sim::pending_events`]
+/// and picks which event happens next — and whether a message delivery is
+/// delivered normally, dropped, or duplicated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepMode {
+    /// Execute the event normally.
+    Deliver,
+    /// Discard the event without executing it (models message loss; for
+    /// non-delivery events this simply removes them from the queue).
+    Drop,
+    /// Execute the event and re-enqueue a copy of it (models network
+    /// duplication). Only meaningful for message deliveries; other event
+    /// kinds are executed once, as with [`StepMode::Deliver`].
+    Duplicate,
+}
+
+/// A lightweight, payload-free description of one pending queue event, as
+/// enumerated by [`Sim::pending_events`] for external schedulers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingEvent {
+    /// Unique, monotonically increasing id of the event; pass it to
+    /// [`Sim::step_chosen`] to execute this event.
+    pub seq: u64,
+    /// The virtual time at which the default scheduler would fire it.
+    pub at: SimTime,
+    /// What the event is.
+    pub kind: PendingKind,
+}
+
+/// The kind half of a [`PendingEvent`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PendingKind {
+    /// A node's one-time `on_start` callback.
+    Start(NodeId),
+    /// A message delivery.
+    Deliver {
+        /// Sender.
+        src: NodeId,
+        /// Receiver.
+        dst: NodeId,
+        /// [`Payload::kind`] label of the message.
+        kind: &'static str,
+        /// [`Payload::size_bytes`] of the message.
+        bytes: u64,
+    },
+    /// A pending (non-cancelled, current-incarnation) timer.
+    Timer {
+        /// The node whose timer it is.
+        node: NodeId,
+        /// Application tag supplied when arming.
+        tag: u64,
+    },
+    /// A scheduled crash.
+    Crash(NodeId),
+    /// A scheduled restart.
+    Restart(NodeId),
+}
+
 impl<M> PartialEq for Event<M> {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
@@ -538,6 +600,12 @@ impl<M: Payload> Sim<M> {
         };
         debug_assert!(ev.at >= self.inner.now, "time went backwards");
         self.inner.now = ev.at;
+        self.dispatch_event(ev);
+        true
+    }
+
+    /// Executes one event (clock already advanced to `ev.at`).
+    fn dispatch_event(&mut self, ev: Event<M>) {
         match ev.kind {
             EventKind::Start(node) => {
                 self.with_actor(node, |actor, ctx| actor.on_start(ctx));
@@ -613,6 +681,124 @@ impl<M: Payload> Sim<M> {
                 }
             }
         }
+    }
+
+    /// Whether a queued event would do anything if executed. Cancelled and
+    /// stale-incarnation timers are dead weight; external schedulers should
+    /// not waste exploration depth on them.
+    fn event_is_live(&self, ev: &Event<M>) -> bool {
+        match &ev.kind {
+            EventKind::Timer {
+                node, id, epoch, ..
+            } => {
+                !self.inner.cancelled.contains(id)
+                    && !self.inner.crashed[node.index()]
+                    && self.inner.epoch[node.index()] == *epoch
+            }
+            _ => true,
+        }
+    }
+
+    /// Enumerates live pending events in canonical `(at, seq)` order — the
+    /// choice points offered to an external scheduler. Cancelled and
+    /// stale-incarnation timers are filtered out (executing them is a no-op).
+    pub fn pending_events(&self) -> Vec<PendingEvent> {
+        let mut out: Vec<PendingEvent> = self
+            .inner
+            .queue
+            .iter()
+            .filter(|ev| self.event_is_live(ev))
+            .map(|ev| PendingEvent {
+                seq: ev.seq,
+                at: ev.at,
+                kind: match &ev.kind {
+                    EventKind::Start(n) => PendingKind::Start(*n),
+                    EventKind::Deliver { src, dst, msg } => PendingKind::Deliver {
+                        src: *src,
+                        dst: *dst,
+                        kind: msg.kind(),
+                        bytes: msg.size_bytes(),
+                    },
+                    EventKind::Timer { node, tag, .. } => PendingKind::Timer {
+                        node: *node,
+                        tag: *tag,
+                    },
+                    EventKind::Crash(n) => PendingKind::Crash(*n),
+                    EventKind::Restart(n) => PendingKind::Restart(*n),
+                },
+            })
+            .collect();
+        out.sort_by_key(|e| (e.at, e.seq));
+        out
+    }
+
+    /// Borrows every in-flight message delivery `(src, dst, msg)`, so
+    /// invariant oracles can reason about what is still on the wire.
+    pub fn pending_deliveries(&self) -> Vec<(NodeId, NodeId, &M)> {
+        let mut out: Vec<(u64, (NodeId, NodeId, &M))> = self
+            .inner
+            .queue
+            .iter()
+            .filter_map(|ev| match &ev.kind {
+                EventKind::Deliver { src, dst, msg } => Some((ev.seq, (*src, *dst, msg))),
+                _ => None,
+            })
+            .collect();
+        out.sort_by_key(|(seq, _)| *seq);
+        out.into_iter().map(|(_, d)| d).collect()
+    }
+
+    /// Executes the pending event with id `seq` out of queue order — the
+    /// scheduler hook used by the bounded model checker. The virtual clock
+    /// advances to `max(now, event.at)`; an event chosen "late" (after the
+    /// clock moved past its deadline) executes at the current time, which
+    /// models arbitrary network and timer delays elsewhere. Returns `false`
+    /// if no live event with that id exists. The default [`Sim::step`] path
+    /// is unaffected.
+    pub fn step_chosen(&mut self, seq: u64, mode: StepMode) -> bool {
+        let mut drained: Vec<Event<M>> = std::mem::take(&mut self.inner.queue).into_vec();
+        let Some(pos) = drained.iter().position(|ev| ev.seq == seq) else {
+            self.inner.queue = BinaryHeap::from(drained);
+            return false;
+        };
+        let ev = drained.swap_remove(pos);
+        self.inner.queue = BinaryHeap::from(drained);
+        if !self.event_is_live(&ev) {
+            return false;
+        }
+        if self.inner.now < ev.at {
+            self.inner.now = ev.at;
+        }
+        let at = self.inner.now;
+        match mode {
+            StepMode::Drop => {
+                if let EventKind::Deliver { src, dst, msg } = &ev.kind {
+                    self.inner.metrics.record_drop(msg.size_bytes());
+                    self.inner.trace.record(
+                        at,
+                        TraceKind::Drop {
+                            src: *src,
+                            dst: *dst,
+                            reason: DropReason::Lossy,
+                        },
+                    );
+                }
+            }
+            StepMode::Deliver => {
+                self.dispatch_event(Event { at, ..ev });
+            }
+            StepMode::Duplicate => {
+                if let EventKind::Deliver { src, dst, msg } = &ev.kind {
+                    let copy = EventKind::Deliver {
+                        src: *src,
+                        dst: *dst,
+                        msg: msg.clone(),
+                    };
+                    self.inner.push(at, copy);
+                }
+                self.dispatch_event(Event { at, ..ev });
+            }
+        }
         true
     }
 
@@ -671,6 +857,44 @@ impl<M: Payload> Sim<M> {
     /// Whether an actor has called [`Context::halt`].
     pub fn is_halted(&self) -> bool {
         self.inner.halted
+    }
+
+    /// Order-insensitive digest of the live event queue, independent of
+    /// virtual time: two simulations whose queues hold the same multiset of
+    /// deliveries (by wire bytes), timers (by node and tag) and process
+    /// events digest equally even if they got there along different
+    /// schedules. Combined with actor-state fingerprints this canonicalizes
+    /// a global state for the model checker's visited set.
+    pub fn queue_digest(&self) -> u64
+    where
+        M: serde::Serialize,
+    {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut per_event: Vec<u64> = self
+            .inner
+            .queue
+            .iter()
+            .filter(|ev| self.event_is_live(ev))
+            .map(|ev| {
+                let mut h = DefaultHasher::new();
+                match &ev.kind {
+                    EventKind::Start(n) => (0u8, n.0).hash(&mut h),
+                    EventKind::Deliver { src, dst, msg } => {
+                        (1u8, src.0, dst.0).hash(&mut h);
+                        crate::codec::to_bytes(msg).hash(&mut h);
+                    }
+                    EventKind::Timer { node, tag, .. } => (2u8, node.0, *tag).hash(&mut h),
+                    EventKind::Crash(n) => (3u8, n.0).hash(&mut h),
+                    EventKind::Restart(n) => (4u8, n.0).hash(&mut h),
+                }
+                h.finish()
+            })
+            .collect();
+        per_event.sort_unstable();
+        let mut h = DefaultHasher::new();
+        per_event.hash(&mut h);
+        h.finish()
     }
 
     /// Clears the halt flag so the simulation can be resumed.
@@ -962,6 +1186,118 @@ mod tests {
             2,
             "the injected message and the post-window send must arrive"
         );
+    }
+
+    #[test]
+    fn chosen_steps_reorder_drop_and_duplicate() {
+        let mut sim = Sim::new(17);
+        let echo = sim.add_node(Echo {
+            received: 0,
+            echo: false,
+        });
+        // Two senders, so two deliveries are pending at once.
+        let p1 = sim.add_node(Pinger {
+            peer: echo,
+            replies: 0,
+            reply_at: None,
+        });
+        let p2 = sim.add_node(Pinger {
+            peer: echo,
+            replies: 0,
+            reply_at: None,
+        });
+        let _ = (p1, p2);
+        // Run the three Start events under external control.
+        for _ in 0..3 {
+            let starts: Vec<_> = sim
+                .pending_events()
+                .into_iter()
+                .filter(|e| matches!(e.kind, PendingKind::Start(_)))
+                .collect();
+            assert!(sim.step_chosen(starts[0].seq, StepMode::Deliver));
+        }
+        let pend = sim.pending_events();
+        let delivers: Vec<_> = pend
+            .iter()
+            .filter(|e| matches!(e.kind, PendingKind::Deliver { .. }))
+            .collect();
+        assert_eq!(delivers.len(), 2);
+        assert_eq!(sim.pending_deliveries().len(), 2);
+        // Deliver the *later* one first (out of queue order), duplicated.
+        assert!(sim.step_chosen(delivers[1].seq, StepMode::Duplicate));
+        assert_eq!(sim.actor::<Echo>(echo).received, 1);
+        // The duplicate copy is now pending alongside the first delivery.
+        assert_eq!(sim.pending_deliveries().len(), 2);
+        // Drop the first delivery.
+        assert!(sim.step_chosen(delivers[0].seq, StepMode::Drop));
+        assert_eq!(sim.actor::<Echo>(echo).received, 1);
+        assert_eq!(sim.metrics().dropped().msgs, 1);
+        // Deliver the duplicate copy.
+        let last = sim.pending_events();
+        assert_eq!(last.len(), 1);
+        assert!(sim.step_chosen(last[0].seq, StepMode::Deliver));
+        assert_eq!(sim.actor::<Echo>(echo).received, 2);
+        assert!(sim.pending_events().is_empty());
+        // Unknown seq is rejected without disturbing the queue.
+        assert!(!sim.step_chosen(9999, StepMode::Deliver));
+    }
+
+    #[test]
+    fn queue_digest_is_schedule_insensitive() {
+        fn build() -> (Sim<Blob>, Vec<u64>) {
+            let mut sim = Sim::new(23);
+            let echo = sim.add_node(Echo {
+                received: 0,
+                echo: false,
+            });
+            sim.add_node(Pinger {
+                peer: echo,
+                replies: 0,
+                reply_at: None,
+            });
+            sim.add_node(Pinger {
+                peer: echo,
+                replies: 0,
+                reply_at: None,
+            });
+            let starts: Vec<u64> = sim.pending_events().iter().map(|e| e.seq).collect();
+            (sim, starts)
+        }
+        // Same Start events executed in two different orders must leave
+        // queues with identical digests (same multiset of deliveries).
+        let (mut a, sa) = build();
+        for &s in &sa {
+            a.step_chosen(s, StepMode::Deliver);
+        }
+        let (mut b, sb) = build();
+        for &s in sb.iter().rev() {
+            b.step_chosen(s, StepMode::Deliver);
+        }
+        assert_eq!(a.queue_digest(), b.queue_digest());
+        // Dropping a delivery changes the digest.
+        let seq = a.pending_events()[0].seq;
+        a.step_chosen(seq, StepMode::Drop);
+        assert_ne!(a.queue_digest(), b.queue_digest());
+    }
+
+    #[test]
+    fn pending_events_filter_cancelled_timers() {
+        struct T;
+        impl Actor<Blob> for T {
+            fn on_start(&mut self, ctx: &mut dyn Transport<Blob>) {
+                let a = ctx.set_timer(SimDuration::from_millis(5), 1);
+                ctx.set_timer(SimDuration::from_millis(6), 2);
+                ctx.cancel_timer(a);
+            }
+            fn on_message(&mut self, _: &mut dyn Transport<Blob>, _: NodeId, _: Blob) {}
+        }
+        let mut sim = Sim::new(3);
+        sim.add_node(T);
+        let start = sim.pending_events()[0].seq;
+        sim.step_chosen(start, StepMode::Deliver);
+        let pend = sim.pending_events();
+        assert_eq!(pend.len(), 1, "cancelled timer filtered: {pend:?}");
+        assert!(matches!(pend[0].kind, PendingKind::Timer { tag: 2, .. }));
     }
 
     #[test]

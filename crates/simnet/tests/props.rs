@@ -69,6 +69,7 @@ proptest! {
     /// Virtual time is monotone at every actor, and no delivery happens
     /// before the minimum link latency.
     #[test]
+    #[cfg_attr(miri, ignore = "full simulation runs are prohibitively slow under miri")]
     fn deliveries_monotone_and_bounded(
         seed in any::<u64>(),
         nodes in 2usize..6,
@@ -93,6 +94,7 @@ proptest! {
     /// Identical seeds give identical executions; the ledger's per-kind
     /// totals always sum to the grand total.
     #[test]
+    #[cfg_attr(miri, ignore = "full simulation runs are prohibitively slow under miri")]
     fn determinism_and_ledger_balance(
         seed in any::<u64>(),
         nodes in 2usize..5,
@@ -115,6 +117,7 @@ proptest! {
     /// A crashed destination drops everything addressed to it, and the
     /// drops are accounted.
     #[test]
+    #[cfg_attr(miri, ignore = "full simulation runs are prohibitively slow under miri")]
     fn crashes_account_drops(seed in any::<u64>(), sends in 1usize..8) {
         let mut sim = Sim::new(seed);
         let ids = [NodeId(0), NodeId(1)];
