@@ -51,4 +51,18 @@ fi
 echo "==> chaos soak (bounded smoke, fixed seed)"
 cargo run --release -p p2pfl-bench --bin chaos_soak -- --smoke --seed 7
 
+# Perf gate: quick hotpath run compared against the checked-in baseline;
+# fails on a >2x median regression in any benchmark. Soft-skips when the
+# baseline is absent (fresh checkout without BENCH_hotpath.json). To
+# refresh the baseline after an intentional perf change, run the full
+# benchmark on a quiet machine: cargo run --release -p p2pfl-bench --bin hotpath
+if [ -f BENCH_hotpath.json ]; then
+    echo "==> perf gate (hotpath --quick vs BENCH_hotpath.json)"
+    mkdir -p target/bench
+    cargo run --release -p p2pfl-bench --bin hotpath -- \
+        --quick --baseline BENCH_hotpath.json --out target/bench/hotpath_quick.json
+else
+    echo "==> perf gate: SKIPPED (no BENCH_hotpath.json baseline checked in)"
+fi
+
 echo "ci: all green"

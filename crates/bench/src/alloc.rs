@@ -1,0 +1,62 @@
+//! A counting global allocator for allocation-budget measurements.
+//!
+//! [`CountingAlloc`] wraps the system allocator and keeps process-wide
+//! tallies of allocation calls and bytes requested. The `hotpath` binary
+//! and the allocation-budget tests install it with `#[global_allocator]`
+//! and read deltas around the region under measurement — a cheap,
+//! dependency-free way to (a) publish allocs/iteration in
+//! `BENCH_hotpath.json` and (b) assert that steady-state aggregation
+//! loops stay allocation-free.
+//!
+//! Counters are monotonically increasing atomics; concurrent allocations
+//! from other threads during a measured region show up in the delta, so
+//! measured regions should run single-threaded (the bench harness does).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// System-allocator wrapper that counts every allocation.
+pub struct CountingAlloc;
+
+// SAFETY: pure passthrough to `System`; the only extra work is two
+// relaxed atomic increments, which allocate nothing.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A grow-in-place still reserves new capacity: count it.
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Total allocation calls since process start (monotonic).
+pub fn allocations() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Total bytes requested since process start (monotonic; not live bytes).
+pub fn allocated_bytes() -> u64 {
+    BYTES.load(Ordering::Relaxed)
+}
+
+/// Runs `f` and returns `(result, allocation calls during f)`. Only
+/// meaningful when [`CountingAlloc`] is installed as the global allocator
+/// and no other thread allocates concurrently.
+pub fn count_allocs<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = allocations();
+    let out = f();
+    (out, allocations() - before)
+}

@@ -1,0 +1,243 @@
+//! Hot-path wall-clock benchmark harness (`BENCH_hotpath.json`).
+//!
+//! Seeded, deterministic workloads over the kernels the round loop spends
+//! its time in — dense matmul, im2col convolution, share generation, mask
+//! application, the wire codec — plus two macro benchmarks running one
+//! full N=10 two-layer aggregation round on the simulator and on real TCP
+//! loopback sockets. Every workload is seeded with fixed constants, so
+//! run-to-run variation is measurement noise, not input variation.
+//!
+//! ```text
+//! cargo run -rp p2pfl-bench --bin hotpath               # full, writes BENCH_hotpath.json
+//! cargo run -rp p2pfl-bench --bin hotpath -- --quick    # CI-sized iteration counts
+//!     --baseline BENCH_hotpath.json                     # fail (exit 2) on >2x median regression
+//!     --out target/hotpath.json                         # alternate report path
+//!     --factor 2.0                                      # regression threshold
+//! ```
+//!
+//! The checked-in `BENCH_hotpath.json` is the perf-gate baseline; refresh
+//! it with a full (non-`--quick`) run on a quiet machine (see DESIGN.md,
+//! "Performance").
+
+use p2pfl::experiment::{build_system, SweepSpec};
+use p2pfl::system::SystemKind;
+use p2pfl_bench::alloc::CountingAlloc;
+use p2pfl_bench::hotpath::{check_regressions, parse_baseline, Harness};
+use p2pfl_bench::Args;
+use p2pfl_ml::data::Partition;
+use p2pfl_ml::layers::Conv2d;
+use p2pfl_ml::reference::matmul_naive;
+use p2pfl_ml::{Layer, Tensor};
+use p2pfl_net::PeerRuntime;
+use p2pfl_secagg::pairwise::{masked_update, PairwiseSeeds};
+use p2pfl_secagg::{
+    divide_masked, SacConfig, SacMsg, SacPeerActor, SacPhase, ShareScheme, WeightVector,
+};
+use p2pfl_simnet::codec::{from_bytes, to_bytes};
+use p2pfl_simnet::{NodeId, SimDuration};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const SEED: u64 = 0xB0_5EED;
+
+fn seeded_tensor(shape: &[usize], seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n: usize = shape.iter().product();
+    Tensor::from_vec(
+        shape,
+        (0..n).map(|_| rng.random_range(-1.0f32..=1.0)).collect(),
+    )
+}
+
+/// Polls one group leader until its SAC round completes, returning the
+/// result digest.
+fn wait_done(leader: &PeerRuntime<SacMsg, SacPeerActor>, round: u64) -> u64 {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let state = leader.with(|a, _| (a.phase.clone(), a.result.as_ref().map(|r| r.digest())));
+        match state {
+            (SacPhase::Done, Some(d)) => return d,
+            (SacPhase::Failed(e), _) => panic!("tcp round {round} failed: {e}"),
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "tcp round {round} stalled");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Starts a full-mesh loopback group of `n` SAC peers with fresh models.
+fn tcp_group(base_id: u32, n: usize, dim: usize) -> Vec<PeerRuntime<SacMsg, SacPeerActor>> {
+    let ids: Vec<NodeId> = (0..n).map(|i| NodeId(base_id + i as u32)).collect();
+    let mut rng = StdRng::seed_from_u64(SEED + base_id as u64);
+    let runtimes: Vec<PeerRuntime<SacMsg, SacPeerActor>> = (0..n)
+        .map(|i| {
+            let cfg = SacConfig {
+                group: ids.clone(),
+                position: i,
+                leader_pos: 0,
+                k: n.div_ceil(2),
+                scheme: ShareScheme::Masked,
+                share_deadline: SimDuration::from_secs(30),
+                collect_deadline: SimDuration::from_secs(30),
+                seed: SEED + base_id as u64 + i as u64,
+            };
+            let model = WeightVector::random(dim, 1.0, &mut rng);
+            PeerRuntime::start(ids[i], "127.0.0.1:0", &[], SacPeerActor::new(cfg, model))
+                .expect("bind loopback")
+        })
+        .collect();
+    for a in &runtimes {
+        for b in &runtimes {
+            if a.node_id() != b.node_id() {
+                a.add_peer(b.node_id(), b.local_addr());
+            }
+        }
+    }
+    runtimes
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.get_flag("quick");
+    let out_path = args
+        .get_str("out")
+        .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    let factor = args.get_f64("factor", 2.0);
+    // Quick mode shrinks iteration counts ~3x for the CI gate.
+    let scale = |full: usize| if quick { full.div_ceil(3) } else { full };
+
+    let mut h = Harness::new();
+
+    // --- micro: dense matmul, naive oracle vs blocked production kernel ---
+    let m = 256usize;
+    let a = seeded_tensor(&[m, m], SEED + 1);
+    let b = seeded_tensor(&[m, m], SEED + 2);
+    let matmul_bytes = (3 * m * m * 4) as u64;
+    h.bench("matmul_naive_256", scale(9), matmul_bytes, || {
+        std::hint::black_box(matmul_naive(&a, &b));
+    });
+    h.bench("matmul_blocked_256", scale(21), matmul_bytes, || {
+        std::hint::black_box(a.matmul(&b));
+    });
+
+    // --- micro: im2col convolution, forward and backward ---
+    let mut conv_rng = StdRng::seed_from_u64(SEED + 3);
+    let mut conv = Conv2d::new(3, 8, 3, 1, &mut conv_rng);
+    let x = seeded_tensor(&[8, 3, 16, 16], SEED + 4);
+    let conv_bytes = (x.len() * 4) as u64;
+    h.bench("im2col", scale(45), conv_bytes, || {
+        std::hint::black_box(conv.im2col(&x));
+    });
+    h.bench("conv2d_forward", scale(27), conv_bytes, || {
+        std::hint::black_box(conv.forward(&x, false));
+    });
+    // Backward consumes the forward cache, so each iteration pays one
+    // training-mode forward plus the backward proper.
+    let ones = {
+        let y = conv.forward(&x, false);
+        Tensor::from_vec(y.shape(), vec![1.0; y.len()])
+    };
+    h.bench("conv2d_backward", scale(15), conv_bytes, || {
+        let _ = conv.forward(&x, true);
+        std::hint::black_box(conv.backward(&ones));
+    });
+
+    // --- micro: secure-aggregation share generation and mask application ---
+    let dim = 100_000usize;
+    let w = WeightVector::random(dim, 1.0, &mut StdRng::seed_from_u64(SEED + 5));
+    let share_bytes = (dim * 8 * 10) as u64;
+    let mut divide_rng = StdRng::seed_from_u64(SEED + 6);
+    h.bench("share_divide", scale(15), share_bytes, || {
+        std::hint::black_box(divide_masked(&w, 10, &mut divide_rng));
+    });
+
+    let mask_dim = 20_000usize;
+    let wm = WeightVector::random(mask_dim, 1.0, &mut StdRng::seed_from_u64(SEED + 7));
+    let seeds = PairwiseSeeds::deal(10, &mut StdRng::seed_from_u64(SEED + 8));
+    h.bench("mask_apply", scale(21), (mask_dim * 8 * 9) as u64, || {
+        std::hint::black_box(masked_update(&seeds, 3, &wm));
+    });
+
+    // --- micro: wire codec over a model-sized vector ---
+    let encoded = to_bytes(&w);
+    let enc_bytes = encoded.len() as u64;
+    h.bench("codec_encode", scale(45), enc_bytes, || {
+        std::hint::black_box(to_bytes(&w));
+    });
+    h.bench("codec_decode", scale(45), enc_bytes, || {
+        std::hint::black_box(from_bytes::<WeightVector>(&encoded).expect("decode"));
+    });
+
+    // --- macro: one full N=10 two-layer round on the simulator ---
+    let spec = SweepSpec {
+        n_total: 10,
+        rounds: 1,
+        samples_per_peer: 40,
+        ..SweepSpec::default()
+    };
+    let (mut sys, test) = build_system(&spec, SystemKind::TwoLayer, 5, 1.0, Partition::Iid);
+    let mut sim_round = 0usize;
+    h.bench("macro_round_sim", scale(5), 0, || {
+        sim_round += 1;
+        std::hint::black_box(sys.run_round(sim_round, &test));
+    });
+
+    // --- macro: one full N=10 two-layer round over TCP loopback ---
+    // Two subgroups of 5 run their SAC rounds over real sockets; the
+    // fed-layer combine averages the two leader results.
+    let group_a = tcp_group(0, 5, 1_000);
+    let group_b = tcp_group(100, 5, 1_000);
+    let mut tcp_round = 0u64;
+    h.bench("macro_round_tcp", scale(3).max(1), 0, || {
+        tcp_round += 1;
+        let r = tcp_round;
+        group_a[0].with(move |actor, ctx| actor.start_round(ctx, r));
+        group_b[0].with(move |actor, ctx| actor.start_round(ctx, r));
+        wait_done(&group_a[0], r);
+        wait_done(&group_b[0], r);
+        let (ra, rb) = (
+            group_a[0].with(|actor, _| actor.result.clone().expect("group A result")),
+            group_b[0].with(|actor, _| actor.result.clone().expect("group B result")),
+        );
+        std::hint::black_box(WeightVector::mean([&ra, &rb]));
+    });
+
+    // --- derived acceptance ratio: blocked matmul speedup over naive ---
+    let naive = h.median_of("matmul_naive_256").unwrap() as f64;
+    let blocked = h.median_of("matmul_blocked_256").unwrap().max(1) as f64;
+    let speedup = naive / blocked;
+    println!("matmul blocked speedup at 256x256: {speedup:.2}x");
+
+    let json = h.to_json(quick, &[format!("\"matmul_speedup_256\": {speedup:.3}")]);
+    std::fs::write(&out_path, &json).expect("write report");
+    println!("wrote {out_path}");
+
+    // --- optional regression gate against a checked-in baseline ---
+    if let Some(baseline_path) = args.get_str("baseline") {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => {
+                let baseline = parse_baseline(&text);
+                let offenders = check_regressions(h.results(), &baseline, factor);
+                if offenders.is_empty() {
+                    println!(
+                        "perf gate: {} benchmarks within {factor}x of {baseline_path}",
+                        baseline.len()
+                    );
+                } else {
+                    eprintln!("perf gate FAILED vs {baseline_path}:");
+                    for line in &offenders {
+                        eprintln!("  {line}");
+                    }
+                    std::process::exit(2);
+                }
+            }
+            Err(_) => {
+                println!("perf gate: baseline {baseline_path} missing, skipping comparison");
+            }
+        }
+    }
+}

@@ -6,6 +6,9 @@
 //! recipe. Binaries accept `--key value` flags (see [`Args`]) to scale up
 //! to the paper's full round/trial counts.
 
+pub mod alloc;
+pub mod hotpath;
+
 use std::collections::HashMap;
 
 /// Minimal `--key value` argument parser (no external dependencies).
@@ -73,6 +76,11 @@ impl Args {
     /// A boolean switch.
     pub fn get_flag(&self, key: &str) -> bool {
         self.values.contains_key(key)
+    }
+
+    /// A string flag, `None` when absent.
+    pub fn get_str(&self, key: &str) -> Option<String> {
+        self.values.get(key).cloned()
     }
 }
 

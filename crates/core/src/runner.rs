@@ -167,16 +167,17 @@ impl ResilientSession {
         self.dep.sim.run_for(self.cfg.round_settle);
         let bytes_before = self.log.bytes();
 
-        // 2. Local updates on live peers.
-        let mut train_loss = 0.0f64;
-        let mut trained = 0usize;
-        for (i, c) in self.clients.iter_mut().enumerate() {
-            if !self.dep.sim.is_crashed(NodeId(i as u32)) {
-                let (loss, _) = c.local_update(self.cfg.train);
-                train_loss += loss;
-                trained += 1;
-            }
-        }
+        // 2. Local updates on live peers, fanned out over worker threads
+        //    (the `parallel` feature; each client owns its RNG and
+        //    optimizer, so the fan-out is bit-identical to the serial
+        //    loop). Crashed peers are masked out and left untouched.
+        let alive: Vec<bool> = (0..self.clients.len())
+            .map(|i| !self.dep.sim.is_crashed(NodeId(i as u32)))
+            .collect();
+        let losses =
+            p2pfl_fed::parallel::local_updates_masked(&mut self.clients, &alive, self.cfg.train);
+        let trained = losses.iter().flatten().count();
+        let mut train_loss: f64 = losses.iter().flatten().sum();
         if trained > 0 {
             train_loss /= trained as f64;
         }

@@ -95,30 +95,6 @@ pub struct RoundRecord {
     pub groups_used: usize,
 }
 
-/// Runs `local_update` on every client concurrently (one logical task per
-/// client, spread over up to 8 scoped threads) and returns the per-client
-/// training losses in client order.
-fn parallel_local_updates(clients: &mut [Client], cfg: LocalTrainConfig) -> Vec<f64> {
-    let threads = std::thread::available_parallelism()
-        .map_or(4, |n| n.get())
-        .min(8);
-    if threads <= 1 || clients.len() <= 1 {
-        return clients.iter_mut().map(|c| c.local_update(cfg).0).collect();
-    }
-    let chunk = clients.len().div_ceil(threads);
-    let mut losses = vec![0.0f64; clients.len()];
-    std::thread::scope(|s| {
-        for (cs, ls) in clients.chunks_mut(chunk).zip(losses.chunks_mut(chunk)) {
-            s.spawn(move || {
-                for (c, l) in cs.iter_mut().zip(ls.iter_mut()) {
-                    *l = c.local_update(cfg).0;
-                }
-            });
-        }
-    });
-    losses
-}
-
 /// The synchronous two-layer training system.
 pub struct TwoLayerSystem {
     cfg: TwoLayerConfig,
@@ -225,11 +201,11 @@ impl TwoLayerSystem {
 
         // 1. Local updates on every peer (paper: peers train, then models
         //    are aggregated via SAC in subgroups). Peers are independent,
-        //    so their training runs on scoped worker threads; each client
-        //    owns its RNG/optimizer, so the result is deterministic
-        //    regardless of scheduling.
+        //    so their training runs on scoped worker threads (the
+        //    `parallel` feature); each client owns its RNG/optimizer, so
+        //    the result is deterministic regardless of scheduling.
         let train_cfg = self.cfg.train;
-        let losses = parallel_local_updates(&mut self.clients, train_cfg);
+        let losses = p2pfl_fed::parallel::local_updates(&mut self.clients, train_cfg);
         let train_loss = losses.iter().sum::<f64>() / losses.len() as f64;
 
         // 2. Subgroup SAC for each selected subgroup.

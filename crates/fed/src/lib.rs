@@ -10,6 +10,7 @@
 
 mod aggregate;
 mod client;
+pub mod parallel;
 mod round;
 
 pub use aggregate::{fedavg, mean};

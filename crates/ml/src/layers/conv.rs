@@ -48,13 +48,22 @@ impl Conv2d {
         (h + 2 * self.pad + 1 - self.k, w + 2 * self.pad + 1 - self.k)
     }
 
-    fn im2col(&self, x: &Tensor) -> (Tensor, usize, usize, usize) {
+    /// The im2col transform: unfolds `[B, C, H, W]` input patches into a
+    /// `[B*OH*OW, C*k*k]` matrix whose product with the weight is the
+    /// convolution. Public so the benchmark harness can time the unfold in
+    /// isolation; not part of the training API.
+    pub fn im2col(&self, x: &Tensor) -> (Tensor, usize, usize, usize) {
         let s = x.shape();
         assert_eq!(s.len(), 4, "conv input must be [B, C, H, W]");
         let (b, c, h, w) = (s[0], s[1], s[2], s[3]);
-        assert_eq!(c, self.in_c, "channel mismatch");
+        assert_eq!(
+            c, self.in_c,
+            "channel mismatch: input has {c} channels, layer expects {}",
+            self.in_c
+        );
         let (oh, ow) = self.out_hw(h, w);
         let kk = self.k;
+        let pad = self.pad;
         let cols_w = c * kk * kk;
         let mut cols = vec![0.0f32; b * oh * ow * cols_w];
         let xd = x.data();
@@ -62,21 +71,24 @@ impl Conv2d {
             for oy in 0..oh {
                 for ox in 0..ow {
                     let row = ((bi * oh + oy) * ow + ox) * cols_w;
+                    // The kx values that land inside [0, w): one contiguous
+                    // span per (patch, ky), copied as a slice instead of
+                    // element-by-element.
+                    let kx0 = pad.saturating_sub(ox);
+                    let kx1 = kk.min(w + pad - ox);
+                    if kx0 >= kx1 {
+                        continue;
+                    }
                     for ci in 0..c {
                         for ky in 0..kk {
-                            let iy = (oy + ky) as isize - self.pad as isize;
+                            let iy = (oy + ky) as isize - pad as isize;
                             if iy < 0 || iy >= h as isize {
                                 continue;
                             }
-                            let src = ((bi * c + ci) * h + iy as usize) * w;
-                            let dst = row + (ci * kk + ky) * kk;
-                            for kx in 0..kk {
-                                let ix = (ox + kx) as isize - self.pad as isize;
-                                if ix < 0 || ix >= w as isize {
-                                    continue;
-                                }
-                                cols[dst + kx] = xd[src + ix as usize];
-                            }
+                            let src = ((bi * c + ci) * h + iy as usize) * w + (ox + kx0) - pad;
+                            let dst = row + (ci * kk + ky) * kk + kx0;
+                            let len = kx1 - kx0;
+                            cols[dst..dst + len].copy_from_slice(&xd[src..src + len]);
                         }
                     }
                 }
@@ -90,26 +102,31 @@ impl Conv2d {
         let c = self.in_c;
         let kk = self.k;
         let cols_w = c * kk * kk;
+        let pad = self.pad;
         let mut out = vec![0.0f32; b * c * h * w];
         let dd = dcols.data();
         for bi in 0..b {
             for oy in 0..oh {
                 for ox in 0..ow {
                     let row = ((bi * oh + oy) * ow + ox) * cols_w;
+                    // Same contiguous-span structure as im2col, but
+                    // scatter-adding instead of copying.
+                    let kx0 = pad.saturating_sub(ox);
+                    let kx1 = kk.min(w + pad - ox);
+                    if kx0 >= kx1 {
+                        continue;
+                    }
                     for ci in 0..c {
                         for ky in 0..kk {
-                            let iy = (oy + ky) as isize - self.pad as isize;
+                            let iy = (oy + ky) as isize - pad as isize;
                             if iy < 0 || iy >= h as isize {
                                 continue;
                             }
-                            let dst = ((bi * c + ci) * h + iy as usize) * w;
-                            let src = row + (ci * kk + ky) * kk;
-                            for kx in 0..kk {
-                                let ix = (ox + kx) as isize - self.pad as isize;
-                                if ix < 0 || ix >= w as isize {
-                                    continue;
-                                }
-                                out[dst + ix as usize] += dd[src + kx];
+                            let dst = ((bi * c + ci) * h + iy as usize) * w + (ox + kx0) - pad;
+                            let src = row + (ci * kk + ky) * kk + kx0;
+                            let len = kx1 - kx0;
+                            for (o, &d) in out[dst..dst + len].iter_mut().zip(&dd[src..src + len]) {
+                                *o += d;
                             }
                         }
                     }
@@ -132,13 +149,14 @@ impl Layer for Conv2d {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         let (cols, b, oh, ow) = self.im2col(x);
         // [B*OH*OW, C*k*k] x [C*k*k, OC] = [B*OH*OW, OC]
-        let mut mat = cols.matmul(&self.weight.value);
-        mat.add_row_broadcast(self.bias.value.data());
+        let mat = cols.matmul(&self.weight.value);
         if train {
             self.cached_cols = Some(cols);
             self.cached_dims = Some((b, oh, ow));
         }
-        // Permute rows [b, oy, ox][oc] -> [b, oc, oy, ox].
+        // Permute rows [b, oy, ox][oc] -> [b, oc, oy, ox], adding the bias
+        // in the same pass (one memory traversal instead of two).
+        let bias = self.bias.value.data();
         let mut out = vec![0.0f32; b * self.out_c * oh * ow];
         let md = mat.data();
         for bi in 0..b {
@@ -146,7 +164,7 @@ impl Layer for Conv2d {
                 for ox in 0..ow {
                     let row = ((bi * oh + oy) * ow + ox) * self.out_c;
                     for oc in 0..self.out_c {
-                        out[((bi * self.out_c + oc) * oh + oy) * ow + ox] = md[row + oc];
+                        out[((bi * self.out_c + oc) * oh + oy) * ow + ox] = md[row + oc] + bias[oc];
                     }
                 }
             }
@@ -227,6 +245,30 @@ mod tests {
         let mut convnp = Conv2d::new(3, 4, 3, 0, &mut rng);
         let y2 = convnp.forward(&x, false);
         assert_eq!(y2.shape(), &[2, 4, 6, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "conv input must be [B, C, H, W]")]
+    fn non_4d_input_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut conv = Conv2d::new(1, 1, 3, 1, &mut rng);
+        let _ = conv.forward(&Tensor::zeros(&[4, 9]), false);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn wrong_channel_count_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut conv = Conv2d::new(3, 4, 3, 1, &mut rng);
+        let _ = conv.forward(&Tensor::zeros(&[1, 2, 8, 8]), false);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_without_forward_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut conv = Conv2d::new(1, 1, 3, 1, &mut rng);
+        let _ = conv.backward(&Tensor::zeros(&[1, 1, 3, 3]));
     }
 
     #[test]

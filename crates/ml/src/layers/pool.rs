@@ -128,4 +128,18 @@ mod tests {
         let mut p = MaxPool2x2::new();
         let _ = p.forward(&Tensor::zeros(&[1, 1, 3, 3]), false);
     }
+
+    #[test]
+    #[should_panic(expected = "pool input must be [B, C, H, W]")]
+    fn non_4d_input_rejected() {
+        let mut p = MaxPool2x2::new();
+        let _ = p.forward(&Tensor::zeros(&[4, 4]), false);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_without_forward_rejected() {
+        let mut p = MaxPool2x2::new();
+        let _ = p.backward(&Tensor::zeros(&[1, 1, 1, 1]));
+    }
 }

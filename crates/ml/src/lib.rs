@@ -43,6 +43,7 @@ pub mod metrics;
 pub mod model;
 pub mod models;
 pub mod optim;
+pub mod reference;
 pub mod tensor;
 
 pub use layer::{Layer, Param};

@@ -1,0 +1,171 @@
+//! Naive oracle kernels.
+//!
+//! Textbook, obviously-correct implementations of the hot-path kernels:
+//! the triple-loop matrix product and the direct 7-deep convolution nest.
+//! They exist for two consumers only —
+//!
+//! * the differential property tests (`tests/kernel_diff.rs`), which check
+//!   the optimized kernels against these within float-reassociation error
+//!   across randomized shapes, and
+//! * the `p2pfl-bench --bin hotpath` harness, which reports the optimized
+//!   kernels' speedup over them (the perf-gate acceptance ratio).
+//!
+//! Nothing on a production path may call into this module.
+
+use crate::tensor::Tensor;
+
+/// Classic ijk triple-loop matrix product: one dot product per output
+/// element, striding down columns of `b`. The slow oracle for
+/// [`Tensor::matmul`].
+pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().len(), 2, "lhs not a matrix");
+    assert_eq!(b.shape().len(), 2, "rhs not a matrix");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(
+        k,
+        k2,
+        "inner dimensions differ: lhs {:?} vs rhs {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (ad, bd) = (a.data(), b.data());
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += ad[i * k + p] * bd[p * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(&[m, n], out)
+}
+
+/// Direct 7-deep-loop 2-D convolution forward over `[B, C, H, W]` with an
+/// `[out_c, in_c * k * k]`-shaped weight (the layout [`crate::layers::Conv2d`]
+/// stores transposed as `[in_c * k * k, out_c]`) — here the weight is taken
+/// in the layer's `[fan_in, out_c]` layout directly. Stride 1, zero padding
+/// `pad`. The oracle for the im2col forward path.
+pub fn conv2d_naive_forward(
+    x: &Tensor,
+    weight: &Tensor, // [in_c * k * k, out_c]
+    bias: &[f32],    // [out_c]
+    k: usize,
+    pad: usize,
+) -> Tensor {
+    let s = x.shape();
+    assert_eq!(s.len(), 4, "conv input must be [B, C, H, W]");
+    let (b, c, h, w) = (s[0], s[1], s[2], s[3]);
+    let out_c = weight.shape()[1];
+    assert_eq!(weight.shape()[0], c * k * k, "weight fan-in mismatch");
+    assert_eq!(bias.len(), out_c, "bias length mismatch");
+    let (oh, ow) = (h + 2 * pad + 1 - k, w + 2 * pad + 1 - k);
+    let (xd, wd) = (x.data(), weight.data());
+    let mut out = vec![0.0f32; b * out_c * oh * ow];
+    for bi in 0..b {
+        for oc in 0..out_c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias[oc];
+                    for ci in 0..c {
+                        for ky in 0..k {
+                            let iy = (oy + ky) as isize - pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox + kx) as isize - pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let xv = xd[((bi * c + ci) * h + iy as usize) * w + ix as usize];
+                                let wv = wd[((ci * k + ky) * k + kx) * out_c + oc];
+                                acc += xv * wv;
+                            }
+                        }
+                    }
+                    out[((bi * out_c + oc) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(&[b, out_c, oh, ow], out)
+}
+
+/// Direct-loop gradients of [`conv2d_naive_forward`] w.r.t. the input and
+/// the weight, given upstream `grad_out` of shape `[B, out_c, OH, OW]`.
+/// Returns `(dx, dw)` with `dw` in the layer's `[in_c * k * k, out_c]`
+/// layout. The oracle for the col2im backward path.
+pub fn conv2d_naive_backward(
+    x: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    k: usize,
+    pad: usize,
+) -> (Tensor, Tensor) {
+    let s = x.shape();
+    let (b, c, h, w) = (s[0], s[1], s[2], s[3]);
+    let out_c = weight.shape()[1];
+    let (oh, ow) = (h + 2 * pad + 1 - k, w + 2 * pad + 1 - k);
+    assert_eq!(grad_out.shape(), &[b, out_c, oh, ow], "grad shape mismatch");
+    let (xd, wd, gd) = (x.data(), weight.data(), grad_out.data());
+    let mut dx = vec![0.0f32; b * c * h * w];
+    let mut dw = vec![0.0f32; c * k * k * out_c];
+    for bi in 0..b {
+        for oc in 0..out_c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = gd[((bi * out_c + oc) * oh + oy) * ow + ox];
+                    for ci in 0..c {
+                        for ky in 0..k {
+                            let iy = (oy + ky) as isize - pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox + kx) as isize - pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let xi = ((bi * c + ci) * h + iy as usize) * w + ix as usize;
+                                let wi = ((ci * k + ky) * k + kx) * out_c + oc;
+                                dx[xi] += g * wd[wi];
+                                dw[wi] += g * xd[xi];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (
+        Tensor::from_vec(&[b, c, h, w], dx),
+        Tensor::from_vec(&[c * k * k, out_c], dw),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_matmul_known_values() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(&[3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = matmul_naive(&a, &b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn naive_conv_identity_kernel() {
+        // Center-pixel kernel reproduces the input exactly.
+        let mut w = vec![0.0f32; 9];
+        w[4] = 1.0;
+        let weight = Tensor::from_vec(&[9, 1], w);
+        let x = Tensor::from_vec(&[1, 1, 3, 3], (1..=9).map(|i| i as f32).collect());
+        let y = conv2d_naive_forward(&x, &weight, &[0.0], 3, 1);
+        assert_eq!(y.data(), x.data());
+    }
+}

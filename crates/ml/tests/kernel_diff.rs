@@ -1,0 +1,126 @@
+//! Differential property tests: the optimized kernels against the naive
+//! oracles in `p2pfl_ml::reference`, across randomized shapes including
+//! sizes that do not divide the blocking factors. Tolerance is 1e-5 —
+//! the kernels reassociate float additions, so bit-equality is not the
+//! contract here (the *parallel* path has a bit-equality contract, tested
+//! in `tests/determinism.rs`; these tests bound reassociation error).
+
+use p2pfl_ml::layers::Conv2d;
+use p2pfl_ml::reference::{conv2d_naive_backward, conv2d_naive_forward, matmul_naive};
+use p2pfl_ml::{Layer, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TOL: f32 = 1e-5;
+
+fn random_tensor<R: Rng + ?Sized>(shape: &[usize], rng: &mut R) -> Tensor {
+    let n: usize = shape.iter().product();
+    Tensor::from_vec(
+        shape,
+        (0..n).map(|_| rng.random_range(-1.0f32..=1.0)).collect(),
+    )
+}
+
+fn assert_close(got: &Tensor, want: &Tensor, what: &str) {
+    assert_eq!(got.shape(), want.shape(), "{what}: shape mismatch");
+    for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
+        assert!(
+            (g - w).abs() <= TOL,
+            "{what}: element {i} differs: optimized {g} vs naive {w}"
+        );
+    }
+}
+
+#[test]
+fn blocked_matmul_matches_naive_across_random_shapes() {
+    let mut rng = StdRng::seed_from_u64(0xD1FF_0001);
+    for trial in 0..40 {
+        // Dimensions straddle the 4-row block: remainders 1..3 must hit
+        // the scalar tail loop.
+        let m = rng.random_range(1usize..=33);
+        let k = rng.random_range(1usize..=48);
+        let n = rng.random_range(1usize..=40);
+        let a = random_tensor(&[m, k], &mut rng);
+        let b = random_tensor(&[k, n], &mut rng);
+        assert_close(
+            &a.matmul(&b),
+            &matmul_naive(&a, &b),
+            &format!("trial {trial} matmul {m}x{k}x{n}"),
+        );
+    }
+}
+
+#[test]
+fn blocked_matmul_matches_naive_at_block_boundaries() {
+    // Deterministic sweep over every remainder class of the 4-row block.
+    let mut rng = StdRng::seed_from_u64(0xD1FF_0002);
+    for m in 1..=9 {
+        let a = random_tensor(&[m, 17], &mut rng);
+        let b = random_tensor(&[17, 5], &mut rng);
+        assert_close(&a.matmul(&b), &matmul_naive(&a, &b), &format!("m={m}"));
+    }
+}
+
+#[test]
+fn im2col_conv_forward_matches_naive_across_random_shapes() {
+    let mut rng = StdRng::seed_from_u64(0xD1FF_0003);
+    for trial in 0..12 {
+        let in_c = rng.random_range(1usize..=3);
+        let out_c = rng.random_range(1usize..=4);
+        let k = [1usize, 3, 5][rng.random_range(0usize..3)];
+        let pad = rng.random_range(0usize..=k / 2 + 1);
+        let h = rng.random_range(k.max(3)..=10);
+        let w = rng.random_range(k.max(3)..=10);
+        let b = rng.random_range(1usize..=3);
+        let mut conv = Conv2d::new(in_c, out_c, k, pad, &mut rng);
+        let x = random_tensor(&[b, in_c, h, w], &mut rng);
+        let got = conv.forward(&x, false);
+        let weight = conv.params()[0].value.clone();
+        let bias = conv.params()[1].value.data().to_vec();
+        let want = conv2d_naive_forward(&x, &weight, &bias, k, pad);
+        assert_close(
+            &got,
+            &want,
+            &format!("trial {trial} conv b{b} c{in_c}->{out_c} k{k} p{pad} {h}x{w}"),
+        );
+    }
+}
+
+#[test]
+fn im2col_conv_backward_matches_naive_gradients() {
+    let mut rng = StdRng::seed_from_u64(0xD1FF_0004);
+    for trial in 0..8 {
+        let in_c = rng.random_range(1usize..=3);
+        let out_c = rng.random_range(1usize..=3);
+        let k = [1usize, 3][rng.random_range(0usize..2)];
+        let pad = rng.random_range(0usize..=1);
+        let h = rng.random_range(4usize..=8);
+        let w = rng.random_range(4usize..=8);
+        let b = rng.random_range(1usize..=2);
+        let mut conv = Conv2d::new(in_c, out_c, k, pad, &mut rng);
+        let x = random_tensor(&[b, in_c, h, w], &mut rng);
+        let y = conv.forward(&x, true);
+        let grad_out = random_tensor(y.shape(), &mut rng);
+        let dx = conv.backward(&grad_out);
+        let weight = conv.params()[0].value.clone();
+        let (dx_ref, dw_ref) = conv2d_naive_backward(&x, &weight, &grad_out, k, pad);
+        let label = format!("trial {trial} conv b{b} c{in_c}->{out_c} k{k} p{pad} {h}x{w}");
+        assert_close(&dx, &dx_ref, &format!("{label} dx"));
+        assert_close(&conv.params()[0].grad, &dw_ref, &format!("{label} dw"));
+        // Bias gradient: naive reference is the plain sum of grad_out over
+        // everything but the channel axis.
+        let gd = grad_out.data();
+        let (oh, ow) = (y.shape()[2], y.shape()[3]);
+        let mut db_ref = vec![0.0f32; out_c];
+        for bi in 0..b {
+            for oc in 0..out_c {
+                for s in 0..oh * ow {
+                    db_ref[oc] += gd[(bi * out_c + oc) * oh * ow + s];
+                }
+            }
+        }
+        for (oc, (g, r)) in conv.params()[1].grad.data().iter().zip(&db_ref).enumerate() {
+            assert!((g - r).abs() <= TOL, "{label} db[{oc}]: {g} vs {r}");
+        }
+    }
+}

@@ -64,7 +64,46 @@ pub fn divide_masked<R: Rng + ?Sized>(
 }
 
 /// [`divide_masked`] with an explicit mask magnitude.
+///
+/// Share generation is fused and chunked: each noise share is drawn
+/// directly into its destination buffer and subtracted from the residual
+/// chunk-by-chunk in the same sweep, halving the memory traffic of the
+/// draw-then-subtract formulation (`divide_masked_reference`, the test
+/// oracle) while drawing from the RNG in exactly the same order — the
+/// shares are bit-identical to the reference.
 pub fn divide_masked_with_bound<R: Rng + ?Sized>(
+    w: &WeightVector,
+    n: usize,
+    mask_bound: f64,
+    rng: &mut R,
+) -> Vec<WeightVector> {
+    assert!(n > 0, "cannot split into zero shares");
+    let dim = w.dim();
+    // Cache-sized stripe: noise generation and the residual update for one
+    // chunk complete while the chunk is still resident.
+    const CHUNK: usize = 4096;
+    let mut shares: Vec<WeightVector> = Vec::with_capacity(n);
+    let mut residual = w.clone().into_inner();
+    for _ in 0..n - 1 {
+        let mut noise = vec![0.0f64; dim];
+        for (nc, rc) in noise.chunks_mut(CHUNK).zip(residual.chunks_mut(CHUNK)) {
+            for (x, r) in nc.iter_mut().zip(rc.iter_mut()) {
+                let v = rng.random_range(-mask_bound..=mask_bound);
+                *x = v;
+                *r -= v;
+            }
+        }
+        shares.push(WeightVector::new(noise));
+    }
+    shares.push(WeightVector::new(residual));
+    shares
+}
+
+/// The original two-pass formulation of [`divide_masked_with_bound`]:
+/// draw a whole noise vector, then subtract it from the residual. Retained
+/// as the differential-test oracle for the fused kernel.
+#[cfg(test)]
+pub(crate) fn divide_masked_reference<R: Rng + ?Sized>(
     w: &WeightVector,
     n: usize,
     mask_bound: f64,
@@ -167,6 +206,24 @@ mod tests {
             let ratio = share[0] / w[0];
             assert!(ratio > 0.0);
             assert!((share[1] / w[1] - ratio).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fused_masked_divide_is_bit_identical_to_reference() {
+        // Same seed, same draw order: the fused chunked kernel must equal
+        // the two-pass oracle exactly, across dims straddling the chunk
+        // size and share counts from degenerate to 12.
+        for (case, &dim) in [1usize, 7, 100, 4095, 4096, 4097, 9001].iter().enumerate() {
+            for n in [1usize, 2, 5, 12] {
+                let seed = 0xd1f + case as u64 * 31 + n as u64;
+                let mut rng_a = StdRng::seed_from_u64(seed);
+                let mut rng_b = StdRng::seed_from_u64(seed);
+                let w = WeightVector::random(dim, 1.0, &mut StdRng::seed_from_u64(seed ^ 1));
+                let fused = divide_masked_with_bound(&w, n, DEFAULT_MASK_BOUND, &mut rng_a);
+                let reference = divide_masked_reference(&w, n, DEFAULT_MASK_BOUND, &mut rng_b);
+                assert_eq!(fused, reference, "dim {dim}, n {n}");
+            }
         }
     }
 

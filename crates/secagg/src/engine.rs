@@ -168,6 +168,13 @@ pub struct SacPeerActor {
     requested: BTreeSet<usize>,
     sent_primary: bool,
     pending_requests: Vec<(usize, NodeId)>,
+    // Messages that arrived for the *next* round before this peer's
+    // `Begin` did. Real transports order frames per connection only, so a
+    // fast peer's `ShareBlock` for round r+1 can beat the leader's
+    // `Begin { r+1 }`; dropping it would stall the round into recovery
+    // (or unrecoverability). Stashed here and replayed after the round
+    // advances. Bounded to one message burst per peer.
+    future: Vec<(NodeId, SacMsg)>,
 }
 
 impl SacPeerActor {
@@ -192,6 +199,7 @@ impl SacPeerActor {
             requested: BTreeSet::new(),
             sent_primary: false,
             pending_requests: Vec::new(),
+            future: Vec::new(),
         }
     }
 
@@ -245,6 +253,16 @@ impl SacPeerActor {
         self.distribute_shares(ctx);
         ctx.set_timer(self.cfg.share_deadline, TIMER_SHARE_DEADLINE);
         self.phase = SacPhase::Sharing;
+        self.replay_future(ctx);
+    }
+
+    /// Re-dispatches stashed next-round messages now that the round has
+    /// advanced; anything not matching the current round is filtered out
+    /// by the per-message round guards.
+    fn replay_future(&mut self, ctx: &mut dyn Transport<SacMsg>) {
+        for (from, msg) in std::mem::take(&mut self.future) {
+            self.on_message(ctx, from, msg);
+        }
     }
 
     fn reset_for(&mut self, round: u64) {
@@ -443,6 +461,23 @@ impl SacPeerActor {
 
 impl Actor<SacMsg> for SacPeerActor {
     fn on_message(&mut self, ctx: &mut dyn Transport<SacMsg>, from: NodeId, msg: SacMsg) {
+        // Stash anything addressed to the round right after ours: our
+        // `Begin` is still in flight on another connection. `Begin` itself
+        // advances the round, so it is never stashed. The bound makes a
+        // hostile or deeply desynchronized peer a no-op, not a memory leak.
+        let msg_round = match &msg {
+            SacMsg::Begin { .. } => None,
+            SacMsg::ShareBlock { round, .. }
+            | SacMsg::ComputeOver { round, .. }
+            | SacMsg::Subtotal { round, .. }
+            | SacMsg::SubtotalRequest { round, .. } => Some(*round),
+        };
+        if let Some(r) = msg_round {
+            if r == self.round + 1 && self.future.len() < 4 * self.cfg.n() {
+                self.future.push((from, msg));
+                return;
+            }
+        }
         match msg {
             SacMsg::Begin { round } => {
                 if self.cfg.is_leader() {
@@ -466,6 +501,7 @@ impl Actor<SacMsg> for SacPeerActor {
                 self.reset_for(round);
                 self.distribute_shares(ctx);
                 self.phase = SacPhase::Sharing;
+                self.replay_future(ctx);
             }
             SacMsg::ShareBlock {
                 round,
@@ -550,7 +586,7 @@ impl Actor<SacMsg> for SacPeerActor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use p2pfl_simnet::{Sim, SimTime};
+    use p2pfl_simnet::{Sim, SimTime, TimerId};
 
     fn build(
         n: usize,
@@ -648,6 +684,89 @@ mod tests {
             "phase: {:?}",
             leader.phase
         );
+    }
+
+    /// Transport stub recording sends — for driving an actor directly with
+    /// an adversarial message *order*, which the simulator cannot express
+    /// (its per-link delivery never reorders a `Begin` behind a later
+    /// cross-peer `ShareBlock` deterministically).
+    struct StubNet {
+        id: NodeId,
+        sent: Vec<(NodeId, SacMsg)>,
+    }
+
+    impl Transport<SacMsg> for StubNet {
+        fn now(&self) -> SimTime {
+            SimTime::ZERO
+        }
+        fn node_id(&self) -> NodeId {
+            self.id
+        }
+        fn send(&mut self, to: NodeId, msg: SacMsg) {
+            self.sent.push((to, msg));
+        }
+        fn set_timer(&mut self, _delay: SimDuration, _tag: u64) -> TimerId {
+            TimerId(0)
+        }
+        fn cancel_timer(&mut self, _id: TimerId) {}
+    }
+
+    #[test]
+    fn next_round_share_arriving_before_begin_is_replayed() {
+        // Real transports only order frames per connection: peer 2 can see
+        // peer 1's round-1 ShareBlock before the leader's Begin { 1 }.
+        // The block must survive the race and count after Begin arrives.
+        let ids: Vec<NodeId> = (0..3).map(|i| NodeId(i as u32)).collect();
+        let cfg = SacConfig {
+            group: ids.clone(),
+            position: 2,
+            leader_pos: 0,
+            k: 3,
+            scheme: ShareScheme::Masked,
+            share_deadline: SimDuration::from_secs(1),
+            collect_deadline: SimDuration::from_secs(1),
+            seed: 77,
+        };
+        let mut actor = SacPeerActor::new(cfg, WeightVector::new(vec![1.0, 2.0]));
+        let mut net = StubNet {
+            id: ids[2],
+            sent: Vec::new(),
+        };
+        let early = SacMsg::ShareBlock {
+            round: 1,
+            from_pos: 1,
+            parts: vec![(0, WeightVector::new(vec![0.5, 0.5]))],
+        };
+        actor.on_message(&mut net, ids[1], early);
+        assert_eq!(actor.round, 0, "early block must not advance the round");
+        assert!(
+            actor.blocks.is_empty(),
+            "early block must not be applied before Begin"
+        );
+        actor.on_message(&mut net, ids[0], SacMsg::Begin { round: 1 });
+        assert_eq!(actor.round, 1);
+        assert_eq!(actor.phase, SacPhase::Sharing);
+        assert!(
+            actor.blocks.contains_key(&1),
+            "stashed block must be replayed after Begin"
+        );
+
+        // A message two rounds ahead is outside the stash window and a
+        // flood cannot grow the stash without bound.
+        actor.on_message(
+            &mut net,
+            ids[1],
+            SacMsg::SubtotalRequest { round: 3, idx: 0 },
+        );
+        assert!(actor.future.is_empty(), "round+2 must not be stashed");
+        for _ in 0..100 {
+            actor.on_message(
+                &mut net,
+                ids[1],
+                SacMsg::SubtotalRequest { round: 2, idx: 0 },
+            );
+        }
+        assert!(actor.future.len() <= 12, "stash must stay bounded");
     }
 
     #[test]

@@ -19,9 +19,28 @@ use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// Derives the shared mask vector for the ordered pair `(low, high)`.
+/// Only used by tests as the oracle for [`apply_mask`]; production paths
+/// stream the PRG instead of materializing the mask.
+#[cfg(test)]
 fn mask(seed: u64, dim: usize) -> WeightVector {
     let mut rng = StdRng::seed_from_u64(seed);
     WeightVector::new((0..dim).map(|_| rng.random_range(-1e3..1e3)).collect())
+}
+
+/// Streams `sign * PRG(seed)` into `out` without allocating the mask
+/// vector: the PRG draw order matches [`mask`] exactly, so the result is
+/// bit-identical to materialize-then-add at half the memory traffic and
+/// zero allocations — the protocol's mask-apply hot path.
+fn apply_mask(out: &mut WeightVector, seed: u64, positive: bool) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for x in out.as_mut_slice() {
+        let m: f64 = rng.random_range(-1e3..1e3);
+        if positive {
+            *x += m;
+        } else {
+            *x -= m;
+        }
+    }
 }
 
 /// The pairwise seeds of one aggregation group: `seed(i, j)` for `i < j`.
@@ -60,18 +79,12 @@ impl PairwiseSeeds {
 pub fn masked_update(seeds: &PairwiseSeeds, i: usize, w: &WeightVector) -> WeightVector {
     let n = seeds.n();
     assert!(i < n, "peer index out of range");
-    let dim = w.dim();
     let mut out = w.clone();
     for j in 0..n {
         if j == i {
             continue;
         }
-        let m = mask(seeds.seed(i, j), dim);
-        if i < j {
-            out.add_assign(&m);
-        } else {
-            out.sub_assign(&m);
-        }
+        apply_mask(&mut out, seeds.seed(i, j), i < j);
     }
     out
 }
@@ -101,12 +114,7 @@ pub fn aggregate(
     // revealed seed (the Bonawitz recovery step).
     for &a in &alive {
         for &d in dropped {
-            let m = mask(seeds.seed(a, d), dim);
-            if a < d {
-                sum.sub_assign(&m);
-            } else {
-                sum.add_assign(&m);
-            }
+            apply_mask(&mut sum, seeds.seed(a, d), a > d);
         }
     }
     sum.scale(1.0 / alive.len() as f64);
@@ -129,6 +137,15 @@ mod tests {
         (0..n)
             .map(|_| WeightVector::random(dim, 1.0, &mut rng))
             .collect()
+    }
+
+    #[test]
+    fn streamed_mask_matches_materialized_oracle() {
+        let mut out = WeightVector::zeros(257);
+        apply_mask(&mut out, 0x5eed, true);
+        assert_eq!(out, mask(0x5eed, 257));
+        apply_mask(&mut out, 0x5eed, false);
+        assert_eq!(out, WeightVector::zeros(257), "mask must cancel exactly");
     }
 
     #[test]

@@ -51,6 +51,11 @@ impl WeightVector {
         &self.0
     }
 
+    /// Mutably borrow the raw parameters.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.0
+    }
+
     /// Consumes the vector, returning the raw parameters.
     pub fn into_inner(self) -> Vec<f64> {
         self.0
@@ -76,6 +81,17 @@ impl WeightVector {
     pub fn scale(&mut self, s: f64) {
         for a in &mut self.0 {
             *a *= s;
+        }
+    }
+
+    /// Fused `self += s * other` in one pass — the axpy kernel behind
+    /// weighted averaging and mask application. One memory traversal and
+    /// no temporary, where `scaled` + `add_assign` costs an allocation and
+    /// two traversals. Panics on dimension mismatch.
+    pub fn add_scaled(&mut self, other: &WeightVector, s: f64) {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a += s * b;
         }
     }
 
@@ -115,9 +131,7 @@ impl WeightVector {
         assert!(total > 0.0, "weights sum to zero");
         let mut acc = WeightVector::zeros(vectors[0].dim());
         for (v, &w) in vectors.iter().zip(weights) {
-            let mut t = v.clone();
-            t.scale(w / total);
-            acc.add_assign(&t);
+            acc.add_scaled(v, w / total);
         }
         acc
     }
@@ -200,6 +214,18 @@ mod tests {
         assert_eq!(a.as_slice(), &[1.0, 2.0]);
         a.scale(2.0);
         assert_eq!(a.as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn add_scaled_matches_scale_then_add() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let v = WeightVector::random(257, 1.0, &mut rng);
+        let w = WeightVector::random(257, 1.0, &mut rng);
+        let mut fused = v.clone();
+        fused.add_scaled(&w, -0.375);
+        let mut two_pass = v.clone();
+        two_pass.add_assign(&w.scaled(-0.375));
+        assert_eq!(fused, two_pass, "fused axpy must be bit-identical");
     }
 
     #[test]

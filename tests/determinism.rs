@@ -25,6 +25,42 @@ fn accuracy_sweep_replays_exactly() {
 }
 
 #[test]
+fn parallel_and_serial_training_produce_identical_models() {
+    // The `parallel` feature fans per-peer local training out over scoped
+    // threads. Each client owns its RNG and optimizer state, so thread
+    // scheduling must not leak into the result: a 3-round N=6 sweep has to
+    // produce bit-identical global models either way.
+    use p2pfl::experiment::build_system;
+    use p2pfl::system::SystemKind;
+    use p2pfl_fed::parallel::{reset_parallel, set_parallel};
+    use p2pfl_secagg::WeightVector;
+
+    fn digests(parallel: bool) -> Vec<u64> {
+        set_parallel(parallel);
+        let spec = SweepSpec {
+            n_total: 6,
+            rounds: 3,
+            ..SweepSpec::default()
+        };
+        let (mut sys, test) = build_system(&spec, SystemKind::TwoLayer, 3, 1.0, Partition::Iid);
+        (1..=3)
+            .map(|r| {
+                sys.run_round(r, &test);
+                WeightVector::new(sys.global().to_vec()).digest()
+            })
+            .collect()
+    }
+
+    let serial = digests(false);
+    let threaded = digests(true);
+    reset_parallel();
+    assert_eq!(
+        serial, threaded,
+        "parallel local training diverged from serial"
+    );
+}
+
+#[test]
 fn raft_crash_trial_replays_exactly() {
     let a = subgroup_leader_crash_trial(100, 9).unwrap();
     let b = subgroup_leader_crash_trial(100, 9).unwrap();
