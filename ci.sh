@@ -51,6 +51,9 @@ fi
 echo "==> chaos soak (bounded smoke, fixed seed)"
 cargo run --release -p p2pfl-bench --bin chaos_soak -- --smoke --seed 7
 
+echo "==> churn soak (per-round kill/restart vs crash-free twin, fixed seed)"
+cargo run --release -p p2pfl-bench --bin chaos_soak -- --churn --quick --seed 7
+
 # Perf gate: quick hotpath run compared against the checked-in baseline;
 # fails on a >2x median regression in any benchmark. Soft-skips when the
 # baseline is absent (fresh checkout without BENCH_hotpath.json). To

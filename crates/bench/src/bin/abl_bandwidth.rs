@@ -28,6 +28,7 @@ fn round_time(n: usize, k: usize, dim: usize, mbps: u64, seed: u64) -> Option<f6
             scheme: ShareScheme::Masked,
             share_deadline: SimDuration::from_secs(120),
             collect_deadline: SimDuration::from_secs(120),
+            round_deadline: None,
             seed: seed + i as u64,
         };
         sim.add_node(SacPeerActor::new(cfg, WeightVector::zeros(dim)));

@@ -16,7 +16,11 @@
 //!
 //! Run: `cargo run -rp p2pfl-bench --bin chaos_soak -- --seed 7`
 //! Smoke: `cargo run -rp p2pfl-bench --bin chaos_soak -- --smoke --seed 7`
-//! Each epoch prints its seed; replay one with `--seed <n> --epochs 1`.
+//! Churn: `cargo run -rp p2pfl-bench --bin chaos_soak -- --churn --seed 7`
+//! (kill/wait/restart a random follower every round; the final model must
+//! match a crash-free twin bit-for-bit, and detector-driven roster
+//! evictions must all heal). Each epoch prints its seed; replay one with
+//! `--seed <n> --epochs 1`.
 
 use p2pfl::runner::{ResilientConfig, ResilientSession};
 use p2pfl_bench::{banner, print_csv, Args};
@@ -28,7 +32,7 @@ use p2pfl_net::PeerRuntime;
 use p2pfl_raft::FileStorage;
 use p2pfl_simnet::{FaultPlan, NodeId, ProcessFault, SimDuration, SimTime};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
@@ -153,6 +157,94 @@ fn run_epoch(
     (min_groups, recovered)
 }
 
+/// Churn leg: every round, kill a random follower, hold it down across the
+/// failure detector's suspect window (every 10th round: across the confirm
+/// window, forcing a roster eviction + re-admission), restart it before
+/// aggregation, and finally compare the global model bit-for-bit against a
+/// crash-free twin — churn that never removes a contributor at aggregation
+/// time must be invisible in the aggregate.
+fn churn_leg(seed: u64, rounds: usize) {
+    let settle = SimDuration::from_millis(600); // ResilientConfig::small
+    println!("# churn leg: {rounds} rounds, seed {seed} (replay with --churn --seed {seed})");
+    let (mut clean, test) = session(seed);
+    let (mut churned, _) = session(seed);
+    let mut pick = StdRng::seed_from_u64(seed ^ 0xc0411);
+    let wall = Instant::now();
+
+    for round in 1..=rounds {
+        let g = pick.random_range(0..churned.dep.subgroups.len());
+        let leader = churned
+            .dep
+            .sub_leader_of(g)
+            .expect("subgroup leaderless at pick time");
+        let followers: Vec<NodeId> = churned.dep.subgroups[g]
+            .iter()
+            .copied()
+            .filter(|&m| m != leader)
+            .collect();
+        let victim = followers[pick.random_range(0..followers.len())];
+        let down_ms = if round % 10 == 0 { 350 } else { 150 };
+        churned.crash(victim);
+        churned.dep.sim.run_for(SimDuration::from_millis(down_ms));
+        churned.restart(victim);
+
+        let t0 = churned.dep.sim.now();
+        let r = churned.run_round(round, &test);
+        assert!(
+            churned.dep.sim.now() <= t0 + settle + SimDuration::from_millis(10),
+            "round {round}: churn round exceeded the settle window"
+        );
+        assert_eq!(
+            r.record.groups_used,
+            churned.dep.subgroups.len(),
+            "round {round}: churn excluded a subgroup (leaders {:?})",
+            r.leaders
+        );
+        clean.run_round(round, &test);
+    }
+
+    let clean_bits: Vec<u64> = clean.global().iter().map(|x| x.to_bits()).collect();
+    let churn_bits: Vec<u64> = churned.global().iter().map(|x| x.to_bits()).collect();
+    assert_eq!(
+        clean_bits, churn_bits,
+        "churn with full recovery changed the global model (seed {seed})"
+    );
+
+    let mut evictions = 0usize;
+    let mut readmissions = 0usize;
+    for g in 0..churned.dep.subgroups.len() {
+        for &m in &churned.dep.subgroups[g].clone() {
+            let a = churned.dep.sim.actor::<HierActor>(m);
+            evictions += a.roster_changes.iter().filter(|(_, _, e)| *e).count();
+            readmissions += a.roster_changes.iter().filter(|(_, _, e)| !*e).count();
+        }
+        let leader = churned.dep.sub_leader_of(g).expect("leader after churn");
+        let roster = churned
+            .dep
+            .sim
+            .actor::<HierActor>(leader)
+            .live_sub_members();
+        assert_eq!(
+            roster,
+            &churned.dep.subgroups[g][..],
+            "subgroup {g}: roster did not heal"
+        );
+    }
+    assert!(
+        evictions >= rounds / 10,
+        "deep-churn rounds triggered too few evictions ({evictions})"
+    );
+    assert_eq!(
+        evictions, readmissions,
+        "an evicted member was never re-admitted"
+    );
+    println!(
+        "# churn leg passed: {rounds} rounds, {evictions} evictions healed, \
+         digest matches crash-free twin ({:.1}s)",
+        wall.elapsed().as_secs_f64()
+    );
+}
+
 // ---------------------------------------------------------------------
 // TCP leg: plan-scheduled crash/restart against on-disk Raft state
 // ---------------------------------------------------------------------
@@ -178,6 +270,9 @@ fn hier_cfg(
         heartbeat: SimDuration::from_millis(60),
         config_commit_interval: SimDuration::from_millis(200),
         join_poll_interval: SimDuration::from_millis(100),
+        probe_interval: SimDuration::from_millis(60),
+        suspect_after: SimDuration::from_millis(300),
+        dead_after: SimDuration::from_millis(900),
         seed: seed ^ (0x9e37 + id.0 as u64 * 0x85eb_ca6b),
     }
 }
@@ -324,8 +419,18 @@ fn tcp_crash_restart_leg(seed: u64) {
 
 fn main() {
     let args = Args::parse();
-    let smoke = args.get_flag("smoke");
+    let smoke = args.get_flag("smoke") || args.get_flag("quick");
     let seed = args.get_u64("seed", 7);
+
+    if args.get_flag("churn") {
+        banner(
+            "Chaos soak: per-round membership churn vs crash-free twin",
+            "kill/wait/restart a random follower each round; digest must match",
+        );
+        churn_leg(seed, args.get_usize("rounds", if smoke { 20 } else { 50 }));
+        return;
+    }
+
     let epochs = args.get_usize("epochs", if smoke { 4 } else { 8 });
     let chaos_rounds = args.get_usize("rounds", if smoke { 2 } else { 4 });
     let settle_rounds = args.get_usize("settle", if smoke { 2 } else { 3 });

@@ -83,6 +83,7 @@ fn tcp_group(base_id: u32, n: usize, dim: usize) -> Vec<PeerRuntime<SacMsg, SacP
                 scheme: ShareScheme::Masked,
                 share_deadline: SimDuration::from_secs(30),
                 collect_deadline: SimDuration::from_secs(30),
+                round_deadline: None,
                 seed: SEED + base_id as u64 + i as u64,
             };
             let model = WeightVector::random(dim, 1.0, &mut rng);

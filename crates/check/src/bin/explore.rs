@@ -1,7 +1,7 @@
 //! Bounded-exhaustive exploration driver.
 //!
 //! ```text
-//! explore [--model raft3|sac3|hier|all] [--depth N] [--branch N]
+//! explore [--model raft3|sac3|sacchurn|hier|all] [--depth N] [--branch N]
 //!         [--states N] [--walks N] [--seed N] [--drops] [--dups] [--ci]
 //! ```
 //!
@@ -14,7 +14,7 @@
 
 #![forbid(unsafe_code)]
 
-use p2pfl_check::models::{HierModel, Raft3Model, Sac3Model};
+use p2pfl_check::models::{HierModel, Raft3Model, Sac3Model, SacChurnModel};
 use p2pfl_check::{ExploreConfig, ExploreReport, Explorer, Model};
 use std::time::Instant;
 
@@ -70,14 +70,17 @@ fn parse_opts() -> Opts {
 }
 
 /// Explores one model; returns `false` if an invariant was violated.
-fn run_one<M: Model + Copy>(model: M, opts: &Opts) -> bool {
+/// `walk_depth_mult` scales the random-walk depth beyond the exhaustive
+/// bound — the supervised-churn model needs walks long enough to reach
+/// quiescence, where its RoundTermination oracle arms.
+fn run_one<M: Model + Copy>(model: M, opts: &Opts, walk_depth_mult: usize) -> bool {
     let name = model.name();
     let ex = Explorer::new(model, opts.cfg);
     let t0 = Instant::now();
     let mut report = ex.explore();
     if report.counterexample.is_none() && opts.walks > 0 {
         let mut deep = opts.cfg;
-        deep.max_depth = opts.cfg.max_depth * 4;
+        deep.max_depth = opts.cfg.max_depth * walk_depth_mult;
         deep.enable_drops = true;
         deep.enable_dups = true;
         let walk = Explorer::new(*ex.model(), deep);
@@ -129,15 +132,18 @@ fn main() {
     let mut ok = true;
     let selected = |m: &str| opts.model == "all" || opts.model == m;
     if selected("raft3") {
-        ok &= run_one(Raft3Model, &opts);
+        ok &= run_one(Raft3Model, &opts, 4);
     }
     if selected("sac3") {
-        ok &= run_one(Sac3Model, &opts);
+        ok &= run_one(Sac3Model, &opts, 4);
+    }
+    if selected("sacchurn") {
+        ok &= run_one(SacChurnModel, &opts, 25);
     }
     if selected("hier") {
-        ok &= run_one(HierModel, &opts);
+        ok &= run_one(HierModel, &opts, 4);
     }
-    if !["all", "raft3", "sac3", "hier"].contains(&opts.model.as_str()) {
+    if !["all", "raft3", "sac3", "sacchurn", "hier"].contains(&opts.model.as_str()) {
         eprintln!("unknown model '{}'", opts.model);
         std::process::exit(2);
     }

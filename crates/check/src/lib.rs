@@ -21,7 +21,12 @@
 //! * **KofNReconstructability** — a finished round's average is the plain
 //!   mean over the frozen contributor set (paper Alg. 4);
 //! * **StorageRoundTrip** — replaying a node's persist stream yields a
-//!   bisimilar node (term, vote, log, snapshot).
+//!   bisimilar node (term, vote, log, snapshot);
+//! * **RoundTermination** — a quiescent system never strands a supervised
+//!   SAC round mid-flight: the leader ends in `Done` or `Failed`;
+//! * **DegradedLiveness** — sub-threshold degradation keeps `n' >= 2`,
+//!   `k' = min(k, n')`, and at least `k'` contributors, and a supervised
+//!   round only fails after an abort/retry was attempted.
 //!
 //! On violation the failing schedule is shrunk by delta debugging and
 //! emitted as a replayable JSON [`Counterexample`]. The `mutation_check`

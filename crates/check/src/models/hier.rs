@@ -47,6 +47,9 @@ impl HierModel {
             heartbeat: SimDuration::from_millis(60),
             config_commit_interval: SimDuration::from_millis(200),
             join_poll_interval: SimDuration::from_millis(100),
+            probe_interval: SimDuration::from_millis(60),
+            suspect_after: SimDuration::from_millis(300),
+            dead_after: SimDuration::from_millis(900),
             seed: SEED ^ (0x9e37 + id.0 as u64 * 0x85eb_ca6b),
         }
     }

@@ -8,10 +8,12 @@
 mod hier;
 mod raft3;
 mod sac3;
+mod sac3_churn;
 
 pub use hier::HierModel;
 pub use raft3::Raft3Model;
 pub use sac3::Sac3Model;
+pub use sac3_churn::SacChurnModel;
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};

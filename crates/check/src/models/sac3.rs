@@ -51,6 +51,7 @@ impl Model for Sac3Model {
                 scheme: ShareScheme::Masked,
                 share_deadline: SimDuration::from_millis(80),
                 collect_deadline: SimDuration::from_millis(80),
+                round_deadline: None,
                 seed: SEED ^ (pos as u64 * 0x9e37_79b9),
             };
             sim.add_node(SacPeerActor::new(cfg, Self::peer_model(pos)));

@@ -290,6 +290,91 @@ pub fn kofn_result<'a>(
     Ok(())
 }
 
+/// **RoundTermination** — a *supervised* round (one with a configured
+/// round deadline) must terminate. Once the system is quiescent — no
+/// deliveries or timers pending, so nothing can ever change state again —
+/// a leader that started a round must sit in `Done` or `Failed`, never
+/// mid-round: the supervisor's abort/retry machinery must convert every
+/// dead end into one of the two terminal verdicts.
+pub fn round_termination<'a>(
+    quiescent: bool,
+    actors: impl IntoIterator<Item = (NodeId, &'a SacPeerActor)>,
+) -> Result<(), Violation> {
+    if !quiescent {
+        return Ok(());
+    }
+    for (id, a) in actors {
+        let cfg = a.sac_config();
+        if cfg.round_deadline.is_none() || cfg.position != cfg.leader_pos || a.round == 0 {
+            continue;
+        }
+        if !matches!(a.phase, SacPhase::Done | SacPhase::Failed(_)) {
+            return Err(Violation::new(
+                "RoundTermination",
+                format!(
+                    "{id}: quiescent with round {} still open in phase {:?}",
+                    a.round, a.phase
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// **DegradedLiveness** — sub-threshold degradation is sound:
+///
+/// * a leader that finished `Done` holds a well-formed degraded config —
+///   roster size `n' >= 2`, `k = min(k0, n')`, and at least `k`
+///   contributors — whether or not aborts happened on the way;
+/// * a leader may report `Failed` only after at least one abort: the
+///   supervisor never gives up on a round it did not first try to salvage.
+pub fn degraded_liveness<'a>(
+    k0: usize,
+    actors: impl IntoIterator<Item = (NodeId, &'a SacPeerActor)>,
+) -> Result<(), Violation> {
+    for (id, a) in actors {
+        let cfg = a.sac_config();
+        if cfg.round_deadline.is_none() || cfg.position != cfg.leader_pos {
+            continue;
+        }
+        match &a.phase {
+            SacPhase::Done => {
+                let n = cfg.group.len();
+                if n < 2 {
+                    return Err(Violation::new(
+                        "DegradedLiveness",
+                        format!("{id}: Done with a degenerate roster of {n}"),
+                    ));
+                }
+                if cfg.k != k0.min(n) {
+                    return Err(Violation::new(
+                        "DegradedLiveness",
+                        format!("{id}: Done with k = {} instead of min({k0}, {n})", cfg.k),
+                    ));
+                }
+                if a.contributors.len() < cfg.k {
+                    return Err(Violation::new(
+                        "DegradedLiveness",
+                        format!(
+                            "{id}: Done with {} contributors, below threshold {}",
+                            a.contributors.len(),
+                            cfg.k
+                        ),
+                    ));
+                }
+            }
+            SacPhase::Failed(reason) if a.aborts == 0 => {
+                return Err(Violation::new(
+                    "DegradedLiveness",
+                    format!("{id}: failed without ever aborting ({reason})"),
+                ));
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
 /// **StorageRoundTrip** — wraps a `verify_storage_roundtrip` result
 /// (restoring the node from its persist stream must yield a bisimilar
 /// node) into a [`Violation`].

@@ -37,6 +37,10 @@ pub struct ResilientConfig {
     /// Virtual time the network runs between aggregation rounds (enough
     /// for heartbeats, elections, and joins to settle).
     pub round_settle: SimDuration,
+    /// Consecutive FedAvg rounds a subgroup may miss before it is evicted
+    /// from the weighted average (`w`). It is re-admitted as soon as its
+    /// leader is back — the existing election + join path.
+    pub eviction_window: u32,
     /// RNG seed for share randomness.
     pub seed: u64,
 }
@@ -56,9 +60,30 @@ impl ResilientConfig {
                 batch_size: 32,
             },
             round_settle: SimDuration::from_millis(600),
+            eviction_window: 3,
             seed,
         }
     }
+}
+
+/// Counters kept by the per-round supervisor.
+#[derive(Debug, Clone, Default)]
+pub struct SupervisorStats {
+    /// Subgroup rounds aborted because FT-SAC could not complete with the
+    /// advertised roster.
+    pub aborts: u64,
+    /// Aborted rounds salvaged by a degraded restart with the surviving
+    /// `n'` members and `k' = min(k, n')`.
+    pub degraded_retries: u64,
+    /// Subgroup rounds refused because fewer than two members survived.
+    pub refusals: u64,
+    /// `(round, subgroup)` pairs at which a subgroup was evicted from the
+    /// FedAvg layer after missing [`ResilientConfig::eviction_window`]
+    /// consecutive rounds.
+    pub evictions: Vec<(usize, usize)>,
+    /// `(round, subgroup)` pairs at which an evicted subgroup re-entered
+    /// the average.
+    pub readmissions: Vec<(usize, usize)>,
 }
 
 /// Per-round outcome of the integrated system.
@@ -71,6 +96,11 @@ pub struct ResilientRound {
     pub leaders: Vec<Option<NodeId>>,
     /// The FedAvg-layer leader this round.
     pub fed_leader: Option<NodeId>,
+    /// Subgroups that completed only after an abort and degraded retry.
+    pub degraded: Vec<usize>,
+    /// Subgroups excluded from the average this round (evicted after too
+    /// many consecutive misses, not yet re-admitted).
+    pub evicted: Vec<usize>,
 }
 
 /// The integrated Raft-backed training session.
@@ -86,6 +116,12 @@ pub struct ResilientSession {
     /// Cumulative communication ledger for the aggregation traffic. Raft
     /// control traffic is accounted separately in `dep.sim.metrics()`.
     pub log: TransferLog,
+    /// Per-subgroup streak of consecutive missed FedAvg rounds.
+    miss_streak: Vec<u32>,
+    /// Per-subgroup eviction flag (see [`SupervisorStats::evictions`]).
+    evicted: Vec<bool>,
+    /// Round-supervisor counters.
+    pub supervisor: SupervisorStats,
 }
 
 impl ResilientSession {
@@ -102,6 +138,7 @@ impl ResilientSession {
         let stable = dep.wait_stable(SimTime::from_secs(30));
         assert!(stable, "deployment failed to stabilize");
         let global = eval_model.params_flat();
+        let num_groups = dep.subgroups.len();
         let mut s = ResilientSession {
             dep,
             clients,
@@ -110,6 +147,9 @@ impl ResilientSession {
             rng: StdRng::seed_from_u64(cfg.seed ^ 0x7e51),
             cfg,
             log: TransferLog::new(),
+            miss_streak: vec![0; num_groups],
+            evicted: vec![false; num_groups],
+            supervisor: SupervisorStats::default(),
         };
         s.push_global();
         s
@@ -160,6 +200,47 @@ impl ResilientSession {
         self.global.len() as u64 * WIRE_BYTES_PER_PARAM
     }
 
+    /// Books a missed FedAvg round for subgroup `g`; `w` consecutive
+    /// misses evict it from the average until its leader reappears.
+    fn note_miss(&mut self, g: usize, round: usize) {
+        self.miss_streak[g] += 1;
+        if !self.evicted[g] && self.miss_streak[g] >= self.cfg.eviction_window {
+            self.evicted[g] = true;
+            self.supervisor.evictions.push((round, g));
+        }
+    }
+
+    /// One FT-SAC attempt over `members` with `dropouts`, weighted by each
+    /// contributor's sample count.
+    fn sac_attempt(
+        &mut self,
+        members: &[NodeId],
+        leader: NodeId,
+        k: usize,
+        dropouts: &[Dropout],
+    ) -> Result<(Vec<f64>, usize), p2pfl_secagg::FtSacError> {
+        let leader_pos = members.iter().position(|&m| m == leader).unwrap();
+        let models: Vec<WeightVector> = members
+            .iter()
+            .map(|&m| WeightVector::new(self.clients[m.index()].params()))
+            .collect();
+        let out = fault_tolerant_secure_average(
+            &models,
+            k,
+            leader_pos,
+            dropouts,
+            self.cfg.scheme,
+            &mut self.rng,
+        )?;
+        self.log.absorb(&out.log);
+        let count: usize = out
+            .contributors
+            .iter()
+            .map(|&pos| self.clients[members[pos].index()].num_samples())
+            .sum();
+        Ok((out.average.into_inner(), count))
+    }
+
     /// Runs one round: settle the network, train, aggregate with the
     /// Raft-elected leaders, evaluate on `test`.
     pub fn run_round(&mut self, round: usize, test: &Dataset) -> ResilientRound {
@@ -182,10 +263,15 @@ impl ResilientSession {
             train_loss /= trained as f64;
         }
 
-        // 3. Subgroup aggregation, gated by the live Raft state.
+        // 3. Subgroup aggregation, gated by the live Raft state and
+        //    supervised per round: an attempt that cannot complete is
+        //    aborted and restarted once with the surviving `n'` members
+        //    and `k' = min(k, n')`; a subgroup that keeps missing rounds
+        //    is evicted from the average until its leader reappears.
         let fed_leader = self.dep.fed_leader();
         let num_groups = self.dep.subgroups.len();
         let mut leaders = Vec::with_capacity(num_groups);
+        let mut degraded = Vec::new();
         let mut group_avgs = Vec::new();
         let mut group_counts = Vec::new();
         for g in 0..num_groups {
@@ -194,10 +280,45 @@ impl ResilientSession {
                 .sub_leader_of(g)
                 .filter(|&l| self.dep.sim.actor::<HierActor>(l).is_fed_member());
             leaders.push(leader);
-            let Some(leader) = leader else { continue }; // slow subgroup
-            let members = self.dep.subgroups[g].clone();
-            let leader_pos = members.iter().position(|&m| m == leader).unwrap();
-            // Crashed members never shared this round.
+            if self.evicted[g] {
+                if leader.is_some() {
+                    // Re-admission: the election + join path brought the
+                    // subgroup's leader back into the FedAvg layer.
+                    self.evicted[g] = false;
+                    self.miss_streak[g] = 0;
+                    self.supervisor.readmissions.push((round, g));
+                } else {
+                    leaders[g] = None;
+                    continue;
+                }
+            }
+            let Some(leader) = leader else {
+                self.note_miss(g, round); // slow subgroup
+                continue;
+            };
+            // Aggregate over the leader's *replicated roster*, not the
+            // static subgroup: members the failure detector confirmed dead
+            // were already evicted from it, shrinking n' (and k) outright
+            // instead of counting as dropouts every round.
+            let mut members = self
+                .dep
+                .sim
+                .actor::<HierActor>(leader)
+                .live_sub_members()
+                .to_vec();
+            if !members.contains(&leader) {
+                // A re-elected leader can predate its own re-admission;
+                // fall back to the full subgroup until the roster heals.
+                members = self.dep.subgroups[g].clone();
+            }
+            if members.len() < 2 {
+                self.supervisor.refusals += 1;
+                leaders[g] = None;
+                self.note_miss(g, round);
+                continue;
+            }
+            // Crashed members not yet evicted from the roster never shared
+            // this round: they are SAC dropouts.
             let dropouts: Vec<Dropout> = members
                 .iter()
                 .enumerate()
@@ -207,36 +328,42 @@ impl ResilientSession {
                     phase: DropPhase::BeforeShare,
                 })
                 .collect();
-            let alive = members.len() - dropouts.len();
-            if alive == 0 {
-                leaders[g] = None;
-                continue;
-            }
-            let k = self.cfg.threshold.min(alive).max(1);
-            let models: Vec<WeightVector> = members
-                .iter()
-                .map(|&m| WeightVector::new(self.clients[m.index()].params()))
-                .collect();
-            match fault_tolerant_secure_average(
-                &models,
-                k,
-                leader_pos,
-                &dropouts,
-                self.cfg.scheme,
-                &mut self.rng,
-            ) {
-                Ok(out) => {
-                    self.log.absorb(&out.log);
-                    let count: usize = out
-                        .contributors
+            let k = self.cfg.threshold.min(members.len()).max(1);
+            let outcome = match self.sac_attempt(&members, leader, k, &dropouts) {
+                Ok(out) => Some(out),
+                Err(_) => {
+                    // Abort and restart once with the survivors.
+                    self.supervisor.aborts += 1;
+                    let survivors: Vec<NodeId> = members
                         .iter()
-                        .map(|&pos| self.clients[members[pos].index()].num_samples())
-                        .sum();
-                    group_avgs.push(out.average.into_inner());
+                        .copied()
+                        .filter(|&m| !self.dep.sim.is_crashed(m))
+                        .collect();
+                    if survivors.len() >= 2 && survivors.contains(&leader) {
+                        let k2 = self.cfg.threshold.min(survivors.len()).max(1);
+                        match self.sac_attempt(&survivors, leader, k2, &[]) {
+                            Ok(out) => {
+                                self.supervisor.degraded_retries += 1;
+                                degraded.push(g);
+                                Some(out)
+                            }
+                            Err(_) => None,
+                        }
+                    } else {
+                        self.supervisor.refusals += 1;
+                        None
+                    }
+                }
+            };
+            match outcome {
+                Some((avg, count)) => {
+                    self.miss_streak[g] = 0;
+                    group_avgs.push(avg);
                     group_counts.push(count);
                 }
-                Err(_) => {
+                None => {
                     leaders[g] = None;
+                    self.note_miss(g, round);
                 }
             }
         }
@@ -288,6 +415,8 @@ impl ResilientSession {
             },
             leaders,
             fed_leader,
+            degraded,
+            evicted: (0..num_groups).filter(|&g| self.evicted[g]).collect(),
         }
     }
 
@@ -304,7 +433,11 @@ mod tests {
     use p2pfl_ml::models::mlp;
 
     fn build(seed: u64) -> (ResilientSession, Dataset) {
-        let cfg = ResilientConfig::small(seed);
+        build_with(ResilientConfig::small(seed))
+    }
+
+    fn build_with(cfg: ResilientConfig) -> (ResilientSession, Dataset) {
+        let seed = cfg.seed;
         let n_total = cfg.deployment.total_peers();
         let (train, test) =
             train_test_split(&features_like(16, n_total * 50 + 300, seed), n_total * 50);
@@ -414,6 +547,69 @@ mod tests {
         let r = s.run_round(5, &test);
         assert_eq!(r.record.groups_used, 3, "leaders: {:?}", r.leaders);
         assert!(r.fed_leader.is_some());
+    }
+
+    #[test]
+    fn late_crash_aborts_and_retries_degraded() {
+        // n = k = 3: one dropout makes a partition unrecoverable, so the
+        // supervisor must abort and restart with the two survivors.
+        let mut cfg = ResilientConfig::small(8);
+        cfg.threshold = 3;
+        let (mut s, test) = build_with(cfg);
+        s.run(2, &test);
+        let leader0 = s.dep.sub_leader_of(0).unwrap();
+        let victim = *s.dep.subgroups[0].iter().find(|&&m| m != leader0).unwrap();
+        // Crash just before the settle window ends: the failure detector
+        // has no time to evict the victim from the roster, so it shows up
+        // as a SAC dropout inside the round.
+        let at = s.dep.sim.now() + SimDuration::from_millis(590);
+        s.dep.sim.schedule_crash(victim, at);
+        let r = s.run_round(3, &test);
+        assert_eq!(r.degraded, vec![0], "leaders: {:?}", r.leaders);
+        assert_eq!(r.record.groups_used, 3);
+        assert_eq!(s.supervisor.aborts, 1);
+        assert_eq!(s.supervisor.degraded_retries, 1);
+        // Next round the detector has evicted the victim: the shrunken
+        // roster aggregates cleanly, with no further aborts.
+        let r = s.run_round(4, &test);
+        assert_eq!(r.record.groups_used, 3);
+        assert!(r.degraded.is_empty());
+        assert_eq!(s.supervisor.aborts, 1);
+    }
+
+    #[test]
+    fn leaderless_subgroup_is_evicted_then_readmitted() {
+        let (mut s, test) = build(9);
+        s.run(1, &test);
+        let group: Vec<NodeId> = s.dep.subgroups[2].clone();
+        for &m in &group {
+            s.crash(m);
+        }
+        // Three consecutive misses (the default window) trigger eviction.
+        for r in 2..=4 {
+            let rr = s.run_round(r, &test);
+            assert_eq!(rr.record.groups_used, 2, "round {r}");
+        }
+        assert_eq!(s.supervisor.evictions, vec![(4, 2)]);
+        let rr = s.run_round(5, &test);
+        assert_eq!(rr.evicted, vec![2]);
+        // Restart the subgroup; its leader re-enters the FedAvg layer via
+        // the join path, which re-admits the subgroup to the average.
+        for &m in &group {
+            s.restart(m);
+        }
+        let mut readmitted = false;
+        for r in 6..=9 {
+            let rr = s.run_round(r, &test);
+            if rr.record.groups_used == 3 {
+                readmitted = true;
+                break;
+            }
+            assert!(r < 9, "never re-admitted: {:?}", rr.leaders);
+        }
+        assert!(readmitted);
+        assert_eq!(s.supervisor.readmissions.len(), 1);
+        assert_eq!(s.supervisor.readmissions[0].1, 2);
     }
 
     #[test]

@@ -18,7 +18,8 @@
 //! of waiting for the first change to commit; with a single proposer this
 //! is safe in our setting and keeps recovery latency low.
 
-use crate::config::{FedCmd, FedConfig, HierMsg, HierPeerConfig, SubCmd};
+use crate::config::{FedCmd, FedConfig, HierMsg, HierPeerConfig, SubCmd, SubMembers};
+use crate::detector::{FailureDetector, Liveness};
 use p2pfl_raft::{Effect, Entry, LogCmd, RaftConfig, RaftNode, RaftStorage};
 use p2pfl_simnet::{Actor, NodeId, SimDuration, SimTime, TimerId, Transport};
 
@@ -28,6 +29,7 @@ const TIMER_FED_ELECTION: u64 = 3;
 const TIMER_FED_HEARTBEAT: u64 = 4;
 const TIMER_CONFIG_TICK: u64 = 5;
 const TIMER_JOIN_TICK: u64 = 6;
+const TIMER_PROBE_TICK: u64 = 7;
 
 /// A peer in the two-layer Raft deployment.
 pub struct HierActor {
@@ -41,13 +43,27 @@ pub struct HierActor {
     fed_election_timer: Option<TimerId>,
     fed_heartbeat_timer: Option<TimerId>,
     join_tick_timer: Option<TimerId>,
+    probe_tick_timer: Option<TimerId>,
     config_tick_armed: bool,
     config_version: u64,
+    members_version: u64,
+    /// The roster this leader last proposed but has not yet seen commit;
+    /// further changes build on it so receipt bursts don't re-propose the
+    /// same re-admission.
+    proposed_roster: Option<SubMembers>,
     join_target: Option<NodeId>,
     join_round_robin: usize,
+    detector: FailureDetector,
+    probe_seq: u64,
     /// Latest FedAvg-layer configuration this peer knows (deployment-time
     /// founding config until a replicated update commits).
     pub fed_config: FedConfig,
+    /// Latest replicated aggregation roster of this peer's subgroup (the
+    /// full subgroup until a detector-driven update commits).
+    pub sub_members: SubMembers,
+    /// `(when, member, evicted?)` roster changes this peer proposed as
+    /// subgroup leader: `true` = eviction, `false` = re-admission.
+    pub roster_changes: Vec<(SimTime, NodeId, bool)>,
     /// Times at which this peer won its subgroup election.
     pub sub_leader_history: Vec<SimTime>,
     /// Times at which this peer won the FedAvg-layer election.
@@ -127,6 +143,16 @@ impl HierActor {
             current: cfg.founding_fed.clone(),
             version: 0,
         };
+        let sub_members = SubMembers {
+            members: cfg.subgroup.clone(),
+            version: 0,
+        };
+        let detector = FailureDetector::new(
+            cfg.subgroup.iter().copied().filter(|&p| p != cfg.id),
+            cfg.suspect_after,
+            cfg.dead_after,
+            SimTime::ZERO,
+        );
         HierActor {
             sub,
             fed,
@@ -137,11 +163,18 @@ impl HierActor {
             fed_election_timer: None,
             fed_heartbeat_timer: None,
             join_tick_timer: None,
+            probe_tick_timer: None,
             config_tick_armed: false,
             config_version: 0,
+            members_version: 0,
+            proposed_roster: None,
             join_target: None,
             join_round_robin: 0,
+            detector,
+            probe_seq: 0,
             fed_config,
+            sub_members,
+            roster_changes: Vec::new(),
             sub_leader_history: Vec::new(),
             fed_leader_history: Vec::new(),
             join_ack_at: None,
@@ -179,6 +212,17 @@ impl HierActor {
     /// The subgroup Raft state.
     pub fn sub_raft(&self) -> &RaftNode<SubCmd> {
         &self.sub
+    }
+
+    /// This peer's failure-detector verdict on a subgroup member.
+    pub fn liveness_of(&self, peer: NodeId) -> Liveness {
+        self.detector.liveness(peer)
+    }
+
+    /// The aggregation roster this peer currently believes in: the
+    /// replicated member list, in subgroup order.
+    pub fn live_sub_members(&self) -> &[NodeId] {
+        &self.sub_members.members
     }
 
     /// The FedAvg-layer Raft state, if active.
@@ -344,9 +388,126 @@ impl HierActor {
                     }
                 }
             }
+            LogCmd::App(SubCmd::Members(m)) => {
+                if m.version >= self.sub_members.version {
+                    self.sub_members = m.clone();
+                }
+                if self
+                    .proposed_roster
+                    .as_ref()
+                    .is_some_and(|p| m.version >= p.version)
+                {
+                    self.proposed_roster = None;
+                }
+            }
             LogCmd::App(SubCmd::App(v)) => self.sub_cmds_applied.push(*v),
             _ => {}
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Failure detection & self-healing roster (beyond-paper: Sec. V only
+    // heals Raft seats; this heals the aggregation membership too)
+    // ------------------------------------------------------------------
+
+    /// Leader-side roster update: proposes a new replicated member list
+    /// with `member` evicted or re-admitted. No-ops when the roster
+    /// already reflects the change or this peer stopped leading.
+    fn propose_roster_change(
+        &mut self,
+        ctx: &mut dyn Transport<HierMsg>,
+        member: NodeId,
+        evict: bool,
+    ) {
+        if !self.sub.is_leader() || member == self.cfg.id {
+            return;
+        }
+        let base = self
+            .proposed_roster
+            .as_ref()
+            .filter(|p| p.version > self.sub_members.version)
+            .unwrap_or(&self.sub_members);
+        let mut members = base.members.clone();
+        if evict {
+            if !members.contains(&member) {
+                return;
+            }
+            members.retain(|&m| m != member);
+        } else {
+            if members.contains(&member) || !self.cfg.subgroup.contains(&member) {
+                return;
+            }
+            // Keep subgroup (= position) order stable for SAC rosters.
+            members = self
+                .cfg
+                .subgroup
+                .iter()
+                .copied()
+                .filter(|m| members.contains(m) || *m == member)
+                .collect();
+        }
+        self.members_version = self.members_version.max(base.version) + 1;
+        let roster = SubMembers {
+            members,
+            version: self.members_version,
+        };
+        if let Ok((_, eff)) = self
+            .sub
+            .propose(LogCmd::App(SubCmd::Members(roster.clone())))
+        {
+            self.proposed_roster = Some(roster);
+            self.roster_changes.push((ctx.now(), member, evict));
+            self.run_sub_effects(ctx, eff);
+        }
+    }
+
+    /// Any receipt from a subgroup member feeds the detector; a receipt
+    /// that revives a suspected/dead member triggers its re-admission to
+    /// the aggregation roster (the "suspected peer recovers" race must
+    /// never end in an eviction).
+    fn note_heard_from(&mut self, ctx: &mut dyn Transport<HierMsg>, from: NodeId) {
+        let revived = self.detector.heard_from(from, ctx.now());
+        let missing = !self.sub_members.members.contains(&from);
+        if (revived || missing) && self.sub.is_leader() && self.cfg.subgroup.contains(&from) {
+            self.propose_roster_change(ctx, from, false);
+        }
+    }
+
+    fn on_probe_tick(&mut self, ctx: &mut dyn Transport<HierMsg>) {
+        self.probe_tick_timer = None;
+        if !self.sub.is_leader() {
+            return; // stops ticking; re-armed on the next leadership win
+        }
+        for (peer, verdict) in self.detector.tick(ctx.now()) {
+            if verdict == Liveness::Dead {
+                self.propose_roster_change(ctx, peer, true);
+                ctx.send(
+                    peer,
+                    HierMsg::Evict {
+                        reason: "failure detector: confirm window expired".into(),
+                    },
+                );
+            }
+        }
+        // Probe every currently suspected member: Raft heartbeats stop
+        // reaching a partitioned peer's *replies* to us, but an explicit
+        // probe/ack pair gives it a dedicated path to refute suspicion
+        // before the confirm window expires.
+        for peer in self.detector.suspected() {
+            self.probe_seq += 1;
+            ctx.send(
+                peer,
+                HierMsg::Probe {
+                    seq: self.probe_seq,
+                },
+            );
+        }
+        Self::arm(
+            ctx,
+            &mut self.probe_tick_timer,
+            self.cfg.probe_interval,
+            TIMER_PROBE_TICK,
+        );
     }
 
     // ------------------------------------------------------------------
@@ -358,6 +519,18 @@ impl HierActor {
             self.config_tick_armed = true;
             ctx.set_timer(self.cfg.config_commit_interval, TIMER_CONFIG_TICK);
         }
+        // Start detecting from a clean slate: quiet time accumulated while
+        // someone else led (and we weren't probing) must not instantly
+        // convict anyone. A roster proposal from a previous term may never
+        // commit, so forget it too.
+        self.detector.reset_all(ctx.now());
+        self.proposed_roster = None;
+        Self::arm(
+            ctx,
+            &mut self.probe_tick_timer,
+            self.cfg.probe_interval,
+            TIMER_PROBE_TICK,
+        );
         if self.fed.is_none() {
             self.join_target = None;
             self.send_join(ctx);
@@ -554,6 +727,9 @@ impl Actor<HierMsg> for HierActor {
     }
 
     fn on_message(&mut self, ctx: &mut dyn Transport<HierMsg>, from: NodeId, msg: HierMsg) {
+        if self.cfg.subgroup.contains(&from) {
+            self.note_heard_from(ctx, from);
+        }
         match msg {
             HierMsg::Sub(m) => {
                 let eff = self.sub.handle(from, m);
@@ -578,6 +754,12 @@ impl Actor<HierMsg> for HierActor {
                 replaces,
             } => self.on_join_request(ctx, joiner, replaces),
             HierMsg::JoinAck { accepted, leader } => self.on_join_ack(ctx, accepted, leader),
+            HierMsg::Probe { seq } => ctx.send(from, HierMsg::ProbeAck { seq }),
+            // The heard_from above already did all the work an ack carries.
+            HierMsg::ProbeAck { .. } => {}
+            // We are demonstrably alive: refute the eviction. The ack
+            // revives us in the sender's detector, which re-admits us.
+            HierMsg::Evict { .. } => ctx.send(from, HierMsg::ProbeAck { seq: 0 }),
         }
     }
 
@@ -608,6 +790,7 @@ impl Actor<HierMsg> for HierActor {
                 }
             }
             TIMER_CONFIG_TICK => self.on_config_tick(ctx),
+            TIMER_PROBE_TICK => self.on_probe_tick(ctx),
             TIMER_JOIN_TICK => {
                 self.join_tick_timer = None;
                 if self.fed.is_none() && self.sub.is_leader() {
@@ -632,6 +815,7 @@ impl Actor<HierMsg> for HierActor {
         self.fed_election_timer = None;
         self.fed_heartbeat_timer = None;
         self.join_tick_timer = None;
+        self.probe_tick_timer = None;
         self.config_tick_armed = false;
     }
 
@@ -642,6 +826,7 @@ impl Actor<HierMsg> for HierActor {
         // RemoveServer for this peer and the ConfigChanged handler retires
         // it; until then its vote still counts toward FedAvg-layer quorum
         // (matching hashicorp/raft's restart semantics).
+        self.detector.reset_all(ctx.now());
         if let Some(fed) = self.fed.as_mut() {
             let eff = fed.handle_restart();
             self.run_fed_effects(ctx, eff);

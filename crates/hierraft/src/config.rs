@@ -20,11 +20,29 @@ pub struct FedConfig {
     pub version: u64,
 }
 
+/// The replicated *aggregation roster* of one subgroup: which members the
+/// round supervisor currently includes in SAC rounds. Replicated through
+/// the subgroup Raft log on the same path as [`FedConfig`] (paper Sec. V),
+/// so it is durable and survives leader failover. Distinct from the Raft
+/// cluster itself — evicting a peer from the roster shrinks `n'` for
+/// aggregation without touching Raft quorum, and a revived peer is
+/// re-admitted by a new roster version rather than a membership change.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SubMembers {
+    /// Members currently included in aggregation rounds.
+    pub members: Vec<NodeId>,
+    /// Monotone version counter (same max-advance rule as [`FedConfig`]).
+    pub version: u64,
+}
+
 /// Commands carried by a *subgroup* (SAC-layer) Raft log.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum SubCmd {
     /// The replicated FedAvg-layer configuration.
     FedConfig(FedConfig),
+    /// The replicated aggregation roster (failure-detector evictions and
+    /// re-admissions).
+    Members(SubMembers),
     /// An opaque application command (used by tests and the aggregation
     /// system to sequence round numbers).
     App(u64),
@@ -34,6 +52,7 @@ impl Command for SubCmd {
     fn wire_bytes(&self) -> u64 {
         match self {
             SubCmd::FedConfig(c) => 16 + 8 * (c.founding.len() + c.current.len()) as u64,
+            SubCmd::Members(m) => 16 + 8 * m.members.len() as u64,
             SubCmd::App(_) => 8,
         }
     }
@@ -67,6 +86,26 @@ pub enum HierMsg {
         /// other FedAvg-layer followers".
         leader: Option<NodeId>,
     },
+    /// Explicit liveness probe from a subgroup leader to a member it
+    /// suspects (the Raft heartbeat went quiet).
+    Probe {
+        /// Correlation sequence number.
+        seq: u64,
+    },
+    /// Response to a probe; any receipt revives the sender in the prober's
+    /// failure detector.
+    ProbeAck {
+        /// Echoed sequence number.
+        seq: u64,
+    },
+    /// Best-effort notice to a peer that the failure detector confirmed it
+    /// dead and it was evicted from the aggregation roster. A peer that is
+    /// in fact alive (asymmetric partition) answers with a `ProbeAck`,
+    /// which revives it and triggers re-admission.
+    Evict {
+        /// Human-readable cause, for logs and traces.
+        reason: String,
+    },
 }
 
 impl Payload for HierMsg {
@@ -76,6 +115,8 @@ impl Payload for HierMsg {
             HierMsg::Fed(m) => m.size_bytes(),
             HierMsg::JoinRequest { .. } => 24,
             HierMsg::JoinAck { .. } => 16,
+            HierMsg::Probe { .. } | HierMsg::ProbeAck { .. } => 16,
+            HierMsg::Evict { reason } => 8 + reason.len() as u64,
         }
     }
 
@@ -85,6 +126,9 @@ impl Payload for HierMsg {
             HierMsg::Fed(_) => "hier.fed",
             HierMsg::JoinRequest { .. } => "hier.join_request",
             HierMsg::JoinAck { .. } => "hier.join_ack",
+            HierMsg::Probe { .. } => "hier.probe",
+            HierMsg::ProbeAck { .. } => "hier.probe_ack",
+            HierMsg::Evict { .. } => "hier.evict",
         }
     }
 }
@@ -108,6 +152,15 @@ pub struct HierPeerConfig {
     pub config_commit_interval: SimDuration,
     /// How often a pending joiner polls for a FedAvg leader (paper: 100 ms).
     pub join_poll_interval: SimDuration,
+    /// How often a subgroup leader re-evaluates its failure detector and
+    /// probes suspected members.
+    pub probe_interval: SimDuration,
+    /// Quiet window after which a subgroup member is *suspected* (and
+    /// probed directly).
+    pub suspect_after: SimDuration,
+    /// Quiet window after which a suspected member is confirmed *dead* and
+    /// evicted from the replicated aggregation roster.
+    pub dead_after: SimDuration,
     /// Seed for timeout randomization.
     pub seed: u64,
 }
@@ -155,6 +208,9 @@ mod tests {
             heartbeat: SimDuration::from_millis(20),
             config_commit_interval: SimDuration::from_millis(500),
             join_poll_interval: SimDuration::from_millis(100),
+            probe_interval: SimDuration::from_millis(40),
+            suspect_after: SimDuration::from_millis(100),
+            dead_after: SimDuration::from_millis(300),
             seed: 1,
         };
         assert!(cfg.is_founding());

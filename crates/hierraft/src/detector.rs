@@ -1,0 +1,200 @@
+//! Heartbeat-based failure detection for subgroup members.
+//!
+//! The two Raft layers already exchange periodic traffic (heartbeats,
+//! elections, log replication); the detector piggybacks on *any* receipt
+//! from a subgroup peer and only adds explicit `Probe`/`ProbeAck` traffic
+//! for peers that have gone quiet. A peer transitions:
+//!
+//! * `Alive -> Suspected` after `suspect_after` without a receipt — the
+//!   leader starts probing it directly;
+//! * `Suspected -> Dead` after `dead_after` without a receipt — the leader
+//!   evicts it from the replicated aggregation roster;
+//! * any receipt at any time returns it to `Alive` — a suspected peer that
+//!   recovers (probe race, one-way-lossy link) is never evicted.
+//!
+//! The detector is a pure state machine over the virtual clock: transports,
+//! timers, and the eviction policy live in [`crate::HierActor`].
+
+use p2pfl_simnet::{NodeId, SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// The detector's verdict on one peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Liveness {
+    /// Heard from within the suspect window.
+    Alive,
+    /// Quiet past `suspect_after`; being probed.
+    Suspected,
+    /// Quiet past `dead_after`; eligible for eviction.
+    Dead,
+}
+
+/// Tracks last-receipt times for a fixed peer set and derives liveness.
+#[derive(Debug)]
+pub struct FailureDetector {
+    suspect_after: SimDuration,
+    dead_after: SimDuration,
+    last_heard: BTreeMap<NodeId, SimTime>,
+    verdict: BTreeMap<NodeId, Liveness>,
+}
+
+impl FailureDetector {
+    /// Builds a detector over `peers`, all considered heard-from at `now`
+    /// (a fresh start must not produce instant verdicts).
+    pub fn new(
+        peers: impl IntoIterator<Item = NodeId>,
+        suspect_after: SimDuration,
+        dead_after: SimDuration,
+        now: SimTime,
+    ) -> Self {
+        assert!(dead_after >= suspect_after, "confirm window before suspect");
+        let last_heard: BTreeMap<NodeId, SimTime> = peers.into_iter().map(|p| (p, now)).collect();
+        let verdict = last_heard.keys().map(|&p| (p, Liveness::Alive)).collect();
+        FailureDetector {
+            suspect_after,
+            dead_after,
+            last_heard,
+            verdict,
+        }
+    }
+
+    /// Records a receipt from `peer`. Unknown peers are ignored. Returns
+    /// `true` when this receipt *revived* the peer (it was suspected or
+    /// dead) — the caller may want to re-admit it.
+    pub fn heard_from(&mut self, peer: NodeId, now: SimTime) -> bool {
+        let Some(t) = self.last_heard.get_mut(&peer) else {
+            return false;
+        };
+        *t = (*t).max(now);
+        self.verdict
+            .insert(peer, Liveness::Alive)
+            .is_some_and(|old| old != Liveness::Alive)
+    }
+
+    /// Re-stamps every peer to `now` (start or restart: the gap spent
+    /// crashed must not count against anyone).
+    pub fn reset_all(&mut self, now: SimTime) {
+        for t in self.last_heard.values_mut() {
+            *t = now;
+        }
+        for v in self.verdict.values_mut() {
+            *v = Liveness::Alive;
+        }
+    }
+
+    /// Re-evaluates every peer at `now` and returns the transitions that
+    /// occurred, in peer order.
+    pub fn tick(&mut self, now: SimTime) -> Vec<(NodeId, Liveness)> {
+        let mut transitions = Vec::new();
+        for (&peer, &heard) in &self.last_heard {
+            let quiet = now.saturating_since(heard);
+            let next = if quiet >= self.dead_after {
+                Liveness::Dead
+            } else if quiet >= self.suspect_after {
+                Liveness::Suspected
+            } else {
+                Liveness::Alive
+            };
+            let old = self.verdict.insert(peer, next);
+            if old != Some(next) {
+                transitions.push((peer, next));
+            }
+        }
+        transitions
+    }
+
+    /// The current verdict on `peer` (`Alive` for unknown peers: the
+    /// detector only ever argues for eviction, never against admission).
+    pub fn liveness(&self, peer: NodeId) -> Liveness {
+        self.verdict.get(&peer).copied().unwrap_or(Liveness::Alive)
+    }
+
+    /// Peers currently suspected (probe targets).
+    pub fn suspected(&self) -> Vec<NodeId> {
+        self.verdict
+            .iter()
+            .filter(|(_, &v)| v == Liveness::Suspected)
+            .map(|(&p, _)| p)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    fn det() -> FailureDetector {
+        FailureDetector::new(
+            [NodeId(1), NodeId(2)],
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(300),
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn windows_drive_transitions() {
+        let mut d = det();
+        assert!(d.tick(ms(99)).is_empty());
+        let t = d.tick(ms(100));
+        assert_eq!(
+            t,
+            vec![
+                (NodeId(1), Liveness::Suspected),
+                (NodeId(2), Liveness::Suspected)
+            ]
+        );
+        assert!(d.tick(ms(200)).is_empty(), "no repeat transitions");
+        let t = d.tick(ms(300));
+        assert_eq!(t[0], (NodeId(1), Liveness::Dead));
+        assert_eq!(d.liveness(NodeId(2)), Liveness::Dead);
+    }
+
+    #[test]
+    fn receipt_revives_at_any_stage() {
+        let mut d = det();
+        d.tick(ms(150));
+        assert_eq!(d.liveness(NodeId(1)), Liveness::Suspected);
+        assert!(d.heard_from(NodeId(1), ms(160)), "revival reported");
+        assert_eq!(d.liveness(NodeId(1)), Liveness::Alive);
+        assert!(!d.heard_from(NodeId(1), ms(161)), "already alive");
+        // The revived peer's window restarts from the receipt.
+        d.tick(ms(250));
+        assert_eq!(d.liveness(NodeId(1)), Liveness::Alive);
+        assert_eq!(d.liveness(NodeId(2)), Liveness::Suspected);
+        // Revival works from Dead too (e.g. an evicted peer restarting).
+        d.tick(ms(500));
+        assert_eq!(d.liveness(NodeId(2)), Liveness::Dead);
+        assert!(d.heard_from(NodeId(2), ms(510)));
+        assert_eq!(d.liveness(NodeId(2)), Liveness::Alive);
+    }
+
+    #[test]
+    fn unknown_peers_are_ignored_and_alive() {
+        let mut d = det();
+        assert!(!d.heard_from(NodeId(9), ms(1)));
+        assert_eq!(d.liveness(NodeId(9)), Liveness::Alive);
+    }
+
+    #[test]
+    fn reset_clears_stale_windows() {
+        let mut d = det();
+        d.tick(ms(400));
+        assert_eq!(d.liveness(NodeId(1)), Liveness::Dead);
+        d.reset_all(ms(400));
+        assert_eq!(d.liveness(NodeId(1)), Liveness::Alive);
+        assert!(d.tick(ms(450)).is_empty());
+    }
+
+    #[test]
+    fn suspected_listing() {
+        let mut d = det();
+        d.heard_from(NodeId(2), ms(50));
+        d.tick(ms(120));
+        assert_eq!(d.suspected(), vec![NodeId(1)]);
+    }
+}

@@ -16,9 +16,11 @@
 
 mod actor;
 mod config;
+mod detector;
 pub mod experiments;
 mod topology;
 
 pub use actor::HierActor;
-pub use config::{FedCmd, FedConfig, HierMsg, HierPeerConfig, SubCmd};
+pub use config::{FedCmd, FedConfig, HierMsg, HierPeerConfig, SubCmd, SubMembers};
+pub use detector::{FailureDetector, Liveness};
 pub use topology::{Deployment, DeploymentSpec};

@@ -88,6 +88,9 @@ impl Deployment {
                     heartbeat: SimDuration::from_nanos((spec.t.as_nanos() / 5).max(1)),
                     config_commit_interval: spec.config_commit_interval,
                     join_poll_interval: spec.join_poll_interval,
+                    probe_interval: SimDuration::from_nanos((spec.t.as_nanos() / 5).max(1)),
+                    suspect_after: spec.t,
+                    dead_after: spec.t.saturating_mul(3),
                     seed: spec.seed ^ (0x9e37 + id.0 as u64 * 0x85eb_ca6b),
                 };
                 let got = sim.add_node(HierActor::new(cfg));

@@ -19,6 +19,9 @@ fn peer_cfg(id: NodeId, subgroup: Vec<NodeId>, gi: usize, founding: Vec<NodeId>)
         heartbeat: SimDuration::from_millis(20),
         config_commit_interval: SimDuration::from_millis(200),
         join_poll_interval: SimDuration::from_millis(100),
+        probe_interval: SimDuration::from_millis(20),
+        suspect_after: SimDuration::from_millis(100),
+        dead_after: SimDuration::from_millis(300),
         seed: 0x9e37 + id.0 as u64 * 0x85eb_ca6b,
     }
 }

@@ -222,6 +222,18 @@ impl Hub {
             .fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Mirrors the hosted actor's cumulative bounded-stash eviction count
+    /// into [`NetStats::stash_evicted`]. Called by the runtime's event
+    /// loop after each actor callback — a store, not an add, because the
+    /// actor's counter is already cumulative.
+    pub fn set_stash_evicted(&self, n: u64) {
+        self.shared
+            .reg
+            .stats()
+            .stash_evicted
+            .store(n, Ordering::Relaxed);
+    }
+
     /// Graceful shutdown: stops accepting, severs connections, and joins
     /// every thread. Idempotent.
     pub fn shutdown(&self) {

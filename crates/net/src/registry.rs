@@ -34,6 +34,11 @@ pub struct NetStats {
     /// Sends intentionally discarded before reaching a socket (the
     /// runtime's fault-injection layer).
     pub sends_dropped: u64,
+    /// Frames that decoded and reached the actor but were discarded at its
+    /// bounded next-round stash (mirrored from
+    /// [`Actor::stash_evicted`](p2pfl_simnet::Actor::stash_evicted) after
+    /// every callback) — the protocol-level analogue of `sends_dropped`.
+    pub stash_evicted: u64,
 }
 
 /// The atomic cells behind [`NetStats`]; incremented lock-free from every
@@ -54,6 +59,8 @@ pub struct StatsCells {
     pub reconnect_attempts: AtomicU64,
     /// See [`NetStats::sends_dropped`].
     pub sends_dropped: AtomicU64,
+    /// See [`NetStats::stash_evicted`].
+    pub stash_evicted: AtomicU64,
 }
 
 impl StatsCells {
@@ -68,6 +75,7 @@ impl StatsCells {
             reconnects: self.reconnects.load(Ordering::Relaxed),
             reconnect_attempts: self.reconnect_attempts.load(Ordering::Relaxed),
             sends_dropped: self.sends_dropped.load(Ordering::Relaxed),
+            stash_evicted: self.stash_evicted.load(Ordering::Relaxed),
         }
     }
 }

@@ -381,6 +381,7 @@ fn event_loop<M: WireMsg, A: Actor<M>>(
                 };
                 actor.on_message(&mut $ctx, id, m);
             }
+            hub.set_stash_evicted(actor.stash_evicted());
         }};
     }
 
@@ -537,6 +538,42 @@ mod tests {
         assert!(ea.timer_fired && eb.timer_fired, "timers did not fire");
         assert!(ea.loopback_seen && eb.loopback_seen, "loopback skipped");
         assert_eq!(ea.seen + eb.seen, 4);
+    }
+
+    /// An actor whose bounded stash rejects everything — the runtime must
+    /// mirror its cumulative eviction count into [`NetStats`].
+    #[derive(Default)]
+    struct Stashy {
+        evicted: u64,
+    }
+
+    impl Actor<WireBlob> for Stashy {
+        fn on_message(&mut self, _ctx: &mut dyn Transport<WireBlob>, _from: NodeId, _m: WireBlob) {
+            self.evicted += 1;
+        }
+        fn stash_evicted(&self) -> u64 {
+            self.evicted
+        }
+    }
+
+    #[test]
+    fn actor_stash_evictions_surface_in_net_stats() {
+        let rt = PeerRuntime::start(NodeId(0), "127.0.0.1:0", &[], Stashy::default()).unwrap();
+        assert_eq!(rt.stats().stash_evicted, 0);
+        rt.with(|a, ctx| {
+            for _ in 0..3 {
+                a.on_message(ctx, NodeId(1), WireBlob { size: 1, tag: 0 });
+            }
+        });
+        // The mirror runs on the loop thread just after the invocation
+        // returns its result, so poll rather than assert immediately.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while rt.stats().stash_evicted < 3 {
+            assert!(Instant::now() < deadline, "stash evictions never surfaced");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(rt.stats().stash_evicted, 3);
+        rt.stop();
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! protocols actually produce (zero-length share vectors, empty entry
 //! batches) and large share blocks.
 
-use p2pfl_hierraft::{FedConfig, HierMsg, SubCmd};
+use p2pfl_hierraft::{FedConfig, HierMsg, SubCmd, SubMembers};
 use p2pfl_net::codec::{from_bytes, to_bytes, write_frame, FrameBuffer, MAX_FRAME};
 use p2pfl_raft::{Entry, LogCmd, PersistOp, RaftMsg};
 use p2pfl_secagg::{SacMsg, WeightVector};
@@ -18,6 +18,12 @@ fn arb_node() -> impl Strategy<Value = NodeId> {
 
 fn arb_weights(max_dim: usize) -> impl Strategy<Value = WeightVector> {
     prop::collection::vec(any::<f64>(), 0..=max_dim).prop_map(WeightVector::new)
+}
+
+/// Short ASCII reason strings (`Abort`/`Evict` carry human-readable causes).
+fn arb_reason() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..128, 0..24)
+        .prop_map(|bytes| bytes.into_iter().map(char::from).collect())
 }
 
 fn arb_logcmd() -> impl Strategy<Value = LogCmd<u64>> {
@@ -120,9 +126,15 @@ fn arb_fedconfig() -> impl Strategy<Value = FedConfig> {
         })
 }
 
+fn arb_sub_members() -> impl Strategy<Value = SubMembers> {
+    (prop::collection::vec(arb_node(), 0..6), any::<u64>())
+        .prop_map(|(members, version)| SubMembers { members, version })
+}
+
 fn arb_subcmd() -> impl Strategy<Value = SubCmd> {
     prop_oneof![
         arb_fedconfig().prop_map(SubCmd::FedConfig),
+        arb_sub_members().prop_map(SubCmd::Members),
         any::<u64>().prop_map(SubCmd::App),
     ]
 }
@@ -162,6 +174,9 @@ fn arb_hiermsg() -> impl Strategy<Value = HierMsg> {
             .prop_map(|(from, replaces)| HierMsg::JoinRequest { from, replaces }),
         (any::<bool>(), prop::option::of(arb_node()))
             .prop_map(|(accepted, leader)| HierMsg::JoinAck { accepted, leader }),
+        any::<u64>().prop_map(|seq| HierMsg::Probe { seq }),
+        any::<u64>().prop_map(|seq| HierMsg::ProbeAck { seq }),
+        arb_reason().prop_map(|reason| HierMsg::Evict { reason }),
     ]
 }
 
@@ -223,6 +238,16 @@ fn arb_fault_action() -> impl Strategy<Value = FaultAction> {
             prop::collection::vec(arb_node(), 0..4),
         )
             .prop_map(|(src, dst)| FaultAction::Partition { src, dst }),
+        (
+            prop::collection::vec(arb_node(), 0..4),
+            prop::collection::vec(arb_node(), 0..4),
+            0.0f64..=1.0,
+        )
+            .prop_map(|(src, dst, probability)| FaultAction::LinkLoss {
+                src,
+                dst,
+                probability,
+            }),
         arb_node().prop_map(|node| FaultAction::Blackout { node }),
         arb_node().prop_map(|node| FaultAction::Crash { node }),
         arb_node().prop_map(|node| FaultAction::Restart { node }),
@@ -266,6 +291,13 @@ fn arb_sacmsg(max_dim: usize) -> impl Strategy<Value = SacMsg> {
         (any::<u64>(), 0usize..8, arb_weights(max_dim))
             .prop_map(|(round, idx, value)| SacMsg::Subtotal { round, idx, value }),
         (any::<u64>(), 0usize..8).prop_map(|(round, idx)| SacMsg::SubtotalRequest { round, idx }),
+        (any::<u64>(), arb_reason()).prop_map(|(round, reason)| SacMsg::Abort { round, reason }),
+        (
+            any::<u64>(),
+            prop::collection::vec(arb_node(), 0..6),
+            0usize..8
+        )
+            .prop_map(|(round, group, k)| SacMsg::Reconfigure { round, group, k }),
     ]
 }
 

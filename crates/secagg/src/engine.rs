@@ -72,6 +72,28 @@ pub enum SacMsg {
         /// Partition index to recover.
         idx: usize,
     },
+    /// Leader aborts the round: the supervisor deadline expired or a
+    /// partition became unrecoverable. Receivers discard every share and
+    /// subtotal of the round — the mask material is never reused, so an
+    /// abort cannot leak a pairwise secret.
+    Abort {
+        /// The aborted round.
+        round: u64,
+        /// Human-readable cause, for logs and traces.
+        reason: String,
+    },
+    /// Leader restarts aggregation after an abort with a degraded roster:
+    /// the receiver recomputes its position in `group`, adopts `k`, and
+    /// begins `round` as if a fresh `Begin` had arrived. Peers absent from
+    /// `group` have been evicted for this round and simply ignore it.
+    Reconfigure {
+        /// The retry round (always a fresh round number).
+        round: u64,
+        /// Surviving subgroup members, in position order.
+        group: Vec<NodeId>,
+        /// Recomputed threshold `k' = min(k, n')`.
+        k: usize,
+    },
 }
 
 impl Payload for SacMsg {
@@ -84,6 +106,8 @@ impl Payload for SacMsg {
             SacMsg::ComputeOver { contributors, .. } => 16 + contributors.len() as u64,
             SacMsg::Subtotal { value, .. } => value.wire_bytes() + 8,
             SacMsg::SubtotalRequest { .. } => 16,
+            SacMsg::Abort { reason, .. } => 16 + reason.len() as u64,
+            SacMsg::Reconfigure { group, .. } => 24 + 4 * group.len() as u64,
         }
     }
 
@@ -94,6 +118,8 @@ impl Payload for SacMsg {
             SacMsg::ComputeOver { .. } => "sac.ctrl",
             SacMsg::Subtotal { .. } => "sac.subtotal",
             SacMsg::SubtotalRequest { .. } => "sac.request",
+            SacMsg::Abort { .. } => "sac.abort",
+            SacMsg::Reconfigure { .. } => "sac.reconf",
         }
     }
 }
@@ -115,6 +141,15 @@ pub enum SacPhase {
 
 const TIMER_SHARE_DEADLINE: u64 = 1;
 const TIMER_COLLECT_DEADLINE: u64 = 2;
+const TIMER_ROUND_DEADLINE: u64 = 3;
+
+/// Timer tags carry the round in their upper bits so a deadline armed for
+/// an aborted round can never misfire into its successor: abort/retry
+/// re-enters the `Sharing` phase under a *new* round number, which a bare
+/// phase guard cannot distinguish from the round the timer was armed for.
+fn timer_tag(base: u64, round: u64) -> u64 {
+    (round << 8) | base
+}
 
 /// Static configuration of one SAC engine participant.
 #[derive(Debug, Clone)]
@@ -133,6 +168,15 @@ pub struct SacConfig {
     pub share_deadline: SimDuration,
     /// Leader grace period for subtotal collection before recovery kicks in.
     pub collect_deadline: SimDuration,
+    /// Supervisor deadline for the whole round. `None` keeps the legacy
+    /// behavior (an unrecoverable partition fails the round terminally).
+    /// When set, the leader converts every dead end into one abort +
+    /// retry with the surviving `n'` members and `k' = min(k, n')`,
+    /// refusing only when `n' < 2`; followers abandon a round that is
+    /// still open when the deadline fires, discarding its mask material.
+    /// Should comfortably exceed `share_deadline + 2 * collect_deadline`
+    /// so it only fires on rounds no phase deadline can finish.
+    pub round_deadline: Option<SimDuration>,
     /// RNG seed for share randomness.
     pub seed: u64,
 }
@@ -161,6 +205,14 @@ pub struct SacPeerActor {
     pub contributors: Vec<usize>,
     /// Recoveries performed in the completed round (leader only).
     pub recoveries: usize,
+    /// Rounds aborted on this peer (leader: deadline/unrecoverable abort;
+    /// follower: processed `Abort`).
+    pub aborts: u64,
+    /// Rounds a follower abandoned locally when the round deadline fired
+    /// with the round still open (the leader's outcome is unknown to it).
+    pub abandoned: u64,
+    /// Next-round stash messages evicted because the `4n` bound was hit.
+    pub stash_evicted: u64,
     // blocks[from_pos][idx] = partition
     blocks: BTreeMap<usize, BTreeMap<usize, WeightVector>>,
     frozen: Option<BTreeSet<usize>>,
@@ -175,6 +227,15 @@ pub struct SacPeerActor {
     // (or unrecoverability). Stashed here and replayed after the round
     // advances. Bounded to one message burst per peer.
     future: Vec<(NodeId, SacMsg)>,
+    // The most recently aborted round: messages addressed to it are dead
+    // on arrival (its mask material was discarded; a late ShareBlock must
+    // not resurrect partial state), and a re-delivered `Begin` for it must
+    // not redistribute shares — the same single-randomization rule the
+    // Begin-idempotence guard enforces.
+    aborted: Option<u64>,
+    // Whether the current round is already the retry of an aborted one
+    // (each externally started round gets at most one supervised retry).
+    retried: bool,
 }
 
 impl SacPeerActor {
@@ -193,6 +254,9 @@ impl SacPeerActor {
             result: None,
             contributors: Vec::new(),
             recoveries: 0,
+            aborts: 0,
+            abandoned: 0,
+            stash_evicted: 0,
             blocks: BTreeMap::new(),
             frozen: None,
             subtotals: BTreeMap::new(),
@@ -200,6 +264,8 @@ impl SacPeerActor {
             sent_primary: false,
             pending_requests: Vec::new(),
             future: Vec::new(),
+            aborted: None,
+            retried: false,
         }
     }
 
@@ -242,16 +308,127 @@ impl SacPeerActor {
     /// distributing this peer's own shares.
     pub fn start_round(&mut self, ctx: &mut dyn Transport<SacMsg>, round: u64) {
         assert!(self.cfg.is_leader(), "only the leader starts rounds");
+        self.retried = false;
         self.reset_for(round);
         let group = self.cfg.group.clone();
-        let me = self.cfg.group[self.cfg.position];
+        let me = self.me();
         for &peer in &group {
             if peer != me {
                 ctx.send(peer, SacMsg::Begin { round });
             }
         }
         self.distribute_shares(ctx);
-        ctx.set_timer(self.cfg.share_deadline, TIMER_SHARE_DEADLINE);
+        ctx.set_timer(
+            self.cfg.share_deadline,
+            timer_tag(TIMER_SHARE_DEADLINE, round),
+        );
+        self.arm_round_deadline(ctx);
+        self.phase = SacPhase::Sharing;
+        self.replay_future(ctx);
+    }
+
+    fn me(&self) -> NodeId {
+        self.cfg.group[self.cfg.position]
+    }
+
+    fn arm_round_deadline(&mut self, ctx: &mut dyn Transport<SacMsg>) {
+        if let Some(d) = self.cfg.round_deadline {
+            ctx.set_timer(d, timer_tag(TIMER_ROUND_DEADLINE, self.round));
+        }
+    }
+
+    /// Adopts a new roster mid-life (after a supervised abort or a
+    /// membership change replicated by the layer above): recomputes this
+    /// peer's position, moves the leadership to `leader`, adopts `k`, and
+    /// discards all state of the current round. The caller starts the next
+    /// round (with a fresh round number) afterwards.
+    pub fn reconfigure(&mut self, group: Vec<NodeId>, leader: NodeId, k: usize) {
+        let me = self.me();
+        let position = group
+            .iter()
+            .position(|&p| p == me)
+            .expect("own id must remain in the roster");
+        let leader_pos = group
+            .iter()
+            .position(|&p| p == leader)
+            .expect("leader must be in the roster");
+        assert!(k >= 1 && k <= group.len(), "invalid threshold");
+        self.cfg.group = group;
+        self.cfg.position = position;
+        self.cfg.leader_pos = leader_pos;
+        self.cfg.k = k;
+        let round = self.round;
+        self.reset_for(round);
+    }
+
+    /// Leader-side dead end: abort the round everywhere, then — unless the
+    /// round was already a retry, or fewer than two members survive —
+    /// restart with the surviving roster and `k' = min(k, n')`.
+    fn supervise(
+        &mut self,
+        ctx: &mut dyn Transport<SacMsg>,
+        suspects: &BTreeSet<usize>,
+        reason: &str,
+    ) {
+        let old_round = self.round;
+        let me = self.me();
+        for &peer in &self.cfg.group.clone() {
+            if peer != me {
+                ctx.send(
+                    peer,
+                    SacMsg::Abort {
+                        round: old_round,
+                        reason: reason.to_string(),
+                    },
+                );
+            }
+        }
+        self.aborted = Some(old_round);
+        self.aborts += 1;
+        let survivors: Vec<NodeId> = self
+            .cfg
+            .group
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j == self.cfg.position || !suspects.contains(j))
+            .map(|(_, &p)| p)
+            .collect();
+        if self.retried {
+            self.reset_for(old_round);
+            self.phase = SacPhase::Failed(format!("{reason} (after retry)"));
+            return;
+        }
+        if survivors.len() < 2 {
+            self.reset_for(old_round);
+            self.phase = SacPhase::Failed(format!(
+                "degraded below 2 members (n' = {}): {reason}",
+                survivors.len()
+            ));
+            return;
+        }
+        self.retried = true;
+        let k = self.cfg.k.min(survivors.len());
+        let next = old_round + 1;
+        self.reconfigure(survivors.clone(), me, k);
+        for &peer in &survivors {
+            if peer != me {
+                ctx.send(
+                    peer,
+                    SacMsg::Reconfigure {
+                        round: next,
+                        group: survivors.clone(),
+                        k,
+                    },
+                );
+            }
+        }
+        self.reset_for(next);
+        self.distribute_shares(ctx);
+        ctx.set_timer(
+            self.cfg.share_deadline,
+            timer_tag(TIMER_SHARE_DEADLINE, next),
+        );
+        self.arm_round_deadline(ctx);
         self.phase = SacPhase::Sharing;
         self.replay_future(ctx);
     }
@@ -338,7 +515,10 @@ impl SacPeerActor {
         // Compute our own block's subtotals immediately.
         self.compute_own_subtotals();
         self.phase = SacPhase::Collecting;
-        ctx.set_timer(self.cfg.collect_deadline, TIMER_COLLECT_DEADLINE);
+        ctx.set_timer(
+            self.cfg.collect_deadline,
+            timer_tag(TIMER_COLLECT_DEADLINE, self.round),
+        );
         self.maybe_finish();
     }
 
@@ -431,11 +611,22 @@ impl SacPeerActor {
         if missing.is_empty() {
             return;
         }
-        for p in missing {
+        for &p in &missing {
             if self.requested.contains(&p) {
                 // Second deadline with the request still unanswered: the
-                // whole replica neighborhood is gone.
-                self.phase = SacPhase::Failed(format!("partition {p} unrecoverable"));
+                // whole replica neighborhood is gone. Under supervision
+                // the round aborts and retries without the unresponsive
+                // holders; without it this is terminal.
+                if self.cfg.round_deadline.is_some() {
+                    let suspects: BTreeSet<usize> = missing
+                        .iter()
+                        .filter(|q| self.requested.contains(q))
+                        .flat_map(|&q| holders(n, self.cfg.k, q))
+                        .collect();
+                    self.supervise(ctx, &suspects, &format!("partition {p} unrecoverable"));
+                } else {
+                    self.phase = SacPhase::Failed(format!("partition {p} unrecoverable"));
+                }
                 return;
             }
             self.requested.insert(p);
@@ -455,26 +646,50 @@ impl SacPeerActor {
             }
             self.recoveries += 1;
         }
-        ctx.set_timer(self.cfg.collect_deadline, TIMER_COLLECT_DEADLINE);
+        ctx.set_timer(
+            self.cfg.collect_deadline,
+            timer_tag(TIMER_COLLECT_DEADLINE, self.round),
+        );
     }
 }
 
 impl Actor<SacMsg> for SacPeerActor {
     fn on_message(&mut self, ctx: &mut dyn Transport<SacMsg>, from: NodeId, msg: SacMsg) {
         // Stash anything addressed to the round right after ours: our
-        // `Begin` is still in flight on another connection. `Begin` itself
-        // advances the round, so it is never stashed. The bound makes a
-        // hostile or deeply desynchronized peer a no-op, not a memory leak.
+        // `Begin` is still in flight on another connection. `Begin` and
+        // `Reconfigure` advance the round themselves, so they are never
+        // stashed. The bound makes a hostile or deeply desynchronized peer
+        // a no-op, not a memory leak — and evictions are counted and
+        // logged, not silent.
         let msg_round = match &msg {
-            SacMsg::Begin { .. } => None,
+            SacMsg::Begin { .. } | SacMsg::Reconfigure { .. } => None,
             SacMsg::ShareBlock { round, .. }
             | SacMsg::ComputeOver { round, .. }
             | SacMsg::Subtotal { round, .. }
-            | SacMsg::SubtotalRequest { round, .. } => Some(*round),
+            | SacMsg::SubtotalRequest { round, .. }
+            | SacMsg::Abort { round, .. } => Some(*round),
         };
         if let Some(r) = msg_round {
-            if r == self.round + 1 && self.future.len() < 4 * self.cfg.n() {
-                self.future.push((from, msg));
+            if r == self.round + 1 {
+                if self.future.len() < 4 * self.cfg.n() {
+                    self.future.push((from, msg));
+                } else {
+                    self.stash_evicted += 1;
+                    eprintln!(
+                        "sac[{:?}]: next-round stash full ({} entries); \
+                         evicting {} for round {r} from {:?}",
+                        self.me(),
+                        self.future.len(),
+                        msg.kind(),
+                        from
+                    );
+                }
+                return;
+            }
+            // Messages for an aborted round are dead on arrival: its mask
+            // material is gone, and a late ShareBlock (or a re-delivered
+            // Abort) must not resurrect partial round state.
+            if self.aborted == Some(r) && r == self.round {
                 return;
             }
         }
@@ -494,12 +709,15 @@ impl Actor<SacMsg> for SacPeerActor {
                 #[cfg(not(feature = "mutants"))]
                 let guard_disabled = false;
                 if !guard_disabled
-                    && (round < self.round || (round == self.round && self.phase != SacPhase::Idle))
+                    && (round < self.round
+                        || (round == self.round && self.phase != SacPhase::Idle)
+                        || self.aborted == Some(round))
                 {
                     return;
                 }
                 self.reset_for(round);
                 self.distribute_shares(ctx);
+                self.arm_round_deadline(ctx);
                 self.phase = SacPhase::Sharing;
                 self.replay_future(ctx);
             }
@@ -565,11 +783,56 @@ impl Actor<SacMsg> for SacPeerActor {
                     self.pending_requests.push((idx, from));
                 }
             }
+            SacMsg::Abort { round, reason } => {
+                if round != self.round || self.cfg.is_leader() {
+                    return;
+                }
+                let _ = reason;
+                self.reset_for(round);
+                self.aborted = Some(round);
+                self.aborts += 1;
+            }
+            SacMsg::Reconfigure { round, group, k } => {
+                if self.cfg.is_leader() {
+                    return;
+                }
+                // Same freshness rules as Begin: never regress, never
+                // re-randomize a round in progress, never revive an
+                // aborted round.
+                if round < self.round
+                    || (round == self.round && self.phase != SacPhase::Idle)
+                    || self.aborted == Some(round)
+                {
+                    return;
+                }
+                if k < 1 || k > group.len() {
+                    return;
+                }
+                let me = self.me();
+                if !group.contains(&me) {
+                    // Evicted from the retry roster; sit this round out
+                    // (the layer above re-admits us via the join path).
+                    return;
+                }
+                if !group.contains(&from) {
+                    return;
+                }
+                self.reconfigure(group, from, k);
+                self.reset_for(round);
+                self.distribute_shares(ctx);
+                self.arm_round_deadline(ctx);
+                self.phase = SacPhase::Sharing;
+                self.replay_future(ctx);
+            }
         }
     }
 
     fn on_timer(&mut self, ctx: &mut dyn Transport<SacMsg>, tag: u64) {
-        match tag {
+        let (base, round) = (tag & 0xff, tag >> 8);
+        if round != self.round {
+            return; // armed for a round that has since ended or aborted
+        }
+        match base {
             TIMER_SHARE_DEADLINE if self.cfg.is_leader() && self.phase == SacPhase::Sharing => {
                 self.freeze_and_request_subtotals(ctx);
             }
@@ -578,8 +841,36 @@ impl Actor<SacMsg> for SacPeerActor {
             {
                 self.request_missing(ctx);
             }
+            TIMER_ROUND_DEADLINE => {
+                if self.cfg.is_leader() {
+                    if matches!(self.phase, SacPhase::Sharing | SacPhase::Collecting) {
+                        // The phase deadlines failed to finish the round in
+                        // a whole supervisor window: abort and retry with
+                        // whoever has been heard from.
+                        let heard = self.received_from();
+                        let suspects: BTreeSet<usize> =
+                            (0..self.cfg.n()).filter(|j| !heard.contains(j)).collect();
+                        self.supervise(ctx, &suspects, "round deadline expired");
+                    }
+                } else if self.phase == SacPhase::Sharing {
+                    // Retire the round's share material: recovery requests
+                    // for it will no longer be served. Count it as
+                    // abandoned only if the contributor set never froze —
+                    // a follower has no way to see a healthy round end, so
+                    // a frozen round at deadline is a normal retirement.
+                    if self.frozen.is_none() {
+                        self.abandoned += 1;
+                    }
+                    self.reset_for(round);
+                    self.aborted = Some(round);
+                }
+            }
             _ => {}
         }
+    }
+
+    fn stash_evicted(&self) -> u64 {
+        self.stash_evicted
     }
 }
 
@@ -609,6 +900,7 @@ mod tests {
                 scheme: ShareScheme::Masked,
                 share_deadline: SimDuration::from_millis(100),
                 collect_deadline: SimDuration::from_millis(100),
+                round_deadline: None,
                 seed: seed + i as u64,
             };
             let actual = sim.add_node(SacPeerActor::new(cfg, models[i].clone()));
@@ -620,6 +912,38 @@ mod tests {
     fn start(sim: &mut Sim<SacMsg>, leader: NodeId, round: u64) {
         sim.run_until_quiet(100); // flush on_start events
         sim.exec::<SacPeerActor, _, _>(leader, |a, ctx| a.start_round(ctx, round));
+    }
+
+    /// Like [`build`] but with the round supervisor enabled on every peer.
+    fn build_supervised(
+        n: usize,
+        k: usize,
+        dim: usize,
+        seed: u64,
+        round_deadline: SimDuration,
+    ) -> (Sim<SacMsg>, Vec<NodeId>, Vec<WeightVector>) {
+        let mut sim = Sim::new(seed);
+        let ids: Vec<NodeId> = (0..n).map(|i| NodeId(i as u32)).collect();
+        let mut rng = StdRng::seed_from_u64(seed + 999);
+        let models: Vec<WeightVector> = (0..n)
+            .map(|_| WeightVector::random(dim, 1.0, &mut rng))
+            .collect();
+        for i in 0..n {
+            let cfg = SacConfig {
+                group: ids.clone(),
+                position: i,
+                leader_pos: 0,
+                k,
+                scheme: ShareScheme::Masked,
+                share_deadline: SimDuration::from_millis(100),
+                collect_deadline: SimDuration::from_millis(100),
+                round_deadline: Some(round_deadline),
+                seed: seed + i as u64,
+            };
+            let actual = sim.add_node(SacPeerActor::new(cfg, models[i].clone()));
+            assert_eq!(actual, ids[i]);
+        }
+        (sim, ids, models)
     }
 
     fn plain_mean(models: &[WeightVector], idx: &[usize]) -> WeightVector {
@@ -725,6 +1049,7 @@ mod tests {
             scheme: ShareScheme::Masked,
             share_deadline: SimDuration::from_secs(1),
             collect_deadline: SimDuration::from_secs(1),
+            round_deadline: None,
             seed: 77,
         };
         let mut actor = SacPeerActor::new(cfg, WeightVector::new(vec![1.0, 2.0]));
@@ -846,5 +1171,235 @@ mod tests {
         // Subtotal phase: primary owners outside the leader's block.
         let sub = m.kind("sac.subtotal");
         assert_eq!(sub.msgs, 2); // k-1 = 2
+    }
+
+    #[test]
+    fn supervised_unrecoverable_degrades_and_completes() {
+        // Same scenario as `unrecoverable_when_all_holders_die` (k = n, so
+        // a post-share crash kills the only holder of one partition), but
+        // with the supervisor enabled: instead of a terminal failure the
+        // leader aborts, evicts the unresponsive holder, and retries with
+        // n' = 3 survivors and k' = min(4, 3) = 3 — the exact n' = k edge.
+        let (mut sim, ids, models) = build_supervised(4, 4, 4, 13, SimDuration::from_millis(600));
+        start(&mut sim, ids[0], 1);
+        sim.schedule_crash(ids[2], SimTime::from_millis(40));
+        sim.run_until(SimTime::from_secs(5));
+        let leader = sim.actor::<SacPeerActor>(ids[0]);
+        assert_eq!(leader.phase, SacPhase::Done, "phase: {:?}", leader.phase);
+        assert_eq!(leader.aborts, 1);
+        assert_eq!(leader.round, 2, "retry must use a fresh round number");
+        assert_eq!(leader.sac_config().group, vec![ids[0], ids[1], ids[3]]);
+        assert_eq!(leader.sac_config().k, 3, "k' = min(k, n') at n' = k");
+        assert_eq!(leader.contributors, vec![0, 1, 2]);
+        let avg = leader.result.as_ref().unwrap();
+        assert!(avg.linf_distance(&plain_mean(&models, &[0, 1, 3])) < 1e-9);
+    }
+
+    #[test]
+    fn supervised_refuses_below_two_members() {
+        // Everyone but the leader dies before sharing: no retry roster of
+        // size >= 2 exists, so the supervisor degrades to a refusal rather
+        // than looping.
+        let (mut sim, ids, _) = build_supervised(3, 3, 4, 17, SimDuration::from_millis(600));
+        sim.run_until_quiet(100);
+        let t = sim.now() + SimDuration::from_millis(1);
+        sim.schedule_crash(ids[1], t);
+        sim.schedule_crash(ids[2], t);
+        sim.run_until_quiet(100);
+        sim.exec::<SacPeerActor, _, _>(ids[0], |a, ctx| a.start_round(ctx, 1));
+        sim.run_until(SimTime::from_secs(5));
+        let leader = sim.actor::<SacPeerActor>(ids[0]);
+        assert!(
+            matches!(&leader.phase, SacPhase::Failed(r) if r.contains("no contributors")
+                || r.contains("below 2 members")),
+            "phase: {:?}",
+            leader.phase
+        );
+    }
+
+    #[test]
+    fn abort_after_late_share_block_is_idempotent() {
+        let ids: Vec<NodeId> = (0..3).map(|i| NodeId(i as u32)).collect();
+        let cfg = SacConfig {
+            group: ids.clone(),
+            position: 2,
+            leader_pos: 0,
+            k: 2,
+            scheme: ShareScheme::Masked,
+            share_deadline: SimDuration::from_secs(1),
+            collect_deadline: SimDuration::from_secs(1),
+            round_deadline: Some(SimDuration::from_secs(10)),
+            seed: 99,
+        };
+        let mut actor = SacPeerActor::new(cfg, WeightVector::new(vec![1.0, 2.0]));
+        let mut net = StubNet {
+            id: ids[2],
+            sent: Vec::new(),
+        };
+        actor.on_message(&mut net, ids[0], SacMsg::Begin { round: 1 });
+        assert_eq!(actor.phase, SacPhase::Sharing);
+        let block = SacMsg::ShareBlock {
+            round: 1,
+            from_pos: 1,
+            parts: vec![(0, WeightVector::new(vec![0.5, 0.5]))],
+        };
+        actor.on_message(&mut net, ids[1], block.clone());
+        assert!(actor.blocks.contains_key(&1));
+        actor.on_message(
+            &mut net,
+            ids[0],
+            SacMsg::Abort {
+                round: 1,
+                reason: "test".into(),
+            },
+        );
+        assert_eq!(actor.phase, SacPhase::Idle);
+        assert!(actor.blocks.is_empty(), "abort must drop all mask material");
+        assert_eq!(actor.aborts, 1);
+
+        // A late ShareBlock for the aborted round must not resurrect it.
+        actor.on_message(&mut net, ids[0], block);
+        assert!(actor.blocks.is_empty(), "late block after abort ignored");
+        // A duplicate Abort is a no-op.
+        actor.on_message(
+            &mut net,
+            ids[0],
+            SacMsg::Abort {
+                round: 1,
+                reason: "dup".into(),
+            },
+        );
+        assert_eq!(actor.aborts, 1, "duplicate abort must not double-count");
+        // A re-delivered Begin for the aborted round must not redistribute
+        // shares (single-randomization rule).
+        let sends_before = net.sent.len();
+        actor.on_message(&mut net, ids[0], SacMsg::Begin { round: 1 });
+        assert_eq!(actor.phase, SacPhase::Idle);
+        assert_eq!(net.sent.len(), sends_before, "no re-randomized shares");
+
+        // The retry Reconfigure restarts cleanly under the new roster.
+        actor.on_message(
+            &mut net,
+            ids[0],
+            SacMsg::Reconfigure {
+                round: 2,
+                group: vec![ids[0], ids[2]],
+                k: 2,
+            },
+        );
+        assert_eq!(actor.round, 2);
+        assert_eq!(actor.phase, SacPhase::Sharing);
+        assert_eq!(actor.sac_config().position, 1);
+        assert_eq!(actor.sac_config().k, 2);
+        assert!(
+            net.sent.len() > sends_before,
+            "retry must distribute fresh shares"
+        );
+    }
+
+    #[test]
+    fn reconfigure_excluding_this_peer_is_ignored() {
+        let ids: Vec<NodeId> = (0..3).map(|i| NodeId(i as u32)).collect();
+        let cfg = SacConfig {
+            group: ids.clone(),
+            position: 1,
+            leader_pos: 0,
+            k: 2,
+            scheme: ShareScheme::Masked,
+            share_deadline: SimDuration::from_secs(1),
+            collect_deadline: SimDuration::from_secs(1),
+            round_deadline: None,
+            seed: 5,
+        };
+        let mut actor = SacPeerActor::new(cfg, WeightVector::new(vec![1.0]));
+        let mut net = StubNet {
+            id: ids[1],
+            sent: Vec::new(),
+        };
+        actor.on_message(
+            &mut net,
+            ids[0],
+            SacMsg::Reconfigure {
+                round: 2,
+                group: vec![ids[0], ids[2]],
+                k: 2,
+            },
+        );
+        assert_eq!(actor.round, 0, "evicted peer sits the round out");
+        assert_eq!(actor.phase, SacPhase::Idle);
+        assert!(net.sent.is_empty());
+    }
+
+    #[test]
+    fn follower_round_deadline_abandons_unclosed_round() {
+        let ids: Vec<NodeId> = (0..3).map(|i| NodeId(i as u32)).collect();
+        let cfg = SacConfig {
+            group: ids.clone(),
+            position: 1,
+            leader_pos: 0,
+            k: 2,
+            scheme: ShareScheme::Masked,
+            share_deadline: SimDuration::from_secs(1),
+            collect_deadline: SimDuration::from_secs(1),
+            round_deadline: Some(SimDuration::from_secs(2)),
+            seed: 6,
+        };
+        let mut actor = SacPeerActor::new(cfg, WeightVector::new(vec![1.0]));
+        let mut net = StubNet {
+            id: ids[1],
+            sent: Vec::new(),
+        };
+        actor.on_message(&mut net, ids[0], SacMsg::Begin { round: 1 });
+        assert_eq!(actor.phase, SacPhase::Sharing);
+        // Deadline for a *different* round is ignored.
+        actor.on_timer(&mut net, timer_tag(TIMER_ROUND_DEADLINE, 7));
+        assert_eq!(actor.phase, SacPhase::Sharing);
+        // Deadline for the open round retires it: the leader never froze
+        // the contributor set, so this counts as an abandonment.
+        actor.on_timer(&mut net, timer_tag(TIMER_ROUND_DEADLINE, 1));
+        assert_eq!(actor.phase, SacPhase::Idle);
+        assert_eq!(actor.abandoned, 1);
+        assert!(actor.blocks.is_empty());
+        // A late recovery request for the retired round is not served.
+        let sends = net.sent.len();
+        actor.on_message(
+            &mut net,
+            ids[0],
+            SacMsg::SubtotalRequest { round: 1, idx: 1 },
+        );
+        assert_eq!(net.sent.len(), sends);
+        assert!(actor.pending_requests.is_empty());
+    }
+
+    #[test]
+    fn stash_eviction_is_counted_not_silent() {
+        let ids: Vec<NodeId> = (0..3).map(|i| NodeId(i as u32)).collect();
+        let cfg = SacConfig {
+            group: ids.clone(),
+            position: 2,
+            leader_pos: 0,
+            k: 3,
+            scheme: ShareScheme::Masked,
+            share_deadline: SimDuration::from_secs(1),
+            collect_deadline: SimDuration::from_secs(1),
+            round_deadline: None,
+            seed: 77,
+        };
+        let mut actor = SacPeerActor::new(cfg, WeightVector::new(vec![1.0, 2.0]));
+        let mut net = StubNet {
+            id: ids[2],
+            sent: Vec::new(),
+        };
+        // 4n = 12 messages fill the stash; everything beyond is evicted
+        // and counted.
+        for _ in 0..20 {
+            actor.on_message(
+                &mut net,
+                ids[1],
+                SacMsg::SubtotalRequest { round: 1, idx: 0 },
+            );
+        }
+        assert_eq!(actor.future.len(), 12);
+        assert_eq!(actor.stash_evicted, 8);
     }
 }

@@ -19,6 +19,7 @@ fn build(n: usize, k: usize, seed: u64) -> (Sim<SacMsg>, Vec<NodeId>) {
             scheme: ShareScheme::Masked,
             share_deadline: SimDuration::from_millis(100),
             collect_deadline: SimDuration::from_millis(100),
+            round_deadline: None,
             seed: seed + i as u64,
         };
         sim.add_node(SacPeerActor::new(cfg, WeightVector::zeros(8)));
@@ -142,6 +143,7 @@ fn slow_links_reorder_compute_over_before_blocks() {
             scheme: ShareScheme::Masked,
             share_deadline: SimDuration::from_secs(120),
             collect_deadline: SimDuration::from_secs(120),
+            round_deadline: None,
             seed: 30 + i as u64,
         };
         // 1 MB share blocks: 80 ms of serialization each, so ComputeOver

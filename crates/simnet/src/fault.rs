@@ -58,6 +58,20 @@ pub enum FaultAction {
         /// Destinations that stop hearing from `src`.
         dst: Vec<NodeId>,
     },
+    /// Asymmetric lossy link: drop messages from any node in `src` to any
+    /// node in `dst` with the given probability, while the reverse
+    /// direction stays clean. Unlike [`FaultAction::Partition`] the cut is
+    /// probabilistic, so some traffic still gets through — the shape that
+    /// provokes failure-detector false positives (A hears B, B half-hears
+    /// A).
+    LinkLoss {
+        /// Senders whose outbound traffic is degraded.
+        src: Vec<NodeId>,
+        /// Destinations that only partially hear from `src`.
+        dst: Vec<NodeId>,
+        /// Per-message drop probability in `[0, 1]` for matching sends.
+        probability: f64,
+    },
     /// Cut all traffic to and from one node while leaving it running.
     Blackout {
         /// The isolated node.
@@ -194,6 +208,28 @@ impl FaultPlan {
         self.with(from, Some(until), FaultAction::Partition { src, dst })
     }
 
+    /// Adds an asymmetric lossy-link window: `src -> dst` sends drop with
+    /// `probability`, the reverse direction is untouched.
+    pub fn link_loss(
+        self,
+        from: SimTime,
+        until: SimTime,
+        src: Vec<NodeId>,
+        dst: Vec<NodeId>,
+        probability: f64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&probability));
+        self.with(
+            from,
+            Some(until),
+            FaultAction::LinkLoss {
+                src,
+                dst,
+                probability,
+            },
+        )
+    }
+
     /// Adds a full blackout window for one node (all its links cut).
     pub fn blackout(self, from: SimTime, until: SimTime, node: NodeId) -> Self {
         self.with(from, Some(until), FaultAction::Blackout { node })
@@ -243,6 +279,7 @@ impl FaultPlan {
             matches!(
                 e.action,
                 FaultAction::Loss { .. }
+                    | FaultAction::LinkLoss { .. }
                     | FaultAction::Partition { .. }
                     | FaultAction::Blackout { .. }
             )
@@ -393,6 +430,22 @@ impl LinkFaults {
                         };
                     }
                 }
+                FaultAction::LinkLoss {
+                    src: s,
+                    dst: d,
+                    probability,
+                } => {
+                    if s.contains(&src)
+                        && d.contains(&dst)
+                        && self.rng.random::<f64>() < *probability
+                    {
+                        return LinkVerdict {
+                            copies: 0,
+                            extra_delay: SimDuration::ZERO,
+                            cause: Some(LinkDropCause::Loss),
+                        };
+                    }
+                }
                 FaultAction::Duplicate { probability } => {
                     if self.rng.random::<f64>() < *probability {
                         verdict.copies += 1;
@@ -459,6 +512,46 @@ mod tests {
         assert_eq!(lf.on_send(t, n(3), n(2)).copies, 0, "blackout cuts egress");
         assert_eq!(lf.on_send(t, n(2), n(3)).copies, 0, "blackout cuts ingress");
         assert_eq!(lf.on_send(t, n(2), n(1)).copies, 1);
+    }
+
+    #[test]
+    fn link_loss_is_one_way() {
+        // A -> B drops everything; B -> A (and unrelated links) stay clean.
+        let plan = FaultPlan::new(6).link_loss(
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+            vec![n(0)],
+            vec![n(1)],
+            1.0,
+        );
+        let mut lf = LinkFaults::new(&plan);
+        let t = SimTime::from_millis(1);
+        let v = lf.on_send(t, n(0), n(1));
+        assert_eq!(v.copies, 0);
+        assert_eq!(v.cause, Some(LinkDropCause::Loss));
+        assert_eq!(lf.on_send(t, n(1), n(0)).copies, 1, "reverse stays clean");
+        assert_eq!(lf.on_send(t, n(0), n(2)).copies, 1, "other dsts clean");
+        assert!(plan.can_drop_messages());
+    }
+
+    #[test]
+    fn link_loss_is_probabilistic_per_matching_send() {
+        let plan = FaultPlan::new(7).link_loss(
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+            vec![n(0)],
+            vec![n(1)],
+            0.5,
+        );
+        let mut lf = LinkFaults::new(&plan);
+        let t = SimTime::from_millis(1);
+        let dropped = (0..200)
+            .filter(|_| lf.on_send(t, n(0), n(1)).copies == 0)
+            .count();
+        assert!(
+            (40..160).contains(&dropped),
+            "p=0.5 should drop roughly half, got {dropped}/200"
+        );
     }
 
     #[test]

@@ -44,6 +44,15 @@ pub trait Actor<M: Payload>: Any {
     /// Called when the fault plan restarts this node. All timers armed
     /// before the crash have been discarded.
     fn on_restart(&mut self, _t: &mut dyn Transport<M>) {}
+
+    /// Cumulative messages this actor discarded at a bounded internal
+    /// buffer (e.g. the SAC engine's `4n` next-round stash). Hosting
+    /// transports mirror it into their counters so protocol-level drops
+    /// show up next to transport-level ones; the default means "this
+    /// actor has no such buffer".
+    fn stash_evicted(&self) -> u64 {
+        0
+    }
 }
 
 enum EventKind<M> {

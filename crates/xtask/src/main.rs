@@ -28,6 +28,7 @@ const EXTRA_WIRE_TYPES: &[&str] = &[
     "PersistOp",    // raft write-ahead records (FileStorage)
     "FedConfig",    // replicated FedAvg-layer membership
     "SubCmd",       // subgroup log commands
+    "SubMembers",   // replicated aggregation roster (self-healing)
     "WeightVector", // SAC share payloads
     "FaultPlan",    // declarative fault schedules (chaos + check replay)
     "FaultEntry",

@@ -61,6 +61,9 @@ fn hier_config(id: u32) -> HierPeerConfig {
         heartbeat: SimDuration::from_millis(40),
         config_commit_interval: SimDuration::from_millis(200),
         join_poll_interval: SimDuration::from_millis(100),
+        probe_interval: SimDuration::from_millis(40),
+        suspect_after: SimDuration::from_millis(150),
+        dead_after: SimDuration::from_millis(450),
         seed: SEED + id as u64,
     }
 }
@@ -117,6 +120,7 @@ fn sac_config(group: &[u32], position: usize, leader_pos: usize, deadline_ms: u6
         scheme: ShareScheme::Masked,
         share_deadline: SimDuration::from_millis(deadline_ms),
         collect_deadline: SimDuration::from_millis(deadline_ms),
+        round_deadline: None,
         seed: SEED ^ group[0] as u64,
     }
 }

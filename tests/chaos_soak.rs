@@ -17,11 +17,12 @@
 
 use p2pfl::runner::{ResilientConfig, ResilientSession};
 use p2pfl_fed::Client;
+use p2pfl_hierraft::HierActor;
 use p2pfl_ml::data::{features_like, partition_dataset, train_test_split, Dataset, Partition};
 use p2pfl_ml::models::mlp;
-use p2pfl_simnet::{FaultPlan, NodeId, SimTime};
+use p2pfl_simnet::{FaultPlan, NodeId, SimDuration, SimTime};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Seeds for one soak sweep; `CHAOS_SOAK_SEED` narrows to a single seed
 /// for replaying a failure.
@@ -111,6 +112,111 @@ fn loss_free_chaos_matches_fault_free_twin() {
     assert!(
         trajectories_matched >= 1,
         "no seed exercised the digest invariant; widen the sweep"
+    );
+}
+
+/// Per-round membership churn: every round for 50 rounds, a random
+/// follower is killed, stays down long enough for the failure detector to
+/// react, and restarts before aggregation. Because every victim is back by
+/// aggregation time, both runs aggregate the same surviving set (everyone),
+/// so the crash-free twin is an exact oracle: churn that never removes a
+/// contributor at aggregation time must be bit-for-bit invisible in the
+/// final global model. Every 10th round the outage crosses the detector's
+/// confirm window, forcing a real roster eviction + re-admission cycle
+/// through the subgroup Raft log underneath the unchanged aggregate.
+///
+/// Victims are followers by construction: killing a leader changes the
+/// election trajectory (already covered by the lossy soak above), which
+/// would turn this bitwise oracle into a statement about elections.
+#[test]
+fn per_round_follower_churn_matches_crash_free_twin() {
+    const ROUNDS: usize = 50;
+    // ResilientConfig::small: round_settle = 600 ms, detector windows
+    // suspect = 100 ms / dead = 300 ms (paper T = 100 ms).
+    const SETTLE: SimDuration = SimDuration::from_millis(600);
+    let seed = soak_seeds()[0];
+    println!("chaos soak (churn): seed {seed} (replay with CHAOS_SOAK_SEED={seed})");
+    let (mut clean, test) = session(seed);
+    let (mut churned, _) = session(seed);
+    let mut pick = StdRng::seed_from_u64(seed ^ 0xc0411);
+
+    for round in 1..=ROUNDS {
+        let g = pick.random_range(0..churned.dep.subgroups.len());
+        let leader = churned
+            .dep
+            .sub_leader_of(g)
+            .expect("subgroup leaderless at pick time");
+        let followers: Vec<NodeId> = churned.dep.subgroups[g]
+            .iter()
+            .copied()
+            .filter(|&m| m != leader)
+            .collect();
+        let victim = followers[pick.random_range(0..followers.len())];
+
+        // Kill -> wait -> restart. The usual outage crosses the suspect
+        // window (probes fire, the victim revives on restart); every 10th
+        // crosses the confirm window too, so the leader evicts the victim
+        // from the replicated roster and must re-admit it after restart.
+        let down_ms = if round % 10 == 0 { 350 } else { 150 };
+        churned.crash(victim);
+        churned.dep.sim.run_for(SimDuration::from_millis(down_ms));
+        churned.restart(victim);
+
+        let t0 = churned.dep.sim.now();
+        let r = churned.run_round(round, &test);
+        // Bounded round time: the supervisor salvages a round inside the
+        // settle window — it never extends the virtual round.
+        assert!(
+            churned.dep.sim.now() <= t0 + SETTLE + SimDuration::from_millis(10),
+            "round {round}: churn round exceeded the settle window"
+        );
+        assert_eq!(
+            r.record.groups_used, 3,
+            "round {round}: churn excluded a subgroup (leaders {:?})",
+            r.leaders
+        );
+        let c = clean.run_round(round, &test);
+        assert_eq!(
+            c.record.groups_used, 3,
+            "round {round}: clean twin degraded"
+        );
+    }
+
+    // Same surviving set every round => identical share randomness and
+    // contributor sets => the global model digests must agree exactly.
+    let clean_bits: Vec<u64> = clean.global().iter().map(|x| x.to_bits()).collect();
+    let churn_bits: Vec<u64> = churned.global().iter().map(|x| x.to_bits()).collect();
+    assert_eq!(
+        clean_bits, churn_bits,
+        "seed {seed}: churn with full recovery changed the global model"
+    );
+
+    // The deep-churn rounds really did drive the self-healing machinery:
+    // at least one eviction went through the replicated roster, every
+    // eviction was paired with a re-admission, and all rosters healed.
+    let (mut evictions, mut readmissions) = (0usize, 0usize);
+    for g in 0..churned.dep.subgroups.len() {
+        for &m in &churned.dep.subgroups[g].clone() {
+            let a = churned.dep.sim.actor::<HierActor>(m);
+            evictions += a.roster_changes.iter().filter(|(_, _, e)| *e).count();
+            readmissions += a.roster_changes.iter().filter(|(_, _, e)| !*e).count();
+        }
+        let leader = churned.dep.sub_leader_of(g).expect("leader after churn");
+        let roster = churned
+            .dep
+            .sim
+            .actor::<HierActor>(leader)
+            .live_sub_members();
+        assert_eq!(
+            roster,
+            &churned.dep.subgroups[g][..],
+            "subgroup {g}: roster did not heal"
+        );
+    }
+    assert!(evictions >= 1, "no deep-churn round triggered an eviction");
+    assert_eq!(
+        evictions, readmissions,
+        "an evicted member was never re-admitted"
     );
 }
 

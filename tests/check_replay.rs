@@ -103,6 +103,7 @@ fn sac_cfg(ids: &[NodeId], pos: usize, deadline: SimDuration) -> SacConfig {
         scheme: ShareScheme::Masked,
         share_deadline: deadline,
         collect_deadline: deadline,
+        round_deadline: None,
         seed: SEED + pos as u64,
     }
 }

@@ -61,6 +61,7 @@ fn sac_config(ids: &[NodeId], position: usize, deadline: SimDuration) -> SacConf
         scheme: ShareScheme::Masked,
         share_deadline: deadline,
         collect_deadline: deadline,
+        round_deadline: None,
         seed: SEED + position as u64,
     }
 }
@@ -192,6 +193,9 @@ fn hier_cfg(id: NodeId, subgroups: &[Vec<NodeId>], founding: &[NodeId]) -> HierP
         heartbeat: SimDuration::from_millis(60),
         config_commit_interval: SimDuration::from_millis(200),
         join_poll_interval: SimDuration::from_millis(100),
+        probe_interval: SimDuration::from_millis(60),
+        suspect_after: SimDuration::from_millis(300),
+        dead_after: SimDuration::from_millis(900),
         seed: SEED ^ (0x9e37 + id.0 as u64 * 0x85eb_ca6b),
     }
 }

@@ -143,6 +143,7 @@ fn distributed_engine_agrees_with_synchronous_reference() {
             scheme: ShareScheme::Masked,
             share_deadline: SimDuration::from_millis(100),
             collect_deadline: SimDuration::from_millis(100),
+            round_deadline: None,
             seed: 100 + i as u64,
         };
         sim.add_node(SacPeerActor::new(cfg, model.clone()));

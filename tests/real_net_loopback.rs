@@ -37,6 +37,7 @@ fn config(ids: &[NodeId], position: usize, deadline: SimDuration) -> SacConfig {
         scheme: ShareScheme::Masked,
         share_deadline: deadline,
         collect_deadline: deadline,
+        round_deadline: None,
         seed: SEED + position as u64,
     }
 }
