@@ -54,8 +54,13 @@ cargo run --release -p p2pfl-bench --bin chaos_soak -- --smoke --seed 7
 echo "==> churn soak (per-round kill/restart vs crash-free twin, fixed seed)"
 cargo run --release -p p2pfl-bench --bin chaos_soak -- --churn --quick --seed 7
 
+echo "==> ring-engine chaos soak (crash cases + mid-round ring recovery, fixed seed)"
+cargo run --release -p p2pfl-bench --bin chaos_soak -- --smoke --engine ring --skip-tcp --seed 7
+
 # Perf gate: quick hotpath run compared against the checked-in baseline;
-# fails on a >2x median regression in any benchmark. Soft-skips when the
+# fails on a >2x median regression in any benchmark, and the in-binary
+# crossover gate fails if Ring-SAC is not strictly cheaper than pairwise
+# beyond the measured crossover subgroup size. Soft-skips when the
 # baseline is absent (fresh checkout without BENCH_hotpath.json). To
 # refresh the baseline after an intentional perf change, run the full
 # benchmark on a quiet machine: cargo run --release -p p2pfl-bench --bin hotpath

@@ -8,7 +8,9 @@
 //! Run: `cargo run -rp p2pfl-bench --bin abl_bandwidth -- --params 125000`.
 
 use p2pfl_bench::{banner, print_csv, Args};
-use p2pfl_secagg::{SacConfig, SacMsg, SacPeerActor, SacPhase, ShareScheme, WeightVector};
+use p2pfl_secagg::{
+    SacConfig, SacEngine, SacMsg, SacPeerActor, SacPhase, ShareScheme, WeightVector,
+};
 use p2pfl_simnet::{Latency, LatencyConfig, NodeId, Sim, SimDuration};
 
 /// Runs one n-peer, k-threshold SAC round at the given bandwidth and
@@ -26,6 +28,7 @@ fn round_time(n: usize, k: usize, dim: usize, mbps: u64, seed: u64) -> Option<f6
             leader_pos: 0,
             k,
             scheme: ShareScheme::Masked,
+            engine: SacEngine::Pairwise,
             share_deadline: SimDuration::from_secs(120),
             collect_deadline: SimDuration::from_secs(120),
             round_deadline: None,

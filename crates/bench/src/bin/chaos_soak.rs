@@ -30,7 +30,10 @@ use p2pfl_ml::data::{features_like, partition_dataset, train_test_split, Dataset
 use p2pfl_ml::models::mlp;
 use p2pfl_net::PeerRuntime;
 use p2pfl_raft::FileStorage;
-use p2pfl_simnet::{FaultPlan, NodeId, ProcessFault, SimDuration, SimTime};
+use p2pfl_secagg::{
+    RingMsg, RingSacActor, SacConfig, SacEngine, SacPhase, ShareScheme, WeightVector,
+};
+use p2pfl_simnet::{FaultPlan, NodeId, ProcessFault, Sim, SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -67,8 +70,9 @@ impl CrashCase {
     }
 }
 
-fn session(seed: u64) -> (ResilientSession, Dataset) {
-    let cfg = ResilientConfig::small(seed);
+fn session(seed: u64, engine: SacEngine) -> (ResilientSession, Dataset) {
+    let mut cfg = ResilientConfig::small(seed);
+    cfg.deployment.engine = engine;
     let n_total = cfg.deployment.total_peers();
     let (train, test) =
         train_test_split(&features_like(16, n_total * 50 + 300, seed), n_total * 50);
@@ -163,11 +167,11 @@ fn run_epoch(
 /// aggregation, and finally compare the global model bit-for-bit against a
 /// crash-free twin — churn that never removes a contributor at aggregation
 /// time must be invisible in the aggregate.
-fn churn_leg(seed: u64, rounds: usize) {
+fn churn_leg(seed: u64, rounds: usize, engine: SacEngine) {
     let settle = SimDuration::from_millis(600); // ResilientConfig::small
     println!("# churn leg: {rounds} rounds, seed {seed} (replay with --churn --seed {seed})");
-    let (mut clean, test) = session(seed);
-    let (mut churned, _) = session(seed);
+    let (mut clean, test) = session(seed, engine);
+    let (mut churned, _) = session(seed, engine);
     let mut pick = StdRng::seed_from_u64(seed ^ 0xc0411);
     let wall = Instant::now();
 
@@ -259,6 +263,7 @@ fn hier_cfg(
     subgroups: &[Vec<NodeId>],
     founding: &[NodeId],
     seed: u64,
+    engine: SacEngine,
 ) -> HierPeerConfig {
     let gi = (id.0 as usize) / TCP_SIZE;
     HierPeerConfig {
@@ -273,6 +278,7 @@ fn hier_cfg(
         probe_interval: SimDuration::from_millis(60),
         suspect_after: SimDuration::from_millis(300),
         dead_after: SimDuration::from_millis(900),
+        engine,
         seed: seed ^ (0x9e37 + id.0 as u64 * 0x85eb_ca6b),
     }
 }
@@ -332,7 +338,7 @@ fn commit_marker(rts: &HashMap<NodeId, HierRt>, subgroups: &[Vec<NodeId>], marke
 
 /// The soak's TCP leg: a plan's crash/restart schedule kills a real peer
 /// and recovery comes from its on-disk Raft record alone.
-fn tcp_crash_restart_leg(seed: u64) {
+fn tcp_crash_restart_leg(seed: u64, engine: SacEngine) {
     let dir = std::env::temp_dir().join(format!("p2pfl-chaos-soak-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
 
@@ -349,7 +355,7 @@ fn tcp_crash_restart_leg(seed: u64) {
     let mut rts: HashMap<NodeId, HierRt> = all
         .iter()
         .map(|&id| {
-            let actor = storage_actor(&dir, hier_cfg(id, &subgroups, &founding, seed));
+            let actor = storage_actor(&dir, hier_cfg(id, &subgroups, &founding, seed, engine));
             let rt = PeerRuntime::start(id, "127.0.0.1:0", &[], actor).expect("bind");
             (id, rt)
         })
@@ -387,7 +393,8 @@ fn tcp_crash_restart_leg(seed: u64) {
                 rts.remove(&ev.node).expect("victim running").kill();
             }
             ProcessFault::Restart => {
-                let actor = storage_actor(&dir, hier_cfg(ev.node, &subgroups, &founding, seed));
+                let actor =
+                    storage_actor(&dir, hier_cfg(ev.node, &subgroups, &founding, seed, engine));
                 assert!(actor.sub_raft().term() >= pre_term, "term lost on restart");
                 assert!(
                     actor.sub_raft().log().last_index() >= pre_last,
@@ -417,17 +424,76 @@ fn tcp_crash_restart_leg(seed: u64) {
     println!("# tcp leg: crash/restart recovered from on-disk Raft state, marker committed");
 }
 
+/// Ring-engine leg: a dedicated mid-round crash against the Ring-SAC
+/// actor itself. A follower dies after its shares have entered the ring
+/// but before the round closes; the leader must still finish with all n
+/// contributors by pulling the victim's blocks out of stage replicas.
+fn ring_crash_leg(seed: u64) {
+    const N: usize = 8;
+    let ids: Vec<NodeId> = (0..N).map(|i| NodeId(i as u32)).collect();
+    let mut sim: Sim<RingMsg> = Sim::new(seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1219);
+    for i in 0..N {
+        let cfg = SacConfig {
+            group: ids.clone(),
+            position: i,
+            leader_pos: 0,
+            k: N.div_ceil(2),
+            scheme: ShareScheme::Masked,
+            engine: SacEngine::Ring,
+            share_deadline: SimDuration::from_millis(100),
+            collect_deadline: SimDuration::from_millis(100),
+            round_deadline: None,
+            seed: seed + i as u64,
+        };
+        let model = WeightVector::random(64, 1.0, &mut rng);
+        sim.add_node(RingSacActor::new(cfg, model));
+    }
+    let victim = NodeId(5);
+    let plan = FaultPlan::new(seed ^ 0x51de).crash(SimTime::from_millis(40), victim);
+    sim.apply_fault_plan(&plan);
+    sim.exec::<RingSacActor, _, _>(ids[0], |a, ctx| a.start_round(ctx, 1));
+    sim.run_until(sim.now() + SimDuration::from_secs(5));
+    let leader = sim.actor::<RingSacActor>(ids[0]);
+    assert_eq!(leader.phase, SacPhase::Done, "ring leg: {:?}", leader.phase);
+    assert!(
+        leader.recoveries >= 1,
+        "mid-round crash did not exercise replica recovery"
+    );
+    assert!(
+        leader.contributors.contains(&(victim.0 as usize)),
+        "victim's update was lost despite stage replicas"
+    );
+    println!(
+        "# ring leg: mid-round crash recovered from stage replicas \
+         ({} recoveries), all {N} contributors kept",
+        leader.recoveries
+    );
+}
+
 fn main() {
     let args = Args::parse();
     let smoke = args.get_flag("smoke") || args.get_flag("quick");
     let seed = args.get_u64("seed", 7);
+    let engine = match args.get_str("engine").as_deref() {
+        None | Some("pairwise") => SacEngine::Pairwise,
+        Some("ring") => SacEngine::Ring,
+        Some(other) => {
+            eprintln!("unknown --engine '{other}' (expected ring or pairwise)");
+            std::process::exit(2);
+        }
+    };
 
     if args.get_flag("churn") {
         banner(
             "Chaos soak: per-round membership churn vs crash-free twin",
             "kill/wait/restart a random follower each round; digest must match",
         );
-        churn_leg(seed, args.get_usize("rounds", if smoke { 20 } else { 50 }));
+        churn_leg(
+            seed,
+            args.get_usize("rounds", if smoke { 20 } else { 50 }),
+            engine,
+        );
         return;
     }
 
@@ -440,9 +506,9 @@ fn main() {
         "Chaos soak: randomized fault plans over full two-layer rounds",
         "Sec. V crash cases C1-C4 each hit and recovered; faults never wedge a round",
     );
-    println!("# seed {seed} (replay with --seed {seed}); epochs={epochs} chaos_rounds={chaos_rounds} settle_rounds={settle_rounds}");
+    println!("# seed {seed} (replay with --seed {seed}); engine={engine:?} epochs={epochs} chaos_rounds={chaos_rounds} settle_rounds={settle_rounds}");
 
-    let (mut s, test) = session(seed);
+    let (mut s, test) = session(seed, engine);
     s.run(2, &test); // healthy warm-up establishes both layers
 
     let mut hit: HashMap<CrashCase, usize> = HashMap::new();
@@ -492,10 +558,13 @@ fn main() {
         "a Sec. V crash case was never hit or never recovered (replay with --seed {seed})"
     );
 
+    if engine == SacEngine::Ring {
+        ring_crash_leg(seed);
+    }
     if skip_tcp {
         println!("# tcp leg skipped (--skip-tcp)");
     } else {
-        tcp_crash_restart_leg(seed);
+        tcp_crash_restart_leg(seed, engine);
     }
     println!("# chaos soak passed");
 }

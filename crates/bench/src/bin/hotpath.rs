@@ -31,10 +31,11 @@ use p2pfl_ml::{Layer, Tensor};
 use p2pfl_net::PeerRuntime;
 use p2pfl_secagg::pairwise::{masked_update, PairwiseSeeds};
 use p2pfl_secagg::{
-    divide_masked, SacConfig, SacMsg, SacPeerActor, SacPhase, ShareScheme, WeightVector,
+    divide_masked, RingMsg, RingSacActor, SacConfig, SacEngine, SacMsg, SacPeerActor, SacPhase,
+    ShareScheme, WeightVector,
 };
 use p2pfl_simnet::codec::{from_bytes, to_bytes};
-use p2pfl_simnet::{NodeId, SimDuration};
+use p2pfl_simnet::{NodeId, Sim, SimDuration};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
@@ -81,6 +82,7 @@ fn tcp_group(base_id: u32, n: usize, dim: usize) -> Vec<PeerRuntime<SacMsg, SacP
                 leader_pos: 0,
                 k: n.div_ceil(2),
                 scheme: ShareScheme::Masked,
+                engine: SacEngine::Pairwise,
                 share_deadline: SimDuration::from_secs(30),
                 collect_deadline: SimDuration::from_secs(30),
                 round_deadline: None,
@@ -99,6 +101,55 @@ fn tcp_group(base_id: u32, n: usize, dim: usize) -> Vec<PeerRuntime<SacMsg, SacP
         }
     }
     runtimes
+}
+
+/// One clean (no-dropout) simulated SAC round at subgroup size `n` under
+/// `engine`; returns the simulator ledger total as `(msgs, bytes)`. Every
+/// message the round sends — shares, acks, control, subtotals — is
+/// counted once, so the pair is the engine's full per-round traffic.
+fn sweep_round(engine: SacEngine, n: usize, dim: usize) -> (u64, u64) {
+    let ids: Vec<NodeId> = (0..n).map(|i| NodeId(i as u32)).collect();
+    let mut rng = StdRng::seed_from_u64(SEED + n as u64);
+    let cfg = |i: usize| SacConfig {
+        group: ids.clone(),
+        position: i,
+        leader_pos: 0,
+        k: n.div_ceil(2),
+        scheme: ShareScheme::Masked,
+        engine,
+        share_deadline: SimDuration::from_millis(200),
+        collect_deadline: SimDuration::from_millis(200),
+        round_deadline: None,
+        seed: SEED + i as u64,
+    };
+    match engine {
+        SacEngine::Pairwise => {
+            let mut sim: Sim<SacMsg> = Sim::new(SEED + n as u64);
+            for i in 0..n {
+                let model = WeightVector::random(dim, 1.0, &mut rng);
+                sim.add_node(SacPeerActor::new(cfg(i), model));
+            }
+            sim.exec::<SacPeerActor, _, _>(ids[0], |a, ctx| a.start_round(ctx, 1));
+            sim.run_until(sim.now() + SimDuration::from_secs(5));
+            let leader = sim.actor::<SacPeerActor>(ids[0]);
+            assert_eq!(leader.phase, SacPhase::Done, "pairwise n={n}");
+            let t = sim.metrics().total();
+            (t.msgs, t.bytes)
+        }
+        SacEngine::Ring => {
+            let mut sim: Sim<RingMsg> = Sim::new(SEED + n as u64);
+            for i in 0..n {
+                let model = WeightVector::random(dim, 1.0, &mut rng);
+                sim.add_node(RingSacActor::new(cfg(i), model));
+            }
+            sim.exec::<RingSacActor, _, _>(ids[0], |a, ctx| a.start_round(ctx, 1));
+            sim.run_until(sim.now() + SimDuration::from_secs(5));
+            let leader = sim.actor::<RingSacActor>(ids[0]);
+            assert_eq!(leader.phase, SacPhase::Done, "ring n={n}");
+            let t = sim.metrics().total();
+            (t.msgs, t.bytes)
+        }
+    }
 }
 
 fn main() {
@@ -207,13 +258,77 @@ fn main() {
         std::hint::black_box(WeightVector::mean([&ra, &rb]));
     });
 
+    // --- macro: pairwise vs ring message-complexity crossover sweep ---
+    // One clean round per engine per subgroup size, counted on the
+    // simulator's ledger. The pairwise engine shares all-to-all (O(n²)
+    // messages); Ring-SAC shares only into its successor stage of size
+    // ~log₂ n (O(n log n)), so past a small crossover ring must be
+    // strictly cheaper. Enforced here rather than in the baseline diff:
+    // if ring fails to beat pairwise in both messages and bytes at every
+    // swept size from the crossover on — or never crosses at all, or its
+    // message growth per size doubling looks quadratic — exit 2.
+    let sweep_dim = 256usize;
+    let sweep_ns = [4usize, 8, 16, 24, 32];
+    let mut rows = Vec::new();
+    for &n in &sweep_ns {
+        let (pm, pb) = sweep_round(SacEngine::Pairwise, n, sweep_dim);
+        let (rm, rb) = sweep_round(SacEngine::Ring, n, sweep_dim);
+        println!(
+            "crossover n={n:2}: pairwise {pm:5} msgs / {pb:8} B   ring {rm:5} msgs / {rb:8} B"
+        );
+        rows.push((n, pm, pb, rm, rb));
+    }
+    // Crossover = the smallest swept n from which ring stays strictly
+    // cheaper than pairwise in both messages and bytes.
+    let Some(ci) = (0..rows.len()).find(|&i| {
+        rows[i..]
+            .iter()
+            .all(|&(_, pm, pb, rm, rb)| rm < pm && rb < pb)
+    }) else {
+        eprintln!("crossover gate FAILED: ring never strictly cheaper than pairwise");
+        std::process::exit(2);
+    };
+    let crossover_n = rows[ci].0;
+    println!("ring crossover: ring strictly cheaper from n={crossover_n} on");
+    // Sub-quadratic check: doubling n under O(n²) multiplies messages by
+    // ~4; under O(n log n) by ~2.5. Gate ring's 16→32 growth well below
+    // the quadratic slope (pairwise itself sits near 4 here).
+    let msgs_at = |n: usize| {
+        rows.iter()
+            .find(|r| r.0 == n)
+            .map(|r| r.3 as f64)
+            .expect("swept size")
+    };
+    let ring_growth = msgs_at(32) / msgs_at(16);
+    println!("ring msg growth 16->32: {ring_growth:.2}x (quadratic would be ~4x)");
+    if ring_growth >= 3.5 {
+        eprintln!("crossover gate FAILED: ring message growth {ring_growth:.2}x looks quadratic");
+        std::process::exit(2);
+    }
+
     // --- derived acceptance ratio: blocked matmul speedup over naive ---
     let naive = h.median_of("matmul_naive_256").unwrap() as f64;
     let blocked = h.median_of("matmul_blocked_256").unwrap().max(1) as f64;
     let speedup = naive / blocked;
     println!("matmul blocked speedup at 256x256: {speedup:.2}x");
 
-    let json = h.to_json(quick, &[format!("\"matmul_speedup_256\": {speedup:.3}")]);
+    let sweep_json: Vec<String> = rows
+        .iter()
+        .map(|&(n, pm, pb, rm, rb)| {
+            format!(
+                "{{\"n\": {n}, \"pairwise_msgs\": {pm}, \"pairwise_bytes\": {pb}, \
+                 \"ring_msgs\": {rm}, \"ring_bytes\": {rb}}}"
+            )
+        })
+        .collect();
+    let json = h.to_json(
+        quick,
+        &[
+            format!("\"matmul_speedup_256\": {speedup:.3}"),
+            format!("\"ring_crossover_n\": {crossover_n}"),
+            format!("\"ring_crossover\": [{}]", sweep_json.join(", ")),
+        ],
+    );
     std::fs::write(&out_path, &json).expect("write report");
     println!("wrote {out_path}");
 

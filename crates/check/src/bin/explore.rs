@@ -1,7 +1,7 @@
 //! Bounded-exhaustive exploration driver.
 //!
 //! ```text
-//! explore [--model raft3|sac3|sacchurn|hier|all] [--depth N] [--branch N]
+//! explore [--model raft3|sac3|sacchurn|ringsac|hier|all] [--depth N] [--branch N]
 //!         [--states N] [--walks N] [--seed N] [--drops] [--dups] [--ci]
 //! ```
 //!
@@ -14,7 +14,7 @@
 
 #![forbid(unsafe_code)]
 
-use p2pfl_check::models::{HierModel, Raft3Model, Sac3Model, SacChurnModel};
+use p2pfl_check::models::{HierModel, Raft3Model, RingSacModel, Sac3Model, SacChurnModel};
 use p2pfl_check::{ExploreConfig, ExploreReport, Explorer, Model};
 use std::time::Instant;
 
@@ -140,10 +140,13 @@ fn main() {
     if selected("sacchurn") {
         ok &= run_one(SacChurnModel, &opts, 25);
     }
+    if selected("ringsac") {
+        ok &= run_one(RingSacModel, &opts, 4);
+    }
     if selected("hier") {
         ok &= run_one(HierModel, &opts, 4);
     }
-    if !["all", "raft3", "sac3", "sacchurn", "hier"].contains(&opts.model.as_str()) {
+    if !["all", "raft3", "sac3", "sacchurn", "ringsac", "hier"].contains(&opts.model.as_str()) {
         eprintln!("unknown model '{}'", opts.model);
         std::process::exit(2);
     }

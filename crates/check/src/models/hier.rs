@@ -10,6 +10,7 @@ use super::{hash_raft_node, hasher};
 use crate::{oracles, Model, Violation};
 use p2pfl_hierraft::{FedCmd, HierActor, HierMsg, HierPeerConfig, SubCmd};
 use p2pfl_raft::MemStorage;
+use p2pfl_secagg::SacEngine;
 use p2pfl_simnet::{NodeId, Sim, SimDuration};
 use std::hash::{Hash, Hasher};
 
@@ -50,6 +51,7 @@ impl HierModel {
             probe_interval: SimDuration::from_millis(60),
             suspect_after: SimDuration::from_millis(300),
             dead_after: SimDuration::from_millis(900),
+            engine: SacEngine::Pairwise,
             seed: SEED ^ (0x9e37 + id.0 as u64 * 0x85eb_ca6b),
         }
     }
@@ -122,6 +124,8 @@ impl Model for HierModel {
             })
             .collect();
         oracles::fed_config_replication(&peers)?;
+        let configs: Vec<_> = peers.iter().map(|&(id, cfg, _)| (id, cfg)).collect();
+        oracles::engine_agreement(&configs)?;
         for id in ids {
             let rt = sim.actor_mut::<HierActor>(id).verify_storage_roundtrip();
             oracles::storage_roundtrip(id, rt)?;

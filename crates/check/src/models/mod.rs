@@ -7,11 +7,13 @@
 
 mod hier;
 mod raft3;
+mod ringsac;
 mod sac3;
 mod sac3_churn;
 
 pub use hier::HierModel;
 pub use raft3::Raft3Model;
+pub use ringsac::RingSacModel;
 pub use sac3::Sac3Model;
 pub use sac3_churn::SacChurnModel;
 

@@ -1,26 +1,28 @@
-//! A 3-peer, k=2 fault-tolerant SAC subgroup running one round.
+//! A 6-peer, k=2 Ring-SAC subgroup running one round.
 //!
-//! The leader (position 0) kicks the round off in [`Model::init`]; the
-//! explorer then owns every delivery and timer ordering. The mask
-//! cancellation oracle sees both held and in-flight share partitions, so
-//! re-randomized replicas (`BeginRerandomize`) and skewed shares
-//! (`ShareSkew`) are caught even before blocks land.
+//! Six peers split into two stages of three (`RingPlan::new(6, 2)` gives
+//! stages `[3, 3]` with per-stage threshold 1, i.e. full in-stage
+//! replication). The leader (position 0) kicks the round off in
+//! [`Model::init`]; the explorer then owns every delivery and timer
+//! ordering. The ring ports of the mask-cancellation and k-of-n oracles
+//! see both held and in-flight stage shares, so re-randomized replicas
+//! and skewed shares are caught even before blocks land.
 
 use crate::oracles::{self, ShareCopy};
 use crate::{Model, Violation};
-use p2pfl_secagg::{SacConfig, SacEngine, SacMsg, SacPeerActor, ShareScheme, WeightVector};
+use p2pfl_secagg::{RingMsg, RingSacActor, SacConfig, SacEngine, ShareScheme, WeightVector};
 use p2pfl_simnet::{NodeId, Sim, SimDuration};
 use std::hash::{Hash, Hasher};
 
-const N: usize = 3;
+const N: usize = 6;
 const K: usize = 2;
-const SEED: u64 = 0x5ac;
+const SEED: u64 = 0x5ac2;
 
 /// See module docs.
 #[derive(Clone, Copy)]
-pub struct Sac3Model;
+pub struct RingSacModel;
 
-impl Sac3Model {
+impl RingSacModel {
     fn ids() -> Vec<NodeId> {
         (0..N as u32).map(NodeId).collect()
     }
@@ -32,11 +34,11 @@ impl Sac3Model {
     }
 }
 
-impl Model for Sac3Model {
-    type Msg = SacMsg;
+impl Model for RingSacModel {
+    type Msg = RingMsg;
 
     fn name(&self) -> &'static str {
-        "sac3"
+        "ringsac"
     }
 
     fn build(&self) -> Sim<Self::Msg> {
@@ -49,25 +51,25 @@ impl Model for Sac3Model {
                 leader_pos: 0,
                 k: K,
                 scheme: ShareScheme::Masked,
-                engine: SacEngine::Pairwise,
+                engine: SacEngine::Ring,
                 share_deadline: SimDuration::from_millis(80),
                 collect_deadline: SimDuration::from_millis(80),
                 round_deadline: None,
                 seed: SEED ^ (pos as u64 * 0x9e37_79b9),
             };
-            sim.add_node(SacPeerActor::new(cfg, Self::peer_model(pos)));
+            sim.add_node(RingSacActor::new(cfg, Self::peer_model(pos)));
         }
         sim
     }
 
     fn init(&self, sim: &mut Sim<Self::Msg>) {
-        sim.exec::<SacPeerActor, _, _>(NodeId(0), |a, ctx| a.start_round(ctx, 1));
+        sim.exec::<RingSacActor, _, _>(NodeId(0), |a, ctx| a.start_round(ctx, 1));
     }
 
     fn fingerprint(&self, sim: &mut Sim<Self::Msg>) -> u64 {
         let mut h = super::hasher();
         for id in Self::ids() {
-            let a = sim.actor::<SacPeerActor>(id);
+            let a = sim.actor::<RingSacActor>(id);
             a.round.hash(&mut h);
             format!("{:?}", a.phase).hash(&mut h);
             a.result.as_ref().map(WeightVector::digest).hash(&mut h);
@@ -79,8 +81,8 @@ impl Model for Sac3Model {
                 }
             }
             format!("{:?}", a.frozen_set()).hash(&mut h);
-            for (p, v) in a.held_subtotals() {
-                (p, v.digest()).hash(&mut h);
+            for ((t, p), v) in a.held_totals() {
+                (t, p, v.digest()).hash(&mut h);
             }
         }
         h.finish()
@@ -89,14 +91,14 @@ impl Model for Sac3Model {
     fn check(&self, sim: &mut Sim<Self::Msg>) -> Result<(), Violation> {
         let ids = Self::ids();
         let sim = &*sim;
-        let actors: Vec<(NodeId, &SacPeerActor)> = ids
+        let actors: Vec<(NodeId, &RingSacActor)> = ids
             .iter()
-            .map(|&id| (id, sim.actor::<SacPeerActor>(id)))
+            .map(|&id| (id, sim.actor::<RingSacActor>(id)))
             .collect();
         let round = actors.iter().map(|(_, a)| a.round).max().unwrap_or(0);
-        let mut copies = oracles::held_share_copies(actors.iter().copied(), round);
+        let mut copies = oracles::ring_held_share_copies(actors.iter().copied(), round);
         for (src, dst, msg) in sim.pending_deliveries() {
-            if let SacMsg::ShareBlock {
+            if let RingMsg::StageShare {
                 round: r,
                 from_pos,
                 parts,
@@ -116,7 +118,9 @@ impl Model for Sac3Model {
             }
         }
         let models: Vec<&WeightVector> = actors.iter().map(|(_, a)| a.model()).collect();
-        oracles::mask_cancellation(&copies, &models)?;
-        oracles::kofn_result(actors.iter().copied(), &models)
+        let plan = actors[0].1.plan();
+        let parts_of: Vec<usize> = (0..N).map(|pos| plan.parts_of(pos)).collect();
+        oracles::ring_mask_cancellation(&copies, &models, &parts_of)?;
+        oracles::ring_kofn_result(actors.iter().copied(), &models)
     }
 }

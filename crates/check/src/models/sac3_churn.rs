@@ -13,7 +13,7 @@
 
 use crate::oracles::{self, ShareCopy};
 use crate::{Model, Violation};
-use p2pfl_secagg::{SacConfig, SacMsg, SacPeerActor, ShareScheme, WeightVector};
+use p2pfl_secagg::{SacConfig, SacEngine, SacMsg, SacPeerActor, ShareScheme, WeightVector};
 use p2pfl_simnet::{NodeId, Sim, SimDuration, SimTime};
 use std::hash::{Hash, Hasher};
 
@@ -57,6 +57,7 @@ impl Model for SacChurnModel {
                 leader_pos: 0,
                 k: K,
                 scheme: ShareScheme::Masked,
+                engine: SacEngine::Pairwise,
                 share_deadline: SimDuration::from_millis(80),
                 collect_deadline: SimDuration::from_millis(80),
                 // > share + 2 * collect, so phase deadlines get their

@@ -8,7 +8,7 @@
 use crate::Violation;
 use p2pfl_raft::{Command, RaftNode, Role};
 use p2pfl_secagg::replicated::assigned_partitions;
-use p2pfl_secagg::{SacPeerActor, SacPhase, WeightVector};
+use p2pfl_secagg::{RingSacActor, SacPeerActor, SacPhase, WeightVector};
 use p2pfl_simnet::NodeId;
 use std::collections::BTreeMap;
 
@@ -285,6 +285,173 @@ pub fn kofn_result<'a>(
                     a.contributors
                 ),
             ));
+        }
+    }
+    Ok(())
+}
+
+/// Collects every stage-share partition copy held by the given Ring-SAC
+/// actors for `round`. The caller appends in-flight copies gathered from
+/// [`p2pfl_simnet::Sim::pending_deliveries`].
+pub fn ring_held_share_copies<'a>(
+    actors: impl IntoIterator<Item = (NodeId, &'a RingSacActor)>,
+    round: u64,
+) -> Vec<ShareCopy<'a>> {
+    let mut out = Vec::new();
+    for (id, a) in actors {
+        if a.round != round {
+            continue;
+        }
+        for (&j, parts) in a.held_blocks() {
+            for (&p, v) in parts {
+                out.push(ShareCopy {
+                    from_pos: j,
+                    idx: p,
+                    value: v,
+                    site: format!("held by {id}"),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// **SacMaskCancellation**, ported to the ring scheme. Identical contract
+/// to [`mask_cancellation`], except contributor `j`'s model is divided into
+/// `parts_of[j]` blocks (the size of `j`'s successor stage) rather than a
+/// uniform `n`: replicas of any block must be identical, and whenever all
+/// of `j`'s blocks are visible somewhere they must sum back to `j`'s model.
+pub fn ring_mask_cancellation(
+    copies: &[ShareCopy<'_>],
+    models: &[&WeightVector],
+    parts_of: &[usize],
+) -> Result<(), Violation> {
+    let mut by_key: BTreeMap<(usize, usize), Vec<&ShareCopy<'_>>> = BTreeMap::new();
+    for c in copies {
+        by_key.entry((c.from_pos, c.idx)).or_default().push(c);
+    }
+    for ((j, p), reps) in &by_key {
+        for r in &reps[1..] {
+            if reps[0].value.linf_distance(r.value) > TOL {
+                return Err(Violation::new(
+                    "SacMaskCancellation",
+                    format!(
+                        "ring replica divergence for block (j={j}, p={p}): {} vs {}",
+                        reps[0].site, r.site
+                    ),
+                ));
+            }
+        }
+    }
+    for (j, model) in models.iter().enumerate() {
+        let m = parts_of[j];
+        let parts: Vec<&WeightVector> = (0..m)
+            .filter_map(|p| by_key.get(&(j, p)).map(|reps| reps[0].value))
+            .collect();
+        if parts.len() < m {
+            continue; // not fully visible yet — nothing to check
+        }
+        let sum = WeightVector::sum(parts);
+        if sum.linf_distance(model) > TOL {
+            return Err(Violation::new(
+                "SacMaskCancellation",
+                format!(
+                    "ring blocks of contributor {j} sum to distance {} from its model",
+                    sum.linf_distance(model)
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// **KofNReconstructability**, ported to the ring scheme. When the ring
+/// leader reports `Done`, the frozen contributor set is a valid subset of
+/// positions, the leader holds all `n` `(stage, partition)` totals of the
+/// grid, every stage's share assignment is non-degenerate under the
+/// per-stage threshold, and the published result is the plain mean of the
+/// contributors' input models.
+pub fn ring_kofn_result<'a>(
+    actors: impl IntoIterator<Item = (NodeId, &'a RingSacActor)>,
+    models: &[&WeightVector],
+) -> Result<(), Violation> {
+    let n = models.len();
+    for (id, a) in actors {
+        let cfg = a.sac_config();
+        if cfg.position != cfg.leader_pos || a.phase != SacPhase::Done {
+            continue;
+        }
+        let Some(result) = a.result.as_ref() else {
+            return Err(Violation::new(
+                "KofNReconstructability",
+                format!("{id}: ring phase Done with no result"),
+            ));
+        };
+        if a.contributors.is_empty() || a.contributors.iter().any(|&c| c >= n) {
+            return Err(Violation::new(
+                "KofNReconstructability",
+                format!("{id}: bad ring contributor set {:?}", a.contributors),
+            ));
+        }
+        let plan = a.plan();
+        if a.held_totals().len() != plan.total_partitions() {
+            return Err(Violation::new(
+                "KofNReconstructability",
+                format!(
+                    "{id}: ring Done with {} of {} stage totals",
+                    a.held_totals().len(),
+                    plan.total_partitions()
+                ),
+            ));
+        }
+        for t in 0..plan.num_stages() {
+            let m = plan.stage_len(t);
+            for i in 0..m {
+                if plan.assigned(t, i).is_empty() {
+                    return Err(Violation::new(
+                        "KofNReconstructability",
+                        format!("{id}: stage {t} member {i} has an empty block assignment"),
+                    ));
+                }
+            }
+        }
+        let expected = WeightVector::mean(a.contributors.iter().map(|&c| models[c]));
+        if result.linf_distance(&expected) > TOL {
+            return Err(Violation::new(
+                "KofNReconstructability",
+                format!(
+                    "{id}: ring result is distance {} from the mean of contributors {:?}",
+                    result.linf_distance(&expected),
+                    a.contributors
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// **EngineAgreement** — no round may mix aggregation engines. The engine
+/// travels inside the replicated [`p2pfl_hierraft::FedConfig`], which
+/// advances atomically under the version max-advance rule, so any two
+/// peers whose live configs are at the same version must agree on the
+/// engine (paper Sec. V-A1 extended with the engine selector).
+pub fn engine_agreement(peers: &[(NodeId, &p2pfl_hierraft::FedConfig)]) -> Result<(), Violation> {
+    let mut engine_of_version: BTreeMap<u64, (NodeId, p2pfl_secagg::SacEngine)> = BTreeMap::new();
+    for (id, cfg) in peers {
+        match engine_of_version.get(&cfg.version) {
+            Some(&(prev, engine)) if engine != cfg.engine => {
+                return Err(Violation::new(
+                    "EngineAgreement",
+                    format!(
+                        "config v{}: {prev} runs {engine:?} but {id} runs {:?}",
+                        cfg.version, cfg.engine
+                    ),
+                ));
+            }
+            Some(_) => {}
+            None => {
+                engine_of_version.insert(cfg.version, (*id, cfg.engine));
+            }
         }
     }
     Ok(())

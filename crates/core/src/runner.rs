@@ -16,8 +16,8 @@ use p2pfl_ml::data::Dataset;
 use p2pfl_ml::metrics::evaluate;
 use p2pfl_ml::Sequential;
 use p2pfl_secagg::{
-    fault_tolerant_secure_average, DropPhase, Dropout, ShareScheme, TransferLog, WeightVector,
-    WIRE_BYTES_PER_PARAM,
+    fault_tolerant_secure_average, ring_secure_average, DropPhase, Dropout, SacEngine, ShareScheme,
+    TransferLog, WeightVector, WIRE_BYTES_PER_PARAM,
 };
 use p2pfl_simnet::{FaultPlan, NodeId, SimDuration, SimTime};
 use rand::rngs::StdRng;
@@ -210,28 +210,42 @@ impl ResilientSession {
         }
     }
 
-    /// One FT-SAC attempt over `members` with `dropouts`, weighted by each
-    /// contributor's sample count.
+    /// One SAC attempt over `members` with `dropouts`, weighted by each
+    /// contributor's sample count. `engine` selects between the pairwise
+    /// all-to-all scheme (Alg. 4) and the staged Ring-SAC scheme; it comes
+    /// from the leader's *replicated* `FedConfig`, so every member of the
+    /// subgroup agrees on it for the round.
     fn sac_attempt(
         &mut self,
         members: &[NodeId],
         leader: NodeId,
         k: usize,
         dropouts: &[Dropout],
+        engine: SacEngine,
     ) -> Result<(Vec<f64>, usize), p2pfl_secagg::FtSacError> {
         let leader_pos = members.iter().position(|&m| m == leader).unwrap();
         let models: Vec<WeightVector> = members
             .iter()
             .map(|&m| WeightVector::new(self.clients[m.index()].params()))
             .collect();
-        let out = fault_tolerant_secure_average(
-            &models,
-            k,
-            leader_pos,
-            dropouts,
-            self.cfg.scheme,
-            &mut self.rng,
-        )?;
+        let out = match engine {
+            SacEngine::Pairwise => fault_tolerant_secure_average(
+                &models,
+                k,
+                leader_pos,
+                dropouts,
+                self.cfg.scheme,
+                &mut self.rng,
+            )?,
+            SacEngine::Ring => ring_secure_average(
+                &models,
+                k,
+                leader_pos,
+                dropouts,
+                self.cfg.scheme,
+                &mut self.rng,
+            )?,
+        };
         self.log.absorb(&out.log);
         let count: usize = out
             .contributors
@@ -329,7 +343,13 @@ impl ResilientSession {
                 })
                 .collect();
             let k = self.cfg.threshold.min(members.len()).max(1);
-            let outcome = match self.sac_attempt(&members, leader, k, &dropouts) {
+            // The engine for this round is whatever the leader's replicated
+            // FedAvg-layer config says, not a local setting: the whole
+            // `FedConfig` advances atomically under the version max-advance
+            // rule, so every member that follows the leader runs the same
+            // engine and a round can never mix schemes.
+            let engine = self.dep.sim.actor::<HierActor>(leader).fed_config.engine;
+            let outcome = match self.sac_attempt(&members, leader, k, &dropouts, engine) {
                 Ok(out) => Some(out),
                 Err(_) => {
                     // Abort and restart once with the survivors.
@@ -341,7 +361,7 @@ impl ResilientSession {
                         .collect();
                     if survivors.len() >= 2 && survivors.contains(&leader) {
                         let k2 = self.cfg.threshold.min(survivors.len()).max(1);
-                        match self.sac_attempt(&survivors, leader, k2, &[]) {
+                        match self.sac_attempt(&survivors, leader, k2, &[], engine) {
                             Ok(out) => {
                                 self.supervisor.degraded_retries += 1;
                                 degraded.push(g);
@@ -458,6 +478,34 @@ mod tests {
             .collect();
         let eval = mlp(&[16, 24, 10], &mut rng);
         (ResilientSession::new(cfg, clients, eval), test)
+    }
+
+    #[test]
+    fn ring_engine_session_uses_all_groups_and_learns() {
+        let mut cfg = ResilientConfig::small(1);
+        cfg.deployment.engine = SacEngine::Ring;
+        let (mut s, test) = build_with(cfg);
+        let rounds = s.run(12, &test);
+        assert!(rounds.iter().all(|r| r.record.groups_used == 3));
+        let first = rounds.first().unwrap().record.test_accuracy;
+        let last = rounds.last().unwrap().record.test_accuracy;
+        assert!(last > first, "accuracy {first:.3} -> {last:.3}");
+        // The ring share phase actually ran (engine really was dispatched).
+        assert!(s.log.phase("ringsac.share").0 > 0);
+        assert_eq!(s.log.phase("ftsac.share").0, 0);
+    }
+
+    #[test]
+    fn ring_engine_tolerates_follower_crash() {
+        let mut cfg = ResilientConfig::small(2);
+        cfg.deployment.engine = SacEngine::Ring;
+        let (mut s, test) = build_with(cfg);
+        s.run(2, &test);
+        let leader0 = s.dep.sub_leader_of(0).unwrap();
+        let victim = *s.dep.subgroups[0].iter().find(|&&m| m != leader0).unwrap();
+        s.crash(victim);
+        let r = s.run_round(3, &test);
+        assert_eq!(r.record.groups_used, 3, "ring must absorb the loss");
     }
 
     #[test]

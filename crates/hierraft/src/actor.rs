@@ -141,6 +141,7 @@ impl HierActor {
         let fed_config = FedConfig {
             founding: cfg.founding_fed.clone(),
             current: cfg.founding_fed.clone(),
+            engine: cfg.engine,
             version: 0,
         };
         let sub_members = SubMembers {
@@ -695,6 +696,7 @@ impl HierActor {
             let cmd = SubCmd::FedConfig(FedConfig {
                 founding: self.fed_config.founding.clone(),
                 current: fed.cluster().to_vec(),
+                engine: self.fed_config.engine,
                 version: self.config_version,
             });
             if let Ok((_, eff)) = self.sub.propose(LogCmd::App(cmd)) {

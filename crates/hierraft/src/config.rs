@@ -3,6 +3,7 @@
 //! configuration.
 
 use p2pfl_raft::{Command, RaftMsg};
+use p2pfl_secagg::SacEngine;
 use p2pfl_simnet::{NodeId, Payload, SimDuration};
 
 /// The FedAvg-layer configuration that subgroup leaders periodically commit
@@ -16,6 +17,11 @@ pub struct FedConfig {
     pub founding: Vec<NodeId>,
     /// The membership as of this commit.
     pub current: Vec<NodeId>,
+    /// Which secure-aggregation engine the deployment runs. Replicated so
+    /// that every subgroup member agrees on the engine for a round — the
+    /// whole `FedConfig` advances atomically under the version max-advance
+    /// rule, so a subgroup can never mix engines within one round.
+    pub engine: SacEngine,
     /// Monotone version counter.
     pub version: u64,
 }
@@ -51,7 +57,7 @@ pub enum SubCmd {
 impl Command for SubCmd {
     fn wire_bytes(&self) -> u64 {
         match self {
-            SubCmd::FedConfig(c) => 16 + 8 * (c.founding.len() + c.current.len()) as u64,
+            SubCmd::FedConfig(c) => 17 + 8 * (c.founding.len() + c.current.len()) as u64,
             SubCmd::Members(m) => 16 + 8 * m.members.len() as u64,
             SubCmd::App(_) => 8,
         }
@@ -161,6 +167,9 @@ pub struct HierPeerConfig {
     /// Quiet window after which a suspected member is confirmed *dead* and
     /// evicted from the replicated aggregation roster.
     pub dead_after: SimDuration,
+    /// The secure-aggregation engine this deployment was launched with;
+    /// seeds the first replicated [`FedConfig`] commit.
+    pub engine: SacEngine,
     /// Seed for timeout randomization.
     pub seed: u64,
 }
@@ -182,9 +191,10 @@ mod tests {
         let cfg = SubCmd::FedConfig(FedConfig {
             founding: vec![NodeId(0), NodeId(5)],
             current: vec![NodeId(0), NodeId(5)],
+            engine: SacEngine::Pairwise,
             version: 1,
         });
-        assert_eq!(cfg.wire_bytes(), 16 + 32);
+        assert_eq!(cfg.wire_bytes(), 17 + 32);
     }
 
     #[test]
@@ -211,6 +221,7 @@ mod tests {
             probe_interval: SimDuration::from_millis(40),
             suspect_after: SimDuration::from_millis(100),
             dead_after: SimDuration::from_millis(300),
+            engine: SacEngine::Pairwise,
             seed: 1,
         };
         assert!(cfg.is_founding());

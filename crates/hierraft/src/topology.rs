@@ -2,6 +2,7 @@
 
 use crate::actor::HierActor;
 use crate::config::{HierMsg, HierPeerConfig};
+use p2pfl_secagg::SacEngine;
 use p2pfl_simnet::{Latency, LatencyConfig, NodeId, Sim, SimDuration, SimTime};
 
 /// Parameters of a two-layer deployment (paper Sec. VI-B1: m = 5 subgroups
@@ -20,6 +21,9 @@ pub struct DeploymentSpec {
     pub config_commit_interval: SimDuration,
     /// Joiner poll interval (paper: 100 ms).
     pub join_poll_interval: SimDuration,
+    /// Secure-aggregation engine for this deployment (replicated to every
+    /// peer through the committed [`crate::FedConfig`]).
+    pub engine: SacEngine,
     /// Simulation seed.
     pub seed: u64,
 }
@@ -34,6 +38,7 @@ impl DeploymentSpec {
             link_delay: SimDuration::from_millis(15),
             config_commit_interval: SimDuration::from_millis(200),
             join_poll_interval: SimDuration::from_millis(100),
+            engine: SacEngine::Pairwise,
             seed,
         }
     }
@@ -91,6 +96,7 @@ impl Deployment {
                     probe_interval: SimDuration::from_nanos((spec.t.as_nanos() / 5).max(1)),
                     suspect_after: spec.t,
                     dead_after: spec.t.saturating_mul(3),
+                    engine: spec.engine,
                     seed: spec.seed ^ (0x9e37 + id.0 as u64 * 0x85eb_ca6b),
                 };
                 let got = sim.add_node(HierActor::new(cfg));

@@ -4,6 +4,7 @@
 
 use p2pfl_hierraft::{HierActor, HierMsg, HierPeerConfig, SubCmd};
 use p2pfl_raft::MemStorage;
+use p2pfl_secagg::SacEngine;
 use p2pfl_simnet::{Latency, LatencyConfig, NodeId, Sim, SimDuration, SimTime};
 
 const SUBGROUPS: usize = 2;
@@ -22,6 +23,7 @@ fn peer_cfg(id: NodeId, subgroup: Vec<NodeId>, gi: usize, founding: Vec<NodeId>)
         probe_interval: SimDuration::from_millis(20),
         suspect_after: SimDuration::from_millis(100),
         dead_after: SimDuration::from_millis(300),
+        engine: SacEngine::Pairwise,
         seed: 0x9e37 + id.0 as u64 * 0x85eb_ca6b,
     }
 }

@@ -6,7 +6,7 @@
 use p2pfl_hierraft::{FedConfig, HierMsg, SubCmd, SubMembers};
 use p2pfl_net::codec::{from_bytes, to_bytes, write_frame, FrameBuffer, MAX_FRAME};
 use p2pfl_raft::{Entry, LogCmd, PersistOp, RaftMsg};
-use p2pfl_secagg::{SacMsg, WeightVector};
+use p2pfl_secagg::{RingMsg, SacEngine, SacMsg, WeightVector};
 use p2pfl_simnet::{
     Blob, FaultAction, FaultEntry, FaultPlan, NodeId, SimDuration, SimTime, TimerId,
 };
@@ -113,15 +113,21 @@ fn arb_raftmsg() -> impl Strategy<Value = RaftMsg<u64>> {
     ]
 }
 
+fn arb_engine() -> impl Strategy<Value = SacEngine> {
+    prop_oneof![Just(SacEngine::Pairwise), Just(SacEngine::Ring)]
+}
+
 fn arb_fedconfig() -> impl Strategy<Value = FedConfig> {
     (
         prop::collection::vec(arb_node(), 0..5),
         prop::collection::vec(arb_node(), 0..5),
+        arb_engine(),
         any::<u64>(),
     )
-        .prop_map(|(founding, current, version)| FedConfig {
+        .prop_map(|(founding, current, engine, version)| FedConfig {
             founding,
             current,
+            engine,
             version,
         })
 }
@@ -301,6 +307,46 @@ fn arb_sacmsg(max_dim: usize) -> impl Strategy<Value = SacMsg> {
     ]
 }
 
+fn arb_ringmsg(max_dim: usize) -> impl Strategy<Value = RingMsg> {
+    prop_oneof![
+        any::<u64>().prop_map(|round| RingMsg::Begin { round }),
+        (
+            any::<u64>(),
+            0usize..8,
+            prop::collection::vec((0usize..8, arb_weights(max_dim)), 0..4),
+        )
+            .prop_map(|(round, from_pos, parts)| RingMsg::StageShare {
+                round,
+                from_pos,
+                parts
+            }),
+        (any::<u64>(), 0usize..8).prop_map(|(round, from_pos)| RingMsg::Shared { round, from_pos }),
+        (any::<u64>(), prop::collection::vec(0usize..8, 0..8)).prop_map(|(round, contributors)| {
+            RingMsg::ComputeOver {
+                round,
+                contributors,
+            }
+        }),
+        (any::<u64>(), 0usize..4, 0usize..8, arb_weights(max_dim)).prop_map(
+            |(round, stage, idx, value)| RingMsg::StageTotal {
+                round,
+                stage,
+                idx,
+                value
+            }
+        ),
+        (any::<u64>(), 0usize..4, 0usize..8)
+            .prop_map(|(round, stage, idx)| { RingMsg::StageTotalRequest { round, stage, idx } }),
+        (any::<u64>(), arb_reason()).prop_map(|(round, reason)| RingMsg::Abort { round, reason }),
+        (
+            any::<u64>(),
+            prop::collection::vec(arb_node(), 0..6),
+            0usize..8
+        )
+            .prop_map(|(round, group, k)| RingMsg::Reconfigure { round, group, k }),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -362,6 +408,31 @@ proptest! {
         let cut = cut.min(bytes.len());
         // Any prefix must either fail cleanly or (full length) succeed.
         let _ = from_bytes::<SacMsg>(&bytes[..cut]);
+    }
+
+    #[test]
+    fn ring_messages_round_trip(msg in arb_ringmsg(32)) {
+        let bytes = to_bytes(&msg);
+        prop_assert_eq!(from_bytes::<RingMsg>(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn ring_truncation_never_panics(msg in arb_ringmsg(8), cut in 0usize..64) {
+        let bytes = to_bytes(&msg);
+        let cut = cut.min(bytes.len());
+        let _ = from_bytes::<RingMsg>(&bytes[..cut]);
+    }
+
+    #[test]
+    fn ring_bit_flips_never_panic(msg in arb_ringmsg(8), at in 0usize..256, bit in 0u8..8) {
+        // A corrupted ring frame must fail cleanly, never panic: the
+        // decoder sees arbitrary bytes off the wire before any checksum.
+        let mut bytes = to_bytes(&msg);
+        if !bytes.is_empty() {
+            let at = at % bytes.len();
+            bytes[at] ^= 1 << bit;
+        }
+        let _ = from_bytes::<RingMsg>(&bytes);
     }
 }
 

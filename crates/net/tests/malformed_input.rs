@@ -7,7 +7,7 @@ use p2pfl_hierraft::{FedConfig, HierMsg, SubCmd};
 use p2pfl_net::codec::{from_bytes, to_bytes, write_frame, CodecError, FrameBuffer, MAX_FRAME};
 use p2pfl_net::PeerRuntime;
 use p2pfl_raft::{Entry, LogCmd, RaftMsg};
-use p2pfl_secagg::{SacMsg, WeightVector};
+use p2pfl_secagg::{RingMsg, SacEngine, SacMsg, WeightVector};
 use p2pfl_simnet::{Actor, NodeId, Transport};
 use std::io::Write as _;
 use std::net::TcpStream;
@@ -39,6 +39,7 @@ fn seeds() -> Vec<Vec<u8>> {
             cmd: LogCmd::App(SubCmd::FedConfig(FedConfig {
                 founding: vec![NodeId(0), NodeId(3)],
                 current: vec![NodeId(0), NodeId(3)],
+                engine: SacEngine::Ring,
                 version: 1,
             })),
         }],
@@ -49,7 +50,17 @@ fn seeds() -> Vec<Vec<u8>> {
         from_pos: 2,
         parts: vec![(0, WeightVector::new(vec![1.0, -2.5]))],
     };
-    vec![to_bytes(&raft), to_bytes(&hier), to_bytes(&sac)]
+    let ring = RingMsg::StageShare {
+        round: 1,
+        from_pos: 4,
+        parts: vec![(1, WeightVector::new(vec![0.5, 3.25]))],
+    };
+    vec![
+        to_bytes(&raft),
+        to_bytes(&hier),
+        to_bytes(&sac),
+        to_bytes(&ring),
+    ]
 }
 
 fn decode_any(seed_idx: usize, bytes: &[u8]) {
@@ -62,8 +73,11 @@ fn decode_any(seed_idx: usize, bytes: &[u8]) {
         1 => {
             let _ = from_bytes::<HierMsg>(bytes);
         }
-        _ => {
+        2 => {
             let _ = from_bytes::<SacMsg>(bytes);
+        }
+        _ => {
+            let _ = from_bytes::<RingMsg>(bytes);
         }
     }
 }

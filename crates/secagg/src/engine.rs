@@ -25,6 +25,7 @@
 
 use crate::divide::{divide, ShareScheme};
 use crate::replicated::{assigned_partitions, holders};
+use crate::ring::SacEngine;
 use crate::weights::WeightVector;
 use p2pfl_simnet::{Actor, NodeId, Payload, SimDuration, Transport};
 use rand::rngs::StdRng;
@@ -164,6 +165,12 @@ pub struct SacConfig {
     pub k: usize,
     /// Share construction scheme.
     pub scheme: ShareScheme,
+    /// Which aggregation engine this subgroup runs. The config struct is
+    /// shared by both engines; a runtime constructs [`SacPeerActor`] for
+    /// `Pairwise` and [`crate::ring::RingSacActor`] for `Ring`. All
+    /// members of a subgroup must agree on the engine for a round — the
+    /// value is replicated through the FedAvg-layer config.
+    pub engine: SacEngine,
     /// Leader grace period for the share phase.
     pub share_deadline: SimDuration,
     /// Leader grace period for subtotal collection before recovery kicks in.
@@ -182,10 +189,12 @@ pub struct SacConfig {
 }
 
 impl SacConfig {
-    fn n(&self) -> usize {
+    /// Subgroup size `n`.
+    pub fn n(&self) -> usize {
         self.group.len()
     }
-    fn is_leader(&self) -> bool {
+    /// Whether this participant is the round leader.
+    pub fn is_leader(&self) -> bool {
         self.position == self.leader_pos
     }
 }
@@ -499,6 +508,26 @@ impl SacPeerActor {
         let contributors = self.received_from();
         if contributors.is_empty() {
             self.phase = SacPhase::Failed("no contributors".into());
+            return;
+        }
+        if contributors.len() < self.cfg.k {
+            // Freezing below the threshold would publish an average the
+            // round's `k` policy does not sanction (a retry round can get
+            // here when its `Reconfigure` reaches the survivors after the
+            // new share deadline). Treat it as a dead end: supervised
+            // rounds abort and retry/fail, unsupervised rounds just fail.
+            if self.cfg.round_deadline.is_some() {
+                let suspects: BTreeSet<usize> = (0..self.cfg.n())
+                    .filter(|j| !contributors.contains(j))
+                    .collect();
+                self.supervise(ctx, &suspects, "fewer than k contributors at freeze");
+            } else {
+                self.phase = SacPhase::Failed(format!(
+                    "fewer than k contributors at freeze ({} < {})",
+                    contributors.len(),
+                    self.cfg.k
+                ));
+            }
             return;
         }
         self.frozen = Some(contributors.clone());
@@ -898,6 +927,7 @@ mod tests {
                 leader_pos: 0,
                 k,
                 scheme: ShareScheme::Masked,
+                engine: SacEngine::Pairwise,
                 share_deadline: SimDuration::from_millis(100),
                 collect_deadline: SimDuration::from_millis(100),
                 round_deadline: None,
@@ -935,6 +965,7 @@ mod tests {
                 leader_pos: 0,
                 k,
                 scheme: ShareScheme::Masked,
+                engine: SacEngine::Pairwise,
                 share_deadline: SimDuration::from_millis(100),
                 collect_deadline: SimDuration::from_millis(100),
                 round_deadline: Some(round_deadline),
@@ -1047,6 +1078,7 @@ mod tests {
             leader_pos: 0,
             k: 3,
             scheme: ShareScheme::Masked,
+            engine: SacEngine::Pairwise,
             share_deadline: SimDuration::from_secs(1),
             collect_deadline: SimDuration::from_secs(1),
             round_deadline: None,
@@ -1226,6 +1258,7 @@ mod tests {
             leader_pos: 0,
             k: 2,
             scheme: ShareScheme::Masked,
+            engine: SacEngine::Pairwise,
             share_deadline: SimDuration::from_secs(1),
             collect_deadline: SimDuration::from_secs(1),
             round_deadline: Some(SimDuration::from_secs(10)),
@@ -1306,6 +1339,7 @@ mod tests {
             leader_pos: 0,
             k: 2,
             scheme: ShareScheme::Masked,
+            engine: SacEngine::Pairwise,
             share_deadline: SimDuration::from_secs(1),
             collect_deadline: SimDuration::from_secs(1),
             round_deadline: None,
@@ -1339,6 +1373,7 @@ mod tests {
             leader_pos: 0,
             k: 2,
             scheme: ShareScheme::Masked,
+            engine: SacEngine::Pairwise,
             share_deadline: SimDuration::from_secs(1),
             collect_deadline: SimDuration::from_secs(1),
             round_deadline: Some(SimDuration::from_secs(2)),
@@ -1380,6 +1415,7 @@ mod tests {
             leader_pos: 0,
             k: 3,
             scheme: ShareScheme::Masked,
+            engine: SacEngine::Pairwise,
             share_deadline: SimDuration::from_secs(1),
             collect_deadline: SimDuration::from_secs(1),
             round_deadline: None,

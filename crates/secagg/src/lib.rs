@@ -18,7 +18,10 @@
 //! * [`dp`] — Gaussian-mechanism differential privacy for peer updates,
 //!   the hardening the paper's Sec. IV-D points to (extension);
 //! * [`pairwise`] — the Bonawitz-style pairwise-mask baseline from the
-//!   paper's related work (Sec. II-B), with dropout recovery.
+//!   paper's related work (Sec. II-B), with dropout recovery;
+//! * [`ring`] — the Ring-SAC engine: staged successor-stage sharing with
+//!   O(n log n) traffic instead of O(n²), selectable per run via
+//!   [`SacEngine`].
 //!
 //! ## Quick example
 //!
@@ -49,6 +52,7 @@ mod ledger;
 pub mod mutants;
 pub mod pairwise;
 pub mod replicated;
+pub mod ring;
 mod sac;
 mod weights;
 
@@ -60,5 +64,6 @@ pub use ftsac::{
     fault_tolerant_secure_average, DropPhase, Dropout, FtSacError, FtSacOutcome, REQUEST_BYTES,
 };
 pub use ledger::TransferLog;
+pub use ring::{ring_secure_average, RingMsg, RingPlan, RingSacActor, SacEngine};
 pub use sac::{secure_average, secure_average_with_leader, SacOutcome};
 pub use weights::{WeightVector, WIRE_BYTES_PER_PARAM};

@@ -1,0 +1,266 @@
+//! Stage layout for the Ring-SAC engine.
+//!
+//! The `n` subgroup positions are chunked into `L ≈ n / ⌈log₂ n⌉`
+//! consecutive *stages* of `g ≈ ⌈log₂ n⌉` members each, arranged in a
+//! ring: every peer splits its masked model into additive shares and
+//! sends them only to the members of its *successor* stage, never to the
+//! whole subgroup. Stage-`t` members then own the per-partition sums over
+//! everything stage `t-1` contributed, so the leader can reconstruct the
+//! global sum from `n` stage totals instead of `n` full share matrices —
+//! Turbo-Aggregate's circular multi-group layout (arXiv 2002.04156)
+//! grafted onto the paper's replicated k-out-of-n share blocks.
+//!
+//! Within each receiving stage of size `m` the shares are replicated with
+//! the stage-local threshold `k_m = max(1, m - (n - k))`, i.e. each
+//! partition has `min(m, n-k+1)` holders: the global dropout budget of
+//! `n - k` crashes is honored even when all of them land in one stage
+//! (capped at `m - 1`, the most a stage can lose and still reconstruct).
+
+use crate::replicated::{assigned_partitions, holders};
+
+/// The ring/stage arrangement of one subgroup, derived from `(n, k)`.
+///
+/// Stages are consecutive position ranges (`positions 0..n` chunked in
+/// order), so the layout is a pure function of the roster length — every
+/// member derives the identical plan with no extra coordination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingPlan {
+    n: usize,
+    k: usize,
+    /// `(start position, length)` per stage, covering `0..n` exactly.
+    stages: Vec<(usize, usize)>,
+}
+
+impl RingPlan {
+    /// Derives the stage layout for `n` members with global threshold `k`.
+    ///
+    /// Panics unless `n >= 1` and `1 <= k <= n`.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(n >= 1, "empty subgroup has no ring layout");
+        assert!(k >= 1 && k <= n, "invalid threshold");
+        // Target stage size g = ⌈log₂ n⌉, floored at 2 so no stage is a
+        // singleton (a stage of one would hand the leader a per-peer sum,
+        // collapsing the anonymity set to a single model).
+        let mut g = ceil_log2(n).max(2);
+        if g > n {
+            g = n; // n = 1: a single one-member "stage"
+        }
+        let num = (n / g).max(1);
+        let base = n / num;
+        let extra = n % num;
+        let mut stages = Vec::with_capacity(num);
+        let mut start = 0;
+        for t in 0..num {
+            let len = base + usize::from(t < extra);
+            stages.push((start, len));
+            start += len;
+        }
+        debug_assert_eq!(start, n);
+        RingPlan { n, k, stages }
+    }
+
+    /// Number of stages `L` (1 for tiny groups, where the ring degenerates
+    /// to the all-to-all pairwise layout).
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Subgroup size this plan was derived for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The stage containing global position `pos`.
+    pub fn stage_of(&self, pos: usize) -> usize {
+        assert!(pos < self.n, "position out of range");
+        self.stages
+            .iter()
+            .position(|&(s, l)| pos >= s && pos < s + l)
+            .expect("stages cover 0..n")
+    }
+
+    /// Number of members in stage `t`.
+    pub fn stage_len(&self, t: usize) -> usize {
+        self.stages[t].1
+    }
+
+    /// Global positions of stage `t`, in order.
+    pub fn members(&self, t: usize) -> std::ops::Range<usize> {
+        let (s, l) = self.stages[t];
+        s..s + l
+    }
+
+    /// Global position of the stage-`t` member with stage-local index `i`.
+    pub fn global_pos(&self, t: usize, i: usize) -> usize {
+        assert!(i < self.stages[t].1, "stage-local index out of range");
+        self.stages[t].0 + i
+    }
+
+    /// Stage-local index of global position `pos` within its own stage.
+    pub fn local_index(&self, pos: usize) -> usize {
+        pos - self.stages[self.stage_of(pos)].0
+    }
+
+    /// The stage that receives stage `t`'s shares.
+    pub fn succ_stage(&self, t: usize) -> usize {
+        (t + 1) % self.stages.len()
+    }
+
+    /// The stage whose shares stage `t` receives.
+    pub fn pred_stage(&self, t: usize) -> usize {
+        (t + self.stages.len() - 1) % self.stages.len()
+    }
+
+    /// Stage-local reconstruction threshold `k_m = max(1, m - (n - k))`
+    /// for the stage of size `m = stage_len(t)`: each partition gets
+    /// `min(m, n-k+1)` replica holders, preserving the global `n - k`
+    /// dropout budget inside any single stage (up to losing `m - 1` of
+    /// its `m` members).
+    pub fn stage_k(&self, t: usize) -> usize {
+        self.stage_len(t).saturating_sub(self.n - self.k).max(1)
+    }
+
+    /// How many additive shares the peer at `pos` splits its model into:
+    /// the size of its successor stage.
+    pub fn parts_of(&self, pos: usize) -> usize {
+        self.stage_len(self.succ_stage(self.stage_of(pos)))
+    }
+
+    /// Stage-local partition indices assigned to the stage-`t` member with
+    /// local index `i` (the block of its predecessor stage's shares it
+    /// holds and totals).
+    pub fn assigned(&self, t: usize, i: usize) -> Vec<usize> {
+        assigned_partitions(self.stage_len(t), self.stage_k(t), i)
+    }
+
+    /// Global positions of every stage-`t` member holding partition `p`.
+    pub fn holders_of(&self, t: usize, p: usize) -> Vec<usize> {
+        holders(self.stage_len(t), self.stage_k(t), p)
+            .into_iter()
+            .map(|h| self.global_pos(t, h))
+            .collect()
+    }
+
+    /// Total number of `(stage, partition)` totals the leader collects:
+    /// always exactly `n`.
+    pub fn total_partitions(&self) -> usize {
+        self.n
+    }
+}
+
+/// `⌈log₂ n⌉` for `n >= 1` (0 for `n = 1`).
+fn ceil_log2(n: usize) -> usize {
+    usize::BITS as usize - (n - 1).leading_zeros() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_matches_float() {
+        for n in 1..=1024usize {
+            assert_eq!(ceil_log2(n), (n as f64).log2().ceil() as usize, "n={n}");
+        }
+    }
+
+    #[test]
+    fn stages_partition_positions_exactly() {
+        for n in 1..=64 {
+            let plan = RingPlan::new(n, n.div_ceil(2));
+            let mut covered = vec![false; n];
+            for t in 0..plan.num_stages() {
+                for pos in plan.members(t) {
+                    assert!(!covered[pos], "position {pos} in two stages");
+                    covered[pos] = true;
+                    assert_eq!(plan.stage_of(pos), t);
+                    assert_eq!(plan.global_pos(t, plan.local_index(pos)), pos);
+                }
+            }
+            assert!(covered.into_iter().all(|c| c), "n={n} not fully covered");
+            assert_eq!(plan.total_partitions(), n);
+        }
+    }
+
+    #[test]
+    fn no_singleton_stages_above_one_member() {
+        // A stage of one would expose a single peer's masked sum to the
+        // leader; the layout floors stage sizes at 2 whenever n >= 2.
+        for n in 2..=128 {
+            let plan = RingPlan::new(n, 1);
+            for t in 0..plan.num_stages() {
+                assert!(plan.stage_len(t) >= 2, "n={n} stage {t} is a singleton");
+            }
+        }
+    }
+
+    #[test]
+    fn stage_sizes_are_logarithmic() {
+        // Stage size tracks ⌈log₂ n⌉, so per-peer fan-out is O(log n):
+        // that is the entire complexity claim of the ring engine.
+        for n in 6..=256 {
+            let plan = RingPlan::new(n, 2);
+            let g = ceil_log2(n);
+            for t in 0..plan.num_stages() {
+                assert!(
+                    plan.stage_len(t) <= 2 * g,
+                    "n={n} stage {t} len {} exceeds 2·⌈log₂ n⌉ = {}",
+                    plan.stage_len(t),
+                    2 * g
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn known_layouts() {
+        assert_eq!(RingPlan::new(3, 2).stages, vec![(0, 3)]);
+        assert_eq!(RingPlan::new(4, 2).stages, vec![(0, 2), (2, 2)]);
+        assert_eq!(RingPlan::new(5, 3).stages, vec![(0, 5)]);
+        assert_eq!(RingPlan::new(6, 2).stages, vec![(0, 3), (3, 3)]);
+        assert_eq!(RingPlan::new(8, 4).stages, vec![(0, 4), (4, 4)]);
+        assert_eq!(
+            RingPlan::new(16, 8).stages,
+            vec![(0, 4), (4, 4), (8, 4), (12, 4)]
+        );
+    }
+
+    #[test]
+    fn ring_orientation_is_a_bijection() {
+        let plan = RingPlan::new(16, 8);
+        for t in 0..plan.num_stages() {
+            assert_eq!(plan.pred_stage(plan.succ_stage(t)), t);
+            assert_eq!(plan.succ_stage(plan.pred_stage(t)), t);
+        }
+    }
+
+    #[test]
+    fn stage_threshold_preserves_global_dropout_budget() {
+        for n in 2..=64 {
+            for k in 1..=n {
+                let plan = RingPlan::new(n, k);
+                for t in 0..plan.num_stages() {
+                    let m = plan.stage_len(t);
+                    let k_m = plan.stage_k(t);
+                    assert!((1..=m).contains(&k_m), "n={n} k={k} stage {t}");
+                    // Replication factor min(m, n-k+1): the stage survives
+                    // min(m-1, n-k) of its members crashing.
+                    assert_eq!(m - k_m + 1, m.min(n - k + 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn holders_are_stage_members_holding_the_partition() {
+        let plan = RingPlan::new(16, 8);
+        for t in 0..plan.num_stages() {
+            for p in 0..plan.stage_len(t) {
+                for g in plan.holders_of(t, p) {
+                    assert_eq!(plan.stage_of(g), t);
+                    assert!(plan.assigned(t, plan.local_index(g)).contains(&p));
+                }
+            }
+        }
+    }
+}

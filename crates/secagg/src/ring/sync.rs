@@ -1,0 +1,353 @@
+//! Synchronous Ring-SAC reference — the circular counterpart of
+//! [`crate::ftsac::fault_tolerant_secure_average`], with the same dropout
+//! schedule semantics and cost ledger, used by the round runner when a
+//! subgroup's replicated config selects [`SacEngine::Ring`].
+//!
+//! Per contributor the share fan-out is the successor-stage size
+//! `m ≈ ⌈log₂ n⌉` instead of `n - 1`, so a no-dropout round moves
+//! `n·m·min(m, n-k+1)·|w|` share bytes (pairwise: `n(n-1)(n-k+1)|w|`)
+//! plus `n` small `Shared` announcements to the leader.
+//!
+//! [`SacEngine::Ring`]: crate::ring::SacEngine::Ring
+
+use crate::divide::{divide, ShareScheme};
+use crate::ftsac::{DropPhase, Dropout, FtSacError, FtSacOutcome, REQUEST_BYTES};
+use crate::ledger::TransferLog;
+use crate::ring::plan::RingPlan;
+use crate::weights::WeightVector;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Phase label for stage-share exchange (successor-stage blocks).
+pub const RING_PHASE_SHARE: &str = "ringsac.share";
+/// Phase label for the per-peer `Shared` announcements to the leader.
+pub const RING_PHASE_ANNOUNCE: &str = "ringsac.shared";
+/// Phase label for routine stage-total collection at the leader.
+pub const RING_PHASE_TOTAL: &str = "ringsac.total";
+/// Phase label for recovery requests (small control messages).
+pub const RING_PHASE_REQUEST: &str = "ringsac.request";
+/// Phase label for recovered totals served by alternate in-stage holders.
+pub const RING_PHASE_RECOVERY: &str = "ringsac.recovery";
+
+/// Size charged for one `Shared` announcement control message.
+pub const ANNOUNCE_BYTES: u64 = 16;
+
+/// Runs one round of staged Ring-SAC led by `leader`, with the given
+/// dropout schedule. Same error surface and outcome shape as the
+/// pairwise [`crate::ftsac::fault_tolerant_secure_average`], so the
+/// round runner can dispatch between the two on the replicated engine
+/// selection.
+pub fn ring_secure_average<R: Rng + ?Sized>(
+    models: &[WeightVector],
+    k: usize,
+    leader: usize,
+    dropouts: &[Dropout],
+    scheme: ShareScheme,
+    rng: &mut R,
+) -> Result<FtSacOutcome, FtSacError> {
+    let n = models.len();
+    if k == 0 || k > n {
+        return Err(FtSacError::InvalidThreshold { n, k });
+    }
+    assert!(leader < n, "leader index out of range");
+    let dim = models[0].dim();
+    assert!(
+        models.iter().all(|m| m.dim() == dim),
+        "all models must share a dimension"
+    );
+    let wire = models[0].wire_bytes();
+
+    let mut phase_of: HashMap<usize, DropPhase> = HashMap::new();
+    for d in dropouts {
+        assert!(d.peer < n, "dropout peer index out of range");
+        phase_of.insert(d.peer, d.phase);
+    }
+    if phase_of.contains_key(&leader) {
+        return Err(FtSacError::LeaderCrashed);
+    }
+
+    let alive: Vec<bool> = (0..n).map(|i| !phase_of.contains_key(&i)).collect();
+    let contributors: Vec<usize> = (0..n)
+        .filter(|i| phase_of.get(i) != Some(&DropPhase::BeforeShare))
+        .collect();
+    if contributors.is_empty() {
+        return Err(FtSacError::NoContributors);
+    }
+
+    let plan = RingPlan::new(n, k);
+    let mut log = TransferLog::new();
+
+    // Phase 1: each contributor splits its model into m shares (m = its
+    // successor stage's size) and sends every successor-stage member its
+    // replicated block, then announces completion to the leader.
+    let mut shares: HashMap<usize, Vec<WeightVector>> = HashMap::new();
+    for &i in &contributors {
+        let s = plan.succ_stage(plan.stage_of(i));
+        let m = plan.stage_len(s);
+        shares.insert(i, divide(&models[i], m, scheme, rng));
+        for r in 0..m {
+            if plan.global_pos(s, r) != i {
+                log.record(RING_PHASE_SHARE, plan.assigned(s, r).len() as u64 * wire);
+            }
+        }
+        if i != leader {
+            log.record(RING_PHASE_ANNOUNCE, ANNOUNCE_BYTES);
+        }
+    }
+
+    // Phase 2: stage totals. Total (t, p) sums partition p of every
+    // contributor in t's predecessor stage; summing the full
+    // (stage, partition) grid telescopes to Σ models over contributors.
+    let total = |t: usize, p: usize| -> WeightVector {
+        let pred = plan.pred_stage(t);
+        let mut acc = WeightVector::zeros(dim);
+        for c in plan.members(pred) {
+            if let Some(parts) = shares.get(&c) {
+                acc.add_assign(&parts[p]);
+            }
+        }
+        acc
+    };
+
+    // Phase 3: the leader gathers all n totals — its own block directly,
+    // the rest from primary owners, alternate in-stage holders covering
+    // crashed owners.
+    let lt = plan.stage_of(leader);
+    let leader_block = plan.assigned(lt, plan.local_index(leader));
+    let mut collected: HashMap<(usize, usize), WeightVector> = HashMap::new();
+    let mut recoveries = 0usize;
+    for t in 0..plan.num_stages() {
+        for p in 0..plan.stage_len(t) {
+            if t == lt && leader_block.contains(&p) {
+                collected.insert((t, p), total(t, p));
+                continue;
+            }
+            let owner = plan.global_pos(t, p);
+            if alive[owner] {
+                log.record(RING_PHASE_TOTAL, wire);
+                collected.insert((t, p), total(t, p));
+                continue;
+            }
+            // Owner crashed: ask the other in-stage replica holders.
+            let alt = plan
+                .holders_of(t, p)
+                .into_iter()
+                .find(|&h| h != owner && alive[h]);
+            match alt {
+                Some(_h) => {
+                    log.record(RING_PHASE_REQUEST, REQUEST_BYTES);
+                    log.record(RING_PHASE_RECOVERY, wire);
+                    recoveries += 1;
+                    collected.insert((t, p), total(t, p));
+                }
+                None => {
+                    return Err(FtSacError::TooManyDropouts {
+                        partition: plan.global_pos(t, p),
+                    })
+                }
+            }
+        }
+    }
+
+    // Phase 4: average over contributors.
+    let mut average = WeightVector::zeros(dim);
+    for t in 0..plan.num_stages() {
+        for p in 0..plan.stage_len(t) {
+            average.add_assign(&collected[&(t, p)]);
+        }
+    }
+    average.scale(1.0 / contributors.len() as f64);
+
+    Ok(FtSacOutcome {
+        average,
+        contributors,
+        recoveries,
+        log,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn models(n: usize, dim: usize, seed: u64) -> Vec<WeightVector> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| WeightVector::random(dim, 1.0, &mut rng))
+            .collect()
+    }
+
+    fn mean_of(ms: &[WeightVector], idx: &[usize]) -> WeightVector {
+        WeightVector::mean(idx.iter().map(|&i| &ms[i]))
+    }
+
+    #[test]
+    fn no_dropouts_matches_plain_mean_across_sizes() {
+        for (n, k) in [(3usize, 2usize), (5, 3), (6, 2), (8, 4), (16, 8), (24, 12)] {
+            let ms = models(n, 20, n as u64);
+            let mut rng = StdRng::seed_from_u64(2);
+            let out = ring_secure_average(&ms, k, 0, &[], ShareScheme::Masked, &mut rng).unwrap();
+            assert_eq!(out.contributors, (0..n).collect::<Vec<_>>());
+            assert_eq!(out.recoveries, 0);
+            let all: Vec<usize> = (0..n).collect();
+            assert!(
+                out.average.linf_distance(&mean_of(&ms, &all)) < 1e-9,
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn share_phase_cost_is_log_fan_out() {
+        // n = 8, k = 4: stages [4, 4], k_m = 1 so blocks carry all 4
+        // partitions. 8 senders x 4 receivers = 32 block messages of
+        // 4|w| each — against pairwise n(n-1) = 56 blocks of 5|w|.
+        let (n, k) = (8usize, 4usize);
+        let ms = models(n, 10, 3);
+        let wire = ms[0].wire_bytes();
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = ring_secure_average(&ms, k, 0, &[], ShareScheme::Masked, &mut rng).unwrap();
+        assert_eq!(out.log.phase(RING_PHASE_SHARE), (32, 32 * 4 * wire));
+        assert_eq!(out.log.phase(RING_PHASE_ANNOUNCE), (7, 7 * ANNOUNCE_BYTES));
+        // Leader (stage 0, k_m = 1) holds all of stage 0; stage 1's 4
+        // primaries travel.
+        assert_eq!(out.log.phase(RING_PHASE_TOTAL), (4, 4 * wire));
+        assert_eq!(out.log.phase(RING_PHASE_RECOVERY), (0, 0));
+    }
+
+    #[test]
+    fn after_share_dropout_still_contributes() {
+        let ms = models(6, 16, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let out = ring_secure_average(
+            &ms,
+            2,
+            0,
+            &[Dropout {
+                peer: 4,
+                phase: DropPhase::AfterShare,
+            }],
+            ShareScheme::Masked,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(out.contributors, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(out.recoveries, 1);
+        assert_eq!(out.log.phase(RING_PHASE_REQUEST).0, 1);
+        let plain = mean_of(&ms, &[0, 1, 2, 3, 4, 5]);
+        assert!(out.average.linf_distance(&plain) < 1e-9);
+    }
+
+    #[test]
+    fn before_share_dropout_is_excluded() {
+        let ms = models(6, 16, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let out = ring_secure_average(
+            &ms,
+            2,
+            1,
+            &[Dropout {
+                peer: 3,
+                phase: DropPhase::BeforeShare,
+            }],
+            ShareScheme::Masked,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(out.contributors, vec![0, 1, 2, 4, 5]);
+        let plain = mean_of(&ms, &[0, 1, 2, 4, 5]);
+        assert!(out.average.linf_distance(&plain) < 1e-9);
+    }
+
+    #[test]
+    fn tolerates_up_to_n_minus_k_after_share_dropouts() {
+        // n - k = 4 crashes spread over both stages: every lost primary
+        // total is recovered from an in-stage alternate holder.
+        let (n, k) = (6usize, 2usize);
+        let ms = models(n, 8, 11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let dropouts: Vec<Dropout> = [1usize, 2, 3, 4]
+            .iter()
+            .map(|&p| Dropout {
+                peer: p,
+                phase: DropPhase::AfterShare,
+            })
+            .collect();
+        let out = ring_secure_average(&ms, k, 0, &dropouts, ShareScheme::Masked, &mut rng).unwrap();
+        assert!(out.recoveries >= 2);
+        let all: Vec<usize> = (0..n).collect();
+        assert!(out.average.linf_distance(&mean_of(&ms, &all)) < 1e-9);
+    }
+
+    #[test]
+    fn leader_crash_is_reported() {
+        let ms = models(6, 4, 13);
+        let mut rng = StdRng::seed_from_u64(14);
+        let err = ring_secure_average(
+            &ms,
+            2,
+            0,
+            &[Dropout {
+                peer: 0,
+                phase: DropPhase::AfterShare,
+            }],
+            ShareScheme::Masked,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert_eq!(err, FtSacError::LeaderCrashed);
+    }
+
+    #[test]
+    fn invalid_threshold_is_reported() {
+        let ms = models(3, 4, 15);
+        let mut rng = StdRng::seed_from_u64(16);
+        for k in [0usize, 4] {
+            let err =
+                ring_secure_average(&ms, k, 0, &[], ShareScheme::Masked, &mut rng).unwrap_err();
+            assert!(matches!(err, FtSacError::InvalidThreshold { .. }));
+        }
+    }
+
+    #[test]
+    fn k_equals_n_with_a_dropout_is_unrecoverable() {
+        // k = n gives k_m = m: no in-stage replication, so a crashed
+        // owner outside the leader's block loses its total.
+        let ms = models(4, 4, 17);
+        let mut rng = StdRng::seed_from_u64(18);
+        let err = ring_secure_average(
+            &ms,
+            4,
+            0,
+            &[Dropout {
+                peer: 3,
+                phase: DropPhase::AfterShare,
+            }],
+            ShareScheme::Masked,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FtSacError::TooManyDropouts { .. }));
+    }
+
+    #[test]
+    fn ring_beats_pairwise_bytes_at_moderate_n() {
+        // The whole point of the subsystem: beyond the crossover the ring
+        // share phase moves strictly fewer bytes and messages.
+        use crate::ftsac::{fault_tolerant_secure_average, PHASE_SHARE};
+        for n in [8usize, 16, 32] {
+            let k = n / 2;
+            let ms = models(n, 16, 19 + n as u64);
+            let mut rng = StdRng::seed_from_u64(20);
+            let ring = ring_secure_average(&ms, k, 0, &[], ShareScheme::Masked, &mut rng).unwrap();
+            let pair = fault_tolerant_secure_average(&ms, k, 0, &[], ShareScheme::Masked, &mut rng)
+                .unwrap();
+            let (rm, rb) = ring.log.phase(RING_PHASE_SHARE);
+            let (pm, pb) = pair.log.phase(PHASE_SHARE);
+            assert!(rm < pm, "n={n}: ring {rm} msgs vs pairwise {pm}");
+            assert!(rb < pb, "n={n}: ring {rb} bytes vs pairwise {pb}");
+        }
+    }
+}

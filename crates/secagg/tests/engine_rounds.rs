@@ -2,7 +2,9 @@
 //! consecutive aggregation rounds with fresh models, as the two-layer
 //! system does every training round.
 
-use p2pfl_secagg::{SacConfig, SacMsg, SacPeerActor, SacPhase, ShareScheme, WeightVector};
+use p2pfl_secagg::{
+    SacConfig, SacEngine, SacMsg, SacPeerActor, SacPhase, ShareScheme, WeightVector,
+};
 use p2pfl_simnet::{NodeId, Sim, SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -17,6 +19,7 @@ fn build(n: usize, k: usize, seed: u64) -> (Sim<SacMsg>, Vec<NodeId>) {
             leader_pos: 0,
             k,
             scheme: ShareScheme::Masked,
+            engine: SacEngine::Pairwise,
             share_deadline: SimDuration::from_millis(100),
             collect_deadline: SimDuration::from_millis(100),
             round_deadline: None,
@@ -141,6 +144,7 @@ fn slow_links_reorder_compute_over_before_blocks() {
             leader_pos: 0,
             k: 2,
             scheme: ShareScheme::Masked,
+            engine: SacEngine::Pairwise,
             share_deadline: SimDuration::from_secs(120),
             collect_deadline: SimDuration::from_secs(120),
             round_deadline: None,

@@ -29,6 +29,7 @@ const EXTRA_WIRE_TYPES: &[&str] = &[
     "FedConfig",    // replicated FedAvg-layer membership
     "SubCmd",       // subgroup log commands
     "SubMembers",   // replicated aggregation roster (self-healing)
+    "SacEngine",    // engine selector, replicated inside FedConfig
     "WeightVector", // SAC share payloads
     "FaultPlan",    // declarative fault schedules (chaos + check replay)
     "FaultEntry",

@@ -28,7 +28,9 @@
 
 use p2pfl_hierraft::{HierActor, HierMsg, HierPeerConfig};
 use p2pfl_net::{NetStats, PeerRuntime};
-use p2pfl_secagg::{SacConfig, SacMsg, SacPeerActor, SacPhase, ShareScheme, WeightVector};
+use p2pfl_secagg::{
+    SacConfig, SacEngine, SacMsg, SacPeerActor, SacPhase, ShareScheme, WeightVector,
+};
 use p2pfl_simnet::{NodeId, Sim, SimDuration};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -64,6 +66,7 @@ fn hier_config(id: u32) -> HierPeerConfig {
         probe_interval: SimDuration::from_millis(40),
         suspect_after: SimDuration::from_millis(150),
         dead_after: SimDuration::from_millis(450),
+        engine: SacEngine::Pairwise,
         seed: SEED + id as u64,
     }
 }
@@ -118,6 +121,7 @@ fn sac_config(group: &[u32], position: usize, leader_pos: usize, deadline_ms: u6
         leader_pos,
         k: K,
         scheme: ShareScheme::Masked,
+        engine: SacEngine::Pairwise,
         share_deadline: SimDuration::from_millis(deadline_ms),
         collect_deadline: SimDuration::from_millis(deadline_ms),
         round_deadline: None,

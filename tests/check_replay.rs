@@ -14,7 +14,9 @@
 use p2pfl_check::models::Sac3Model;
 use p2pfl_check::{Counterexample, ExploreConfig, Explorer, Model};
 use p2pfl_net::PeerRuntime;
-use p2pfl_secagg::{SacConfig, SacMsg, SacPeerActor, SacPhase, ShareScheme, WeightVector};
+use p2pfl_secagg::{
+    SacConfig, SacEngine, SacMsg, SacPeerActor, SacPhase, ShareScheme, WeightVector,
+};
 use p2pfl_simnet::{NodeId, Sim, SimDuration};
 use std::time::{Duration, Instant};
 
@@ -101,6 +103,7 @@ fn sac_cfg(ids: &[NodeId], pos: usize, deadline: SimDuration) -> SacConfig {
         leader_pos: 0,
         k: 2,
         scheme: ShareScheme::Masked,
+        engine: SacEngine::Pairwise,
         share_deadline: deadline,
         collect_deadline: deadline,
         round_deadline: None,

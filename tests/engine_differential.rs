@@ -1,0 +1,279 @@
+//! Differential acceptance: the pairwise (Alg. 4) and Ring-SAC engines,
+//! run with the same seed, the same input models, and the same fault
+//! plan, must publish the same aggregate.
+//!
+//! The two engines use independent mask randomness (different message
+//! schedules consume the shared seed differently), so cross-engine
+//! results are *not* bit-identical — each engine's masks cancel to float
+//! rounding, leaving a documented `RING_DIFF_TOL` gap between them. What
+//! *is* bit-identical is each engine against itself across transports:
+//! in the no-dropout case the same engine run under the simulator and
+//! over real TCP sockets freezes the same contributor set and sums in
+//! the same (position-sorted) order, so its digests must match exactly.
+
+use p2pfl_net::PeerRuntime;
+use p2pfl_secagg::{
+    RingMsg, RingSacActor, SacConfig, SacEngine, SacMsg, SacPeerActor, SacPhase, ShareScheme,
+    WeightVector,
+};
+use p2pfl_simnet::{FaultPlan, NodeId, Sim, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+const N: usize = 6;
+const K: usize = 2;
+const DIM: usize = 24;
+const SEED: u64 = 0xD1FF;
+
+/// Documented cross-engine bound. Each engine's result is the plain mean
+/// of its contributors up to mask-cancellation rounding (masks are drawn
+/// in `[-1e3, 1e3]`, so cancellation error is ~1e-12 at this scale); the
+/// two engines therefore agree within a comfortable 1e-6.
+const RING_DIFF_TOL: f64 = 1e-6;
+
+fn models() -> Vec<WeightVector> {
+    let mut rng = StdRng::seed_from_u64(SEED + 999);
+    (0..N)
+        .map(|_| WeightVector::random(DIM, 1.0, &mut rng))
+        .collect()
+}
+
+fn config(ids: &[NodeId], position: usize, engine: SacEngine, deadline: SimDuration) -> SacConfig {
+    SacConfig {
+        group: ids.to_vec(),
+        position,
+        leader_pos: 0,
+        k: K,
+        scheme: ShareScheme::Masked,
+        engine,
+        share_deadline: deadline,
+        collect_deadline: deadline,
+        round_deadline: None,
+        seed: SEED + position as u64,
+    }
+}
+
+/// One simulated pairwise round under `plan`; returns the leader's frozen
+/// contributor set and result.
+fn sim_pairwise(plan: Option<&FaultPlan>) -> (Vec<usize>, WeightVector) {
+    let mut sim: Sim<SacMsg> = Sim::new(SEED);
+    let ids: Vec<NodeId> = (0..N).map(|i| NodeId(i as u32)).collect();
+    for (i, model) in models().iter().enumerate() {
+        let cfg = config(&ids, i, SacEngine::Pairwise, SimDuration::from_millis(100));
+        sim.add_node(SacPeerActor::new(cfg, model.clone()));
+    }
+    if let Some(p) = plan {
+        sim.apply_fault_plan(p);
+    }
+    sim.exec::<SacPeerActor, _, _>(ids[0], |a, ctx| a.start_round(ctx, 1));
+    sim.run_until(sim.now() + SimDuration::from_secs(5));
+    let leader = sim.actor::<SacPeerActor>(ids[0]);
+    assert_eq!(leader.phase, SacPhase::Done, "pairwise: {:?}", leader.phase);
+    (leader.contributors.clone(), leader.result.clone().unwrap())
+}
+
+/// One simulated ring round under `plan`; returns the leader's frozen
+/// contributor set and result.
+fn sim_ring(plan: Option<&FaultPlan>) -> (Vec<usize>, WeightVector) {
+    let mut sim: Sim<RingMsg> = Sim::new(SEED);
+    let ids: Vec<NodeId> = (0..N).map(|i| NodeId(i as u32)).collect();
+    for (i, model) in models().iter().enumerate() {
+        let cfg = config(&ids, i, SacEngine::Ring, SimDuration::from_millis(100));
+        sim.add_node(RingSacActor::new(cfg, model.clone()));
+    }
+    if let Some(p) = plan {
+        sim.apply_fault_plan(p);
+    }
+    sim.exec::<RingSacActor, _, _>(ids[0], |a, ctx| a.start_round(ctx, 1));
+    sim.run_until(sim.now() + SimDuration::from_secs(5));
+    let leader = sim.actor::<RingSacActor>(ids[0]);
+    assert_eq!(leader.phase, SacPhase::Done, "ring: {:?}", leader.phase);
+    (leader.contributors.clone(), leader.result.clone().unwrap())
+}
+
+#[test]
+fn no_dropout_engines_agree_on_sim() {
+    let (pc, pv) = sim_pairwise(None);
+    let (rc, rv) = sim_ring(None);
+    assert_eq!(pc, (0..N).collect::<Vec<_>>());
+    assert_eq!(pc, rc, "contributor sets diverged");
+    let gap = pv.linf_distance(&rv);
+    assert!(gap <= RING_DIFF_TOL, "engines {gap} apart");
+    // Both sit on the plain mean of all inputs.
+    let mean = WeightVector::mean(models().iter());
+    assert!(pv.linf_distance(&mean) <= RING_DIFF_TOL);
+    assert!(rv.linf_distance(&mean) <= RING_DIFF_TOL);
+}
+
+#[test]
+fn same_fault_plan_engines_agree_on_sim() {
+    // One declarative plan interpreted by both engines: peer 4 crashes
+    // mid-round, after shares have flowed but before the round closes.
+    // Each engine must recover the lost peer's material from replicas and
+    // still count it as a contributor.
+    let plan = FaultPlan::new(SEED ^ 0xc4a5).crash(SimTime::from_millis(40), NodeId(4));
+    let (pc, pv) = sim_pairwise(Some(&plan));
+    let (rc, rv) = sim_ring(Some(&plan));
+    assert_eq!(
+        pc,
+        (0..N).collect::<Vec<_>>(),
+        "pairwise lost a contributor"
+    );
+    assert_eq!(pc, rc, "contributor sets diverged under the same plan");
+    let gap = pv.linf_distance(&rv);
+    assert!(gap <= RING_DIFF_TOL, "engines {gap} apart under faults");
+}
+
+#[test]
+fn pre_round_crash_excludes_the_same_peer_from_both_engines() {
+    // Crash before any share flows: both engines must exclude exactly the
+    // crashed peer and average the surviving five.
+    let plan = FaultPlan::new(SEED ^ 0xdead).crash(SimTime::ZERO, NodeId(5));
+    let (pc, pv) = sim_pairwise(Some(&plan));
+    let (rc, rv) = sim_ring(Some(&plan));
+    assert_eq!(pc, (0..N - 1).collect::<Vec<_>>());
+    assert_eq!(pc, rc, "exclusion diverged");
+    let gap = pv.linf_distance(&rv);
+    assert!(gap <= RING_DIFF_TOL, "engines {gap} apart after exclusion");
+    let mean = WeightVector::mean(models()[..N - 1].iter());
+    assert!(rv.linf_distance(&mean) <= RING_DIFF_TOL);
+}
+
+/// Simulator digests for `rounds` consecutive no-dropout rounds, pairwise.
+fn sim_pairwise_digests(rounds: u64) -> Vec<u64> {
+    let mut sim: Sim<SacMsg> = Sim::new(SEED);
+    let ids: Vec<NodeId> = (0..N).map(|i| NodeId(i as u32)).collect();
+    for (i, model) in models().iter().enumerate() {
+        let cfg = config(&ids, i, SacEngine::Pairwise, SimDuration::from_millis(500));
+        sim.add_node(SacPeerActor::new(cfg, model.clone()));
+    }
+    let mut out = Vec::new();
+    for round in 1..=rounds {
+        sim.exec::<SacPeerActor, _, _>(ids[0], move |a, ctx| a.start_round(ctx, round));
+        sim.run_until(sim.now() + SimDuration::from_secs(5));
+        let leader = sim.actor::<SacPeerActor>(ids[0]);
+        assert_eq!(leader.phase, SacPhase::Done, "{:?}", leader.phase);
+        out.push(leader.result.as_ref().unwrap().digest());
+    }
+    out
+}
+
+/// Simulator digests for `rounds` consecutive no-dropout rounds, ring.
+fn sim_ring_digests(rounds: u64) -> Vec<u64> {
+    let mut sim: Sim<RingMsg> = Sim::new(SEED);
+    let ids: Vec<NodeId> = (0..N).map(|i| NodeId(i as u32)).collect();
+    for (i, model) in models().iter().enumerate() {
+        let cfg = config(&ids, i, SacEngine::Ring, SimDuration::from_millis(500));
+        sim.add_node(RingSacActor::new(cfg, model.clone()));
+    }
+    let mut out = Vec::new();
+    for round in 1..=rounds {
+        sim.exec::<RingSacActor, _, _>(ids[0], move |a, ctx| a.start_round(ctx, round));
+        sim.run_until(sim.now() + SimDuration::from_secs(5));
+        let leader = sim.actor::<RingSacActor>(ids[0]);
+        assert_eq!(leader.phase, SacPhase::Done, "{:?}", leader.phase);
+        out.push(leader.result.as_ref().unwrap().digest());
+    }
+    out
+}
+
+fn wait_result<A, M, F>(leader: &PeerRuntime<M, A>, round: u64, state: F) -> WeightVector
+where
+    M: p2pfl_net::WireMsg + Send + 'static,
+    A: p2pfl_simnet::Actor<M> + Send + 'static,
+    F: Fn(&A) -> (SacPhase, Option<WeightVector>) + Send + Copy + 'static,
+{
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match leader.with(move |a, _| state(a)) {
+            (SacPhase::Done, Some(v)) => return v,
+            (SacPhase::Failed(e), _) => panic!("round {round} failed: {e}"),
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "round {round} stalled");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn mesh<M, A>(runtimes: &[PeerRuntime<M, A>])
+where
+    M: p2pfl_net::WireMsg + Send + 'static,
+    A: p2pfl_simnet::Actor<M> + Send + 'static,
+{
+    for a in runtimes {
+        for b in runtimes {
+            if a.node_id() != b.node_id() {
+                a.add_peer(b.node_id(), b.local_addr());
+            }
+        }
+    }
+}
+
+#[test]
+fn tcp_engines_agree_and_match_their_simulator_runs_bitwise() {
+    let expected_pairwise = sim_pairwise_digests(2);
+    let expected_ring = sim_ring_digests(2);
+    let ids: Vec<NodeId> = (0..N).map(|i| NodeId(i as u32)).collect();
+    let ms = models();
+
+    let pairwise: Vec<PeerRuntime<SacMsg, SacPeerActor>> = (0..N)
+        .map(|i| {
+            let cfg = config(&ids, i, SacEngine::Pairwise, SimDuration::from_secs(10));
+            PeerRuntime::start(
+                ids[i],
+                "127.0.0.1:0",
+                &[],
+                SacPeerActor::new(cfg, ms[i].clone()),
+            )
+            .expect("bind")
+        })
+        .collect();
+    mesh(&pairwise);
+    let ring: Vec<PeerRuntime<RingMsg, RingSacActor>> = (0..N)
+        .map(|i| {
+            let cfg = config(&ids, i, SacEngine::Ring, SimDuration::from_secs(10));
+            PeerRuntime::start(
+                ids[i],
+                "127.0.0.1:0",
+                &[],
+                RingSacActor::new(cfg, ms[i].clone()),
+            )
+            .expect("bind")
+        })
+        .collect();
+    mesh(&ring);
+
+    // Round 1 on a healthy network.
+    pairwise[0].with(|a, ctx| a.start_round(ctx, 1));
+    ring[0].with(|a, ctx| a.start_round(ctx, 1));
+    let pv = wait_result(&pairwise[0], 1, |a| (a.phase.clone(), a.result.clone()));
+    let rv = wait_result(&ring[0], 1, |a| (a.phase.clone(), a.result.clone()));
+    assert_eq!(pv.digest(), expected_pairwise[0], "pairwise TCP != sim");
+    assert_eq!(rv.digest(), expected_ring[0], "ring TCP != sim");
+    let gap = pv.linf_distance(&rv);
+    assert!(gap <= RING_DIFF_TOL, "TCP engines {gap} apart");
+
+    // The same transport fault against both engines: sever every TCP
+    // connection, then run round 2 straight through the reconnect path.
+    for rt in &pairwise {
+        rt.kill_connections();
+    }
+    for rt in &ring {
+        rt.kill_connections();
+    }
+    pairwise[0].with(|a, ctx| a.start_round(ctx, 2));
+    ring[0].with(|a, ctx| a.start_round(ctx, 2));
+    let pv = wait_result(&pairwise[0], 2, |a| (a.phase.clone(), a.result.clone()));
+    let rv = wait_result(&ring[0], 2, |a| (a.phase.clone(), a.result.clone()));
+    assert_eq!(pv.digest(), expected_pairwise[1], "pairwise TCP != sim");
+    assert_eq!(rv.digest(), expected_ring[1], "ring TCP != sim");
+    let gap = pv.linf_distance(&rv);
+    assert!(
+        gap <= RING_DIFF_TOL,
+        "TCP engines {gap} apart after blackout"
+    );
+    for rt in &ring {
+        assert_eq!(rt.decode_errors(), 0, "ring peer dropped frames");
+    }
+}

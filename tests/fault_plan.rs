@@ -18,7 +18,9 @@
 use p2pfl_hierraft::{Deployment, DeploymentSpec, HierActor, HierMsg, HierPeerConfig, SubCmd};
 use p2pfl_net::PeerRuntime;
 use p2pfl_raft::FileStorage;
-use p2pfl_secagg::{SacConfig, SacMsg, SacPeerActor, SacPhase, ShareScheme, WeightVector};
+use p2pfl_secagg::{
+    SacConfig, SacEngine, SacMsg, SacPeerActor, SacPhase, ShareScheme, WeightVector,
+};
 use p2pfl_simnet::{FaultPlan, NodeId, ProcessFault, Sim, SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -59,6 +61,7 @@ fn sac_config(ids: &[NodeId], position: usize, deadline: SimDuration) -> SacConf
         leader_pos: 0,
         k: K,
         scheme: ShareScheme::Masked,
+        engine: SacEngine::Pairwise,
         share_deadline: deadline,
         collect_deadline: deadline,
         round_deadline: None,
@@ -196,6 +199,7 @@ fn hier_cfg(id: NodeId, subgroups: &[Vec<NodeId>], founding: &[NodeId]) -> HierP
         probe_interval: SimDuration::from_millis(60),
         suspect_after: SimDuration::from_millis(300),
         dead_after: SimDuration::from_millis(900),
+        engine: SacEngine::Pairwise,
         seed: SEED ^ (0x9e37 + id.0 as u64 * 0x85eb_ca6b),
     }
 }

@@ -7,7 +7,7 @@ use p2pfl_fed::Client;
 use p2pfl_ml::data::{features_like, partition_dataset, train_test_split, Dataset, Partition};
 use p2pfl_ml::models::mlp;
 use p2pfl_secagg::{
-    secure_average, SacConfig, SacMsg, SacPeerActor, SacPhase, ShareScheme, WeightVector,
+    secure_average, SacConfig, SacEngine, SacMsg, SacPeerActor, SacPhase, ShareScheme, WeightVector,
 };
 use p2pfl_simnet::{NodeId, Sim, SimDuration, SimTime};
 use rand::rngs::StdRng;
@@ -141,6 +141,7 @@ fn distributed_engine_agrees_with_synchronous_reference() {
             leader_pos: 0,
             k: 3,
             scheme: ShareScheme::Masked,
+            engine: SacEngine::Pairwise,
             share_deadline: SimDuration::from_millis(100),
             collect_deadline: SimDuration::from_millis(100),
             round_deadline: None,

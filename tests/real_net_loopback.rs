@@ -5,7 +5,9 @@
 //! deterministic simulator with the same seeds and models.
 
 use p2pfl_net::PeerRuntime;
-use p2pfl_secagg::{SacConfig, SacMsg, SacPeerActor, SacPhase, ShareScheme, WeightVector};
+use p2pfl_secagg::{
+    SacConfig, SacEngine, SacMsg, SacPeerActor, SacPhase, ShareScheme, WeightVector,
+};
 use p2pfl_simnet::{NodeId, Sim, SimDuration};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -35,6 +37,7 @@ fn config(ids: &[NodeId], position: usize, deadline: SimDuration) -> SacConfig {
         leader_pos: 0,
         k: K,
         scheme: ShareScheme::Masked,
+        engine: SacEngine::Pairwise,
         share_deadline: deadline,
         collect_deadline: deadline,
         round_deadline: None,
