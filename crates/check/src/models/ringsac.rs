@@ -1,12 +1,17 @@
 //! A 6-peer, k=2 Ring-SAC subgroup running one round.
 //!
 //! Six peers split into two stages of three (`RingPlan::new(6, 2)` gives
-//! stages `[3, 3]` with per-stage threshold 1, i.e. full in-stage
-//! replication). The leader (position 0) kicks the round off in
-//! [`Model::init`]; the explorer then owns every delivery and timer
-//! ordering. The ring ports of the mask-cancellation and k-of-n oracles
-//! see both held and in-flight stage shares, so re-randomized replicas
-//! and skewed shares are caught even before blocks land.
+//! stages `[3, 3]` with per-stage threshold `k_m = 2`: each member holds
+//! two of its predecessor stage's three partitions, never a full share
+//! set). The leader (position 0) kicks the round off in [`Model::init`];
+//! the explorer then owns every delivery and timer ordering. The ring
+//! ports of the mask-cancellation and k-of-n oracles see both held and
+//! in-flight stage shares, so re-randomized replicas and skewed shares
+//! are caught even before blocks land; the share-confinement and
+//! stage-anonymity oracles check the same joint view for the two ways the
+//! staged layout could disclose an individual model (a receiver
+//! assembling a full share set; a frozen set isolating one contributor in
+//! a stage).
 
 use crate::oracles::{self, ShareCopy};
 use crate::{Model, Violation};
@@ -97,6 +102,7 @@ impl Model for RingSacModel {
             .collect();
         let round = actors.iter().map(|(_, a)| a.round).max().unwrap_or(0);
         let mut copies = oracles::ring_held_share_copies(actors.iter().copied(), round);
+        let mut in_flight: Vec<(NodeId, usize, usize)> = Vec::new();
         for (src, dst, msg) in sim.pending_deliveries() {
             if let RingMsg::StageShare {
                 round: r,
@@ -114,6 +120,7 @@ impl Model for RingSacModel {
                         value: v,
                         site: format!("in flight {src}->{dst}"),
                     });
+                    in_flight.push((dst, *from_pos, *p));
                 }
             }
         }
@@ -121,6 +128,8 @@ impl Model for RingSacModel {
         let plan = actors[0].1.plan();
         let parts_of: Vec<usize> = (0..N).map(|pos| plan.parts_of(pos)).collect();
         oracles::ring_mask_cancellation(&copies, &models, &parts_of)?;
+        oracles::ring_share_confinement(actors.iter().copied(), &in_flight, &parts_of)?;
+        oracles::ring_stage_anonymity(actors.iter().copied())?;
         oracles::ring_kofn_result(actors.iter().copied(), &models)
     }
 }

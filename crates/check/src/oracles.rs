@@ -10,7 +10,7 @@ use p2pfl_raft::{Command, RaftNode, Role};
 use p2pfl_secagg::replicated::assigned_partitions;
 use p2pfl_secagg::{RingSacActor, SacPeerActor, SacPhase, WeightVector};
 use p2pfl_simnet::NodeId;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Numerical tolerance for mask-cancellation and averaging checks. The
 /// masked scheme adds and subtracts uniform masks of bounded magnitude, so
@@ -425,6 +425,67 @@ pub fn ring_kofn_result<'a>(
                     a.contributors
                 ),
             ));
+        }
+    }
+    Ok(())
+}
+
+/// **RingShareConfinement** — the ring engine's receiver-side privacy
+/// invariant (the reviewable core of the `k_m >= 2` stage-threshold
+/// floor): no peer may ever be in a position to assemble all `m` additive
+/// shares of another contributor's model, counting both the blocks it
+/// already holds and in-flight `StageShare` deliveries addressed to it
+/// (`(dst, from_pos, idx)` triples). A full share set sums back to the
+/// contributor's individual model; any strict subset is
+/// information-theoretically independent of it.
+pub fn ring_share_confinement<'a>(
+    actors: impl IntoIterator<Item = (NodeId, &'a RingSacActor)>,
+    in_flight: &[(NodeId, usize, usize)],
+    parts_of: &[usize],
+) -> Result<(), Violation> {
+    let mut pos_of: BTreeMap<NodeId, usize> = BTreeMap::new();
+    let mut views: BTreeMap<(NodeId, usize), BTreeSet<usize>> = BTreeMap::new();
+    for (id, a) in actors {
+        pos_of.insert(id, a.sac_config().position);
+        for (&j, parts) in a.held_blocks() {
+            views
+                .entry((id, j))
+                .or_default()
+                .extend(parts.keys().copied());
+        }
+    }
+    for &(dst, j, p) in in_flight {
+        views.entry((dst, j)).or_default().insert(p);
+    }
+    for ((dst, j), idxs) in &views {
+        let m = parts_of[*j];
+        if m >= 2 && pos_of.get(dst).copied() != Some(*j) && idxs.len() >= m {
+            return Err(Violation::new(
+                "RingShareConfinement",
+                format!("{dst} can assemble all {m} shares of contributor {j}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// **StageAnonymity** — no peer (leader or follower) may adopt a frozen
+/// contributor set that isolates a single contributor in a ring stage:
+/// that stage's totals sum to the lone peer's individual model, shrinking
+/// the anonymity set from "contributors" to "contributors per stage".
+/// Single-stage plans are exempt — there the stage sum is the published
+/// round aggregate, the same disclosure the pairwise engine makes.
+pub fn ring_stage_anonymity<'a>(
+    actors: impl IntoIterator<Item = (NodeId, &'a RingSacActor)>,
+) -> Result<(), Violation> {
+    for (id, a) in actors {
+        if let Some(frozen) = a.frozen_set() {
+            if let Some(t) = a.plan().lone_contributor_stage(|p| frozen.contains(&p)) {
+                return Err(Violation::new(
+                    "StageAnonymity",
+                    format!("{id}: frozen set {frozen:?} isolates stage {t} to one contributor"),
+                ));
+            }
         }
     }
     Ok(())

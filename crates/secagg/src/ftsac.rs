@@ -64,6 +64,14 @@ pub enum FtSacError {
     },
     /// Every peer dropped before sharing; there is nothing to average.
     NoContributors,
+    /// (Ring engine only.) The contributor set left a ring stage with a
+    /// single contributor, whose stage totals would disclose its
+    /// individual model to the leader. The round is refused rather than
+    /// weakened; a retry on the surviving roster re-chunks the stages.
+    StageIsolation {
+        /// The stage isolated down to one contributor.
+        stage: usize,
+    },
 }
 
 impl std::fmt::Display for FtSacError {
@@ -77,6 +85,13 @@ impl std::fmt::Display for FtSacError {
                 write!(f, "partition {partition} lost all replica holders")
             }
             FtSacError::NoContributors => write!(f, "no peer contributed a model"),
+            FtSacError::StageIsolation { stage } => {
+                write!(
+                    f,
+                    "ring stage {stage} has a single contributor; refusing to \
+                     disclose an individual model"
+                )
+            }
         }
     }
 }

@@ -529,6 +529,34 @@ impl RingSacActor {
             }
             return;
         }
+        if let Some(stage) = self
+            .plan
+            .lone_contributor_stage(|p| contributors.contains(&p))
+        {
+            // A stage frozen down to one contributor would make that
+            // stage's totals sum to the lone peer's individual model,
+            // shrinking the anonymity set from "contributors" to
+            // "contributors per stage". Same dead-end rule as below-k:
+            // supervised rounds retry on the contributor roster (the
+            // re-derived plan re-chunks the stages, restoring balance);
+            // unsupervised rounds fail rather than disclose.
+            if self.cfg.round_deadline.is_some() {
+                let suspects: BTreeSet<usize> = (0..self.plan.n())
+                    .filter(|j| !contributors.contains(j))
+                    .collect();
+                self.supervise(
+                    ctx,
+                    &suspects,
+                    &format!("stage {stage} frozen to a single contributor"),
+                );
+            } else {
+                self.phase = SacPhase::Failed(format!(
+                    "stage {stage} frozen to a single contributor \
+                     (per-stage anonymity set below 2)"
+                ));
+            }
+            return;
+        }
         self.frozen = Some(contributors.clone());
         let msg = RingMsg::ComputeOver {
             round: self.round,
@@ -822,7 +850,20 @@ impl Actor<RingMsg> for RingSacActor {
                     return;
                 }
                 let _ = from; // leader is the sender of ComputeOver
-                self.frozen = Some(contributors.into_iter().collect());
+                let set: BTreeSet<usize> = contributors.into_iter().collect();
+                if self
+                    .plan
+                    .lone_contributor_stage(|p| set.contains(&p))
+                    .is_some()
+                {
+                    // A correct leader never freezes a set that isolates
+                    // one contributor in a stage (see freeze_and_collect);
+                    // totalling it would hand a curious leader that peer's
+                    // model. Drop the message — the round ends via Abort
+                    // or this follower's round deadline.
+                    return;
+                }
+                self.frozen = Some(set);
                 self.progress(ctx);
             }
             RingMsg::StageTotal {
@@ -1042,9 +1083,9 @@ mod tests {
 
     #[test]
     fn after_share_crash_is_recovered() {
-        // n = 6 -> stages [3, 3], k = 2 -> k_m = 1 (full in-stage
-        // replication). Peer 4 (stage 1) crashes after sharing: its
-        // primary totals are recovered from its stage peers.
+        // n = 6 -> stages [3, 3], k = 2 -> k_m = 2 (each partition held
+        // by two stage members). Peer 4 (stage 1) crashes after sharing:
+        // its primary total is recovered from an in-stage replica holder.
         let (mut sim, ids, models) = build(6, 2, 8, 7);
         start(&mut sim, ids[0], 1);
         sim.schedule_crash(ids[4], SimTime::from_millis(40));
@@ -1126,13 +1167,87 @@ mod tests {
     }
 
     #[test]
+    fn singleton_frozen_stage_fails_unsupervised() {
+        // n = 4, k = 2: stages [2, 2]. Peer 3 crashes before the round,
+        // so the frozen set {0, 1, 2} leaves stage 1 with only peer 2 —
+        // its stage totals would hand the leader peer 2's individual
+        // model. The leader must refuse even though k is satisfied.
+        let (mut sim, ids, _) = build(4, 2, 8, 23);
+        sim.run_until_quiet(100);
+        sim.schedule_crash(ids[3], sim.now() + SimDuration::from_millis(1));
+        sim.run_until_quiet(100);
+        sim.exec::<RingSacActor, _, _>(ids[0], |a, ctx| a.start_round(ctx, 1));
+        sim.run_until(SimTime::from_secs(2));
+        let leader = sim.actor::<RingSacActor>(ids[0]);
+        assert!(
+            matches!(&leader.phase, SacPhase::Failed(r) if r.contains("single contributor")),
+            "phase: {:?}",
+            leader.phase
+        );
+        assert!(leader.result.is_none());
+    }
+
+    #[test]
+    fn supervised_singleton_frozen_stage_degrades_and_completes() {
+        // Same isolation as above, but supervised: the leader aborts and
+        // retries on the contributor roster; the re-derived 3-member plan
+        // is a single stage, so the per-stage anonymity set is the whole
+        // contributor set again and the round completes.
+        let (mut sim, ids, models) = build_supervised(4, 2, 8, 23, SimDuration::from_millis(600));
+        sim.schedule_crash(ids[3], sim.now() + SimDuration::from_millis(1));
+        sim.run_until_quiet(100);
+        sim.exec::<RingSacActor, _, _>(ids[0], |a, ctx| a.start_round(ctx, 1));
+        sim.run_until(SimTime::from_secs(5));
+        let leader = sim.actor::<RingSacActor>(ids[0]);
+        assert_eq!(leader.phase, SacPhase::Done, "phase: {:?}", leader.phase);
+        assert_eq!(leader.aborts, 1);
+        assert_eq!(leader.sac_config().group, vec![ids[0], ids[1], ids[2]]);
+        assert_eq!(leader.plan().num_stages(), 1);
+        assert_eq!(leader.contributors, vec![0, 1, 2]);
+        let avg = leader.result.as_ref().unwrap();
+        assert!(avg.linf_distance(&plain_mean(&models, &[0, 1, 2])) < 1e-9);
+    }
+
+    #[test]
+    fn follower_drops_compute_over_isolating_a_stage() {
+        // Defense in depth against a curious leader: a follower refuses
+        // to total a contributor set that isolates one peer in a stage.
+        let ids: Vec<NodeId> = (0..4).map(|i| NodeId(i as u32)).collect();
+        let mut actor =
+            RingSacActor::new(config(&ids, 1, 2, 29), WeightVector::new(vec![1.0, 2.0]));
+        let mut net = StubNet {
+            id: ids[1],
+            sent: Vec::new(),
+        };
+        actor.on_message(&mut net, ids[0], RingMsg::Begin { round: 1 });
+        actor.on_message(
+            &mut net,
+            ids[0],
+            RingMsg::ComputeOver {
+                round: 1,
+                contributors: vec![0, 1, 2], // stage 1 = {2, 3} isolated to {2}
+            },
+        );
+        assert!(actor.frozen_set().is_none(), "isolating freeze accepted");
+        actor.on_message(
+            &mut net,
+            ids[0],
+            RingMsg::ComputeOver {
+                round: 1,
+                contributors: vec![0, 1, 2, 3],
+            },
+        );
+        assert!(actor.frozen_set().is_some(), "balanced freeze rejected");
+    }
+
+    #[test]
     fn share_traffic_is_log_fan_out() {
-        // n = 8 -> stages [4, 4], k = 4 -> k_m = m - (n - k) = ... well,
-        // m = 4, n - k = 4 -> k_m = 1: every member of the successor
-        // stage receives all 4 partitions. The point of the assertion is
-        // the message count: 8 senders x 4 receivers = 32 StageShares
-        // instead of the pairwise n(n-1) = 56, and exactly n - leader's
-        // block of primary totals on the wire.
+        // n = 8 -> stages [4, 4], k = 4: m = 4, n - k = 4 gives the raw
+        // threshold m - (n - k) = 0, floored to the privacy minimum
+        // k_m = 2 — each receiver gets 3 of the 4 partitions, never a
+        // full share set. The point of the assertion is the message
+        // count: 8 senders x 4 receivers = 32 StageShares instead of the
+        // pairwise n(n-1) = 56.
         let (mut sim, ids, models) = build(8, 4, 64, 33);
         let wire = models[0].wire_bytes();
         start(&mut sim, ids[0], 1);
@@ -1140,15 +1255,15 @@ mod tests {
         let m = sim.metrics();
         let share = m.kind("ring.share");
         assert_eq!(share.msgs, 32);
-        // Each StageShare carries min(m, n-k+1) = 4 partitions (+8B hdr).
-        assert_eq!(share.bytes, 32 * (4 * wire + 8));
+        // Each StageShare carries min(m-1, n-k+1) = 3 partitions (+8B hdr).
+        assert_eq!(share.bytes, 32 * (3 * wire + 8));
         // Announcements: n - 1 small control messages.
         assert_eq!(m.kind("ring.shared").msgs, 7);
         // Primary totals: all (stage, idx) pairs the leader does not
         // compute itself. Leader pos 0 (stage 0) holds its assigned block
-        // of stage 0; with k_m = 1 that is all 4 of stage 0's partitions,
-        // leaving stage 1's 4 primaries on the wire.
-        assert_eq!(m.kind("ring.total").msgs, 4);
+        // {0, 1, 2} of stage 0, leaving stage 0's partition 3 and stage
+        // 1's 4 primaries on the wire.
+        assert_eq!(m.kind("ring.total").msgs, 5);
     }
 
     /// Transport stub recording sends — same adversarial-order harness as

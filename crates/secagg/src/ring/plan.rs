@@ -11,10 +11,15 @@
 //! grafted onto the paper's replicated k-out-of-n share blocks.
 //!
 //! Within each receiving stage of size `m` the shares are replicated with
-//! the stage-local threshold `k_m = max(1, m - (n - k))`, i.e. each
-//! partition has `min(m, n-k+1)` holders: the global dropout budget of
-//! `n - k` crashes is honored even when all of them land in one stage
-//! (capped at `m - 1`, the most a stage can lose and still reconstruct).
+//! the stage-local threshold `k_m = min(m, max(2, m - (n - k)))`, i.e.
+//! each partition has `min(m - 1, n - k + 1)` holders (for `m >= 2`). The
+//! floor at 2 is a *privacy* floor, not a dropout one: with `k_m = 1`
+//! every receiver would hold all `m` additive shares of each predecessor
+//! contributor and could sum them back into that peer's individual model.
+//! Capping the per-receiver block at `m - 1` partitions keeps every
+//! single holder's view information-theoretically independent of any one
+//! model, at the cost of shrinking the in-stage dropout budget from
+//! `min(m - 1, n - k)` to `min(m - 2, n - k)` crashes per stage.
 
 use crate::replicated::{assigned_partitions, holders};
 
@@ -111,13 +116,22 @@ impl RingPlan {
         (t + self.stages.len() - 1) % self.stages.len()
     }
 
-    /// Stage-local reconstruction threshold `k_m = max(1, m - (n - k))`
-    /// for the stage of size `m = stage_len(t)`: each partition gets
-    /// `min(m, n-k+1)` replica holders, preserving the global `n - k`
-    /// dropout budget inside any single stage (up to losing `m - 1` of
-    /// its `m` members).
+    /// Stage-local reconstruction threshold
+    /// `k_m = min(m, max(2, m - (n - k)))` for the stage of size
+    /// `m = stage_len(t)`: each partition gets `min(m - 1, n - k + 1)`
+    /// replica holders (for `m >= 2`).
+    ///
+    /// The floor at 2 is load-bearing for privacy: a receiver's block has
+    /// `m - k_m + 1` partitions, so `k_m >= 2` guarantees every receiver
+    /// misses at least one additive share of each predecessor contributor
+    /// and can never reassemble an individual model on its own. The price
+    /// is in-stage dropout tolerance: a stage survives `m - k_m =
+    /// min(m - 2, n - k)` of its members crashing instead of the pairwise
+    /// engine's full `n - k`. `k_m = 1` only for a one-member subgroup
+    /// (`m = 1`), where there is nothing to hide from anyone.
     pub fn stage_k(&self, t: usize) -> usize {
-        self.stage_len(t).saturating_sub(self.n - self.k).max(1)
+        let m = self.stage_len(t);
+        m.saturating_sub(self.n - self.k).max(2).min(m)
     }
 
     /// How many additive shares the peer at `pos` splits its model into:
@@ -145,6 +159,27 @@ impl RingPlan {
     /// always exactly `n`.
     pub fn total_partitions(&self) -> usize {
         self.n
+    }
+
+    /// A stage whose contributor count (per `is_contributor`, over global
+    /// positions) is exactly 1, if the plan has two or more stages.
+    ///
+    /// Such a stage's totals sum to the lone contributor's individual
+    /// model, so the leader must refuse to freeze (and followers must
+    /// refuse to total) a contributor set that isolates one. Single-stage
+    /// plans return `None`: there the stage sum *is* the whole round's
+    /// aggregate, exactly the disclosure the pairwise engine makes.
+    /// Stages with zero contributors are fine — an empty sum reveals
+    /// nothing.
+    pub fn lone_contributor_stage(
+        &self,
+        mut is_contributor: impl FnMut(usize) -> bool,
+    ) -> Option<usize> {
+        if self.num_stages() < 2 {
+            return None;
+        }
+        (0..self.num_stages())
+            .find(|&t| self.members(t).filter(|&p| is_contributor(p)).count() == 1)
     }
 }
 
@@ -235,20 +270,59 @@ mod tests {
     }
 
     #[test]
-    fn stage_threshold_preserves_global_dropout_budget() {
+    fn stage_threshold_trades_dropout_budget_for_privacy() {
         for n in 2..=64 {
             for k in 1..=n {
                 let plan = RingPlan::new(n, k);
                 for t in 0..plan.num_stages() {
                     let m = plan.stage_len(t);
                     let k_m = plan.stage_k(t);
-                    assert!((1..=m).contains(&k_m), "n={n} k={k} stage {t}");
-                    // Replication factor min(m, n-k+1): the stage survives
-                    // min(m-1, n-k) of its members crashing.
-                    assert_eq!(m - k_m + 1, m.min(n - k + 1));
+                    assert!((2..=m).contains(&k_m), "n={n} k={k} stage {t}");
+                    // Replication factor min(m-1, n-k+1): the stage
+                    // survives min(m-2, n-k) of its members crashing, and
+                    // no receiver's block is a full share set.
+                    assert_eq!(m - k_m + 1, (m - 1).min(n - k + 1));
                 }
             }
         }
+    }
+
+    #[test]
+    fn no_receiver_block_is_a_full_share_set() {
+        // The high-severity privacy invariant: a stage member must never
+        // be assigned all m partitions of its predecessor contributors,
+        // or it could sum them back into an individual model. Holds for
+        // every (n, k), not just the advertised operating points.
+        for n in 2..=64 {
+            for k in 1..=n {
+                let plan = RingPlan::new(n, k);
+                for t in 0..plan.num_stages() {
+                    let m = plan.stage_len(t);
+                    for i in 0..m {
+                        assert!(
+                            plan.assigned(t, i).len() < m,
+                            "n={n} k={k}: stage {t} member {i} holds all {m} shares"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lone_contributor_stage_detection() {
+        // n = 6, k = 2: stages [3, 3].
+        let plan = RingPlan::new(6, 2);
+        let all = |_p: usize| true;
+        assert_eq!(plan.lone_contributor_stage(all), None);
+        let only_five = |p: usize| p < 3 || p == 5;
+        assert_eq!(plan.lone_contributor_stage(only_five), Some(1));
+        let stage1_empty = |p: usize| p < 3;
+        assert_eq!(plan.lone_contributor_stage(stage1_empty), None);
+        // Single-stage plans never isolate: the stage sum is the round
+        // aggregate, same disclosure as the pairwise engine.
+        let single = RingPlan::new(5, 3);
+        assert_eq!(single.lone_contributor_stage(|p| p == 0), None);
     }
 
     #[test]

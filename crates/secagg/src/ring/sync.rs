@@ -5,7 +5,7 @@
 //!
 //! Per contributor the share fan-out is the successor-stage size
 //! `m ≈ ⌈log₂ n⌉` instead of `n - 1`, so a no-dropout round moves
-//! `n·m·min(m, n-k+1)·|w|` share bytes (pairwise: `n(n-1)(n-k+1)|w|`)
+//! `n·m·min(m-1, n-k+1)·|w|` share bytes (pairwise: `n(n-1)(n-k+1)|w|`)
 //! plus `n` small `Shared` announcements to the leader.
 //!
 //! [`SacEngine::Ring`]: crate::ring::SacEngine::Ring
@@ -75,6 +75,12 @@ pub fn ring_secure_average<R: Rng + ?Sized>(
     }
 
     let plan = RingPlan::new(n, k);
+    if let Some(stage) = plan.lone_contributor_stage(|p| contributors.binary_search(&p).is_ok()) {
+        // A stage with exactly one contributor would hand the leader that
+        // peer's individual model as the stage sum (same guard as
+        // `RingSacActor::freeze_and_collect`).
+        return Err(FtSacError::StageIsolation { stage });
+    }
     let mut log = TransferLog::new();
 
     // Phase 1: each contributor splits its model into m shares (m = its
@@ -201,19 +207,21 @@ mod tests {
 
     #[test]
     fn share_phase_cost_is_log_fan_out() {
-        // n = 8, k = 4: stages [4, 4], k_m = 1 so blocks carry all 4
-        // partitions. 8 senders x 4 receivers = 32 block messages of
-        // 4|w| each — against pairwise n(n-1) = 56 blocks of 5|w|.
+        // n = 8, k = 4: stages [4, 4], k_m floored at the privacy minimum
+        // 2, so blocks carry min(m-1, n-k+1) = 3 of the 4 partitions —
+        // never a full share set. 8 senders x 4 receivers = 32 block
+        // messages of 3|w| each — against pairwise n(n-1) = 56 blocks of
+        // 5|w|.
         let (n, k) = (8usize, 4usize);
         let ms = models(n, 10, 3);
         let wire = ms[0].wire_bytes();
         let mut rng = StdRng::seed_from_u64(4);
         let out = ring_secure_average(&ms, k, 0, &[], ShareScheme::Masked, &mut rng).unwrap();
-        assert_eq!(out.log.phase(RING_PHASE_SHARE), (32, 32 * 4 * wire));
+        assert_eq!(out.log.phase(RING_PHASE_SHARE), (32, 32 * 3 * wire));
         assert_eq!(out.log.phase(RING_PHASE_ANNOUNCE), (7, 7 * ANNOUNCE_BYTES));
-        // Leader (stage 0, k_m = 1) holds all of stage 0; stage 1's 4
-        // primaries travel.
-        assert_eq!(out.log.phase(RING_PHASE_TOTAL), (4, 4 * wire));
+        // Leader (stage 0) holds its block {0, 1, 2} of stage 0; stage
+        // 0's partition 3 and stage 1's 4 primaries travel.
+        assert_eq!(out.log.phase(RING_PHASE_TOTAL), (5, 5 * wire));
         assert_eq!(out.log.phase(RING_PHASE_RECOVERY), (0, 0));
     }
 
@@ -262,13 +270,15 @@ mod tests {
     }
 
     #[test]
-    fn tolerates_up_to_n_minus_k_after_share_dropouts() {
-        // n - k = 4 crashes spread over both stages: every lost primary
-        // total is recovered from an in-stage alternate holder.
+    fn tolerates_in_stage_dropout_budget_after_share() {
+        // n = 6, k = 2: stages [3, 3] with k_m = 2, so each stage
+        // tolerates min(m-2, n-k) = 1 post-share crash. One crash per
+        // stage: every lost primary total is recovered from an in-stage
+        // alternate holder.
         let (n, k) = (6usize, 2usize);
         let ms = models(n, 8, 11);
         let mut rng = StdRng::seed_from_u64(12);
-        let dropouts: Vec<Dropout> = [1usize, 2, 3, 4]
+        let dropouts: Vec<Dropout> = [2usize, 4]
             .iter()
             .map(|&p| Dropout {
                 peer: p,
@@ -276,9 +286,49 @@ mod tests {
             })
             .collect();
         let out = ring_secure_average(&ms, k, 0, &dropouts, ShareScheme::Masked, &mut rng).unwrap();
-        assert!(out.recoveries >= 2);
+        assert_eq!(out.recoveries, 2);
         let all: Vec<usize> = (0..n).collect();
         assert!(out.average.linf_distance(&mean_of(&ms, &all)) < 1e-9);
+    }
+
+    #[test]
+    fn exceeding_in_stage_budget_is_unrecoverable() {
+        // The privacy floor k_m >= 2 deliberately trades the pairwise
+        // engine's full n - k budget for min(m-2, n-k) per stage: with
+        // m = 3 both holders of a partition can die in two in-stage
+        // crashes, and the reference reports it instead of silently
+        // widening replication back to a full (reconstructable) set.
+        let ms = models(6, 8, 21);
+        let mut rng = StdRng::seed_from_u64(22);
+        let dropouts: Vec<Dropout> = [1usize, 2]
+            .iter()
+            .map(|&p| Dropout {
+                peer: p,
+                phase: DropPhase::AfterShare,
+            })
+            .collect();
+        let err =
+            ring_secure_average(&ms, 2, 0, &dropouts, ShareScheme::Masked, &mut rng).unwrap_err();
+        assert!(matches!(err, FtSacError::TooManyDropouts { .. }));
+    }
+
+    #[test]
+    fn singleton_contributor_stage_is_refused() {
+        // Peers 3 and 4 never share, leaving stage 1 = {3, 4, 5} with the
+        // lone contributor 5: its stage totals would sum to peer 5's
+        // individual model, so the round is refused outright.
+        let ms = models(6, 8, 23);
+        let mut rng = StdRng::seed_from_u64(24);
+        let dropouts: Vec<Dropout> = [3usize, 4]
+            .iter()
+            .map(|&p| Dropout {
+                peer: p,
+                phase: DropPhase::BeforeShare,
+            })
+            .collect();
+        let err =
+            ring_secure_average(&ms, 2, 0, &dropouts, ShareScheme::Masked, &mut rng).unwrap_err();
+        assert_eq!(err, FtSacError::StageIsolation { stage: 1 });
     }
 
     #[test]
