@@ -57,6 +57,9 @@ cargo run --release -p p2pfl-bench --bin chaos_soak -- --churn --quick --seed 7
 echo "==> ring-engine chaos soak (crash cases + mid-round ring recovery, fixed seed)"
 cargo run --release -p p2pfl-bench --bin chaos_soak -- --smoke --engine ring --skip-tcp --seed 7
 
+echo "==> byzantine soak (commit-then-skew attacker on sim + TCP, fixed seed)"
+cargo run --release -p p2pfl-bench --bin chaos_soak -- --byzantine --seed 7
+
 # Perf gate: quick hotpath run compared against the checked-in baseline;
 # fails on a >2x median regression in any benchmark, and the in-binary
 # crossover gate fails if Ring-SAC is not strictly cheaper than pairwise

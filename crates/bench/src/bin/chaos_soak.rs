@@ -21,17 +21,22 @@
 //! match a crash-free twin bit-for-bit, and detector-driven roster
 //! evictions must all heal). Each epoch prints its seed; replay one with
 //! `--seed <n> --epochs 1`.
+//! Byzantine: `cargo run -rp p2pfl-bench --bin chaos_soak -- --byzantine
+//! --seed 7` (one SAC peer runs the commit-then-skew attack on both the
+//! simulator and real TCP transports; both leaders must finish with the
+//! attacker excluded and the honest mean intact).
 
 use p2pfl::runner::{ResilientConfig, ResilientSession};
 use p2pfl_bench::{banner, print_csv, Args};
 use p2pfl_fed::Client;
-use p2pfl_hierraft::{HierActor, HierMsg, HierPeerConfig, SubCmd};
+use p2pfl_hierraft::{HierActor, HierMsg, HierPeerConfig, RobustCombiner, SubCmd};
 use p2pfl_ml::data::{features_like, partition_dataset, train_test_split, Dataset, Partition};
 use p2pfl_ml::models::mlp;
 use p2pfl_net::PeerRuntime;
 use p2pfl_raft::FileStorage;
 use p2pfl_secagg::{
-    RingMsg, RingSacActor, SacConfig, SacEngine, SacPhase, ShareScheme, WeightVector,
+    RingMsg, RingSacActor, SacConfig, SacEngine, SacMsg, SacPeerActor, SacPhase, ShareScheme,
+    WeightVector,
 };
 use p2pfl_simnet::{FaultPlan, NodeId, ProcessFault, Sim, SimDuration, SimTime};
 use rand::rngs::StdRng;
@@ -279,6 +284,7 @@ fn hier_cfg(
         suspect_after: SimDuration::from_millis(300),
         dead_after: SimDuration::from_millis(900),
         engine,
+        combiner: RobustCombiner::FedAvg,
         seed: seed ^ (0x9e37 + id.0 as u64 * 0x85eb_ca6b),
     }
 }
@@ -471,6 +477,158 @@ fn ring_crash_leg(seed: u64) {
     );
 }
 
+// ---------------------------------------------------------------------
+// Byzantine leg: commit-then-skew attack on both transports
+// ---------------------------------------------------------------------
+
+const BYZ_N: usize = 5;
+const BYZ_K: usize = 3;
+const BYZ_POS: usize = 3;
+const BYZ_SKEW: f64 = 6.0;
+const BYZ_DIM: usize = 32;
+
+fn byz_sac_cfg(ids: &[NodeId], pos: usize, deadline: SimDuration, seed: u64) -> SacConfig {
+    SacConfig {
+        group: ids.to_vec(),
+        position: pos,
+        leader_pos: 0,
+        k: BYZ_K,
+        scheme: ShareScheme::Masked,
+        engine: SacEngine::Pairwise,
+        share_deadline: deadline,
+        collect_deadline: deadline,
+        round_deadline: None,
+        seed: seed ^ (pos as u64 * 0x9e37_79b9),
+    }
+}
+
+/// The checks both transports must pass: round done, the attacker caught
+/// and excluded, and the published result equal to the honest plain mean.
+fn assert_byz_defended(
+    transport: &str,
+    phase: &SacPhase,
+    contributors: &[usize],
+    rejected: u64,
+    detected: &std::collections::BTreeSet<usize>,
+    result: &WeightVector,
+    honest_mean: &WeightVector,
+) {
+    assert_eq!(*phase, SacPhase::Done, "{transport}: {phase:?}");
+    let honest: Vec<usize> = (0..BYZ_N).filter(|&p| p != BYZ_POS).collect();
+    assert_eq!(
+        contributors, honest,
+        "{transport}: attacker not excluded from contributors"
+    );
+    assert!(rejected >= 1, "{transport}: no shares rejected");
+    assert!(
+        detected.contains(&BYZ_POS),
+        "{transport}: attacker not in byzantine_detected ({detected:?})"
+    );
+    let d = result.linf_distance(honest_mean);
+    assert!(
+        d < 1e-9,
+        "{transport}: result drifted {d} from the honest mean"
+    );
+}
+
+/// Byzantine leg: peer 3 of a 5-peer, k=3 SAC subgroup runs the
+/// commit-then-skew attack — honest hash commitments, then every share
+/// block scaled by [`BYZ_SKEW`]. The simulator and a real TCP deployment
+/// must interpret the fault identically: on both transports every honest
+/// receiver's digest check rejects the blocks, the leader finishes the
+/// round over the honest four, and the published average equals the plain
+/// mean of the honest models (the adversary-free twin, computed directly).
+fn byzantine_leg(seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xb12a);
+    let models: Vec<WeightVector> = (0..BYZ_N)
+        .map(|_| WeightVector::random(BYZ_DIM, 1.0, &mut rng))
+        .collect();
+    let mut honest_mean = WeightVector::zeros(BYZ_DIM);
+    for (pos, m) in models.iter().enumerate() {
+        if pos != BYZ_POS {
+            honest_mean.add_assign(m);
+        }
+    }
+    honest_mean.scale(1.0 / (BYZ_N - 1) as f64);
+    let ids: Vec<NodeId> = (0..BYZ_N as u32).map(NodeId).collect();
+
+    // Simulator sub-leg.
+    let mut sim: Sim<SacMsg> = Sim::new(seed);
+    for (pos, model) in models.iter().enumerate() {
+        sim.add_node(SacPeerActor::new(
+            byz_sac_cfg(&ids, pos, SimDuration::from_millis(100), seed),
+            model.clone(),
+        ));
+    }
+    sim.actor_mut::<SacPeerActor>(ids[BYZ_POS]).byz_share_skew = Some(BYZ_SKEW);
+    sim.exec::<SacPeerActor, _, _>(ids[0], |a, ctx| a.start_round(ctx, 1));
+    sim.run_until(SimTime::from_secs(5));
+    let leader = sim.actor::<SacPeerActor>(ids[0]);
+    assert_byz_defended(
+        "sim",
+        &leader.phase,
+        &leader.contributors,
+        leader.shares_rejected,
+        &leader.byzantine_detected,
+        leader.result.as_ref().expect("sim result"),
+        &honest_mean,
+    );
+    for pos in (0..BYZ_N).filter(|&p| p != BYZ_POS) {
+        assert!(
+            sim.actor::<SacPeerActor>(ids[pos]).shares_rejected >= 1,
+            "sim: honest peer {pos} accepted a skewed block"
+        );
+    }
+    println!("# byzantine leg (sim): attacker detected by all honest peers, honest mean intact");
+
+    // TCP sub-leg: same attack over real sockets.
+    let runtimes: Vec<PeerRuntime<SacMsg, SacPeerActor>> = (0..BYZ_N)
+        .map(|pos| {
+            let mut actor = SacPeerActor::new(
+                byz_sac_cfg(&ids, pos, SimDuration::from_secs(2), seed),
+                models[pos].clone(),
+            );
+            if pos == BYZ_POS {
+                actor.byz_share_skew = Some(BYZ_SKEW);
+            }
+            PeerRuntime::start(ids[pos], "127.0.0.1:0", &[], actor).expect("bind")
+        })
+        .collect();
+    for a in &runtimes {
+        for b in &runtimes {
+            if a.node_id() != b.node_id() {
+                a.add_peer(b.node_id(), b.local_addr());
+            }
+        }
+    }
+    runtimes[0].with(|a, ctx| a.start_round(ctx, 1));
+    wait_for("tcp byzantine round", Duration::from_secs(30), || {
+        runtimes[0].with(|a, _| a.result.is_some() || matches!(a.phase, SacPhase::Failed(_)))
+    });
+    let (phase, contributors, rejected, detected, result) = runtimes[0].with(|a, _| {
+        (
+            a.phase.clone(),
+            a.contributors.clone(),
+            a.shares_rejected,
+            a.byzantine_detected.clone(),
+            a.result.clone().expect("tcp result"),
+        )
+    });
+    assert_byz_defended(
+        "tcp",
+        &phase,
+        &contributors,
+        rejected,
+        &detected,
+        &result,
+        &honest_mean,
+    );
+    for rt in runtimes {
+        drop(rt.stop());
+    }
+    println!("# byzantine leg (tcp): attacker detected over real sockets, honest mean intact");
+}
+
 fn main() {
     let args = Args::parse();
     let smoke = args.get_flag("smoke") || args.get_flag("quick");
@@ -483,6 +641,16 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if args.get_flag("byzantine") {
+        banner(
+            "Chaos soak: commit-then-skew Byzantine attack on both transports",
+            "honest receivers reject the skewed shares; the round survives with the honest mean",
+        );
+        byzantine_leg(seed);
+        println!("# byzantine soak passed");
+        return;
+    }
 
     if args.get_flag("churn") {
         banner(

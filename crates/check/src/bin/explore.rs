@@ -1,7 +1,7 @@
 //! Bounded-exhaustive exploration driver.
 //!
 //! ```text
-//! explore [--model raft3|sac3|sacchurn|ringsac|hier|all] [--depth N] [--branch N]
+//! explore [--model raft3|sac3|sacchurn|ringsac|hier|byz|byzequiv|all] [--depth N] [--branch N]
 //!         [--states N] [--walks N] [--seed N] [--drops] [--dups] [--ci]
 //! ```
 //!
@@ -14,7 +14,9 @@
 
 #![forbid(unsafe_code)]
 
-use p2pfl_check::models::{HierModel, Raft3Model, RingSacModel, Sac3Model, SacChurnModel};
+use p2pfl_check::models::{
+    ByzEquivModel, ByzModel, HierModel, Raft3Model, RingSacModel, Sac3Model, SacChurnModel,
+};
 use p2pfl_check::{ExploreConfig, ExploreReport, Explorer, Model};
 use std::time::Instant;
 
@@ -146,7 +148,17 @@ fn main() {
     if selected("hier") {
         ok &= run_one(HierModel, &opts, 4);
     }
-    if !["all", "raft3", "sac3", "sacchurn", "ringsac", "hier"].contains(&opts.model.as_str()) {
+    if selected("byz") {
+        ok &= run_one(ByzModel, &opts, 4);
+    }
+    if selected("byzequiv") {
+        ok &= run_one(ByzEquivModel, &opts, 4);
+    }
+    if ![
+        "all", "raft3", "sac3", "sacchurn", "ringsac", "hier", "byz", "byzequiv",
+    ]
+    .contains(&opts.model.as_str())
+    {
         eprintln!("unknown model '{}'", opts.model);
         std::process::exit(2);
     }

@@ -8,7 +8,7 @@
 
 use super::{hash_raft_node, hasher};
 use crate::{oracles, Model, Violation};
-use p2pfl_hierraft::{FedCmd, HierActor, HierMsg, HierPeerConfig, SubCmd};
+use p2pfl_hierraft::{FedCmd, HierActor, HierMsg, HierPeerConfig, RobustCombiner, SubCmd};
 use p2pfl_raft::MemStorage;
 use p2pfl_secagg::SacEngine;
 use p2pfl_simnet::{NodeId, Sim, SimDuration};
@@ -52,6 +52,7 @@ impl HierModel {
             suspect_after: SimDuration::from_millis(300),
             dead_after: SimDuration::from_millis(900),
             engine: SacEngine::Pairwise,
+            combiner: RobustCombiner::FedAvg,
             seed: SEED ^ (0x9e37 + id.0 as u64 * 0x85eb_ca6b),
         }
     }
@@ -126,6 +127,15 @@ impl Model for HierModel {
         oracles::fed_config_replication(&peers)?;
         let configs: Vec<_> = peers.iter().map(|&(id, cfg, _)| (id, cfg)).collect();
         oracles::engine_agreement(&configs)?;
+        // All peers honest: the echo protocol must never convict anyone.
+        let actors: Vec<_> = ids
+            .iter()
+            .map(|&id| (id, sim.actor::<HierActor>(id)))
+            .collect();
+        oracles::equivocation_detection(
+            actors.iter().copied(),
+            &std::collections::BTreeSet::new(),
+        )?;
         for id in ids {
             let rt = sim.actor_mut::<HierActor>(id).verify_storage_roundtrip();
             oracles::storage_roundtrip(id, rt)?;

@@ -5,12 +5,14 @@
 //! makes replay-based exploration sound), canonicalizes actor state into a
 //! fingerprint, and composes the [`crate::oracles`] into one `check`.
 
+mod byz;
 mod hier;
 mod raft3;
 mod ringsac;
 mod sac3;
 mod sac3_churn;
 
+pub use byz::{ByzEquivModel, ByzModel};
 pub use hier::HierModel;
 pub use raft3::Raft3Model;
 pub use ringsac::RingSacModel;

@@ -491,16 +491,22 @@ pub fn ring_stage_anonymity<'a>(
     Ok(())
 }
 
-/// **EngineAgreement** — no round may mix aggregation engines. The engine
-/// travels inside the replicated [`p2pfl_hierraft::FedConfig`], which
-/// advances atomically under the version max-advance rule, so any two
-/// peers whose live configs are at the same version must agree on the
-/// engine (paper Sec. V-A1 extended with the engine selector).
+/// **EngineAgreement** — no round may mix aggregation engines *or*
+/// combining rules. Both selectors travel inside the replicated
+/// [`p2pfl_hierraft::FedConfig`], which advances atomically under the
+/// version max-advance rule, so any two peers whose live configs are at
+/// the same version must agree on the engine and the robust combiner
+/// (paper Sec. V-A1 extended with the two selectors).
 pub fn engine_agreement(peers: &[(NodeId, &p2pfl_hierraft::FedConfig)]) -> Result<(), Violation> {
-    let mut engine_of_version: BTreeMap<u64, (NodeId, p2pfl_secagg::SacEngine)> = BTreeMap::new();
+    type Choice = (
+        NodeId,
+        p2pfl_secagg::SacEngine,
+        p2pfl_hierraft::RobustCombiner,
+    );
+    let mut choice_of_version: BTreeMap<u64, Choice> = BTreeMap::new();
     for (id, cfg) in peers {
-        match engine_of_version.get(&cfg.version) {
-            Some(&(prev, engine)) if engine != cfg.engine => {
+        match choice_of_version.get(&cfg.version) {
+            Some(&(prev, engine, _)) if engine != cfg.engine => {
                 return Err(Violation::new(
                     "EngineAgreement",
                     format!(
@@ -509,9 +515,18 @@ pub fn engine_agreement(peers: &[(NodeId, &p2pfl_hierraft::FedConfig)]) -> Resul
                     ),
                 ));
             }
+            Some(&(prev, _, combiner)) if combiner != cfg.combiner => {
+                return Err(Violation::new(
+                    "EngineAgreement",
+                    format!(
+                        "config v{}: {prev} combines with {combiner:?} but {id} with {:?}",
+                        cfg.version, cfg.combiner
+                    ),
+                ));
+            }
             Some(_) => {}
             None => {
-                engine_of_version.insert(cfg.version, (*id, cfg.engine));
+                choice_of_version.insert(cfg.version, (*id, cfg.engine, cfg.combiner));
             }
         }
     }
@@ -598,6 +613,103 @@ pub fn degraded_liveness<'a>(
                 ));
             }
             _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// **ByzantineBoundedInfluence** — the Byzantine-robustness claim for one
+/// SAC subgroup with a known malicious subset:
+///
+/// 1. *Conviction is effective*: a position whose share block failed its
+///    hash commitment never appears in the frozen contributor set.
+/// 2. *Influence is bounded*: every coordinate of the leader's published
+///    result lies inside the honest contributors' per-coordinate envelope
+///    `[min, max]` (the convexity bound `B` — an adversary that escaped
+///    detection still cannot drag the aggregate outside the honest hull).
+pub fn byzantine_bounded_influence<'a>(
+    actors: impl IntoIterator<Item = (NodeId, &'a SacPeerActor)>,
+    models: &[&WeightVector],
+    byzantine: &BTreeSet<usize>,
+) -> Result<(), Violation> {
+    for (id, a) in actors {
+        let cfg = a.sac_config();
+        if cfg.position != cfg.leader_pos || a.phase != SacPhase::Done {
+            continue;
+        }
+        if let Some(&b) = a
+            .contributors
+            .iter()
+            .find(|b| a.byzantine_detected.contains(b))
+        {
+            return Err(Violation::new(
+                "ByzantineBoundedInfluence",
+                format!("{id}: position {b} contributed after failing its commitment check"),
+            ));
+        }
+        let Some(result) = a.result.as_ref() else {
+            continue; // kofn_result reports the missing result
+        };
+        let honest: Vec<&WeightVector> = a
+            .contributors
+            .iter()
+            .filter(|c| !byzantine.contains(c))
+            .map(|&c| models[c])
+            .collect();
+        if honest.is_empty() {
+            continue;
+        }
+        for d in 0..result.dim() {
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for m in &honest {
+                lo = lo.min(m.as_slice()[d]);
+                hi = hi.max(m.as_slice()[d]);
+            }
+            let x = result.as_slice()[d];
+            if x < lo - TOL || x > hi + TOL {
+                return Err(Violation::new(
+                    "ByzantineBoundedInfluence",
+                    format!(
+                        "{id}: result coordinate {d} = {x} escapes the honest envelope \
+                         [{lo}, {hi}] (contributors {:?})",
+                        a.contributors
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// **EquivocationDetection** — soundness of the config-echo witness
+/// protocol with a known malicious subset:
+///
+/// 1. *No false convictions*: every peer a node holds in its Byzantine set
+///    really is in the deployment's malicious subset — an honest peer is
+///    never convicted, no matter the interleaving (Raft keeps honest
+///    peers' applied configs identical per version, so only a fabricated
+///    echo can conflict).
+/// 2. *Detection convicts*: a node that counted a conflicting echo has
+///    convicted at least one peer.
+pub fn equivocation_detection<'a>(
+    actors: impl IntoIterator<Item = (NodeId, &'a p2pfl_hierraft::HierActor)>,
+    byzantine: &BTreeSet<NodeId>,
+) -> Result<(), Violation> {
+    for (id, a) in actors {
+        if let Some(p) = a.byzantine_peers.iter().find(|p| !byzantine.contains(p)) {
+            return Err(Violation::new(
+                "EquivocationDetection",
+                format!("{id}: convicted honest peer {p} as Byzantine"),
+            ));
+        }
+        if a.equivocations_detected > 0 && a.byzantine_peers.is_empty() {
+            return Err(Violation::new(
+                "EquivocationDetection",
+                format!(
+                    "{id}: observed {} conflicting echoes but convicted no one",
+                    a.equivocations_detected
+                ),
+            ));
         }
     }
     Ok(())

@@ -10,7 +10,7 @@
 //! skipped for that round, and crashed peers appear as SAC dropouts.
 
 use crate::system::RoundRecord;
-use p2pfl_fed::{fedavg, Client, LocalTrainConfig};
+use p2pfl_fed::{combine, Client, LocalTrainConfig};
 use p2pfl_hierraft::{Deployment, DeploymentSpec, HierActor};
 use p2pfl_ml::data::Dataset;
 use p2pfl_ml::metrics::evaluate;
@@ -19,9 +19,10 @@ use p2pfl_secagg::{
     fault_tolerant_secure_average, ring_secure_average, DropPhase, Dropout, SacEngine, ShareScheme,
     TransferLog, WeightVector, WIRE_BYTES_PER_PARAM,
 };
-use p2pfl_simnet::{FaultPlan, NodeId, SimDuration, SimTime};
+use p2pfl_simnet::{FaultPlan, NodeId, PoisonMode, SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::BTreeSet;
 
 /// Configuration of a [`ResilientSession`].
 #[derive(Debug, Clone)]
@@ -41,6 +42,11 @@ pub struct ResilientConfig {
     /// from the weighted average (`w`). It is re-admitted as soon as its
     /// leader is back — the existing election + join path.
     pub eviction_window: u32,
+    /// Whether share commitments are verified (the runner-level mirror of
+    /// [`p2pfl_secagg::SacPeerActor`]'s `verify_commitments`). With this
+    /// off, a Byzantine member's skewed shares silently contaminate its
+    /// subgroup average instead of being rejected.
+    pub verify_commitments: bool,
     /// RNG seed for share randomness.
     pub seed: u64,
 }
@@ -61,6 +67,7 @@ impl ResilientConfig {
             },
             round_settle: SimDuration::from_millis(600),
             eviction_window: 3,
+            verify_commitments: true,
             seed,
         }
     }
@@ -84,6 +91,16 @@ pub struct SupervisorStats {
     /// `(round, subgroup)` pairs at which an evicted subgroup re-entered
     /// the average.
     pub readmissions: Vec<(usize, usize)>,
+    /// Share blocks rejected because they failed the commitment check
+    /// (one per Byzantine sender per round it attempted to contribute).
+    pub shares_rejected: u64,
+    /// Total conflicting config echoes observed across all peers (summed
+    /// from the per-peer [`HierActor::equivocations_detected`] counters).
+    pub equivocations_detected: u64,
+    /// `(round, peer)` pairs at which a peer was convicted as Byzantine
+    /// and evicted from its aggregation roster — by the runner's
+    /// commitment check or by the in-protocol equivocation detector.
+    pub peers_evicted_byzantine: Vec<(usize, NodeId)>,
 }
 
 /// Per-round outcome of the integrated system.
@@ -122,6 +139,12 @@ pub struct ResilientSession {
     evicted: Vec<bool>,
     /// Round-supervisor counters.
     pub supervisor: SupervisorStats,
+    /// The active fault plan, kept so rounds can interpret its Byzantine
+    /// entries (link faults and crashes are handled by the simulator).
+    fault_plan: Option<FaultPlan>,
+    /// Peers already convicted as Byzantine (each is recorded in
+    /// [`SupervisorStats::peers_evicted_byzantine`] exactly once).
+    convicted: BTreeSet<NodeId>,
 }
 
 impl ResilientSession {
@@ -150,6 +173,8 @@ impl ResilientSession {
             miss_streak: vec![0; num_groups],
             evicted: vec![false; num_groups],
             supervisor: SupervisorStats::default(),
+            fault_plan: None,
+            convicted: BTreeSet::new(),
         };
         s.push_global();
         s
@@ -180,12 +205,41 @@ impl ResilientSession {
     /// scheduled on the virtual clock relative to now.
     pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
         self.dep.sim.apply_fault_plan(plan);
+        // Byzantine entries are interpreted by the runner itself: poison /
+        // share-skew at aggregation time, equivocation / bogus rosters by
+        // flagging the hierraft actors each round.
+        self.fault_plan = Some(plan.clone());
     }
 
     /// Removes the link faults of an applied plan (crash/restart events
-    /// already on the virtual clock still fire).
+    /// already on the virtual clock still fire), and stops interpreting
+    /// its Byzantine entries.
     pub fn clear_fault_plan(&mut self) {
         self.dep.sim.clear_fault_plan();
+        self.fault_plan = None;
+        self.sync_byzantine_flags();
+    }
+
+    /// Pushes the plan's currently-active equivocation / bogus-roster
+    /// behaviors onto the simulated hierraft actors (and clears them on
+    /// peers whose Byzantine window has passed).
+    fn sync_byzantine_flags(&mut self) {
+        let now = self.dep.sim.now();
+        for i in 0..self.clients.len() {
+            let id = NodeId(i as u32);
+            if self.dep.sim.is_crashed(id) {
+                continue;
+            }
+            let spec = self
+                .fault_plan
+                .as_ref()
+                .map(|p| p.byzantine(id, now))
+                .unwrap_or_default();
+            self.dep.sim.exec::<HierActor, _, _>(id, |a, _| {
+                a.byz_equivocate = spec.equivocate;
+                a.byz_bogus_roster = spec.bogus_roster;
+            });
+        }
     }
 
     fn push_global(&mut self) {
@@ -222,11 +276,22 @@ impl ResilientSession {
         k: usize,
         dropouts: &[Dropout],
         engine: SacEngine,
+        skews: &[(NodeId, f64)],
     ) -> Result<(Vec<f64>, usize), p2pfl_secagg::FtSacError> {
         let leader_pos = members.iter().position(|&m| m == leader).unwrap();
         let models: Vec<WeightVector> = members
             .iter()
-            .map(|&m| WeightVector::new(self.clients[m.index()].params()))
+            .map(|&m| {
+                let mut v = WeightVector::new(self.clients[m.index()].params());
+                if let Some(&(_, f)) = skews.iter().find(|&&(s, _)| s == m) {
+                    // Undetected share skew: every partition scaled by `f`
+                    // still sums, so the member effectively contributes a
+                    // scaled model — exactly what the commitment check
+                    // would have caught.
+                    v.scale(f);
+                }
+                v
+            })
             .collect();
         let out = match engine {
             SacEngine::Pairwise => fault_tolerant_secure_average(
@@ -258,7 +323,11 @@ impl ResilientSession {
     /// Runs one round: settle the network, train, aggregate with the
     /// Raft-elected leaders, evaluate on `test`.
     pub fn run_round(&mut self, round: usize, test: &Dataset) -> ResilientRound {
-        // 1. Let the network settle (elections, joins, heartbeats).
+        // 1. Let the network settle (elections, joins, heartbeats). Active
+        //    Byzantine control-plane behaviors (equivocation, bogus roster
+        //    proposals) are flagged on the actors first so the settle
+        //    window exercises — and the protocol detects — them.
+        self.sync_byzantine_flags();
         self.dep.sim.run_for(self.cfg.round_settle);
         let bytes_before = self.log.bytes();
 
@@ -275,6 +344,28 @@ impl ResilientSession {
         let mut train_loss: f64 = losses.iter().flatten().sum();
         if trained > 0 {
             train_loss /= trained as f64;
+        }
+
+        // 2b. Byzantine peers corrupt their local update after training —
+        //     a poisoned model is statistically well-formed (consistent
+        //     shares), so SAC cannot catch it; the robust combiner at the
+        //     FedAvg layer is the defense.
+        if let Some(plan) = self.fault_plan.clone() {
+            let now = self.dep.sim.now();
+            for i in 0..self.clients.len() {
+                let id = NodeId(i as u32);
+                if self.dep.sim.is_crashed(id) {
+                    continue;
+                }
+                if let Some(mode) = plan.byzantine(id, now).poison {
+                    let mut p = self.clients[i].params();
+                    match mode {
+                        PoisonMode::SignFlip => p.iter_mut().for_each(|x| *x = -*x),
+                        PoisonMode::NormBoost { factor } => p.iter_mut().for_each(|x| *x *= factor),
+                    }
+                    self.clients[i].set_params(&p);
+                }
+            }
         }
 
         // 3. Subgroup aggregation, gated by the live Raft state and
@@ -325,6 +416,37 @@ impl ResilientSession {
                 // fall back to the full subgroup until the roster heals.
                 members = self.dep.subgroups[g].clone();
             }
+            // Byzantine supervision — the synchronous mirror of the
+            // engine-level commitment checks: a member whose plan entry
+            // skews its shares fails the per-partition digests when
+            // verification is on, so the leader rejects its block, drops
+            // it from the round, and convicts it through the replicated
+            // roster path. With verification off the skewed shares still
+            // sum (to a scaled model) and silently poison the subgroup
+            // average.
+            let mut skews: Vec<(NodeId, f64)> = Vec::new();
+            if let Some(plan) = &self.fault_plan {
+                let now = self.dep.sim.now();
+                let flagged: Vec<(NodeId, f64)> = members
+                    .iter()
+                    .filter(|&&m| m != leader && !self.dep.sim.is_crashed(m))
+                    .filter_map(|&m| plan.byzantine(m, now).share_skew.map(|f| (m, f)))
+                    .collect();
+                for (m, factor) in flagged {
+                    if self.cfg.verify_commitments {
+                        self.supervisor.shares_rejected += 1;
+                        members.retain(|&x| x != m);
+                        if self.convicted.insert(m) {
+                            self.supervisor.peers_evicted_byzantine.push((round, m));
+                        }
+                        self.dep
+                            .sim
+                            .exec::<HierActor, _, _>(leader, |a, ctx| a.convict(ctx, m));
+                    } else {
+                        skews.push((m, factor));
+                    }
+                }
+            }
             if members.len() < 2 {
                 self.supervisor.refusals += 1;
                 leaders[g] = None;
@@ -349,7 +471,7 @@ impl ResilientSession {
             // rule, so every member that follows the leader runs the same
             // engine and a round can never mix schemes.
             let engine = self.dep.sim.actor::<HierActor>(leader).fed_config.engine;
-            let outcome = match self.sac_attempt(&members, leader, k, &dropouts, engine) {
+            let outcome = match self.sac_attempt(&members, leader, k, &dropouts, engine, &skews) {
                 Ok(out) => Some(out),
                 Err(_) => {
                     // Abort and restart once with the survivors.
@@ -361,7 +483,7 @@ impl ResilientSession {
                         .collect();
                     if survivors.len() >= 2 && survivors.contains(&leader) {
                         let k2 = self.cfg.threshold.min(survivors.len()).max(1);
-                        match self.sac_attempt(&survivors, leader, k2, &[], engine) {
+                        match self.sac_attempt(&survivors, leader, k2, &[], engine, &skews) {
                             Ok(out) => {
                                 self.supervisor.degraded_retries += 1;
                                 degraded.push(g);
@@ -400,11 +522,16 @@ impl ResilientSession {
                 });
             }
         }
-        if groups_used > 0 && fed_leader.is_some() {
+        if let Some(fl) = fed_leader.filter(|_| groups_used > 0) {
             for _ in 1..groups_used {
                 self.log.record("fedavg.upload", self.model_bytes());
             }
-            self.global = fedavg(&group_avgs, &group_counts);
+            // The combining rule, like the engine, comes from the FedAvg
+            // leader's *replicated* config: it advances atomically with
+            // the version max-advance rule, so a round never mixes a
+            // robust combiner with plain FedAvg across leader changes.
+            let combiner = self.dep.sim.actor::<HierActor>(fl).fed_config.combiner;
+            self.global = combine(combiner, &group_avgs, &group_counts);
             // 5. Broadcast back down.
             for (g, leader) in leaders.iter().enumerate() {
                 if leader.is_some() && Some(self.dep.subgroups[g][0]) != fed_leader {
@@ -419,6 +546,26 @@ impl ResilientSession {
                 }
             }
             self.push_global();
+        }
+
+        // 5b. Harvest what the protocol layer detected on its own this
+        //     round: config-echo equivocations and in-protocol Byzantine
+        //     convictions (the counters on the actors are cumulative, so
+        //     the totals are assigned, not incremented).
+        let mut equivocations = 0;
+        let mut in_protocol: Vec<NodeId> = Vec::new();
+        for group in &self.dep.subgroups {
+            for &m in group {
+                let a = self.dep.sim.actor::<HierActor>(m);
+                equivocations += a.equivocations_detected;
+                in_protocol.extend(a.byzantine_peers.iter().copied());
+            }
+        }
+        self.supervisor.equivocations_detected = equivocations;
+        for p in in_protocol {
+            if self.convicted.insert(p) {
+                self.supervisor.peers_evicted_byzantine.push((round, p));
+            }
         }
 
         // 6. Evaluate.
@@ -449,6 +596,7 @@ impl ResilientSession {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use p2pfl_hierraft::RobustCombiner;
     use p2pfl_ml::data::{features_like, partition_dataset, train_test_split, Partition};
     use p2pfl_ml::models::mlp;
 
@@ -658,6 +806,134 @@ mod tests {
         assert!(readmitted);
         assert_eq!(s.supervisor.readmissions.len(), 1);
         assert_eq!(s.supervisor.readmissions[0].1, 2);
+    }
+
+    #[test]
+    fn byzantine_share_skew_detected_convicted_and_excluded() {
+        let (mut s, test) = build(11);
+        s.run(1, &test);
+        let leader0 = s.dep.sub_leader_of(0).unwrap();
+        let byz = *s.dep.subgroups[0].iter().find(|&&m| m != leader0).unwrap();
+        let plan = FaultPlan::new(0xb1).share_skew(SimTime::ZERO, None, byz, 7.0);
+        s.apply_fault_plan(&plan);
+        let r = s.run_round(2, &test);
+        // Detection: the block was rejected, the sender convicted, and the
+        // subgroup still aggregated with its two honest members.
+        assert_eq!(s.supervisor.shares_rejected, 1);
+        assert_eq!(s.supervisor.peers_evicted_byzantine, vec![(2, byz)]);
+        assert_eq!(r.record.groups_used, 3, "leaders: {:?}", r.leaders);
+        // The conviction replicates: the leader marked the peer Byzantine
+        // and evicted it from the aggregation roster.
+        s.dep.sim.run_for(SimDuration::from_millis(400));
+        let a = s.dep.sim.actor::<HierActor>(leader0);
+        assert!(a.byzantine_peers.contains(&byz));
+        assert!(!a.live_sub_members().contains(&byz));
+        // Once the roster excludes the peer there is nothing left to
+        // reject — and the round completes with honest members only.
+        let r = s.run_round(3, &test);
+        assert_eq!(s.supervisor.shares_rejected, 1);
+        assert_eq!(r.record.groups_used, 3);
+    }
+
+    #[test]
+    fn unverified_share_skew_contaminates_the_average() {
+        // Pinned negative: with commitment checks off, the same skew lands
+        // in the subgroup sum and blows up the global model.
+        let mut cfg = ResilientConfig::small(13);
+        cfg.verify_commitments = false;
+        let (mut s, test) = build_with(cfg);
+        s.run(1, &test);
+        let leader0 = s.dep.sub_leader_of(0).unwrap();
+        let byz = *s.dep.subgroups[0].iter().find(|&&m| m != leader0).unwrap();
+        let plan = FaultPlan::new(0xb2).share_skew(SimTime::ZERO, None, byz, 1e4);
+        s.apply_fault_plan(&plan);
+        let r = s.run_round(2, &test);
+        assert_eq!(s.supervisor.shares_rejected, 0);
+        assert!(s.supervisor.peers_evicted_byzantine.is_empty());
+        assert_eq!(r.record.groups_used, 3);
+        let max = s.global().iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        assert!(max > 10.0, "skew should have poisoned the average: {max}");
+    }
+
+    #[test]
+    fn replicated_trimmed_mean_bounds_a_poisoned_update() {
+        // A poisoned update has consistent shares, so SAC passes it
+        // through; the replicated robust combiner absorbs it at the
+        // FedAvg layer.
+        let plan = FaultPlan::new(0xb0).poison(
+            SimTime::ZERO,
+            None,
+            NodeId(1),
+            PoisonMode::NormBoost { factor: 1e4 },
+        );
+        let run = |combiner: RobustCombiner| {
+            let mut cfg = ResilientConfig::small(12);
+            cfg.deployment.combiner = combiner;
+            let (mut s, test) = build_with(cfg);
+            s.run(1, &test);
+            let leader0 = s.dep.sub_leader_of(0).unwrap();
+            assert_ne!(leader0, NodeId(1), "poisoned peer must be a follower");
+            s.apply_fault_plan(&plan);
+            let r = s.run_round(2, &test);
+            assert_eq!(r.record.groups_used, 3, "leaders: {:?}", r.leaders);
+            s.global().iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+        };
+        let robust = run(RobustCombiner::TrimmedMean);
+        assert!(
+            robust < 10.0,
+            "poison leaked through the trimmed mean: {robust}"
+        );
+        // Control (same seed, same plan): plain FedAvg is overwhelmed.
+        let plain = run(RobustCombiner::FedAvg);
+        assert!(
+            plain > 10.0,
+            "fedavg unexpectedly bounded the poison: {plain}"
+        );
+    }
+
+    #[test]
+    fn equivocating_peer_is_detected_and_convicted() {
+        let (mut s, test) = build(14);
+        s.run(1, &test);
+        // Subgroup 0 is {0, 1, 2}. Peer 2 advertises conflicting config
+        // digests; peer 1 receives the flipped one, compares it against
+        // its own applied config, and convicts the sender.
+        let byz = NodeId(2);
+        let plan = FaultPlan::new(0xb3).equivocate(SimTime::ZERO, None, byz);
+        s.apply_fault_plan(&plan);
+        s.run(2, &test);
+        assert!(s.supervisor.equivocations_detected >= 1);
+        assert!(
+            s.supervisor
+                .peers_evicted_byzantine
+                .iter()
+                .any(|&(_, p)| p == byz),
+            "equivocator never convicted: {:?}",
+            s.supervisor.peers_evicted_byzantine
+        );
+    }
+
+    #[test]
+    fn bogus_roster_proposals_are_rejected_by_followers() {
+        let (mut s, test) = build(15);
+        s.run(1, &test);
+        // Make subgroup 1's leader propose rosters with a phantom member;
+        // every applier (including the proposer) refuses them, and the
+        // previous roster stays in force.
+        let byz = s.dep.sub_leader_of(1).unwrap();
+        let plan = FaultPlan::new(0xb4).bogus_roster(SimTime::ZERO, None, byz);
+        s.apply_fault_plan(&plan);
+        let rounds = s.run(2, &test);
+        let rejected: u64 = s.dep.subgroups[1]
+            .iter()
+            .map(|&m| s.dep.sim.actor::<HierActor>(m).bogus_rosters_rejected)
+            .sum();
+        assert!(rejected > 0, "no bogus roster was ever rejected");
+        for &m in &s.dep.subgroups[1] {
+            let a = s.dep.sim.actor::<HierActor>(m);
+            assert!(!a.live_sub_members().contains(&NodeId(u32::MAX)));
+        }
+        assert!(rounds.iter().all(|r| r.record.groups_used == 3));
     }
 
     #[test]

@@ -1,19 +1,60 @@
-//! FedAvg — sample-weighted model averaging (paper Sec. III-A).
+//! FedAvg — sample-weighted model averaging (paper Sec. III-A) — plus the
+//! robust combiners that bound Byzantine influence at the FedAvg layer
+//! (trimmed mean, coordinate-wise median, norm clipping).
+//!
+//! The robust rules defend against *poisoned* group averages: a malicious
+//! peer whose shares pass the SAC commitment checks can still contribute an
+//! arbitrary model, contaminating its whole subgroup's average. With `f`
+//! contaminated inputs out of `n`, [`coordinate_median`] (for `f < n/2`)
+//! and [`trimmed_mean`] (for `f <= trim_count(n)`) keep every output
+//! coordinate inside the honest inputs' `[min, max]` range, so the shift
+//! from the honest-only aggregate is bounded by the honest spread — the
+//! bound `B` the `ByzantineBoundedInfluence` oracle checks. [`norm_clip`]
+//! instead caps each input's L2 norm at the median norm before weighting,
+//! defusing norm-boost attacks while preserving sample weighting.
+
+/// The FedAvg-layer combining rule, selected through the replicated
+/// `FedConfig` (same dispatch path as the SAC engine selector) and applied
+/// per round to the subgroup averages.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
+pub enum RobustCombiner {
+    /// Plain sample-weighted FedAvg — no Byzantine tolerance.
+    #[default]
+    FedAvg,
+    /// Coordinate-wise trimmed mean: drop the [`trim_count`] lowest and
+    /// highest values per coordinate, average the rest (unweighted).
+    TrimmedMean,
+    /// Coordinate-wise median (unweighted).
+    Median,
+    /// Clip every input to the median L2 norm, then sample-weighted FedAvg.
+    NormClip,
+}
 
 /// Computes the FedAvg aggregate `Σ (n_k / n) w_k` over flat parameter
 /// vectors, weighting each client's model by its sample count.
 ///
-/// Panics if inputs are empty, lengths mismatch, or all counts are zero.
+/// When every sample count is zero — which can legitimately happen after a
+/// Byzantine eviction leaves only zero-weighted survivors — the weighting
+/// is undefined and the function falls back to the unweighted mean instead
+/// of panicking.
+///
+/// Panics if inputs are empty or lengths mismatch.
 pub fn fedavg(models: &[Vec<f64>], sample_counts: &[usize]) -> Vec<f64> {
     assert!(!models.is_empty(), "fedavg over zero models");
     assert_eq!(models.len(), sample_counts.len(), "count mismatch");
     let dim = models[0].len();
     assert!(models.iter().all(|m| m.len() == dim), "dimension mismatch");
     let total: usize = sample_counts.iter().sum();
-    assert!(total > 0, "all sample counts are zero");
     let mut out = vec![0.0f64; dim];
     for (m, &c) in models.iter().zip(sample_counts) {
-        let w = c as f64 / total as f64;
+        // All-zero counts degrade to the unweighted mean.
+        let w = if total > 0 {
+            c as f64 / total as f64
+        } else {
+            1.0 / models.len() as f64
+        };
         for (o, &v) in out.iter_mut().zip(m) {
             *o += w * v;
         }
@@ -25,6 +66,125 @@ pub fn fedavg(models: &[Vec<f64>], sample_counts: &[usize]) -> Vec<f64> {
 pub fn mean(models: &[Vec<f64>]) -> Vec<f64> {
     let counts = vec![1usize; models.len()];
     fedavg(models, &counts)
+}
+
+/// How many values [`trimmed_mean`] discards from *each* end per
+/// coordinate: `min(ceil(n/4), floor((n-1)/2))`. The combiner tolerates up
+/// to this many arbitrary (Byzantine) inputs; at least one value always
+/// survives the trim.
+pub fn trim_count(n: usize) -> usize {
+    n.div_ceil(4).min(n.saturating_sub(1) / 2)
+}
+
+/// Coordinate-wise trimmed mean: per coordinate, sort, drop the
+/// [`trim_count`] lowest and highest values, and average the remainder
+/// (unweighted — sample weights would let a Byzantine input buy influence).
+///
+/// With `f <= trim_count(n)` arbitrary inputs, every surviving sorted
+/// position is bracketed by honest values, so each output coordinate lies
+/// within the honest inputs' `[min, max]`.
+pub fn trimmed_mean(models: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!models.is_empty(), "trimmed_mean over zero models");
+    let dim = models[0].len();
+    assert!(models.iter().all(|m| m.len() == dim), "dimension mismatch");
+    let t = trim_count(models.len());
+    let mut column = vec![0.0f64; models.len()];
+    (0..dim)
+        .map(|j| {
+            for (c, m) in column.iter_mut().zip(models) {
+                *c = m[j];
+            }
+            column.sort_by(f64::total_cmp);
+            let kept = &column[t..models.len() - t];
+            kept.iter().sum::<f64>() / kept.len() as f64
+        })
+        .collect()
+}
+
+/// Coordinate-wise median (unweighted; even counts average the two middle
+/// values). Robust to any `f < n/2` arbitrary inputs: each output
+/// coordinate lies within the honest inputs' `[min, max]`.
+pub fn coordinate_median(models: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!models.is_empty(), "median over zero models");
+    let dim = models[0].len();
+    assert!(models.iter().all(|m| m.len() == dim), "dimension mismatch");
+    let n = models.len();
+    let mut column = vec![0.0f64; n];
+    (0..dim)
+        .map(|j| {
+            for (c, m) in column.iter_mut().zip(models) {
+                *c = m[j];
+            }
+            column.sort_by(f64::total_cmp);
+            if n % 2 == 1 {
+                column[n / 2]
+            } else {
+                (column[n / 2 - 1] + column[n / 2]) / 2.0
+            }
+        })
+        .collect()
+}
+
+/// Norm clipping: scale every model whose L2 norm exceeds the median norm
+/// down to it, then sample-weighted [`fedavg`]. A norm-boosted Byzantine
+/// input is capped at the median norm (which, for `f < n/2` adversaries,
+/// is itself bracketed by honest norms), so the aggregate's norm never
+/// exceeds the clip threshold. Reduces to plain FedAvg when all input
+/// norms are equal (no clipping triggers).
+pub fn norm_clip(models: &[Vec<f64>], sample_counts: &[usize]) -> Vec<f64> {
+    assert!(!models.is_empty(), "norm_clip over zero models");
+    let l2 = |m: &[f64]| m.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let mut norms: Vec<f64> = models.iter().map(|m| l2(m)).collect();
+    norms.sort_by(f64::total_cmp);
+    let n = norms.len();
+    let tau = if n % 2 == 1 {
+        norms[n / 2]
+    } else {
+        (norms[n / 2 - 1] + norms[n / 2]) / 2.0
+    };
+    let clipped: Vec<Vec<f64>> = models
+        .iter()
+        .map(|m| {
+            let norm = l2(m);
+            if norm > tau && norm > 0.0 {
+                let s = tau / norm;
+                m.iter().map(|x| x * s).collect()
+            } else {
+                m.clone()
+            }
+        })
+        .collect();
+    fedavg(&clipped, sample_counts)
+}
+
+/// Dispatches on the replicated combiner selection. The robust rules
+/// ignore sample counts by design (see [`trimmed_mean`]).
+pub fn combine(combiner: RobustCombiner, models: &[Vec<f64>], sample_counts: &[usize]) -> Vec<f64> {
+    match combiner {
+        RobustCombiner::FedAvg => fedavg(models, sample_counts),
+        RobustCombiner::TrimmedMean => trimmed_mean(models),
+        RobustCombiner::Median => coordinate_median(models),
+        RobustCombiner::NormClip => norm_clip(models, sample_counts),
+    }
+}
+
+/// The per-coordinate spread `max - min` of a model set, reduced to its
+/// maximum over coordinates — the bound `B` on how far a robust combiner's
+/// output can sit from the honest-only aggregate (both lie inside the
+/// honest per-coordinate envelope).
+pub fn spread_linf(models: &[Vec<f64>]) -> f64 {
+    assert!(!models.is_empty(), "spread of zero models");
+    let dim = models[0].len();
+    (0..dim)
+        .map(|j| {
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for m in models {
+                lo = lo.min(m[j]);
+                hi = hi.max(m[j]);
+            }
+            hi - lo
+        })
+        .fold(0.0, f64::max)
 }
 
 #[cfg(test)]
@@ -58,8 +218,82 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "all sample counts are zero")]
-    fn all_zero_counts_panics() {
-        fedavg(&[vec![1.0]], &[0]);
+    fn all_zero_counts_fall_back_to_mean() {
+        // Byzantine eviction can zero-weight every survivor; the aggregate
+        // must degrade to the unweighted mean, not panic.
+        assert_eq!(fedavg(&[vec![1.0]], &[0]), vec![1.0]);
+        let models = vec![vec![2.0, 8.0], vec![4.0, 0.0]];
+        assert_eq!(fedavg(&models, &[0, 0]), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn trim_count_keeps_at_least_one() {
+        assert_eq!(trim_count(1), 0);
+        assert_eq!(trim_count(2), 0);
+        assert_eq!(trim_count(3), 1);
+        assert_eq!(trim_count(4), 1);
+        assert_eq!(trim_count(5), 2);
+        assert_eq!(trim_count(8), 2);
+        for n in 1..64 {
+            assert!(n - 2 * trim_count(n) >= 1, "n={n} trims everything");
+        }
+    }
+
+    #[test]
+    fn trimmed_mean_drops_extremes() {
+        // One huge outlier among four: trim_count(4) = 1 discards it.
+        let models = vec![vec![1.0], vec![2.0], vec![3.0], vec![1e9]];
+        assert_eq!(trimmed_mean(&models), vec![2.5]);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        let odd = vec![vec![1.0], vec![9.0], vec![2.0]];
+        assert_eq!(coordinate_median(&odd), vec![2.0]);
+        let even = vec![vec![1.0], vec![3.0], vec![9.0], vec![2.0]];
+        assert_eq!(coordinate_median(&even), vec![2.5]);
+    }
+
+    #[test]
+    fn norm_clip_caps_boosted_inputs() {
+        // Three unit-norm honest models and one boosted 100x: the clipped
+        // aggregate's norm stays at or under the median norm.
+        let models = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![100.0, 0.0],
+        ];
+        let out = norm_clip(&models, &[1, 1, 1, 1]);
+        let norm = out.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!(norm <= 1.0 + 1e-12, "clip failed: |out| = {norm}");
+    }
+
+    #[test]
+    fn norm_clip_with_equal_norms_is_fedavg() {
+        let models = vec![vec![3.0, 4.0], vec![-4.0, 3.0], vec![0.0, 5.0]];
+        assert_eq!(norm_clip(&models, &[1, 2, 3]), fedavg(&models, &[1, 2, 3]));
+    }
+
+    #[test]
+    fn combine_dispatches() {
+        let models = vec![vec![1.0], vec![2.0], vec![30.0]];
+        let counts = [1, 1, 1];
+        assert_eq!(
+            combine(RobustCombiner::FedAvg, &models, &counts),
+            vec![11.0]
+        );
+        assert_eq!(combine(RobustCombiner::Median, &models, &counts), vec![2.0]);
+        assert_eq!(
+            combine(RobustCombiner::TrimmedMean, &models, &counts),
+            vec![2.0],
+            "trim_count(3)=1 leaves the median"
+        );
+    }
+
+    #[test]
+    fn spread_is_max_coordinate_range() {
+        let models = vec![vec![1.0, 10.0], vec![2.0, 4.0]];
+        assert_eq!(spread_linf(&models), 6.0);
     }
 }

@@ -13,6 +13,9 @@ mod client;
 pub mod parallel;
 mod round;
 
-pub use aggregate::{fedavg, mean};
+pub use aggregate::{
+    combine, coordinate_median, fedavg, mean, norm_clip, spread_linf, trim_count, trimmed_mean,
+    RobustCombiner,
+};
 pub use client::{Client, LocalTrainConfig};
 pub use round::{FedAvgSession, RoundRecord};

@@ -1,0 +1,161 @@
+//! Property tests for the robust FedAvg-layer combiners: permutation
+//! invariance, reduction to plain FedAvg without adversaries, and the
+//! bounded-influence guarantee — `f` arbitrary (Byzantine) inputs cannot
+//! push the aggregate outside the honest inputs' per-coordinate envelope.
+//! This is the unit-level statement of the `ByzantineBoundedInfluence`
+//! oracle's bound `B`.
+
+use p2pfl_fed::{
+    combine, coordinate_median, fedavg, norm_clip, spread_linf, trim_count, trimmed_mean,
+    RobustCombiner,
+};
+use proptest::prelude::*;
+
+const COMBINERS: [RobustCombiner; 4] = [
+    RobustCombiner::FedAvg,
+    RobustCombiner::TrimmedMean,
+    RobustCombiner::Median,
+    RobustCombiner::NormClip,
+];
+
+fn arb_models(n: std::ops::Range<usize>, dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(-100.0f64..100.0, dim..=dim), n)
+}
+
+/// Deterministically permutes `items` by a seed (Fisher–Yates on a simple
+/// LCG) so proptest shrinks the seed, not the permutation.
+fn permuted<T: Clone>(items: &[T], seed: u64) -> Vec<T> {
+    let mut out: Vec<T> = items.to_vec();
+    let mut state = seed | 1;
+    for i in (1..out.len()).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        out.swap(i, j);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn combiners_are_permutation_invariant(
+        models in arb_models(1..8, 4),
+        counts_seed in any::<u64>(),
+        perm_seed in any::<u64>(),
+    ) {
+        let n = models.len();
+        let counts: Vec<usize> = (0..n).map(|i| {
+            (counts_seed.rotate_left(i as u32 * 7) % 50) as usize + 1
+        }).collect();
+        // Permute models and counts with the same permutation.
+        let paired: Vec<(Vec<f64>, usize)> =
+            models.iter().cloned().zip(counts.iter().copied()).collect();
+        let shuffled = permuted(&paired, perm_seed);
+        let (pm, pc): (Vec<Vec<f64>>, Vec<usize>) = shuffled.into_iter().unzip();
+        for c in COMBINERS {
+            let a = combine(c, &models, &counts);
+            let b = combine(c, &pm, &pc);
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert!(
+                    (x - y).abs() <= 1e-9 * (1.0 + x.abs()),
+                    "{c:?} not permutation-invariant: {x} vs {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identical_inputs_reduce_to_that_model(
+        model in prop::collection::vec(-100.0f64..100.0, 1..6),
+        n in 1usize..7,
+    ) {
+        // Zero adversaries and zero disagreement: every combiner must
+        // return the common model exactly — the degenerate case where all
+        // of them coincide with plain FedAvg.
+        let models = vec![model.clone(); n];
+        let counts = vec![3usize; n];
+        for c in COMBINERS {
+            let out = combine(c, &models, &counts);
+            for (o, m) in out.iter().zip(&model) {
+                prop_assert!((o - m).abs() <= 1e-12, "{c:?} moved a unanimous input");
+            }
+        }
+    }
+
+    #[test]
+    fn trimmed_mean_and_median_stay_in_honest_envelope(
+        honest in arb_models(3..8, 3),
+        adversarial_scale in 1.0f64..1e12,
+        sign in any::<bool>(),
+    ) {
+        // f Byzantine inputs with f <= trim_count(n) (and f < n/2 for the
+        // median): the output must stay inside the honest per-coordinate
+        // [min, max] envelope, i.e. within bound B of the honest mean.
+        let n_honest = honest.len();
+        let dim = honest[0].len();
+        let f = trim_count(n_honest + 1).min((n_honest - 1) / 2).max(
+            // At least one adversary whenever the combined set tolerates it.
+            usize::from(trim_count(n_honest + 1) >= 1),
+        );
+        let s = if sign { adversarial_scale } else { -adversarial_scale };
+        let mut all = honest.clone();
+        for _ in 0..f {
+            all.push(vec![s; dim]);
+        }
+        if f > trim_count(all.len()) {
+            continue;
+        }
+        let b = spread_linf(&honest);
+        let honest_mean = fedavg(&honest, &vec![1; n_honest]);
+        for out in [trimmed_mean(&all), coordinate_median(&all)] {
+            for j in 0..dim {
+                let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                for h in &honest {
+                    lo = lo.min(h[j]);
+                    hi = hi.max(h[j]);
+                }
+                prop_assert!(
+                    out[j] >= lo - 1e-9 && out[j] <= hi + 1e-9,
+                    "coordinate {j} escaped honest envelope: {} not in [{lo}, {hi}]",
+                    out[j]
+                );
+                prop_assert!(
+                    (out[j] - honest_mean[j]).abs() <= b + 1e-9,
+                    "shift beyond bound B={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn norm_clip_bounds_output_norm(
+        honest in arb_models(3..8, 3),
+        boost in 1e3f64..1e9,
+    ) {
+        // A minority of norm-boosted inputs cannot push the aggregate's
+        // norm beyond the clip threshold, which f < n/2 adversaries cannot
+        // control (the median norm is bracketed by honest norms).
+        let n_honest = honest.len();
+        let f = (n_honest - 1) / 2;
+        if f < 1 {
+            continue;
+        }
+        let mut all = honest.clone();
+        let mut counts = vec![1usize; n_honest];
+        for _ in 0..f {
+            all.push(vec![boost; honest[0].len()]);
+            counts.push(1);
+        }
+        let out = norm_clip(&all, &counts);
+        let l2 = |m: &[f64]| m.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let max_honest_norm = honest.iter().map(|m| l2(m)).fold(0.0, f64::max);
+        prop_assert!(
+            l2(&out) <= max_honest_norm + 1e-9,
+            "|out| = {} exceeds the max honest norm {max_honest_norm}",
+            l2(&out)
+        );
+    }
+}

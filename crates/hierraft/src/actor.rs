@@ -22,6 +22,7 @@ use crate::config::{FedCmd, FedConfig, HierMsg, HierPeerConfig, SubCmd, SubMembe
 use crate::detector::{FailureDetector, Liveness};
 use p2pfl_raft::{Effect, Entry, LogCmd, RaftConfig, RaftNode, RaftStorage};
 use p2pfl_simnet::{Actor, NodeId, SimDuration, SimTime, TimerId, Transport};
+use std::collections::{BTreeMap, BTreeSet};
 
 const TIMER_SUB_ELECTION: u64 = 1;
 const TIMER_SUB_HEARTBEAT: u64 = 2;
@@ -76,6 +77,27 @@ pub struct HierActor {
     pub fed_cmds_applied: Vec<FedCmd>,
     /// Subgroup application commands applied, in order.
     pub sub_cmds_applied: Vec<u64>,
+    /// Byzantine behavior switch (fault injection): when set, this peer
+    /// broadcasts *conflicting* [`HierMsg::ConfigEcho`] digests to
+    /// different subgroup members — the equivocating-leader fault.
+    pub byz_equivocate: bool,
+    /// Byzantine behavior switch (fault injection): when set and leading
+    /// its subgroup, this peer proposes aggregation rosters containing a
+    /// phantom member outside the configured subgroup.
+    pub byz_bogus_roster: bool,
+    /// Conflicting config echoes observed (each one is proof that the
+    /// sender advertised a different config to us than it committed).
+    pub equivocations_detected: u64,
+    /// Replicated rosters rejected because they named members outside the
+    /// configured subgroup.
+    pub bogus_rosters_rejected: u64,
+    /// Peers this actor convicted of equivocation. Convicted peers are
+    /// evicted from the aggregation roster and never re-admitted by the
+    /// liveness path — Byzantine is not a transient condition.
+    pub byzantine_peers: BTreeSet<NodeId>,
+    /// Digest of the [`FedConfig`] this peer applied, per version; the
+    /// reference against which incoming echoes are cross-checked.
+    echo_digests: BTreeMap<u64, u64>,
 }
 
 impl HierActor {
@@ -142,6 +164,7 @@ impl HierActor {
             founding: cfg.founding_fed.clone(),
             current: cfg.founding_fed.clone(),
             engine: cfg.engine,
+            combiner: cfg.combiner,
             version: 0,
         };
         let sub_members = SubMembers {
@@ -182,6 +205,12 @@ impl HierActor {
             fed_active_at: None,
             fed_cmds_applied: Vec::new(),
             sub_cmds_applied: Vec::new(),
+            byz_equivocate: false,
+            byz_bogus_roster: false,
+            equivocations_detected: 0,
+            bogus_rosters_rejected: 0,
+            byzantine_peers: BTreeSet::new(),
+            echo_digests: BTreeMap::new(),
             cfg,
         }
     }
@@ -374,6 +403,7 @@ impl HierActor {
                 if c.version >= self.fed_config.version {
                     self.fed_config = c.clone();
                 }
+                self.broadcast_config_echo(ctx, c);
                 // A restarted ex-representative learns through its
                 // subgroup log that the FedAvg layer moved on without it:
                 // retire the stale FedAvg-layer instance.
@@ -390,6 +420,14 @@ impl HierActor {
                 }
             }
             LogCmd::App(SubCmd::Members(m)) => {
+                // Bogus-roster defense: a replicated roster may only name
+                // members of the configured subgroup. A Byzantine leader
+                // that smuggles a phantom member into the aggregation
+                // roster is ignored — the previous roster stays in force.
+                if !m.members.iter().all(|p| self.cfg.subgroup.contains(p)) {
+                    self.bogus_rosters_rejected += 1;
+                    return;
+                }
                 if m.version >= self.sub_members.version {
                     self.sub_members = m.clone();
                 }
@@ -404,6 +442,92 @@ impl HierActor {
             LogCmd::App(SubCmd::App(v)) => self.sub_cmds_applied.push(*v),
             _ => {}
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Config echo witness protocol (equivocation detection)
+    // ------------------------------------------------------------------
+
+    /// After applying a [`FedConfig`], every peer echoes the config's
+    /// digest to its subgroup. Raft keeps the committed config identical
+    /// across honest members at a given version, so any echo disagreeing
+    /// with the locally applied digest convicts its sender of advertising
+    /// a different config — equivocation.
+    fn broadcast_config_echo(&mut self, ctx: &mut dyn Transport<HierMsg>, c: &FedConfig) {
+        let digest = c.digest();
+        self.echo_digests.insert(c.version, digest);
+        for &peer in &self.cfg.subgroup.clone() {
+            if peer == self.cfg.id {
+                continue;
+            }
+            // The equivocating-leader fault: advertise one config to
+            // even-numbered peers and a different one to odd-numbered
+            // peers — mutually conflicting claims about the same version.
+            let d = if self.byz_equivocate {
+                digest ^ (peer.0 as u64 & 1)
+            } else {
+                digest
+            };
+            ctx.send(
+                peer,
+                HierMsg::ConfigEcho {
+                    version: c.version,
+                    digest: d,
+                },
+            );
+        }
+    }
+
+    fn on_config_echo(
+        &mut self,
+        ctx: &mut dyn Transport<HierMsg>,
+        from: NodeId,
+        version: u64,
+        digest: u64,
+    ) {
+        if !self.cfg.subgroup.contains(&from) {
+            return;
+        }
+        match self.echo_digests.get(&version) {
+            // We applied this version ourselves; a differing digest is
+            // proof the sender saw (or fabricated) a conflicting config.
+            Some(&mine) if mine != digest => {
+                self.equivocations_detected += 1;
+                self.convict_byzantine(ctx, from);
+            }
+            Some(_) => {}
+            // We have not applied this version yet: remember the claim so
+            // our own apply would conflict... keeping only our own applied
+            // digests is enough for detection, because the equivocator must
+            // eventually disagree with some peer that has applied.
+            None => {}
+        }
+    }
+
+    /// Marks a peer as Byzantine: evicts it from the aggregation roster
+    /// (when leading) and bars the liveness path from ever re-admitting
+    /// it. Shares the PR-5 supervision path — the eviction is an ordinary
+    /// replicated roster change.
+    fn convict_byzantine(&mut self, ctx: &mut dyn Transport<HierMsg>, peer: NodeId) {
+        self.byzantine_peers.insert(peer);
+        if self.sub.is_leader() {
+            self.propose_roster_change(ctx, peer, true);
+            ctx.send(
+                peer,
+                HierMsg::Evict {
+                    reason: "equivocation: conflicting config echo".into(),
+                },
+            );
+        }
+    }
+
+    /// External conviction entry point: a supervisor that detected
+    /// Byzantine behavior out-of-band (e.g. a commitment-check failure in
+    /// the aggregation layer) reports it here. Same consequences as an
+    /// in-protocol conviction: permanent bar from re-admission, and a
+    /// replicated roster eviction when this peer leads.
+    pub fn convict(&mut self, ctx: &mut dyn Transport<HierMsg>, peer: NodeId) {
+        self.convict_byzantine(ctx, peer);
     }
 
     // ------------------------------------------------------------------
@@ -469,7 +593,13 @@ impl HierActor {
     fn note_heard_from(&mut self, ctx: &mut dyn Transport<HierMsg>, from: NodeId) {
         let revived = self.detector.heard_from(from, ctx.now());
         let missing = !self.sub_members.members.contains(&from);
-        if (revived || missing) && self.sub.is_leader() && self.cfg.subgroup.contains(&from) {
+        if (revived || missing)
+            && self.sub.is_leader()
+            && self.cfg.subgroup.contains(&from)
+            // Byzantine is not transient: a convicted equivocator stays
+            // evicted no matter how alive it looks.
+            && !self.byzantine_peers.contains(&from)
+        {
             self.propose_roster_change(ctx, from, false);
         }
     }
@@ -526,6 +656,10 @@ impl HierActor {
         // commit, so forget it too.
         self.detector.reset_all(ctx.now());
         self.proposed_roster = None;
+        // A conviction reached while following could not evict; do it now.
+        for peer in self.byzantine_peers.clone() {
+            self.propose_roster_change(ctx, peer, true);
+        }
         Self::arm(
             ctx,
             &mut self.probe_tick_timer,
@@ -697,9 +831,25 @@ impl HierActor {
                 founding: self.fed_config.founding.clone(),
                 current: fed.cluster().to_vec(),
                 engine: self.fed_config.engine,
+                combiner: self.fed_config.combiner,
                 version: self.config_version,
             });
             if let Ok((_, eff)) = self.sub.propose(LogCmd::App(cmd)) {
+                self.run_sub_effects(ctx, eff);
+            }
+        }
+        if self.byz_bogus_roster {
+            // Byzantine leader fault: replicate a roster naming a phantom
+            // member outside the configured subgroup. Honest followers
+            // reject it in `apply_sub_entry`.
+            self.members_version = self.members_version.max(self.sub_members.version) + 1;
+            let mut members = self.sub_members.members.clone();
+            members.push(NodeId(u32::MAX));
+            let roster = SubMembers {
+                members,
+                version: self.members_version,
+            };
+            if let Ok((_, eff)) = self.sub.propose(LogCmd::App(SubCmd::Members(roster))) {
                 self.run_sub_effects(ctx, eff);
             }
         }
@@ -762,6 +912,9 @@ impl Actor<HierMsg> for HierActor {
             // We are demonstrably alive: refute the eviction. The ack
             // revives us in the sender's detector, which re-admits us.
             HierMsg::Evict { .. } => ctx.send(from, HierMsg::ProbeAck { seq: 0 }),
+            HierMsg::ConfigEcho { version, digest } => {
+                self.on_config_echo(ctx, from, version, digest)
+            }
         }
     }
 

@@ -2,6 +2,7 @@
 //! FedAvg-layer configuration, the wrapped message enum, and per-peer
 //! configuration.
 
+use p2pfl_fed::RobustCombiner;
 use p2pfl_raft::{Command, RaftMsg};
 use p2pfl_secagg::SacEngine;
 use p2pfl_simnet::{NodeId, Payload, SimDuration};
@@ -22,8 +23,38 @@ pub struct FedConfig {
     /// whole `FedConfig` advances atomically under the version max-advance
     /// rule, so a subgroup can never mix engines within one round.
     pub engine: SacEngine,
+    /// Which FedAvg-layer combining rule the deployment applies to group
+    /// averages. Replicated on the same atomic path as `engine`, so every
+    /// peer agrees per round on how Byzantine group averages are absorbed.
+    pub combiner: RobustCombiner,
     /// Monotone version counter.
     pub version: u64,
+}
+
+impl FedConfig {
+    /// A cheap FNV-1a digest over the whole config, used by the config
+    /// echo protocol to cross-check that a leader advertised the same
+    /// config to every follower (equivocation detection).
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |b: u64| {
+            for byte in b.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        eat(self.version);
+        eat(self.engine as u64);
+        eat(self.combiner as u64);
+        eat(self.founding.len() as u64);
+        for m in &self.founding {
+            eat(m.0 as u64);
+        }
+        for m in &self.current {
+            eat(m.0 as u64);
+        }
+        h
+    }
 }
 
 /// The replicated *aggregation roster* of one subgroup: which members the
@@ -57,7 +88,8 @@ pub enum SubCmd {
 impl Command for SubCmd {
     fn wire_bytes(&self) -> u64 {
         match self {
-            SubCmd::FedConfig(c) => 17 + 8 * (c.founding.len() + c.current.len()) as u64,
+            // 8B version + 1B engine + 1B combiner + 8B lengths.
+            SubCmd::FedConfig(c) => 18 + 8 * (c.founding.len() + c.current.len()) as u64,
             SubCmd::Members(m) => 16 + 8 * m.members.len() as u64,
             SubCmd::App(_) => 8,
         }
@@ -112,6 +144,16 @@ pub enum HierMsg {
         /// Human-readable cause, for logs and traces.
         reason: String,
     },
+    /// Equivocation witness: each peer broadcasts the digest of the
+    /// [`FedConfig`] it applied at `version` to its subgroup. Raft keeps
+    /// the committed config consistent, so two echoes for the same version
+    /// with different digests prove the advertising leader equivocated.
+    ConfigEcho {
+        /// The applied config's version.
+        version: u64,
+        /// [`FedConfig::digest`] of the applied config.
+        digest: u64,
+    },
 }
 
 impl Payload for HierMsg {
@@ -123,6 +165,7 @@ impl Payload for HierMsg {
             HierMsg::JoinAck { .. } => 16,
             HierMsg::Probe { .. } | HierMsg::ProbeAck { .. } => 16,
             HierMsg::Evict { reason } => 8 + reason.len() as u64,
+            HierMsg::ConfigEcho { .. } => 16,
         }
     }
 
@@ -135,6 +178,7 @@ impl Payload for HierMsg {
             HierMsg::Probe { .. } => "hier.probe",
             HierMsg::ProbeAck { .. } => "hier.probe_ack",
             HierMsg::Evict { .. } => "hier.evict",
+            HierMsg::ConfigEcho { .. } => "hier.config_echo",
         }
     }
 }
@@ -170,6 +214,9 @@ pub struct HierPeerConfig {
     /// The secure-aggregation engine this deployment was launched with;
     /// seeds the first replicated [`FedConfig`] commit.
     pub engine: SacEngine,
+    /// The FedAvg-layer combining rule this deployment was launched with;
+    /// seeds the first replicated [`FedConfig`] commit alongside `engine`.
+    pub combiner: RobustCombiner,
     /// Seed for timeout randomization.
     pub seed: u64,
 }
@@ -192,9 +239,28 @@ mod tests {
             founding: vec![NodeId(0), NodeId(5)],
             current: vec![NodeId(0), NodeId(5)],
             engine: SacEngine::Pairwise,
+            combiner: RobustCombiner::FedAvg,
             version: 1,
         });
-        assert_eq!(cfg.wire_bytes(), 17 + 32);
+        assert_eq!(cfg.wire_bytes(), 18 + 32);
+    }
+
+    #[test]
+    fn fed_config_digest_separates_combiner_and_engine() {
+        let base = FedConfig {
+            founding: vec![NodeId(0)],
+            current: vec![NodeId(0)],
+            engine: SacEngine::Pairwise,
+            combiner: RobustCombiner::FedAvg,
+            version: 3,
+        };
+        let mut other = base.clone();
+        other.combiner = RobustCombiner::TrimmedMean;
+        assert_ne!(base.digest(), other.digest());
+        let mut ring = base.clone();
+        ring.engine = SacEngine::Ring;
+        assert_ne!(base.digest(), ring.digest());
+        assert_eq!(base.digest(), base.clone().digest());
     }
 
     #[test]
@@ -222,6 +288,7 @@ mod tests {
             suspect_after: SimDuration::from_millis(100),
             dead_after: SimDuration::from_millis(300),
             engine: SacEngine::Pairwise,
+            combiner: RobustCombiner::FedAvg,
             seed: 1,
         };
         assert!(cfg.is_founding());

@@ -23,4 +23,7 @@ mod topology;
 pub use actor::HierActor;
 pub use config::{FedCmd, FedConfig, HierMsg, HierPeerConfig, SubCmd, SubMembers};
 pub use detector::{FailureDetector, Liveness};
+// Re-exported so deployment builders can name the replicated combiner
+// without depending on p2pfl-fed directly.
+pub use p2pfl_fed::RobustCombiner;
 pub use topology::{Deployment, DeploymentSpec};

@@ -2,6 +2,7 @@
 
 use crate::actor::HierActor;
 use crate::config::{HierMsg, HierPeerConfig};
+use p2pfl_fed::RobustCombiner;
 use p2pfl_secagg::SacEngine;
 use p2pfl_simnet::{Latency, LatencyConfig, NodeId, Sim, SimDuration, SimTime};
 
@@ -24,6 +25,8 @@ pub struct DeploymentSpec {
     /// Secure-aggregation engine for this deployment (replicated to every
     /// peer through the committed [`crate::FedConfig`]).
     pub engine: SacEngine,
+    /// FedAvg-layer combining rule (replicated alongside `engine`).
+    pub combiner: RobustCombiner,
     /// Simulation seed.
     pub seed: u64,
 }
@@ -39,6 +42,7 @@ impl DeploymentSpec {
             config_commit_interval: SimDuration::from_millis(200),
             join_poll_interval: SimDuration::from_millis(100),
             engine: SacEngine::Pairwise,
+            combiner: RobustCombiner::FedAvg,
             seed,
         }
     }
@@ -97,6 +101,7 @@ impl Deployment {
                     suspect_after: spec.t,
                     dead_after: spec.t.saturating_mul(3),
                     engine: spec.engine,
+                    combiner: spec.combiner,
                     seed: spec.seed ^ (0x9e37 + id.0 as u64 * 0x85eb_ca6b),
                 };
                 let got = sim.add_node(HierActor::new(cfg));

@@ -2,7 +2,7 @@
 //! its persisted record recovers both its subgroup Raft state and (if it
 //! held one) its FedAvg-layer seat.
 
-use p2pfl_hierraft::{HierActor, HierMsg, HierPeerConfig, SubCmd};
+use p2pfl_hierraft::{HierActor, HierMsg, HierPeerConfig, RobustCombiner, SubCmd};
 use p2pfl_raft::MemStorage;
 use p2pfl_secagg::SacEngine;
 use p2pfl_simnet::{Latency, LatencyConfig, NodeId, Sim, SimDuration, SimTime};
@@ -24,6 +24,7 @@ fn peer_cfg(id: NodeId, subgroup: Vec<NodeId>, gi: usize, founding: Vec<NodeId>)
         suspect_after: SimDuration::from_millis(100),
         dead_after: SimDuration::from_millis(300),
         engine: SacEngine::Pairwise,
+        combiner: RobustCombiner::FedAvg,
         seed: 0x9e37 + id.0 as u64 * 0x85eb_ca6b,
     }
 }

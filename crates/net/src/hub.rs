@@ -234,6 +234,17 @@ impl Hub {
             .store(n, Ordering::Relaxed);
     }
 
+    /// Mirrors the hosted actor's cumulative commitment-check rejection
+    /// count into [`NetStats::shares_rejected`]. Same store-not-add
+    /// contract as [`Hub::set_stash_evicted`].
+    pub fn set_shares_rejected(&self, n: u64) {
+        self.shared
+            .reg
+            .stats()
+            .shares_rejected
+            .store(n, Ordering::Relaxed);
+    }
+
     /// Graceful shutdown: stops accepting, severs connections, and joins
     /// every thread. Idempotent.
     pub fn shutdown(&self) {

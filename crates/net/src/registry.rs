@@ -39,6 +39,11 @@ pub struct NetStats {
     /// [`Actor::stash_evicted`](p2pfl_simnet::Actor::stash_evicted) after
     /// every callback) — the protocol-level analogue of `sends_dropped`.
     pub stash_evicted: u64,
+    /// Share blocks the actor rejected because they failed their sender's
+    /// hash commitment (mirrored from
+    /// [`Actor::shares_rejected`](p2pfl_simnet::Actor::shares_rejected)
+    /// after every callback) — each one is evidence of a Byzantine peer.
+    pub shares_rejected: u64,
 }
 
 /// The atomic cells behind [`NetStats`]; incremented lock-free from every
@@ -61,6 +66,8 @@ pub struct StatsCells {
     pub sends_dropped: AtomicU64,
     /// See [`NetStats::stash_evicted`].
     pub stash_evicted: AtomicU64,
+    /// See [`NetStats::shares_rejected`].
+    pub shares_rejected: AtomicU64,
 }
 
 impl StatsCells {
@@ -76,6 +83,7 @@ impl StatsCells {
             reconnect_attempts: self.reconnect_attempts.load(Ordering::Relaxed),
             sends_dropped: self.sends_dropped.load(Ordering::Relaxed),
             stash_evicted: self.stash_evicted.load(Ordering::Relaxed),
+            shares_rejected: self.shares_rejected.load(Ordering::Relaxed),
         }
     }
 }

@@ -382,6 +382,7 @@ fn event_loop<M: WireMsg, A: Actor<M>>(
                 actor.on_message(&mut $ctx, id, m);
             }
             hub.set_stash_evicted(actor.stash_evicted());
+            hub.set_shares_rejected(actor.shares_rejected());
         }};
     }
 
@@ -573,6 +574,40 @@ mod tests {
             std::thread::sleep(Duration::from_millis(2));
         }
         assert_eq!(rt.stats().stash_evicted, 3);
+        rt.stop();
+    }
+
+    /// An actor that rejects every message as a failed share commitment —
+    /// the runtime must mirror its cumulative rejection count.
+    #[derive(Default)]
+    struct Rejector {
+        rejected: u64,
+    }
+
+    impl Actor<WireBlob> for Rejector {
+        fn on_message(&mut self, _ctx: &mut dyn Transport<WireBlob>, _from: NodeId, _m: WireBlob) {
+            self.rejected += 1;
+        }
+        fn shares_rejected(&self) -> u64 {
+            self.rejected
+        }
+    }
+
+    #[test]
+    fn actor_share_rejections_surface_in_net_stats() {
+        let rt = PeerRuntime::start(NodeId(0), "127.0.0.1:0", &[], Rejector::default()).unwrap();
+        assert_eq!(rt.stats().shares_rejected, 0);
+        rt.with(|a, ctx| {
+            for _ in 0..2 {
+                a.on_message(ctx, NodeId(1), WireBlob { size: 1, tag: 0 });
+            }
+        });
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while rt.stats().shares_rejected < 2 {
+            assert!(Instant::now() < deadline, "share rejections never surfaced");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(rt.stats().shares_rejected, 2);
         rt.stop();
     }
 

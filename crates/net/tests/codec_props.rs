@@ -3,12 +3,12 @@
 //! protocols actually produce (zero-length share vectors, empty entry
 //! batches) and large share blocks.
 
-use p2pfl_hierraft::{FedConfig, HierMsg, SubCmd, SubMembers};
+use p2pfl_hierraft::{FedConfig, HierMsg, RobustCombiner, SubCmd, SubMembers};
 use p2pfl_net::codec::{from_bytes, to_bytes, write_frame, FrameBuffer, MAX_FRAME};
 use p2pfl_raft::{Entry, LogCmd, PersistOp, RaftMsg};
 use p2pfl_secagg::{RingMsg, SacEngine, SacMsg, WeightVector};
 use p2pfl_simnet::{
-    Blob, FaultAction, FaultEntry, FaultPlan, NodeId, SimDuration, SimTime, TimerId,
+    Blob, FaultAction, FaultEntry, FaultPlan, NodeId, PoisonMode, SimDuration, SimTime, TimerId,
 };
 use proptest::prelude::*;
 
@@ -117,17 +117,28 @@ fn arb_engine() -> impl Strategy<Value = SacEngine> {
     prop_oneof![Just(SacEngine::Pairwise), Just(SacEngine::Ring)]
 }
 
+fn arb_combiner() -> impl Strategy<Value = RobustCombiner> {
+    prop_oneof![
+        Just(RobustCombiner::FedAvg),
+        Just(RobustCombiner::TrimmedMean),
+        Just(RobustCombiner::Median),
+        Just(RobustCombiner::NormClip),
+    ]
+}
+
 fn arb_fedconfig() -> impl Strategy<Value = FedConfig> {
     (
         prop::collection::vec(arb_node(), 0..5),
         prop::collection::vec(arb_node(), 0..5),
         arb_engine(),
+        arb_combiner(),
         any::<u64>(),
     )
-        .prop_map(|(founding, current, engine, version)| FedConfig {
+        .prop_map(|(founding, current, engine, combiner, version)| FedConfig {
             founding,
             current,
             engine,
+            combiner,
             version,
         })
 }
@@ -183,6 +194,8 @@ fn arb_hiermsg() -> impl Strategy<Value = HierMsg> {
         any::<u64>().prop_map(|seq| HierMsg::Probe { seq }),
         any::<u64>().prop_map(|seq| HierMsg::ProbeAck { seq }),
         arb_reason().prop_map(|reason| HierMsg::Evict { reason }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(version, digest)| HierMsg::ConfigEcho { version, digest }),
     ]
 }
 
@@ -257,6 +270,19 @@ fn arb_fault_action() -> impl Strategy<Value = FaultAction> {
         arb_node().prop_map(|node| FaultAction::Blackout { node }),
         arb_node().prop_map(|node| FaultAction::Crash { node }),
         arb_node().prop_map(|node| FaultAction::Restart { node }),
+        (arb_node(), 0.125f64..8.0)
+            .prop_map(|(node, factor)| FaultAction::ShareSkew { node, factor }),
+        (arb_node(), arb_poison_mode())
+            .prop_map(|(node, mode)| FaultAction::PoisonUpdate { node, mode }),
+        arb_node().prop_map(|node| FaultAction::Equivocate { node }),
+        arb_node().prop_map(|node| FaultAction::BogusRoster { node }),
+    ]
+}
+
+fn arb_poison_mode() -> impl Strategy<Value = PoisonMode> {
+    prop_oneof![
+        Just(PoisonMode::SignFlip),
+        (1.0f64..1e6).prop_map(|factor| PoisonMode::NormBoost { factor }),
     ]
 }
 
@@ -278,6 +304,16 @@ fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
 fn arb_sacmsg(max_dim: usize) -> impl Strategy<Value = SacMsg> {
     prop_oneof![
         any::<u64>().prop_map(|round| SacMsg::Begin { round }),
+        (
+            any::<u64>(),
+            0usize..8,
+            prop::collection::vec(any::<u64>(), 0..8),
+        )
+            .prop_map(|(round, from_pos, digests)| SacMsg::Commit {
+                round,
+                from_pos,
+                digests
+            }),
         (
             any::<u64>(),
             0usize..8,

@@ -3,7 +3,7 @@
 //! [`FrameBuffer`], and a live [`PeerRuntime`] fed raw hostile frames over
 //! TCP — must produce typed errors (or counted drops), never a panic.
 
-use p2pfl_hierraft::{FedConfig, HierMsg, SubCmd};
+use p2pfl_hierraft::{FedConfig, HierMsg, RobustCombiner, SubCmd};
 use p2pfl_net::codec::{from_bytes, to_bytes, write_frame, CodecError, FrameBuffer, MAX_FRAME};
 use p2pfl_net::PeerRuntime;
 use p2pfl_raft::{Entry, LogCmd, RaftMsg};
@@ -40,6 +40,7 @@ fn seeds() -> Vec<Vec<u8>> {
                 founding: vec![NodeId(0), NodeId(3)],
                 current: vec![NodeId(0), NodeId(3)],
                 engine: SacEngine::Ring,
+                combiner: RobustCombiner::TrimmedMean,
                 version: 1,
             })),
         }],

@@ -41,6 +41,21 @@ pub enum SacMsg {
         /// Round number.
         round: u64,
     },
+    /// A contributor's digest commitments to its full partition set for
+    /// the round, broadcast *before* its `ShareBlock`s: `digests[p]` is
+    /// the [`WeightVector::digest`] of partition `p`. Receivers check the
+    /// blocks they are later sent against these digests — a sender whose
+    /// share disagrees with its own commitment is Byzantine, and its
+    /// contribution is rejected (links are FIFO, so the commitment always
+    /// precedes the block it covers).
+    Commit {
+        /// Round number.
+        round: u64,
+        /// Sender's position within the subgroup.
+        from_pos: usize,
+        /// Per-partition digests, indexed by partition.
+        digests: Vec<u64>,
+    },
     /// A contributor's block of `(partition index, partition)` pairs.
     ShareBlock {
         /// Round number.
@@ -101,6 +116,7 @@ impl Payload for SacMsg {
     fn size_bytes(&self) -> u64 {
         match self {
             SacMsg::Begin { .. } => 16,
+            SacMsg::Commit { digests, .. } => 16 + 8 * digests.len() as u64,
             SacMsg::ShareBlock { parts, .. } => {
                 parts.iter().map(|(_, v)| v.wire_bytes()).sum::<u64>() + 8
             }
@@ -115,6 +131,7 @@ impl Payload for SacMsg {
     fn kind(&self) -> &'static str {
         match self {
             SacMsg::Begin { .. } => "sac.begin",
+            SacMsg::Commit { .. } => "sac.commit",
             SacMsg::ShareBlock { .. } => "sac.share",
             SacMsg::ComputeOver { .. } => "sac.ctrl",
             SacMsg::Subtotal { .. } => "sac.subtotal",
@@ -222,6 +239,24 @@ pub struct SacPeerActor {
     pub abandoned: u64,
     /// Next-round stash messages evicted because the `4n` bound was hit.
     pub stash_evicted: u64,
+    /// Whether received share blocks are checked against the sender's
+    /// broadcast digest commitments (on by default). Disabling this models
+    /// an undefended deployment — used by the pinned negative tests.
+    pub verify_commitments: bool,
+    /// Byzantine fault injection: when set, this peer *commits* to its
+    /// honest partition digests but scales the shares it actually sends by
+    /// this factor — the commit-then-skew attack the commitment check is
+    /// built to catch. Set by the fault-plan interpreters.
+    pub byz_share_skew: Option<f64>,
+    /// Share blocks rejected because they disagreed with the sender's own
+    /// commitment.
+    pub shares_rejected: u64,
+    /// Positions convicted of sending shares inconsistent with their
+    /// commitments (cumulative across rounds; the round supervisor reads
+    /// this to drive roster evictions).
+    pub byzantine_detected: BTreeSet<usize>,
+    // commitments[from_pos] = per-partition digests for the current round
+    commitments: BTreeMap<usize, Vec<u64>>,
     // blocks[from_pos][idx] = partition
     blocks: BTreeMap<usize, BTreeMap<usize, WeightVector>>,
     frozen: Option<BTreeSet<usize>>,
@@ -266,6 +301,11 @@ impl SacPeerActor {
             aborts: 0,
             abandoned: 0,
             stash_evicted: 0,
+            verify_commitments: true,
+            byz_share_skew: None,
+            shares_rejected: 0,
+            byzantine_detected: BTreeSet::new(),
+            commitments: BTreeMap::new(),
             blocks: BTreeMap::new(),
             frozen: None,
             subtotals: BTreeMap::new(),
@@ -457,6 +497,7 @@ impl SacPeerActor {
         self.result = None;
         self.contributors.clear();
         self.recoveries = 0;
+        self.commitments.clear();
         self.blocks.clear();
         self.frozen = None;
         self.subtotals.clear();
@@ -475,6 +516,26 @@ impl SacPeerActor {
                 p0.scale(0.5);
             }
         }
+        // Commit to the partition digests before sending any shares. Links
+        // are FIFO, so every receiver sees the commitment before the block
+        // it covers. A Byzantine peer injected with `byz_share_skew` still
+        // commits honestly here and skews only what it sends below — which
+        // is exactly what the receivers' digest check convicts.
+        let digests: Vec<u64> = parts.iter().map(|p| p.digest()).collect();
+        let round = self.round;
+        let me = self.me();
+        for &peer in &self.cfg.group.clone() {
+            if peer != me {
+                ctx.send(
+                    peer,
+                    SacMsg::Commit {
+                        round,
+                        from_pos: self.cfg.position,
+                        digests: digests.clone(),
+                    },
+                );
+            }
+        }
         for (j, &peer) in self.cfg.group.clone().iter().enumerate() {
             let block: Vec<(usize, WeightVector)> = assigned_partitions(n, self.cfg.k, j)
                 .into_iter()
@@ -487,6 +548,16 @@ impl SacPeerActor {
                     mine.insert(p, v);
                 }
             } else {
+                let block = match self.byz_share_skew {
+                    Some(factor) => block
+                        .into_iter()
+                        .map(|(p, mut v)| {
+                            v.scale(factor);
+                            (p, v)
+                        })
+                        .collect(),
+                    None => block,
+                };
                 ctx.send(
                     peer,
                     SacMsg::ShareBlock {
@@ -692,7 +763,8 @@ impl Actor<SacMsg> for SacPeerActor {
         // logged, not silent.
         let msg_round = match &msg {
             SacMsg::Begin { .. } | SacMsg::Reconfigure { .. } => None,
-            SacMsg::ShareBlock { round, .. }
+            SacMsg::Commit { round, .. }
+            | SacMsg::ShareBlock { round, .. }
             | SacMsg::ComputeOver { round, .. }
             | SacMsg::Subtotal { round, .. }
             | SacMsg::SubtotalRequest { round, .. }
@@ -750,6 +822,16 @@ impl Actor<SacMsg> for SacPeerActor {
                 self.phase = SacPhase::Sharing;
                 self.replay_future(ctx);
             }
+            SacMsg::Commit {
+                round,
+                from_pos,
+                digests,
+            } => {
+                if round != self.round {
+                    return;
+                }
+                self.commitments.insert(from_pos, digests);
+            }
             SacMsg::ShareBlock {
                 round,
                 from_pos,
@@ -758,13 +840,44 @@ impl Actor<SacMsg> for SacPeerActor {
                 if round != self.round {
                     return;
                 }
+                // Commitment check: every partition in the block must hash
+                // to the digest its sender committed to for this round. A
+                // mismatch convicts the sender (the commitment and the
+                // block carry the same signature — its position — over the
+                // same FIFO link) and rejects the whole block, turning the
+                // Byzantine sender into an ordinary dropout. An absent
+                // commitment is *not* a conviction: a peer that never
+                // committed simply predates the check (mixed versions) and
+                // is accepted as before.
+                if self.verify_commitments {
+                    if let Some(digests) = self.commitments.get(&from_pos) {
+                        let consistent = parts
+                            .iter()
+                            .all(|(p, v)| digests.get(*p).is_some_and(|&d| d == v.digest()));
+                        if !consistent {
+                            self.shares_rejected += 1;
+                            self.byzantine_detected.insert(from_pos);
+                            self.blocks.remove(&from_pos);
+                            return;
+                        }
+                    }
+                }
                 let entry = self.blocks.entry(from_pos).or_default();
                 for (p, v) in parts {
                     entry.insert(p, v);
                 }
                 if self.cfg.is_leader() {
-                    if self.phase == SacPhase::Sharing && self.received_from().len() == self.cfg.n()
-                    {
+                    // Rejected senders will never be heard from again this
+                    // round; counting them lets the leader freeze as soon
+                    // as every *honest* block is in instead of burning the
+                    // share deadline.
+                    let settled = self.received_from().len()
+                        + self
+                            .byzantine_detected
+                            .iter()
+                            .filter(|p| !self.blocks.contains_key(p))
+                            .count();
+                    if self.phase == SacPhase::Sharing && settled == self.cfg.n() {
                         self.freeze_and_request_subtotals(ctx);
                     }
                 } else {
@@ -900,6 +1013,10 @@ impl Actor<SacMsg> for SacPeerActor {
 
     fn stash_evicted(&self) -> u64 {
         self.stash_evicted
+    }
+
+    fn shares_rejected(&self) -> u64 {
+        self.shares_rejected
     }
 }
 
@@ -1404,6 +1521,58 @@ mod tests {
         );
         assert_eq!(net.sent.len(), sends);
         assert!(actor.pending_requests.is_empty());
+    }
+
+    #[test]
+    fn skewed_shares_are_rejected_and_sender_evicted_from_round() {
+        // Peer 3 commits to honest digests but sends shares scaled by 0.5
+        // (the commit-then-skew attack). Every receiver's digest check must
+        // reject its blocks, so the round completes over the honest four —
+        // and the leader's average is the honest mean, not a poisoned one.
+        let (mut sim, ids, models) = build(5, 3, 8, 51);
+        sim.run_until_quiet(100);
+        sim.exec::<SacPeerActor, _, _>(ids[3], |a, _| a.byz_share_skew = Some(0.5));
+        sim.exec::<SacPeerActor, _, _>(ids[0], |a, ctx| a.start_round(ctx, 1));
+        sim.run_until(SimTime::from_secs(2));
+        let leader = sim.actor::<SacPeerActor>(ids[0]);
+        assert_eq!(leader.phase, SacPhase::Done, "phase: {:?}", leader.phase);
+        assert_eq!(leader.contributors, vec![0, 1, 2, 4], "skewer excluded");
+        assert!(leader.shares_rejected >= 1);
+        assert!(leader.byzantine_detected.contains(&3));
+        let avg = leader.result.as_ref().unwrap();
+        assert!(avg.linf_distance(&plain_mean(&models, &[0, 1, 2, 4])) < 1e-9);
+        // Followers reject the same blocks independently.
+        for &id in &[ids[1], ids[2], ids[4]] {
+            assert!(
+                sim.actor::<SacPeerActor>(id).shares_rejected >= 1,
+                "follower {id:?} accepted a skewed block"
+            );
+        }
+    }
+
+    #[test]
+    fn without_commitment_checks_the_skew_poisons_the_average() {
+        // The pinned negative twin of the test above: commitment checks
+        // off, same attack. The skewed shares land in the sums and the
+        // "secure" average is silently wrong — which is why the check
+        // defaults to on.
+        let (mut sim, ids, models) = build(5, 3, 8, 51);
+        sim.run_until_quiet(100);
+        for &id in &ids {
+            sim.exec::<SacPeerActor, _, _>(id, |a, _| a.verify_commitments = false);
+        }
+        sim.exec::<SacPeerActor, _, _>(ids[3], |a, _| a.byz_share_skew = Some(0.5));
+        sim.exec::<SacPeerActor, _, _>(ids[0], |a, ctx| a.start_round(ctx, 1));
+        sim.run_until(SimTime::from_secs(2));
+        let leader = sim.actor::<SacPeerActor>(ids[0]);
+        assert_eq!(leader.phase, SacPhase::Done, "phase: {:?}", leader.phase);
+        assert_eq!(leader.contributors, vec![0, 1, 2, 3, 4], "skewer included");
+        assert_eq!(leader.shares_rejected, 0);
+        let avg = leader.result.as_ref().unwrap();
+        assert!(
+            avg.linf_distance(&plain_mean(&models, &[0, 1, 2, 3, 4])) > 1e-3,
+            "undefended round should have been poisoned"
+        );
     }
 
     #[test]

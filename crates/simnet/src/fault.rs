@@ -87,6 +87,78 @@ pub enum FaultAction {
         /// The node to revive.
         node: NodeId,
     },
+    /// Byzantine: the node scales every masked share it *sends* by
+    /// `factor`, while its broadcast commitments stay honest — the runtime
+    /// promotion of the mutation self-check's `ShareSkew` mutant. Receivers
+    /// with commitment verification enabled detect the mismatch and evict
+    /// the sender.
+    ShareSkew {
+        /// The malicious contributor.
+        node: NodeId,
+        /// Multiplier applied to each outgoing share partition.
+        factor: f64,
+    },
+    /// Byzantine: the node corrupts its local model update *before* secret
+    /// sharing. The shares themselves are internally consistent, so this is
+    /// undetectable cryptographically and must be absorbed by robust
+    /// combining at the FedAvg layer.
+    PoisonUpdate {
+        /// The malicious contributor.
+        node: NodeId,
+        /// How the update is corrupted.
+        mode: PoisonMode,
+    },
+    /// Byzantine: a subgroup leader advertises conflicting replicated
+    /// configs (`FedConfig` digests) to different followers via the config
+    /// echo channel. Raft keeps the committed truth consistent, so honest
+    /// followers that compare echoes detect the equivocation.
+    Equivocate {
+        /// The equivocating leader.
+        node: NodeId,
+    },
+    /// Byzantine: a leader proposes a roster (`SubMembers`) naming a peer
+    /// outside the configured subgroup. Honest followers refuse to apply
+    /// it.
+    BogusRoster {
+        /// The node injecting the bogus roster.
+        node: NodeId,
+    },
+}
+
+/// How a Byzantine peer corrupts its model update ([`FaultAction::PoisonUpdate`]).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum PoisonMode {
+    /// Negate every parameter (gradient-ascent attack).
+    SignFlip,
+    /// Scale every parameter by `factor` (norm-boost attack).
+    NormBoost {
+        /// Multiplier, typically large (e.g. 25–100).
+        factor: f64,
+    },
+}
+
+/// The Byzantine behaviors a [`FaultPlan`] assigns one node at one instant
+/// — the content-level companion to [`LinkFaults::on_send`]'s link-level
+/// verdicts. Both transports derive it from the same plan via
+/// [`FaultPlan::byzantine`], so adversarial behavior replays identically on
+/// the simulator and over TCP.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ByzantineSpec {
+    /// Scale outgoing shares by this factor ([`FaultAction::ShareSkew`]).
+    pub share_skew: Option<f64>,
+    /// Corrupt the local update ([`FaultAction::PoisonUpdate`]).
+    pub poison: Option<PoisonMode>,
+    /// Advertise conflicting configs ([`FaultAction::Equivocate`]).
+    pub equivocate: bool,
+    /// Propose out-of-subgroup rosters ([`FaultAction::BogusRoster`]).
+    pub bogus_roster: bool,
+}
+
+impl ByzantineSpec {
+    /// Whether any Byzantine behavior is active.
+    pub fn is_byzantine(&self) -> bool {
+        self.share_skew.is_some() || self.poison.is_some() || self.equivocate || self.bogus_roster
+    }
 }
 
 /// A fault active from `from` until `until` (open-ended when `None`).
@@ -243,6 +315,86 @@ impl FaultPlan {
     /// Schedules a restart of `node` at `at`.
     pub fn restart(self, at: SimTime, node: NodeId) -> Self {
         self.with(at, None, FaultAction::Restart { node })
+    }
+
+    /// Adds a share-skew window: `node` scales its outgoing shares by
+    /// `factor` while committing to the honest values.
+    pub fn share_skew(
+        self,
+        from: SimTime,
+        until: Option<SimTime>,
+        node: NodeId,
+        factor: f64,
+    ) -> Self {
+        self.with(from, until, FaultAction::ShareSkew { node, factor })
+    }
+
+    /// Adds a poisoned-update window: `node` corrupts its local model
+    /// before sharing it.
+    pub fn poison(
+        self,
+        from: SimTime,
+        until: Option<SimTime>,
+        node: NodeId,
+        mode: PoisonMode,
+    ) -> Self {
+        self.with(from, until, FaultAction::PoisonUpdate { node, mode })
+    }
+
+    /// Adds an equivocation window: `node` (as leader) advertises
+    /// conflicting configs to different followers.
+    pub fn equivocate(self, from: SimTime, until: Option<SimTime>, node: NodeId) -> Self {
+        self.with(from, until, FaultAction::Equivocate { node })
+    }
+
+    /// Adds a bogus-roster window: `node` proposes rosters naming peers
+    /// outside the configured subgroup.
+    pub fn bogus_roster(self, from: SimTime, until: Option<SimTime>, node: NodeId) -> Self {
+        self.with(from, until, FaultAction::BogusRoster { node })
+    }
+
+    /// The Byzantine behaviors the plan assigns `node` at `now` (relative
+    /// to plan application). Both the simulator-backed runner and the TCP
+    /// drivers consult this one query, so a plan's adversarial content is
+    /// interpreted identically on both transports.
+    pub fn byzantine(&self, node: NodeId, now: SimTime) -> ByzantineSpec {
+        let mut spec = ByzantineSpec::default();
+        for e in &self.entries {
+            if !e.active_at(now) {
+                continue;
+            }
+            match e.action {
+                FaultAction::ShareSkew { node: n, factor } if n == node => {
+                    spec.share_skew = Some(factor);
+                }
+                FaultAction::PoisonUpdate { node: n, mode } if n == node => {
+                    spec.poison = Some(mode);
+                }
+                FaultAction::Equivocate { node: n } if n == node => spec.equivocate = true,
+                FaultAction::BogusRoster { node: n } if n == node => spec.bogus_roster = true,
+                _ => {}
+            }
+        }
+        spec
+    }
+
+    /// The nodes with any Byzantine behavior scheduled anywhere in the
+    /// plan, deduplicated.
+    pub fn byzantine_nodes(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = Vec::new();
+        for e in &self.entries {
+            let n = match e.action {
+                FaultAction::ShareSkew { node, .. }
+                | FaultAction::PoisonUpdate { node, .. }
+                | FaultAction::Equivocate { node }
+                | FaultAction::BogusRoster { node } => node,
+                _ => continue,
+            };
+            if !out.contains(&n) {
+                out.push(n);
+            }
+        }
+        out
     }
 
     /// The plan's crash/restart events, sorted by time (ties keep entry
@@ -467,7 +619,15 @@ impl LinkFaults {
                         verdict.extra_delay = verdict.extra_delay + SimDuration::from_nanos(j);
                     }
                 }
-                FaultAction::Crash { .. } | FaultAction::Restart { .. } => {}
+                // Process events and content-level Byzantine behaviors are
+                // not link faults: the former are executed by the drivers,
+                // the latter by the actors via [`FaultPlan::byzantine`].
+                FaultAction::Crash { .. }
+                | FaultAction::Restart { .. }
+                | FaultAction::ShareSkew { .. }
+                | FaultAction::PoisonUpdate { .. }
+                | FaultAction::Equivocate { .. }
+                | FaultAction::BogusRoster { .. } => {}
             }
         }
         verdict
@@ -604,6 +764,39 @@ mod tests {
         assert!(!FaultPlan::new(0)
             .duplicate(SimTime::ZERO, SimTime::from_secs(1), 0.5)
             .can_drop_messages());
+    }
+
+    #[test]
+    fn byzantine_spec_is_windowed_and_per_node() {
+        let plan = FaultPlan::new(8)
+            .share_skew(
+                SimTime::from_millis(10),
+                Some(SimTime::from_millis(20)),
+                n(1),
+                0.5,
+            )
+            .poison(SimTime::ZERO, None, n(1), PoisonMode::SignFlip)
+            .equivocate(SimTime::ZERO, None, n(2))
+            .bogus_roster(SimTime::ZERO, None, n(2));
+        let at = |ms| SimTime::from_millis(ms);
+        assert_eq!(plan.byzantine(n(1), at(15)).share_skew, Some(0.5));
+        assert_eq!(
+            plan.byzantine(n(1), at(25)).share_skew,
+            None,
+            "window closed"
+        );
+        assert_eq!(
+            plan.byzantine(n(1), at(25)).poison,
+            Some(PoisonMode::SignFlip)
+        );
+        assert!(plan.byzantine(n(2), at(0)).equivocate);
+        assert!(plan.byzantine(n(2), at(0)).bogus_roster);
+        assert!(!plan.byzantine(n(0), at(15)).is_byzantine(), "honest node");
+        assert_eq!(plan.byzantine_nodes(), vec![n(1), n(2)]);
+        // Byzantine entries never drop or mutate link-level verdicts.
+        assert!(!plan.can_drop_messages());
+        let mut lf = LinkFaults::new(&plan);
+        assert_eq!(lf.on_send(at(15), n(1), n(0)), LinkVerdict::clean());
     }
 
     #[test]

@@ -58,8 +58,8 @@ mod trace;
 mod transport;
 
 pub use fault::{
-    FaultAction, FaultEntry, FaultPlan, LinkDropCause, LinkFaults, LinkVerdict, ProcessEvent,
-    ProcessFault,
+    ByzantineSpec, FaultAction, FaultEntry, FaultPlan, LinkDropCause, LinkFaults, LinkVerdict,
+    PoisonMode, ProcessEvent, ProcessFault,
 };
 pub use latency::{Latency, LatencyConfig};
 pub use metrics::{Counter, Metrics};

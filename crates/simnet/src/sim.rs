@@ -53,6 +53,14 @@ pub trait Actor<M: Payload>: Any {
     fn stash_evicted(&self) -> u64 {
         0
     }
+
+    /// Cumulative share blocks this actor rejected because they failed a
+    /// commitment check (Byzantine share skew). Hosting transports mirror
+    /// it into their counters; the default means "this actor performs no
+    /// such verification".
+    fn shares_rejected(&self) -> u64 {
+        0
+    }
 }
 
 enum EventKind<M> {

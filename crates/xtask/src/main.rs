@@ -34,6 +34,8 @@ const EXTRA_WIRE_TYPES: &[&str] = &[
     "FaultPlan",    // declarative fault schedules (chaos + check replay)
     "FaultEntry",
     "FaultAction",
+    "PoisonMode",     // Byzantine update-poisoning selector inside FaultAction
+    "RobustCombiner", // combining rule selector, replicated inside FedConfig
     "CxStep",         // p2pfl-check counterexample schedules (JSON)
     "Counterexample", // ditto
 ];

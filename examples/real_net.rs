@@ -26,7 +26,7 @@
 //!
 //! Run with `cargo run --example real_net`.
 
-use p2pfl_hierraft::{HierActor, HierMsg, HierPeerConfig};
+use p2pfl_hierraft::{HierActor, HierMsg, HierPeerConfig, RobustCombiner};
 use p2pfl_net::{NetStats, PeerRuntime};
 use p2pfl_secagg::{
     SacConfig, SacEngine, SacMsg, SacPeerActor, SacPhase, ShareScheme, WeightVector,
@@ -67,6 +67,7 @@ fn hier_config(id: u32) -> HierPeerConfig {
         suspect_after: SimDuration::from_millis(150),
         dead_after: SimDuration::from_millis(450),
         engine: SacEngine::Pairwise,
+        combiner: RobustCombiner::FedAvg,
         seed: SEED + id as u64,
     }
 }

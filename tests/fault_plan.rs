@@ -15,7 +15,9 @@
 //!   its FedAvg-layer seat from the files alone, and the deployment then
 //!   commits a fresh round marker.
 
-use p2pfl_hierraft::{Deployment, DeploymentSpec, HierActor, HierMsg, HierPeerConfig, SubCmd};
+use p2pfl_hierraft::{
+    Deployment, DeploymentSpec, HierActor, HierMsg, HierPeerConfig, RobustCombiner, SubCmd,
+};
 use p2pfl_net::PeerRuntime;
 use p2pfl_raft::FileStorage;
 use p2pfl_secagg::{
@@ -200,6 +202,7 @@ fn hier_cfg(id: NodeId, subgroups: &[Vec<NodeId>], founding: &[NodeId]) -> HierP
         suspect_after: SimDuration::from_millis(300),
         dead_after: SimDuration::from_millis(900),
         engine: SacEngine::Pairwise,
+        combiner: RobustCombiner::FedAvg,
         seed: SEED ^ (0x9e37 + id.0 as u64 * 0x85eb_ca6b),
     }
 }
