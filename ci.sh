@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # The full local CI gate: formatting, lints (warnings are errors), the
-# wire-surface lint, a release build, the complete test suite, the
-# bounded model-checking explorer with its mutation self-check, the loom
-# concurrency models, and (where the tools exist) Miri and cargo-deny.
+# wire-surface lint, the protocol static-analysis pass (p2pfl-lint), a
+# release build, the complete test suite, the bounded model-checking
+# explorer with its mutation self-check, the loom concurrency models,
+# and (where the tools exist) sanitizers, Miri, and cargo-deny.
 # Run from the repo root.
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -15,6 +16,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> wire-surface lint (serde derives + codec round-trip registry)"
 cargo run --release -p xtask -- wire-lint
+
+echo "==> protocol static analysis (sans-IO purity, wire-path panic-freedom, secret flow, pins)"
+cargo run --release -p xtask -- lint
 
 echo "==> cargo build --release"
 cargo build --release --workspace
@@ -31,6 +35,31 @@ cargo run --release -p p2pfl-check --features mutants --bin mutation_check
 echo "==> loom models over the hub's shared state"
 RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom \
     cargo test -p p2pfl-net --test loom_hub -q
+
+# Sanitizers (nightly-only, soft gates). ThreadSanitizer needs an
+# *instrumented* std (-Zbuild-std, which needs the rust-src component):
+# std's sync primitives use futexes directly, so against a prebuilt std
+# TSan cannot see their synchronization and reports false races.
+# AddressSanitizer tolerates an uninstrumented std, so the heap-safety
+# smoke on the hostile-input tests runs wherever a nightly exists. The
+# explicit --target keeps RUSTFLAGS off host proc-macro builds.
+HOST_TARGET="$(rustc --version --verbose | sed -n 's/^host: //p')"
+NIGHTLY_SRC="$(rustc +nightly --print sysroot 2>/dev/null || true)/lib/rustlib/src/rust/library/Cargo.lock"
+if [ -f "$NIGHTLY_SRC" ]; then
+    echo "==> ThreadSanitizer (p2pfl-net TCP runtime tests)"
+    RUSTFLAGS="-Zsanitizer=thread" CARGO_TARGET_DIR=target/tsan \
+        cargo +nightly test -Zbuild-std --target "$HOST_TARGET" -p p2pfl-net --lib -q
+else
+    echo "==> ThreadSanitizer: SKIPPED (nightly rust-src not installed; TSan needs an instrumented std)"
+fi
+
+if rustc +nightly --version >/dev/null 2>&1; then
+    echo "==> AddressSanitizer smoke (codec + runtime malformed-input tests)"
+    RUSTFLAGS="-Zsanitizer=address" CARGO_TARGET_DIR=target/asan \
+        cargo +nightly test --target "$HOST_TARGET" -p p2pfl-net --test malformed_input -q
+else
+    echo "==> AddressSanitizer: SKIPPED (no nightly toolchain installed)"
+fi
 
 if cargo +nightly miri --version >/dev/null 2>&1; then
     echo "==> miri (UB check on secagg + simnet)"

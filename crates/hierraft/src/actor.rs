@@ -898,7 +898,10 @@ impl Actor<HierMsg> for HierActor {
                         return; // stray traffic for a role we lost
                     }
                 }
-                let eff = self.fed.as_mut().expect("just activated").handle(from, m);
+                // `activate_fed` just installed the node (or it already
+                // existed); if activation declined, drop the message.
+                let Some(fed) = self.fed.as_mut() else { return };
+                let eff = fed.handle(from, m);
                 self.run_fed_effects(ctx, eff);
             }
             HierMsg::JoinRequest {

@@ -1,0 +1,163 @@
+//! `p2pfl-lint`: the workspace's static-analysis pass, run as
+//! `cargo run -p xtask -- lint` and gated in `ci.sh`.
+//!
+//! Four rule families over a [`syn`]-parsed AST of every protocol crate:
+//!
+//! 1. **Sans-IO purity** ([`purity`]) — protocol crates must not reach
+//!    wall clocks, OS entropy, sockets, threads, or stdout. A replayable
+//!    round is only replayable if every input is part of the recorded
+//!    schedule.
+//! 2. **Wire-path panic-freedom** ([`panics`]) — an intra-workspace call
+//!    graph rooted at the codec decode surface and the actor callbacks;
+//!    `unwrap`/`expect`/`panic!`-family tokens reachable from hostile
+//!    input are findings. Byte-level decode files additionally ban slice
+//!    indexing and asserts: the decode layer must be *total*, protocol
+//!    layers above it may keep invariant asserts (those guard local
+//!    state, not attacker-controlled bytes).
+//! 3. **Secret-flow confinement** ([`secrets`]) — in `p2pfl-secagg`,
+//!    model weights may only reach a wire-message constructor through
+//!    the approved masking/sharing functions ([`secrets::APPROVED`]).
+//! 4. **Pinned invariants** ([`pins`]) — source patterns that encode
+//!    past security fixes (the Ring-SAC privacy floor) must stay
+//!    present; deleting the fix fails the lint, not just the soaks.
+//!
+//! Plus the wire-surface registry lint ([`wire`]), migrated here from
+//! xtask's line scanner.
+//!
+//! Suppressions go through one [`allow::ALLOWLIST`] with a justification
+//! string per entry, a hard cap on its size, and staleness detection
+//! (an entry that no longer matches any finding fails the lint).
+
+#![forbid(unsafe_code)]
+
+pub mod allow;
+pub mod panics;
+pub mod pins;
+pub mod purity;
+pub mod scan;
+pub mod secrets;
+pub mod walk;
+pub mod wire;
+
+use std::fmt;
+use std::path::Path;
+
+pub use allow::AllowEntry;
+pub use walk::Workspace;
+
+/// Which rule family produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Sans-IO/determinism purity.
+    Purity,
+    /// Wire-path panic-freedom.
+    WirePanic,
+    /// Secret-flow confinement.
+    SecretFlow,
+    /// Pinned security-fix patterns.
+    Pin,
+    /// Wire-surface serde/registry lint.
+    WireSurface,
+    /// The lint's own self-checks (scope rot, parse failures,
+    /// allowlist policy).
+    SelfCheck,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Rule::Purity => "purity",
+            Rule::WirePanic => "wire-panic",
+            Rule::SecretFlow => "secret-flow",
+            Rule::Pin => "pin",
+            Rule::WireSurface => "wire-surface",
+            Rule::SelfCheck => "self-check",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The rule family.
+    pub rule: Rule,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// The item the finding is attributed to (function or type name);
+    /// allowlist entries match on this.
+    pub item: String,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {} — {}",
+            self.file, self.line, self.rule, self.item, self.msg
+        )
+    }
+}
+
+/// The outcome of a full protocol-lint run.
+pub struct LintReport {
+    /// Findings that survived the allowlist: any entry here fails CI.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by an allowlist entry, with its
+    /// justification.
+    pub suppressed: Vec<(Finding, String)>,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Functions reachable from wire roots.
+    pub reachable_fns: usize,
+}
+
+impl LintReport {
+    /// Whether the run is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Runs the purity, panic, secret-flow, and pin rules with the
+/// production configuration and allowlist against a loaded workspace.
+pub fn run_protocol_lints(ws: &Workspace) -> LintReport {
+    run_protocol_lints_with(ws, allow::ALLOWLIST)
+}
+
+/// As [`run_protocol_lints`] but with a caller-supplied allowlist
+/// (fixture tests exercise suppression and staleness with their own).
+pub fn run_protocol_lints_with(ws: &Workspace, allowlist: &[AllowEntry]) -> LintReport {
+    let mut raw = Vec::new();
+    for (path, err) in &ws.parse_errors {
+        raw.push(Finding {
+            rule: Rule::SelfCheck,
+            file: path.clone(),
+            line: 0,
+            item: "<parse>".to_string(),
+            msg: format!("file does not parse, lint coverage is incomplete: {err}"),
+        });
+    }
+    raw.extend(purity::check(ws));
+    let panic_out = panics::check(ws, &panics::Config::production());
+    raw.extend(panic_out.findings);
+    raw.extend(secrets::check(ws, &secrets::Config::production()));
+    raw.extend(pins::check(ws, pins::PRODUCTION));
+    let (findings, suppressed) = allow::apply(raw, allowlist);
+    LintReport {
+        findings,
+        suppressed,
+        files_scanned: ws.files.len(),
+        reachable_fns: panic_out.reachable_fns,
+    }
+}
+
+/// Loads the workspace at `root` and runs the full protocol lint.
+pub fn run_at(root: &Path) -> std::io::Result<LintReport> {
+    let ws = Workspace::load(root)?;
+    Ok(run_protocol_lints(&ws))
+}

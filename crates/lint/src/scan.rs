@@ -1,0 +1,183 @@
+//! Token-pattern primitives shared by the rule passes: adjacency-aware
+//! scanning over [`syn::TokenStream`]s with recursive descent into
+//! groups. All rules work on token shapes (`. unwrap ( )`,
+//! `Ident :: Ident ( ... )`, `std :: thread`), which is robust against
+//! formatting and comments because the lexer already dropped trivia.
+
+use syn::token::{Delimiter, TokenStream, TokenTree};
+
+/// A token match with its source line.
+#[derive(Debug, Clone)]
+pub struct Hit {
+    /// 1-based source line of the match.
+    pub line: usize,
+    /// What matched (rule-specific label).
+    pub what: String,
+}
+
+/// Walks every group level of `stream` (the slice of each level is seen
+/// with true adjacency) and calls `f` with the token slice.
+pub fn each_level(stream: &TokenStream, f: &mut dyn FnMut(&[TokenTree])) {
+    f(&stream.trees);
+    for t in &stream.trees {
+        if let TokenTree::Group(g) = t {
+            each_level(&g.stream, f);
+        }
+    }
+}
+
+/// Finds `.name(` method-call tokens for any `name` in `names`,
+/// including turbofish forms (`.sum::<f64>(`).
+pub fn method_calls(stream: &TokenStream, names: &[&str], out: &mut Vec<Hit>) {
+    each_level(stream, &mut |toks| {
+        for i in 0..toks.len() {
+            if !toks[i].is_punct('.') {
+                continue;
+            }
+            let Some(name) = toks.get(i + 1).and_then(TokenTree::as_ident) else {
+                continue;
+            };
+            if !names.contains(&name) {
+                continue;
+            }
+            if call_args_after(toks, i + 2).is_some() {
+                out.push(Hit {
+                    line: toks[i + 1].line(),
+                    what: format!(".{name}()"),
+                });
+            }
+        }
+    });
+}
+
+/// If `toks[at..]` starts with call arguments — either a parenthesis
+/// group, or a `::<...>` turbofish followed by one — returns the index
+/// of the argument group.
+pub fn call_args_after(toks: &[TokenTree], at: usize) -> Option<usize> {
+    let t = toks.get(at)?;
+    if t.as_group()
+        .is_some_and(|g| g.delimiter == Delimiter::Parenthesis)
+    {
+        return Some(at);
+    }
+    // Turbofish: `::< ... >` then the argument group.
+    if t.is_punct(':') && toks.get(at + 1)?.is_punct(':') && toks.get(at + 2)?.is_punct('<') {
+        let mut depth = 1usize;
+        let mut j = at + 3;
+        while depth > 0 {
+            match toks.get(j)?.as_punct() {
+                Some('<') => depth += 1,
+                Some('>') => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        if toks
+            .get(j)?
+            .as_group()
+            .is_some_and(|g| g.delimiter == Delimiter::Parenthesis)
+        {
+            return Some(j);
+        }
+    }
+    None
+}
+
+/// Finds `name!` macro invocations for any `name` in `names`.
+pub fn macro_calls(stream: &TokenStream, names: &[&str], out: &mut Vec<Hit>) {
+    each_level(stream, &mut |toks| {
+        for i in 0..toks.len() {
+            let Some(name) = toks[i].as_ident() else {
+                continue;
+            };
+            if names.contains(&name) && toks.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+                out.push(Hit {
+                    line: toks[i].line(),
+                    what: format!("{name}!"),
+                });
+            }
+        }
+    });
+}
+
+/// Finds bare identifier references for any `name` in `names`,
+/// excluding macro invocations (`name!`).
+pub fn ident_refs(stream: &TokenStream, names: &[&str], out: &mut Vec<Hit>) {
+    each_level(stream, &mut |toks| {
+        for i in 0..toks.len() {
+            let Some(name) = toks[i].as_ident() else {
+                continue;
+            };
+            if names.contains(&name) && !toks.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+                out.push(Hit {
+                    line: toks[i].line(),
+                    what: name.to_string(),
+                });
+            }
+        }
+    });
+}
+
+/// Finds `a::b` path references (two idents joined by `::`) matching
+/// any `(a, b)` pair in `paths`.
+pub fn path_refs(stream: &TokenStream, paths: &[(&str, &str)], out: &mut Vec<Hit>) {
+    each_level(stream, &mut |toks| {
+        for i in 0..toks.len() {
+            let Some(a) = toks[i].as_ident() else {
+                continue;
+            };
+            if !toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                || !toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            {
+                continue;
+            }
+            let Some(b) = toks.get(i + 3).and_then(TokenTree::as_ident) else {
+                continue;
+            };
+            if paths.iter().any(|(pa, pb)| *pa == a && *pb == b) {
+                out.push(Hit {
+                    line: toks[i].line(),
+                    what: format!("{a}::{b}"),
+                });
+            }
+        }
+    });
+}
+
+/// Finds slice/array indexing: an expression token (identifier, call
+/// result, or prior index) immediately followed by a bracket group.
+/// Attribute groups (preceded by `#`) and array literals/types
+/// (preceded by punctuation) do not match.
+pub fn index_exprs(stream: &TokenStream, out: &mut Vec<Hit>) {
+    each_level(stream, &mut |toks| {
+        for i in 1..toks.len() {
+            let is_bracket = toks[i]
+                .as_group()
+                .is_some_and(|g| g.delimiter == Delimiter::Bracket);
+            if !is_bracket {
+                continue;
+            }
+            let prev_is_expr = match &toks[i - 1] {
+                TokenTree::Ident(id) => {
+                    // `vec![...]`-style macros lex as ident `!` group and
+                    // never reach here (the `!` sits between); `let [a, b]`
+                    // is a slice *pattern*, which is total, not an index;
+                    // keyword positions that precede blocks can't precede
+                    // `[`.
+                    !matches!(
+                        id.text.as_str(),
+                        "as" | "in" | "return" | "break" | "let" | "mut"
+                    )
+                }
+                TokenTree::Group(g) => g.delimiter != Delimiter::Brace,
+                _ => false,
+            };
+            if prev_is_expr {
+                out.push(Hit {
+                    line: toks[i].line(),
+                    what: "slice/array indexing".to_string(),
+                });
+            }
+        }
+    });
+}

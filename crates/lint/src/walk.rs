@@ -1,0 +1,279 @@
+//! Workspace loading and AST flattening: reads every `crates/*/src`
+//! source file into a parsed [`syn::File`], then offers flattened views
+//! (all functions with their impl context, all type declarations) that
+//! the rule passes consume. Fixture tests build the same [`Workspace`]
+//! from in-memory sources, so every rule is testable without touching
+//! the real tree.
+
+use std::path::{Path, PathBuf};
+
+/// Source trees the walker skips: vendored shims (external API surface,
+/// not ours), the lint machinery itself, and the xtask driver.
+pub const SKIP_DIRS: &[&str] = &["shims", "xtask", "lint"];
+
+/// One parsed source file.
+pub struct SourceFile {
+    /// The crate's directory name under `crates/` (e.g. `secagg`).
+    pub crate_name: String,
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel_path: String,
+    /// Raw source text (the wire-surface registry check greps it).
+    pub text: String,
+    /// The parsed item tree.
+    pub ast: syn::File,
+}
+
+impl SourceFile {
+    /// Whether this file is a CLI binary (`src/bin/...`) — binaries sit
+    /// outside the sans-IO protocol surface.
+    pub fn is_bin(&self) -> bool {
+        self.rel_path.contains("/src/bin/")
+    }
+}
+
+/// All parsed sources, plus parse failures (reported as lint findings —
+/// a file the linter cannot read is not a clean pass).
+pub struct Workspace {
+    /// Parsed files in path order.
+    pub files: Vec<SourceFile>,
+    /// Files that failed to parse: (rel_path, error).
+    pub parse_errors: Vec<(String, String)>,
+}
+
+impl Workspace {
+    /// Loads every `crates/*/src/**/*.rs` under `root`, skipping
+    /// [`SKIP_DIRS`].
+    pub fn load(root: &Path) -> std::io::Result<Workspace> {
+        let mut files = Vec::new();
+        let mut parse_errors = Vec::new();
+        let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(root.join("crates"))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            let name = dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            let mut paths = Vec::new();
+            collect_rs(&dir.join("src"), &mut paths);
+            paths.sort();
+            for p in paths {
+                let rel = p
+                    .strip_prefix(root)
+                    .unwrap_or(&p)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                let text = std::fs::read_to_string(&p)?;
+                match syn::parse_file(&text) {
+                    Ok(ast) => files.push(SourceFile {
+                        crate_name: name.clone(),
+                        rel_path: rel,
+                        text,
+                        ast,
+                    }),
+                    Err(e) => parse_errors.push((rel, e.to_string())),
+                }
+            }
+        }
+        Ok(Workspace {
+            files,
+            parse_errors,
+        })
+    }
+
+    /// Builds a workspace from in-memory sources: `(crate_name,
+    /// rel_path, source)` triples. Used by the fixture self-tests.
+    pub fn from_sources(sources: &[(&str, &str, &str)]) -> Workspace {
+        let mut files = Vec::new();
+        let mut parse_errors = Vec::new();
+        for (crate_name, rel_path, src) in sources {
+            match syn::parse_file(src) {
+                Ok(ast) => files.push(SourceFile {
+                    crate_name: (*crate_name).to_string(),
+                    rel_path: (*rel_path).to_string(),
+                    text: (*src).to_string(),
+                    ast,
+                }),
+                Err(e) => parse_errors.push(((*rel_path).to_string(), e.to_string())),
+            }
+        }
+        Workspace {
+            files,
+            parse_errors,
+        }
+    }
+
+    /// Every function in the workspace, flattened out of impls, traits,
+    /// and nested modules, with test-code marking.
+    pub fn functions(&self) -> Vec<FnRef<'_>> {
+        let mut out = Vec::new();
+        for file in &self.files {
+            walk_items(
+                &file.ast.items,
+                file,
+                None,
+                false,
+                &mut out,
+                &mut Vec::new(),
+            );
+        }
+        out
+    }
+
+    /// Every struct/enum declaration, flattened, with test-code marking.
+    pub fn type_decls(&self) -> Vec<TypeRef<'_>> {
+        let mut out = Vec::new();
+        for file in &self.files {
+            walk_types(&file.ast.items, file, false, &mut out);
+        }
+        out
+    }
+}
+
+/// A function with its location and impl context.
+pub struct FnRef<'a> {
+    /// The file the function lives in.
+    pub file: &'a SourceFile,
+    /// Enclosing impl's self type or trait name, if any.
+    pub self_ty: Option<String>,
+    /// Trait being implemented, for trait impls.
+    pub trait_name: Option<String>,
+    /// The function item.
+    pub f: &'a syn::ItemFn,
+    /// Whether the function is test-only (`#[cfg(test)]` / `#[test]` on
+    /// itself or any enclosing item).
+    pub test_only: bool,
+}
+
+impl FnRef<'_> {
+    /// `Type::name` for methods, plain `name` for free functions.
+    pub fn qual_name(&self) -> String {
+        match &self.self_ty {
+            Some(t) => format!("{t}::{}", self.f.ident),
+            None => self.f.ident.clone(),
+        }
+    }
+}
+
+/// A struct/enum declaration with its location.
+pub struct TypeRef<'a> {
+    /// The file the type lives in.
+    pub file: &'a SourceFile,
+    /// The type name.
+    pub ident: &'a str,
+    /// Whether the declaration is `pub`.
+    pub vis_pub: bool,
+    /// Outer attributes.
+    pub attrs: &'a [syn::Attribute],
+    /// Source line of the declaration.
+    pub line: usize,
+    /// Whether the type is declared inside test-only code.
+    pub test_only: bool,
+}
+
+fn attrs_mark_test(attrs: &[syn::Attribute]) -> bool {
+    attrs.iter().any(|a| {
+        a.is_cfg_test() || a.path_ident() == Some("test") || a.path_ident() == Some("bench")
+    })
+}
+
+fn walk_items<'a>(
+    items: &'a [syn::Item],
+    file: &'a SourceFile,
+    ctx: Option<(&'a str, Option<&'a str>)>,
+    in_test: bool,
+    out: &mut Vec<FnRef<'a>>,
+    _mods: &mut Vec<String>,
+) {
+    for item in items {
+        match item {
+            syn::Item::Fn(f) => {
+                let test_only = in_test || attrs_mark_test(&f.attrs);
+                out.push(FnRef {
+                    file,
+                    self_ty: ctx.map(|(t, _)| t.to_string()),
+                    trait_name: ctx.and_then(|(_, tr)| tr.map(str::to_string)),
+                    f,
+                    test_only,
+                });
+            }
+            syn::Item::Impl(im) => {
+                let test = in_test || attrs_mark_test(&im.attrs);
+                walk_items(
+                    &im.items,
+                    file,
+                    Some((&im.self_ty, im.trait_name.as_deref())),
+                    test,
+                    out,
+                    _mods,
+                );
+            }
+            syn::Item::Trait(tr) => {
+                let test = in_test || attrs_mark_test(&tr.attrs);
+                walk_items(&tr.items, file, Some((&tr.ident, None)), test, out, _mods);
+            }
+            syn::Item::Mod(m) => {
+                if let Some(content) = &m.content {
+                    let test = in_test || attrs_mark_test(&m.attrs) || m.ident == "tests";
+                    walk_items(content, file, None, test, out, _mods);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn walk_types<'a>(
+    items: &'a [syn::Item],
+    file: &'a SourceFile,
+    in_test: bool,
+    out: &mut Vec<TypeRef<'a>>,
+) {
+    for item in items {
+        match item {
+            syn::Item::Struct(s) => out.push(TypeRef {
+                file,
+                ident: &s.ident,
+                vis_pub: s.vis_pub,
+                attrs: &s.attrs,
+                line: s.line,
+                test_only: in_test || attrs_mark_test(&s.attrs),
+            }),
+            syn::Item::Enum(e) => out.push(TypeRef {
+                file,
+                ident: &e.ident,
+                vis_pub: e.vis_pub,
+                attrs: &e.attrs,
+                line: e.line,
+                test_only: in_test || attrs_mark_test(&e.attrs),
+            }),
+            syn::Item::Mod(m) => {
+                if let Some(content) = &m.content {
+                    let test = in_test || attrs_mark_test(&m.attrs) || m.ident == "tests";
+                    walk_types(content, file, test, out);
+                }
+            }
+            syn::Item::Impl(im) => walk_types(&im.items, file, in_test, out),
+            _ => {}
+        }
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+}

@@ -34,7 +34,7 @@ use std::collections::HashMap;
 use std::io::{self, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -54,6 +54,35 @@ pub const READ_TIMEOUT: Duration = Duration::from_millis(100);
 
 const HELLO_MAGIC: &[u8; 4] = b"p2pf";
 const HELLO_VERSION: u8 = 1;
+
+/// Why [`Hub::try_send`] could not queue a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HubError {
+    /// The destination was never registered via [`Hub::add_peer`].
+    UnknownPeer(NodeId),
+    /// The peer's writer thread is gone — the hub is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for HubError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HubError::UnknownPeer(id) => write!(f, "peer {id:?} is not registered"),
+            HubError::ShuttingDown => write!(f, "hub is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for HubError {}
+
+/// Acquires `m`, recovering the guard if another thread panicked while
+/// holding it. The hub's mutexes protect plain data (peer table, socket
+/// clones, addresses) that stays structurally valid mid-update, and
+/// shutdown must still be able to join the surviving threads after one
+/// dies — so poisoning is recovered, never propagated as a panic.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Something the network produced for the local peer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -165,11 +194,11 @@ impl Hub {
     /// address (a crashed peer rejoining from a fresh port). The writer's
     /// next (re)connect attempt targets the new address.
     pub fn add_peer(&self, peer: NodeId, addr: SocketAddr) {
-        let mut peers = self.peers.lock().unwrap();
+        let mut peers = lock_recover(&self.peers);
         if let Some(slot) = peers.get(&peer) {
             // The old connection (if any) is to a crashed peer, so the
             // writer's next send fails and reconnects to the new address.
-            *slot.addr.lock().unwrap() = addr;
+            *lock_recover(&slot.addr) = addr;
             return;
         }
         let addr = Arc::new(Mutex::new(addr));
@@ -192,10 +221,19 @@ impl Hub {
     /// Queues one payload frame for `to`. Returns `false` if the peer is
     /// unknown (not registered via [`Hub::add_peer`]).
     pub fn send(&self, to: NodeId, payload: Vec<u8>) -> bool {
-        let peers = self.peers.lock().unwrap();
+        self.try_send(to, payload).is_ok()
+    }
+
+    /// Queues one payload frame for `to`, reporting *why* a frame could
+    /// not be queued instead of collapsing every failure to `false`.
+    pub fn try_send(&self, to: NodeId, payload: Vec<u8>) -> Result<(), HubError> {
+        let peers = lock_recover(&self.peers);
         match peers.get(&to) {
-            Some(slot) => slot.tx.send(WriterCmd::Frame(payload)).is_ok(),
-            None => false,
+            Some(slot) => slot
+                .tx
+                .send(WriterCmd::Frame(payload))
+                .map_err(|_| HubError::ShuttingDown),
+            None => Err(HubError::UnknownPeer(to)),
         }
     }
 
@@ -249,7 +287,7 @@ impl Hub {
     /// every thread. Idempotent.
     pub fn shutdown(&self) {
         self.shared.reg.begin_shutdown();
-        let mut peers = self.peers.lock().unwrap();
+        let mut peers = lock_recover(&self.peers);
         for slot in peers.values_mut() {
             let _ = slot.tx.send(WriterCmd::Shutdown);
             if let Some(t) = slot.thread.take() {
@@ -257,10 +295,10 @@ impl Hub {
             }
         }
         drop(peers);
-        if let Some(t) = self.accept.lock().unwrap().take() {
+        if let Some(t) = lock_recover(&self.accept).take() {
             let _ = t.join();
         }
-        let handles: Vec<_> = self.readers.lock().unwrap().drain(..).collect();
+        let handles: Vec<_> = lock_recover(&self.readers).drain(..).collect();
         for t in handles {
             let _ = t.join();
         }
@@ -282,10 +320,16 @@ fn hello_frame(id: NodeId) -> Vec<u8> {
 }
 
 fn parse_hello(frame: &[u8]) -> Option<NodeId> {
-    if frame.len() != 9 || &frame[..4] != HELLO_MAGIC || frame[4] != HELLO_VERSION {
+    if frame.len() != 9 {
         return None;
     }
-    Some(NodeId(u32::from_le_bytes(frame[5..9].try_into().unwrap())))
+    let (magic, rest) = frame.split_first_chunk::<4>()?;
+    let (version, id_bytes) = rest.split_first()?;
+    if magic != HELLO_MAGIC || *version != HELLO_VERSION {
+        return None;
+    }
+    let id = <[u8; 4]>::try_from(id_bytes).ok()?;
+    Some(NodeId(u32::from_le_bytes(id)))
 }
 
 fn accept_loop(
@@ -299,7 +343,7 @@ fn accept_loop(
                 shared.register(&stream);
                 let sh = shared.clone();
                 let handle = std::thread::spawn(move || reader_loop(sh, stream));
-                readers.lock().unwrap().push(handle);
+                lock_recover(&readers).push(handle);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(5));
@@ -343,7 +387,9 @@ fn reader_loop(shared: Arc<Shared>, mut stream: TcpStream) {
         }
         match stream.read(&mut tmp) {
             Ok(0) => return,
-            Ok(n) => fb.extend(&tmp[..n]),
+            // `n <= tmp.len()` per the `Read` contract; `get` keeps even a
+            // misbehaving reader from panicking this thread.
+            Ok(n) => fb.extend(tmp.get(..n).unwrap_or(&tmp)),
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock
                     || e.kind() == io::ErrorKind::TimedOut
@@ -369,35 +415,38 @@ fn writer_loop(shared: Arc<Shared>, addr: Arc<Mutex<SocketAddr>>, rx: Receiver<W
             if shared.is_shutdown() {
                 return;
             }
-            if conn.is_none() {
-                let target = *addr.lock().unwrap();
-                match TcpStream::connect_timeout(&target, CONNECT_TIMEOUT) {
-                    Ok(mut s) => {
-                        let _ = s.set_nodelay(true);
-                        let _ = s.set_write_timeout(Some(WRITE_TIMEOUT));
-                        if write_frame(&mut s, &hello_frame(shared.id)).is_err() {
+            let stream = match conn.as_mut() {
+                Some(s) => s,
+                None => {
+                    let target = *lock_recover(&addr);
+                    match TcpStream::connect_timeout(&target, CONNECT_TIMEOUT) {
+                        Ok(mut s) => {
+                            let _ = s.set_nodelay(true);
+                            let _ = s.set_write_timeout(Some(WRITE_TIMEOUT));
+                            if write_frame(&mut s, &hello_frame(shared.id)).is_err() {
+                                sleep_backoff(&shared, &mut backoff, &mut attempt);
+                                continue;
+                            }
+                            if ever_connected {
+                                shared
+                                    .reg
+                                    .stats()
+                                    .reconnects
+                                    .fetch_add(1, Ordering::Relaxed);
+                            }
+                            ever_connected = true;
+                            backoff = BACKOFF_INITIAL;
+                            shared.register(&s);
+                            conn.insert(s)
+                        }
+                        Err(_) => {
                             sleep_backoff(&shared, &mut backoff, &mut attempt);
                             continue;
                         }
-                        if ever_connected {
-                            shared
-                                .reg
-                                .stats()
-                                .reconnects
-                                .fetch_add(1, Ordering::Relaxed);
-                        }
-                        ever_connected = true;
-                        backoff = BACKOFF_INITIAL;
-                        shared.register(&s);
-                        conn = Some(s);
-                    }
-                    Err(_) => {
-                        sleep_backoff(&shared, &mut backoff, &mut attempt);
-                        continue;
                     }
                 }
-            }
-            match write_frame(conn.as_mut().expect("connection established"), &frame) {
+            };
+            match write_frame(stream, &frame) {
                 Ok(()) => {
                     let s = shared.reg.stats();
                     s.frames_sent.fetch_add(1, Ordering::Relaxed);

@@ -132,7 +132,17 @@ impl<C> Registry<C> {
     /// How many connections are currently registered (dead ones linger
     /// until the next [`Registry::register`] prunes them).
     pub fn live_count(&self) -> usize {
-        self.conns.lock().unwrap().len()
+        self.lock_conns().len()
+    }
+
+    /// Acquires the connection list, recovering from poisoning: a `Vec`
+    /// of connection handles is structurally valid at every point, and a
+    /// reader/writer thread dying must not take down shutdown's ability
+    /// to sever the survivors.
+    fn lock_conns(&self) -> std::sync::MutexGuard<'_, Vec<C>> {
+        self.conns
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
@@ -145,7 +155,7 @@ impl<C: Conn> Registry<C> {
     /// afterwards must drop their handle (closing the socket) — the loom
     /// model checks exactly this protocol.
     pub fn register(&self, conn: C) {
-        let mut conns = self.conns.lock().unwrap();
+        let mut conns = self.lock_conns();
         conns.retain(|c| !c.is_dead());
         conns.push(conn);
     }
@@ -153,7 +163,7 @@ impl<C: Conn> Registry<C> {
     /// Severs and forgets every registered connection. The peers' writer
     /// threads are expected to reconnect; the hub keeps running.
     pub fn sever_all(&self) {
-        for c in self.conns.lock().unwrap().drain(..) {
+        for c in self.lock_conns().drain(..) {
             c.sever();
         }
     }

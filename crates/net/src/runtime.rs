@@ -405,9 +405,13 @@ fn event_loop<M: WireMsg, A: Actor<M>>(
         // Release fault-delayed frames whose due times have passed.
         if let Some(fl) = faults.as_mut() {
             let now = elapsed(start);
-            while fl.delayed.peek().is_some_and(|Reverse(d)| d.due <= now) {
-                let Reverse(d) = fl.delayed.pop().expect("peeked");
-                hub.send(d.to, d.bytes);
+            while let Some(Reverse(d)) = fl.delayed.peek() {
+                if d.due > now {
+                    break;
+                }
+                if let Some(Reverse(d)) = fl.delayed.pop() {
+                    hub.send(d.to, d.bytes);
+                }
             }
         }
 

@@ -113,12 +113,17 @@ impl<C: Command> RaftLog<C> {
         }
     }
 
-    /// Appends a new entry created by the leader in `term`, returning its
-    /// index.
-    pub fn append(&mut self, term: Term, cmd: LogCmd<C>) -> LogIndex {
-        let index = self.last_index() + 1;
-        self.entries.push(Entry { term, index, cmd });
-        index
+    /// Appends a new entry created by the leader in `term`, returning a
+    /// clone of the appended entry (the caller persists and replicates
+    /// it, so handing it back saves a fallible lookup).
+    pub fn append(&mut self, term: Term, cmd: LogCmd<C>) -> Entry<C> {
+        let entry = Entry {
+            term,
+            index: self.last_index() + 1,
+            cmd,
+        };
+        self.entries.push(entry.clone());
+        entry
     }
 
     /// Appends an entry shipped by a leader, asserting index continuity.
@@ -168,7 +173,12 @@ impl<C: Command> RaftLog<C> {
         if upto <= self.snapshot_index {
             return 0;
         }
-        let term = self.term_at(upto).expect("live index");
+        let Some(term) = self.term_at(upto) else {
+            // Callers compact only committed (hence live) indices; an
+            // index past the live suffix is a caller inconsistency, but a
+            // no-op compaction beats crashing the node over it.
+            return 0;
+        };
         let drop = (upto - self.snapshot_index) as usize;
         self.entries.drain(..drop);
         self.snapshot_index = upto;

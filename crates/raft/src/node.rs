@@ -366,8 +366,8 @@ impl<C: Command> RaftNode<C> {
                 leader_hint: self.leader_hint,
             });
         }
-        let index = self.log.append(self.current_term, cmd);
-        let appended = self.log.get(index).expect("just appended").clone();
+        let appended = self.log.append(self.current_term, cmd);
+        let index = appended.index;
         let mut eff = vec![Effect::Persist(PersistOp::Append(appended))];
         if let Some(changed) = self.recompute_cluster_if_config(index) {
             eff.push(Effect::ConfigChanged(changed));
@@ -546,8 +546,7 @@ impl<C: Command> RaftNode<C> {
         }
         // Commit a no-op so prior-term entries become committable under the
         // current-term-only commit rule.
-        let noop_index = self.log.append(self.current_term, LogCmd::Noop);
-        let noop = self.log.get(noop_index).expect("just appended").clone();
+        let noop = self.log.append(self.current_term, LogCmd::Noop);
         let mut eff = vec![
             Effect::Persist(PersistOp::Append(noop)),
             Effect::BecameLeader(self.current_term),
@@ -632,21 +631,23 @@ impl<C: Command> RaftNode<C> {
     // ------------------------------------------------------------------
 
     fn append_entries_for(&self, peer: NodeId) -> RaftMsg<C> {
-        let next = self.next_index.get(&peer).copied().unwrap_or(1);
+        let mut next = self.next_index.get(&peer).copied().unwrap_or(1);
         if self.log.is_compacted(next) {
             // The entries this follower needs are gone: ship the snapshot.
-            let (last_index, last_term, cluster, data) = self
-                .snapshot
-                .clone()
-                .expect("compacted log implies a snapshot");
-            return RaftMsg::InstallSnapshot {
-                term: self.current_term,
-                leader: self.cfg.id,
-                last_index,
-                last_term,
-                cluster,
-                data,
-            };
+            if let Some((last_index, last_term, cluster, data)) = self.snapshot.clone() {
+                return RaftMsg::InstallSnapshot {
+                    term: self.current_term,
+                    leader: self.cfg.id,
+                    last_index,
+                    last_term,
+                    cluster,
+                    data,
+                };
+            }
+            // A compacted log always records its snapshot; if it is
+            // somehow missing, replicate from the first live index
+            // instead of crashing the leader.
+            next = self.log.snapshot_index() + 1;
         }
         let prev = next - 1;
         RaftMsg::AppendEntries {
@@ -878,13 +879,14 @@ impl<C: Command> RaftNode<C> {
     fn apply_committed(&mut self) -> Vec<Effect<C>> {
         let mut eff = Vec::new();
         while self.last_applied < self.commit_index {
+            let Some(entry) = self.log.get(self.last_applied + 1) else {
+                // Commit index points past the live log — an internal
+                // inconsistency. Stop applying rather than crash; the
+                // remaining entries apply once the log catches up.
+                break;
+            };
+            eff.push(Effect::Commit(entry.clone()));
             self.last_applied += 1;
-            let entry = self
-                .log
-                .get(self.last_applied)
-                .expect("committed entry must exist")
-                .clone();
-            eff.push(Effect::Commit(entry));
         }
         eff
     }

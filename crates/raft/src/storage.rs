@@ -197,9 +197,19 @@ impl<C> MemStorage<C> {
         }
     }
 
+    /// Acquires the op list, recovering from poisoning: the list is
+    /// append-only and structurally valid at every point, and a test
+    /// thread dying with the lock held must not cascade into the node
+    /// that shares the store.
+    fn lock_ops(&self) -> std::sync::MutexGuard<'_, Vec<PersistOp<C>>> {
+        self.ops
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Number of ops recorded so far.
     pub fn len(&self) -> usize {
-        self.ops.lock().unwrap().len()
+        self.lock_ops().len()
     }
 
     /// Whether nothing has been recorded.
@@ -210,11 +220,11 @@ impl<C> MemStorage<C> {
 
 impl<C: Command> RaftStorage<C> for MemStorage<C> {
     fn record(&mut self, op: &PersistOp<C>) {
-        self.ops.lock().unwrap().push(op.clone());
+        self.lock_ops().push(op.clone());
     }
 
     fn load(&mut self) -> Option<PersistentState<C>> {
-        let ops = self.ops.lock().unwrap().clone();
+        let ops = self.lock_ops().clone();
         if ops.is_empty() {
             None
         } else {
@@ -287,12 +297,14 @@ where
         f.read_to_end(&mut bytes).ok()?;
         let mut ops = Vec::new();
         let mut pos = 0usize;
-        while bytes.len() - pos >= 4 {
-            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
-            if bytes.len() - pos - 4 < len {
+        // Stops at the first short or corrupt record: a torn tail from a
+        // mid-write crash truncates, it never panics.
+        while let Some(header) = bytes.get(pos..).and_then(|r| r.first_chunk::<4>()) {
+            let len = u32::from_le_bytes(*header) as usize;
+            let Some(body) = bytes.get(pos + 4..pos + 4 + len) else {
                 break; // torn tail: record length written, body incomplete
-            }
-            match codec::from_bytes::<PersistOp<C>>(&bytes[pos + 4..pos + 4 + len]) {
+            };
+            match codec::from_bytes::<PersistOp<C>>(body) {
                 Ok(op) => ops.push(op),
                 Err(_) => break, // torn or corrupt tail record
             }

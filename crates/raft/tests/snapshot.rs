@@ -35,8 +35,8 @@ fn compaction_preserves_the_visible_suffix() {
     // The boundary term is retained for the consistency check.
     assert_eq!(l.term_at(6), Some(l.snapshot_term()));
     // Appending continues from the true end.
-    let idx = l.append(9, LogCmd::Noop);
-    assert_eq!(idx, 11);
+    let appended = l.append(9, LogCmd::Noop);
+    assert_eq!(appended.index, 11);
 }
 
 #[test]

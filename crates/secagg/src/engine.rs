@@ -393,15 +393,19 @@ impl SacPeerActor {
     /// round (with a fresh round number) afterwards.
     pub fn reconfigure(&mut self, group: Vec<NodeId>, leader: NodeId, k: usize) {
         let me = self.me();
-        let position = group
-            .iter()
-            .position(|&p| p == me)
-            .expect("own id must remain in the roster");
-        let leader_pos = group
-            .iter()
-            .position(|&p| p == leader)
-            .expect("leader must be in the roster");
-        assert!(k >= 1 && k <= group.len(), "invalid threshold");
+        // A roster that drops this peer or its leader, or carries an
+        // unsatisfiable threshold, is invalid (a supervised restart never
+        // produces one). Ignore it and keep the current configuration —
+        // the supervisor aborts/retries — rather than crash the engine.
+        let (Some(position), Some(leader_pos)) = (
+            group.iter().position(|&p| p == me),
+            group.iter().position(|&p| p == leader),
+        ) else {
+            return;
+        };
+        if k < 1 || k > group.len() {
+            return;
+        }
         self.cfg.group = group;
         self.cfg.position = position;
         self.cfg.leader_pos = leader_pos;
@@ -655,7 +659,12 @@ impl SacPeerActor {
         };
         let mut avg = WeightVector::zeros(self.model.dim());
         for p in 0..n {
-            avg.add_assign(&self.subtotals[&p]);
+            // Explicit grid check: the count alone does not prove every
+            // partition 0..n is present.
+            let Some(s) = self.subtotals.get(&p) else {
+                return;
+            };
+            avg.add_assign(s);
         }
         avg.scale(1.0 / frozen.len() as f64);
         self.contributors = frozen.iter().copied().collect();
@@ -775,15 +784,8 @@ impl Actor<SacMsg> for SacPeerActor {
                 if self.future.len() < 4 * self.cfg.n() {
                     self.future.push((from, msg));
                 } else {
+                    // Counted in `stash_evicted`, surfaced via NetStats.
                     self.stash_evicted += 1;
-                    eprintln!(
-                        "sac[{:?}]: next-round stash full ({} entries); \
-                         evicting {} for round {r} from {:?}",
-                        self.me(),
-                        self.future.len(),
-                        msg.kind(),
-                        from
-                    );
                 }
                 return;
             }
@@ -827,7 +829,9 @@ impl Actor<SacMsg> for SacPeerActor {
                 from_pos,
                 digests,
             } => {
-                if round != self.round {
+                // Out-of-roster sender positions are rejected so the
+                // commitment table stays bounded by the roster size.
+                if round != self.round || from_pos >= self.cfg.n() {
                     return;
                 }
                 self.commitments.insert(from_pos, digests);
@@ -838,6 +842,23 @@ impl Actor<SacMsg> for SacPeerActor {
                 parts,
             } => {
                 if round != self.round {
+                    return;
+                }
+                // Shape gate: a block whose sender position, partition
+                // indices, or dimensions don't fit the roster/model is
+                // Byzantine by construction. Reject it *before* it can
+                // reach the subtotal arithmetic, whose `add_assign`
+                // panics on dimension mismatch.
+                let dim = self.model.dim();
+                if from_pos >= self.cfg.n()
+                    || parts
+                        .iter()
+                        .any(|(p, v)| *p >= self.cfg.n() || v.dim() != dim)
+                {
+                    self.shares_rejected += 1;
+                    if from_pos < self.cfg.n() {
+                        self.byzantine_detected.insert(from_pos);
+                    }
                     return;
                 }
                 // Commitment check: every partition in the block must hash
@@ -903,11 +924,17 @@ impl Actor<SacMsg> for SacPeerActor {
                 if round != self.round || !self.cfg.is_leader() {
                     return;
                 }
+                // Bounds/shape gate: an out-of-range index or a wrong-
+                // dimension value must not enter the average.
+                if idx >= self.cfg.n() || value.dim() != self.model.dim() {
+                    self.shares_rejected += 1;
+                    return;
+                }
                 self.subtotals.entry(idx).or_insert(value);
                 self.maybe_finish();
             }
             SacMsg::SubtotalRequest { round, idx } => {
-                if round != self.round {
+                if round != self.round || idx >= self.cfg.n() {
                     return;
                 }
                 if let Some(s) = self.subtotal_over_frozen(idx) {

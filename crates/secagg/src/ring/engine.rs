@@ -328,15 +328,18 @@ impl RingSacActor {
     /// engine, plus re-deriving the ring plan from the new `(n', k')`.
     pub fn reconfigure(&mut self, group: Vec<NodeId>, leader: NodeId, k: usize) {
         let me = self.me();
-        let position = group
-            .iter()
-            .position(|&p| p == me)
-            .expect("own id must remain in the roster");
-        let leader_pos = group
-            .iter()
-            .position(|&p| p == leader)
-            .expect("leader must be in the roster");
-        assert!(k >= 1 && k <= group.len(), "invalid threshold");
+        // Same policy as the pairwise engine: an invalid roster (missing
+        // this peer or the leader, unsatisfiable threshold) is ignored
+        // rather than allowed to crash the engine.
+        let (Some(position), Some(leader_pos)) = (
+            group.iter().position(|&p| p == me),
+            group.iter().position(|&p| p == leader),
+        ) else {
+            return;
+        };
+        if k < 1 || k > group.len() {
+            return;
+        }
         self.plan = RingPlan::new(group.len(), k);
         self.cfg.group = group;
         self.cfg.position = position;
@@ -775,15 +778,8 @@ impl Actor<RingMsg> for RingSacActor {
                 if self.future.len() < 4 * self.cfg.group.len() {
                     self.future.push((from, msg));
                 } else {
+                    // Counted in `stash_evicted`, surfaced via NetStats.
                     self.stash_evicted += 1;
-                    eprintln!(
-                        "ringsac[{:?}]: next-round stash full ({} entries); \
-                         evicting {} for round {r} from {:?}",
-                        self.me(),
-                        self.future.len(),
-                        msg.kind(),
-                        from
-                    );
                 }
                 return;
             }
@@ -821,6 +817,18 @@ impl Actor<RingMsg> for RingSacActor {
                 parts,
             } => {
                 if round != self.round {
+                    return;
+                }
+                // Shape gate: sender position, partition indices, and
+                // dimensions must fit the roster/plan/model before the
+                // block can reach `add_assign` (which panics on
+                // dimension mismatch).
+                let dim = self.model.dim();
+                if from_pos >= self.cfg.group.len()
+                    || parts
+                        .iter()
+                        .any(|(p, v)| *p >= self.plan.total_partitions() || v.dim() != dim)
+                {
                     return;
                 }
                 let entry = self.blocks.entry(from_pos).or_default();
@@ -878,6 +886,9 @@ impl Actor<RingMsg> for RingSacActor {
                 if stage >= self.plan.num_stages() || idx >= self.plan.stage_len(stage) {
                     return; // outside the (stage, partition) grid
                 }
+                if value.dim() != self.model.dim() {
+                    return; // wrong shape must not enter the average
+                }
                 self.totals.entry((stage, idx)).or_insert(value);
                 self.maybe_finish();
             }
@@ -885,8 +896,12 @@ impl Actor<RingMsg> for RingSacActor {
                 if round != self.round {
                     return;
                 }
-                if stage != self.plan.stage_of(self.cfg.position) {
-                    return; // not our stage: we never held those shares
+                if stage != self.plan.stage_of(self.cfg.position)
+                    || idx >= self.plan.stage_len(stage)
+                {
+                    // Not our stage, or outside the grid: never servable,
+                    // so don't let it occupy a pending-request slot.
+                    return;
                 }
                 if let Some(v) = self.total_over_frozen(idx) {
                     ctx.send(

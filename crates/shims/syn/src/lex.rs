@@ -1,0 +1,378 @@
+//! The lexer: source text to a flat token list, then delimiter matching
+//! to build [`TokenStream`] trees. Handles the full trivia surface of
+//! real Rust source — line/block comments (nested), doc comments,
+//! strings with escapes, raw strings with `#` fences, byte strings and
+//! byte chars, char-vs-lifetime disambiguation, raw identifiers, and
+//! numeric literals with type suffixes.
+
+use crate::token::{Delimiter, Group, Ident, Literal, Punct, TokenStream, TokenTree};
+use crate::Error;
+
+/// Lexes `src` into a single top-level token stream.
+pub fn lex(src: &str) -> Result<TokenStream, Error> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lexer = Lexer {
+        chars,
+        pos: 0,
+        line: 1,
+    };
+    let flat = lexer.run()?;
+    build_trees(flat)
+}
+
+/// A token before delimiter matching: either a leaf or a raw bracket.
+enum Flat {
+    Leaf(TokenTree),
+    Open(Delimiter, usize),
+    Close(Delimiter, usize),
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error {
+            line: self.line,
+            msg: msg.to_string(),
+        }
+    }
+
+    fn run(&mut self) -> Result<Vec<Flat>, Error> {
+        let mut out = Vec::new();
+        while let Some(c) = self.peek(0) {
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment()?,
+                '"' => out.push(self.string_literal(0)?),
+                'r' if self.raw_string_fence(1).is_some() => {
+                    let fence = self.raw_string_fence(1).ok_or_else(|| self.err("fence"))?;
+                    out.push(self.raw_string_literal(1, fence)?);
+                }
+                'b' if self.peek(1) == Some('"') => out.push(self.string_literal(1)?),
+                'b' if self.peek(1) == Some('\'') => out.push(self.char_literal(1)?),
+                'b' if self.peek(1) == Some('r') && self.raw_string_fence(2).is_some() => {
+                    let fence = self.raw_string_fence(2).ok_or_else(|| self.err("fence"))?;
+                    out.push(self.raw_string_literal(2, fence)?);
+                }
+                'r' if self.peek(1) == Some('#') && is_ident_start(self.peek(2)) => {
+                    out.push(self.ident(2));
+                }
+                c if is_ident_start(Some(c)) => out.push(self.ident(0)),
+                c if c.is_ascii_digit() => out.push(self.number()),
+                '\'' => out.push(self.char_or_lifetime()?),
+                '(' => out.push(self.bracket(Flat::Open(Delimiter::Parenthesis, self.line))),
+                ')' => out.push(self.bracket(Flat::Close(Delimiter::Parenthesis, self.line))),
+                '{' => out.push(self.bracket(Flat::Open(Delimiter::Brace, self.line))),
+                '}' => out.push(self.bracket(Flat::Close(Delimiter::Brace, self.line))),
+                '[' => out.push(self.bracket(Flat::Open(Delimiter::Bracket, self.line))),
+                ']' => out.push(self.bracket(Flat::Close(Delimiter::Bracket, self.line))),
+                _ => {
+                    let line = self.line;
+                    self.bump();
+                    out.push(Flat::Leaf(TokenTree::Punct(Punct { ch: c, line })));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn bracket(&mut self, tok: Flat) -> Flat {
+        self.bump();
+        tok
+    }
+
+    fn line_comment(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn block_comment(&mut self) -> Result<(), Error> {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => return Err(self.err("unterminated block comment")),
+            }
+        }
+        Ok(())
+    }
+
+    /// `"..."` or `b"..."` (prefix_len = chars before the quote).
+    fn string_literal(&mut self, prefix_len: usize) -> Result<Flat, Error> {
+        let line = self.line;
+        let mut text = String::new();
+        for _ in 0..prefix_len {
+            text.push(self.bump().ok_or_else(|| self.err("eof in string"))?);
+        }
+        text.push(self.bump().ok_or_else(|| self.err("eof in string"))?); // opening quote
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    text.push('\\');
+                    text.push(self.bump().ok_or_else(|| self.err("eof in escape"))?);
+                }
+                Some('"') => {
+                    text.push('"');
+                    break;
+                }
+                Some(c) => text.push(c),
+                None => return Err(self.err("unterminated string literal")),
+            }
+        }
+        self.literal_suffix(&mut text);
+        Ok(Flat::Leaf(TokenTree::Literal(Literal { text, line })))
+    }
+
+    /// Number of `#` fence chars if position `at` begins a raw string
+    /// (`"` or `#...#"`), else `None`.
+    fn raw_string_fence(&self, at: usize) -> Option<usize> {
+        let mut n = 0;
+        while self.peek(at + n) == Some('#') {
+            n += 1;
+        }
+        (self.peek(at + n) == Some('"')).then_some(n)
+    }
+
+    /// `r"..."`, `r#"..."#`, `br#"..."#` etc.
+    fn raw_string_literal(&mut self, prefix_len: usize, fence: usize) -> Result<Flat, Error> {
+        let line = self.line;
+        let mut text = String::new();
+        for _ in 0..prefix_len + fence + 1 {
+            text.push(self.bump().ok_or_else(|| self.err("eof in raw string"))?);
+        }
+        loop {
+            match self.bump() {
+                Some('"') => {
+                    text.push('"');
+                    if (0..fence).all(|k| self.peek(k) == Some('#')) {
+                        for _ in 0..fence {
+                            text.push(self.bump().ok_or_else(|| self.err("eof"))?);
+                        }
+                        break;
+                    }
+                }
+                Some(c) => text.push(c),
+                None => return Err(self.err("unterminated raw string literal")),
+            }
+        }
+        self.literal_suffix(&mut text);
+        Ok(Flat::Leaf(TokenTree::Literal(Literal { text, line })))
+    }
+
+    /// `'x'`, `'\n'`, `b'x'` (prefix_len = chars before the quote).
+    fn char_literal(&mut self, prefix_len: usize) -> Result<Flat, Error> {
+        let line = self.line;
+        let mut text = String::new();
+        for _ in 0..prefix_len {
+            text.push(self.bump().ok_or_else(|| self.err("eof in char"))?);
+        }
+        text.push(self.bump().ok_or_else(|| self.err("eof in char"))?); // opening quote
+        match self.bump() {
+            Some('\\') => {
+                text.push('\\');
+                // Consume the escape body up to the closing quote; covers
+                // \n, \', \\, \u{...}, \x41.
+                loop {
+                    match self.bump() {
+                        Some('\'') if text.len() > prefix_len + 2 => {
+                            text.push('\'');
+                            break;
+                        }
+                        Some(c) => text.push(c),
+                        None => return Err(self.err("unterminated char literal")),
+                    }
+                }
+            }
+            Some(c) => {
+                text.push(c);
+                match self.bump() {
+                    Some('\'') => text.push('\''),
+                    _ => return Err(self.err("unterminated char literal")),
+                }
+            }
+            None => return Err(self.err("eof in char literal")),
+        }
+        Ok(Flat::Leaf(TokenTree::Literal(Literal { text, line })))
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime). A lifetime is
+    /// emitted as a `'` punct followed by an ident.
+    fn char_or_lifetime(&mut self) -> Result<Flat, Error> {
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_char = match next {
+            Some('\\') => true,
+            Some(c) if is_ident_start(Some(c)) || c == '_' => after == Some('\''),
+            Some(_) => true,
+            None => return Err(self.err("stray quote at eof")),
+        };
+        if is_char {
+            self.char_literal(0)
+        } else {
+            let line = self.line;
+            self.bump();
+            Ok(Flat::Leaf(TokenTree::Punct(Punct { ch: '\'', line })))
+        }
+    }
+
+    fn ident(&mut self, prefix_len: usize) -> Flat {
+        let line = self.line;
+        for _ in 0..prefix_len {
+            self.bump(); // discard the r# raw prefix
+        }
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Flat::Leaf(TokenTree::Ident(Ident { text, line }))
+    }
+
+    fn number(&mut self) -> Flat {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fractional part: consume `.` only when followed by a digit, so
+        // `0..n` ranges and `x.method()` stay punctuation.
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            text.push('.');
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        // Exponent sign: `1e-3` lexes its `-3` here to stay one literal.
+        if text.ends_with(['e', 'E'])
+            && text.starts_with(|c: char| c.is_ascii_digit())
+            && matches!(self.peek(0), Some('+') | Some('-'))
+            && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            text.push(self.bump().unwrap_or('-'));
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        Flat::Leaf(TokenTree::Literal(Literal { text, line }))
+    }
+
+    fn literal_suffix(&mut self, text: &mut String) {
+        // Type suffixes on string-ish literals are rare but legal.
+        while is_ident_continue(self.peek(0)) {
+            if let Some(c) = self.bump() {
+                text.push(c);
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: Option<char>) -> bool {
+    c.is_some_and(|c| c.is_alphabetic() || c == '_')
+}
+
+fn is_ident_continue(c: Option<char>) -> bool {
+    c.is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Matches brackets in the flat token list, producing nested groups.
+fn build_trees(flat: Vec<Flat>) -> Result<TokenStream, Error> {
+    let mut stack: Vec<(Delimiter, usize, Vec<TokenTree>)> = Vec::new();
+    let mut top: Vec<TokenTree> = Vec::new();
+    for tok in flat {
+        match tok {
+            Flat::Leaf(t) => match stack.last_mut() {
+                Some((_, _, trees)) => trees.push(t),
+                None => top.push(t),
+            },
+            Flat::Open(d, line) => stack.push((d, line, Vec::new())),
+            Flat::Close(d, line) => {
+                let Some((open_d, open_line, trees)) = stack.pop() else {
+                    return Err(Error {
+                        line,
+                        msg: "unmatched closing bracket".to_string(),
+                    });
+                };
+                if open_d != d {
+                    return Err(Error {
+                        line,
+                        msg: format!("mismatched bracket opened on line {open_line}"),
+                    });
+                }
+                let group = TokenTree::Group(Group {
+                    delimiter: d,
+                    stream: TokenStream { trees },
+                    line: open_line,
+                });
+                match stack.last_mut() {
+                    Some((_, _, parent)) => parent.push(group),
+                    None => top.push(group),
+                }
+            }
+        }
+    }
+    if let Some((_, line, _)) = stack.last() {
+        return Err(Error {
+            line: *line,
+            msg: "unclosed bracket".to_string(),
+        });
+    }
+    Ok(TokenStream { trees: top })
+}

@@ -1,0 +1,176 @@
+//! Offline stand-in for the `syn` crate: a Rust lexer, token-tree
+//! builder, and item-level parser. The build environment has no
+//! crates.io access, so like the other `crates/shims/*` crates this
+//! vendors exactly the API surface the workspace needs — here, enough
+//! of `syn` for `p2pfl-lint` to walk every source file as a structured
+//! AST (items, impls, attributes, function bodies as token streams)
+//! instead of line-by-line string matching.
+//!
+//! What this is **not**: a full expression parser. Function bodies stay
+//! as [`TokenStream`]s, which is the right granularity for the lint's
+//! token-pattern rules and keeps the parser small enough to audit.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod lex;
+pub mod parse;
+pub mod token;
+
+pub use parse::{
+    parse_file, Attribute, File, Item, ItemEnum, ItemFn, ItemImpl, ItemMod, ItemStruct, ItemTrait,
+};
+pub use token::{Delimiter, Group, Ident, Literal, Punct, TokenStream, TokenTree};
+
+/// A parse error with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Error {
+    /// 1-based line where the error was detected.
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> File {
+        match parse_file(src) {
+            Ok(f) => f,
+            Err(e) => panic!("parse failed: {e}\nsource:\n{src}"),
+        }
+    }
+
+    #[test]
+    fn parses_functions_and_bodies() {
+        let f = parse("pub fn add(a: u32, b: u32) -> u32 { a + b }\nfn private() {}");
+        assert_eq!(f.items.len(), 2);
+        let Item::Fn(add) = &f.items[0] else {
+            panic!("expected fn");
+        };
+        assert_eq!(add.ident, "add");
+        assert!(add.vis_pub);
+        assert!(add.block.is_some());
+        assert_eq!(add.line, 1);
+    }
+
+    #[test]
+    fn parses_impl_blocks_with_traits_and_generics() {
+        let f = parse(
+            "impl<M: Clone + 'static> p2pfl_simnet::Actor<M> for RaftActor<M>\nwhere M: Send {\n    fn on_message(&mut self, from: NodeId, msg: M) { self.n += 1; }\n}",
+        );
+        let Item::Impl(im) = &f.items[0] else {
+            panic!("expected impl");
+        };
+        assert_eq!(im.trait_name.as_deref(), Some("Actor"));
+        assert_eq!(im.self_ty, "RaftActor");
+        assert_eq!(im.items.len(), 1);
+        let Item::Fn(m) = &im.items[0] else {
+            panic!("expected method");
+        };
+        assert_eq!(m.ident, "on_message");
+    }
+
+    #[test]
+    fn parses_inherent_impls() {
+        let f = parse("impl Foo { fn bar(&self) -> Result<(), E> { Ok(()) } }");
+        let Item::Impl(im) = &f.items[0] else {
+            panic!("expected impl");
+        };
+        assert!(im.trait_name.is_none());
+        assert_eq!(im.self_ty, "Foo");
+    }
+
+    #[test]
+    fn parses_structs_enums_and_derives() {
+        let f = parse(
+            "#[derive(Debug, serde::Serialize, serde::Deserialize)]\npub struct WireThing<T> { pub x: T }\n#[cfg(test)]\nmod tests { pub enum Hidden { A } }",
+        );
+        let Item::Struct(s) = &f.items[0] else {
+            panic!("expected struct");
+        };
+        assert_eq!(s.ident, "WireThing");
+        assert!(s.attrs[0].path_ident() == Some("derive"));
+        let Item::Mod(m) = &f.items[1] else {
+            panic!("expected mod");
+        };
+        assert!(m.attrs[0].is_cfg_test());
+        assert!(matches!(
+            m.content.as_deref(),
+            Some([Item::Enum(e)]) if e.ident == "Hidden"
+        ));
+    }
+
+    #[test]
+    fn survives_trivia_strings_chars_lifetimes() {
+        let f = parse(
+            r##"
+//! inner doc
+/* block /* nested */ comment */
+fn tricky<'a>(s: &'a str) -> char {
+    let _raw = r#"not a " terminator"#;
+    let _b = b"bytes\x00";
+    let _c = '\'';
+    let _q = b'"';
+    let _f = 1.5e-3;
+    let _r = 0..s.len();
+    's'
+}
+"##,
+        );
+        let Item::Fn(t) = &f.items[0] else {
+            panic!("expected fn");
+        };
+        assert_eq!(t.ident, "tricky");
+        assert!(t.block.is_some());
+    }
+
+    #[test]
+    fn keeps_verbatim_items_and_macros() {
+        let f = parse(
+            "use std::fmt::Write as _;\nconst LIMIT: usize = 4;\nmacro_rules! m { () => {} }\nthread_local! { static X: u8 = 0; }",
+        );
+        assert_eq!(f.items.len(), 4);
+        assert!(f.items.iter().all(|i| matches!(i, Item::Verbatim(_))));
+    }
+
+    #[test]
+    fn trait_items_parse_with_default_bodies() {
+        let f = parse(
+            "pub trait Actor<M> {\n    fn on_start(&mut self) {}\n    fn decode(&self, b: &[u8]) -> Result<M, E>;\n}",
+        );
+        let Item::Trait(tr) = &f.items[0] else {
+            panic!("expected trait");
+        };
+        assert_eq!(tr.ident, "Actor");
+        assert_eq!(tr.items.len(), 2);
+        let Item::Fn(sig_only) = &tr.items[1] else {
+            panic!("expected fn sig");
+        };
+        assert!(sig_only.block.is_none());
+    }
+
+    #[test]
+    fn reports_unbalanced_delimiters() {
+        assert!(parse_file("fn broken() { (").is_err());
+        assert!(parse_file("fn broken() ]").is_err());
+    }
+
+    #[test]
+    fn line_numbers_track_through_trivia() {
+        let f = parse("// one\n// two\n\nfn late() {}\n");
+        let Item::Fn(l) = &f.items[0] else {
+            panic!("expected fn");
+        };
+        assert_eq!(l.line, 4);
+    }
+}

@@ -1,0 +1,645 @@
+//! The item-level parser: token trees to a [`File`] of items. Function
+//! bodies are kept as raw [`TokenStream`]s — the lint rules that consume
+//! this AST work on token patterns, not expression trees, which keeps
+//! the parser small enough to audit while still giving exact item
+//! attribution (crate / impl / fn / line) for every finding.
+
+use crate::token::{Delimiter, TokenStream, TokenTree};
+use crate::Error;
+
+/// A parsed source file.
+#[derive(Debug, Clone)]
+pub struct File {
+    /// Inner (`#![...]`) attributes.
+    pub attrs: Vec<Attribute>,
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+/// An outer attribute: the tokens inside the `#[...]` brackets.
+#[derive(Debug, Clone)]
+pub struct Attribute {
+    /// Tokens between the brackets, e.g. `derive(Clone, Serialize)`.
+    pub tokens: TokenStream,
+    /// Source line of the attribute.
+    pub line: usize,
+}
+
+impl Attribute {
+    /// The attribute's leading path ident (`derive`, `cfg`, `serde`...).
+    pub fn path_ident(&self) -> Option<&str> {
+        self.tokens.trees.first()?.as_ident()
+    }
+
+    /// Whether this is `#[cfg(test)]`.
+    pub fn is_cfg_test(&self) -> bool {
+        self.path_ident() == Some("cfg")
+            && self.tokens.trees.get(1).is_some_and(|t| {
+                t.as_group()
+                    .is_some_and(|g| g.stream.trees.iter().any(|t| t.is_ident("test")))
+            })
+    }
+}
+
+/// A top-level or nested item.
+#[derive(Debug, Clone)]
+pub enum Item {
+    /// A free function or method.
+    Fn(ItemFn),
+    /// An `impl` block.
+    Impl(ItemImpl),
+    /// An inline or out-of-line module.
+    Mod(ItemMod),
+    /// A struct declaration.
+    Struct(ItemStruct),
+    /// An enum declaration.
+    Enum(ItemEnum),
+    /// A trait declaration (default method bodies are parsed).
+    Trait(ItemTrait),
+    /// Anything else (consts, statics, uses, macros, type aliases),
+    /// kept as raw tokens.
+    Verbatim(TokenStream),
+}
+
+/// A function item. `block` is `None` for bodiless trait/extern sigs.
+#[derive(Debug, Clone)]
+pub struct ItemFn {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// Whether the function is `pub`.
+    pub vis_pub: bool,
+    /// The function name.
+    pub ident: String,
+    /// Signature tokens between the name and the body (generics,
+    /// arguments, return type, where clause).
+    pub sig: TokenStream,
+    /// The body tokens, if the function has a body.
+    pub block: Option<TokenStream>,
+    /// Source line of the `fn` keyword.
+    pub line: usize,
+}
+
+impl ItemFn {
+    /// The argument-list group from the signature, if present.
+    pub fn inputs(&self) -> Option<&TokenStream> {
+        self.sig.trees.iter().find_map(|t| {
+            t.as_group()
+                .filter(|g| g.delimiter == Delimiter::Parenthesis)
+                .map(|g| &g.stream)
+        })
+    }
+}
+
+/// An `impl` block.
+#[derive(Debug, Clone)]
+pub struct ItemImpl {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// Last path segment of the implemented trait, for `impl Trait for`.
+    pub trait_name: Option<String>,
+    /// Last path segment of the self type.
+    pub self_ty: String,
+    /// Items inside the block (functions, consts, ...).
+    pub items: Vec<Item>,
+    /// Source line of the `impl` keyword.
+    pub line: usize,
+}
+
+/// A module. `content` is `None` for `mod name;` out-of-line modules.
+#[derive(Debug, Clone)]
+pub struct ItemMod {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// The module name.
+    pub ident: String,
+    /// Inline module contents, if any.
+    pub content: Option<Vec<Item>>,
+    /// Source line of the `mod` keyword.
+    pub line: usize,
+}
+
+/// A struct declaration.
+#[derive(Debug, Clone)]
+pub struct ItemStruct {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// Whether the struct is `pub`.
+    pub vis_pub: bool,
+    /// The struct name.
+    pub ident: String,
+    /// Generics, fields, and where clause as raw tokens.
+    pub body: TokenStream,
+    /// Source line of the `struct` keyword.
+    pub line: usize,
+}
+
+/// An enum declaration.
+#[derive(Debug, Clone)]
+pub struct ItemEnum {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// Whether the enum is `pub`.
+    pub vis_pub: bool,
+    /// The enum name.
+    pub ident: String,
+    /// Generics and variants as raw tokens.
+    pub body: TokenStream,
+    /// Source line of the `enum` keyword.
+    pub line: usize,
+}
+
+/// A trait declaration.
+#[derive(Debug, Clone)]
+pub struct ItemTrait {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// The trait name.
+    pub ident: String,
+    /// Items inside the trait (method sigs and default bodies).
+    pub items: Vec<Item>,
+    /// Source line of the `trait` keyword.
+    pub line: usize,
+}
+
+/// Parses a whole source file.
+pub fn parse_file(src: &str) -> Result<File, Error> {
+    let stream = crate::lex::lex(src)?;
+    let mut p = Parser {
+        toks: stream.trees,
+        pos: 0,
+    };
+    let attrs = p.inner_attrs();
+    let items = p.items()?;
+    Ok(File { attrs, items })
+}
+
+struct Parser {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self, ahead: usize) -> Option<&TokenTree> {
+        self.toks.get(self.pos + ahead)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn line(&self) -> usize {
+        self.peek(0).map_or(0, TokenTree::line)
+    }
+
+    /// `#![...]` inner attributes at the start of a stream.
+    fn inner_attrs(&mut self) -> Vec<Attribute> {
+        let mut attrs = Vec::new();
+        while self.peek(0).is_some_and(|t| t.is_punct('#'))
+            && self.peek(1).is_some_and(|t| t.is_punct('!'))
+            && self.peek(2).is_some_and(|t| {
+                t.as_group()
+                    .is_some_and(|g| g.delimiter == Delimiter::Bracket)
+            })
+        {
+            let line = self.line();
+            self.bump();
+            self.bump();
+            if let Some(TokenTree::Group(g)) = self.bump() {
+                attrs.push(Attribute {
+                    tokens: g.stream,
+                    line,
+                });
+            }
+        }
+        attrs
+    }
+
+    /// `#[...]` outer attributes.
+    fn outer_attrs(&mut self) -> Vec<Attribute> {
+        let mut attrs = Vec::new();
+        while self.peek(0).is_some_and(|t| t.is_punct('#'))
+            && self.peek(1).is_some_and(|t| {
+                t.as_group()
+                    .is_some_and(|g| g.delimiter == Delimiter::Bracket)
+            })
+        {
+            let line = self.line();
+            self.bump();
+            if let Some(TokenTree::Group(g)) = self.bump() {
+                attrs.push(Attribute {
+                    tokens: g.stream,
+                    line,
+                });
+            }
+        }
+        attrs
+    }
+
+    fn items(&mut self) -> Result<Vec<Item>, Error> {
+        let mut items = Vec::new();
+        while self.peek(0).is_some() {
+            items.push(self.item()?);
+        }
+        Ok(items)
+    }
+
+    fn item(&mut self) -> Result<Item, Error> {
+        let attrs = self.outer_attrs();
+        let mut vis_pub = false;
+        if self.peek(0).is_some_and(|t| t.is_ident("pub")) {
+            vis_pub = true;
+            self.bump();
+            // pub(crate), pub(super), ...
+            if self.peek(0).is_some_and(|t| {
+                t.as_group()
+                    .is_some_and(|g| g.delimiter == Delimiter::Parenthesis)
+            }) {
+                self.bump();
+            }
+        }
+        // Function qualifiers: const/async/unsafe/extern "C" before `fn`.
+        let mut ahead = 0;
+        loop {
+            match self.peek(ahead).and_then(TokenTree::as_ident) {
+                Some("const" | "async" | "unsafe" | "extern") => {
+                    ahead += 1;
+                    if matches!(self.peek(ahead), Some(TokenTree::Literal(_))) {
+                        ahead += 1; // the "C" in extern "C"
+                    }
+                }
+                _ => break,
+            }
+        }
+        let is_fn = self.peek(ahead).is_some_and(|t| t.is_ident("fn"));
+        let kw = self.peek(0).and_then(TokenTree::as_ident).map(String::from);
+        match kw.as_deref() {
+            _ if is_fn => {
+                for _ in 0..ahead {
+                    self.bump();
+                }
+                self.item_fn(attrs, vis_pub)
+            }
+            Some("impl") => self.item_impl(attrs),
+            Some("mod") => self.item_mod(attrs),
+            Some("struct") => self.item_struct(attrs, vis_pub),
+            Some("union") => self.item_struct(attrs, vis_pub),
+            Some("enum") => self.item_enum(attrs, vis_pub),
+            Some("trait") => self.item_trait(attrs),
+            _ => Ok(Item::Verbatim(self.skip_verbatim())),
+        }
+    }
+
+    /// Consumes a non-structural item. `use`/`const`/`static`/`type`
+    /// items run to their terminating `;` (initializer expressions may
+    /// contain `<<` shifts and `{...}` literals, so no angle tracking
+    /// and no brace-body cutoff). Everything else (extern blocks,
+    /// macro_rules!, `foo! { ... }` invocations) ends at the first `;`
+    /// or top-level brace body.
+    fn skip_verbatim(&mut self) -> TokenStream {
+        let semicolon_only = matches!(
+            self.peek(0).and_then(TokenTree::as_ident),
+            Some("use" | "const" | "static" | "type")
+        );
+        let mut trees = Vec::new();
+        while let Some(t) = self.peek(0) {
+            if t.is_punct(';') {
+                if let Some(t) = self.bump() {
+                    trees.push(t);
+                }
+                break;
+            }
+            let is_body = !semicolon_only
+                && t.as_group()
+                    .is_some_and(|g| g.delimiter == Delimiter::Brace);
+            match self.bump() {
+                Some(t) => trees.push(t),
+                None => break,
+            }
+            if is_body {
+                break;
+            }
+        }
+        TokenStream { trees }
+    }
+
+    fn item_fn(&mut self, attrs: Vec<Attribute>, vis_pub: bool) -> Result<Item, Error> {
+        let line = self.line();
+        self.bump(); // `fn`
+        let ident = match self.bump() {
+            Some(TokenTree::Ident(i)) => i.text,
+            other => {
+                return Err(Error {
+                    line,
+                    msg: format!("expected fn name, found {other:?}"),
+                })
+            }
+        };
+        let mut sig = Vec::new();
+        let mut angle = Angle::default();
+        let mut block = None;
+        while let Some(t) = self.peek(0) {
+            if angle.depth == 0 {
+                if t.is_punct(';') {
+                    self.bump();
+                    break;
+                }
+                if let Some(g) = t.as_group().filter(|g| g.delimiter == Delimiter::Brace) {
+                    block = Some(g.stream.clone());
+                    self.bump();
+                    break;
+                }
+            }
+            match self.bump() {
+                Some(t) => {
+                    angle.feed(&t);
+                    sig.push(t);
+                }
+                None => break,
+            }
+        }
+        Ok(Item::Fn(ItemFn {
+            attrs,
+            vis_pub,
+            ident,
+            sig: TokenStream { trees: sig },
+            block,
+            line,
+        }))
+    }
+
+    fn item_impl(&mut self, attrs: Vec<Attribute>) -> Result<Item, Error> {
+        let line = self.line();
+        self.bump(); // `impl`
+        let mut header = Vec::new();
+        let mut angle = Angle::default();
+        let mut body = None;
+        while let Some(t) = self.peek(0) {
+            if angle.depth == 0 {
+                if let Some(g) = t.as_group().filter(|g| g.delimiter == Delimiter::Brace) {
+                    body = Some(g.stream.clone());
+                    self.bump();
+                    break;
+                }
+            }
+            match self.bump() {
+                Some(t) => {
+                    angle.feed(&t);
+                    header.push(t);
+                }
+                None => break,
+            }
+        }
+        let (trait_name, self_ty) = split_impl_header(&header);
+        let items = match body {
+            Some(stream) => {
+                let mut inner = Parser {
+                    toks: stream.trees,
+                    pos: 0,
+                };
+                inner.items()?
+            }
+            None => Vec::new(),
+        };
+        Ok(Item::Impl(ItemImpl {
+            attrs,
+            trait_name,
+            self_ty,
+            items,
+            line,
+        }))
+    }
+
+    fn item_mod(&mut self, attrs: Vec<Attribute>) -> Result<Item, Error> {
+        let line = self.line();
+        self.bump(); // `mod`
+        let ident = match self.bump() {
+            Some(TokenTree::Ident(i)) => i.text,
+            other => {
+                return Err(Error {
+                    line,
+                    msg: format!("expected mod name, found {other:?}"),
+                })
+            }
+        };
+        match self.peek(0) {
+            Some(TokenTree::Group(g)) if g.delimiter == Delimiter::Brace => {
+                let stream = g.stream.clone();
+                self.bump();
+                let mut inner = Parser {
+                    toks: stream.trees,
+                    pos: 0,
+                };
+                let _ = inner.inner_attrs();
+                let content = Some(inner.items()?);
+                Ok(Item::Mod(ItemMod {
+                    attrs,
+                    ident,
+                    content,
+                    line,
+                }))
+            }
+            _ => {
+                // `mod name;`
+                if self.peek(0).is_some_and(|t| t.is_punct(';')) {
+                    self.bump();
+                }
+                Ok(Item::Mod(ItemMod {
+                    attrs,
+                    ident,
+                    content: None,
+                    line,
+                }))
+            }
+        }
+    }
+
+    fn item_struct(&mut self, attrs: Vec<Attribute>, vis_pub: bool) -> Result<Item, Error> {
+        let line = self.line();
+        self.bump(); // `struct`
+        let ident = match self.bump() {
+            Some(TokenTree::Ident(i)) => i.text,
+            other => {
+                return Err(Error {
+                    line,
+                    msg: format!("expected struct name, found {other:?}"),
+                })
+            }
+        };
+        let body = self.skip_type_body();
+        Ok(Item::Struct(ItemStruct {
+            attrs,
+            vis_pub,
+            ident,
+            body,
+            line,
+        }))
+    }
+
+    fn item_enum(&mut self, attrs: Vec<Attribute>, vis_pub: bool) -> Result<Item, Error> {
+        let line = self.line();
+        self.bump(); // `enum`
+        let ident = match self.bump() {
+            Some(TokenTree::Ident(i)) => i.text,
+            other => {
+                return Err(Error {
+                    line,
+                    msg: format!("expected enum name, found {other:?}"),
+                })
+            }
+        };
+        let body = self.skip_type_body();
+        Ok(Item::Enum(ItemEnum {
+            attrs,
+            vis_pub,
+            ident,
+            body,
+            line,
+        }))
+    }
+
+    fn item_trait(&mut self, attrs: Vec<Attribute>) -> Result<Item, Error> {
+        let line = self.line();
+        self.bump(); // `trait`
+        let ident = match self.bump() {
+            Some(TokenTree::Ident(i)) => i.text,
+            other => {
+                return Err(Error {
+                    line,
+                    msg: format!("expected trait name, found {other:?}"),
+                })
+            }
+        };
+        let mut angle = Angle::default();
+        let mut body = None;
+        while let Some(t) = self.peek(0) {
+            if angle.depth == 0 {
+                if let Some(g) = t.as_group().filter(|g| g.delimiter == Delimiter::Brace) {
+                    body = Some(g.stream.clone());
+                    self.bump();
+                    break;
+                }
+            }
+            match self.bump() {
+                Some(t) => angle.feed(&t),
+                None => break,
+            }
+        }
+        let items = match body {
+            Some(stream) => {
+                let mut inner = Parser {
+                    toks: stream.trees,
+                    pos: 0,
+                };
+                inner.items()?
+            }
+            None => Vec::new(),
+        };
+        Ok(Item::Trait(ItemTrait {
+            attrs,
+            ident,
+            items,
+            line,
+        }))
+    }
+
+    /// Consumes a struct/enum body — generics, where clause, then either
+    /// a brace group, a paren group + `;` (tuple struct), or a bare `;` —
+    /// returning all of it as raw tokens.
+    fn skip_type_body(&mut self) -> TokenStream {
+        let mut trees = Vec::new();
+        let mut angle = Angle::default();
+        while let Some(t) = self.peek(0) {
+            if angle.depth == 0 {
+                if t.is_punct(';') {
+                    self.bump();
+                    break;
+                }
+                if t.as_group()
+                    .is_some_and(|g| g.delimiter == Delimiter::Brace)
+                {
+                    if let Some(t) = self.bump() {
+                        trees.push(t);
+                    }
+                    break;
+                }
+            }
+            match self.bump() {
+                Some(t) => {
+                    angle.feed(&t);
+                    trees.push(t);
+                }
+                None => break,
+            }
+        }
+        TokenStream { trees }
+    }
+}
+
+/// Angle-bracket depth tracking over generics in type position, with
+/// `->` arrows excluded (their `>` is not a closing angle).
+#[derive(Default)]
+struct Angle {
+    depth: usize,
+    prev_dash: bool,
+}
+
+impl Angle {
+    fn feed(&mut self, t: &TokenTree) {
+        match t.as_punct() {
+            Some('<') => {
+                self.depth += 1;
+                self.prev_dash = false;
+            }
+            Some('>') => {
+                if !self.prev_dash {
+                    self.depth = self.depth.saturating_sub(1);
+                }
+                self.prev_dash = false;
+            }
+            Some('-') => self.prev_dash = true,
+            _ => self.prev_dash = false,
+        }
+    }
+}
+
+/// Splits an impl header into (trait name, self type name): the last
+/// path ident at angle-depth 0 on each side of a depth-0 `for`.
+fn split_impl_header(header: &[TokenTree]) -> (Option<String>, String) {
+    let mut angle = Angle::default();
+    let mut before_for: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut seen_for = false;
+    let mut seen_where = false;
+    for t in header {
+        if angle.depth == 0 {
+            if t.is_ident("for") && !seen_for {
+                seen_for = true;
+                angle.feed(t);
+                continue;
+            }
+            if t.is_ident("where") {
+                seen_where = true;
+            }
+            if let Some(id) = t.as_ident() {
+                if !seen_where && id != "dyn" && id != "mut" && id != "for" {
+                    if seen_for {
+                        after_for = Some(id.to_string());
+                    } else {
+                        before_for = Some(id.to_string());
+                    }
+                }
+            }
+        }
+        angle.feed(t);
+    }
+    match (seen_for, before_for, after_for) {
+        (true, trait_name, Some(ty)) => (trait_name, ty),
+        (true, trait_name, None) => (trait_name, String::new()),
+        (false, Some(ty), _) => (None, ty),
+        (false, None, _) => (None, String::new()),
+    }
+}

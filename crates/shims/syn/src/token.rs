@@ -1,0 +1,169 @@
+//! The token model: a lossy-but-faithful token-tree representation of
+//! Rust source. Comments and whitespace are dropped; every remaining
+//! token keeps its 1-based source line so lint findings stay clickable.
+
+use std::fmt;
+
+/// Bracket kind of a [`Group`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delimiter {
+    /// `( ... )`
+    Parenthesis,
+    /// `{ ... }`
+    Brace,
+    /// `[ ... ]`
+    Bracket,
+}
+
+/// A delimited subtree.
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// Which bracket pair delimits the subtree.
+    pub delimiter: Delimiter,
+    /// The tokens between the brackets.
+    pub stream: TokenStream,
+    /// Line of the opening bracket.
+    pub line: usize,
+}
+
+/// An identifier or keyword (keywords are not distinguished lexically).
+#[derive(Debug, Clone)]
+pub struct Ident {
+    /// The identifier text, without any `r#` raw prefix.
+    pub text: String,
+    /// Source line.
+    pub line: usize,
+}
+
+/// A single punctuation character. Multi-character operators (`::`,
+/// `->`, `=>`) appear as consecutive `Punct` tokens.
+#[derive(Debug, Clone)]
+pub struct Punct {
+    /// The character.
+    pub ch: char,
+    /// Source line.
+    pub line: usize,
+}
+
+/// A literal: string, byte string, char, byte, or number, kept verbatim.
+#[derive(Debug, Clone)]
+pub struct Literal {
+    /// The literal text exactly as written (including quotes/prefixes).
+    pub text: String,
+    /// Source line.
+    pub line: usize,
+}
+
+/// One node of the token tree.
+#[derive(Debug, Clone)]
+pub enum TokenTree {
+    /// A delimited subtree.
+    Group(Group),
+    /// An identifier or keyword.
+    Ident(Ident),
+    /// A punctuation character.
+    Punct(Punct),
+    /// A literal.
+    Literal(Literal),
+}
+
+impl TokenTree {
+    /// Source line of the token (opening bracket for groups).
+    pub fn line(&self) -> usize {
+        match self {
+            TokenTree::Group(g) => g.line,
+            TokenTree::Ident(i) => i.line,
+            TokenTree::Punct(p) => p.line,
+            TokenTree::Literal(l) => l.line,
+        }
+    }
+
+    /// The identifier text, if this token is an identifier.
+    pub fn as_ident(&self) -> Option<&str> {
+        match self {
+            TokenTree::Ident(i) => Some(&i.text),
+            _ => None,
+        }
+    }
+
+    /// The punctuation character, if this token is punctuation.
+    pub fn as_punct(&self) -> Option<char> {
+        match self {
+            TokenTree::Punct(p) => Some(p.ch),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the given punctuation character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.as_punct() == Some(ch)
+    }
+
+    /// Whether this token is the given identifier.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.as_ident() == Some(text)
+    }
+
+    /// The group, if this token is a delimited subtree.
+    pub fn as_group(&self) -> Option<&Group> {
+        match self {
+            TokenTree::Group(g) => Some(g),
+            _ => None,
+        }
+    }
+}
+
+/// A flat sequence of token trees.
+#[derive(Debug, Clone, Default)]
+pub struct TokenStream {
+    /// The trees, in source order.
+    pub trees: Vec<TokenTree>,
+}
+
+impl TokenStream {
+    /// Whether the stream holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Iterates the top-level trees (no descent into groups).
+    pub fn iter(&self) -> std::slice::Iter<'_, TokenTree> {
+        self.trees.iter()
+    }
+
+    /// Visits every token in the stream, descending into groups in
+    /// source order. The callback receives each tree exactly once;
+    /// groups are visited before their contents.
+    pub fn visit(&self, f: &mut dyn FnMut(&TokenTree)) {
+        for t in &self.trees {
+            f(t);
+            if let TokenTree::Group(g) = t {
+                g.stream.visit(f);
+            }
+        }
+    }
+}
+
+impl fmt::Display for TokenStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, t) in self.trees.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            match t {
+                TokenTree::Group(g) => {
+                    let (open, close) = match g.delimiter {
+                        Delimiter::Parenthesis => ('(', ')'),
+                        Delimiter::Brace => ('{', '}'),
+                        Delimiter::Bracket => ('[', ']'),
+                    };
+                    write!(f, "{open}{}{close}", g.stream)?;
+                }
+                TokenTree::Ident(i) => write!(f, "{}", i.text)?,
+                TokenTree::Punct(p) => write!(f, "{}", p.ch)?,
+                TokenTree::Literal(l) => write!(f, "{}", l.text)?,
+            }
+        }
+        Ok(())
+    }
+}

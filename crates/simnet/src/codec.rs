@@ -72,10 +72,14 @@ impl std::error::Error for CodecError {}
 /// Serializes `value` into a fresh byte buffer.
 pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Vec<u8> {
     let mut ser = BinSerializer { buf: Vec::new() };
-    // The binary serializer never fails: it only appends to a Vec.
-    value
-        .serialize(&mut ser)
-        .expect("binary serialization is infallible");
+    // Encoding fails only for a sequence longer than `u32::MAX` elements,
+    // which could never fit inside a MAX_FRAME-capped frame anyway. An
+    // empty buffer is returned so the failure surfaces as a framing /
+    // decode error instead of a crash in the send path.
+    if value.serialize(&mut ser).is_err() {
+        debug_assert!(false, "unencodable value: sequence longer than u32::MAX");
+        return Vec::new();
+    }
     ser.buf
 }
 
@@ -119,14 +123,13 @@ impl Serializer for BinSerializer {
         Ok(())
     }
     fn ser_str(&mut self, v: &str) -> Result<(), CodecError> {
-        self.write_len(v.len());
+        self.write_len(v.len())?;
         self.buf.extend_from_slice(v.as_bytes());
         Ok(())
     }
 
     fn begin_seq(&mut self, len: usize) -> Result<(), CodecError> {
-        self.write_len(len);
-        Ok(())
+        self.write_len(len)
     }
     fn seq_element(&mut self) -> Result<(), CodecError> {
         Ok(())
@@ -170,9 +173,11 @@ impl Serializer for BinSerializer {
 }
 
 impl BinSerializer {
-    fn write_len(&mut self, len: usize) {
-        let len = u32::try_from(len).expect("sequence longer than u32::MAX");
+    fn write_len(&mut self, len: usize) -> Result<(), CodecError> {
+        let len =
+            u32::try_from(len).map_err(|_| CodecError::Invalid("sequence longer than u32::MAX"))?;
         self.buf.extend_from_slice(&len.to_le_bytes());
+        Ok(())
     }
 }
 
@@ -185,16 +190,21 @@ pub struct BinDeserializer<'a> {
 impl<'a> BinDeserializer<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
         let end = self.pos.checked_add(n).ok_or(CodecError::Eof)?;
-        if end > self.bytes.len() {
-            return Err(CodecError::Eof);
-        }
-        let slice = &self.bytes[self.pos..end];
+        let slice = self.bytes.get(self.pos..end).ok_or(CodecError::Eof)?;
         self.pos = end;
         Ok(slice)
     }
 
+    /// Takes exactly `N` bytes as an array; the fixed-width integer and
+    /// float decoders build on this so no `try_into().unwrap()` sits in
+    /// the hostile-byte path.
+    fn take_arr<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        let slice = self.take(N)?;
+        <[u8; N]>::try_from(slice).map_err(|_| CodecError::Eof)
+    }
+
     fn read_len(&mut self) -> Result<usize, CodecError> {
-        let raw = u32::from_le_bytes(self.take(4)?.try_into().unwrap()) as usize;
+        let raw = u32::from_le_bytes(self.take_arr()?) as usize;
         // Every string byte and sequence element costs at least one input
         // byte, so a declared length beyond the remaining input can never
         // complete. Rejecting it here keeps hostile prefixes from sizing
@@ -214,23 +224,24 @@ impl Deserializer for BinDeserializer<'_> {
     type Error = CodecError;
 
     fn de_bool(&mut self) -> Result<bool, CodecError> {
-        match self.take(1)?[0] {
+        let [byte] = self.take_arr()?;
+        match byte {
             0 => Ok(false),
             1 => Ok(true),
             _ => Err(CodecError::Invalid("bool byte")),
         }
     }
     fn de_u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_arr()?))
     }
     fn de_i64(&mut self) -> Result<i64, CodecError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(self.take_arr()?))
     }
     fn de_f32(&mut self) -> Result<f32, CodecError> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(f32::from_le_bytes(self.take_arr()?))
     }
     fn de_f64(&mut self) -> Result<f64, CodecError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(self.take_arr()?))
     }
     fn de_string(&mut self) -> Result<String, CodecError> {
         let len = self.read_len()?;
@@ -263,7 +274,7 @@ impl Deserializer for BinDeserializer<'_> {
         _name: &'static str,
         variants: &'static [&'static str],
     ) -> Result<u32, CodecError> {
-        let index = u32::from_le_bytes(self.take(4)?.try_into().unwrap());
+        let index = u32::from_le_bytes(self.take_arr()?);
         if (index as usize) < variants.len() {
             Ok(index)
         } else {
@@ -275,7 +286,8 @@ impl Deserializer for BinDeserializer<'_> {
     }
 
     fn de_option(&mut self) -> Result<bool, CodecError> {
-        match self.take(1)?[0] {
+        let [byte] = self.take_arr()?;
+        match byte {
             0 => Ok(false),
             1 => Ok(true),
             _ => Err(CodecError::Invalid("option byte")),
@@ -324,17 +336,17 @@ impl FrameBuffer {
 
     /// Pops the next complete frame, if one is buffered.
     pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, CodecError> {
-        if self.buf.len() < 4 {
+        let Some(header) = self.buf.first_chunk::<4>() else {
             return Ok(None);
-        }
-        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap()) as usize;
+        };
+        let len = u32::from_le_bytes(*header) as usize;
         if len > MAX_FRAME {
             return Err(CodecError::Invalid("frame exceeds MAX_FRAME"));
         }
-        if self.buf.len() < 4 + len {
+        let Some(payload) = self.buf.get(4..4 + len) else {
             return Ok(None);
-        }
-        let frame = self.buf[4..4 + len].to_vec();
+        };
+        let frame = payload.to_vec();
         self.buf.drain(..4 + len);
         Ok(Some(frame))
     }

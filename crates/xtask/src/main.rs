@@ -1,138 +1,80 @@
-//! Workspace lint tasks. The only task today is the **wire-surface
-//! lint** (`cargo run -p xtask` or `cargo run -p xtask -- wire-lint`):
+//! Workspace lint tasks, all backed by the `p2pfl-lint` syn AST walk:
 //!
-//! Every wire-facing type — an enum or struct that crosses a socket or a
-//! storage file — must (a) carry `serde::Serialize` *and*
-//! `serde::Deserialize` derives, and (b) appear in a registered
-//! round-trip test file, so a type added to the wire surface without a
-//! codec round-trip test fails CI instead of failing in production.
+//! * `cargo run -p xtask -- wire-lint` — the wire-surface lint: every
+//!   wire-facing type must carry both serde derives and appear in a
+//!   registered codec round-trip test file.
+//! * `cargo run -p xtask -- lint` — the protocol static-analysis pass:
+//!   sans-IO purity, wire-path panic-freedom (call graph from the
+//!   hostile-input roots), secret-flow confinement in `p2pfl-secagg`,
+//!   and the pinned security-fix patterns, governed by the audited
+//!   allowlist in `p2pfl-lint::allow`.
 //!
-//! "Wire-facing" is decided textually (the workspace has no `syn`):
-//! any `pub enum`/`pub struct` whose name ends in `Msg`, plus the
-//! explicit manifest below of payload and persistence types. The scanner
-//! walks `crates/*/src`, skipping the vendored shims and this crate.
+//! Both are CI gates (see `ci.sh`); a non-empty report exits 1.
 
 #![forbid(unsafe_code)]
 
-use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
-
-/// Types that cross the wire or the storage layer without a `Msg` suffix.
-/// Grow this list when adding a new payload/persistence type.
-const EXTRA_WIRE_TYPES: &[&str] = &[
-    "Blob",         // simnet's generic payload
-    "NodeId",       // embedded in every routed message
-    "TimerId",      // persisted inside simnet traces
-    "Entry",        // raft log entries, shipped in AppendEntries
-    "LogCmd",       // command half of an entry
-    "PersistOp",    // raft write-ahead records (FileStorage)
-    "FedConfig",    // replicated FedAvg-layer membership
-    "SubCmd",       // subgroup log commands
-    "SubMembers",   // replicated aggregation roster (self-healing)
-    "SacEngine",    // engine selector, replicated inside FedConfig
-    "WeightVector", // SAC share payloads
-    "FaultPlan",    // declarative fault schedules (chaos + check replay)
-    "FaultEntry",
-    "FaultAction",
-    "PoisonMode",     // Byzantine update-poisoning selector inside FaultAction
-    "RobustCombiner", // combining rule selector, replicated inside FedConfig
-    "CxStep",         // p2pfl-check counterexample schedules (JSON)
-    "Counterexample", // ditto
-];
-
-/// Files in which a wire type must be mentioned to count as having a
-/// registered round-trip test.
-const REGISTRIES: &[&str] = &[
-    "crates/net/tests/codec_props.rs", // binary codec round-trips
-    "crates/check/src/schedule.rs",    // counterexample JSON round-trips
-];
-
-/// Source trees the scanner skips: vendored shims (external API surface,
-/// not ours) and this crate.
-const SKIP_DIRS: &[&str] = &["crates/shims", "crates/xtask"];
-
-struct Decl {
-    file: PathBuf,
-    line: usize,
-    name: String,
-    has_serde: bool,
-}
 
 fn main() {
     let mode = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "wire-lint".into());
-    if mode != "wire-lint" {
-        eprintln!("unknown xtask '{mode}' (available: wire-lint)");
-        std::process::exit(2);
-    }
     let root = workspace_root();
-    let mut files = Vec::new();
-    for entry in std::fs::read_dir(root.join("crates")).expect("read crates/") {
-        let dir = entry.expect("dir entry").path();
-        if SKIP_DIRS
-            .iter()
-            .any(|s| dir.ends_with(Path::new(s).file_name().unwrap()))
-        {
-            continue;
-        }
-        collect_rs(&dir.join("src"), &mut files);
-    }
-    files.sort();
-
-    let mut decls = Vec::new();
-    for f in &files {
-        let src = std::fs::read_to_string(f).expect("read source file");
-        scan_file(f, &src, &mut decls);
-    }
-
-    let registries: Vec<String> = REGISTRIES
-        .iter()
-        .map(|r| std::fs::read_to_string(root.join(r)).unwrap_or_default())
-        .collect();
-
-    let mut report = String::new();
-    let mut checked = 0;
-    for d in &decls {
-        checked += 1;
-        let rel = d.file.strip_prefix(&root).unwrap_or(&d.file).display();
-        if !d.has_serde {
-            writeln!(
-                report,
-                "{rel}:{}: wire type `{}` lacks serde::Serialize / serde::Deserialize derives",
-                d.line, d.name
-            )
-            .unwrap();
-        }
-        if !registries.iter().any(|r| r.contains(&d.name)) {
-            writeln!(
-                report,
-                "{rel}:{}: wire type `{}` has no registered round-trip test (add one to {})",
-                d.line,
-                d.name,
-                REGISTRIES.join(" or ")
-            )
-            .unwrap();
+    match mode.as_str() {
+        "wire-lint" => wire_lint(&root),
+        "lint" => protocol_lint(&root),
+        _ => {
+            eprintln!("unknown xtask '{mode}' (available: wire-lint, lint)");
+            std::process::exit(2);
         }
     }
+}
 
-    // The lint must actually be looking at the protocol: if the scanner
-    // stops finding the known message enums, that is a lint bug, not a
-    // clean pass.
-    for must in ["RaftMsg", "SacMsg", "HierMsg"] {
-        if !decls.iter().any(|d| d.name == must) {
-            writeln!(report, "lint self-check: scanner no longer finds `{must}`").unwrap();
+fn wire_lint(root: &Path) {
+    let report = match p2pfl_lint::wire::run_at(root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("wire-lint: cannot load workspace: {e}");
+            std::process::exit(1);
         }
-    }
-
-    if report.is_empty() {
+    };
+    if report.findings.is_empty() {
         println!(
-            "wire-lint: {checked} wire-facing types OK ({} files scanned)",
-            files.len()
+            "wire-lint: {} wire-facing types OK ({} files scanned)",
+            report.checked, report.files_scanned
         );
     } else {
-        eprint!("{report}");
+        for f in &report.findings {
+            eprintln!("{f}");
+        }
         eprintln!("wire-lint: FAILED");
+        std::process::exit(1);
+    }
+}
+
+fn protocol_lint(root: &Path) {
+    let report = match p2pfl_lint::run_at(root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint: cannot load workspace: {e}");
+            std::process::exit(1);
+        }
+    };
+    for (f, why) in &report.suppressed {
+        println!("lint: allowed  {f}\n      justification: {why}");
+    }
+    if report.is_clean() {
+        println!(
+            "lint: OK — {} files, {} wire-reachable fns, {} allowlisted",
+            report.files_scanned,
+            report.reachable_fns,
+            report.suppressed.len()
+        );
+    } else {
+        for f in &report.findings {
+            eprintln!("{f}");
+        }
+        eprintln!("lint: FAILED ({} findings)", report.findings.len());
         std::process::exit(1);
     }
 }
@@ -145,81 +87,5 @@ fn workspace_root() -> PathBuf {
             return dir;
         }
         assert!(dir.pop(), "not inside the workspace");
-    }
-}
-
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for e in entries.flatten() {
-        let p = e.path();
-        if p.is_dir() {
-            collect_rs(&p, out);
-        } else if p.extension().is_some_and(|x| x == "rs") {
-            out.push(p);
-        }
-    }
-}
-
-/// Extracts the type name from a `pub enum Foo<T> {` / `pub struct Foo(`
-/// declaration line.
-fn decl_name(line: &str) -> Option<String> {
-    let rest = line
-        .trim_start()
-        .strip_prefix("pub enum ")
-        .or_else(|| line.trim_start().strip_prefix("pub struct "))?;
-    let name: String = rest
-        .chars()
-        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-        .collect();
-    (!name.is_empty()).then_some(name)
-}
-
-fn is_wire_type(name: &str) -> bool {
-    name.ends_with("Msg") || EXTRA_WIRE_TYPES.contains(&name)
-}
-
-/// Whether the attribute block immediately above `lines[idx]` mentions
-/// both serde derives. Walks upward over attributes, their continuation
-/// lines, and doc comments.
-fn serde_derived(lines: &[&str], idx: usize) -> bool {
-    let mut text = String::new();
-    let mut i = idx;
-    while i > 0 {
-        i -= 1;
-        let t = lines[i].trim();
-        let attrish = t.starts_with("#[")
-            || t.starts_with("///")
-            || t.starts_with("//")
-            || t.starts_with(")]")
-            || t.ends_with(',')
-            || t.ends_with("(");
-        if t.is_empty() || !attrish {
-            break;
-        }
-        text.push_str(t);
-        text.push('\n');
-    }
-    text.contains("Serialize") && text.contains("Deserialize")
-}
-
-fn scan_file(file: &Path, src: &str, out: &mut Vec<Decl>) {
-    let lines: Vec<&str> = src.lines().collect();
-    for (i, line) in lines.iter().enumerate() {
-        // Skip declarations inside test modules: scanner-level heuristic —
-        // test-only types are not wire surface.
-        let Some(name) = decl_name(line) else {
-            continue;
-        };
-        if !is_wire_type(&name) {
-            continue;
-        }
-        out.push(Decl {
-            file: file.to_path_buf(),
-            line: i + 1,
-            name,
-            has_serde: serde_derived(&lines, i),
-        });
     }
 }
