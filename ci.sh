@@ -32,9 +32,9 @@ cargo run --release -p p2pfl-check --bin explore -- --ci
 echo "==> p2pfl-check: mutation self-check (seeded mutants must be caught)"
 cargo run --release -p p2pfl-check --features mutants --bin mutation_check
 
-echo "==> loom models over the hub's shared state"
+echo "==> loom models over the hub's and reactor's shared state"
 RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom \
-    cargo test -p p2pfl-net --test loom_hub -q
+    cargo test -p p2pfl-net --test loom_hub --test loom_reactor -q
 
 # Sanitizers (nightly-only, soft gates). ThreadSanitizer needs an
 # *instrumented* std (-Zbuild-std, which needs the rust-src component):
@@ -104,5 +104,23 @@ if [ -f BENCH_hotpath.json ]; then
 else
     echo "==> perf gate: SKIPPED (no BENCH_hotpath.json baseline checked in)"
 fi
+
+# Scale gate: quick two-layer round (64 peers on the async reactor)
+# digest-checked against the simulator twin and compared against the
+# checked-in 1000-peer baseline's _quick entries; fails on a >2x median
+# regression above an absolute 250ms floor (1-core scheduler noise).
+# Refresh after an intentional change with the full run on a quiet
+# machine: cargo run --release -p p2pfl-bench --bin scale
+if [ -f BENCH_scale.json ]; then
+    echo "==> scale gate (scale --quick vs BENCH_scale.json)"
+    mkdir -p target/bench
+    cargo run --release -p p2pfl-bench --bin scale -- \
+        --quick --baseline BENCH_scale.json --out target/bench/scale_quick.json
+else
+    echo "==> scale gate: SKIPPED (no BENCH_scale.json baseline checked in)"
+fi
+
+echo "==> scale chaos soak (fault-injected round + connection massacre, digest-checked)"
+cargo run --release -p p2pfl-bench --bin scale -- --quick --soak --out target/bench/scale_soak.json
 
 echo "ci: all green"

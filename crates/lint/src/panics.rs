@@ -77,6 +77,9 @@ impl Config {
                 root_fn("net", "writer_loop"),
                 root_fn("net", "event_loop"),
                 root_fn("net", "parse_hello"),
+                // The async reactor's single event loop: every byte any
+                // peer sends is processed inside this call tree.
+                root_fn("net", "reactor_loop"),
                 // Actor callbacks: every message a peer sends lands here.
                 root_cb("on_start"),
                 root_cb("on_message"),
@@ -102,10 +105,15 @@ impl Config {
                 // still tracked via `Type::method(...)` path calls.
                 "sum", "get", "insert", "push", "extend", "take", "len", "is_empty", "contains",
                 "remove", "iter", "next", "clone", "min", "max", "abs",
+                // std collisions hit by the reactor: `str::parse` and
+                // poller/condvar `wait` vs Args/Json::parse and
+                // Deployment::wait (all path-called where it matters).
+                "parse", "wait",
             ],
             required_roots: vec![
                 "BinDeserializer::take",
                 "FrameBuffer::next_frame",
+                "reactor_loop",
                 "RaftNode::handle",
                 "SacPeerActor::on_message",
                 "RingSacActor::on_message",

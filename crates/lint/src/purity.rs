@@ -17,6 +17,20 @@ use crate::{Finding, Rule};
 /// Crates whose `src` must stay sans-IO end to end.
 pub const PURITY_CRATES: &[&str] = &["raft", "hierraft", "secagg", "fed", "simnet", "check"];
 
+/// Individual files inside IO crates that must nonetheless stay pure.
+/// The async reactor keeps its bounded send queue and timer wheel free
+/// of clocks/sockets so their behaviour is testable (and loom-checkable)
+/// without a live reactor; the IO lives in `mod.rs`/`conn.rs`/`sys.rs`.
+pub const PURITY_FILES: &[&str] = &[
+    "crates/net/src/reactor/queue.rs",
+    "crates/net/src/reactor/timer.rs",
+];
+
+fn in_scope(file: &crate::walk::SourceFile) -> bool {
+    PURITY_CRATES.contains(&file.crate_name.as_str())
+        || PURITY_FILES.contains(&file.rel_path.as_str())
+}
+
 /// Identifiers that reach nondeterminism no matter how they are pathed.
 const BANNED_IDENTS: &[(&str, &str)] = &[
     ("Instant", "wall clock (breaks deterministic replay)"),
@@ -38,11 +52,17 @@ const BANNED_PATHS: &[(&str, &str)] = &[("std", "net"), ("std", "thread")];
 pub fn check(ws: &Workspace) -> Vec<Finding> {
     let mut findings = Vec::new();
     let mut seen_protocol_file = false;
+    let mut seen_files: Vec<&str> = Vec::new();
     for f in ws.functions() {
-        if !PURITY_CRATES.contains(&f.file.crate_name.as_str()) || f.test_only || f.file.is_bin() {
+        if !in_scope(f.file) || f.test_only || f.file.is_bin() {
             continue;
         }
         seen_protocol_file = true;
+        if PURITY_FILES.contains(&f.file.rel_path.as_str())
+            && !seen_files.contains(&f.file.rel_path.as_str())
+        {
+            seen_files.push(f.file.rel_path.as_str());
+        }
         let mut hits = Vec::new();
         scan_stream(&f.f.sig, &mut hits);
         if let Some(block) = &f.f.block {
@@ -61,7 +81,7 @@ pub fn check(ws: &Workspace) -> Vec<Finding> {
     // Type bodies and verbatim items (consts, statics) can smuggle the
     // same nondeterminism in field types or initializers.
     for file in &ws.files {
-        if !PURITY_CRATES.contains(&file.crate_name.as_str()) || file.is_bin() {
+        if !in_scope(file) || file.is_bin() {
             continue;
         }
         scan_non_fn_items(&file.ast.items, false, &mut |item, stream| {
@@ -86,6 +106,22 @@ pub fn check(ws: &Workspace) -> Vec<Finding> {
             item: "purity".to_string(),
             msg: "purity rule scanned no protocol functions — scope rot".to_string(),
         });
+    }
+    // Pinned pure files must actually be scanned — a rename would
+    // otherwise silently drop them from the rule's scope. Only enforced
+    // when the owning crate is present (fixture workspaces are partial).
+    if ws.files.iter().any(|f| f.crate_name == "net") {
+        for want in PURITY_FILES {
+            if !seen_files.contains(want) {
+                findings.push(Finding {
+                    rule: Rule::SelfCheck,
+                    file: (*want).to_string(),
+                    line: 0,
+                    item: "purity".to_string(),
+                    msg: "pinned pure file scanned no functions — scope rot".to_string(),
+                });
+            }
+        }
     }
     findings
 }

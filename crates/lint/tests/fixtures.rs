@@ -96,6 +96,71 @@ fn purity_allows_seeded_rng_and_test_code() {
     );
 }
 
+#[test]
+fn purity_covers_pinned_reactor_files_in_io_crate() {
+    // queue.rs is pinned pure even though `net` as a crate does IO.
+    let ws = ws(&[
+        (
+            "net",
+            "crates/net/src/reactor/queue.rs",
+            r#"
+            pub fn bad_clock() -> u64 {
+                let _ = std::time::Instant::now();
+                0
+            }
+            "#,
+        ),
+        (
+            "net",
+            "crates/net/src/reactor/timer.rs",
+            r#"
+            pub fn pure_wheel(deadline_ns: u64) -> u64 {
+                deadline_ns / 2
+            }
+            "#,
+        ),
+        // A non-pinned net file with IO stays out of scope.
+        (
+            "net",
+            "crates/net/src/reactor/conn.rs",
+            r#"
+            pub fn io_is_fine() {
+                let _ = std::time::Instant::now();
+            }
+            "#,
+        ),
+    ]);
+    let findings = purity::check(&ws);
+    let hits = rule_findings(&findings, Rule::Purity);
+    assert_eq!(
+        hits.len(),
+        1,
+        "only the pinned queue.rs fires: {findings:?}"
+    );
+    assert!(hits[0].file.ends_with("queue.rs"));
+    assert!(hits[0].msg.contains("Instant"));
+}
+
+#[test]
+fn purity_reports_scope_rot_when_pinned_reactor_file_vanishes() {
+    // `net` crate present but the pinned files are missing (renamed
+    // away) — the rule must flag scope rot, not pass silently.
+    let ws = ws(&[(
+        "net",
+        "crates/net/src/lib.rs",
+        r#"
+        pub fn io_is_fine() {}
+        "#,
+    )]);
+    let findings = purity::check(&ws);
+    let rot = rule_findings(&findings, Rule::SelfCheck);
+    assert!(
+        rot.iter().any(|f| f.file.ends_with("queue.rs"))
+            && rot.iter().any(|f| f.file.ends_with("timer.rs")),
+        "missing pinned files must surface as scope rot: {findings:?}"
+    );
+}
+
 // ---------------------------------------------------------------------
 // Rule 2: wire-path panic-freedom
 // ---------------------------------------------------------------------

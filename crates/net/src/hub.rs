@@ -311,7 +311,7 @@ impl Drop for Hub {
     }
 }
 
-fn hello_frame(id: NodeId) -> Vec<u8> {
+pub(crate) fn hello_frame(id: NodeId) -> Vec<u8> {
     let mut payload = Vec::with_capacity(9);
     payload.extend_from_slice(HELLO_MAGIC);
     payload.push(HELLO_VERSION);
@@ -319,7 +319,7 @@ fn hello_frame(id: NodeId) -> Vec<u8> {
     payload
 }
 
-fn parse_hello(frame: &[u8]) -> Option<NodeId> {
+pub(crate) fn parse_hello(frame: &[u8]) -> Option<NodeId> {
     if frame.len() != 9 {
         return None;
     }
@@ -468,7 +468,7 @@ fn writer_loop(shared: Arc<Shared>, addr: Arc<Mutex<SocketAddr>>, rx: Receiver<W
 /// writers de-synchronize without a shared RNG, and a given (node,
 /// attempt) pair always jitters the same way — reconnect schedules stay
 /// reproducible across runs.
-fn backoff_jitter(id: NodeId, attempt: u64, base: Duration) -> Duration {
+pub(crate) fn backoff_jitter(id: NodeId, attempt: u64, base: Duration) -> Duration {
     let mut x = (id.0 as u64)
         .wrapping_mul(0x9e37_79b9_7f4a_7c15)
         .wrapping_add(attempt);

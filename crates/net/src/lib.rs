@@ -47,15 +47,21 @@
 //! b.with(|_, ctx| ctx.send(NodeId(0), Ping(1)));
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the reactor's epoll shim
+// (`reactor::sys`) is the one module allowed to opt back in — every
+// other module stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod codec;
+mod fault;
 pub mod hub;
+pub mod reactor;
 pub mod registry;
 pub mod runtime;
 mod sync;
 
 pub use codec::{from_bytes, to_bytes, CodecError, FrameBuffer, MAX_FRAME};
 pub use hub::{Hub, NetEvent, NetStats};
+pub use reactor::{PeerHandle, Reactor, ReactorConfig};
 pub use runtime::{PeerRuntime, WireMsg};

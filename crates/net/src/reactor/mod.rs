@@ -1,0 +1,1496 @@
+//! Single-reactor async peer runtime: many actors, one epoll loop.
+//!
+//! The threaded [`PeerRuntime`](crate::PeerRuntime) spends ~4 OS threads
+//! per peer (event loop, accept, readers, writers), which tops out around
+//! a hundred peers on one machine. The [`Reactor`] hosts *hundreds* of
+//! sans-IO actors on **one** thread driving an epoll readiness loop
+//! ([`sys`]), with:
+//!
+//! * **One shared listener** fronting every hosted peer. The v2 hello
+//!   ([`conn`]) carries the *destination* peer, so a single bound port
+//!   multiplexes all of them.
+//! * **One socket per peer pair**, used in both directions. Only the
+//!   *lower* [`NodeId`] ever dials; the higher side queues frames until
+//!   the dialer's connection arrives and is then attached to it. This
+//!   deterministic rule kills simultaneous-dial races and halves fd
+//!   usage — a 1000-peer topology fits comfortably under a 20k fd cap.
+//! * **Bounded per-link send queues** ([`queue::SendQueue`]) flushed with
+//!   vectored writes: a slow or dead consumer backs up (and eventually
+//!   drops, counted in [`NetStats::sends_dropped`]) on *its own* queue
+//!   without stalling the loop or other links.
+//! * **A hashed timer wheel** ([`timer::TimerWheel`]) carrying every
+//!   actor round deadline, redial backoff, and fault-plan delayed-frame
+//!   release across all hosted peers.
+//!
+//! The actor contract is identical to the simulator's and the threaded
+//! runtime's: callbacks run one at a time on the loop thread, `now()` is
+//! elapsed time since the peer was spawned, loopback sends are delivered
+//! after the current callback, and [`FaultPlan`]s interpose the same
+//! [`FaultLayer`] interpreter between sends and sockets. The sans-IO
+//! crates (`raft`, `hierraft`, `secagg`) run byte-for-byte unmodified on
+//! all three transports.
+
+pub(crate) mod conn;
+pub mod injector;
+mod queue;
+mod sys;
+mod timer;
+
+pub use queue::SendQueue;
+pub use timer::TimerWheel;
+
+use crate::codec;
+use crate::fault::FaultLayer;
+use crate::hub::{backoff_jitter, BACKOFF_INITIAL, BACKOFF_MAX};
+use crate::registry::{NetStats, StatsCells};
+use crate::runtime::WireMsg;
+use injector::Injector;
+use p2pfl_simnet::{Actor, FaultPlan, NodeId, SimDuration, SimTime, TimerId, Transport};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Poller token of the cross-thread wake pipe.
+const TOKEN_WAKE: u64 = 0;
+/// Poller token of the shared listener.
+const TOKEN_LISTEN: u64 = 1;
+/// First token handed to a connection; tokens are never reused, so a
+/// stale readiness event for a closed connection simply misses the map.
+const TOKEN_CONN0: u64 = 2;
+
+/// Configuration for a [`Reactor`].
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Address the shared listener binds (port 0 for OS-assigned).
+    pub bind_addr: String,
+    /// Per-link send queue cap, in frames.
+    pub max_queue_frames: usize,
+    /// Per-link send queue cap, in bytes.
+    pub max_queue_bytes: usize,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> ReactorConfig {
+        ReactorConfig {
+            bind_addr: "127.0.0.1:0".to_owned(),
+            max_queue_frames: 4096,
+            max_queue_bytes: 32 << 20,
+        }
+    }
+}
+
+/// What a fired timer-wheel entry means.
+enum TimerEntry {
+    /// An actor timer from [`Transport::set_timer`].
+    Actor { peer: NodeId, id: u64, tag: u64 },
+    /// A backoff-delayed redial of `peer`'s link to `remote`.
+    Redial { peer: NodeId, remote: NodeId },
+    /// A fault-plan delayed frame of `peer`'s may have come due.
+    FaultFlush { peer: NodeId },
+}
+
+/// A closure run on the loop thread with the actor and live transport.
+type Invocation<M, A> = Box<dyn FnOnce(&mut A, &mut dyn Transport<M>) + Send>;
+
+/// Cross-thread requests handled at the top of each loop iteration.
+enum Task<M, A> {
+    Spawn {
+        id: NodeId,
+        actor: A,
+        faults: Option<FaultLayer>,
+        stats: Arc<StatsCells>,
+        decode_errors: Arc<AtomicU64>,
+        reply: Sender<io::Result<()>>,
+    },
+    AddPeer {
+        local: NodeId,
+        peer: NodeId,
+        addr: SocketAddr,
+    },
+    Invoke {
+        local: NodeId,
+        f: Invocation<M, A>,
+    },
+    Despawn {
+        local: NodeId,
+        reply: Sender<Option<A>>,
+    },
+    SeverAll,
+    Shutdown,
+}
+
+/// State shared between user-thread handles and the loop thread.
+struct Shared<M, A> {
+    injector: Injector<Task<M, A>>,
+    wake: UnixStream,
+    listen_addr: SocketAddr,
+}
+
+impl<M, A> Shared<M, A> {
+    /// Enqueues a task and wakes the loop. `false` if the reactor has
+    /// shut down (the task is dropped).
+    fn submit(&self, task: Task<M, A>) -> bool {
+        if self.injector.push(task).is_err() {
+            return false;
+        }
+        // A full pipe already guarantees a pending wake; errors are moot.
+        let _ = (&self.wake).write(&[1u8]);
+        true
+    }
+}
+
+/// One peer's outgoing link to one remote: the bounded queue plus the
+/// connection and redial bookkeeping.
+struct OutLink {
+    queue: SendQueue,
+    /// Token of the connection currently carrying this link, if any.
+    conn: Option<u64>,
+    backoff: Duration,
+    attempt: u64,
+    ever_connected: bool,
+    /// Whether a redial wheel entry is pending (dialer side only).
+    redial_armed: bool,
+}
+
+impl OutLink {
+    fn new(caps: (usize, usize)) -> OutLink {
+        OutLink {
+            queue: SendQueue::new(caps.0, caps.1),
+            conn: None,
+            backoff: BACKOFF_INITIAL,
+            attempt: 0,
+            ever_connected: false,
+            redial_armed: false,
+        }
+    }
+}
+
+/// One hosted peer: its actor plus everything the loop needs to run it.
+struct PeerSlot<M, A> {
+    actor: A,
+    /// Wall-clock zero of this peer's `now()` and fault-plan time axis.
+    origin: Instant,
+    stats: Arc<StatsCells>,
+    decode_errors: Arc<AtomicU64>,
+    faults: Option<FaultLayer>,
+    next_timer_id: u64,
+    cancelled: HashSet<u64>,
+    /// Known remote addresses (the hosting reactor's listener).
+    addrs: HashMap<NodeId, SocketAddr>,
+    links: HashMap<NodeId, OutLink>,
+    loopback: VecDeque<M>,
+    /// Remotes whose queues grew during the current dispatch.
+    touched: Vec<NodeId>,
+}
+
+/// The loop thread's whole world.
+struct Core<M, A> {
+    cfg: ReactorConfig,
+    /// Wall-clock zero of the timer wheel's nanosecond axis.
+    origin: Instant,
+    poller: sys::Poller,
+    listener: TcpListener,
+    wake_rx: UnixStream,
+    shared: Arc<Shared<M, A>>,
+    peers: HashMap<NodeId, PeerSlot<M, A>>,
+    conns: HashMap<u64, conn::Link>,
+    next_token: u64,
+    wheel: TimerWheel<TimerEntry>,
+    scratch: Vec<u8>,
+    shutdown: bool,
+}
+
+fn ns_since(origin: Instant) -> u64 {
+    origin.elapsed().as_nanos() as u64
+}
+
+fn sim_elapsed(origin: Instant) -> SimTime {
+    SimTime::from_nanos(origin.elapsed().as_nanos() as u64)
+}
+
+/// The [`Transport`] handed to actor callbacks on the loop thread.
+struct ReactorCtx<'a, M> {
+    id: NodeId,
+    origin: Instant,
+    /// Peer-relative nanoseconds → reactor-wheel nanoseconds offset.
+    offset_ns: u64,
+    caps: (usize, usize),
+    links: &'a mut HashMap<NodeId, OutLink>,
+    faults: &'a mut Option<FaultLayer>,
+    loopback: &'a mut VecDeque<M>,
+    next_timer_id: &'a mut u64,
+    cancelled: &'a mut HashSet<u64>,
+    wheel: &'a mut TimerWheel<TimerEntry>,
+    stats: &'a StatsCells,
+    touched: &'a mut Vec<NodeId>,
+}
+
+impl<M> ReactorCtx<'_, M> {
+    /// Queues one framed message on the link to `to`, creating the link
+    /// if needed; a full queue counts the frame into `sends_dropped`
+    /// instead. Associated fn so it can run while `faults` is borrowed.
+    fn enqueue(
+        links: &mut HashMap<NodeId, OutLink>,
+        touched: &mut Vec<NodeId>,
+        stats: &StatsCells,
+        caps: (usize, usize),
+        to: NodeId,
+        framed: Vec<u8>,
+    ) {
+        let ol = links.entry(to).or_insert_with(|| OutLink::new(caps));
+        if ol.queue.push(framed) {
+            stats
+                .send_queue_peak
+                .fetch_max(ol.queue.peak() as u64, Ordering::Relaxed);
+            if !touched.contains(&to) {
+                touched.push(to);
+            }
+        } else {
+            stats.sends_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl<M: WireMsg> Transport<M> for ReactorCtx<'_, M> {
+    fn now(&self) -> SimTime {
+        sim_elapsed(self.origin)
+    }
+
+    fn node_id(&self) -> NodeId {
+        self.id
+    }
+
+    fn send(&mut self, to: NodeId, msg: M) {
+        if to == self.id {
+            // Local delivery after the current callback returns — the
+            // simulator's instantaneous-loopback semantics.
+            self.loopback.push_back(msg);
+            return;
+        }
+        let Some(framed) = codec::to_frame_bytes(&msg) else {
+            // Unencodable or oversized: it could never reach the wire.
+            self.stats.sends_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let Some(fl) = self.faults.as_mut() else {
+            Self::enqueue(self.links, self.touched, self.stats, self.caps, to, framed);
+            return;
+        };
+        let now = sim_elapsed(self.origin);
+        let v = fl.on_send(now, self.id, to);
+        if v.copies == 0 {
+            self.stats.sends_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        for _ in 0..v.copies {
+            if v.extra_delay == SimDuration::ZERO {
+                Self::enqueue(
+                    self.links,
+                    self.touched,
+                    self.stats,
+                    self.caps,
+                    to,
+                    framed.clone(),
+                );
+            } else {
+                let due = now + v.extra_delay;
+                fl.push_delayed(due, to, framed.clone());
+                self.wheel.insert(
+                    self.offset_ns.saturating_add(due.as_nanos()),
+                    TimerEntry::FaultFlush { peer: self.id },
+                );
+            }
+        }
+    }
+
+    fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
+        let id = *self.next_timer_id;
+        *self.next_timer_id += 1;
+        let deadline = self.now() + delay;
+        self.wheel.insert(
+            self.offset_ns.saturating_add(deadline.as_nanos()),
+            TimerEntry::Actor {
+                peer: self.id,
+                id,
+                tag,
+            },
+        );
+        TimerId(id)
+    }
+
+    fn cancel_timer(&mut self, id: TimerId) {
+        self.cancelled.insert(id.0);
+    }
+}
+
+impl<M: WireMsg + Send + 'static, A: Actor<M> + Send + 'static> Core<M, A> {
+    /// Runs one actor callback with a live transport, drains the loopback
+    /// it produced, mirrors stash/rejection counters, then kicks the
+    /// network for every link the callback touched.
+    fn dispatch<F>(&mut self, peer: NodeId, f: F)
+    where
+        F: FnOnce(&mut A, &mut dyn Transport<M>),
+    {
+        let reactor_origin = self.origin;
+        let caps = (self.cfg.max_queue_frames, self.cfg.max_queue_bytes);
+        {
+            let peers = &mut self.peers;
+            let wheel = &mut self.wheel;
+            let Some(slot) = peers.get_mut(&peer) else {
+                return;
+            };
+            let offset_ns = slot
+                .origin
+                .saturating_duration_since(reactor_origin)
+                .as_nanos() as u64;
+            {
+                let mut ctx = ReactorCtx {
+                    id: peer,
+                    origin: slot.origin,
+                    offset_ns,
+                    caps,
+                    links: &mut slot.links,
+                    faults: &mut slot.faults,
+                    loopback: &mut slot.loopback,
+                    next_timer_id: &mut slot.next_timer_id,
+                    cancelled: &mut slot.cancelled,
+                    wheel: &mut *wheel,
+                    stats: &slot.stats,
+                    touched: &mut slot.touched,
+                };
+                f(&mut slot.actor, &mut ctx);
+            }
+            while let Some(m) = slot.loopback.pop_front() {
+                let mut ctx = ReactorCtx {
+                    id: peer,
+                    origin: slot.origin,
+                    offset_ns,
+                    caps,
+                    links: &mut slot.links,
+                    faults: &mut slot.faults,
+                    loopback: &mut slot.loopback,
+                    next_timer_id: &mut slot.next_timer_id,
+                    cancelled: &mut slot.cancelled,
+                    wheel: &mut *wheel,
+                    stats: &slot.stats,
+                    touched: &mut slot.touched,
+                };
+                slot.actor.on_message(&mut ctx, peer, m);
+            }
+            slot.stats
+                .stash_evicted
+                .store(slot.actor.stash_evicted(), Ordering::Relaxed);
+            slot.stats
+                .shares_rejected
+                .store(slot.actor.shares_rejected(), Ordering::Relaxed);
+        }
+        self.flush_touched(peer);
+    }
+
+    /// Flushes (or dials for) every link `peer`'s last dispatch touched.
+    fn flush_touched(&mut self, peer: NodeId) {
+        let touched = match self.peers.get_mut(&peer) {
+            Some(slot) => std::mem::take(&mut slot.touched),
+            None => return,
+        };
+        for remote in touched {
+            self.ensure_flow(peer, remote);
+        }
+    }
+
+    /// Makes sure frames queued on `local`'s link to `remote` can move:
+    /// flush if connected, dial if this side owns dialing, otherwise wait
+    /// (for a redial timer or the remote's dial).
+    fn ensure_flow(&mut self, local: NodeId, remote: NodeId) {
+        enum Flow {
+            Flush(u64),
+            Dial,
+            Wait,
+        }
+        let action = {
+            let Some(slot) = self.peers.get_mut(&local) else {
+                return;
+            };
+            let has_addr = slot.addrs.contains_key(&remote);
+            let Some(ol) = slot.links.get_mut(&remote) else {
+                return;
+            };
+            match ol.conn {
+                Some(t) => Flow::Flush(t),
+                None if local.0 < remote.0 && !ol.redial_armed && has_addr => Flow::Dial,
+                None => Flow::Wait,
+            }
+        };
+        match action {
+            Flow::Flush(t) => self.flush_conn(t),
+            Flow::Dial => self.dial(local, remote),
+            Flow::Wait => {}
+        }
+    }
+
+    /// Starts a non-blocking connect from `local` to `remote`'s reactor.
+    /// Only ever called on the lower-id side of a pair.
+    fn dial(&mut self, local: NodeId, remote: NodeId) {
+        let Some(addr) = self
+            .peers
+            .get(&local)
+            .and_then(|s| s.addrs.get(&remote))
+            .copied()
+        else {
+            return;
+        };
+        match sys::connect_nonblocking(&addr) {
+            Ok(stream) => {
+                let token = self.next_token;
+                self.next_token += 1;
+                if self
+                    .poller
+                    .add(stream.as_raw_fd(), token, sys::Interest::WRITE)
+                    .is_err()
+                {
+                    self.arm_redial(local, remote);
+                    return;
+                }
+                self.conns
+                    .insert(token, conn::Link::dialed(stream, local, remote));
+                if let Some(ol) = self
+                    .peers
+                    .get_mut(&local)
+                    .and_then(|s| s.links.get_mut(&remote))
+                {
+                    ol.conn = Some(token);
+                }
+            }
+            Err(_) => self.arm_redial(local, remote),
+        }
+    }
+
+    /// Schedules a jittered-backoff redial of `local`'s link to `remote`.
+    fn arm_redial(&mut self, local: NodeId, remote: NodeId) {
+        let now_ns = ns_since(self.origin);
+        let due = {
+            let Some(slot) = self.peers.get_mut(&local) else {
+                return;
+            };
+            let Some(ol) = slot.links.get_mut(&remote) else {
+                return;
+            };
+            if ol.redial_armed {
+                return;
+            }
+            ol.redial_armed = true;
+            ol.attempt = ol.attempt.saturating_add(1);
+            slot.stats
+                .reconnect_attempts
+                .fetch_add(1, Ordering::Relaxed);
+            let delay = ol.backoff + backoff_jitter(local, ol.attempt, ol.backoff);
+            ol.backoff = (ol.backoff * 2).min(BACKOFF_MAX);
+            now_ns.saturating_add(delay.as_nanos() as u64)
+        };
+        self.wheel.insert(
+            due,
+            TimerEntry::Redial {
+                peer: local,
+                remote,
+            },
+        );
+    }
+
+    /// A dialed connection finished connecting: reset backoff, count the
+    /// reconnect, and push whatever queued up while it was away.
+    fn on_connected(&mut self, token: u64) {
+        let pair = self.conns.get(&token).and_then(|l| l.local.zip(l.remote));
+        let Some((local, remote)) = pair else {
+            return;
+        };
+        if let Some(slot) = self.peers.get_mut(&local) {
+            if let Some(ol) = slot.links.get_mut(&remote) {
+                if ol.ever_connected {
+                    slot.stats.reconnects.fetch_add(1, Ordering::Relaxed);
+                }
+                ol.ever_connected = true;
+                ol.backoff = BACKOFF_INITIAL;
+                ol.attempt = 0;
+            }
+        }
+        // Stay write-interested until the first flush decides otherwise.
+        if let Some(link) = self.conns.get_mut(&token) {
+            link.want_write = true;
+            let _ = self
+                .poller
+                .modify(link.stream.as_raw_fd(), token, sys::Interest::BOTH);
+        }
+        self.flush_conn(token);
+    }
+
+    /// Writes as much of the owning link's queue as the socket takes and
+    /// re-arms (or drops) write interest to match.
+    fn flush_conn(&mut self, token: u64) {
+        let outcome = {
+            let Some(link) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if link.state != conn::LinkState::Open {
+                return;
+            }
+            let (Some(local), Some(remote)) = (link.local, link.remote) else {
+                return;
+            };
+            let Some(slot) = self.peers.get_mut(&local) else {
+                return;
+            };
+            let Some(ol) = slot.links.get_mut(&remote) else {
+                return;
+            };
+            conn::flush_link(link, &mut ol.queue, &slot.stats)
+        };
+        match outcome {
+            conn::FlushOutcome::Drained => self.set_write_interest(token, false),
+            conn::FlushOutcome::Blocked => self.set_write_interest(token, true),
+            conn::FlushOutcome::Dead => self.close_conn(token, true),
+        }
+    }
+
+    /// Adds or removes write interest on a connection, tracking the
+    /// current registration to avoid redundant `epoll_ctl` calls.
+    fn set_write_interest(&mut self, token: u64, want: bool) {
+        let Some(link) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if link.want_write == want {
+            return;
+        }
+        let interest = if want {
+            sys::Interest::BOTH
+        } else {
+            sys::Interest::READ
+        };
+        if self
+            .poller
+            .modify(link.stream.as_raw_fd(), token, interest)
+            .is_ok()
+        {
+            link.want_write = want;
+        }
+    }
+
+    /// Tears a connection down. Partial write progress on the owning
+    /// queue is voided (the frame will be re-sent whole), and the dialer
+    /// side schedules a redial unless `allow_redial` is off (duplicate
+    /// replacement, despawn, shutdown).
+    fn close_conn(&mut self, token: u64, allow_redial: bool) {
+        let Some(link) = self.conns.remove(&token) else {
+            return;
+        };
+        let _ = self.poller.delete(link.stream.as_raw_fd());
+        let (Some(local), Some(remote)) = (link.local, link.remote) else {
+            return;
+        };
+        let redial = {
+            let Some(ol) = self
+                .peers
+                .get_mut(&local)
+                .and_then(|s| s.links.get_mut(&remote))
+            else {
+                return;
+            };
+            if ol.conn != Some(token) {
+                // A newer connection already owns this link; the old
+                // socket just goes away.
+                return;
+            }
+            ol.conn = None;
+            ol.queue.reset_progress();
+            link.dialed && allow_redial
+        };
+        if redial {
+            self.arm_redial(local, remote);
+        }
+    }
+
+    /// Accepts every pending connection on the shared listener.
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .poller
+                        .add(stream.as_raw_fd(), token, sys::Interest::READ)
+                        .is_ok()
+                    {
+                        self.conns.insert(token, conn::Link::accepted(stream));
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Routes one readiness event for a connection token.
+    fn conn_event(&mut self, token: u64, readable: bool, writable: bool, error: bool) {
+        let state = match self.conns.get(&token) {
+            Some(l) => l.state,
+            None => return, // stale event for a closed connection
+        };
+        if state == conn::LinkState::Connecting {
+            if error {
+                self.close_conn(token, true);
+                return;
+            }
+            if writable {
+                let ok = match self.conns.get_mut(&token) {
+                    Some(link) => conn::complete_connect(link).is_ok(),
+                    None => return,
+                };
+                if ok {
+                    self.on_connected(token);
+                } else {
+                    self.close_conn(token, true);
+                }
+            }
+            return;
+        }
+        if readable || error {
+            // Drain data (possibly the final frames before a FIN) first;
+            // `handle_readable` closes on EOF/corruption itself.
+            self.handle_readable(token);
+            if error && self.conns.contains_key(&token) {
+                self.close_conn(token, true);
+            }
+        }
+        if writable {
+            self.flush_conn(token);
+        }
+    }
+
+    /// Reads everything available on a connection and dispatches the
+    /// complete frames it yielded.
+    fn handle_readable(&mut self, token: u64) {
+        let mut frames = Vec::new();
+        let status = {
+            let Some(link) = self.conns.get_mut(&token) else {
+                return;
+            };
+            conn::read_frames(link, &mut self.scratch, &mut frames)
+        };
+        self.process_frames(token, frames);
+        match status {
+            conn::ReadStatus::Open => {}
+            conn::ReadStatus::Closed | conn::ReadStatus::Corrupt => {
+                self.close_conn(token, true);
+            }
+        }
+    }
+
+    /// Delivers frames read from one connection: a hello attaches the
+    /// connection to its destination peer, payloads decode and dispatch.
+    fn process_frames(&mut self, token: u64, frames: Vec<Vec<u8>>) {
+        for frame in frames {
+            // Re-read the link identity each frame: the hello that
+            // attaches it may arrive in the same batch as payloads.
+            let Some((got_hello, local, remote)) = self
+                .conns
+                .get(&token)
+                .map(|l| (l.got_hello, l.local, l.remote))
+            else {
+                return;
+            };
+            if !got_hello {
+                match conn::parse_hello_v2(&frame) {
+                    Some((src, dst)) if self.peers.contains_key(&dst) => {
+                        self.attach_accepted(token, src, dst);
+                    }
+                    _ => {
+                        // Wrong protocol or a peer this reactor does not
+                        // host (yet): drop the connection, the dialer's
+                        // backoff will retry.
+                        self.close_conn(token, false);
+                        return;
+                    }
+                }
+                continue;
+            }
+            let (Some(local), Some(remote)) = (local, remote) else {
+                continue;
+            };
+            {
+                let Some(slot) = self.peers.get_mut(&local) else {
+                    continue;
+                };
+                slot.stats.frames_received.fetch_add(1, Ordering::Relaxed);
+                slot.stats
+                    .bytes_received
+                    .fetch_add(frame.len() as u64 + 4, Ordering::Relaxed);
+            }
+            match codec::from_bytes::<M>(&frame) {
+                Ok(msg) => {
+                    self.dispatch(local, move |a, ctx| a.on_message(ctx, remote, msg));
+                }
+                Err(_) => {
+                    if let Some(slot) = self.peers.get(&local) {
+                        slot.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Binds an accepted connection to the hosted peer its hello named,
+    /// adopting it as the pair's (single) socket in both directions.
+    fn attach_accepted(&mut self, token: u64, src: NodeId, dst: NodeId) {
+        let caps = (self.cfg.max_queue_frames, self.cfg.max_queue_bytes);
+        let old = {
+            let Some(link) = self.conns.get_mut(&token) else {
+                return;
+            };
+            link.got_hello = true;
+            link.local = Some(dst);
+            link.remote = Some(src);
+            let Some(slot) = self.peers.get_mut(&dst) else {
+                return;
+            };
+            let ol = slot.links.entry(src).or_insert_with(|| OutLink::new(caps));
+            ol.queue.reset_progress();
+            ol.conn.replace(token)
+        };
+        if let Some(old_token) = old {
+            if old_token != token {
+                // The remote re-dialed before we noticed the old socket
+                // die; the newest connection wins.
+                self.close_conn(old_token, false);
+            }
+        }
+        self.flush_conn(token);
+    }
+
+    /// Releases every due fault-delayed frame of `peer` onto its links.
+    fn flush_faults(&mut self, peer: NodeId) {
+        let released = {
+            let Some(slot) = self.peers.get_mut(&peer) else {
+                return;
+            };
+            let now = sim_elapsed(slot.origin);
+            let Some(fl) = slot.faults.as_mut() else {
+                return;
+            };
+            let mut out = Vec::new();
+            while let Some((to, bytes)) = fl.pop_due(now) {
+                out.push((to, bytes));
+            }
+            out
+        };
+        if released.is_empty() {
+            return;
+        }
+        let caps = (self.cfg.max_queue_frames, self.cfg.max_queue_bytes);
+        {
+            let Some(slot) = self.peers.get_mut(&peer) else {
+                return;
+            };
+            for (to, bytes) in released {
+                ReactorCtx::<M>::enqueue(
+                    &mut slot.links,
+                    &mut slot.touched,
+                    &slot.stats,
+                    caps,
+                    to,
+                    bytes,
+                );
+            }
+        }
+        self.flush_touched(peer);
+    }
+
+    /// Fires every due wheel entry.
+    fn fire_timers(&mut self, fired: &mut Vec<TimerEntry>) {
+        self.wheel.advance(ns_since(self.origin), fired);
+        for entry in fired.drain(..) {
+            match entry {
+                TimerEntry::Actor { peer, id, tag } => {
+                    let live = match self.peers.get_mut(&peer) {
+                        Some(slot) => !slot.cancelled.remove(&id),
+                        None => false,
+                    };
+                    if live {
+                        self.dispatch(peer, move |a, ctx| a.on_timer(ctx, tag));
+                    }
+                }
+                TimerEntry::Redial { peer, remote } => {
+                    let should = match self
+                        .peers
+                        .get_mut(&peer)
+                        .and_then(|s| s.links.get_mut(&remote))
+                    {
+                        Some(ol) => {
+                            ol.redial_armed = false;
+                            ol.conn.is_none()
+                        }
+                        None => false,
+                    };
+                    if should {
+                        self.dial(peer, remote);
+                    }
+                }
+                TimerEntry::FaultFlush { peer } => self.flush_faults(peer),
+            }
+        }
+    }
+
+    /// Executes one cross-thread task.
+    fn handle_task(&mut self, task: Task<M, A>) {
+        match task {
+            Task::Spawn {
+                id,
+                actor,
+                faults,
+                stats,
+                decode_errors,
+                reply,
+            } => {
+                if self.peers.contains_key(&id) {
+                    let _ = reply.send(Err(io::Error::new(
+                        io::ErrorKind::AlreadyExists,
+                        "peer id already hosted on this reactor",
+                    )));
+                    return;
+                }
+                self.peers.insert(
+                    id,
+                    PeerSlot {
+                        actor,
+                        origin: Instant::now(),
+                        stats,
+                        decode_errors,
+                        faults,
+                        next_timer_id: 1,
+                        cancelled: HashSet::new(),
+                        addrs: HashMap::new(),
+                        links: HashMap::new(),
+                        loopback: VecDeque::new(),
+                        touched: Vec::new(),
+                    },
+                );
+                self.dispatch(id, |a, ctx| a.on_start(ctx));
+                let _ = reply.send(Ok(()));
+            }
+            Task::AddPeer { local, peer, addr } => {
+                let caps = (self.cfg.max_queue_frames, self.cfg.max_queue_bytes);
+                let dial = {
+                    let Some(slot) = self.peers.get_mut(&local) else {
+                        return;
+                    };
+                    // Overwrite on re-registration: a crash-rejoined peer
+                    // may come back behind a different reactor/port.
+                    slot.addrs.insert(peer, addr);
+                    let ol = slot.links.entry(peer).or_insert_with(|| OutLink::new(caps));
+                    local.0 < peer.0 && ol.conn.is_none() && !ol.redial_armed
+                };
+                if dial {
+                    self.dial(local, peer);
+                }
+            }
+            Task::Invoke { local, f } => self.dispatch(local, f),
+            Task::Despawn { local, reply } => {
+                let slot = self.peers.remove(&local);
+                let tokens: Vec<u64> = self
+                    .conns
+                    .iter()
+                    .filter(|(_, l)| l.local == Some(local))
+                    .map(|(t, _)| *t)
+                    .collect();
+                for t in tokens {
+                    self.close_conn(t, false);
+                }
+                let _ = reply.send(slot.map(|s| s.actor));
+            }
+            Task::SeverAll => {
+                let tokens: Vec<u64> = self.conns.keys().copied().collect();
+                for t in tokens {
+                    if let Some(l) = self.conns.get(&t) {
+                        let _ = l.stream.shutdown(std::net::Shutdown::Both);
+                    }
+                    self.close_conn(t, true);
+                }
+            }
+            Task::Shutdown => self.shutdown = true,
+        }
+    }
+
+    /// Empties the wake pipe so level-triggered polling goes quiet.
+    fn drain_wake(&mut self) {
+        let mut buf = [0u8; 64];
+        loop {
+            match (&self.wake_rx).read(&mut buf) {
+                Ok(0) => return,
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return, // WouldBlock: drained
+            }
+        }
+    }
+
+    /// Time until the next wheel deadline, capped so a stalled clock
+    /// can't wedge the loop.
+    fn poll_timeout(&self) -> Duration {
+        let cap = Duration::from_millis(100);
+        match self.wheel.next_deadline_ns() {
+            Some(d) => Duration::from_nanos(d.saturating_sub(ns_since(self.origin))).min(cap),
+            None => cap,
+        }
+    }
+}
+
+/// The loop thread body: fire timers, run submitted tasks, poll, route
+/// readiness. Lint root for the wire-path panic-freedom gate.
+fn reactor_loop<M, A>(mut core: Core<M, A>)
+where
+    M: WireMsg + Send + 'static,
+    A: Actor<M> + Send + 'static,
+{
+    let mut events = sys::Events::with_capacity(1024);
+    let mut ready: Vec<sys::Readiness> = Vec::new();
+    let mut fired: Vec<TimerEntry> = Vec::new();
+    let mut tasks: Vec<Task<M, A>> = Vec::new();
+    loop {
+        core.fire_timers(&mut fired);
+        core.shared.injector.drain(&mut tasks);
+        for (i, t) in tasks.drain(..).enumerate() {
+            core.handle_task(t);
+            // A large task batch can be a dial storm (a scale topology
+            // registering thousands of links): drain the accept queue as
+            // we go so it cannot overflow while the loop is heads-down.
+            if i % 64 == 63 {
+                core.accept_ready();
+            }
+        }
+        if core.shutdown {
+            break;
+        }
+        let timeout = core.poll_timeout();
+        match core.poller.wait(&mut events, Some(timeout)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break, // poller gone: nothing left to drive
+        }
+        ready.clear();
+        ready.extend(events.iter());
+        for ev in &ready {
+            match ev.token {
+                TOKEN_WAKE => core.drain_wake(),
+                TOKEN_LISTEN => core.accept_ready(),
+                token => core.conn_event(token, ev.readable, ev.writable, ev.error),
+            }
+        }
+    }
+    // Refuse further tasks; pending reply senders drop, unblocking any
+    // handle mid-call with a disconnect error.
+    core.shared.injector.close();
+}
+
+/// A single-threaded epoll runtime hosting many sans-IO peers.
+///
+/// Spawn one per process (or one per "machine" in a multi-reactor test
+/// topology), then [`Reactor::spawn_peer`] each actor onto it. Dropping
+/// the reactor shuts the loop down and discards every hosted actor;
+/// use [`PeerHandle::stop`] first to retrieve actors.
+pub struct Reactor<M, A> {
+    shared: Arc<Shared<M, A>>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl<M, A> Reactor<M, A>
+where
+    M: WireMsg + Send + 'static,
+    A: Actor<M> + Send + 'static,
+{
+    /// Binds the shared listener and starts the loop thread.
+    ///
+    /// When `bind_addr` is a literal socket address the listener is
+    /// created with a deep accept backlog (the kernel caps it at
+    /// `net.core.somaxconn`): a scale topology dials hundreds of
+    /// connections at this one listener in a burst, and `std`'s
+    /// hardcoded backlog of 128 would turn the overflow into ~1 s
+    /// kernel SYN-retransmit stalls. Hostname binds fall back to
+    /// `std`'s resolver path.
+    pub fn start(cfg: ReactorConfig) -> io::Result<Reactor<M, A>> {
+        let listener = match cfg.bind_addr.parse::<SocketAddr>() {
+            Ok(addr) => sys::listen_with_backlog(&addr, 4096)?,
+            Err(_) => TcpListener::bind(&cfg.bind_addr)?,
+        };
+        listener.set_nonblocking(true)?;
+        let listen_addr = listener.local_addr()?;
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
+        wake_tx.set_nonblocking(true)?;
+        wake_rx.set_nonblocking(true)?;
+        let poller = sys::Poller::new()?;
+        poller.add(listener.as_raw_fd(), TOKEN_LISTEN, sys::Interest::READ)?;
+        poller.add(wake_rx.as_raw_fd(), TOKEN_WAKE, sys::Interest::READ)?;
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            wake: wake_tx,
+            listen_addr,
+        });
+        let core = Core {
+            cfg,
+            origin: Instant::now(),
+            poller,
+            listener,
+            wake_rx,
+            shared: shared.clone(),
+            peers: HashMap::new(),
+            conns: HashMap::new(),
+            next_token: TOKEN_CONN0,
+            wheel: TimerWheel::new(0),
+            scratch: vec![0u8; 64 << 10],
+            shutdown: false,
+        };
+        let thread = std::thread::Builder::new()
+            .name("p2pfl-reactor".to_owned())
+            .spawn(move || reactor_loop(core))?;
+        Ok(Reactor {
+            shared,
+            thread: Some(thread),
+        })
+    }
+
+    /// The address of the shared listener fronting every hosted peer.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.listen_addr
+    }
+
+    /// Hosts `actor` as peer `id`. Its `on_start` runs on the loop thread
+    /// before this returns.
+    pub fn spawn_peer(&self, id: NodeId, actor: A) -> io::Result<PeerHandle<M, A>> {
+        self.spawn_inner(id, actor, None)
+    }
+
+    /// Like [`Reactor::spawn_peer`], but every outgoing send passes
+    /// through `plan` — the same declarative fault schedule the simulator
+    /// interprets, anchored at this peer's spawn time.
+    pub fn spawn_peer_with_faults(
+        &self,
+        id: NodeId,
+        actor: A,
+        plan: &FaultPlan,
+    ) -> io::Result<PeerHandle<M, A>> {
+        self.spawn_inner(id, actor, Some(FaultLayer::new(plan)))
+    }
+
+    fn spawn_inner(
+        &self,
+        id: NodeId,
+        actor: A,
+        faults: Option<FaultLayer>,
+    ) -> io::Result<PeerHandle<M, A>> {
+        let stats = Arc::new(StatsCells::default());
+        let decode_errors = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = mpsc::channel();
+        let task = Task::Spawn {
+            id,
+            actor,
+            faults,
+            stats: stats.clone(),
+            decode_errors: decode_errors.clone(),
+            reply: tx,
+        };
+        if !self.shared.submit(task) {
+            return Err(stopped());
+        }
+        match rx.recv() {
+            Ok(Ok(())) => Ok(PeerHandle {
+                id,
+                shared: self.shared.clone(),
+                stats,
+                decode_errors,
+            }),
+            Ok(Err(e)) => Err(e),
+            Err(_) => Err(stopped()),
+        }
+    }
+
+    /// Severs every TCP connection on this reactor; dialers recover via
+    /// jittered backoff. Chaos-test hook, mirroring
+    /// [`PeerRuntime::kill_connections`](crate::PeerRuntime::kill_connections).
+    pub fn kill_connections(&self) {
+        self.shared.submit(Task::SeverAll);
+    }
+}
+
+impl<M, A> Drop for Reactor<M, A> {
+    fn drop(&mut self) {
+        let _ = self.shared.injector.push(Task::Shutdown);
+        let _ = (&self.shared.wake).write(&[1u8]);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn stopped() -> io::Error {
+    io::Error::new(io::ErrorKind::BrokenPipe, "reactor stopped")
+}
+
+/// Handle to one peer hosted on a [`Reactor`].
+///
+/// The API mirrors [`PeerRuntime`](crate::PeerRuntime): register remote
+/// peers, run closures against the actor on the loop thread, read
+/// transport counters, and stop (retrieving the actor) or kill it.
+pub struct PeerHandle<M, A> {
+    id: NodeId,
+    shared: Arc<Shared<M, A>>,
+    stats: Arc<StatsCells>,
+    decode_errors: Arc<AtomicU64>,
+}
+
+impl<M, A> PeerHandle<M, A> {
+    /// This peer's node id.
+    pub fn node_id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The listener address remote peers should be told about — the
+    /// hosting reactor's shared listener.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.listen_addr
+    }
+
+    /// Registers a remote peer's reactor address, or re-points an
+    /// existing one (crash-rejoin behind a fresh reactor/port). The
+    /// lower-id side of each pair dials eagerly on registration.
+    pub fn add_peer(&self, peer: NodeId, addr: SocketAddr) {
+        self.shared.submit(Task::AddPeer {
+            local: self.id,
+            peer,
+            addr,
+        });
+    }
+
+    /// Transport counters for this peer.
+    pub fn stats(&self) -> NetStats {
+        self.stats.snapshot()
+    }
+
+    /// Frames that arrived but failed to decode as `M` (dropped).
+    pub fn decode_errors(&self) -> u64 {
+        self.decode_errors.load(Ordering::Relaxed)
+    }
+
+    /// Runs `f` against the actor *on the loop thread* with the live
+    /// transport, returning its result — the reactor analogue of
+    /// [`PeerRuntime::with`](crate::PeerRuntime::with).
+    ///
+    /// # Panics
+    /// Panics if the reactor has stopped or the peer was despawned.
+    pub fn with<R, F>(&self, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut A, &mut dyn Transport<M>) -> R + Send + 'static,
+    {
+        let (tx, rx) = mpsc::channel();
+        let call: Invocation<M, A> = Box::new(move |a, t| {
+            let _ = tx.send(f(a, t));
+        });
+        let sent = self.shared.submit(Task::Invoke {
+            local: self.id,
+            f: call,
+        });
+        if !sent {
+            panic!("reactor stopped");
+        }
+        rx.recv().expect("peer alive on reactor")
+    }
+
+    /// Stops the peer and returns its actor for final inspection.
+    ///
+    /// # Panics
+    /// Panics if the reactor has stopped or the peer was already gone.
+    pub fn stop(self) -> A {
+        let (tx, rx) = mpsc::channel();
+        let sent = self.shared.submit(Task::Despawn {
+            local: self.id,
+            reply: tx,
+        });
+        if !sent {
+            panic!("reactor stopped");
+        }
+        rx.recv()
+            .expect("reactor alive")
+            .expect("peer alive on reactor")
+    }
+
+    /// Crash-stops the peer, discarding its actor — the reactor analogue
+    /// of [`PeerRuntime::kill`](crate::PeerRuntime::kill). Its
+    /// connections close; surviving peers redial until it respawns.
+    pub fn kill(self) {
+        let (tx, rx) = mpsc::channel();
+        if self.shared.submit(Task::Despawn {
+            local: self.id,
+            reply: tx,
+        }) {
+            let _ = rx.recv();
+        }
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize, Debug, Clone, PartialEq, Eq)]
+    struct WireBlob {
+        size: u64,
+        tag: u64,
+    }
+
+    impl p2pfl_simnet::Payload for WireBlob {
+        fn size_bytes(&self) -> u64 {
+            self.size
+        }
+    }
+
+    /// Echoes every message back with tag+1 until tag 3, counts
+    /// deliveries, and proves timers + loopback work — the same actor the
+    /// threaded runtime's tests host.
+    #[derive(Default)]
+    struct Echo {
+        seen: u64,
+        timer_fired: bool,
+        loopback_seen: bool,
+    }
+
+    impl Actor<WireBlob> for Echo {
+        fn on_start(&mut self, ctx: &mut dyn Transport<WireBlob>) {
+            ctx.set_timer(SimDuration::from_millis(5), 42);
+            ctx.send(ctx.node_id(), WireBlob { size: 1, tag: 999 });
+        }
+        fn on_message(&mut self, ctx: &mut dyn Transport<WireBlob>, from: NodeId, msg: WireBlob) {
+            if msg.tag == 999 {
+                self.loopback_seen = true;
+                return;
+            }
+            self.seen += 1;
+            if msg.tag < 3 {
+                ctx.send(
+                    from,
+                    WireBlob {
+                        size: msg.size,
+                        tag: msg.tag + 1,
+                    },
+                );
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut dyn Transport<WireBlob>, tag: u64) {
+            if tag == 42 {
+                self.timer_fired = true;
+            }
+        }
+    }
+
+    fn reactor() -> Reactor<WireBlob, Echo> {
+        Reactor::start(ReactorConfig::default()).unwrap()
+    }
+
+    fn wait_until(what: &str, mut ok: impl FnMut() -> bool) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !ok() {
+            assert!(Instant::now() < deadline, "timed out waiting: {what}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn ping_pong_timers_and_loopback_one_reactor() {
+        let r = reactor();
+        let a = r.spawn_peer(NodeId(0), Echo::default()).unwrap();
+        let b = r.spawn_peer(NodeId(1), Echo::default()).unwrap();
+        a.add_peer(NodeId(1), r.local_addr());
+        b.add_peer(NodeId(0), r.local_addr());
+
+        a.with(|_, ctx| ctx.send(NodeId(1), WireBlob { size: 8, tag: 0 }));
+        wait_until("ping-pong", || {
+            a.with(|e, _| e.seen) + b.with(|e, _| e.seen) >= 4
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        let ea = a.stop();
+        let eb = b.stop();
+        assert!(ea.timer_fired && eb.timer_fired, "timers did not fire");
+        assert!(ea.loopback_seen && eb.loopback_seen, "loopback skipped");
+        assert_eq!(ea.seen + eb.seen, 4);
+    }
+
+    #[test]
+    fn ping_pong_across_two_reactors() {
+        let r1 = reactor();
+        let r2 = reactor();
+        let a = r1.spawn_peer(NodeId(0), Echo::default()).unwrap();
+        let b = r2.spawn_peer(NodeId(1), Echo::default()).unwrap();
+        a.add_peer(NodeId(1), r2.local_addr());
+        b.add_peer(NodeId(0), r1.local_addr());
+
+        // The higher-id peer sends first: its frames must queue until the
+        // lower-id side's dial attaches, then flow back over that socket.
+        b.with(|_, ctx| ctx.send(NodeId(0), WireBlob { size: 8, tag: 0 }));
+        wait_until("cross-reactor ping-pong", || {
+            a.with(|e, _| e.seen) + b.with(|e, _| e.seen) >= 4
+        });
+        let sa = a.stats();
+        assert!(sa.frames_sent >= 2 && sa.frames_received >= 2, "{sa:?}");
+        a.stop();
+        b.stop();
+    }
+
+    #[test]
+    fn duplicate_spawn_id_is_rejected() {
+        let r = reactor();
+        let _a = r.spawn_peer(NodeId(0), Echo::default()).unwrap();
+        let err = r
+            .spawn_peer(NodeId(0), Echo::default())
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+    }
+
+    #[test]
+    fn fault_plan_duplicates_and_delays_on_reactor() {
+        let plan = FaultPlan::new(7)
+            .duplicate(SimTime::ZERO, SimTime::from_secs(3600), 1.0)
+            .delay(
+                SimTime::ZERO,
+                SimTime::from_secs(3600),
+                SimDuration::from_millis(30),
+                SimDuration::ZERO,
+            );
+        let r = reactor();
+        let b = r.spawn_peer(NodeId(1), Echo::default()).unwrap();
+        let a = r
+            .spawn_peer_with_faults(NodeId(0), Echo::default(), &plan)
+            .unwrap();
+        a.add_peer(NodeId(1), r.local_addr());
+        let sent_at = Instant::now();
+        a.with(|_, ctx| ctx.send(NodeId(1), WireBlob { size: 8, tag: 3 }));
+
+        wait_until("duplicate copy", || b.with(|e, _| e.seen) >= 2);
+        assert!(
+            sent_at.elapsed() >= Duration::from_millis(30),
+            "delay window did not hold the frames back"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(b.with(|e, _| e.seen), 2, "expected exactly two copies");
+    }
+
+    #[test]
+    fn fault_plan_loss_counts_dropped_sends() {
+        let plan = FaultPlan::new(3).loss(SimTime::ZERO, SimTime::from_secs(3600), 1.0);
+        let r = reactor();
+        let b = r.spawn_peer(NodeId(1), Echo::default()).unwrap();
+        let a = r
+            .spawn_peer_with_faults(NodeId(0), Echo::default(), &plan)
+            .unwrap();
+        a.add_peer(NodeId(1), r.local_addr());
+        for tag in 0..5u64 {
+            a.with(move |_, ctx| {
+                ctx.send(
+                    NodeId(1),
+                    WireBlob {
+                        size: 8,
+                        tag: 3 + tag,
+                    },
+                )
+            });
+        }
+        wait_until("drops counted", || a.stats().sends_dropped >= 5);
+        assert_eq!(a.stats().frames_sent, 0, "lossy frames reached the wire");
+        assert_eq!(b.with(|e, _| e.seen), 0);
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        struct T {
+            fired: bool,
+        }
+        impl Actor<WireBlob> for T {
+            fn on_start(&mut self, ctx: &mut dyn Transport<WireBlob>) {
+                let id = ctx.set_timer(SimDuration::from_millis(30), 1);
+                ctx.cancel_timer(id);
+            }
+            fn on_message(&mut self, _: &mut dyn Transport<WireBlob>, _: NodeId, _: WireBlob) {}
+            fn on_timer(&mut self, _: &mut dyn Transport<WireBlob>, _: u64) {
+                self.fired = true;
+            }
+        }
+        let r: Reactor<WireBlob, T> = Reactor::start(ReactorConfig::default()).unwrap();
+        let h = r.spawn_peer(NodeId(0), T { fired: false }).unwrap();
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(!h.stop().fired);
+    }
+
+    #[test]
+    fn sever_reconnects_and_counts() {
+        let r1 = reactor();
+        let r2 = reactor();
+        let a = r1.spawn_peer(NodeId(0), Echo::default()).unwrap();
+        let b = r2.spawn_peer(NodeId(1), Echo::default()).unwrap();
+        a.add_peer(NodeId(1), r2.local_addr());
+        b.add_peer(NodeId(0), r1.local_addr());
+
+        a.with(|_, ctx| ctx.send(NodeId(1), WireBlob { size: 8, tag: 3 }));
+        wait_until("first delivery", || b.with(|e, _| e.seen) >= 1);
+
+        r1.kill_connections();
+        r2.kill_connections();
+        a.with(|_, ctx| ctx.send(NodeId(1), WireBlob { size: 8, tag: 3 }));
+        wait_until("delivery after sever", || b.with(|e, _| e.seen) >= 2);
+        assert!(
+            a.stats().reconnects >= 1,
+            "reconnect not counted: {:?}",
+            a.stats()
+        );
+    }
+
+    /// An actor whose bounded stash rejects everything — the reactor must
+    /// mirror its cumulative eviction count into [`NetStats`].
+    #[derive(Default)]
+    struct Stashy {
+        evicted: u64,
+    }
+
+    impl Actor<WireBlob> for Stashy {
+        fn on_message(&mut self, _ctx: &mut dyn Transport<WireBlob>, _from: NodeId, _m: WireBlob) {
+            self.evicted += 1;
+        }
+        fn stash_evicted(&self) -> u64 {
+            self.evicted
+        }
+    }
+
+    #[test]
+    fn actor_stash_evictions_surface_in_net_stats() {
+        let r: Reactor<WireBlob, Stashy> = Reactor::start(ReactorConfig::default()).unwrap();
+        let h = r.spawn_peer(NodeId(0), Stashy::default()).unwrap();
+        assert_eq!(h.stats().stash_evicted, 0);
+        h.with(|a, ctx| {
+            for _ in 0..3 {
+                a.on_message(ctx, NodeId(1), WireBlob { size: 1, tag: 0 });
+            }
+        });
+        wait_until("stash mirror", || h.stats().stash_evicted >= 3);
+        assert_eq!(h.stats().stash_evicted, 3);
+        h.stop();
+    }
+}

@@ -1,0 +1,203 @@
+//! Bounded per-link send queue — the reactor's backpressure primitive.
+//!
+//! Every (local peer, remote peer) link owns one [`SendQueue`] of
+//! pre-framed wire bytes. The queue enforces *two* caps — a frame-count
+//! cap and a byte cap — and rejects (never blocks, never reorders) when
+//! either would be exceeded, counting the rejection so a slow consumer
+//! shows up in [`NetStats::sends_dropped`](crate::NetStats::sends_dropped)
+//! instead of as unbounded memory. Frames stay queued until the
+//! connection has written them *completely*, so a connection that dies
+//! mid-frame resends from the frame boundary (the receiver discards the
+//! partial tail with the dead connection's buffer).
+//!
+//! This module is pure sans-IO state — no sockets, no clocks — so the
+//! property tests in `tests/queue_props.rs` can drive it through millions
+//! of randomized enqueue/flush/disconnect interleavings, and the
+//! `p2pfl-lint` purity gate holds it to that.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO of encoded frames awaiting one connection.
+#[derive(Debug)]
+pub struct SendQueue {
+    frames: VecDeque<Vec<u8>>,
+    bytes: usize,
+    max_frames: usize,
+    max_bytes: usize,
+    dropped: u64,
+    peak_frames: usize,
+    /// Bytes of `front()` already handed to the kernel; reset when the
+    /// frame completes or the connection dies.
+    head_written: usize,
+}
+
+impl SendQueue {
+    /// An empty queue holding at most `max_frames` frames and `max_bytes`
+    /// total frame bytes (caps are floored at 1 frame / 1 byte so a queue
+    /// can always make progress).
+    pub fn new(max_frames: usize, max_bytes: usize) -> SendQueue {
+        SendQueue {
+            frames: VecDeque::new(),
+            bytes: 0,
+            max_frames: max_frames.max(1),
+            max_bytes: max_bytes.max(1),
+            dropped: 0,
+            peak_frames: 0,
+            head_written: 0,
+        }
+    }
+
+    /// Appends `frame`, or rejects it (counting the drop) if either cap
+    /// would be exceeded. An over-cap frame is only accepted into an empty
+    /// queue if it alone fits the byte cap; oversized frames are rejected
+    /// outright rather than wedging the link.
+    pub fn push(&mut self, frame: Vec<u8>) -> bool {
+        if self.frames.len() >= self.max_frames
+            || self.bytes.saturating_add(frame.len()) > self.max_bytes
+        {
+            self.dropped = self.dropped.saturating_add(1);
+            return false;
+        }
+        self.bytes = self.bytes.saturating_add(frame.len());
+        self.frames.push_back(frame);
+        self.peak_frames = self.peak_frames.max(self.frames.len());
+        true
+    }
+
+    /// The frames to offer the next vectored write: the unwritten tail of
+    /// the head frame, then up to `max - 1` complete successors.
+    pub fn batch(&self, max: usize) -> impl Iterator<Item = &[u8]> + '_ {
+        let head_written = self.head_written;
+        self.frames
+            .iter()
+            .take(max)
+            .enumerate()
+            .filter_map(move |(i, f)| {
+                if i == 0 {
+                    f.get(head_written..)
+                } else {
+                    Some(f.as_slice())
+                }
+            })
+    }
+
+    /// Records that the connection accepted `n` more bytes of the batch,
+    /// retiring every completely-written frame. Returns `(frames, bytes)`
+    /// retired — the sender's `frames_sent` / `bytes_sent` deltas (bytes
+    /// count whole retired frames, so a frame is never double-counted if
+    /// a partial write is voided and rewritten after a reconnect).
+    pub fn advance(&mut self, mut n: usize) -> (usize, usize) {
+        let mut retired = 0;
+        let mut retired_bytes = 0;
+        while n > 0 {
+            let Some(front) = self.frames.front() else {
+                break;
+            };
+            let remaining = front.len().saturating_sub(self.head_written);
+            if n >= remaining {
+                n -= remaining;
+                self.bytes = self.bytes.saturating_sub(front.len());
+                retired_bytes += front.len();
+                self.frames.pop_front();
+                self.head_written = 0;
+                retired += 1;
+            } else {
+                self.head_written = self.head_written.saturating_add(n);
+                n = 0;
+            }
+        }
+        (retired, retired_bytes)
+    }
+
+    /// The connection died: any partial progress on the head frame is
+    /// void (the receiver discarded the partial tail), so it will be
+    /// rewritten from the start on the next connection.
+    pub fn reset_progress(&mut self) {
+        self.head_written = 0;
+    }
+
+    /// Queued frames (including a partially-written head).
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Total bytes of queued frames (not discounting partial progress).
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Frames rejected because a cap would have been exceeded.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// High-water mark of the queue length, in frames.
+    pub fn peak(&self) -> usize {
+        self.peak_frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caps_reject_and_count() {
+        let mut q = SendQueue::new(2, 100);
+        assert!(q.push(vec![1; 10]));
+        assert!(q.push(vec![2; 10]));
+        assert!(!q.push(vec![3; 10]), "frame cap");
+        assert_eq!(q.dropped(), 1);
+        assert_eq!(q.len(), 2);
+
+        let mut q = SendQueue::new(10, 15);
+        assert!(q.push(vec![1; 10]));
+        assert!(!q.push(vec![2; 10]), "byte cap");
+        assert_eq!(q.dropped(), 1);
+        assert_eq!(q.bytes(), 10);
+    }
+
+    #[test]
+    fn advance_retires_whole_frames_and_tracks_partials() {
+        let mut q = SendQueue::new(8, 1 << 20);
+        q.push(vec![1; 4]);
+        q.push(vec![2; 6]);
+        // Partial head: 3 of 4 bytes written.
+        assert_eq!(q.advance(3), (0, 0));
+        let batch: Vec<&[u8]> = q.batch(4).collect();
+        assert_eq!(batch[0], &[1u8; 1][..], "unwritten tail of head");
+        assert_eq!(batch[1], &[2u8; 6][..]);
+        // Finish head + 2 bytes of next.
+        assert_eq!(q.advance(3), (1, 4));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.advance(4), (1, 6));
+        assert!(q.is_empty());
+        assert_eq!(q.bytes(), 0);
+    }
+
+    #[test]
+    fn reset_progress_rewinds_to_frame_boundary() {
+        let mut q = SendQueue::new(8, 1 << 20);
+        q.push(vec![7; 8]);
+        assert_eq!(q.advance(5), (0, 0));
+        q.reset_progress();
+        let batch: Vec<&[u8]> = q.batch(1).collect();
+        assert_eq!(batch[0].len(), 8, "full frame offered again");
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut q = SendQueue::new(8, 1 << 20);
+        q.push(vec![0; 1]);
+        q.push(vec![0; 1]);
+        q.push(vec![0; 1]);
+        q.advance(3);
+        assert!(q.is_empty());
+        assert_eq!(q.peak(), 3);
+    }
+}

@@ -44,6 +44,12 @@ pub struct NetStats {
     /// [`Actor::shares_rejected`](p2pfl_simnet::Actor::shares_rejected)
     /// after every callback) — each one is evidence of a Byzantine peer.
     pub shares_rejected: u64,
+    /// Frames that went out sharing a vectored write with at least one
+    /// other frame (reactor only): how often batching actually batched.
+    pub frames_coalesced: u64,
+    /// High-water mark of any single bounded send queue, in frames
+    /// (reactor only) — how close backpressure came to dropping.
+    pub send_queue_peak: u64,
 }
 
 /// The atomic cells behind [`NetStats`]; incremented lock-free from every
@@ -68,6 +74,10 @@ pub struct StatsCells {
     pub stash_evicted: AtomicU64,
     /// See [`NetStats::shares_rejected`].
     pub shares_rejected: AtomicU64,
+    /// See [`NetStats::frames_coalesced`].
+    pub frames_coalesced: AtomicU64,
+    /// See [`NetStats::send_queue_peak`] (updated via `fetch_max`).
+    pub send_queue_peak: AtomicU64,
 }
 
 impl StatsCells {
@@ -84,6 +94,8 @@ impl StatsCells {
             sends_dropped: self.sends_dropped.load(Ordering::Relaxed),
             stash_evicted: self.stash_evicted.load(Ordering::Relaxed),
             shares_rejected: self.shares_rejected.load(Ordering::Relaxed),
+            frames_coalesced: self.frames_coalesced.load(Ordering::Relaxed),
+            send_queue_peak: self.send_queue_peak.load(Ordering::Relaxed),
         }
     }
 }

@@ -21,13 +21,12 @@
 //! durable Raft storage is for.
 
 use crate::codec;
+use crate::fault::{FaultLayer, Timers};
 use crate::hub::{Hub, NetEvent, NetStats};
-use p2pfl_simnet::{
-    Actor, FaultPlan, LinkFaults, NodeId, Payload, SimDuration, SimTime, TimerId, Transport,
-};
+use p2pfl_simnet::{Actor, FaultPlan, NodeId, Payload, SimDuration, SimTime, TimerId, Transport};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::io;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -48,55 +47,6 @@ enum LoopEvent<M, A> {
     Net(NetEvent),
     Invoke(Invocation<M, A>),
     Stop,
-}
-
-struct Timers {
-    heap: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
-    cancelled: HashSet<u64>,
-    next_id: u64,
-}
-
-/// An encoded frame held back by a fault-plan delay; ordered by due time
-/// (then insertion order) so a min-heap releases the earliest first.
-#[derive(PartialEq, Eq)]
-struct DelayedFrame {
-    due: SimTime,
-    seq: u64,
-    to: NodeId,
-    bytes: Vec<u8>,
-}
-
-impl Ord for DelayedFrame {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.due, self.seq).cmp(&(other.due, other.seq))
-    }
-}
-
-impl PartialOrd for DelayedFrame {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-/// Fault interposition between actor sends and the TCP hub: the *same*
-/// [`LinkFaults`] interpreter the simulator consults, driven here by
-/// wall-clock time elapsed since the runtime started. Dropped sends are
-/// counted in [`NetStats::sends_dropped`]; delayed copies queue in a heap
-/// the event loop drains as their due times pass.
-struct FaultLayer {
-    faults: LinkFaults,
-    delayed: BinaryHeap<Reverse<DelayedFrame>>,
-    seq: u64,
-}
-
-impl FaultLayer {
-    fn new(plan: &FaultPlan) -> Self {
-        FaultLayer {
-            faults: LinkFaults::new(plan),
-            delayed: BinaryHeap::new(),
-            seq: 0,
-        }
-    }
 }
 
 /// The [`Transport`] the event loop hands to actor callbacks.
@@ -134,7 +84,7 @@ impl<M: WireMsg> Transport<M> for RealCtx<'_, M> {
             return;
         };
         let now = elapsed(self.start);
-        let v = fl.faults.on_send(now, self.id, to);
+        let v = fl.on_send(now, self.id, to);
         if v.copies == 0 {
             self.hub.note_send_dropped();
             return;
@@ -144,13 +94,7 @@ impl<M: WireMsg> Transport<M> for RealCtx<'_, M> {
             if v.extra_delay == SimDuration::ZERO {
                 self.hub.send(to, bytes.clone());
             } else {
-                fl.seq += 1;
-                fl.delayed.push(Reverse(DelayedFrame {
-                    due: now + v.extra_delay,
-                    seq: fl.seq,
-                    to,
-                    bytes: bytes.clone(),
-                }));
+                fl.push_delayed(now + v.extra_delay, to, bytes.clone());
             }
         }
     }
@@ -347,11 +291,7 @@ fn event_loop<M: WireMsg, A: Actor<M>>(
     mut faults: Option<FaultLayer>,
 ) -> A {
     let start = Instant::now();
-    let mut timers = Timers {
-        heap: BinaryHeap::new(),
-        cancelled: HashSet::new(),
-        next_id: 1,
-    };
+    let mut timers = Timers::new();
     let mut loopback: VecDeque<M> = VecDeque::new();
 
     // Dispatches one actor callback with a fresh context, then drains any
@@ -405,13 +345,8 @@ fn event_loop<M: WireMsg, A: Actor<M>>(
         // Release fault-delayed frames whose due times have passed.
         if let Some(fl) = faults.as_mut() {
             let now = elapsed(start);
-            while let Some(Reverse(d)) = fl.delayed.peek() {
-                if d.due > now {
-                    break;
-                }
-                if let Some(Reverse(d)) = fl.delayed.pop() {
-                    hub.send(d.to, d.bytes);
-                }
+            while let Some((to, bytes)) = fl.pop_due(now) {
+                hub.send(to, bytes);
             }
         }
 
@@ -420,9 +355,7 @@ fn event_loop<M: WireMsg, A: Actor<M>>(
                 .heap
                 .peek()
                 .map(|Reverse((deadline, _, _))| *deadline);
-            let delayed = faults
-                .as_ref()
-                .and_then(|fl| fl.delayed.peek().map(|Reverse(d)| d.due));
+            let delayed = faults.as_ref().and_then(FaultLayer::next_due);
             match (timer, delayed) {
                 (Some(a), Some(b)) => Some(a.min(b)),
                 (a, b) => a.or(b),

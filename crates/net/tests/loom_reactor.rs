@@ -1,0 +1,153 @@
+//! Loom model checks over the reactor's cross-thread state — the
+//! [`Injector`](p2pfl_net::reactor::injector::Injector) task queue that
+//! is the *only* shared-mutable handoff between user-thread
+//! [`PeerHandle`](p2pfl_net::reactor::PeerHandle)s and the loop thread.
+//!
+//! Build and run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p p2pfl-net --test loom_reactor
+//! ```
+//!
+//! The delivery contract the reactor's shutdown protocol relies on:
+//!
+//! 1. Every push that returned `Ok` is observed exactly once — by a
+//!    loop-thread `drain` or by the terminal `close`. No task is lost
+//!    (a lost `Spawn` would deadlock its caller's `recv`) and none is
+//!    duplicated (a duplicated `Despawn` would double-return an actor).
+//! 2. Once `close` wins the race, every subsequent push fails — the
+//!    caller learns the reactor is gone instead of assuming delivery.
+//! 3. Pushes from distinct threads interleave without loss, and drains
+//!    observe each thread's tasks in that thread's push order (per-peer
+//!    command ordering: `AddPeer` before `Invoke` stays that way).
+
+#![cfg(loom)]
+
+use loom::sync::Arc;
+use loom::thread;
+use p2pfl_net::reactor::injector::Injector;
+
+/// Pushers race a draining "loop thread": every Ok-push surfaces exactly
+/// once across the drains and the final close, and every Err-push never
+/// surfaces at all.
+#[test]
+fn every_ok_push_is_observed_exactly_once() {
+    loom::model(|| {
+        let inj = Arc::new(Injector::new());
+
+        let pushers: Vec<_> = (0..2u64)
+            .map(|t| {
+                let inj = inj.clone();
+                thread::spawn(move || {
+                    let mut accepted = Vec::new();
+                    for i in 0..3u64 {
+                        let task = t * 100 + i;
+                        if inj.push(task).is_ok() {
+                            accepted.push(task);
+                        }
+                    }
+                    accepted
+                })
+            })
+            .collect();
+
+        // The "loop thread": a few drains racing the pushers, then the
+        // terminal close that sweeps up whatever is left.
+        let drainer = {
+            let inj = inj.clone();
+            thread::spawn(move || {
+                let mut seen = Vec::new();
+                for _ in 0..2 {
+                    thread::yield_now();
+                    inj.drain(&mut seen);
+                }
+                seen.extend(inj.close());
+                seen
+            })
+        };
+
+        let mut accepted: Vec<u64> = Vec::new();
+        for p in pushers {
+            accepted.extend(p.join().unwrap());
+        }
+        let mut seen = drainer.join().unwrap();
+
+        accepted.sort_unstable();
+        seen.sort_unstable();
+        assert_eq!(
+            seen, accepted,
+            "every accepted task exactly once, no rejected task ever"
+        );
+    });
+}
+
+/// After close, pushes fail and return the task to the caller; close is
+/// idempotent and later drains see nothing.
+#[test]
+fn push_after_close_fails_and_returns_task() {
+    loom::model(|| {
+        let inj = Arc::new(Injector::new());
+        let closer = {
+            let inj = inj.clone();
+            thread::spawn(move || inj.close())
+        };
+        let pusher = {
+            let inj = inj.clone();
+            thread::spawn(move || inj.push(7u64))
+        };
+        let swept = closer.join().unwrap();
+        let pushed = pusher.join().unwrap();
+
+        match pushed {
+            // The push lost the race: it must get its task back, and the
+            // task must not ALSO have been swept up by close.
+            Err(task) => {
+                assert_eq!(task, 7);
+                assert!(swept.is_empty(), "rejected task leaked into close");
+            }
+            // The push won: close (or a later drain) must have it.
+            Ok(()) => {
+                let mut remainder = swept;
+                let mut rest = Vec::new();
+                inj.drain(&mut rest);
+                remainder.extend(rest);
+                remainder.extend(inj.close());
+                assert_eq!(remainder, vec![7], "accepted task lost at shutdown");
+            }
+        }
+        assert!(inj.is_closed());
+        assert_eq!(inj.push(8u64), Err(8), "injector reopened after close");
+    });
+}
+
+/// Per-thread FIFO: a drain observes each pusher's tasks in that
+/// pusher's order, even with two pushers interleaving.
+#[test]
+fn drains_preserve_per_thread_push_order() {
+    loom::model(|| {
+        let inj = Arc::new(Injector::new());
+        let pushers: Vec<_> = (0..2u64)
+            .map(|t| {
+                let inj = inj.clone();
+                thread::spawn(move || {
+                    for i in 0..3u64 {
+                        inj.push(t * 100 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for p in pushers {
+            p.join().unwrap();
+        }
+        let mut seen = Vec::new();
+        inj.drain(&mut seen);
+        for t in 0..2u64 {
+            let thread_order: Vec<u64> = seen.iter().copied().filter(|v| v / 100 == t).collect();
+            assert_eq!(
+                thread_order,
+                vec![t * 100, t * 100 + 1, t * 100 + 2],
+                "pusher {t}'s order was not preserved"
+            );
+        }
+    });
+}

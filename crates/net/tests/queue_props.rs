@@ -1,0 +1,201 @@
+//! Property tests for the reactor's bounded send queue — the
+//! backpressure primitive every link hangs off.
+//!
+//! A reference model (an unbounded `VecDeque` of frame lengths plus the
+//! same cap rules, executed naively) is driven through randomized
+//! enqueue/advance/disconnect interleavings alongside the real
+//! [`SendQueue`]; after every operation the two must agree on length,
+//! byte total, drop count, and what the next vectored batch would offer.
+//! The invariants the reactor relies on:
+//!
+//! * Neither cap is ever exceeded, no matter the interleaving.
+//! * Per-link FIFO: the batch is always a prefix of the accepted frames
+//!   in push order — a reconnect (`reset_progress`) rewinds to the head
+//!   frame's boundary but never reorders or skips.
+//! * Every rejected push is counted, exactly once.
+//! * `advance` retires a frame exactly when its full length has been
+//!   written since it became head, and reports whole frames only.
+
+use p2pfl_net::reactor::SendQueue;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push a frame of this many bytes (pattern-filled for content checks).
+    Push(usize),
+    /// The kernel accepted this many bytes of the current batch.
+    Advance(usize),
+    /// Connection died: void partial progress on the head frame.
+    Reset,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1usize..40).prop_map(Op::Push),
+        (0usize..80).prop_map(Op::Advance),
+        Just(Op::Reset),
+    ]
+}
+
+/// Naive reference: frames as length-tagged byte vectors, same cap rules.
+struct Model {
+    frames: Vec<Vec<u8>>,
+    head_written: usize,
+    dropped: u64,
+    peak: usize,
+    max_frames: usize,
+    max_bytes: usize,
+}
+
+impl Model {
+    fn new(max_frames: usize, max_bytes: usize) -> Model {
+        Model {
+            frames: Vec::new(),
+            head_written: 0,
+            dropped: 0,
+            peak: 0,
+            max_frames: max_frames.max(1),
+            max_bytes: max_bytes.max(1),
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        self.frames.iter().map(Vec::len).sum()
+    }
+
+    fn push(&mut self, frame: Vec<u8>) -> bool {
+        if self.frames.len() >= self.max_frames || self.bytes() + frame.len() > self.max_bytes {
+            self.dropped += 1;
+            return false;
+        }
+        self.frames.push(frame);
+        self.peak = self.peak.max(self.frames.len());
+        true
+    }
+
+    fn advance(&mut self, mut n: usize) -> (usize, usize) {
+        let (mut retired, mut retired_bytes) = (0, 0);
+        while n > 0 && !self.frames.is_empty() {
+            let remaining = self.frames[0].len() - self.head_written;
+            if n >= remaining {
+                n -= remaining;
+                retired_bytes += self.frames[0].len();
+                retired += 1;
+                self.frames.remove(0);
+                self.head_written = 0;
+            } else {
+                self.head_written += n;
+                n = 0;
+            }
+        }
+        (retired, retired_bytes)
+    }
+
+    /// What a vectored write would be offered, concatenated.
+    fn batch_bytes(&self, max: usize) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (i, f) in self.frames.iter().take(max).enumerate() {
+            let skip = if i == 0 { self.head_written } else { 0 };
+            out.extend_from_slice(&f[skip..]);
+        }
+        out
+    }
+}
+
+/// A frame whose content encodes its sequence number, so FIFO violations
+/// show up as content mismatches, not just length mismatches.
+fn frame(seq: usize, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| (seq.wrapping_add(i) & 0xff) as u8)
+        .collect()
+}
+
+fn check_against_model(max_frames: usize, max_bytes: usize, ops: &[Op]) {
+    let mut q = SendQueue::new(max_frames, max_bytes);
+    let mut m = Model::new(max_frames, max_bytes);
+    for (seq, op) in ops.iter().enumerate() {
+        match op {
+            Op::Push(len) => {
+                let f = frame(seq, *len);
+                let accepted = q.push(f.clone());
+                let model_accepted = m.push(f);
+                assert_eq!(accepted, model_accepted, "push #{seq} disagreed");
+            }
+            Op::Advance(n) => {
+                assert_eq!(q.advance(*n), m.advance(*n), "advance({n}) disagreed");
+            }
+            Op::Reset => {
+                q.reset_progress();
+                m.head_written = 0;
+            }
+        }
+        // Caps hold after *every* operation.
+        assert!(q.len() <= max_frames.max(1), "frame cap exceeded");
+        assert!(q.bytes() <= max_bytes.max(1), "byte cap exceeded");
+        // Full-state agreement with the model.
+        assert_eq!(q.len(), m.frames.len());
+        assert_eq!(q.bytes(), m.bytes());
+        assert_eq!(q.dropped(), m.dropped);
+        assert_eq!(q.peak(), m.peak);
+        assert_eq!(q.is_empty(), m.frames.is_empty());
+        // FIFO + content: the offered batch is byte-identical.
+        let got: Vec<u8> = q.batch(8).fold(Vec::new(), |mut acc, s| {
+            acc.extend_from_slice(s);
+            acc
+        });
+        assert_eq!(got, m.batch_bytes(8), "batch content diverged");
+    }
+}
+
+proptest! {
+    #[test]
+    fn random_interleavings_match_reference_model(
+        max_frames in 1usize..6,
+        max_bytes in 1usize..120,
+        ops in prop::collection::vec(arb_op(), 0..120),
+    ) {
+        check_against_model(max_frames, max_bytes, &ops);
+    }
+
+    #[test]
+    fn unbounded_advance_always_drains(
+        max_frames in 1usize..6,
+        max_bytes in 16usize..120,
+        lens in prop::collection::vec(1usize..30, 0..12),
+    ) {
+        let mut q = SendQueue::new(max_frames, max_bytes);
+        let mut accepted_bytes = 0usize;
+        let mut accepted = 0usize;
+        for (seq, len) in lens.iter().enumerate() {
+            if q.push(frame(seq, *len)) {
+                accepted += 1;
+                accepted_bytes += len;
+            }
+        }
+        prop_assert_eq!(q.advance(usize::MAX), (accepted, accepted_bytes));
+        prop_assert!(q.is_empty());
+        prop_assert_eq!(q.bytes(), 0);
+    }
+}
+
+/// Disconnect mid-frame, reconnect, and the exact same frame bytes come
+/// back from the start — the at-least-once boundary the receiver's
+/// per-connection [`FrameBuffer`](p2pfl_net::FrameBuffer) discard pairs
+/// with.
+#[test]
+fn reconnect_resends_partial_head_from_frame_boundary() {
+    let mut q = SendQueue::new(8, 1 << 20);
+    let f0 = frame(0, 10);
+    let f1 = frame(1, 7);
+    assert!(q.push(f0.clone()));
+    assert!(q.push(f1.clone()));
+    assert_eq!(q.advance(6), (0, 0), "partial head retires nothing");
+    q.reset_progress();
+    let offered: Vec<u8> = q.batch(8).fold(Vec::new(), |mut a, s| {
+        a.extend_from_slice(s);
+        a
+    });
+    let mut want = f0;
+    want.extend_from_slice(&f1);
+    assert_eq!(offered, want, "resend must restart at the frame boundary");
+}

@@ -157,6 +157,12 @@ pub mod sync {
                 crate::maybe_yield();
                 self.0.fetch_add(v, o)
             }
+
+            /// Atomic max, returning the previous value.
+            pub fn fetch_max(&self, v: u64, o: Ordering) -> u64 {
+                crate::maybe_yield();
+                self.0.fetch_max(v, o)
+            }
         }
 
         impl AtomicUsize {

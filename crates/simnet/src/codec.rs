@@ -299,16 +299,50 @@ impl Deserializer for BinDeserializer<'_> {
     }
 }
 
-/// Writes `payload` as one length-delimited frame.
-pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+/// Wraps an already-encoded payload into wire-frame form: the 4-byte
+/// little-endian length prefix followed by the payload, in one buffer.
+/// Returns `None` for payloads over [`MAX_FRAME`].
+pub fn frame_bytes(payload: &[u8]) -> Option<Vec<u8>> {
     if payload.len() > MAX_FRAME {
+        return None;
+    }
+    let mut framed = Vec::with_capacity(payload.len() + 4);
+    framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    framed.extend_from_slice(payload);
+    Some(framed)
+}
+
+/// Serializes `value` directly into wire-frame form (length prefix +
+/// payload) in a single allocation — the batched write path of the async
+/// reactor queues these verbatim and hands them to vectored writes, so
+/// no per-frame copy or extra syscall happens later. Returns `None` when
+/// the value cannot be encoded or exceeds [`MAX_FRAME`].
+pub fn to_frame_bytes<T: Serialize + ?Sized>(value: &T) -> Option<Vec<u8>> {
+    let mut ser = BinSerializer { buf: vec![0u8; 4] };
+    if value.serialize(&mut ser).is_err() {
+        debug_assert!(false, "unencodable value: sequence longer than u32::MAX");
+        return None;
+    }
+    let len = ser.buf.len().saturating_sub(4);
+    if len > MAX_FRAME {
+        return None;
+    }
+    let prefix = (len as u32).to_le_bytes();
+    ser.buf.get_mut(..4)?.copy_from_slice(&prefix);
+    Some(ser.buf)
+}
+
+/// Writes `payload` as one length-delimited frame. Prefix and payload go
+/// out in a single `write_all`, so a `TCP_NODELAY` socket emits one
+/// segment per frame instead of two.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    let Some(framed) = frame_bytes(payload) else {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
             format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
         ));
-    }
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
-    w.write_all(payload)?;
+    };
+    w.write_all(&framed)?;
     w.flush()
 }
 

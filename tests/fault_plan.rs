@@ -155,6 +155,112 @@ fn same_plan_preserves_sac_digest_on_tcp() {
     );
 }
 
+/// One SAC round on the reactor (single loop thread hosting all peers),
+/// every peer filtering its sends through `plan`; returns the leader's
+/// digest.
+fn reactor_sac_digest(plan: &FaultPlan) -> u64 {
+    use p2pfl_net::{PeerHandle, Reactor, ReactorConfig};
+    let reactor: Reactor<SacMsg, SacPeerActor> =
+        Reactor::start(ReactorConfig::default()).expect("bind reactor");
+    let ids: Vec<NodeId> = (0..N).map(|i| NodeId(i as u32)).collect();
+    let models = models();
+    let handles: Vec<PeerHandle<SacMsg, SacPeerActor>> = (0..N)
+        .map(|i| {
+            let actor = SacPeerActor::new(
+                sac_config(&ids, i, SimDuration::from_secs(30)),
+                models[i].clone(),
+            );
+            reactor
+                .spawn_peer_with_faults(ids[i], actor, plan)
+                .expect("spawn")
+        })
+        .collect();
+    for a in &handles {
+        for b in &handles {
+            if a.node_id() != b.node_id() {
+                a.add_peer(b.node_id(), reactor.local_addr());
+            }
+        }
+    }
+    handles[0].with(|a, ctx| a.start_round(ctx, 1));
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let digest = loop {
+        let state =
+            handles[0].with(|a, _| (a.phase.clone(), a.result.as_ref().map(|r| r.digest())));
+        match state {
+            (SacPhase::Done, Some(d)) => break d,
+            (SacPhase::Failed(e), _) => panic!("reactor round failed: {e}"),
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "reactor round stalled");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    // The plan's duplication window must have fired on this transport too.
+    let frames: u64 = handles.iter().map(|h| h.stats().frames_sent).sum();
+    let clean_run: u64 = (N * (N - 1)) as u64 * 2;
+    assert!(
+        frames > clean_run,
+        "duplication never fired: {frames} frames"
+    );
+    for h in &handles {
+        assert_eq!(
+            h.decode_errors(),
+            0,
+            "peer {:?} dropped frames",
+            h.node_id()
+        );
+    }
+    digest
+}
+
+/// The acceptance differential for the async runtime: the same seed,
+/// models, and declarative fault plan produce a bit-identical aggregate
+/// on all three executions — discrete-event simulator, thread-per-peer
+/// TCP transport, and the single-thread reactor transport.
+#[test]
+fn plan_digest_identical_across_sim_threaded_and_reactor() {
+    let clean = sim_sac_digest(None);
+    let plan = shared_plan();
+    assert_eq!(sim_sac_digest(Some(&plan)), clean, "simulator leg diverged");
+    assert_eq!(reactor_sac_digest(&plan), clean, "reactor leg diverged");
+
+    // Threaded leg, same plan (mirrors `same_plan_preserves_sac_digest_on_tcp`).
+    let ids: Vec<NodeId> = (0..N).map(|i| NodeId(i as u32)).collect();
+    let models = models();
+    let runtimes: Vec<PeerRuntime<SacMsg, SacPeerActor>> = (0..N)
+        .map(|i| {
+            let actor = SacPeerActor::new(
+                sac_config(&ids, i, SimDuration::from_secs(30)),
+                models[i].clone(),
+            );
+            PeerRuntime::start_with_faults(ids[i], "127.0.0.1:0", &[], actor, &plan).expect("bind")
+        })
+        .collect();
+    for a in &runtimes {
+        for b in &runtimes {
+            if a.node_id() != b.node_id() {
+                a.add_peer(b.node_id(), b.local_addr());
+            }
+        }
+    }
+    runtimes[0].with(|a, ctx| a.start_round(ctx, 1));
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let state =
+            runtimes[0].with(|a, _| (a.phase.clone(), a.result.as_ref().map(|r| r.digest())));
+        match state {
+            (SacPhase::Done, Some(d)) => {
+                assert_eq!(d, clean, "threaded leg diverged");
+                break;
+            }
+            (SacPhase::Failed(e), _) => panic!("threaded round failed: {e}"),
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "threaded round stalled");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
 #[test]
 fn plan_leaves_two_layer_backend_electable_on_simulator() {
     let mut spec = DeploymentSpec::paper(100, SEED);
