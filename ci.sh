@@ -89,6 +89,9 @@ cargo run --release -p p2pfl-bench --bin chaos_soak -- --smoke --engine ring --s
 echo "==> byzantine soak (commit-then-skew attacker on sim + TCP, fixed seed)"
 cargo run --release -p p2pfl-bench --bin chaos_soak -- --byzantine --seed 7
 
+echo "==> flash-crowd soak (elastic burst join + mass leave, twin digest + TCP re-key replay)"
+cargo run --release -p p2pfl-bench --bin chaos_soak -- --flash-crowd --seed 7
+
 # Perf gate: quick hotpath run compared against the checked-in baseline;
 # fails on a >2x median regression in any benchmark, and the in-binary
 # crossover gate fails if Ring-SAC is not strictly cheaper than pairwise

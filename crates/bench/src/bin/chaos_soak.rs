@@ -25,11 +25,20 @@
 //! --seed 7` (one SAC peer runs the commit-then-skew attack on both the
 //! simulator and real TCP transports; both leaders must finish with the
 //! attacker excluded and the honest mean intact).
+//! Flash crowd: `cargo run -rp p2pfl-bench --bin chaos_soak --
+//! --flash-crowd --seed 7` (burst-join to 3x the population then mass
+//! leave; the elastic planner must split and merge, every subgroup must
+//! end in band with nobody orphaned, no mask domain may repeat across
+//! re-keys, the run must match an identically-scheduled twin bit for
+//! bit, and a re-keyed SAC round per converged roster must produce the
+//! same digest over real TCP as on the simulator).
 
 use p2pfl::runner::{ResilientConfig, ResilientSession};
 use p2pfl_bench::{banner, print_csv, Args};
 use p2pfl_fed::Client;
-use p2pfl_hierraft::{HierActor, HierMsg, HierPeerConfig, RobustCombiner, SubCmd};
+use p2pfl_hierraft::{
+    ElasticBounds, FedCmd, HierActor, HierMsg, HierPeerConfig, RobustCombiner, SubCmd,
+};
 use p2pfl_ml::data::{features_like, partition_dataset, train_test_split, Dataset, Partition};
 use p2pfl_ml::models::mlp;
 use p2pfl_net::PeerRuntime;
@@ -255,6 +264,331 @@ fn churn_leg(seed: u64, rounds: usize, engine: SacEngine) {
 }
 
 // ---------------------------------------------------------------------
+// Flash-crowd leg: elastic split/merge under burst join + mass leave
+// ---------------------------------------------------------------------
+
+const FC_GROUPS: usize = 4;
+const FC_SIZE: usize = 3;
+
+/// Builds one elastic session sized for the flash crowd: the dataset is
+/// partitioned for the initial peers *and* the joiners, so the burst
+/// brings real training clients. Returns the session, the joiner clients,
+/// and the test split.
+fn elastic_session(
+    seed: u64,
+    engine: SacEngine,
+    bounds: ElasticBounds,
+) -> (ResilientSession, Vec<Client>, Dataset) {
+    let mut cfg = ResilientConfig::small(seed);
+    cfg.deployment.num_subgroups = FC_GROUPS;
+    cfg.deployment.subgroup_size = FC_SIZE;
+    cfg.deployment.engine = engine;
+    cfg.deployment.elastic = Some(bounds);
+    let n_initial = cfg.deployment.total_peers();
+    let n_all = 3 * n_initial; // the burst triples the population
+    let (train, test) = train_test_split(&features_like(16, n_all * 40 + 300, seed), n_all * 40);
+    let parts = partition_dataset(&train, n_all, Partition::Iid, seed + 1);
+    let mut rng = StdRng::seed_from_u64(seed + 2);
+    let mut clients: Vec<Client> = parts
+        .into_iter()
+        .enumerate()
+        .map(|(i, d)| {
+            Client::new(
+                i,
+                mlp(&[16, 24, 10], &mut rng),
+                d,
+                5e-3,
+                seed + 10 + i as u64,
+            )
+        })
+        .collect();
+    let joiners = clients.split_off(n_initial);
+    let eval = mlp(&[16, 24, 10], &mut rng);
+    (ResilientSession::new(cfg, clients, eval), joiners, test)
+}
+
+/// Asserts the elastic safety claims on a session's final state and
+/// returns the converged rosters with their re-key domains for the
+/// reactor leg: layout in band, nobody orphaned, and — oracle-checked —
+/// no mask domain reused across any re-key.
+fn assert_elastic_safe(
+    s: &ResilientSession,
+    bounds: ElasticBounds,
+    n_all: usize,
+) -> Vec<(u64, Vec<NodeId>)> {
+    let t = s.dep.latest_topology();
+    for g in &t.groups {
+        assert!(
+            bounds.admits(g.members.len()),
+            "subgroup {} ended out of band with {} members",
+            g.gid,
+            g.members.len()
+        );
+    }
+    for i in 0..n_all {
+        let id = NodeId(i as u32);
+        if s.dep.sim.is_crashed(id) {
+            continue;
+        }
+        let homes = t.groups.iter().filter(|g| g.members.contains(&id)).count();
+        assert_eq!(homes, 1, "peer {id:?} lives in {homes} subgroups");
+    }
+    let actors: Vec<(NodeId, &HierActor)> = (0..n_all)
+        .map(|i| {
+            let id = NodeId(i as u32);
+            (id, s.dep.sim.actor::<HierActor>(id))
+        })
+        .collect();
+    if let Err(v) = p2pfl_check::oracles::no_mask_reuse_across_rekey(actors.iter().copied()) {
+        panic!("{}: {}", v.oracle, v.detail);
+    }
+    t.groups
+        .iter()
+        .map(|g| {
+            let key = t.roster_key(g.gid).expect("group just listed");
+            (key, g.members.clone())
+        })
+        .collect()
+}
+
+/// Flash-crowd leg (simulator): from 4 subgroups, burst-join peers until
+/// the population triples, then mass-leave back down. The replicated
+/// planner must split on the way up and merge on the way down, every
+/// subgroup must end inside `[n_min, n_max]` with nobody orphaned, no
+/// mask domain may repeat across the re-keys, and the whole run must be
+/// bit-reproducible: a twin session fed the identical schedule ends with
+/// the identical global model. Returns the converged rosters + re-key
+/// domains for the TCP leg.
+fn flash_crowd_leg(seed: u64, engine: SacEngine) -> Vec<(u64, Vec<NodeId>)> {
+    let bounds = ElasticBounds::new(3, 6);
+    let (mut s, joiners, test) = elastic_session(seed, engine, bounds);
+    let (mut twin, twin_joiners, _) = elastic_session(seed, engine, bounds);
+    let n_initial = FC_GROUPS * FC_SIZE;
+    let n_all = 3 * n_initial;
+    let wall = Instant::now();
+    println!(
+        "# flash-crowd leg: {n_initial} peers, burst to {n_all}, bounds [{}, {}], seed {seed}",
+        bounds.n_min, bounds.n_max
+    );
+
+    s.run(2, &test);
+    twin.run(2, &test);
+    assert_eq!(s.supervisor.splits, 0, "no split before the burst");
+
+    // Burst: every joiner rendezvouses in; 36 peers cannot fit in groups
+    // of <= 6 without at least one split.
+    for (c, ct) in joiners.into_iter().zip(twin_joiners) {
+        s.add_peer(c);
+        twin.add_peer(ct);
+    }
+    let mut round = 3usize;
+    for _ in 0..10 {
+        s.run_round(round, &test);
+        twin.run_round(round, &test);
+        round += 1;
+        let placed = (n_initial..n_all)
+            .all(|i| s.dep.latest_topology().group_of(NodeId(i as u32)).is_some());
+        if placed && s.supervisor.splits >= 1 && s.dep.latest_topology().converged(bounds) {
+            break;
+        }
+    }
+    assert!(s.supervisor.splits >= 1, "join burst never forced a split");
+    println!(
+        "# flash-crowd: burst absorbed ({} splits, {} groups, {} rekeys)",
+        s.supervisor.splits,
+        s.dep.latest_topology().groups.len(),
+        s.supervisor.rekeys
+    );
+
+    // Mass leave: every joiner departs again (same schedule on the twin).
+    for i in n_initial..n_all {
+        s.remove_peer(NodeId(i as u32));
+        twin.remove_peer(NodeId(i as u32));
+    }
+    for _ in 0..6 {
+        s.run_round(round, &test);
+        twin.run_round(round, &test);
+        round += 1;
+        let t = s.dep.latest_topology();
+        let sizes: Vec<usize> = t.groups.iter().map(|g| g.members.len()).collect();
+        println!(
+            "# flash-crowd leave round {}: v{} groups {:?}, {} merges, fed leader {:?}",
+            round - 1,
+            t.version,
+            sizes,
+            s.supervisor.merges,
+            s.dep.fed_leader()
+        );
+        if s.supervisor.merges >= 1 && t.converged(bounds) {
+            break;
+        }
+    }
+    // The exodus usually leaves a runt behind; if every surviving group
+    // landed in band by luck, decay one below the floor so the merge path
+    // is exercised deterministically (same picks on the twin).
+    if s.supervisor.merges == 0 {
+        let t = s.dep.latest_topology();
+        let small = t
+            .groups
+            .iter()
+            .min_by_key(|g| (g.members.len(), g.gid))
+            .expect("layout has groups")
+            .clone();
+        let spare: Vec<NodeId> = small
+            .members
+            .iter()
+            .copied()
+            .filter(|&m| Some(m) != s.dep.fed_leader())
+            .take((small.members.len() + 1).saturating_sub(bounds.n_min))
+            .collect();
+        for m in spare {
+            s.remove_peer(m);
+            twin.remove_peer(m);
+        }
+        for _ in 0..6 {
+            s.run_round(round, &test);
+            twin.run_round(round, &test);
+            round += 1;
+            if s.supervisor.merges >= 1 && s.dep.latest_topology().converged(bounds) {
+                break;
+            }
+        }
+    }
+    assert!(s.supervisor.merges >= 1, "mass leave never forced a merge");
+
+    // Post-convergence round, then the digest check: the twin saw the
+    // identical schedule, so the global models must match bit for bit.
+    let r = s.run_round(round, &test);
+    let rt = twin.run_round(round, &test);
+    assert!(r.fed_leader.is_some(), "no FedAvg leader after the churn");
+    assert!(r.record.groups_used >= 1, "training wedged after the churn");
+    let s_bits: Vec<u64> = s.global().iter().map(|x| x.to_bits()).collect();
+    let t_bits: Vec<u64> = twin.global().iter().map(|x| x.to_bits()).collect();
+    assert_eq!(
+        s_bits, t_bits,
+        "flash-crowd run diverged from its twin (seed {seed})"
+    );
+    assert_eq!(rt.record.groups_used, r.record.groups_used);
+
+    let rosters = assert_elastic_safe(&s, bounds, n_all);
+    println!(
+        "# flash-crowd leg passed: {} splits, {} merges, {} rekeys, {} final groups, \
+         twin digest matches ({:.1}s)",
+        s.supervisor.splits,
+        s.supervisor.merges,
+        s.supervisor.rekeys,
+        rosters.len(),
+        wall.elapsed().as_secs_f64()
+    );
+    rosters
+}
+
+/// Flash-crowd TCP leg: replays one secure-aggregation round per
+/// converged roster on the reactor runtime, with every SAC actor re-keyed
+/// into the roster's mask domain (the same `roster_key` the simulator
+/// peers adopted), and checks the result bit-for-bit against a simulator
+/// twin of the identical round — and against the plain mean.
+fn flash_crowd_reactor_leg(rosters: &[(u64, Vec<NodeId>)], seed: u64) {
+    use p2pfl_net::{PeerHandle, Reactor, ReactorConfig};
+    let wall = Instant::now();
+    for (gi, (roster_key, roster)) in rosters.iter().enumerate() {
+        let n = roster.len();
+        let k = n.div_ceil(2);
+        let ids: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+        let mut rng = StdRng::seed_from_u64(seed ^ roster_key);
+        let models: Vec<WeightVector> = (0..n)
+            .map(|_| WeightVector::random(16, 1.0, &mut rng))
+            .collect();
+        let mut plain = WeightVector::zeros(16);
+        for m in &models {
+            plain.add_assign(m);
+        }
+        plain.scale(1.0 / n as f64);
+        let cfg = |pos: usize, deadline: SimDuration| SacConfig {
+            group: ids.clone(),
+            position: pos,
+            leader_pos: 0,
+            k,
+            scheme: ShareScheme::Masked,
+            engine: SacEngine::Pairwise,
+            share_deadline: deadline,
+            collect_deadline: deadline,
+            round_deadline: None,
+            seed: seed ^ (pos as u64 * 0x9e37_79b9),
+        };
+        let rekeyed = |pos: usize, deadline: SimDuration| {
+            let mut a = SacPeerActor::new(cfg(pos, deadline), models[pos].clone());
+            assert!(
+                a.rekey(ids.clone(), ids[0], k, *roster_key),
+                "re-key rejected for subgroup {gi} position {pos}"
+            );
+            assert_eq!(a.mask_keys().len(), 2, "construction domain + re-key");
+            a
+        };
+
+        // Simulator twin of the round.
+        let mut sim: Sim<SacMsg> = Sim::new(seed ^ roster_key);
+        for pos in 0..n {
+            sim.add_node(rekeyed(pos, SimDuration::from_millis(100)));
+        }
+        sim.exec::<SacPeerActor, _, _>(ids[0], |a, ctx| a.start_round(ctx, 1));
+        sim.run_until(sim.now() + SimDuration::from_secs(5));
+        let leader = sim.actor::<SacPeerActor>(ids[0]);
+        assert_eq!(
+            leader.phase,
+            SacPhase::Done,
+            "sim twin of subgroup {gi}: {:?}",
+            leader.phase
+        );
+        let sim_result = leader.result.clone().expect("sim twin result");
+        assert!(
+            sim_result.linf_distance(&plain) < 1e-9,
+            "subgroup {gi}: re-keyed masks failed to cancel on the simulator"
+        );
+
+        // The same round over real sockets on the reactor runtime.
+        let reactor: Reactor<SacMsg, SacPeerActor> =
+            Reactor::start(ReactorConfig::default()).expect("bind reactor");
+        let handles: Vec<PeerHandle<SacMsg, SacPeerActor>> = (0..n)
+            .map(|pos| {
+                reactor
+                    .spawn_peer(ids[pos], rekeyed(pos, SimDuration::from_secs(2)))
+                    .expect("spawn peer")
+            })
+            .collect();
+        let addr = reactor.local_addr();
+        for a in &handles {
+            for b in &handles {
+                if a.node_id() != b.node_id() {
+                    a.add_peer(b.node_id(), addr);
+                }
+            }
+        }
+        handles[0].with(|a, ctx| a.start_round(ctx, 1));
+        wait_for(
+            &format!("flash-crowd tcp round, subgroup {gi}"),
+            Duration::from_secs(60),
+            || handles[0].with(|a, _| a.result.is_some() || matches!(a.phase, SacPhase::Failed(_))),
+        );
+        let (phase, tcp_result) = handles[0].with(|a, _| (a.phase.clone(), a.result.clone()));
+        assert_eq!(phase, SacPhase::Done, "tcp subgroup {gi}: {phase:?}");
+        let tcp_result = tcp_result.expect("tcp result");
+        assert_eq!(
+            tcp_result.digest(),
+            sim_result.digest(),
+            "subgroup {gi}: reactor round diverged from the simulator twin"
+        );
+        drop(reactor);
+    }
+    println!(
+        "# flash-crowd tcp leg passed: {} re-keyed rosters, reactor digests match the \
+         simulator twin ({:.1}s)",
+        rosters.len(),
+        wall.elapsed().as_secs_f64()
+    );
+}
+
+// ---------------------------------------------------------------------
 // TCP leg: plan-scheduled crash/restart against on-disk Raft state
 // ---------------------------------------------------------------------
 
@@ -286,6 +620,7 @@ fn hier_cfg(
         engine,
         combiner: RobustCombiner::FedAvg,
         seed: seed ^ (0x9e37 + id.0 as u64 * 0x85eb_ca6b),
+        elastic: None,
     }
 }
 
@@ -295,7 +630,7 @@ fn storage_actor(dir: &Path, cfg: HierPeerConfig) -> HierActor {
     HierActor::with_storage(
         cfg,
         Box::new(FileStorage::<SubCmd>::open(sub).expect("open sub storage")),
-        Box::new(FileStorage::<u64>::open(fed).expect("open fed storage")),
+        Box::new(FileStorage::<FedCmd>::open(fed).expect("open fed storage")),
     )
 }
 
@@ -328,14 +663,16 @@ fn commit_marker(rts: &HashMap<NodeId, HierRt>, subgroups: &[Vec<NodeId>], marke
         .values()
         .find(|rt| rt.with(|a, _| a.is_fed_leader()))
         .expect("fed leader");
-    fl.with(move |a, ctx| a.propose_fed(ctx, marker).unwrap());
+    fl.with(move |a, ctx| a.propose_fed(ctx, FedCmd::Round(marker)).unwrap());
     wait_for(
         &format!("marker {marker} at every subgroup leader"),
         Duration::from_secs(30),
         || {
             subgroups.iter().all(|g| {
                 g.iter().filter_map(|id| rts.get(id)).any(|rt| {
-                    rt.with(move |a, _| a.is_sub_leader() && a.fed_cmds_applied.contains(&marker))
+                    rt.with(move |a, _| {
+                        a.is_sub_leader() && a.fed_rounds_applied().contains(&marker)
+                    })
                 })
             })
         },
@@ -649,6 +986,21 @@ fn main() {
         );
         byzantine_leg(seed);
         println!("# byzantine soak passed");
+        return;
+    }
+
+    if args.get_flag("flash-crowd") {
+        banner(
+            "Chaos soak: flash-crowd churn over the elastic topology",
+            "burst join to 3x then mass leave; split+merge in band, safe re-keys, twin digest match",
+        );
+        let rosters = flash_crowd_leg(seed, engine);
+        if !args.get_flag("skip-tcp") {
+            flash_crowd_reactor_leg(&rosters, seed);
+        } else {
+            println!("# --skip-tcp: reactor replay of the converged rosters skipped");
+        }
+        println!("# flash-crowd soak passed");
         return;
     }
 

@@ -537,6 +537,67 @@ fn run_shape(shape: &Shape, soak: bool, suffix: &str) -> (Vec<BenchResult>, Vec<
     (bench_results, extra)
 }
 
+/// A short elastic episode on the simulator-backed session: a join burst
+/// doubles a 4x3 layout and the planner splits it back into band. Records
+/// the converged subgroup-size histogram and the supervisor's elastic
+/// counters for the report.
+fn elastic_histogram(seed: u64) -> (Vec<(usize, usize)>, u64, u64, u64) {
+    use p2pfl::runner::{ResilientConfig, ResilientSession};
+    use p2pfl_fed::Client;
+    use p2pfl_hierraft::ElasticBounds;
+    use p2pfl_ml::data::{features_like, partition_dataset, train_test_split, Partition};
+    use p2pfl_ml::models::mlp;
+
+    let bounds = ElasticBounds::new(3, 6);
+    let mut cfg = ResilientConfig::small(seed);
+    cfg.deployment.num_subgroups = 4;
+    cfg.deployment.subgroup_size = 3;
+    cfg.deployment.elastic = Some(bounds);
+    let n_initial = cfg.deployment.total_peers();
+    let n_all = 2 * n_initial;
+    let (train, test) = train_test_split(&features_like(16, n_all * 20 + 200, seed), n_all * 20);
+    let parts = partition_dataset(&train, n_all, Partition::Iid, seed + 1);
+    let mut rng = StdRng::seed_from_u64(seed + 2);
+    let mut clients: Vec<Client> = parts
+        .into_iter()
+        .enumerate()
+        .map(|(i, d)| {
+            Client::new(
+                i,
+                mlp(&[16, 24, 10], &mut rng),
+                d,
+                5e-3,
+                seed + 10 + i as u64,
+            )
+        })
+        .collect();
+    let joiners = clients.split_off(n_initial);
+    let eval = mlp(&[16, 24, 10], &mut rng);
+    let mut s = ResilientSession::new(cfg, clients, eval);
+    s.run(2, &test);
+    for c in joiners {
+        s.add_peer(c);
+    }
+    for round in 3..=10usize {
+        s.run_round(round, &test);
+        if s.supervisor.splits >= 1 && s.dep.latest_topology().converged(bounds) {
+            break;
+        }
+    }
+    let t = s.dep.latest_topology();
+    assert!(t.converged(bounds), "elastic episode never converged");
+    let mut hist = std::collections::BTreeMap::<usize, usize>::new();
+    for g in &t.groups {
+        *hist.entry(g.members.len()).or_default() += 1;
+    }
+    (
+        hist.into_iter().collect(),
+        s.supervisor.splits,
+        s.supervisor.merges,
+        s.supervisor.rekeys,
+    )
+}
+
 fn main() {
     let args = Args::parse();
     let quick = args.get_flag("quick");
@@ -565,6 +626,23 @@ fn main() {
         extra.extend(full_extra);
     }
     extra.push("\"digest_match\": true".to_string());
+
+    // Elastic episode: a join burst the planner must split back into
+    // band; the converged subgroup-size histogram lands in the report.
+    println!("# elastic episode: join burst on a 4x3 layout, recording the converged histogram...");
+    let (hist, splits, merges, rekeys) = elastic_histogram(SEED ^ 0xe1a5);
+    println!("# elastic: sizes {hist:?}, {splits} splits, {merges} merges, {rekeys} rekeys");
+    let hist_json: Vec<String> = hist
+        .iter()
+        .map(|(sz, n)| format!("\"{sz}\": {n}"))
+        .collect();
+    extra.push(format!(
+        "\"elastic_subgroup_size_hist\": {{{}}}",
+        hist_json.join(", ")
+    ));
+    extra.push(format!("\"elastic_splits\": {splits}"));
+    extra.push(format!("\"elastic_merges\": {merges}"));
+    extra.push(format!("\"elastic_rekeys\": {rekeys}"));
 
     let shape = if quick { QUICK } else { FULL };
     let json = to_json(&shape, quick, soak, &bench_results, &extra);

@@ -1,7 +1,7 @@
 //! Bounded-exhaustive exploration driver.
 //!
 //! ```text
-//! explore [--model raft3|sac3|sacchurn|ringsac|hier|byz|byzequiv|all] [--depth N] [--branch N]
+//! explore [--model raft3|sac3|sacchurn|ringsac|hier|elastic|byz|byzequiv|all] [--depth N] [--branch N]
 //!         [--states N] [--walks N] [--seed N] [--drops] [--dups] [--ci]
 //! ```
 //!
@@ -15,7 +15,8 @@
 #![forbid(unsafe_code)]
 
 use p2pfl_check::models::{
-    ByzEquivModel, ByzModel, HierModel, Raft3Model, RingSacModel, Sac3Model, SacChurnModel,
+    ByzEquivModel, ByzModel, ElasticModel, HierModel, Raft3Model, RingSacModel, Sac3Model,
+    SacChurnModel,
 };
 use p2pfl_check::{ExploreConfig, ExploreReport, Explorer, Model};
 use std::time::Instant;
@@ -148,6 +149,9 @@ fn main() {
     if selected("hier") {
         ok &= run_one(HierModel, &opts, 4);
     }
+    if selected("elastic") {
+        ok &= run_one(ElasticModel, &opts, 4);
+    }
     if selected("byz") {
         ok &= run_one(ByzModel, &opts, 4);
     }
@@ -155,7 +159,7 @@ fn main() {
         ok &= run_one(ByzEquivModel, &opts, 4);
     }
     if ![
-        "all", "raft3", "sac3", "sacchurn", "ringsac", "hier", "byz", "byzequiv",
+        "all", "raft3", "sac3", "sacchurn", "ringsac", "hier", "elastic", "byz", "byzequiv",
     ]
     .contains(&opts.model.as_str())
     {

@@ -146,6 +146,7 @@ impl ByzEquivModel {
             engine: SacEngine::Pairwise,
             combiner: RobustCombiner::TrimmedMean,
             seed: EQUIV_SEED ^ (0x9e37 + id.0 as u64 * 0x85eb_ca6b),
+            elastic: None,
         }
     }
 }

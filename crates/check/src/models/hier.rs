@@ -54,6 +54,7 @@ impl HierModel {
             engine: SacEngine::Pairwise,
             combiner: RobustCombiner::FedAvg,
             seed: SEED ^ (0x9e37 + id.0 as u64 * 0x85eb_ca6b),
+            elastic: None,
         }
     }
 }

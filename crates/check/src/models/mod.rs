@@ -6,6 +6,7 @@
 //! fingerprint, and composes the [`crate::oracles`] into one `check`.
 
 mod byz;
+mod elastic;
 mod hier;
 mod raft3;
 mod ringsac;
@@ -13,6 +14,7 @@ mod sac3;
 mod sac3_churn;
 
 pub use byz::{ByzEquivModel, ByzModel};
+pub use elastic::ElasticModel;
 pub use hier::HierModel;
 pub use raft3::Raft3Model;
 pub use ringsac::RingSacModel;

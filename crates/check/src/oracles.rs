@@ -721,3 +721,127 @@ pub fn equivocation_detection<'a>(
 pub fn storage_roundtrip(node: NodeId, result: Result<(), String>) -> Result<(), Violation> {
     result.map_err(|e| Violation::new("StorageRoundTrip", format!("{node}: {e}")))
 }
+
+/// **TopologyConvergence** — the elastic layout safety claims, checkable
+/// on *every* reachable state (not just quiescent ones):
+///
+/// 1. *Agreement*: two peers that adopted the same layout version hold the
+///    identical layout — topologies replicate through the FedAvg log, so
+///    a version names exactly one layout.
+/// 2. *Partition*: within any adopted layout, no peer lives in two
+///    subgroups.
+/// 3. *Convergence*: from the freshest adopted layout, iterating the
+///    deterministic planner (`plan` → `apply` each command) reaches a
+///    [`p2pfl_hierraft::Topology::converged`] fixpoint within a bounded
+///    number of passes, never loses or invents a member along the way, and
+///    only an empty plan may coexist with a non-converged layout when
+///    there is genuinely nothing to do (single runt group).
+pub fn topology_convergence<'a>(
+    peers: impl IntoIterator<Item = (NodeId, &'a p2pfl_hierraft::Topology)>,
+    bounds: p2pfl_hierraft::ElasticBounds,
+) -> Result<(), Violation> {
+    let peers: Vec<_> = peers.into_iter().collect();
+    let mut by_version: BTreeMap<u64, (NodeId, &p2pfl_hierraft::Topology)> = BTreeMap::new();
+    for &(id, t) in &peers {
+        if let Some(&(prev, seen)) = by_version.get(&t.version) {
+            if seen != t {
+                return Err(Violation::new(
+                    "TopologyConvergence",
+                    format!(
+                        "{prev} and {id} adopted different layouts at version {}",
+                        t.version
+                    ),
+                ));
+            }
+        } else {
+            by_version.insert(t.version, (id, t));
+        }
+        for g in &t.groups {
+            for &m in &g.members {
+                let homes = t.groups.iter().filter(|h| h.members.contains(&m)).count();
+                if homes != 1 {
+                    return Err(Violation::new(
+                        "TopologyConvergence",
+                        format!("{id} v{}: peer {m} lives in {homes} subgroups", t.version),
+                    ));
+                }
+            }
+        }
+    }
+    let Some((&_, &(id, freshest))) = by_version.iter().next_back() else {
+        return Ok(());
+    };
+    let mut t = freshest.clone();
+    let members = t.all_members();
+    // Each pass retires or repairs at least one out-of-band group, so the
+    // fixpoint must arrive within one pass per group plus slack for the
+    // groups a pass itself mints.
+    let budget = 2 * t.groups.len() + members.len() + 4;
+    for _ in 0..budget {
+        if t.converged(bounds) {
+            return Ok(());
+        }
+        let cmds = t.plan(bounds);
+        if cmds.is_empty() {
+            return Err(Violation::new(
+                "TopologyConvergence",
+                format!("{id} v{}: not converged but the planner is idle", t.version),
+            ));
+        }
+        for cmd in &cmds {
+            if let Err(e) = t.apply(cmd) {
+                return Err(Violation::new(
+                    "TopologyConvergence",
+                    format!(
+                        "{id} v{}: planner command {cmd:?} rejected: {e:?}",
+                        t.version
+                    ),
+                ));
+            }
+        }
+        if t.all_members() != members {
+            return Err(Violation::new(
+                "TopologyConvergence",
+                format!("{id} v{}: rebalancing changed the membership", t.version),
+            ));
+        }
+    }
+    Err(Violation::new(
+        "TopologyConvergence",
+        format!(
+            "{id} v{}: planner failed to converge within {budget} passes",
+            freshest.version
+        ),
+    ))
+}
+
+/// **NoMaskReuseAcrossRekey** — every roster transition a peer adopts
+/// derives a mask-domain key it has never used before, and the recorded
+/// history matches the transition counter (a transition that skipped its
+/// key derivation would silently reuse the previous mask stream).
+pub fn no_mask_reuse_across_rekey<'a>(
+    actors: impl IntoIterator<Item = (NodeId, &'a p2pfl_hierraft::HierActor)>,
+) -> Result<(), Violation> {
+    for (id, a) in actors {
+        if a.rekey_history.len() as u64 != a.rekeys {
+            return Err(Violation::new(
+                "NoMaskReuseAcrossRekey",
+                format!(
+                    "{id}: {} re-keys but {} recorded mask domains",
+                    a.rekeys,
+                    a.rekey_history.len()
+                ),
+            ));
+        }
+        let mut seen = BTreeSet::new();
+        for &k in &a.rekey_history {
+            if !seen.insert(k) {
+                return Err(Violation::new(
+                    "NoMaskReuseAcrossRekey",
+                    format!("{id}: mask domain {k:#x} reused across re-keys"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}

@@ -11,7 +11,7 @@
 
 use crate::system::RoundRecord;
 use p2pfl_fed::{combine, Client, LocalTrainConfig};
-use p2pfl_hierraft::{Deployment, DeploymentSpec, HierActor};
+use p2pfl_hierraft::{Deployment, DeploymentSpec, FedCmd, HierActor, TopologyCmd};
 use p2pfl_ml::data::Dataset;
 use p2pfl_ml::metrics::evaluate;
 use p2pfl_ml::Sequential;
@@ -101,6 +101,14 @@ pub struct SupervisorStats {
     /// and evicted from its aggregation roster — by the runner's
     /// commitment check or by the in-protocol equivocation detector.
     pub peers_evicted_byzantine: Vec<(usize, NodeId)>,
+    /// Elastic subgroup splits applied through the replicated topology
+    /// log (mirror of the FedAvg members' [`HierActor::splits`] counter).
+    pub splits: u64,
+    /// Elastic subgroup merges applied the same way.
+    pub merges: u64,
+    /// Elastic re-key transitions summed across all peers: every adoption
+    /// of a changed roster derives a fresh mask-domain key.
+    pub rekeys: u64,
 }
 
 /// Per-round outcome of the integrated system.
@@ -145,6 +153,10 @@ pub struct ResilientSession {
     /// Peers already convicted as Byzantine (each is recorded in
     /// [`SupervisorStats::peers_evicted_byzantine`] exactly once).
     convicted: BTreeSet<NodeId>,
+    /// The layout version the per-subgroup supervision state (miss
+    /// streaks, eviction flags) was built against. A version change means
+    /// the rosters are new lineages, so the state is reset.
+    topology_seen: u64,
 }
 
 impl ResilientSession {
@@ -175,6 +187,7 @@ impl ResilientSession {
             supervisor: SupervisorStats::default(),
             fault_plan: None,
             convicted: BTreeSet::new(),
+            topology_seen: 0,
         };
         s.push_global();
         s
@@ -197,6 +210,106 @@ impl ResilientSession {
         let at = self.dep.sim.now() + SimDuration::from_millis(1);
         self.dep.sim.schedule_restart(id, at);
         self.dep.sim.run_for(SimDuration::from_millis(2));
+    }
+
+    /// Whether the session runs the elastic topology protocol.
+    pub fn is_elastic(&self) -> bool {
+        self.cfg.deployment.elastic.is_some()
+    }
+
+    /// Admits a new peer mid-session (elastic only): spawns an unplaced
+    /// simulated peer that rendezvouses for a subgroup assignment, and
+    /// registers `client` as its training client. The assignment lands
+    /// once the FedAvg leader commits the `Admit` — usually within the
+    /// next round's settle window.
+    pub fn add_peer(&mut self, client: Client) -> NodeId {
+        assert!(self.is_elastic(), "add_peer requires an elastic session");
+        let id = self.dep.spawn_joiner();
+        assert_eq!(
+            id.index(),
+            self.clients.len(),
+            "one client per simulated peer, in id order"
+        );
+        self.clients.push(client);
+        let global = self.global.clone();
+        self.clients[id.index()].set_params(&global);
+        id
+    }
+
+    /// Removes peer `id` from the session (elastic only): the FedAvg
+    /// leader commits a `Depart` so the layout sheds the peer cleanly
+    /// (emptied groups retire; runts merge on the next planning pass),
+    /// then the process is crashed.
+    pub fn remove_peer(&mut self, id: NodeId) {
+        assert!(self.is_elastic(), "remove_peer requires an elastic session");
+        // A mass exodus routinely takes the FedAvg leader with it, so the
+        // layer may be mid-re-election when we get here. Re-propose until
+        // the Depart is actually adopted — dropping it would leave `id`
+        // as a ghost member that keeps its group looking healthy and
+        // starves the merge planner.
+        let deadline = self.dep.sim.now() + SimDuration::from_secs(10);
+        loop {
+            if let Some(fl) = self.dep.fed_leader() {
+                let _ = self.dep.sim.exec::<HierActor, _, _>(fl, |a, ctx| {
+                    a.propose_topology(ctx, TopologyCmd::Depart { peer: id })
+                });
+            }
+            self.dep.sim.run_for(SimDuration::from_millis(100));
+            if self.dep.latest_topology().group_of(id).is_none() || self.dep.sim.now() >= deadline {
+                break;
+            }
+        }
+        self.crash(id);
+        // Let the crashed peer's FedAvg seat be repaired before returning:
+        // a mass leave that kills seat holders back-to-back can otherwise
+        // outrun the config-repair path and cost the layer its quorum.
+        let deadline = self.dep.sim.now() + SimDuration::from_secs(10);
+        while self.dep.sim.now() < deadline {
+            self.adopt_layout();
+            if self.dep.is_stable() {
+                break;
+            }
+            self.dep.sim.run_for(SimDuration::from_millis(50));
+        }
+    }
+
+    /// Adopts the freshest committed layout into the deployment view and
+    /// re-dimensions the per-subgroup supervision state. A version change
+    /// means the rosters are new lineages: the miss streaks and eviction
+    /// flags of the retired rosters do not transfer.
+    fn adopt_layout(&mut self) {
+        let t = self.dep.refresh_subgroups();
+        let n = self.dep.subgroups.len();
+        if t.version != self.topology_seen {
+            self.topology_seen = t.version;
+            self.miss_streak = vec![0; n];
+            self.evicted = vec![false; n];
+        } else {
+            self.miss_streak.resize(n, 0);
+            self.evicted.resize(n, false);
+        }
+    }
+
+    /// Elastic pre-round supervision: adopt the freshest layout, have the
+    /// FedAvg leader propose the deterministic rebalancing plan for any
+    /// out-of-band subgroup, then settle so the transitions (fresh Raft
+    /// instances, re-keys, FedAvg-seat repairs) land before aggregation.
+    fn supervise_topology(&mut self) {
+        let Some(bounds) = self.cfg.deployment.elastic else {
+            return;
+        };
+        self.adopt_layout();
+        if let Some(fl) = self.dep.fed_leader() {
+            let t = self.dep.latest_topology();
+            for cmd in t.plan(bounds) {
+                let _ = self
+                    .dep
+                    .sim
+                    .exec::<HierActor, _, _>(fl, |a, ctx| a.propose_topology(ctx, cmd.clone()));
+            }
+        }
+        self.dep.sim.run_for(self.cfg.round_settle);
+        self.adopt_layout();
     }
 
     /// Applies a declarative fault plan to the underlying network: link
@@ -329,6 +442,10 @@ impl ResilientSession {
         //    window exercises — and the protocol detects — them.
         self.sync_byzantine_flags();
         self.dep.sim.run_for(self.cfg.round_settle);
+        // 1b. Elastic supervision: commit any pending split/merge plan and
+        //     let the transitions settle, so this round aggregates over
+        //     the post-transition rosters.
+        self.supervise_topology();
         let bytes_before = self.log.bytes();
 
         // 2. Local updates on live peers, fanned out over worker threads
@@ -518,7 +635,7 @@ impl ResilientSession {
         if let Some(fl) = fed_leader {
             if groups_used > 0 {
                 self.dep.sim.exec::<HierActor, _, _>(fl, |a, ctx| {
-                    let _ = a.propose_fed(ctx, round as u64);
+                    let _ = a.propose_fed(ctx, FedCmd::Round(round as u64));
                 });
             }
         }
@@ -554,14 +671,24 @@ impl ResilientSession {
         //     the totals are assigned, not incremented).
         let mut equivocations = 0;
         let mut in_protocol: Vec<NodeId> = Vec::new();
-        for group in &self.dep.subgroups {
-            for &m in group {
-                let a = self.dep.sim.actor::<HierActor>(m);
-                equivocations += a.equivocations_detected;
-                in_protocol.extend(a.byzantine_peers.iter().copied());
-            }
+        let mut splits = 0u64;
+        let mut merges = 0u64;
+        let mut rekeys = 0u64;
+        for i in 0..self.clients.len() {
+            let a = self.dep.sim.actor::<HierActor>(NodeId(i as u32));
+            equivocations += a.equivocations_detected;
+            in_protocol.extend(a.byzantine_peers.iter().copied());
+            // Every FedAvg member applies every topology command, so each
+            // one's counter is already the total: mirror the max, not the
+            // sum. Re-keys are per-peer transitions, so those do sum.
+            splits = splits.max(a.splits);
+            merges = merges.max(a.merges);
+            rekeys += a.rekeys;
         }
         self.supervisor.equivocations_detected = equivocations;
+        self.supervisor.splits = splits;
+        self.supervisor.merges = merges;
+        self.supervisor.rekeys = rekeys;
         for p in in_protocol {
             if self.convicted.insert(p) {
                 self.supervisor.peers_evicted_byzantine.push((round, p));
@@ -717,7 +844,7 @@ mod tests {
         for g in 0..3 {
             let leader = s.dep.sub_leader_of(g).unwrap();
             let a = s.dep.sim.actor::<HierActor>(leader);
-            assert_eq!(a.fed_cmds_applied, vec![1, 2, 3], "subgroup {g}");
+            assert_eq!(a.fed_rounds_applied(), vec![1, 2, 3], "subgroup {g}");
         }
     }
 
@@ -806,6 +933,123 @@ mod tests {
         assert!(readmitted);
         assert_eq!(s.supervisor.readmissions.len(), 1);
         assert_eq!(s.supervisor.readmissions[0].1, 2);
+    }
+
+    #[test]
+    fn elastic_session_splits_on_join_burst_and_merges_on_decay() {
+        use p2pfl_hierraft::ElasticBounds;
+        let seed = 42u64;
+        let mut cfg = ResilientConfig::small(seed);
+        cfg.deployment.num_subgroups = 2;
+        cfg.deployment.subgroup_size = 3;
+        let bounds = ElasticBounds::new(2, 4);
+        cfg.deployment.elastic = Some(bounds);
+        // Partition the data for the initial peers *and* the joiners, so
+        // the flash crowd brings real training clients with it.
+        let n_initial = cfg.deployment.total_peers();
+        let extra = 4;
+        let n_all = n_initial + extra;
+        let (train, test) =
+            train_test_split(&features_like(16, n_all * 50 + 300, seed), n_all * 50);
+        let parts = partition_dataset(&train, n_all, Partition::Iid, seed + 1);
+        let mut rng = StdRng::seed_from_u64(seed + 2);
+        let mut clients: Vec<Client> = parts
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| {
+                Client::new(
+                    i,
+                    mlp(&[16, 24, 10], &mut rng),
+                    d,
+                    5e-3,
+                    seed + 10 + i as u64,
+                )
+            })
+            .collect();
+        let joiners: Vec<Client> = clients.split_off(n_initial);
+        let eval = mlp(&[16, 24, 10], &mut rng);
+        let mut s = ResilientSession::new(cfg, clients, eval);
+        s.run(2, &test);
+        assert_eq!(s.supervisor.splits, 0);
+        assert_eq!(s.supervisor.rekeys, 0);
+
+        // Join burst: 10 peers cannot fit in 2 groups of <= 4, so the
+        // supervisor must split at least once to restore the band.
+        for c in joiners {
+            s.add_peer(c);
+        }
+        for round in 3..=8 {
+            s.run_round(round, &test);
+            if s.supervisor.splits >= 1 {
+                break;
+            }
+        }
+        assert!(s.supervisor.splits >= 1, "join burst never forced a split");
+        assert!(s.supervisor.rekeys >= 1, "a split is a re-key");
+        s.run_round(9, &test);
+        let t = s.dep.latest_topology();
+        assert!(t.converged(bounds), "post-burst layout out of band: {t:?}");
+
+        // Decay: shrink the smallest group below n_min; the next planning
+        // pass must merge the runt into a sibling. Keep the FedAvg leader
+        // alive if it happens to live there, so the decay exercises the
+        // merge path rather than a fed-layer election.
+        let small = t
+            .groups
+            .iter()
+            .min_by_key(|g| (g.members.len(), g.gid))
+            .unwrap()
+            .clone();
+        let keep = small
+            .members
+            .iter()
+            .copied()
+            .find(|&m| Some(m) == s.dep.fed_leader())
+            .unwrap_or(small.members[0]);
+        for m in small.members.clone() {
+            if m != keep {
+                s.remove_peer(m);
+            }
+        }
+        for round in 10..=15 {
+            s.run_round(round, &test);
+            if s.supervisor.merges >= 1 {
+                break;
+            }
+        }
+        assert!(s.supervisor.merges >= 1, "decay never forced a merge");
+        let r = s.run_round(16, &test);
+        let t = s.dep.latest_topology();
+        assert!(t.converged(bounds), "post-decay layout out of band: {t:?}");
+        assert!(r.fed_leader.is_some());
+        assert!(r.record.groups_used >= 1, "training wedged after churn");
+
+        // No live peer is orphaned: everyone not departed lives in exactly
+        // one subgroup of the committed layout.
+        for i in 0..n_all {
+            let id = NodeId(i as u32);
+            if s.dep.sim.is_crashed(id) {
+                continue;
+            }
+            let homes = t.groups.iter().filter(|g| g.members.contains(&id)).count();
+            assert_eq!(homes, 1, "peer {id:?} lives in {homes} subgroups");
+        }
+
+        // The supervisor counters mirror the actor-side truth: splits and
+        // merges are applied identically at every FedAvg member (max), and
+        // re-keys are per-peer transitions (sum).
+        let mut actor_splits = 0u64;
+        let mut actor_merges = 0u64;
+        let mut actor_rekeys = 0u64;
+        for i in 0..n_all {
+            let a = s.dep.sim.actor::<HierActor>(NodeId(i as u32));
+            actor_splits = actor_splits.max(a.splits);
+            actor_merges = actor_merges.max(a.merges);
+            actor_rekeys += a.rekeys;
+        }
+        assert_eq!(s.supervisor.splits, actor_splits);
+        assert_eq!(s.supervisor.merges, actor_merges);
+        assert_eq!(s.supervisor.rekeys, actor_rekeys);
     }
 
     #[test]

@@ -168,6 +168,32 @@ pub fn combine(combiner: RobustCombiner, models: &[Vec<f64>], sample_counts: &[u
     }
 }
 
+/// Collapses per-peer models into per-group sample-weighted means plus
+/// group sample totals — the shape the FedAvg layer aggregates after an
+/// elastic split or merge re-groups the peers. Weighting each group mean
+/// by its sample total makes [`fedavg`] grouping-invariant: any partition
+/// of the same peer set yields the same global model (up to float
+/// rounding), so a topology transition only rebalances the weights
+/// through the sample counts the new rosters already carry — no explicit
+/// correction term exists to forget.
+pub fn regroup(
+    models: &[Vec<f64>],
+    sample_counts: &[usize],
+    groups: &[Vec<usize>],
+) -> (Vec<Vec<f64>>, Vec<usize>) {
+    assert_eq!(models.len(), sample_counts.len());
+    let mut group_models = Vec::with_capacity(groups.len());
+    let mut group_counts = Vec::with_capacity(groups.len());
+    for g in groups {
+        assert!(!g.is_empty(), "regroup over an empty subgroup");
+        let members: Vec<Vec<f64>> = g.iter().map(|&i| models[i].clone()).collect();
+        let counts: Vec<usize> = g.iter().map(|&i| sample_counts[i]).collect();
+        group_models.push(fedavg(&members, &counts));
+        group_counts.push(counts.iter().sum());
+    }
+    (group_models, group_counts)
+}
+
 /// The per-coordinate spread `max - min` of a model set, reduced to its
 /// maximum over coordinates — the bound `B` on how far a robust combiner's
 /// output can sit from the honest-only aggregate (both lie inside the
@@ -289,6 +315,37 @@ mod tests {
             vec![2.0],
             "trim_count(3)=1 leaves the median"
         );
+    }
+
+    #[test]
+    fn regroup_is_grouping_invariant() {
+        // Any partition of the peers — including the re-partitions an
+        // elastic split or merge produces — yields the same FedAvg global
+        // model, because group means are re-weighted by group sample
+        // totals. This is the weight-rebalance guarantee the elastic
+        // supervisor relies on.
+        let models: Vec<Vec<f64>> = (0..5)
+            .map(|i| {
+                vec![
+                    i as f64 * 1.7 - 2.0,
+                    (i * i) as f64 * 0.3,
+                    1.0 / (i + 1) as f64,
+                ]
+            })
+            .collect();
+        let counts = [7usize, 1, 12, 3, 5];
+        let flat = fedavg(&models, &counts);
+        for groups in [
+            vec![vec![0, 1], vec![2, 3, 4]],       // pre-split layout
+            vec![vec![0], vec![1, 2], vec![3, 4]], // post-split layout
+            vec![vec![0, 1, 2, 3, 4]],             // post-merge layout
+        ] {
+            let (gm, gc) = regroup(&models, &counts, &groups);
+            let global = fedavg(&gm, &gc);
+            for (a, b) in global.iter().zip(&flat) {
+                assert!((a - b).abs() < 1e-12, "grouping changed the model");
+            }
+        }
     }
 
     #[test]

@@ -14,8 +14,8 @@ pub mod parallel;
 mod round;
 
 pub use aggregate::{
-    combine, coordinate_median, fedavg, mean, norm_clip, spread_linf, trim_count, trimmed_mean,
-    RobustCombiner,
+    combine, coordinate_median, fedavg, mean, norm_clip, regroup, spread_linf, trim_count,
+    trimmed_mean, RobustCombiner,
 };
 pub use client::{Client, LocalTrainConfig};
 pub use round::{FedAvgSession, RoundRecord};

@@ -20,6 +20,7 @@
 
 use crate::config::{FedCmd, FedConfig, HierMsg, HierPeerConfig, SubCmd, SubMembers};
 use crate::detector::{FailureDetector, Liveness};
+use crate::elastic::{rekey_key, ElasticGroup, Topology, TopologyCmd, TopologyEvent};
 use p2pfl_raft::{Effect, Entry, LogCmd, RaftConfig, RaftNode, RaftStorage};
 use p2pfl_simnet::{Actor, NodeId, SimDuration, SimTime, TimerId, Transport};
 use std::collections::{BTreeMap, BTreeSet};
@@ -31,6 +32,7 @@ const TIMER_FED_HEARTBEAT: u64 = 4;
 const TIMER_CONFIG_TICK: u64 = 5;
 const TIMER_JOIN_TICK: u64 = 6;
 const TIMER_PROBE_TICK: u64 = 7;
+const TIMER_RENDEZVOUS_TICK: u64 = 8;
 
 /// A peer in the two-layer Raft deployment.
 pub struct HierActor {
@@ -98,6 +100,30 @@ pub struct HierActor {
     /// Digest of the [`FedConfig`] this peer applied, per version; the
     /// reference against which incoming echoes are cross-checked.
     echo_digests: BTreeMap<u64, u64>,
+    /// The adopted elastic layout. Static deployments freeze it at
+    /// version 0; elastic ones advance it through replicated
+    /// [`TopologyCmd`]s (fed members) and [`SubCmd::Topology`] /
+    /// [`HierMsg::TopologySync`] catch-up (everyone else).
+    pub topology: Topology,
+    /// Split transitions this peer applied through the FedAvg-layer log.
+    pub splits: u64,
+    /// Merge transitions this peer applied through the FedAvg-layer log.
+    pub merges: u64,
+    /// Times this peer adopted a new roster for its own subgroup — each
+    /// one a fresh mask domain for the SAC engines.
+    pub rekeys: u64,
+    /// Mask-domain keys adopted across re-keys, in order (the
+    /// `NoMaskReuseAcrossRekey` oracle surface: all entries distinct).
+    pub rekey_history: Vec<u64>,
+    /// Layout version this leader last re-committed into its subgroup log.
+    topology_commit_version: u64,
+    /// Joiners whose `Admit` this FedAvg leader proposed but has not yet
+    /// seen commit (dedups rendezvous retry bursts).
+    pending_admits: BTreeSet<NodeId>,
+    /// Whether this peer booted unplaced and is polling for a rendezvous
+    /// assignment.
+    pending_rendezvous: bool,
+    rendezvous_timer: Option<TimerId>,
 }
 
 impl HierActor {
@@ -177,6 +203,23 @@ impl HierActor {
             cfg.dead_after,
             SimTime::ZERO,
         );
+        let (topology, pending_rendezvous) = match cfg.elastic.as_ref() {
+            // A rendezvous joiner knows no layout: it learns the committed
+            // topology (which by then contains it) from its assignment.
+            Some(e) if e.initial_groups.is_empty() => (
+                Topology {
+                    version: 0,
+                    groups: Vec::new(),
+                    next_gid: 0,
+                },
+                true,
+            ),
+            Some(e) => (Topology::from_groups(&e.initial_groups), false),
+            None => (
+                Topology::from_groups(std::slice::from_ref(&cfg.subgroup)),
+                false,
+            ),
+        };
         HierActor {
             sub,
             fed,
@@ -211,6 +254,15 @@ impl HierActor {
             bogus_rosters_rejected: 0,
             byzantine_peers: BTreeSet::new(),
             echo_digests: BTreeMap::new(),
+            topology,
+            splits: 0,
+            merges: 0,
+            rekeys: 0,
+            rekey_history: Vec::new(),
+            topology_commit_version: 0,
+            pending_admits: BTreeSet::new(),
+            pending_rendezvous,
+            rendezvous_timer: None,
             cfg,
         }
     }
@@ -260,6 +312,29 @@ impl HierActor {
         self.fed.as_ref()
     }
 
+    /// The round markers applied through the FedAvg-layer log, in order
+    /// (topology commands filtered out).
+    pub fn fed_rounds_applied(&self) -> Vec<u64> {
+        self.fed_cmds_applied
+            .iter()
+            .filter_map(|c| match c {
+                FedCmd::Round(r) => Some(*r),
+                FedCmd::Topology(_) => None,
+            })
+            .collect()
+    }
+
+    /// This peer's current subgroup roster as configured (updated by
+    /// elastic transitions).
+    pub fn subgroup(&self) -> &[NodeId] {
+        &self.cfg.subgroup
+    }
+
+    /// Whether this peer is still polling for a rendezvous assignment.
+    pub fn is_pending_rendezvous(&self) -> bool {
+        self.pending_rendezvous
+    }
+
     /// StorageRoundTrip oracle hook for the invariant checker: replays both
     /// storage handles (when present) and checks that a node restored from
     /// them would be bisimilar to the live Raft instances — same term, vote,
@@ -295,6 +370,16 @@ impl HierActor {
             }
             Err(_) => Err("not the FedAvg leader"),
         }
+    }
+
+    /// Proposes an elastic-topology operation on the FedAvg layer (leader
+    /// only) — the single serialization point for layout changes.
+    pub fn propose_topology(
+        &mut self,
+        ctx: &mut dyn Transport<HierMsg>,
+        cmd: TopologyCmd,
+    ) -> Result<(), &'static str> {
+        self.propose_fed(ctx, FedCmd::Topology(cmd))
     }
 
     /// Proposes an application command on the subgroup (leader only).
@@ -364,6 +449,10 @@ impl HierActor {
                 }
                 Effect::Commit(entry) => {
                     if let LogCmd::App(v) = entry.cmd {
+                        if let FedCmd::Topology(cmd) = &v {
+                            let cmd = cmd.clone();
+                            self.apply_fed_topology(ctx, &cmd);
+                        }
                         self.fed_cmds_applied.push(v);
                     }
                 }
@@ -440,7 +529,285 @@ impl HierActor {
                 }
             }
             LogCmd::App(SubCmd::App(v)) => self.sub_cmds_applied.push(*v),
+            LogCmd::App(SubCmd::Topology(t)) => {
+                let t = t.clone();
+                self.adopt_topology(ctx, &t);
+            }
             _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Elastic topology: replicated split/merge/admit/depart transitions
+    // ------------------------------------------------------------------
+
+    /// Applies a committed FedAvg-layer topology command. Every fed member
+    /// applies the identical command in the identical log order, so the
+    /// resulting layouts agree; the peers the change touches get a
+    /// best-effort [`HierMsg::TopologySync`] push immediately (the durable
+    /// path is the subgroup-log re-commit on the config tick, plus the
+    /// stale-sender catch-up in `on_message`).
+    fn apply_fed_topology(&mut self, ctx: &mut dyn Transport<HierMsg>, cmd: &TopologyCmd) {
+        // Rosters the command touches, read *before* applying so pre-split
+        // and departing members are included.
+        let roster_of = |t: &Topology, gid: u64| -> Vec<NodeId> {
+            t.group(gid).map(|g| g.members.clone()).unwrap_or_default()
+        };
+        let mut affected: BTreeSet<NodeId> = match cmd {
+            TopologyCmd::Split { gid, .. } => roster_of(&self.topology, *gid).into_iter().collect(),
+            TopologyCmd::Merge { into, from } => roster_of(&self.topology, *into)
+                .into_iter()
+                .chain(roster_of(&self.topology, *from))
+                .collect(),
+            TopologyCmd::Admit { peer, gid } => {
+                let mut s: BTreeSet<NodeId> = roster_of(&self.topology, *gid).into_iter().collect();
+                s.insert(*peer);
+                s
+            }
+            TopologyCmd::Depart { peer } => self
+                .topology
+                .group_of(*peer)
+                .map(|g| g.members.iter().copied().collect())
+                .unwrap_or_default(),
+        };
+        let mut t = self.topology.clone();
+        let Ok(event) = t.apply(cmd) else {
+            // Every replica rejects the command identically; the layout is
+            // untouched.
+            return;
+        };
+        match &event {
+            TopologyEvent::Split { .. } => self.splits += 1,
+            TopologyEvent::Merged { .. } => self.merges += 1,
+            TopologyEvent::Admitted { peer, .. } => {
+                self.pending_admits.remove(peer);
+                // The joiner's assignment is acknowledged only now, after
+                // the admission committed — an ack therefore always carries
+                // a layout that contains the joiner.
+                if self.is_fed_leader() {
+                    ctx.send(
+                        *peer,
+                        HierMsg::RendezvousAssign {
+                            accepted: true,
+                            leader: Some(self.cfg.id),
+                            topology: Some(t.clone()),
+                        },
+                    );
+                }
+            }
+            TopologyEvent::Departed { .. } => {}
+            TopologyEvent::Noop => {
+                // Duplicate admit retries land here: the peer stays where
+                // the first commit put it, and nobody re-keys.
+                if let TopologyCmd::Admit { peer, .. } = cmd {
+                    self.pending_admits.remove(peer);
+                }
+                affected.clear();
+            }
+        }
+        affected.remove(&self.cfg.id);
+        for p in affected {
+            ctx.send(
+                p,
+                HierMsg::TopologySync {
+                    topology: t.clone(),
+                },
+            );
+        }
+        self.adopt_topology(ctx, &t);
+    }
+
+    /// Adopts a newer layout (version max-advance; stale and duplicate
+    /// layouts are ignored). If the layout assigns this peer a different
+    /// subgroup than it currently runs, the peer transitions.
+    fn adopt_topology(&mut self, ctx: &mut dyn Transport<HierMsg>, t: &Topology) {
+        if t.version <= self.topology.version {
+            return;
+        }
+        let old = self.topology.group_of(self.cfg.id).cloned();
+        self.topology = t.clone();
+        let Some(new) = self.topology.group_of(self.cfg.id).cloned() else {
+            // Departed (or not yet admitted): keep serving the old roster
+            // until the supervisor retires this peer.
+            return;
+        };
+        let changed = old
+            .as_ref()
+            .is_none_or(|o| o.gid != new.gid || o.members != new.members);
+        if changed {
+            if self.pending_rendezvous {
+                self.pending_rendezvous = false;
+                if let Some(timer) = self.rendezvous_timer.take() {
+                    ctx.cancel_timer(timer);
+                }
+            }
+            self.transition_to(ctx, &new);
+        }
+    }
+
+    /// Adopts `group` as this peer's own subgroup: a fresh subgroup Raft
+    /// over the new roster, detector and replicated roster rebuilt, and a
+    /// fresh mask-domain key recorded — the re-key that makes mask reuse
+    /// across rosters impossible. An in-flight SAC round over the old
+    /// roster is migrated by the PR 5 supervision path: the next attempt
+    /// sees the new roster, aborts, and retries degraded on it.
+    fn transition_to(&mut self, ctx: &mut dyn Transport<HierMsg>, group: &ElasticGroup) {
+        self.rekeys += 1;
+        self.rekey_history.push(rekey_key(
+            self.cfg.id,
+            group.gid,
+            &group.members,
+            self.rekeys,
+        ));
+        self.cfg.subgroup = group.members.clone();
+        self.cfg.subgroup_index = group.gid as usize;
+        // Old-roster supervision state is meaningless for the new roster.
+        self.proposed_roster = None;
+        self.members_version = self.members_version.max(self.sub_members.version) + 1;
+        self.sub_members = SubMembers {
+            members: group.members.clone(),
+            version: self.members_version,
+        };
+        self.detector = FailureDetector::new(
+            group.members.iter().copied().filter(|&p| p != self.cfg.id),
+            self.cfg.suspect_after,
+            self.cfg.dead_after,
+            ctx.now(),
+        );
+        // A fresh Raft instance for the new roster. The timeout stream is
+        // domain-separated by layout version and group id so sibling
+        // instances born from one split never share an RNG stream. The
+        // retired roster's durable log describes a dissolved cluster;
+        // re-seeding durability for the new lineage is future work, so the
+        // fresh instance runs memory-only.
+        let mut raft_cfg = Self::sub_raft_config(&self.cfg);
+        raft_cfg.seed ^= (self.topology.version << 20) ^ group.gid.wrapping_mul(0x9e37_79b9);
+        for slot in [&mut self.sub_election_timer, &mut self.sub_heartbeat_timer] {
+            if let Some(timer) = slot.take() {
+                ctx.cancel_timer(timer);
+            }
+        }
+        self.sub_storage = None;
+        self.sub = RaftNode::new(raft_cfg);
+        self.topology_commit_version = 0;
+        let eff = self.sub.start();
+        self.run_sub_effects(ctx, eff);
+        // Deterministic quick election: the lowest id in the new roster
+        // gets a genesis-style boosted timeout (mirrors founding startup).
+        if group.members.first() == Some(&self.cfg.id) {
+            let boost = SimDuration::from_nanos((self.cfg.t.as_nanos() / 20).max(1));
+            Self::arm(ctx, &mut self.sub_election_timer, boost, TIMER_SUB_ELECTION);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Rendezvous join (elastic deployments): an unplaced peer polls for
+    // an assignment; the FedAvg leader serializes it as an Admit command
+    // ------------------------------------------------------------------
+
+    fn send_rendezvous(&mut self, ctx: &mut dyn Transport<HierMsg>) {
+        if !self.pending_rendezvous {
+            return;
+        }
+        let mut candidates: Vec<NodeId> = self
+            .fed_config
+            .current
+            .iter()
+            .chain(self.cfg.founding_fed.iter())
+            .copied()
+            .filter(|&m| m != self.cfg.id)
+            .collect();
+        candidates.sort_by_key(|m| m.0);
+        candidates.dedup();
+        if candidates.is_empty() {
+            return;
+        }
+        // Same one-shot-hint + round-robin policy as the join protocol.
+        let target = self.join_target.take().unwrap_or_else(|| {
+            let t = candidates[self.join_round_robin % candidates.len()];
+            self.join_round_robin += 1;
+            t
+        });
+        ctx.send(target, HierMsg::Rendezvous { from: self.cfg.id });
+        Self::arm(
+            ctx,
+            &mut self.rendezvous_timer,
+            self.cfg.join_poll_interval,
+            TIMER_RENDEZVOUS_TICK,
+        );
+    }
+
+    fn on_rendezvous(&mut self, ctx: &mut dyn Transport<HierMsg>, peer: NodeId) {
+        if self.cfg.elastic.is_none() {
+            return;
+        }
+        if self.is_fed_leader() {
+            if self.topology.group_of(peer).is_some() {
+                // Stale retry for an already-placed peer: idempotent
+                // re-ack with the committed layout, never a second
+                // insertion (the double-admission bug this replaces).
+                ctx.send(
+                    peer,
+                    HierMsg::RendezvousAssign {
+                        accepted: true,
+                        leader: Some(self.cfg.id),
+                        topology: Some(self.topology.clone()),
+                    },
+                );
+                return;
+            }
+            if self.pending_admits.contains(&peer) {
+                return; // admit already in flight; ack follows its commit
+            }
+            let Some(gid) = self.topology.assign_joiner() else {
+                return;
+            };
+            self.pending_admits.insert(peer);
+            let _ = self.propose_fed(ctx, FedCmd::Topology(TopologyCmd::Admit { peer, gid }));
+        } else if let Some(fed) = self.fed.as_ref() {
+            let hint = fed.leader_hint().filter(|&l| l != self.cfg.id);
+            ctx.send(
+                peer,
+                HierMsg::RendezvousAssign {
+                    accepted: false,
+                    leader: hint,
+                    topology: None,
+                },
+            );
+        } else {
+            ctx.send(
+                peer,
+                HierMsg::RendezvousAssign {
+                    accepted: false,
+                    leader: None,
+                    topology: None,
+                },
+            );
+        }
+    }
+
+    fn on_rendezvous_assign(
+        &mut self,
+        ctx: &mut dyn Transport<HierMsg>,
+        accepted: bool,
+        leader: Option<NodeId>,
+        topology: Option<Topology>,
+    ) {
+        if !self.pending_rendezvous {
+            return;
+        }
+        if accepted {
+            if let Some(t) = topology {
+                if t.group_of(self.cfg.id).is_some() {
+                    self.join_ack_at = Some(ctx.now());
+                    // Adoption clears `pending_rendezvous` and transitions
+                    // into the assigned subgroup.
+                    self.adopt_topology(ctx, &t);
+                }
+            }
+        } else if let Some(l) = leader {
+            self.join_target = Some(l);
+            self.send_rendezvous(ctx);
         }
     }
 
@@ -675,6 +1042,13 @@ impl HierActor {
                 self.cfg.join_poll_interval,
                 TIMER_JOIN_TICK,
             );
+        } else if self.replaces().is_some() {
+            // After an elastic merge the group can hold two FedAvg-layer
+            // seats. This peer already has one, so a single JoinRequest
+            // (no polling) asks the FedAvg leader to retire the other
+            // representative.
+            self.join_target = None;
+            self.send_join(ctx);
         }
     }
 
@@ -821,6 +1195,30 @@ impl HierActor {
         if !self.sub.is_leader() {
             return;
         }
+        // An elastic topology can shed a seat holder entirely (Depart, or
+        // a retired group): the departed peer is in nobody's roster, so
+        // the JoinRequest `replaces` path never retires its seat. The
+        // FedAvg leader prunes config members who are in no subgroup of
+        // the adopted layout, before dead seats cost the layer its quorum.
+        if self.cfg.elastic.is_some() && self.topology.version > 0 {
+            if let Some(fed) = self.fed.as_mut() {
+                if fed.is_leader() {
+                    let ghosts: Vec<NodeId> = fed
+                        .cluster()
+                        .iter()
+                        .copied()
+                        .filter(|&m| m != self.cfg.id && self.topology.group_of(m).is_none())
+                        .collect();
+                    let mut effects = Vec::new();
+                    for g in ghosts {
+                        if let Ok((_, eff)) = fed.propose(LogCmd::RemoveServer(g)) {
+                            effects.extend(eff);
+                        }
+                    }
+                    self.run_fed_effects(ctx, effects);
+                }
+            }
+        }
         if let Some(fed) = self.fed.as_ref() {
             // A replacement leader's counter restarts at zero while its
             // followers already hold the previous leader's higher-versioned
@@ -835,6 +1233,16 @@ impl HierActor {
                 version: self.config_version,
             });
             if let Ok((_, eff)) = self.sub.propose(LogCmd::App(cmd)) {
+                self.run_sub_effects(ctx, eff);
+            }
+        }
+        // Re-commit the adopted layout into the subgroup log so followers
+        // that missed the best-effort sync push still converge (same
+        // durable path as the FedConfig re-commit above).
+        if self.cfg.elastic.is_some() && self.topology.version > self.topology_commit_version {
+            let cmd = SubCmd::Topology(self.topology.clone());
+            if let Ok((_, eff)) = self.sub.propose(LogCmd::App(cmd)) {
+                self.topology_commit_version = self.topology.version;
                 self.run_sub_effects(ctx, eff);
             }
         }
@@ -860,6 +1268,13 @@ impl HierActor {
 
 impl Actor<HierMsg> for HierActor {
     fn on_start(&mut self, ctx: &mut dyn Transport<HierMsg>) {
+        if self.pending_rendezvous {
+            // An unplaced joiner has no subgroup to run Raft for; it polls
+            // for a rendezvous assignment instead and transitions when the
+            // committed layout arrives.
+            self.send_rendezvous(ctx);
+            return;
+        }
         let eff = self.sub.start();
         self.run_sub_effects(ctx, eff);
         if let Some(fed) = self.fed.as_mut() {
@@ -884,6 +1299,22 @@ impl Actor<HierMsg> for HierActor {
         }
         match msg {
             HierMsg::Sub(m) => {
+                if self.cfg.elastic.is_some()
+                    && (self.pending_rendezvous || !self.cfg.subgroup.contains(&from))
+                {
+                    // Traffic from a retired layout (or to a peer not yet
+                    // placed): don't feed a foreign Raft instance — help
+                    // the stale sender catch up instead.
+                    if self.topology.version > 0 {
+                        ctx.send(
+                            from,
+                            HierMsg::TopologySync {
+                                topology: self.topology.clone(),
+                            },
+                        );
+                    }
+                    return;
+                }
                 let eff = self.sub.handle(from, m);
                 self.run_sub_effects(ctx, eff);
             }
@@ -918,6 +1349,17 @@ impl Actor<HierMsg> for HierActor {
             HierMsg::ConfigEcho { version, digest } => {
                 self.on_config_echo(ctx, from, version, digest)
             }
+            HierMsg::Rendezvous { from: peer } => self.on_rendezvous(ctx, peer),
+            HierMsg::RendezvousAssign {
+                accepted,
+                leader,
+                topology,
+            } => self.on_rendezvous_assign(ctx, accepted, leader, topology),
+            HierMsg::TopologySync { topology } => {
+                if self.cfg.elastic.is_some() {
+                    self.adopt_topology(ctx, &topology);
+                }
+            }
         }
     }
 
@@ -949,6 +1391,10 @@ impl Actor<HierMsg> for HierActor {
             }
             TIMER_CONFIG_TICK => self.on_config_tick(ctx),
             TIMER_PROBE_TICK => self.on_probe_tick(ctx),
+            TIMER_RENDEZVOUS_TICK => {
+                self.rendezvous_timer = None;
+                self.send_rendezvous(ctx);
+            }
             TIMER_JOIN_TICK => {
                 self.join_tick_timer = None;
                 if self.fed.is_none() && self.sub.is_leader() {
@@ -974,10 +1420,16 @@ impl Actor<HierMsg> for HierActor {
         self.fed_heartbeat_timer = None;
         self.join_tick_timer = None;
         self.probe_tick_timer = None;
+        self.rendezvous_timer = None;
         self.config_tick_armed = false;
     }
 
     fn on_restart(&mut self, ctx: &mut dyn Transport<HierMsg>) {
+        if self.pending_rendezvous {
+            // Still unplaced: resume polling for an assignment.
+            self.send_rendezvous(ctx);
+            return;
+        }
         // Raft state is durable: if this peer held a FedAvg-layer seat, it
         // rejoins that layer as a follower. If its subgroup elected a
         // replacement in the meantime, the replacement's join commits a

@@ -2,6 +2,7 @@
 //! FedAvg-layer configuration, the wrapped message enum, and per-peer
 //! configuration.
 
+use crate::elastic::{ElasticBounds, Topology, TopologyCmd};
 use p2pfl_fed::RobustCombiner;
 use p2pfl_raft::{Command, RaftMsg};
 use p2pfl_secagg::SacEngine;
@@ -83,6 +84,11 @@ pub enum SubCmd {
     /// An opaque application command (used by tests and the aggregation
     /// system to sequence round numbers).
     App(u64),
+    /// The adopted elastic layout, re-committed by subgroup leaders so
+    /// followers that hold no FedAvg-layer seat still learn topology
+    /// transitions through their own subgroup log (same durable path as
+    /// [`FedConfig`], same version max-advance rule).
+    Topology(Topology),
 }
 
 impl Command for SubCmd {
@@ -92,13 +98,46 @@ impl Command for SubCmd {
             SubCmd::FedConfig(c) => 18 + 8 * (c.founding.len() + c.current.len()) as u64,
             SubCmd::Members(m) => 16 + 8 * m.members.len() as u64,
             SubCmd::App(_) => 8,
+            SubCmd::Topology(t) => topology_wire_bytes(t),
         }
     }
 }
 
-/// Commands carried by the *FedAvg-layer* Raft log (opaque round-control
-/// values as far as this crate is concerned).
-pub type FedCmd = u64;
+/// 8B version + 8B next id + per group: 8B gid + 8B length + 4B per member.
+fn topology_wire_bytes(t: &Topology) -> u64 {
+    16 + t
+        .groups
+        .iter()
+        .map(|g| 16 + 4 * g.members.len() as u64)
+        .sum::<u64>()
+}
+
+/// Commands carried by the *FedAvg-layer* Raft log: round-control markers
+/// sequenced by the aggregation system, and elastic-topology operations —
+/// the federation Raft is the single serialization point for layout
+/// changes, so every peer adopts the same plan in the same order.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum FedCmd {
+    /// An opaque round-control marker (round numbers).
+    Round(u64),
+    /// A replicated elastic-topology operation (split, merge, admission,
+    /// departure). See [`crate::Topology`].
+    Topology(TopologyCmd),
+}
+
+impl Command for FedCmd {
+    fn wire_bytes(&self) -> u64 {
+        match self {
+            FedCmd::Round(_) => 8,
+            FedCmd::Topology(TopologyCmd::Split { left, right, .. }) => {
+                8 + 4 * (left.len() + right.len()) as u64
+            }
+            FedCmd::Topology(TopologyCmd::Merge { .. }) => 16,
+            FedCmd::Topology(TopologyCmd::Admit { .. }) => 12,
+            FedCmd::Topology(TopologyCmd::Depart { .. }) => 4,
+        }
+    }
+}
 
 /// Every message a two-layer peer can receive.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -154,6 +193,35 @@ pub enum HierMsg {
         /// [`FedConfig::digest`] of the applied config.
         digest: u64,
     },
+    /// A fresh peer that belongs to no subgroup yet asks for a rendezvous
+    /// assignment (elastic deployments replace the static `DeploymentSpec`
+    /// placement with this). Polled on the join interval until the FedAvg
+    /// leader commits an `Admit` and answers.
+    Rendezvous {
+        /// The unplaced joiner.
+        from: NodeId,
+    },
+    /// Response to a rendezvous poll. Only the FedAvg leader answers
+    /// `accepted: true`, and only after the joiner's `Admit` committed —
+    /// the carried topology therefore already contains the joiner.
+    RendezvousAssign {
+        /// Whether the sender was the FedAvg leader and the admission is
+        /// committed.
+        accepted: bool,
+        /// If rejected, the sender's best guess of the FedAvg leader.
+        leader: Option<NodeId>,
+        /// On acceptance, the committed layout containing the joiner.
+        topology: Option<Topology>,
+    },
+    /// Layout catch-up: sent to a peer observed operating on a stale
+    /// topology (e.g. it kept addressing a subgroup that has since split),
+    /// and pushed best-effort to every affected peer when a topology
+    /// command applies. Receivers adopt it under the version max-advance
+    /// rule, so duplicates and reorderings are harmless.
+    TopologySync {
+        /// The sender's adopted layout.
+        topology: Topology,
+    },
 }
 
 impl Payload for HierMsg {
@@ -166,6 +234,11 @@ impl Payload for HierMsg {
             HierMsg::Probe { .. } | HierMsg::ProbeAck { .. } => 16,
             HierMsg::Evict { reason } => 8 + reason.len() as u64,
             HierMsg::ConfigEcho { .. } => 16,
+            HierMsg::Rendezvous { .. } => 8,
+            HierMsg::RendezvousAssign { topology, .. } => {
+                16 + topology.as_ref().map_or(0, topology_wire_bytes)
+            }
+            HierMsg::TopologySync { topology } => topology_wire_bytes(topology),
         }
     }
 
@@ -179,6 +252,9 @@ impl Payload for HierMsg {
             HierMsg::ProbeAck { .. } => "hier.probe_ack",
             HierMsg::Evict { .. } => "hier.evict",
             HierMsg::ConfigEcho { .. } => "hier.config_echo",
+            HierMsg::Rendezvous { .. } => "hier.rendezvous",
+            HierMsg::RendezvousAssign { .. } => "hier.rendezvous_assign",
+            HierMsg::TopologySync { .. } => "hier.topology_sync",
         }
     }
 }
@@ -219,6 +295,21 @@ pub struct HierPeerConfig {
     pub combiner: RobustCombiner,
     /// Seed for timeout randomization.
     pub seed: u64,
+    /// Elastic-topology configuration. `None` keeps the static layout
+    /// (every pre-elastic deployment and test is unchanged).
+    pub elastic: Option<ElasticPeerConfig>,
+}
+
+/// Per-peer elastic-topology configuration.
+#[derive(Debug, Clone)]
+pub struct ElasticPeerConfig {
+    /// The size band every subgroup must stay within.
+    pub bounds: ElasticBounds,
+    /// The full deployment layout known at launch time — the seed of the
+    /// replicated [`Topology`] at version 0. Empty for a rendezvous
+    /// joiner: such a peer belongs to no subgroup until the FedAvg leader
+    /// commits its `Admit` and the assignment reaches it.
+    pub initial_groups: Vec<Vec<NodeId>>,
 }
 
 impl HierPeerConfig {
@@ -290,6 +381,7 @@ mod tests {
             engine: SacEngine::Pairwise,
             combiner: RobustCombiner::FedAvg,
             seed: 1,
+            elastic: None,
         };
         assert!(cfg.is_founding());
     }

@@ -1,0 +1,679 @@
+//! Elastic topology: a versioned subgroup layout with split/merge planning.
+//!
+//! The paper's deployment is a static grid of subgroups; PR 5's self-healing
+//! membership left the *layout* as the remaining fragility: a subgroup
+//! drained by churn decays toward the n'=2 privacy floor, while a flash
+//! crowd piles joiners into oversized subgroups that blow the SAC traffic
+//! budget. This module is the pure state machine behind dynamic
+//! reconfiguration: a [`Topology`] maps stable group ids to member rosters,
+//! a [`TopologyCmd`] is the replicated operation that mutates it (carried
+//! through the FedAvg-layer Raft log, so every peer applies the same plan
+//! in the same order), and [`Topology::plan`] is the deterministic policy
+//! that proposes splits and merges whenever a roster leaves
+//! `[n_min, n_max]`.
+//!
+//! Everything here is pure and deterministic: no clocks, no transports, no
+//! randomness. The actor layer ([`crate::HierActor`]) replicates commands
+//! and reacts to the resulting transitions (subgroup Raft rebuild, SAC
+//! re-key); this module only decides *what* the layout is.
+
+use p2pfl_simnet::NodeId;
+
+/// The size band every subgroup roster must stay within.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ElasticBounds {
+    /// Minimum subgroup size before a merge is planned. Must stay above
+    /// the privacy floor of 2: a 2-member subgroup already confines each
+    /// share to its only other member, so decaying *to* 2 must trigger a
+    /// merge rather than be the steady state.
+    pub n_min: usize,
+    /// Maximum subgroup size before a split is planned.
+    pub n_max: usize,
+}
+
+impl ElasticBounds {
+    /// Builds a bounds band, clamping degenerate requests: `n_min` is
+    /// floored at 2 (the share-confinement privacy floor) and `n_max` is
+    /// floored at `2 * n_min` so an oversized group can always split into
+    /// two halves that are both within bounds (no dead zone where a group
+    /// is too big yet unsplittable).
+    pub fn new(n_min: usize, n_max: usize) -> Self {
+        let n_min = n_min.max(2);
+        let n_max = n_max.max(2 * n_min);
+        ElasticBounds { n_min, n_max }
+    }
+
+    /// Whether a roster of `len` members is within the band.
+    pub fn admits(&self, len: usize) -> bool {
+        (self.n_min..=self.n_max).contains(&len)
+    }
+}
+
+/// One subgroup in the elastic layout: a stable id plus its sorted roster.
+///
+/// Group ids are never reused — a split retires the parent id and mints
+/// two fresh ids — so an id names one roster lineage forever, which is
+/// what makes "never reuse a mask across rosters" checkable: the re-key
+/// domain is `(topology version, group id)`.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ElasticGroup {
+    /// Stable group id.
+    pub gid: u64,
+    /// Sorted member roster.
+    pub members: Vec<NodeId>,
+}
+
+/// The versioned subgroup layout, replicated via the FedAvg-layer Raft.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Topology {
+    /// Monotone version, bumped by every effective command (no-ops do not
+    /// bump it, so duplicate `Admit` retries cannot trigger transitions).
+    pub version: u64,
+    /// Groups sorted by ascending `gid`.
+    pub groups: Vec<ElasticGroup>,
+    /// Next fresh group id (replicated so every peer mints identical ids).
+    pub next_gid: u64,
+}
+
+/// A replicated topology operation, carried by the FedAvg-layer Raft log
+/// (the same path that sequences round markers), so every peer applies the
+/// identical plan in the identical order.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum TopologyCmd {
+    /// Split group `gid` into `left` and `right` (an exact partition of
+    /// its roster). The parent id is retired; the halves get the next two
+    /// fresh ids.
+    Split {
+        /// The oversized group.
+        gid: u64,
+        /// First half of the partition.
+        left: Vec<NodeId>,
+        /// Second half of the partition.
+        right: Vec<NodeId>,
+    },
+    /// Fold group `from` into group `into` (roster union; `from` retires).
+    Merge {
+        /// The surviving group.
+        into: u64,
+        /// The dissolving group.
+        from: u64,
+    },
+    /// Admit a joiner into group `gid` (rendezvous assignment). Idempotent:
+    /// a peer already placed anywhere is left where it is, so stale
+    /// rendezvous retries cannot double-insert it into two subgroups.
+    Admit {
+        /// The joining peer.
+        peer: NodeId,
+        /// Its assigned group.
+        gid: u64,
+    },
+    /// Remove a departing peer from wherever it is (no-op if absent).
+    Depart {
+        /// The leaving peer.
+        peer: NodeId,
+    },
+}
+
+/// What applying a [`TopologyCmd`] did (the actor layer uses this to count
+/// splits/merges and to decide which peers must re-key).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyEvent {
+    /// A group split; carries the retired id and both fresh ids.
+    Split {
+        /// Retired parent group id.
+        old: u64,
+        /// Fresh id of the left half.
+        left: u64,
+        /// Fresh id of the right half.
+        right: u64,
+    },
+    /// A group merged; carries the surviving and retired ids.
+    Merged {
+        /// Surviving group id.
+        into: u64,
+        /// Retired group id.
+        from: u64,
+    },
+    /// A joiner was placed into a group.
+    Admitted {
+        /// The admitted peer.
+        peer: NodeId,
+        /// The group it joined.
+        gid: u64,
+    },
+    /// A peer left its group.
+    Departed {
+        /// The departed peer.
+        peer: NodeId,
+        /// The group it left.
+        gid: u64,
+    },
+    /// The command had no effect (duplicate admit / unknown departure).
+    Noop,
+}
+
+/// Why a [`TopologyCmd`] was rejected. Rejected commands leave the
+/// topology untouched (version included), so a buggy or Byzantine proposal
+/// cannot corrupt the layout — every replica rejects it identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The named group id does not exist (already retired or never minted).
+    UnknownGroup(u64),
+    /// A split's halves are not an exact partition of the parent roster.
+    NotAPartition,
+    /// A split half (or a post-merge/depart roster) would fall below the
+    /// privacy floor of 2.
+    BelowFloor,
+    /// A merge named the same group twice.
+    SameGroup,
+}
+
+/// The mask-domain key one peer derives when it adopts a new roster: an
+/// FNV-1a digest over `(peer, group id, roster, re-key ordinal)`. The
+/// ordinal makes the sequence strictly fresh per peer even if a roster
+/// recurs (split then re-merge back), which is exactly the
+/// `NoMaskReuseAcrossRekey` property: no mask stream is ever re-entered.
+pub fn rekey_key(id: NodeId, gid: u64, members: &[NodeId], ordinal: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |b: u64| {
+        for byte in b.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    eat(id.0 as u64);
+    eat(gid);
+    eat(ordinal);
+    eat(members.len() as u64);
+    for m in members {
+        eat(m.0 as u64);
+    }
+    h
+}
+
+impl Topology {
+    /// Builds the initial layout from a static deployment's subgroups
+    /// (version 0, group ids `0..groups.len()`).
+    pub fn from_groups(groups: &[Vec<NodeId>]) -> Self {
+        let groups: Vec<ElasticGroup> = groups
+            .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                let mut members = g.clone();
+                members.sort_unstable();
+                members.dedup();
+                ElasticGroup {
+                    gid: i as u64,
+                    members,
+                }
+            })
+            .collect();
+        let next_gid = groups.len() as u64;
+        Topology {
+            version: 0,
+            groups,
+            next_gid,
+        }
+    }
+
+    /// The group a peer currently belongs to, if any.
+    pub fn group_of(&self, peer: NodeId) -> Option<&ElasticGroup> {
+        self.groups.iter().find(|g| g.members.contains(&peer))
+    }
+
+    /// Looks up a group by id.
+    pub fn group(&self, gid: u64) -> Option<&ElasticGroup> {
+        self.groups.iter().find(|g| g.gid == gid)
+    }
+
+    /// All live members across all groups (sorted, deduped).
+    pub fn all_members(&self) -> Vec<NodeId> {
+        let mut all: Vec<NodeId> = self
+            .groups
+            .iter()
+            .flat_map(|g| g.members.iter().copied())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+
+    /// Rendezvous assignment for a joiner: the smallest group, ties broken
+    /// by lowest id. Deterministic, so every replica that applies the same
+    /// `Admit` command agrees; load-balancing, so a flash crowd spreads
+    /// across subgroups instead of piling into one.
+    pub fn assign_joiner(&self) -> Option<u64> {
+        self.groups
+            .iter()
+            .min_by_key(|g| (g.members.len(), g.gid))
+            .map(|g| g.gid)
+    }
+
+    /// A cheap FNV-1a digest over `(version, gid, roster)` — the re-key
+    /// domain for one group at one layout version. Two different rosters
+    /// (or the same roster at two layout versions) never share a digest
+    /// stream, which is the "never reuse a mask across rosters" guarantee
+    /// the `NoMaskReuseAcrossRekey` oracle checks.
+    pub fn roster_key(&self, gid: u64) -> Option<u64> {
+        let g = self.group(gid)?;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |b: u64| {
+            for byte in b.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        eat(self.version);
+        eat(gid);
+        eat(g.members.len() as u64);
+        for m in &g.members {
+            eat(m.0 as u64);
+        }
+        Some(h)
+    }
+
+    /// Applies a replicated command. Effective commands bump `version`;
+    /// no-ops and rejections leave the topology untouched.
+    pub fn apply(&mut self, cmd: &TopologyCmd) -> Result<TopologyEvent, TopologyError> {
+        match cmd {
+            TopologyCmd::Split { gid, left, right } => self.apply_split(*gid, left, right),
+            TopologyCmd::Merge { into, from } => self.apply_merge(*into, *from),
+            TopologyCmd::Admit { peer, gid } => self.apply_admit(*peer, *gid),
+            TopologyCmd::Depart { peer } => self.apply_depart(*peer),
+        }
+    }
+
+    fn apply_split(
+        &mut self,
+        gid: u64,
+        left: &[NodeId],
+        right: &[NodeId],
+    ) -> Result<TopologyEvent, TopologyError> {
+        let pos = self
+            .groups
+            .iter()
+            .position(|g| g.gid == gid)
+            .ok_or(TopologyError::UnknownGroup(gid))?;
+        if left.len() < 2 || right.len() < 2 {
+            return Err(TopologyError::BelowFloor);
+        }
+        let mut union: Vec<NodeId> = left.iter().chain(right.iter()).copied().collect();
+        union.sort_unstable();
+        let distinct = union.windows(2).all(|w| w[0] != w[1]);
+        if !distinct || union != self.groups[pos].members {
+            return Err(TopologyError::NotAPartition);
+        }
+        let (lid, rid) = (self.next_gid, self.next_gid + 1);
+        self.next_gid += 2;
+        self.groups.remove(pos);
+        let mut l = left.to_vec();
+        l.sort_unstable();
+        let mut r = right.to_vec();
+        r.sort_unstable();
+        self.groups.push(ElasticGroup {
+            gid: lid,
+            members: l,
+        });
+        self.groups.push(ElasticGroup {
+            gid: rid,
+            members: r,
+        });
+        self.groups.sort_by_key(|g| g.gid);
+        self.version += 1;
+        Ok(TopologyEvent::Split {
+            old: gid,
+            left: lid,
+            right: rid,
+        })
+    }
+
+    fn apply_merge(&mut self, into: u64, from: u64) -> Result<TopologyEvent, TopologyError> {
+        if into == from {
+            return Err(TopologyError::SameGroup);
+        }
+        let into_pos = self
+            .groups
+            .iter()
+            .position(|g| g.gid == into)
+            .ok_or(TopologyError::UnknownGroup(into))?;
+        let from_pos = self
+            .groups
+            .iter()
+            .position(|g| g.gid == from)
+            .ok_or(TopologyError::UnknownGroup(from))?;
+        let absorbed = self.groups[from_pos].members.clone();
+        self.groups[into_pos].members.extend(absorbed);
+        self.groups[into_pos].members.sort_unstable();
+        self.groups[into_pos].members.dedup();
+        self.groups.remove(from_pos);
+        self.version += 1;
+        Ok(TopologyEvent::Merged { into, from })
+    }
+
+    fn apply_admit(&mut self, peer: NodeId, gid: u64) -> Result<TopologyEvent, TopologyError> {
+        // Idempotence is the contract here: a stale rendezvous retry
+        // re-commits the same Admit, and the duplicate must leave the peer
+        // in exactly one subgroup (wherever the first commit put it).
+        if self.group_of(peer).is_some() {
+            return Ok(TopologyEvent::Noop);
+        }
+        let g = self
+            .groups
+            .iter_mut()
+            .find(|g| g.gid == gid)
+            .ok_or(TopologyError::UnknownGroup(gid))?;
+        g.members.push(peer);
+        g.members.sort_unstable();
+        self.version += 1;
+        Ok(TopologyEvent::Admitted { peer, gid })
+    }
+
+    fn apply_depart(&mut self, peer: NodeId) -> Result<TopologyEvent, TopologyError> {
+        let Some(pos) = self.groups.iter().position(|g| g.members.contains(&peer)) else {
+            return Ok(TopologyEvent::Noop);
+        };
+        let gid = self.groups[pos].gid;
+        self.groups[pos].members.retain(|&m| m != peer);
+        // A departure may take the roster below the privacy floor; the
+        // planner's next pass merges the remnant. An *empty* group is
+        // retired immediately (nothing left to merge).
+        if self.groups[pos].members.is_empty() {
+            self.groups.remove(pos);
+        }
+        self.version += 1;
+        Ok(TopologyEvent::Departed { peer, gid })
+    }
+
+    /// The deterministic rebalancing policy: one batch of commands that
+    /// moves every out-of-band group toward `[n_min, n_max]`. Each group
+    /// participates in at most one command per batch; repeated
+    /// plan/apply passes reach a fixpoint where [`Self::converged`] holds
+    /// (splits strictly shrink oversized groups, merges strictly grow
+    /// undersized ones, and `n_max >= 2 * n_min` rules out oscillation).
+    pub fn plan(&self, bounds: ElasticBounds) -> Vec<TopologyCmd> {
+        let mut cmds = Vec::new();
+        let mut used: Vec<u64> = Vec::new();
+        // Splits first: oversized groups divide into two in-band halves.
+        for g in &self.groups {
+            if g.members.len() > bounds.n_max {
+                let half = g.members.len() / 2;
+                let (left, right) = g.members.split_at(half);
+                if left.len() >= bounds.n_min && right.len() >= bounds.n_min {
+                    cmds.push(TopologyCmd::Split {
+                        gid: g.gid,
+                        left: left.to_vec(),
+                        right: right.to_vec(),
+                    });
+                    used.push(g.gid);
+                }
+            }
+        }
+        // Merges: undersized groups fold into the smallest sibling that
+        // stays in band, or failing that the smallest sibling outright
+        // (the oversize result splits on the next pass).
+        for g in &self.groups {
+            if g.members.len() >= bounds.n_min || used.contains(&g.gid) {
+                continue;
+            }
+            let sibling = self
+                .groups
+                .iter()
+                .filter(|s| s.gid != g.gid && !used.contains(&s.gid))
+                .min_by_key(|s| {
+                    let combined = s.members.len() + g.members.len();
+                    // Prefer in-band results, then smallest, then lowest id.
+                    (combined > bounds.n_max, s.members.len(), s.gid)
+                });
+            if let Some(s) = sibling {
+                cmds.push(TopologyCmd::Merge {
+                    into: s.gid,
+                    from: g.gid,
+                });
+                used.push(g.gid);
+                used.push(s.gid);
+            }
+        }
+        cmds
+    }
+
+    /// Whether every group is within bounds (the planner's fixpoint). A
+    /// single remaining group below `n_min` with no sibling to merge into
+    /// also counts as converged — there is nothing the planner can do.
+    pub fn converged(&self, bounds: ElasticBounds) -> bool {
+        self.groups.iter().all(|g| bounds.admits(g.members.len()))
+            || (self.groups.len() == 1 && self.groups[0].members.len() <= bounds.n_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u64]) -> Vec<NodeId> {
+        v.iter().map(|&i| NodeId(i as u32)).collect()
+    }
+
+    fn topo(sizes: &[usize]) -> Topology {
+        let mut next = 0u64;
+        let groups: Vec<Vec<NodeId>> = sizes
+            .iter()
+            .map(|&s| {
+                let g: Vec<NodeId> = (next..next + s as u64).map(|i| NodeId(i as u32)).collect();
+                next += s as u64;
+                g
+            })
+            .collect();
+        Topology::from_groups(&groups)
+    }
+
+    #[test]
+    fn bounds_clamp_floor() {
+        let b = ElasticBounds::new(1, 3);
+        assert_eq!(b.n_min, 2);
+        assert!(b.n_max >= 4);
+        assert!(b.admits(2) && b.admits(4) && !b.admits(5));
+    }
+
+    #[test]
+    fn split_partitions_and_mints_fresh_ids() {
+        let mut t = topo(&[6]);
+        let g = t.groups[0].clone();
+        let (l, r) = g.members.split_at(3);
+        let ev = t
+            .apply(&TopologyCmd::Split {
+                gid: g.gid,
+                left: l.to_vec(),
+                right: r.to_vec(),
+            })
+            .unwrap();
+        assert_eq!(
+            ev,
+            TopologyEvent::Split {
+                old: 0,
+                left: 1,
+                right: 2
+            }
+        );
+        assert_eq!(t.version, 1);
+        assert_eq!(t.groups.len(), 2);
+        assert!(t.group(0).is_none(), "parent id retired");
+        assert_eq!(t.group(1).unwrap().members, l.to_vec());
+        assert_eq!(t.group(2).unwrap().members, r.to_vec());
+    }
+
+    #[test]
+    fn split_rejects_non_partition_and_floor() {
+        let mut t = topo(&[5]);
+        let m = t.groups[0].members.clone();
+        // Overlapping halves.
+        let err = t.apply(&TopologyCmd::Split {
+            gid: 0,
+            left: m[..3].to_vec(),
+            right: m[2..].to_vec(),
+        });
+        assert_eq!(err, Err(TopologyError::NotAPartition));
+        // Singleton half.
+        let err = t.apply(&TopologyCmd::Split {
+            gid: 0,
+            left: m[..1].to_vec(),
+            right: m[1..].to_vec(),
+        });
+        assert_eq!(err, Err(TopologyError::BelowFloor));
+        // Missing member.
+        let err = t.apply(&TopologyCmd::Split {
+            gid: 0,
+            left: m[..2].to_vec(),
+            right: m[2..4].to_vec(),
+        });
+        assert_eq!(err, Err(TopologyError::NotAPartition));
+        assert_eq!(t.version, 0, "rejected commands leave the layout alone");
+    }
+
+    #[test]
+    fn merge_unions_and_retires() {
+        let mut t = topo(&[3, 2]);
+        let ev = t.apply(&TopologyCmd::Merge { into: 0, from: 1 }).unwrap();
+        assert_eq!(ev, TopologyEvent::Merged { into: 0, from: 1 });
+        assert_eq!(t.groups.len(), 1);
+        assert_eq!(t.group(0).unwrap().members, ids(&[0, 1, 2, 3, 4]));
+        assert_eq!(
+            t.apply(&TopologyCmd::Merge { into: 0, from: 1 }),
+            Err(TopologyError::UnknownGroup(1))
+        );
+        assert_eq!(
+            t.apply(&TopologyCmd::Merge { into: 0, from: 0 }),
+            Err(TopologyError::SameGroup)
+        );
+    }
+
+    #[test]
+    fn admit_is_idempotent_across_groups() {
+        let mut t = topo(&[3, 3]);
+        let joiner = NodeId(99);
+        let ev = t
+            .apply(&TopologyCmd::Admit {
+                peer: joiner,
+                gid: 0,
+            })
+            .unwrap();
+        assert_eq!(
+            ev,
+            TopologyEvent::Admitted {
+                peer: joiner,
+                gid: 0
+            }
+        );
+        let v = t.version;
+        // A stale rendezvous retry targets the *other* group: the duplicate
+        // must not double-insert.
+        let ev = t
+            .apply(&TopologyCmd::Admit {
+                peer: joiner,
+                gid: 1,
+            })
+            .unwrap();
+        assert_eq!(ev, TopologyEvent::Noop);
+        assert_eq!(t.version, v, "no-op admits do not bump the version");
+        let holders: Vec<u64> = t
+            .groups
+            .iter()
+            .filter(|g| g.members.contains(&joiner))
+            .map(|g| g.gid)
+            .collect();
+        assert_eq!(holders, vec![0], "joiner is in exactly one subgroup");
+    }
+
+    #[test]
+    fn depart_and_empty_group_retirement() {
+        let mut t = topo(&[2, 3]);
+        assert_eq!(
+            t.apply(&TopologyCmd::Depart { peer: NodeId(0) }).unwrap(),
+            TopologyEvent::Departed {
+                peer: NodeId(0),
+                gid: 0
+            }
+        );
+        assert_eq!(
+            t.apply(&TopologyCmd::Depart { peer: NodeId(1) }).unwrap(),
+            TopologyEvent::Departed {
+                peer: NodeId(1),
+                gid: 0
+            }
+        );
+        assert_eq!(t.groups.len(), 1, "emptied group retired");
+        assert_eq!(
+            t.apply(&TopologyCmd::Depart { peer: NodeId(1) }).unwrap(),
+            TopologyEvent::Noop
+        );
+    }
+
+    #[test]
+    fn planner_splits_oversized() {
+        let t = topo(&[7, 3]);
+        let b = ElasticBounds::new(3, 6);
+        let cmds = t.plan(b);
+        assert_eq!(cmds.len(), 1);
+        match &cmds[0] {
+            TopologyCmd::Split { gid, left, right } => {
+                assert_eq!(*gid, 0);
+                assert!(left.len() >= 3 && right.len() >= 3);
+            }
+            other => panic!("expected split, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn planner_merges_undersized_into_smallest() {
+        let t = topo(&[5, 3, 2]);
+        let b = ElasticBounds::new(3, 6);
+        let cmds = t.plan(b);
+        assert_eq!(
+            cmds,
+            vec![TopologyCmd::Merge { into: 1, from: 2 }],
+            "folds the runt into the smallest in-band sibling"
+        );
+    }
+
+    #[test]
+    fn plan_apply_reaches_fixpoint() {
+        // Flash-crowd shape: one giant group, one runt.
+        let mut t = topo(&[14, 2]);
+        let b = ElasticBounds::new(3, 6);
+        for _ in 0..8 {
+            let cmds = t.plan(b);
+            if cmds.is_empty() {
+                break;
+            }
+            for c in cmds {
+                t.apply(&c).unwrap();
+            }
+        }
+        assert!(t.converged(b), "did not converge: {:?}", t.groups);
+        assert_eq!(t.all_members().len(), 16, "no peer orphaned or duplicated");
+    }
+
+    #[test]
+    fn rendezvous_prefers_smallest_group() {
+        let t = topo(&[4, 3, 5]);
+        assert_eq!(t.assign_joiner(), Some(1));
+    }
+
+    #[test]
+    fn roster_key_separates_versions_and_rosters() {
+        let mut t = topo(&[3, 3]);
+        let k0 = t.roster_key(0).unwrap();
+        let k1 = t.roster_key(1).unwrap();
+        assert_ne!(k0, k1, "different rosters, different keys");
+        t.apply(&TopologyCmd::Admit {
+            peer: NodeId(9),
+            gid: 0,
+        })
+        .unwrap();
+        assert_ne!(t.roster_key(0).unwrap(), k0, "roster change re-keys");
+        assert_ne!(
+            t.roster_key(1).unwrap(),
+            k1,
+            "version bump re-keys even unchanged rosters"
+        );
+    }
+}

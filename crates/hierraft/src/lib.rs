@@ -17,12 +17,18 @@
 mod actor;
 mod config;
 mod detector;
+mod elastic;
 pub mod experiments;
 mod topology;
 
 pub use actor::HierActor;
-pub use config::{FedCmd, FedConfig, HierMsg, HierPeerConfig, SubCmd, SubMembers};
+pub use config::{
+    ElasticPeerConfig, FedCmd, FedConfig, HierMsg, HierPeerConfig, SubCmd, SubMembers,
+};
 pub use detector::{FailureDetector, Liveness};
+pub use elastic::{
+    rekey_key, ElasticBounds, ElasticGroup, Topology, TopologyCmd, TopologyError, TopologyEvent,
+};
 // Re-exported so deployment builders can name the replicated combiner
 // without depending on p2pfl-fed directly.
 pub use p2pfl_fed::RobustCombiner;

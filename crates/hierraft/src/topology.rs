@@ -1,7 +1,8 @@
 //! Deployment builder for two-layer Raft simulations.
 
 use crate::actor::HierActor;
-use crate::config::{HierMsg, HierPeerConfig};
+use crate::config::{ElasticPeerConfig, HierMsg, HierPeerConfig};
+use crate::elastic::{ElasticBounds, Topology};
 use p2pfl_fed::RobustCombiner;
 use p2pfl_secagg::SacEngine;
 use p2pfl_simnet::{Latency, LatencyConfig, NodeId, Sim, SimDuration, SimTime};
@@ -29,6 +30,8 @@ pub struct DeploymentSpec {
     pub combiner: RobustCombiner,
     /// Simulation seed.
     pub seed: u64,
+    /// Elastic subgroup bounds; `None` keeps the paper's static layout.
+    pub elastic: Option<ElasticBounds>,
 }
 
 impl DeploymentSpec {
@@ -44,6 +47,7 @@ impl DeploymentSpec {
             engine: SacEngine::Pairwise,
             combiner: RobustCombiner::FedAvg,
             seed,
+            elastic: None,
         }
     }
 
@@ -103,6 +107,10 @@ impl Deployment {
                     engine: spec.engine,
                     combiner: spec.combiner,
                     seed: spec.seed ^ (0x9e37 + id.0 as u64 * 0x85eb_ca6b),
+                    elastic: spec.elastic.map(|bounds| ElasticPeerConfig {
+                        bounds,
+                        initial_groups: subgroups.clone(),
+                    }),
                 };
                 let got = sim.add_node(HierActor::new(cfg));
                 assert_eq!(got, id);
@@ -119,6 +127,72 @@ impl Deployment {
     /// The spec this deployment was built from.
     pub fn spec(&self) -> &DeploymentSpec {
         &self.spec
+    }
+
+    /// Spawns an *unplaced* peer into an elastic deployment: it belongs to
+    /// no subgroup and polls the founding FedAvg members for a rendezvous
+    /// assignment; the FedAvg leader serializes an `Admit` for it and the
+    /// peer transitions into its assigned subgroup. Panics if the
+    /// deployment is not elastic.
+    pub fn spawn_joiner(&mut self) -> NodeId {
+        // A static deployment has no rendezvous path to place the joiner;
+        // refuse with an invariant assert (the fallback bounds after it
+        // are unreachable).
+        assert!(
+            self.spec.elastic.is_some(),
+            "spawn_joiner requires an elastic deployment"
+        );
+        let bounds = self.spec.elastic.unwrap_or(ElasticBounds::new(2, 4));
+        // Reserve the id the simulator will hand out next.
+        let id = NodeId(self.sim.node_count() as u32);
+        let cfg = HierPeerConfig {
+            id,
+            subgroup: vec![id],
+            subgroup_index: usize::MAX,
+            founding_fed: self.founding.clone(),
+            t: self.spec.t,
+            heartbeat: SimDuration::from_nanos((self.spec.t.as_nanos() / 5).max(1)),
+            config_commit_interval: self.spec.config_commit_interval,
+            join_poll_interval: self.spec.join_poll_interval,
+            probe_interval: SimDuration::from_nanos((self.spec.t.as_nanos() / 5).max(1)),
+            suspect_after: self.spec.t,
+            dead_after: self.spec.t.saturating_mul(3),
+            engine: self.spec.engine,
+            combiner: self.spec.combiner,
+            seed: self.spec.seed ^ (0x9e37 + id.0 as u64 * 0x85eb_ca6b),
+            elastic: Some(ElasticPeerConfig {
+                bounds,
+                initial_groups: Vec::new(),
+            }),
+        };
+        let got = self.sim.add_node(HierActor::new(cfg));
+        assert_eq!(got, id);
+        got
+    }
+
+    /// The most advanced layout any live peer has adopted.
+    pub fn latest_topology(&self) -> Topology {
+        let mut best: Option<Topology> = None;
+        for id in 0..self.sim.node_count() {
+            let id = NodeId(id as u32);
+            if self.sim.is_crashed(id) {
+                continue;
+            }
+            let t = &self.sim.actor::<HierActor>(id).topology;
+            if best.as_ref().is_none_or(|b| t.version > b.version) {
+                best = Some(t.clone());
+            }
+        }
+        best.unwrap_or_else(|| Topology::from_groups(&self.subgroups))
+    }
+
+    /// Refreshes `self.subgroups` from the most advanced adopted layout,
+    /// so `sub_leader_of` / `is_stable` follow elastic transitions.
+    /// Returns the layout it adopted.
+    pub fn refresh_subgroups(&mut self) -> Topology {
+        let t = self.latest_topology();
+        self.subgroups = t.groups.iter().map(|g| g.members.clone()).collect();
+        t
     }
 
     /// The current leader of subgroup `g`, if exactly one live peer leads.

@@ -2,7 +2,7 @@
 //! return the two-layer backend to a stable state — every subgroup led,
 //! every leader seated in the FedAvg layer, one FedAvg leader.
 
-use p2pfl_hierraft::{Deployment, DeploymentSpec, HierActor};
+use p2pfl_hierraft::{Deployment, DeploymentSpec, FedCmd, HierActor};
 use p2pfl_simnet::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -68,13 +68,16 @@ fn backend_restabilizes_after_every_chaos_epoch() {
         // through the FedAvg layer to every subgroup leader.
         let fed_leader = d.fed_leader().unwrap();
         d.sim.exec::<HierActor, _, _>(fed_leader, |a, ctx| {
-            a.propose_fed(ctx, 999).unwrap();
+            a.propose_fed(ctx, FedCmd::Round(999)).unwrap();
         });
         d.sim.run_for(SimDuration::from_secs(1));
         for g in 0..3 {
             let l = d.sub_leader_of(g).unwrap();
             assert!(
-                d.sim.actor::<HierActor>(l).fed_cmds_applied.contains(&999),
+                d.sim
+                    .actor::<HierActor>(l)
+                    .fed_rounds_applied()
+                    .contains(&999),
                 "seed {seed}: subgroup {g} leader missed the post-chaos commit"
             );
         }

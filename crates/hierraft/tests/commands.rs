@@ -3,7 +3,7 @@
 //! replicate to all subgroup leaders — the mechanism the aggregation
 //! system uses to sequence rounds.
 
-use p2pfl_hierraft::{Deployment, DeploymentSpec, HierActor};
+use p2pfl_hierraft::{Deployment, DeploymentSpec, FedCmd, HierActor};
 use p2pfl_simnet::{SimDuration, SimTime};
 
 fn small() -> DeploymentSpec {
@@ -41,14 +41,14 @@ fn fed_commands_replicate_to_all_subgroup_leaders() {
     let fed_leader = d.fed_leader().unwrap();
     for round in [1u64, 2, 3] {
         d.sim.exec::<HierActor, _, _>(fed_leader, |a, ctx| {
-            a.propose_fed(ctx, round).unwrap();
+            a.propose_fed(ctx, FedCmd::Round(round)).unwrap();
         });
     }
     d.sim.run_for(SimDuration::from_secs(1));
     for g in 0..3 {
         let leader = d.sub_leader_of(g).unwrap();
         let a = d.sim.actor::<HierActor>(leader);
-        assert_eq!(a.fed_cmds_applied, vec![1, 2, 3], "subgroup {g} leader");
+        assert_eq!(a.fed_rounds_applied(), vec![1, 2, 3], "subgroup {g} leader");
     }
 }
 
@@ -58,7 +58,7 @@ fn fed_commands_survive_fed_leader_crash() {
     assert!(d.wait_stable(SimTime::from_secs(10)));
     let fed_leader = d.fed_leader().unwrap();
     d.sim.exec::<HierActor, _, _>(fed_leader, |a, ctx| {
-        a.propose_fed(ctx, 7).unwrap();
+        a.propose_fed(ctx, FedCmd::Round(7)).unwrap();
     });
     d.sim.run_for(SimDuration::from_millis(300)); // commit
     let at = d.sim.now() + SimDuration::from_millis(1);
@@ -70,12 +70,12 @@ fn fed_commands_survive_fed_leader_crash() {
     }));
     let new_leader = d.fed_leader().unwrap();
     d.sim.exec::<HierActor, _, _>(new_leader, |a, ctx| {
-        a.propose_fed(ctx, 8).unwrap();
+        a.propose_fed(ctx, FedCmd::Round(8)).unwrap();
     });
     d.sim.run_for(SimDuration::from_secs(1));
     let a = d.sim.actor::<HierActor>(new_leader);
     assert_eq!(
-        a.fed_cmds_applied,
+        a.fed_rounds_applied(),
         vec![7, 8],
         "committed entry must survive"
     );
@@ -93,6 +93,6 @@ fn propose_on_non_leader_is_rejected() {
     assert!(err.is_err());
     let err = d
         .sim
-        .exec::<HierActor, _, _>(follower, |a, ctx| a.propose_fed(ctx, 1));
+        .exec::<HierActor, _, _>(follower, |a, ctx| a.propose_fed(ctx, FedCmd::Round(1)));
     assert!(err.is_err());
 }

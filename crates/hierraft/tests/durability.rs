@@ -2,7 +2,7 @@
 //! its persisted record recovers both its subgroup Raft state and (if it
 //! held one) its FedAvg-layer seat.
 
-use p2pfl_hierraft::{HierActor, HierMsg, HierPeerConfig, RobustCombiner, SubCmd};
+use p2pfl_hierraft::{FedCmd, HierActor, HierMsg, HierPeerConfig, RobustCombiner, SubCmd};
 use p2pfl_raft::MemStorage;
 use p2pfl_secagg::SacEngine;
 use p2pfl_simnet::{Latency, LatencyConfig, NodeId, Sim, SimDuration, SimTime};
@@ -26,6 +26,7 @@ fn peer_cfg(id: NodeId, subgroup: Vec<NodeId>, gi: usize, founding: Vec<NodeId>)
         engine: SacEngine::Pairwise,
         combiner: RobustCombiner::FedAvg,
         seed: 0x9e37 + id.0 as u64 * 0x85eb_ca6b,
+        elastic: None,
     }
 }
 
@@ -42,7 +43,7 @@ fn storage_backed_peer_recovers_both_layers() {
 
     let sub_stores: Vec<MemStorage<SubCmd>> =
         (0..SUBGROUPS * SIZE).map(|_| MemStorage::new()).collect();
-    let fed_stores: Vec<MemStorage<u64>> =
+    let fed_stores: Vec<MemStorage<FedCmd>> =
         (0..SUBGROUPS * SIZE).map(|_| MemStorage::new()).collect();
 
     for (gi, members) in subgroups.iter().enumerate() {
@@ -74,14 +75,14 @@ fn storage_backed_peer_recovers_both_layers() {
         .find(|&id| sim.actor::<HierActor>(id).is_fed_leader())
         .expect("fed layer should have a leader");
     sim.exec::<HierActor, _, _>(fed_leader, |a, ctx| {
-        a.propose_fed(ctx, 999).unwrap();
+        a.propose_fed(ctx, FedCmd::Round(999)).unwrap();
     });
     sim.run_for(SimDuration::from_secs(2));
 
     let (sub_term, sub_last, fed_term, fed_last) = {
         let a = sim.actor::<HierActor>(rep);
         assert!(a.sub_cmds_applied.contains(&7));
-        assert!(a.fed_cmds_applied.contains(&999));
+        assert!(a.fed_rounds_applied().contains(&999));
         let fed = a.fed_raft().expect("rep holds a fed seat");
         (
             a.sub_raft().term(),

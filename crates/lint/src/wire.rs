@@ -38,6 +38,10 @@ pub const EXTRA_WIRE_TYPES: &[&str] = &[
     "RobustCombiner", // combining rule selector, replicated inside FedConfig
     "CxStep",         // p2pfl-check counterexample schedules (JSON)
     "Counterexample", // ditto
+    "FedCmd",         // FedAvg-layer log commands (round markers + topology)
+    "TopologyCmd",    // elastic split/merge/admit/depart operations
+    "Topology",       // the versioned elastic layout, shipped in syncs/acks
+    "ElasticGroup",   // one subgroup of a Topology
 ];
 
 /// Files in which a wire type must be mentioned to count as having a

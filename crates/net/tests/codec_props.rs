@@ -3,7 +3,10 @@
 //! protocols actually produce (zero-length share vectors, empty entry
 //! batches) and large share blocks.
 
-use p2pfl_hierraft::{FedConfig, HierMsg, RobustCombiner, SubCmd, SubMembers};
+use p2pfl_hierraft::{
+    ElasticGroup, FedCmd, FedConfig, HierMsg, RobustCombiner, SubCmd, SubMembers, Topology,
+    TopologyCmd,
+};
 use p2pfl_net::codec::{from_bytes, to_bytes, write_frame, FrameBuffer, MAX_FRAME};
 use p2pfl_raft::{Entry, LogCmd, PersistOp, RaftMsg};
 use p2pfl_secagg::{RingMsg, SacEngine, SacMsg, WeightVector};
@@ -26,24 +29,40 @@ fn arb_reason() -> impl Strategy<Value = String> {
         .prop_map(|bytes| bytes.into_iter().map(char::from).collect())
 }
 
-fn arb_logcmd() -> impl Strategy<Value = LogCmd<u64>> {
+fn arb_logcmd_of<C, S>(cmd: impl Fn() -> S + 'static) -> impl Strategy<Value = LogCmd<C>>
+where
+    C: std::fmt::Debug + Clone + 'static,
+    S: Strategy<Value = C> + 'static,
+{
     prop_oneof![
         Just(LogCmd::Noop),
-        any::<u64>().prop_map(LogCmd::App),
+        cmd().prop_map(LogCmd::App),
         arb_node().prop_map(LogCmd::AddServer),
         arb_node().prop_map(LogCmd::RemoveServer),
     ]
 }
 
-fn arb_entry() -> impl Strategy<Value = Entry<u64>> {
-    (any::<u64>(), any::<u64>(), arb_logcmd()).prop_map(|(term, index, cmd)| Entry {
+fn arb_entry_of<C, S>(cmd: impl Fn() -> S + 'static) -> impl Strategy<Value = Entry<C>>
+where
+    C: std::fmt::Debug + Clone + 'static,
+    S: Strategy<Value = C> + 'static,
+{
+    (any::<u64>(), any::<u64>(), arb_logcmd_of(cmd)).prop_map(|(term, index, cmd)| Entry {
         term,
         index,
         cmd,
     })
 }
 
-fn arb_raftmsg() -> impl Strategy<Value = RaftMsg<u64>> {
+fn arb_entry() -> impl Strategy<Value = Entry<u64>> {
+    arb_entry_of(any::<u64>)
+}
+
+fn arb_raftmsg_of<C, S>(cmd: impl Fn() -> S + 'static) -> impl Strategy<Value = RaftMsg<C>>
+where
+    C: std::fmt::Debug + Clone + 'static,
+    S: Strategy<Value = C> + 'static,
+{
     prop_oneof![
         (any::<u64>(), arb_node(), any::<u64>(), any::<u64>()).prop_map(
             |(term, candidate, last_log_index, last_log_term)| RaftMsg::PreVote {
@@ -70,7 +89,7 @@ fn arb_raftmsg() -> impl Strategy<Value = RaftMsg<u64>> {
             arb_node(),
             any::<u64>(),
             any::<u64>(),
-            prop::collection::vec(arb_entry(), 0..5),
+            prop::collection::vec(arb_entry_of(cmd), 0..5),
             any::<u64>(),
         )
             .prop_map(
@@ -113,6 +132,46 @@ fn arb_raftmsg() -> impl Strategy<Value = RaftMsg<u64>> {
     ]
 }
 
+fn arb_raftmsg() -> impl Strategy<Value = RaftMsg<u64>> {
+    arb_raftmsg_of(any::<u64>)
+}
+
+fn arb_topology_cmd() -> impl Strategy<Value = TopologyCmd> {
+    prop_oneof![
+        (
+            any::<u64>(),
+            prop::collection::vec(arb_node(), 0..6),
+            prop::collection::vec(arb_node(), 0..6),
+        )
+            .prop_map(|(gid, left, right)| TopologyCmd::Split { gid, left, right }),
+        (any::<u64>(), any::<u64>()).prop_map(|(into, from)| TopologyCmd::Merge { into, from }),
+        (arb_node(), any::<u64>()).prop_map(|(peer, gid)| TopologyCmd::Admit { peer, gid }),
+        arb_node().prop_map(|peer| TopologyCmd::Depart { peer }),
+    ]
+}
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    let group = (any::<u64>(), prop::collection::vec(arb_node(), 0..6))
+        .prop_map(|(gid, members)| ElasticGroup { gid, members });
+    (
+        any::<u64>(),
+        prop::collection::vec(group, 0..5),
+        any::<u64>(),
+    )
+        .prop_map(|(version, groups, next_gid)| Topology {
+            version,
+            groups,
+            next_gid,
+        })
+}
+
+fn arb_fedcmd() -> impl Strategy<Value = FedCmd> {
+    prop_oneof![
+        any::<u64>().prop_map(FedCmd::Round),
+        arb_topology_cmd().prop_map(FedCmd::Topology),
+    ]
+}
+
 fn arb_engine() -> impl Strategy<Value = SacEngine> {
     prop_oneof![Just(SacEngine::Pairwise), Just(SacEngine::Ring)]
 }
@@ -152,6 +211,7 @@ fn arb_subcmd() -> impl Strategy<Value = SubCmd> {
     prop_oneof![
         arb_fedconfig().prop_map(SubCmd::FedConfig),
         arb_sub_members().prop_map(SubCmd::Members),
+        arb_topology().prop_map(SubCmd::Topology),
         any::<u64>().prop_map(SubCmd::App),
     ]
 }
@@ -186,7 +246,7 @@ fn arb_hiermsg() -> impl Strategy<Value = HierMsg> {
                     leader_commit: commit,
                 })
             }),
-        arb_raftmsg().prop_map(HierMsg::Fed),
+        arb_raftmsg_of(arb_fedcmd).prop_map(HierMsg::Fed),
         (arb_node(), prop::option::of(arb_node()))
             .prop_map(|(from, replaces)| HierMsg::JoinRequest { from, replaces }),
         (any::<bool>(), prop::option::of(arb_node()))
@@ -196,6 +256,18 @@ fn arb_hiermsg() -> impl Strategy<Value = HierMsg> {
         arb_reason().prop_map(|reason| HierMsg::Evict { reason }),
         (any::<u64>(), any::<u64>())
             .prop_map(|(version, digest)| HierMsg::ConfigEcho { version, digest }),
+        arb_node().prop_map(|from| HierMsg::Rendezvous { from }),
+        (
+            any::<bool>(),
+            prop::option::of(arb_node()),
+            prop::option::of(arb_topology()),
+        )
+            .prop_map(|(accepted, leader, topology)| HierMsg::RendezvousAssign {
+                accepted,
+                leader,
+                topology,
+            }),
+        arb_topology().prop_map(|topology| HierMsg::TopologySync { topology }),
     ]
 }
 
@@ -444,6 +516,40 @@ proptest! {
         let cut = cut.min(bytes.len());
         // Any prefix must either fail cleanly or (full length) succeed.
         let _ = from_bytes::<SacMsg>(&bytes[..cut]);
+    }
+
+    #[test]
+    fn fed_commands_round_trip(cmd in arb_fedcmd()) {
+        // Round markers and topology ops share the FedAvg-layer log; both
+        // must survive the wire (and FileStorage, which uses the same
+        // codec) bit-for-bit.
+        let bytes = to_bytes(&cmd);
+        prop_assert_eq!(from_bytes::<FedCmd>(&bytes).unwrap(), cmd);
+    }
+
+    #[test]
+    fn topologies_round_trip(t in arb_topology()) {
+        let bytes = to_bytes(&t);
+        prop_assert_eq!(from_bytes::<Topology>(&bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn hier_truncation_never_panics(msg in arb_hiermsg(), cut in 0usize..128) {
+        // Rendezvous / topology-sync frames arrive over real TCP in the
+        // reactor leg; a short read must fail cleanly, never panic.
+        let bytes = to_bytes(&msg);
+        let cut = cut.min(bytes.len());
+        let _ = from_bytes::<HierMsg>(&bytes[..cut]);
+    }
+
+    #[test]
+    fn hier_bit_flips_never_panic(msg in arb_hiermsg(), at in 0usize..512, bit in 0u8..8) {
+        let mut bytes = to_bytes(&msg);
+        if !bytes.is_empty() {
+            let at = at % bytes.len();
+            bytes[at] ^= 1 << bit;
+        }
+        let _ = from_bytes::<HierMsg>(&bytes);
     }
 
     #[test]

@@ -280,6 +280,10 @@ pub struct SacPeerActor {
     // Whether the current round is already the retry of an aborted one
     // (each externally started round gets at most one supervised retry).
     retried: bool,
+    // Every mask-stream domain this engine has drawn from, in adoption
+    // order (construction seed, then one per `rekey`). The checker's
+    // NoMaskReuseAcrossRekey oracle asserts all entries are distinct.
+    mask_keys: Vec<u64>,
 }
 
 impl SacPeerActor {
@@ -288,7 +292,8 @@ impl SacPeerActor {
         assert!(cfg.position < cfg.n(), "position out of range");
         assert!(cfg.leader_pos < cfg.n(), "leader position out of range");
         assert!(cfg.k >= 1 && cfg.k <= cfg.n(), "invalid threshold");
-        let rng = StdRng::seed_from_u64(cfg.seed ^ (cfg.position as u64) << 32);
+        let mask_domain = cfg.seed ^ (cfg.position as u64) << 32;
+        let rng = StdRng::seed_from_u64(mask_domain);
         SacPeerActor {
             cfg,
             model,
@@ -315,6 +320,7 @@ impl SacPeerActor {
             future: Vec::new(),
             aborted: None,
             retried: false,
+            mask_keys: vec![mask_domain],
         }
     }
 
@@ -390,8 +396,9 @@ impl SacPeerActor {
     /// membership change replicated by the layer above): recomputes this
     /// peer's position, moves the leadership to `leader`, adopts `k`, and
     /// discards all state of the current round. The caller starts the next
-    /// round (with a fresh round number) afterwards.
-    pub fn reconfigure(&mut self, group: Vec<NodeId>, leader: NodeId, k: usize) {
+    /// round (with a fresh round number) afterwards. Returns whether the
+    /// roster was adopted.
+    pub fn reconfigure(&mut self, group: Vec<NodeId>, leader: NodeId, k: usize) -> bool {
         let me = self.me();
         // A roster that drops this peer or its leader, or carries an
         // unsatisfiable threshold, is invalid (a supervised restart never
@@ -401,10 +408,10 @@ impl SacPeerActor {
             group.iter().position(|&p| p == me),
             group.iter().position(|&p| p == leader),
         ) else {
-            return;
+            return false;
         };
         if k < 1 || k > group.len() {
-            return;
+            return false;
         }
         self.cfg.group = group;
         self.cfg.position = position;
@@ -412,6 +419,31 @@ impl SacPeerActor {
         self.cfg.k = k;
         let round = self.round;
         self.reset_for(round);
+        true
+    }
+
+    /// Adopts a new roster *and* a fresh mask domain — the elastic
+    /// split/merge re-key. Beyond [`SacPeerActor::reconfigure`], the RNG
+    /// driving every subsequent share polynomial and mask partition is
+    /// reseeded under `roster_key` (the replicated layer derives it per
+    /// peer and transition, strictly fresh), so no mask drawn for the old
+    /// roster can recur under the new one — even when a merge reunites the
+    /// exact member set a split divided. Returns whether the roster was
+    /// adopted; a rejected roster leaves the mask stream untouched.
+    pub fn rekey(&mut self, group: Vec<NodeId>, leader: NodeId, k: usize, roster_key: u64) -> bool {
+        if !self.reconfigure(group, leader, k) {
+            return false;
+        }
+        let domain = self.cfg.seed ^ roster_key ^ (self.cfg.position as u64) << 32;
+        self.rng = StdRng::seed_from_u64(domain);
+        self.mask_keys.push(domain);
+        true
+    }
+
+    /// The mask-stream domains this engine has drawn from, in adoption
+    /// order (construction seed first, then one entry per re-key).
+    pub fn mask_keys(&self) -> &[u64] {
+        &self.mask_keys
     }
 
     /// Leader-side dead end: abort the round everywhere, then — unless the
@@ -1123,6 +1155,62 @@ mod tests {
 
     fn plain_mean(models: &[WeightVector], idx: &[usize]) -> WeightVector {
         WeightVector::mean(idx.iter().map(|&i| &models[i]))
+    }
+
+    #[test]
+    fn rekey_reseeds_and_the_round_still_averages() {
+        // Re-keying every member onto the same roster must leave the
+        // arithmetic intact: the fresh mask streams still cancel, so the
+        // next round's result is exactly the plain mean.
+        let (mut sim, ids, models) = build(4, 2, 8, 51);
+        start(&mut sim, ids[0], 1);
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.actor::<SacPeerActor>(ids[0]).phase, SacPhase::Done);
+        for (i, &id) in ids.iter().enumerate() {
+            let group = ids.clone();
+            let adopted =
+                sim.actor_mut::<SacPeerActor>(id)
+                    .rekey(group, ids[0], 2, 0xe1a5_71c0 + i as u64);
+            assert!(adopted);
+        }
+        sim.exec::<SacPeerActor, _, _>(ids[0], |a, ctx| a.start_round(ctx, 2));
+        sim.run_until(SimTime::from_secs(4));
+        let leader = sim.actor::<SacPeerActor>(ids[0]);
+        assert_eq!(leader.phase, SacPhase::Done);
+        let avg = leader.result.as_ref().unwrap();
+        assert!(avg.linf_distance(&plain_mean(&models, &[0, 1, 2, 3])) < 1e-9);
+    }
+
+    #[test]
+    fn rekey_history_stays_fresh_for_identical_rosters() {
+        let (mut sim, ids, _) = build(3, 2, 4, 52);
+        sim.run_until_quiet(100);
+        let a = sim.actor_mut::<SacPeerActor>(ids[1]);
+        assert_eq!(a.mask_keys().len(), 1);
+        // Same roster, same leader, twice — only the roster key differs
+        // (a split immediately undone by a merge). Every domain is fresh.
+        assert!(a.rekey(ids.clone(), ids[0], 2, 1));
+        assert!(a.rekey(ids.clone(), ids[0], 2, 2));
+        let hist = a.mask_keys().to_vec();
+        assert_eq!(hist.len(), 3);
+        let mut dedup = hist.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), hist.len(), "mask domain reused: {hist:?}");
+    }
+
+    #[test]
+    fn rekey_rejects_roster_without_this_peer() {
+        let (mut sim, ids, _) = build(3, 2, 4, 53);
+        sim.run_until_quiet(100);
+        let a = sim.actor_mut::<SacPeerActor>(ids[2]);
+        let before = a.mask_keys().to_vec();
+        // A roster that drops this peer (or its leader) must be refused
+        // without touching the mask stream.
+        assert!(!a.rekey(vec![ids[0], ids[1]], ids[0], 2, 9));
+        assert!(!a.rekey(ids.clone(), NodeId(99), 2, 9));
+        assert!(!a.rekey(ids.clone(), ids[0], 4, 9));
+        assert_eq!(a.mask_keys(), &before[..]);
     }
 
     #[test]

@@ -211,6 +211,9 @@ pub struct RingSacActor {
     future: Vec<(NodeId, RingMsg)>,
     aborted: Option<u64>,
     retried: bool,
+    // Mask-stream domains adopted so far (construction seed, then one per
+    // `rekey`); surface of the NoMaskReuseAcrossRekey oracle.
+    mask_keys: Vec<u64>,
 }
 
 impl RingSacActor {
@@ -223,7 +226,8 @@ impl RingSacActor {
         );
         assert!(cfg.k >= 1 && cfg.k <= cfg.group.len(), "invalid threshold");
         let plan = RingPlan::new(cfg.group.len(), cfg.k);
-        let rng = StdRng::seed_from_u64(cfg.seed ^ (cfg.position as u64) << 32);
+        let mask_domain = cfg.seed ^ (cfg.position as u64) << 32;
+        let rng = StdRng::seed_from_u64(mask_domain);
         RingSacActor {
             cfg,
             plan,
@@ -247,6 +251,7 @@ impl RingSacActor {
             future: Vec::new(),
             aborted: None,
             retried: false,
+            mask_keys: vec![mask_domain],
         }
     }
 
@@ -326,7 +331,8 @@ impl RingSacActor {
 
     /// Adopts a new roster mid-life; same contract as the pairwise
     /// engine, plus re-deriving the ring plan from the new `(n', k')`.
-    pub fn reconfigure(&mut self, group: Vec<NodeId>, leader: NodeId, k: usize) {
+    /// Returns whether the roster was adopted.
+    pub fn reconfigure(&mut self, group: Vec<NodeId>, leader: NodeId, k: usize) -> bool {
         let me = self.me();
         // Same policy as the pairwise engine: an invalid roster (missing
         // this peer or the leader, unsatisfiable threshold) is ignored
@@ -335,10 +341,10 @@ impl RingSacActor {
             group.iter().position(|&p| p == me),
             group.iter().position(|&p| p == leader),
         ) else {
-            return;
+            return false;
         };
         if k < 1 || k > group.len() {
-            return;
+            return false;
         }
         self.plan = RingPlan::new(group.len(), k);
         self.cfg.group = group;
@@ -347,6 +353,29 @@ impl RingSacActor {
         self.cfg.k = k;
         let round = self.round;
         self.reset_for(round);
+        true
+    }
+
+    /// Adopts a new roster *and* a fresh mask domain — the elastic
+    /// split/merge re-key; same contract as the pairwise engine's
+    /// [`crate::SacPeerActor::rekey`]: the stage-share RNG is reseeded
+    /// under the per-peer `roster_key`, so no mask drawn for the retired
+    /// roster can recur under the new one, even if the member set is
+    /// identical. A rejected roster leaves the mask stream untouched.
+    pub fn rekey(&mut self, group: Vec<NodeId>, leader: NodeId, k: usize, roster_key: u64) -> bool {
+        if !self.reconfigure(group, leader, k) {
+            return false;
+        }
+        let domain = self.cfg.seed ^ roster_key ^ (self.cfg.position as u64) << 32;
+        self.rng = StdRng::seed_from_u64(domain);
+        self.mask_keys.push(domain);
+        true
+    }
+
+    /// The mask-stream domains this engine has drawn from, in adoption
+    /// order (construction seed first, then one entry per re-key).
+    pub fn mask_keys(&self) -> &[u64] {
+        &self.mask_keys
     }
 
     /// Leader-side dead end: abort the round everywhere, then — unless
@@ -1073,6 +1102,45 @@ mod tests {
 
     fn plain_mean(models: &[WeightVector], idx: &[usize]) -> WeightVector {
         WeightVector::mean(idx.iter().map(|&i| &models[i]))
+    }
+
+    #[test]
+    fn rekey_reseeds_and_the_round_still_averages() {
+        let (mut sim, ids, models) = build(5, 2, 8, 61);
+        start(&mut sim, ids[0], 1);
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.actor::<RingSacActor>(ids[0]).phase, SacPhase::Done);
+        for (i, &id) in ids.iter().enumerate() {
+            let group = ids.clone();
+            let adopted =
+                sim.actor_mut::<RingSacActor>(id)
+                    .rekey(group, ids[0], 2, 0x0005_1a9e + i as u64);
+            assert!(adopted);
+        }
+        sim.exec::<RingSacActor, _, _>(ids[0], |a, ctx| a.start_round(ctx, 2));
+        sim.run_until(SimTime::from_secs(4));
+        let leader = sim.actor::<RingSacActor>(ids[0]);
+        assert_eq!(leader.phase, SacPhase::Done);
+        let avg = leader.result.as_ref().unwrap();
+        assert!(avg.linf_distance(&plain_mean(&models, &[0, 1, 2, 3, 4])) < 1e-9);
+    }
+
+    #[test]
+    fn rekey_history_stays_fresh_and_rejects_bad_rosters() {
+        let (mut sim, ids, _) = build(4, 2, 4, 62);
+        sim.run_until_quiet(100);
+        let a = sim.actor_mut::<RingSacActor>(ids[1]);
+        assert!(a.rekey(ids.clone(), ids[0], 2, 7));
+        assert!(a.rekey(ids.clone(), ids[0], 2, 8));
+        let hist = a.mask_keys().to_vec();
+        assert_eq!(hist.len(), 3);
+        let mut dedup = hist.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), hist.len(), "mask domain reused: {hist:?}");
+        // Invalid rosters leave the stream untouched.
+        assert!(!a.rekey(vec![ids[0], ids[2]], ids[0], 2, 9));
+        assert_eq!(a.mask_keys().len(), 3);
     }
 
     #[test]

@@ -69,6 +69,7 @@ fn hier_config(id: u32) -> HierPeerConfig {
         engine: SacEngine::Pairwise,
         combiner: RobustCombiner::FedAvg,
         seed: SEED + id as u64,
+        elastic: None,
     }
 }
 

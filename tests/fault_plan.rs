@@ -16,7 +16,7 @@
 //!   commits a fresh round marker.
 
 use p2pfl_hierraft::{
-    Deployment, DeploymentSpec, HierActor, HierMsg, HierPeerConfig, RobustCombiner, SubCmd,
+    Deployment, DeploymentSpec, FedCmd, HierActor, HierMsg, HierPeerConfig, RobustCombiner, SubCmd,
 };
 use p2pfl_net::PeerRuntime;
 use p2pfl_raft::FileStorage;
@@ -274,13 +274,16 @@ fn plan_leaves_two_layer_backend_electable_on_simulator() {
     );
     let fl = d.fed_leader().unwrap();
     d.sim.exec::<HierActor, _, _>(fl, |a, ctx| {
-        a.propose_fed(ctx, 77).unwrap();
+        a.propose_fed(ctx, FedCmd::Round(77)).unwrap();
     });
     d.sim.run_for(SimDuration::from_secs(2));
     for g in 0..3 {
         let l = d.sub_leader_of(g).unwrap();
         assert!(
-            d.sim.actor::<HierActor>(l).fed_cmds_applied.contains(&77),
+            d.sim
+                .actor::<HierActor>(l)
+                .fed_rounds_applied()
+                .contains(&77),
             "subgroup {g} missed the round marker under faults"
         );
     }
@@ -310,6 +313,7 @@ fn hier_cfg(id: NodeId, subgroups: &[Vec<NodeId>], founding: &[NodeId]) -> HierP
         engine: SacEngine::Pairwise,
         combiner: RobustCombiner::FedAvg,
         seed: SEED ^ (0x9e37 + id.0 as u64 * 0x85eb_ca6b),
+        elastic: None,
     }
 }
 
@@ -325,7 +329,7 @@ fn storage_actor(dir: &std::path::Path, cfg: HierPeerConfig) -> HierActor {
     HierActor::with_storage(
         cfg,
         Box::new(FileStorage::<SubCmd>::open(sub).expect("open sub storage")),
-        Box::new(FileStorage::<u64>::open(fed).expect("open fed storage")),
+        Box::new(FileStorage::<FedCmd>::open(fed).expect("open fed storage")),
     )
 }
 
@@ -366,14 +370,16 @@ fn commit_marker(rts: &HashMap<NodeId, HierRt>, subgroups: &[Vec<NodeId>], marke
         .values()
         .find(|rt| rt.with(|a, _| a.is_fed_leader()))
         .expect("fed leader");
-    fl.with(move |a, ctx| a.propose_fed(ctx, marker).unwrap());
+    fl.with(move |a, ctx| a.propose_fed(ctx, FedCmd::Round(marker)).unwrap());
     wait_for(
         &format!("marker {marker} at every subgroup leader"),
         Duration::from_secs(30),
         || {
             subgroups.iter().all(|g| {
                 g.iter().filter_map(|id| rts.get(id)).any(|rt| {
-                    rt.with(move |a, _| a.is_sub_leader() && a.fed_cmds_applied.contains(&marker))
+                    rt.with(move |a, _| {
+                        a.is_sub_leader() && a.fed_rounds_applied().contains(&marker)
+                    })
                 })
             })
         },
